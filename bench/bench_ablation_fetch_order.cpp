@@ -1,0 +1,143 @@
+// Ablation A1 — fetch ordering. The BE Plan Generator searches for the
+// minimum-bound fetch order (Example 2's discussion: fetching package
+// before call gives M = 2,000 + 24,000 + 12M, whereas call-first gives
+// 2,000 + 1M + 12M plus a larger intermediate T at runtime). This bench
+// executes both the optimizer's plan and a hand-built worst-order plan
+// and compares deduced bounds, actual fetches and wall time.
+
+#include "bench_util.h"
+#include "bounded/bounded_executor.h"
+#include "common/string_util.h"
+
+using namespace beas;
+using namespace beas::bench;
+
+namespace {
+
+/// Reorders the steps of a generated plan to fetch `call` before
+/// `package`, recomputing bounds and per-step metadata the way the
+/// generator would have for that order.
+BoundedPlan SwapLastTwoSteps(const BoundedPlan& optimal) {
+  BoundedPlan bad = optimal;
+  if (bad.steps.size() != 3) return bad;
+  std::swap(bad.steps[1], bad.steps[2]);
+  // Recompute running bounds: step 2 now multiplies by its own N over the
+  // step-1 bound, etc. Key sources by T-position still line up because
+  // both swapped steps key on (pnum <- T, const): pnum's T position is
+  // set by step 1 (business) and unchanged by the swap; the layout
+  // changes order, so rebuild added-column bookkeeping.
+  uint64_t bound = bad.steps[0].step_bound;
+  bad.total_access_bound = bound;
+  for (size_t i = 1; i < bad.steps.size(); ++i) {
+    bound *= bad.steps[i].constraint.limit_n;
+    bad.steps[i].step_bound = bound;
+    bad.total_access_bound += bound;
+  }
+  bad.total_bound = bound;
+  // Layout follows fetch order: business cols, then call's, then
+  // package's. Conjunct scheduling and T-key positions are recomputed by
+  // the caller against this new layout.
+  bad.layout.clear();
+  for (FetchStep& step : bad.steps) {
+    for (const AttrRef& attr : step.added_columns) bad.layout.push_back(attr);
+  }
+  return bad;
+}
+
+}  // namespace
+
+int main() {
+  double sf = EnvDouble("TLC_SF", 4);
+  PrintHeader(StringPrintf("Ablation: fetch order (SF %.1f)", sf));
+  TlcEnv env = MakeTlcEnv(sf);
+  const std::string& q = TlcExample2Sql();
+  auto bound_query = env.db->Bind(q);
+  if (!bound_query.ok()) return 1;
+  auto coverage = env.session->Check(q);
+  if (!coverage.ok() || !coverage->covered) return 1;
+
+  BoundedExecutor executor(env.catalog.get());
+  auto optimal = executor.Execute(*bound_query, coverage->plan);
+  if (!optimal.ok()) {
+    std::fprintf(stderr, "%s\n", optimal.status().ToString().c_str());
+    return 1;
+  }
+
+  // The worst order: swap package/call fetches. Conjunct scheduling is
+  // recomputed by re-running the generator with the call constraint
+  // boosted to look cheap, which is the honest way to obtain a valid
+  // alternative plan: drop psi2 so the only order is business->call,
+  // then... psi2 is required for coverage. Instead: rebuild metadata here.
+  BoundedPlan bad = SwapLastTwoSteps(coverage->plan);
+  // Fix conjunct scheduling: recompute which conjuncts are evaluable after
+  // each step from the layout prefix.
+  {
+    std::vector<bool> done(bound_query->conjuncts.size(), false);
+    for (size_t ci : bad.initial_conjuncts) done[ci] = true;
+    size_t consumed = 0;
+    for (FetchStep& step : bad.steps) {
+      consumed += step.added_columns.size();
+      step.conjuncts_after.clear();
+      std::vector<AttrRef> prefix(bad.layout.begin(),
+                                  bad.layout.begin() + consumed);
+      for (size_t ci = 0; ci < bound_query->conjuncts.size(); ++ci) {
+        if (done[ci]) continue;
+        bool evaluable = !bound_query->conjuncts[ci].attrs.empty();
+        for (const AttrRef& attr : bound_query->conjuncts[ci].attrs) {
+          bool present = false;
+          for (const AttrRef& p : prefix) {
+            present |= (p.atom == attr.atom && p.col == attr.col);
+          }
+          evaluable &= present;
+        }
+        if (evaluable) {
+          step.conjuncts_after.push_back(ci);
+          done[ci] = true;
+        }
+      }
+    }
+    // Fix kFromT key positions against the new layout.
+    for (FetchStep& step : bad.steps) {
+      for (size_t k = 0; k < step.key_sources.size(); ++k) {
+        KeySource& src = step.key_sources[k];
+        if (src.kind != KeySource::Kind::kFromT) continue;
+        // The key column equates to business.pnum (atom of step 0).
+        for (size_t p = 0; p < bad.layout.size(); ++p) {
+          if (bad.layout[p].atom == bad.steps[0].atom &&
+              bad.layout[p].col == 0) {
+            src.t_column = p;
+          }
+        }
+      }
+    }
+  }
+  auto worst = executor.Execute(*bound_query, bad);
+  if (!worst.ok()) {
+    std::fprintf(stderr, "%s\n", worst.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-22s %-16s %-16s %-10s %-8s\n", "plan", "deduced M",
+              "actual fetched", "time ms", "rows");
+  std::printf("%-22s %-16s %-16s %-10.2f %-8zu\n", "optimizer (pkg first)",
+              WithCommas(coverage->plan.total_access_bound).c_str(),
+              WithCommas(optimal->tuples_accessed).c_str(), optimal->millis,
+              optimal->rows.size());
+  std::printf("%-22s %-16s %-16s %-10.2f %-8zu\n", "worst (call first)",
+              WithCommas(bad.total_access_bound).c_str(),
+              WithCommas(worst->tuples_accessed).c_str(), worst->millis,
+              worst->rows.size());
+  if (!RowMultisetsEqual(optimal->rows, worst->rows)) {
+    std::fprintf(stderr, "ANSWERS DIVERGED — ablation invalid\n");
+    return 1;
+  }
+  std::printf("\nanswers identical; the optimizer's order has a %.1fx "
+              "smaller deduced bound (12.026M vs 13.002M in paper terms) "
+              "and fetches %.1fx fewer tuples here.\n",
+              static_cast<double>(bad.total_access_bound) /
+                  static_cast<double>(coverage->plan.total_access_bound),
+              static_cast<double>(std::max<uint64_t>(worst->tuples_accessed, 1)) /
+                  static_cast<double>(
+                      std::max<uint64_t>(optimal->tuples_accessed, 1)));
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation A3 — partially bounded plans. §3: for queries not covered by
+// A, the BE Plan Optimizer "identifies sub-queries of Q that are boundedly
+// evaluable under A and speeds up the evaluation of Q by capitalizing on
+// the indices of A". This bench builds uncovered variants of TLC queries
+// (a covered fragment joined to an unconstrained scan) and compares the
+// partially bounded pipeline against fully conventional execution.
+
+#include "bench_util.h"
+#include "bounded/plan_optimizer.h"
+#include "common/string_util.h"
+
+using namespace beas;
+using namespace beas::bench;
+
+int main() {
+  double sf = EnvDouble("TLC_SF", 4);
+  PrintHeader(StringPrintf("Ablation: partially bounded plans (SF %.1f)", sf));
+  TlcEnv env = MakeTlcEnv(sf);
+
+  // Uncovered queries: business/customer fragments are coverable; the
+  // region/severity scans on the other atom are not.
+  const struct {
+    const char* id;
+    const char* sql;
+  } queries[] = {
+      {"P1",
+       "SELECT call.recnum FROM call, business "
+       "WHERE business.type = 'bank' AND business.region = 'R1' "
+       "AND business.pnum = call.pnum AND call.region = 'R1'"},
+      {"P2",
+       "SELECT complaint.category, complaint.severity "
+       "FROM business, customer, complaint "
+       "WHERE business.type = 'bank' AND business.region = 'R1' "
+       "AND business.pnum = customer.pnum AND customer.cid = complaint.cid "
+       "AND complaint.date = '2016-03-20'"},
+      {"P3",
+       "SELECT count(*) AS n FROM call, business "
+       "WHERE business.type = 'hospital' AND business.region = 'R2' "
+       "AND business.pnum = call.pnum AND call.duration > 300"},
+  };
+
+  std::printf("%-4s %-10s | %-12s %-12s %-9s | %-16s %-16s %-6s\n", "id",
+              "mode", "partial ms", "conv ms", "speedup", "partial tuples",
+              "conv tuples", "match");
+  for (const auto& query : queries) {
+    BeasSession::ExecutionDecision decision;
+    auto partial = env.session->Execute(query.sql, &decision);
+    auto conventional = env.db->Query(query.sql);
+    if (!partial.ok() || !conventional.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", query.id,
+                   partial.ok() ? conventional.status().ToString().c_str()
+                                : partial.status().ToString().c_str());
+      return 1;
+    }
+    double partial_ms = MedianMillis(
+        [&] { (void)env.session->Execute(query.sql); });
+    double conv_ms = MedianMillis([&] { (void)env.db->Query(query.sql); });
+    bool match = RowMultisetsEqual(partial->rows, conventional->rows);
+    const char* mode =
+        decision.mode == BeasSession::ExecutionDecision::Mode::kPartiallyBounded
+            ? "partial"
+            : (decision.mode == BeasSession::ExecutionDecision::Mode::kBounded
+                   ? "bounded"
+                   : "conv");
+    std::printf("%-4s %-10s | %-12.3f %-12.3f %8.1fx | %-16s %-16s %-6s\n",
+                query.id, mode, partial_ms, conv_ms,
+                conv_ms / std::max(partial_ms, 1e-3),
+                WithCommas(partial->tuples_accessed).c_str(),
+                WithCommas(conventional->tuples_accessed).c_str(),
+                match ? "yes" : "NO");
+    if (!match) return 1;
+  }
+  std::printf("\nthe bounded fragment prunes the probe side of the final "
+              "join; the unconstrained relation is still scanned (that is "
+              "exactly what distinguishes partially bounded from bounded).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Example 2 (in-text) — the bound deduction itself: BEAS deduces
+// M = 2,000 business + 24,000 package + 12,000,000 call partial tuples
+// for Q under A0 = {psi1, psi2, psi3}, BEFORE executing, and M does not
+// change as D grows. This bench prints the deduced per-step bounds
+// (which must equal the paper's arithmetic exactly, since the declared
+// N = 2000/12/500 are the paper's) and the actual access counts across
+// scale factors — actuals stay under M and under a scale-independent
+// cohort-sized envelope.
+
+#include "bench_util.h"
+#include "common/string_util.h"
+
+using namespace beas;
+using namespace beas::bench;
+
+int main() {
+  PrintHeader("Example 2: deduced access bound M vs actual access");
+  const std::string& q = TlcExample2Sql();
+
+  {
+    TlcEnv env = MakeTlcEnv(1);
+    auto coverage = env.session->Check(q);
+    if (!coverage.ok() || !coverage->covered) {
+      std::fprintf(stderr, "Q must be covered\n");
+      return 1;
+    }
+    std::printf("deduced per-fetch bounds:\n");
+    const char* paper[3] = {"2,000", "24,000", "12,000,000"};
+    for (size_t i = 0; i < coverage->plan.steps.size(); ++i) {
+      const FetchStep& step = coverage->plan.steps[i];
+      std::printf("  step %zu via %-6s |T| <= %-12s (paper: %s)\n", i + 1,
+                  step.constraint.name.c_str(),
+                  WithCommas(step.step_bound).c_str(),
+                  i < 3 ? paper[i] : "-");
+    }
+    std::printf("  total M = %s (paper: 12,026,000 = 2,000 + 24,000 + "
+                "12,000,000)\n\n",
+                WithCommas(coverage->plan.total_access_bound).c_str());
+  }
+
+  std::printf("%-6s %-12s %-16s %-14s %-12s\n", "SF", "deduced M",
+              "actual fetched", "BEAS (ms)", "PG-like (ms)");
+  for (double sf : {1.0, 2.0, 4.0}) {
+    TlcEnv env = MakeTlcEnv(sf);
+    auto coverage = env.session->Check(q);
+    auto beas = env.session->ExecuteBounded(q);
+    auto pg = env.db->Query(q);
+    if (!coverage.ok() || !beas.ok() || !pg.ok()) return 1;
+    std::printf("%-6.1f %-12s %-16s %-14.2f %-12.2f\n", sf,
+                WithCommas(coverage->plan.total_access_bound).c_str(),
+                WithCommas(beas->tuples_accessed).c_str(), beas->millis,
+                pg->millis);
+    if (beas->tuples_accessed > coverage->plan.total_access_bound) {
+      std::fprintf(stderr, "BOUND VIOLATED\n");
+      return 1;
+    }
+  }
+  std::printf("\npaper: \"finds exact answers to Q in 96.13ms ... while a "
+              "commercial DBMS takes 187.8s, i.e., BEAS is 1953 times "
+              "faster, although it still accesses over 12 million tuples\" "
+              "(their data fills the bound; our synthetic cohort is "
+              "sparser, so actuals sit far below M — M itself matches).\n");
+  return 0;
+}

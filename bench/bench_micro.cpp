@@ -1,0 +1,105 @@
+// Micro-benchmarks (google-benchmark): the hot paths underneath bounded
+// evaluation — AC-index probes, the BE checker's plan search, SQL parsing
+// and binding, hash-join throughput. These are the components whose costs
+// the demo paper's analyzer attributes per operation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "sql/parser.h"
+#include "workload/tlc_schema.h"
+
+namespace beas {
+namespace {
+
+bench::TlcEnv* Env() {
+  static auto* env = new bench::TlcEnv(bench::MakeTlcEnv(1));
+  return env;
+}
+
+void BM_AcIndexLookup(benchmark::State& state) {
+  bench::TlcEnv* env = Env();
+  const AcIndex* index = env->catalog->IndexFor("psi1");
+  ValueVec key{Value::Int64(kTlcProbePnum), Value::Date(20160315)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->LookupWithCounts(key));
+  }
+}
+BENCHMARK(BM_AcIndexLookup);
+
+void BM_AcIndexInsertDelete(benchmark::State& state) {
+  bench::TlcEnv* env = Env();
+  AcIndex* index = env->catalog->IndexFor("psi1");
+  Row row{Value::Int64(777), Value::Int64(888), Value::Date(20160301),
+          Value::String("R1"), Value::Int64(1), Value::Double(1),
+          Value::Int64(1), Value::Int64(1)};
+  for (auto _ : state) {
+    index->OnInsert(row);
+    index->OnDelete(row);
+  }
+}
+BENCHMARK(BM_AcIndexInsertDelete);
+
+void BM_ParseExample2(benchmark::State& state) {
+  const std::string& sql = TlcExample2Sql();
+  for (auto _ : state) {
+    auto stmt = Parser::Parse(sql);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseExample2);
+
+void BM_BindExample2(benchmark::State& state) {
+  bench::TlcEnv* env = Env();
+  const std::string& sql = TlcExample2Sql();
+  for (auto _ : state) {
+    auto bound = env->db->Bind(sql);
+    benchmark::DoNotOptimize(bound);
+  }
+}
+BENCHMARK(BM_BindExample2);
+
+void BM_BeCheckerExample2(benchmark::State& state) {
+  bench::TlcEnv* env = Env();
+  const std::string& sql = TlcExample2Sql();
+  for (auto _ : state) {
+    auto coverage = env->session->Check(sql);
+    benchmark::DoNotOptimize(coverage);
+  }
+}
+BENCHMARK(BM_BeCheckerExample2);
+
+void BM_BoundedExecuteExample2(benchmark::State& state) {
+  bench::TlcEnv* env = Env();
+  const std::string& sql = TlcExample2Sql();
+  for (auto _ : state) {
+    auto result = env->session->ExecuteBounded(sql);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BoundedExecuteExample2);
+
+void BM_ConventionalExample2(benchmark::State& state) {
+  bench::TlcEnv* env = Env();
+  const std::string& sql = TlcExample2Sql();
+  for (auto _ : state) {
+    auto result = env->db->Query(sql);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ConventionalExample2);
+
+void BM_HashJoinQ9(benchmark::State& state) {
+  bench::TlcEnv* env = Env();
+  const std::string& sql = TlcQueries()[8].sql;  // handoff x tower join
+  for (auto _ : state) {
+    auto result = env->db->Query(sql);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_HashJoinQ9);
+
+}  // namespace
+}  // namespace beas
+
+BENCHMARK_MAIN();

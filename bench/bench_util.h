@@ -1,0 +1,91 @@
+#ifndef BEAS_BENCH_BENCH_UTIL_H_
+#define BEAS_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bounded/beas_session.h"
+#include "workload/tlc_access_schema.h"
+#include "workload/tlc_generator.h"
+#include "workload/tlc_queries.h"
+
+namespace beas {
+namespace bench {
+
+/// A fully wired TLC environment at one scale factor.
+struct TlcEnv {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<AsCatalog> catalog;
+  std::unique_ptr<BeasSession> session;
+  TlcStats stats;
+  double generate_millis = 0;
+  double index_millis = 0;
+};
+
+inline double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Builds TLC at `sf`, registers A_TLC, opens a session. Aborts on error
+/// (benchmark setup failures are fatal by design).
+inline TlcEnv MakeTlcEnv(double sf, uint64_t seed = 42) {
+  TlcEnv env;
+  env.db = std::make_unique<Database>();
+  TlcOptions options;
+  options.scale_factor = sf;
+  options.seed = seed;
+  auto t0 = std::chrono::steady_clock::now();
+  auto stats = GenerateTlc(env.db.get(), options);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "TLC generation failed: %s\n",
+                 stats.status().ToString().c_str());
+    std::abort();
+  }
+  env.generate_millis = MillisSince(t0);
+  env.stats = *stats;
+  auto t1 = std::chrono::steady_clock::now();
+  env.catalog = std::make_unique<AsCatalog>(env.db.get());
+  Status st = RegisterTlcAccessSchema(env.catalog.get());
+  if (!st.ok()) {
+    std::fprintf(stderr, "access schema registration failed: %s\n",
+                 st.ToString().c_str());
+    std::abort();
+  }
+  env.index_millis = MillisSince(t1);
+  env.session = std::make_unique<BeasSession>(env.db.get(), env.catalog.get());
+  return env;
+}
+
+/// Reads a double knob from the environment (e.g. TLC_SF_MAX).
+inline double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::atof(value);
+}
+
+/// Median wall-clock milliseconds of `fn()` over `reps` runs.
+template <typename Fn>
+double MedianMillis(Fn&& fn, int reps = 3) {
+  std::vector<double> times;
+  for (int i = 0; i < reps; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    times.push_back(MillisSince(start));
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace beas
+
+#endif  // BEAS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,167 @@
+// beas_shell: an interactive console standing in for the BEAS demo portal
+// (paper Fig. 2). Loads the TLC benchmark, registers A_TLC, and accepts
+// SQL plus dot-commands:
+//
+//   .schema                show the access schema catalog (Fig. 2(E))
+//   .tables                list tables with row counts
+//   .check <sql>           BE Checker verdict + annotated plan (Fig. 2(A/B))
+//   .budget <n> <sql>      can the query be answered within n tuples?
+//   .approx <n> <sql>      resource-bounded approximation under n tuples
+//   .engine <pg|mysql|maria>  conventional profile used for comparison
+//   .queries               list the 11 built-in TLC queries
+//   .q <id>                run a built-in query (e.g. .q Q1)
+//   .quit
+//
+// Any other input is executed as SQL through the full BEAS pipeline and
+// through the selected conventional engine, with the Fig. 2(C)-style
+// performance analysis printed after the answers.
+//
+// Usage: beas_shell [scale_factor]   (also reads stdin non-interactively)
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bounded/beas_session.h"
+#include "common/string_util.h"
+#include "workload/tlc_access_schema.h"
+#include "workload/tlc_generator.h"
+#include "workload/tlc_queries.h"
+#include "workload/tlc_schema.h"
+
+using namespace beas;
+
+namespace {
+
+const EngineProfile* g_profile = &EngineProfile::PostgresLike();
+
+void RunSql(BeasSession* session, Database* db, const std::string& sql) {
+  BeasSession::ExecutionDecision decision;
+  auto beas = session->Execute(sql, &decision, *g_profile);
+  if (!beas.ok()) {
+    std::printf("error: %s\n", beas.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", beas->ToTable(15).c_str());
+  std::printf("(%zu rows)  mode: %s\n", beas->rows.size(),
+              decision.explanation.c_str());
+  auto conventional = db->Query(sql, *g_profile);
+  if (conventional.ok()) {
+    std::printf(
+        "analysis: BEAS %.2f ms / %s tuples   vs   %s %.2f ms / %s tuples "
+        "(%.0fx)\n",
+        beas->millis, WithCommas(beas->tuples_accessed).c_str(),
+        g_profile->name.c_str(), conventional->millis,
+        WithCommas(conventional->tuples_accessed).c_str(),
+        conventional->millis / std::max(beas->millis, 1e-3));
+  }
+}
+
+void CheckSql(BeasSession* session, Database* db, const std::string& sql) {
+  auto coverage = session->Check(sql);
+  if (!coverage.ok()) {
+    std::printf("error: %s\n", coverage.status().ToString().c_str());
+    return;
+  }
+  if (!coverage->covered) {
+    std::printf("NOT boundedly evaluable: %s\n", coverage->reason.c_str());
+    return;
+  }
+  auto bound = db->Bind(sql);
+  std::printf("boundedly evaluable under the access schema.\n%s",
+              coverage->plan.ToString(*bound).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sf = argc > 1 ? std::atof(argv[1]) : 1.0;
+  std::printf("BEAS shell — bounded evaluation of SQL (TLC @ SF %.1f)\n", sf);
+  Database db;
+  TlcOptions options;
+  options.scale_factor = sf;
+  auto stats = GenerateTlc(&db, options);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  AsCatalog catalog(&db);
+  if (!RegisterTlcAccessSchema(&catalog).ok()) return 1;
+  BeasSession session(&db, &catalog);
+  std::printf("%zu tables, %zu rows, %zu access constraints. Type .help\n",
+              TlcTableNames().size(), stats->total_rows,
+              catalog.schema().size());
+
+  std::string line;
+  while (true) {
+    std::printf("beas> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    line = Trim(line);
+    if (line.empty()) continue;
+    if (line == ".quit" || line == ".exit") break;
+    if (line == ".help") {
+      std::printf(
+          ".schema .tables .queries .q <id> .check <sql> .budget <n> <sql> "
+          ".approx <n> <sql> .engine <pg|mysql|maria> .quit\n");
+    } else if (line == ".schema") {
+      std::printf("%s", catalog.MetadataReport().c_str());
+    } else if (line == ".tables") {
+      for (const std::string& name : db.catalog()->TableNames()) {
+        auto table = db.catalog()->GetTable(name);
+        std::printf("  %-12s %zu rows\n", name.c_str(),
+                    (*table)->heap()->NumRows());
+      }
+    } else if (line == ".queries") {
+      for (const TlcQuery& query : TlcQueries()) {
+        std::printf("  %-4s %s\n", query.id.c_str(),
+                    query.description.c_str());
+      }
+    } else if (StartsWith(line, ".q ")) {
+      std::string id = Trim(line.substr(3));
+      bool found = false;
+      for (const TlcQuery& query : TlcQueries()) {
+        if (EqualsIgnoreCase(query.id, id)) {
+          std::printf("%s\n", query.sql.c_str());
+          RunSql(&session, &db, query.sql);
+          found = true;
+        }
+      }
+      if (!found) std::printf("unknown query id '%s'\n", id.c_str());
+    } else if (StartsWith(line, ".check ")) {
+      CheckSql(&session, &db, line.substr(7));
+    } else if (StartsWith(line, ".budget ")) {
+      size_t pos = 0;
+      uint64_t budget = std::stoull(line.substr(8), &pos);
+      auto report = session.CheckBudget(Trim(line.substr(8 + pos)), budget);
+      std::printf("%s\n", report.ok()
+                              ? report->explanation.c_str()
+                              : report.status().ToString().c_str());
+    } else if (StartsWith(line, ".approx ")) {
+      size_t pos = 0;
+      uint64_t budget = std::stoull(line.substr(8), &pos);
+      auto approx =
+          session.ExecuteApproximate(Trim(line.substr(8 + pos)), budget);
+      if (!approx.ok()) {
+        std::printf("error: %s\n", approx.status().ToString().c_str());
+      } else {
+        std::printf("%s(eta >= %.3f, fetched %s of budget %s)\n",
+                    approx->result.ToTable(15).c_str(), approx->eta,
+                    WithCommas(approx->tuples_fetched).c_str(),
+                    WithCommas(budget).c_str());
+      }
+    } else if (StartsWith(line, ".engine ")) {
+      std::string which = Trim(line.substr(8));
+      if (which == "pg") g_profile = &EngineProfile::PostgresLike();
+      else if (which == "mysql") g_profile = &EngineProfile::MySqlLike();
+      else if (which == "maria") g_profile = &EngineProfile::MariaDbLike();
+      std::printf("comparison engine: %s\n", g_profile->name.c_str());
+    } else if (line[0] == '.') {
+      std::printf("unknown command; try .help\n");
+    } else {
+      RunSql(&session, &db, line);
+    }
+  }
+  return 0;
+}

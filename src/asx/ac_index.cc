@@ -1,0 +1,109 @@
+#include "asx/ac_index.h"
+
+namespace beas {
+
+Result<std::unique_ptr<AcIndex>> AcIndex::Build(AccessConstraint constraint,
+                                                const TableHeap& heap) {
+  BEAS_ASSIGN_OR_RETURN(std::vector<size_t> x_cols,
+                        constraint.ResolveX(heap.schema()));
+  BEAS_ASSIGN_OR_RETURN(std::vector<size_t> y_cols,
+                        constraint.ResolveY(heap.schema()));
+  std::unique_ptr<AcIndex> index(new AcIndex(
+      std::move(constraint), std::move(x_cols), std::move(y_cols)));
+  for (auto it = heap.Begin(); it.Valid(); it.Next()) {
+    index->OnInsert(it.row());
+  }
+  return index;
+}
+
+ValueVec AcIndex::KeyOf(const Row& row) const {
+  ValueVec key;
+  key.reserve(x_cols_.size());
+  for (size_t c : x_cols_) key.push_back(row[c]);
+  return key;
+}
+
+Row AcIndex::YProjectionOf(const Row& row) const {
+  Row y;
+  y.reserve(y_cols_.size());
+  for (size_t c : y_cols_) y.push_back(row[c]);
+  return y;
+}
+
+const std::vector<Row>* AcIndex::Lookup(const ValueVec& key) const {
+  auto it = buckets_.find(key);
+  return it == buckets_.end() ? nullptr : &it->second.distinct_y;
+}
+
+AcIndex::BucketView AcIndex::LookupWithCounts(const ValueVec& key) const {
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) return BucketView{};
+  return BucketView{&it->second.distinct_y, &it->second.mults};
+}
+
+void AcIndex::OnInsert(const Row& row) {
+  ValueVec key = KeyOf(row);
+  for (const Value& v : key) {
+    if (v.is_null()) return;  // NULL X-values are not indexed
+  }
+  Bucket& bucket = buckets_[std::move(key)];
+  Row y = YProjectionOf(row);
+  auto it = bucket.positions.find(y);
+  if (it != bucket.positions.end()) {
+    ++bucket.mults[it->second];
+    return;
+  }
+  bucket.positions.emplace(y, bucket.distinct_y.size());
+  bucket.distinct_y.push_back(std::move(y));
+  bucket.mults.push_back(1);
+  ++num_entries_;
+}
+
+void AcIndex::OnDelete(const Row& row) {
+  ValueVec key = KeyOf(row);
+  for (const Value& v : key) {
+    if (v.is_null()) return;
+  }
+  auto bucket_it = buckets_.find(key);
+  if (bucket_it == buckets_.end()) return;
+  Bucket& bucket = bucket_it->second;
+  Row y = YProjectionOf(row);
+  auto it = bucket.positions.find(y);
+  if (it == bucket.positions.end()) return;
+  size_t pos = it->second;
+  if (--bucket.mults[pos] > 0) return;
+  // Multiplicity hit zero: remove the distinct Y-value. Swap-with-last
+  // keeps removal O(1); fix the moved row's recorded position.
+  size_t last = bucket.distinct_y.size() - 1;
+  bucket.positions.erase(it);
+  if (pos != last) {
+    bucket.distinct_y[pos] = std::move(bucket.distinct_y[last]);
+    bucket.mults[pos] = bucket.mults[last];
+    bucket.positions[bucket.distinct_y[pos]] = pos;
+  }
+  bucket.distinct_y.pop_back();
+  bucket.mults.pop_back();
+  --num_entries_;
+  if (bucket.distinct_y.empty()) buckets_.erase(bucket_it);
+}
+
+size_t AcIndex::MaxBucketSize() const {
+  size_t max_size = 0;
+  for (const auto& [key, bucket] : buckets_) {
+    max_size = std::max(max_size, bucket.distinct_y.size());
+  }
+  return max_size;
+}
+
+uint64_t AcIndex::ApproxBytes() const {
+  // Values are tagged unions: ~32 bytes inline + string bodies ignored.
+  constexpr uint64_t kValueBytes = 32;
+  constexpr uint64_t kBucketOverhead = 64;
+  uint64_t key_bytes = static_cast<uint64_t>(NumKeys()) *
+                       (x_cols_.size() * kValueBytes + kBucketOverhead);
+  uint64_t entry_bytes = static_cast<uint64_t>(NumEntries()) *
+                         (y_cols_.size() * kValueBytes + 16);
+  return key_bytes + entry_bytes;
+}
+
+}  // namespace beas

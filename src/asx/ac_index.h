@@ -1,0 +1,115 @@
+#ifndef BEAS_ASX_AC_INDEX_H_
+#define BEAS_ASX_AC_INDEX_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "asx/access_constraint.h"
+#include "common/result.h"
+#include "storage/table_heap.h"
+
+namespace beas {
+
+/// \brief The "modified hash index" of an access constraint (paper §3):
+/// the key is the X-projection of a tuple; each key maps to the bucket
+/// D_Y(X = ā) of distinct Y-projections.
+///
+/// Buckets store *partial tuples* (Y-projections only) — fetching through
+/// this index is what gives BEAS its "reduced redundancy" property (§1
+/// feature 2): no duplicated Y values, no unused attributes.
+///
+/// The index is incrementally maintainable (paper §3 maintenance module):
+/// each bucket keeps a multiplicity count per distinct Y-value, so inserts
+/// and deletes are O(1) expected, independent of |D|.
+///
+/// Rows whose X-projection contains NULL are not indexed (SQL equality
+/// never matches NULL keys).
+class AcIndex {
+ public:
+  /// Builds the index over all live rows of `heap`. The declared bound
+  /// `constraint.limit_n` is NOT enforced here: the index always stores
+  /// every distinct Y-value so query answers stay exact; conformance is
+  /// checked separately (see conformance.h) and exposed via Conforms().
+  static Result<std::unique_ptr<AcIndex>> Build(AccessConstraint constraint,
+                                                const TableHeap& heap);
+
+  /// Returns the bucket for `key` (X-projection values, in x_attrs order),
+  /// or nullptr if no tuple has this X-value. The returned rows are the
+  /// distinct Y-projections, arity |Y|.
+  const std::vector<Row>* Lookup(const ValueVec& key) const;
+
+  /// \brief A bucket with per-Y multiplicities.
+  ///
+  /// `multiplicities[i]` is the number of base tuples projecting to
+  /// `rows[i]` — the bag weight of the partial tuple. BEAS fetches only
+  /// distinct partial tuples (paper feature 2, "reduced redundancy") yet
+  /// stays exact for SQL bag semantics (COUNT/SUM/AVG) by carrying these
+  /// weights through joins.
+  struct BucketView {
+    const std::vector<Row>* rows = nullptr;
+    const std::vector<size_t>* multiplicities = nullptr;
+    size_t size() const { return rows == nullptr ? 0 : rows->size(); }
+  };
+
+  /// Lookup returning Y-projections together with their multiplicities.
+  BucketView LookupWithCounts(const ValueVec& key) const;
+
+  /// Incremental maintenance on tuple insert.
+  void OnInsert(const Row& row);
+
+  /// Incremental maintenance on tuple delete.
+  void OnDelete(const Row& row);
+
+  const AccessConstraint& constraint() const { return constraint_; }
+
+  /// Patches the declared bound (maintenance module's periodic adjustment;
+  /// the index structure itself is bound-agnostic).
+  void set_limit(uint64_t n) { constraint_.limit_n = n; }
+
+  /// Number of distinct X-keys.
+  size_t NumKeys() const { return buckets_.size(); }
+
+  /// Total number of distinct (X, Y) entries.
+  size_t NumEntries() const { return num_entries_; }
+
+  /// Largest bucket (max distinct Y per X observed).
+  size_t MaxBucketSize() const;
+
+  /// True if every bucket is within the declared bound N.
+  bool Conforms() const { return MaxBucketSize() <= constraint_.limit_n; }
+
+  /// Rough memory footprint, for the discovery module's storage budget.
+  uint64_t ApproxBytes() const;
+
+  /// Extracts the X-projection of a full table row (the probe key).
+  ValueVec KeyOf(const Row& row) const;
+
+  /// Extracts the Y-projection of a full table row.
+  Row YProjectionOf(const Row& row) const;
+
+ private:
+  AcIndex(AccessConstraint constraint, std::vector<size_t> x_cols,
+          std::vector<size_t> y_cols)
+      : constraint_(std::move(constraint)),
+        x_cols_(std::move(x_cols)),
+        y_cols_(std::move(y_cols)) {}
+
+  struct Bucket {
+    /// Distinct Y-projections, stable order for determinism.
+    std::vector<Row> distinct_y;
+    /// Multiplicity of each distinct Y-value, parallel to distinct_y.
+    std::vector<size_t> mults;
+    /// Y-value -> position in distinct_y.
+    std::unordered_map<ValueVec, size_t, ValueVecHash, ValueVecEq> positions;
+  };
+
+  AccessConstraint constraint_;
+  std::vector<size_t> x_cols_;
+  std::vector<size_t> y_cols_;
+  std::unordered_map<ValueVec, Bucket, ValueVecHash, ValueVecEq> buckets_;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_ASX_AC_INDEX_H_

@@ -1,0 +1,46 @@
+#include "asx/access_constraint.h"
+
+#include "common/string_util.h"
+
+namespace beas {
+
+std::string AccessConstraint::ToString() const {
+  std::string out = table + "({" + Join(x_attrs, ", ") + "} -> {" +
+                    Join(y_attrs, ", ") + "}, " + std::to_string(limit_n) +
+                    ")";
+  if (!name.empty()) out = name + ": " + out;
+  return out;
+}
+
+namespace {
+
+Result<std::vector<size_t>> ResolveAttrs(const std::vector<std::string>& attrs,
+                                         const Schema& schema,
+                                         const std::string& table) {
+  std::vector<size_t> out;
+  out.reserve(attrs.size());
+  for (const std::string& attr : attrs) {
+    auto idx = schema.IndexOf(attr);
+    if (!idx.ok()) {
+      return Status::InvalidArgument("access constraint references unknown "
+                                     "column '" +
+                                     attr + "' of table '" + table + "'");
+    }
+    out.push_back(idx.ValueOrDie());
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<size_t>> AccessConstraint::ResolveX(
+    const Schema& schema) const {
+  return ResolveAttrs(x_attrs, schema, table);
+}
+
+Result<std::vector<size_t>> AccessConstraint::ResolveY(
+    const Schema& schema) const {
+  return ResolveAttrs(y_attrs, schema, table);
+}
+
+}  // namespace beas

@@ -1,0 +1,46 @@
+#ifndef BEAS_ASX_ACCESS_CONSTRAINT_H_
+#define BEAS_ASX_ACCESS_CONSTRAINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/schema.h"
+
+namespace beas {
+
+/// \brief An access constraint ψ = R(X → Y, N) (paper §2).
+///
+/// Semantics: a relation instance D of R conforms to ψ iff for every
+/// X-value ā in D there are at most N distinct Y-projections
+/// D_Y(X = ā) = { t[Y] | t ∈ D, t[X] = ā }, and an index exists that
+/// retrieves D_Y(X = ā) given ā by accessing at most N tuples.
+///
+/// Example (paper Example 1):
+///   ψ1: call({pnum, date} → {recnum, region}, 500)
+struct AccessConstraint {
+  std::string name;   ///< e.g. "psi1"
+  std::string table;  ///< relation name R
+  std::vector<std::string> x_attrs;
+  std::vector<std::string> y_attrs;
+  uint64_t limit_n = 0;
+
+  /// Renders "R({x1,x2} -> {y1,y2}, N)".
+  std::string ToString() const;
+
+  /// Resolves X attribute names to column indices in `schema`.
+  Result<std::vector<size_t>> ResolveX(const Schema& schema) const;
+
+  /// Resolves Y attribute names to column indices in `schema`.
+  Result<std::vector<size_t>> ResolveY(const Schema& schema) const;
+
+  bool operator==(const AccessConstraint& other) const {
+    return table == other.table && x_attrs == other.x_attrs &&
+           y_attrs == other.y_attrs && limit_n == other.limit_n;
+  }
+};
+
+}  // namespace beas
+
+#endif  // BEAS_ASX_ACCESS_CONSTRAINT_H_

@@ -1,0 +1,38 @@
+#ifndef BEAS_ASX_CONFORMANCE_H_
+#define BEAS_ASX_CONFORMANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "asx/access_constraint.h"
+#include "asx/access_schema.h"
+#include "common/result.h"
+#include "storage/table_heap.h"
+
+namespace beas {
+
+/// \brief Result of verifying D |= ψ for one constraint.
+struct ConformanceReport {
+  std::string constraint_name;
+  bool conforms = false;
+  uint64_t declared_n = 0;
+  uint64_t observed_max = 0;  ///< max distinct Y per X-value in the data
+  uint64_t num_keys = 0;
+  std::vector<std::string> sample_violations;  ///< up to 5 offending X-keys
+
+  std::string ToString() const;
+};
+
+/// \brief Verifies the cardinality side of ψ against a table snapshot
+/// (one grouping pass; the index side is AcIndex by construction).
+Result<ConformanceReport> VerifyConformance(const TableHeap& heap,
+                                            const AccessConstraint& constraint);
+
+/// \brief Verifies D |= A: every constraint of the access schema against
+/// the database (paper notation: D conforms to each ψ in A).
+Result<std::vector<ConformanceReport>> VerifySchemaConformance(
+    const Database& db, const AccessSchema& schema);
+
+}  // namespace beas
+
+#endif  // BEAS_ASX_CONFORMANCE_H_

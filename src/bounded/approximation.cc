@@ -1,0 +1,21 @@
+#include "bounded/approximation.h"
+
+namespace beas {
+
+Result<ApproxResult> ResourceBoundedApproximator::Execute(
+    const BoundQuery& query, const BoundedPlan& plan, uint64_t budget) const {
+  BoundedExecOptions options;
+  options.fetch_budget = budget;
+  BoundedExecStats stats;
+  ApproxResult out;
+  BEAS_ASSIGN_OR_RETURN(out.result,
+                        executor_.Execute(query, plan, options, &stats));
+  out.eta = stats.eta;
+  out.budget = budget;
+  out.tuples_fetched = stats.tuples_fetched;
+  out.exact = stats.eta >= 1.0;
+  out.result.engine = "BEAS (resource-bounded approximation)";
+  return out;
+}
+
+}  // namespace beas

@@ -1,0 +1,52 @@
+#ifndef BEAS_BOUNDED_APPROXIMATION_H_
+#define BEAS_BOUNDED_APPROXIMATION_H_
+
+#include "asx/access_schema.h"
+#include "binder/bound_query.h"
+#include "bounded/bounded_executor.h"
+#include "bounded/plan_generator.h"
+#include "common/result.h"
+
+namespace beas {
+
+/// \brief An approximate answer with its deterministic coverage bound.
+struct ApproxResult {
+  QueryResult result;
+  double eta = 1.0;     ///< deterministic coverage lower bound (see below)
+  uint64_t budget = 0;  ///< requested fetch budget (tuples)
+  uint64_t tuples_fetched = 0;
+  bool exact = false;   ///< true when the budget was never binding
+};
+
+/// \brief Resource-bounded approximation (paper §2/§3: for queries or
+/// budgets where exact bounded evaluation is not affordable, BEAS
+/// "guarantees a deterministic accuracy lower bound on approximate
+/// answers computed, and accesses a bounded number of tuples in the
+/// entire process"; the paper defers its scheme — this is our documented
+/// stand-in with the same interface shape).
+///
+/// Mechanism: the fetch budget is split across the plan's fetch steps in
+/// proportion to their deduced bounds. Each step serves probe keys until
+/// its share is exhausted; rows whose probes were not served are dropped.
+/// η is the product over steps of the served-key fraction: every reported
+/// answer is exact (computed from real fetched data — answers are a subset
+/// of the true answer for SPC queries), and η is a deterministic, known-at-
+/// completion lower bound on the fraction of probe work covered.
+class ResourceBoundedApproximator {
+ public:
+  explicit ResourceBoundedApproximator(const AsCatalog* catalog)
+      : catalog_(catalog), executor_(catalog) {}
+
+  /// Runs the plan under `budget` fetched tuples.
+  Result<ApproxResult> Execute(const BoundQuery& query,
+                               const BoundedPlan& plan,
+                               uint64_t budget) const;
+
+ private:
+  const AsCatalog* catalog_;
+  BoundedExecutor executor_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_BOUNDED_APPROXIMATION_H_

@@ -1,0 +1,113 @@
+#include "bounded/attr_binding.h"
+
+#include <algorithm>
+
+namespace beas {
+
+size_t AttrBindingAnalysis::Find(size_t g) const {
+  while (parent_[g] != g) {
+    parent_[g] = parent_[parent_[g]];  // path halving
+    g = parent_[g];
+  }
+  return g;
+}
+
+void AttrBindingAnalysis::Union(size_t a, size_t b) {
+  size_t ra = Find(a);
+  size_t rb = Find(b);
+  if (ra != rb) parent_[rb] = ra;
+}
+
+AttrBindingAnalysis::AttrBindingAnalysis(
+    const BoundQuery& query, const std::vector<bool>& conjunct_mask) {
+  size_t n = query.total_columns;
+  parent_.resize(n);
+  for (size_t i = 0; i < n; ++i) parent_[i] = i;
+
+  auto enabled = [&](size_t ci) {
+    return conjunct_mask.empty() || conjunct_mask[ci];
+  };
+
+  // Pass 1: unions from equality conjuncts.
+  for (size_t ci = 0; ci < query.conjuncts.size(); ++ci) {
+    if (!enabled(ci)) continue;
+    const Conjunct& c = query.conjuncts[ci];
+    if (c.cls == ConjunctClass::kEqAttr) {
+      Union(query.GlobalIndex(c.lhs), query.GlobalIndex(c.rhs));
+    }
+  }
+
+  // Pass 2: attach constants to class roots.
+  std::vector<std::vector<Value>> eq_consts(n);
+  std::vector<std::vector<std::vector<Value>>> in_lists(n);
+  for (size_t ci = 0; ci < query.conjuncts.size(); ++ci) {
+    if (!enabled(ci)) continue;
+    const Conjunct& c = query.conjuncts[ci];
+    if (c.cls == ConjunctClass::kEqConst) {
+      eq_consts[Find(query.GlobalIndex(c.lhs))].push_back(c.const_val);
+    } else if (c.cls == ConjunctClass::kInConst) {
+      in_lists[Find(query.GlobalIndex(c.lhs))].push_back(c.in_vals);
+    }
+  }
+
+  constants_.assign(n, {});
+  has_constants_.assign(n, false);
+  members_.assign(n, {});
+  for (size_t g = 0; g < n; ++g) members_[Find(g)].push_back(g);
+
+  for (size_t root = 0; root < n; ++root) {
+    if (Find(root) != root) continue;
+    const auto& eqs = eq_consts[root];
+    const auto& lists = in_lists[root];
+    if (eqs.empty() && lists.empty()) continue;
+    has_constants_[root] = true;
+    std::vector<Value> values;
+    if (!eqs.empty()) {
+      // Equalities dominate: intersect all equality constants.
+      values.push_back(eqs[0]);
+      for (size_t i = 1; i < eqs.size(); ++i) {
+        if (eqs[i] != eqs[0]) {
+          values.clear();
+          break;
+        }
+      }
+      // Intersect with IN lists.
+      for (const auto& list : lists) {
+        if (values.empty()) break;
+        bool found = false;
+        for (const Value& v : list) found |= (v == values[0]);
+        if (!found) values.clear();
+      }
+    } else {
+      // Intersection of all IN lists.
+      values = lists[0];
+      for (size_t i = 1; i < lists.size(); ++i) {
+        std::vector<Value> next;
+        for (const Value& v : values) {
+          for (const Value& w : lists[i]) {
+            if (v == w) {
+              next.push_back(v);
+              break;
+            }
+          }
+        }
+        values = std::move(next);
+      }
+    }
+    if (values.empty()) unsatisfiable_ = true;
+    constants_[root] = std::move(values);
+  }
+}
+
+size_t AttrBindingAnalysis::ClassOf(size_t g) const { return Find(g); }
+
+const std::vector<Value>* AttrBindingAnalysis::ConstantsOf(size_t g) const {
+  size_t root = Find(g);
+  return has_constants_[root] ? &constants_[root] : nullptr;
+}
+
+const std::vector<size_t>& AttrBindingAnalysis::MembersOf(size_t g) const {
+  return members_[Find(g)];
+}
+
+}  // namespace beas

@@ -1,0 +1,62 @@
+#ifndef BEAS_BOUNDED_ATTR_BINDING_H_
+#define BEAS_BOUNDED_ATTR_BINDING_H_
+
+#include <vector>
+
+#include "binder/bound_query.h"
+
+namespace beas {
+
+/// \brief Equivalence-class analysis of a query's attributes.
+///
+/// Attributes connected by equality conjuncts (a.x = b.y) form classes;
+/// a class is *constant-bound* when some member is equated to a constant
+/// (attr = c) or restricted to a constant list (attr IN (c1..ck)).
+///
+/// The BE checker uses this to decide which index keys are available:
+/// an X-attribute of an access constraint can be keyed from a constant
+/// (class has constants) or from previously fetched values (some class
+/// member already materialized in the intermediate relation T).
+class AttrBindingAnalysis {
+ public:
+  /// Analyzes `query`, optionally restricted to the conjuncts whose index
+  /// is flagged in `conjunct_mask` (used by the partial-plan optimizer to
+  /// exclude conjuncts that the bounded fragment does not enforce).
+  /// An empty mask means "all conjuncts".
+  explicit AttrBindingAnalysis(const BoundQuery& query,
+                               const std::vector<bool>& conjunct_mask = {});
+
+  /// Representative (root) of the class containing global column `g`.
+  size_t ClassOf(size_t g) const;
+
+  bool SameClass(size_t g1, size_t g2) const {
+    return ClassOf(g1) == ClassOf(g2);
+  }
+
+  /// Constant values the class of `g` is restricted to: nullptr if the
+  /// class has no constants, a singleton for attr = c, the list for
+  /// attr IN (...). Contradictory equalities (attr = 1 AND attr = 2)
+  /// yield an empty vector — the query is unsatisfiable.
+  const std::vector<Value>* ConstantsOf(size_t g) const;
+
+  /// All global columns in the same class as `g` (including `g`).
+  const std::vector<size_t>& MembersOf(size_t g) const;
+
+  /// True if some equality chain forces two different constants
+  /// (the query returns no rows on any instance).
+  bool unsatisfiable() const { return unsatisfiable_; }
+
+ private:
+  size_t Find(size_t g) const;
+  void Union(size_t a, size_t b);
+
+  mutable std::vector<size_t> parent_;
+  std::vector<std::vector<Value>> constants_;   ///< by root, after Finalize
+  std::vector<bool> has_constants_;             ///< by root
+  std::vector<std::vector<size_t>> members_;    ///< by root
+  bool unsatisfiable_ = false;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_BOUNDED_ATTR_BINDING_H_

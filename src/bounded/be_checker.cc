@@ -1,0 +1,39 @@
+#include "bounded/be_checker.h"
+
+#include "common/string_util.h"
+
+namespace beas {
+
+Result<CoverageResult> BeChecker::Check(const BoundQuery& query) const {
+  BEAS_ASSIGN_OR_RETURN(GenerationResult gen, generator_.Generate(query));
+  CoverageResult result;
+  result.covered = gen.covered;
+  result.unsatisfiable = gen.unsatisfiable;
+  result.plan = std::move(gen.plan);
+  result.reason = std::move(gen.reason);
+  result.nodes_explored = gen.nodes_explored;
+  return result;
+}
+
+Result<BeChecker::BudgetReport> BeChecker::CheckBudget(
+    const BoundQuery& query, uint64_t budget) const {
+  BEAS_ASSIGN_OR_RETURN(CoverageResult coverage, Check(query));
+  BudgetReport report;
+  report.budget = budget;
+  report.covered = coverage.covered;
+  if (!coverage.covered) {
+    report.within_budget = false;
+    report.explanation =
+        "not boundedly evaluable under the access schema: " + coverage.reason;
+    return report;
+  }
+  report.deduced_bound = coverage.plan.total_access_bound;
+  report.within_budget = report.deduced_bound <= budget;
+  report.explanation = StringPrintf(
+      "deduced access bound M = %s tuples %s budget %s",
+      WithCommas(report.deduced_bound).c_str(),
+      report.within_budget ? "<=" : ">", WithCommas(budget).c_str());
+  return report;
+}
+
+}  // namespace beas

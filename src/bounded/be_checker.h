@@ -1,0 +1,58 @@
+#ifndef BEAS_BOUNDED_BE_CHECKER_H_
+#define BEAS_BOUNDED_BE_CHECKER_H_
+
+#include <string>
+
+#include "asx/access_schema.h"
+#include "binder/bound_query.h"
+#include "bounded/plan_generator.h"
+#include "common/result.h"
+
+namespace beas {
+
+/// \brief Outcome of the bounded-evaluability check.
+struct CoverageResult {
+  bool covered = false;
+  bool unsatisfiable = false;
+  BoundedPlan plan;    ///< minimum-bound plan when covered
+  std::string reason;  ///< diagnosis when not covered
+  uint64_t nodes_explored = 0;
+};
+
+/// \brief The BE Checker (paper §3): decides whether a query is covered by
+/// the access schema — the effective syntax of the Feasibility Theorem —
+/// by searching for a bounded plan, and deduces the access bound M before
+/// execution.
+///
+/// Per the Feasibility Theorem [Cao & Fan, SIGMOD'16], covered queries are
+/// the core subclass of boundedly evaluable queries: Q is boundedly
+/// evaluable iff it can be rewritten into an equivalent covered query.
+/// BEAS (and this checker) work with coverage directly.
+class BeChecker {
+ public:
+  explicit BeChecker(const AccessSchema* schema) : generator_(schema) {}
+
+  /// Coverage test + plan (checking IS plan existence).
+  Result<CoverageResult> Check(const BoundQuery& query) const;
+
+  /// \brief Fig. 2(A)'s budget feature: "enter a budget on the amount of
+  /// data to be accessed and find whether Q can be answered within the
+  /// budget under A, without executing Q".
+  struct BudgetReport {
+    bool covered = false;
+    bool within_budget = false;
+    uint64_t deduced_bound = 0;
+    uint64_t budget = 0;
+    std::string explanation;
+  };
+
+  Result<BudgetReport> CheckBudget(const BoundQuery& query,
+                                   uint64_t budget) const;
+
+ private:
+  BoundedPlanGenerator generator_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_BOUNDED_BE_CHECKER_H_

@@ -1,0 +1,79 @@
+#ifndef BEAS_BOUNDED_BEAS_SESSION_H_
+#define BEAS_BOUNDED_BEAS_SESSION_H_
+
+#include <string>
+
+#include "asx/access_schema.h"
+#include "bounded/approximation.h"
+#include "bounded/be_checker.h"
+#include "bounded/bounded_executor.h"
+#include "bounded/plan_optimizer.h"
+#include "engine/database.h"
+
+namespace beas {
+
+/// \brief The top-level BEAS facade, mirroring the paper's online pipeline
+/// (§3): given SQL,
+///   1. BE Checker decides whether the query is covered by the registered
+///      access schema;
+///   2. if covered, BE Plan Generator emits a bounded plan (each fetch
+///      annotated with its deduced bound) and BE Plan Executor computes
+///      exact answers within bounded resources;
+///   3. otherwise BE Plan Optimizer builds a partially bounded plan on top
+///      of the conventional engine.
+/// Resource-bounded approximation is available for covered queries whose
+/// deduced bound exceeds a user budget.
+class BeasSession {
+ public:
+  BeasSession(Database* db, AsCatalog* catalog)
+      : db_(db),
+        catalog_(catalog),
+        checker_(&catalog->schema()),
+        executor_(catalog),
+        optimizer_(db, catalog),
+        approximator_(catalog) {}
+
+  Database* db() { return db_; }
+  AsCatalog* catalog() { return catalog_; }
+
+  /// BE Checker entry: parse, bind, and check coverage.
+  Result<CoverageResult> Check(const std::string& sql) const;
+
+  /// Budget check without execution (Fig. 2(A)).
+  Result<BeChecker::BudgetReport> CheckBudget(const std::string& sql,
+                                              uint64_t budget) const;
+
+  /// \brief Which pipeline Execute() chose, for the demo/analysis UI.
+  struct ExecutionDecision {
+    enum class Mode { kBounded, kPartiallyBounded, kConventional };
+    Mode mode = Mode::kConventional;
+    std::string explanation;
+    uint64_t deduced_bound = 0;  ///< bound M when (partially) bounded
+  };
+
+  /// The paper's main flow: bounded if covered, else partially bounded
+  /// (which itself falls back to conventional when nothing is coverable).
+  Result<QueryResult> Execute(const std::string& sql,
+                              ExecutionDecision* decision = nullptr,
+                              const EngineProfile& fallback_profile =
+                                  EngineProfile::PostgresLike()) const;
+
+  /// Strict bounded execution; NotCovered error if the checker rejects.
+  Result<QueryResult> ExecuteBounded(const std::string& sql) const;
+
+  /// Resource-bounded approximation of a covered query.
+  Result<ApproxResult> ExecuteApproximate(const std::string& sql,
+                                          uint64_t budget) const;
+
+ private:
+  Database* db_;
+  AsCatalog* catalog_;
+  BeChecker checker_;
+  BoundedExecutor executor_;
+  BePlanOptimizer optimizer_;
+  ResourceBoundedApproximator approximator_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_BOUNDED_BEAS_SESSION_H_

@@ -1,0 +1,496 @@
+#include "bounded/bounded_executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "expr/evaluator.h"
+
+namespace beas {
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Weighted aggregate accumulation state (bag semantics via weights).
+struct WeightedAggState {
+  uint64_t count = 0;
+  int64_t sum_i = 0;
+  double sum_d = 0;
+  Value min_max;
+  bool has_value = false;
+  std::unordered_set<ValueVec, ValueVecHash, ValueVecEq> distinct;
+};
+
+Status AccumulateWeighted(const AggSpec& spec, const Value& v, uint64_t weight,
+                          WeightedAggState* state) {
+  if (spec.fn == AggFn::kCountStar) {
+    state->count += weight;
+    return Status::OK();
+  }
+  if (v.is_null()) return Status::OK();
+  if (spec.distinct) {
+    // DISTINCT aggregates ignore multiplicity by definition.
+    if (!state->distinct.insert(ValueVec{v}).second) return Status::OK();
+    weight = 1;
+  }
+  switch (spec.fn) {
+    case AggFn::kCount:
+      state->count += weight;
+      break;
+    case AggFn::kSum:
+    case AggFn::kAvg:
+      state->count += weight;
+      state->sum_i += static_cast<int64_t>(weight) *
+                      (v.type() == TypeId::kDouble ? 0 : v.AsInt64());
+      state->sum_d += static_cast<double>(weight) * v.AsDouble();
+      break;
+    case AggFn::kMin:
+      if (!state->has_value || v.Compare(state->min_max) < 0) state->min_max = v;
+      state->has_value = true;
+      break;
+    case AggFn::kMax:
+      if (!state->has_value || v.Compare(state->min_max) > 0) state->min_max = v;
+      state->has_value = true;
+      break;
+    default:
+      return Status::Internal("bad aggregate function");
+  }
+  return Status::OK();
+}
+
+Result<Value> FinalizeWeighted(const AggSpec& spec,
+                               const WeightedAggState& state) {
+  switch (spec.fn) {
+    case AggFn::kCountStar:
+    case AggFn::kCount:
+      return Value::Int64(static_cast<int64_t>(state.count));
+    case AggFn::kSum:
+      if (state.count == 0) return Value::Null();
+      return spec.result_type == TypeId::kDouble ? Value::Double(state.sum_d)
+                                                 : Value::Int64(state.sum_i);
+    case AggFn::kAvg:
+      if (state.count == 0) return Value::Null();
+      return Value::Double(state.sum_d / static_cast<double>(state.count));
+    case AggFn::kMin:
+    case AggFn::kMax:
+      return state.has_value ? state.min_max : Value::Null();
+    case AggFn::kNone:
+      break;
+  }
+  return Status::Internal("bad aggregate function");
+}
+
+}  // namespace
+
+Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragment(
+    const BoundQuery& query, const BoundedPlan& plan,
+    const BoundedExecOptions& options) const {
+  Fragment fragment;
+  fragment.layout = plan.layout;
+  fragment.stats.root.label = "BoundedFetchChain";
+
+  // Initial conjuncts (literal-only predicates).
+  Row empty_row;
+  for (size_t ci : plan.initial_conjuncts) {
+    BEAS_ASSIGN_OR_RETURN(bool pass,
+                          EvalPredicate(*query.conjuncts[ci].expr, empty_row));
+    if (!pass) return fragment;  // empty result
+  }
+
+  // Unsatisfiable equality predicates -> empty T (plan has no steps but the
+  // query has atoms).
+  if (plan.steps.empty() && !query.atoms.empty()) return fragment;
+
+  // T starts as a single empty row of weight 1.
+  std::vector<Row> t_rows(1);
+  std::vector<uint64_t> t_weights(1, 1);
+
+  // Mapping from global column index to T position, grown per step.
+  std::unordered_map<size_t, size_t> layout_pos;
+  size_t t_width = 0;
+
+  for (const FetchStep& step : plan.steps) {
+    auto step_start = std::chrono::steady_clock::now();
+    OperatorStats step_stats;
+    step_stats.label =
+        "fetch[" + step.constraint.name + " on " +
+        query.atoms[step.atom].alias + "]";
+
+    const AcIndex* index = catalog_->IndexFor(step.constraint.name);
+    if (index == nullptr) {
+      return Status::Internal("no index registered for constraint '" +
+                              step.constraint.name + "'");
+    }
+
+    // Approximation: each step may consume whatever budget remains. This
+    // greedy allocation serves every probe whenever the budget exceeds the
+    // actual (not worst-case) need, and degrades later steps first when it
+    // does not; eta accounts for the unserved fraction either way.
+    uint64_t step_cap = 0;
+    if (options.fetch_budget > 0) {
+      step_cap = options.fetch_budget > fragment.stats.tuples_fetched
+                     ? options.fetch_budget - fragment.stats.tuples_fetched
+                     : 1;
+    }
+
+    // --- Phase A: distinct probe keys from T (expanding IN-lists). ---
+    // Each T row yields one key per combination of IN-list values.
+    size_t num_lists = 0;
+    for (const KeySource& src : step.key_sources) {
+      if (src.kind == KeySource::Kind::kConstantList) ++num_lists;
+    }
+    std::vector<size_t> list_sizes;
+    std::vector<const std::vector<Value>*> lists;
+    for (const KeySource& src : step.key_sources) {
+      if (src.kind == KeySource::Kind::kConstantList) {
+        lists.push_back(&src.list);
+        list_sizes.push_back(src.list.size());
+      }
+    }
+    size_t combos = 1;
+    for (size_t s : list_sizes) combos *= s;
+
+    auto key_of = [&](const Row& row, size_t combo) {
+      ValueVec key;
+      key.reserve(step.key_sources.size());
+      size_t list_idx = 0;
+      size_t rem = combo;
+      for (const KeySource& src : step.key_sources) {
+        switch (src.kind) {
+          case KeySource::Kind::kConstant:
+            key.push_back(src.constant);
+            break;
+          case KeySource::Kind::kConstantList: {
+            size_t sz = list_sizes[list_idx];
+            key.push_back((*lists[list_idx])[rem % sz]);
+            rem /= sz;
+            ++list_idx;
+            break;
+          }
+          case KeySource::Kind::kFromT:
+            key.push_back(row[src.t_column]);
+            break;
+        }
+      }
+      return key;
+    };
+
+    std::unordered_set<ValueVec, ValueVecHash, ValueVecEq> distinct_keys;
+    for (const Row& row : t_rows) {
+      for (size_t combo = 0; combo < combos; ++combo) {
+        distinct_keys.insert(key_of(row, combo));
+      }
+    }
+
+    // --- Phase B: probe each distinct key once (budget-capped). ---
+    std::unordered_map<ValueVec, AcIndex::BucketView, ValueVecHash, ValueVecEq>
+        fetched;
+    std::unordered_set<ValueVec, ValueVecHash, ValueVecEq> unserved;
+    uint64_t fetched_this_step = 0;
+    size_t served = 0;
+    for (const ValueVec& key : distinct_keys) {
+      // NULL key components never match (SQL equality).
+      bool has_null = false;
+      for (const Value& v : key) has_null |= v.is_null();
+      if (has_null) {
+        fetched.emplace(key, AcIndex::BucketView{});
+        ++served;
+        continue;
+      }
+      if (step_cap > 0 && fetched_this_step >= step_cap) {
+        unserved.insert(key);
+        continue;
+      }
+      AcIndex::BucketView bucket = index->LookupWithCounts(key);
+      ++fragment.stats.keys_probed;
+      fetched_this_step += bucket.size();
+      fragment.stats.tuples_fetched += bucket.size();
+      fetched.emplace(key, bucket);
+      ++served;
+    }
+    if (!distinct_keys.empty()) {
+      fragment.stats.eta *= static_cast<double>(served) /
+                            static_cast<double>(distinct_keys.size());
+    }
+
+    // --- Phase C: join T with the fetched partial tuples. ---
+    // Column -> value source within the fetched data: X columns take the
+    // key value (X has priority if a column is in both X and Y).
+    std::unordered_map<size_t, size_t> x_pos;  // table col -> key position
+    for (size_t i = 0; i < step.x_cols.size(); ++i) x_pos[step.x_cols[i]] = i;
+    std::unordered_map<size_t, size_t> y_pos;  // table col -> y position
+    for (size_t i = 0; i < step.y_cols.size(); ++i) {
+      if (!x_pos.count(step.y_cols[i])) y_pos[step.y_cols[i]] = i;
+    }
+
+    std::vector<Row> new_rows;
+    std::vector<uint64_t> new_weights;
+    for (size_t r = 0; r < t_rows.size(); ++r) {
+      for (size_t combo = 0; combo < combos; ++combo) {
+        ValueVec key = key_of(t_rows[r], combo);
+        auto it = fetched.find(key);
+        if (it == fetched.end()) continue;  // unserved under budget: dropped
+        const AcIndex::BucketView& bucket = it->second;
+        for (size_t b = 0; b < bucket.size(); ++b) {
+          Row out = t_rows[r];
+          out.reserve(t_width + step.added_columns.size());
+          for (const AttrRef& attr : step.added_columns) {
+            auto xp = x_pos.find(attr.col);
+            if (xp != x_pos.end()) {
+              out.push_back(key[xp->second]);
+            } else {
+              out.push_back((*bucket.rows)[b][y_pos.at(attr.col)]);
+            }
+          }
+          new_rows.push_back(std::move(out));
+          new_weights.push_back(t_weights[r] * (*bucket.multiplicities)[b]);
+        }
+      }
+    }
+
+    // Extend the layout mapping.
+    for (const AttrRef& attr : step.added_columns) {
+      layout_pos[query.GlobalIndex(attr)] = t_width++;
+    }
+
+    // Apply the conjuncts that just became evaluable.
+    for (size_t ci : step.conjuncts_after) {
+      ExprPtr rebound = RebindColumns(query.conjuncts[ci].expr, layout_pos);
+      if (!rebound) {
+        return Status::Internal("rebind failed for conjunct " +
+                                query.conjuncts[ci].ToString());
+      }
+      std::vector<Row> kept_rows;
+      std::vector<uint64_t> kept_weights;
+      for (size_t r = 0; r < new_rows.size(); ++r) {
+        BEAS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*rebound, new_rows[r]));
+        if (pass) {
+          kept_rows.push_back(std::move(new_rows[r]));
+          kept_weights.push_back(new_weights[r]);
+        }
+      }
+      new_rows = std::move(kept_rows);
+      new_weights = std::move(kept_weights);
+    }
+
+    // Deduplicate T, merging weights: BEAS manipulates distinct partial
+    // tuples; multiplicities live in the weights.
+    std::unordered_map<ValueVec, uint64_t, ValueVecHash, ValueVecEq> merged;
+    std::vector<Row> dedup_rows;
+    for (size_t r = 0; r < new_rows.size(); ++r) {
+      auto [it2, inserted] = merged.try_emplace(new_rows[r], 0);
+      if (inserted) dedup_rows.push_back(new_rows[r]);
+      it2->second += new_weights[r];
+    }
+    t_rows = std::move(dedup_rows);
+    t_weights.clear();
+    t_weights.reserve(t_rows.size());
+    for (const Row& row : t_rows) t_weights.push_back(merged.at(row));
+
+    step_stats.rows_out = t_rows.size();
+    step_stats.tuples_accessed = fetched_this_step;
+    step_stats.self_millis = MillisSince(step_start);
+    step_stats.total_millis = step_stats.self_millis;
+    fragment.stats.root.children.push_back(std::move(step_stats));
+  }
+
+  fragment.rows = std::move(t_rows);
+  fragment.weights = std::move(t_weights);
+  for (const auto& child : fragment.stats.root.children) {
+    fragment.stats.root.total_millis += child.total_millis;
+  }
+  fragment.stats.root.tuples_accessed = fragment.stats.tuples_fetched;
+  fragment.stats.root.rows_out = fragment.rows.size();
+  return fragment;
+}
+
+Result<QueryResult> BoundedExecutor::Execute(
+    const BoundQuery& query, const BoundedPlan& plan,
+    const BoundedExecOptions& options, BoundedExecStats* stats_out) const {
+  auto start = std::chrono::steady_clock::now();
+  BEAS_ASSIGN_OR_RETURN(Fragment fragment,
+                        ExecuteFragment(query, plan, options));
+
+  // Rebuild the global -> T position mapping.
+  std::unordered_map<size_t, size_t> layout_pos;
+  for (size_t p = 0; p < fragment.layout.size(); ++p) {
+    layout_pos[query.GlobalIndex(fragment.layout[p])] = p;
+  }
+
+  QueryResult result;
+  result.engine = "BEAS (bounded)";
+  for (const OutputItem& out : query.outputs) {
+    result.column_names.push_back(out.name);
+    result.column_types.push_back(out.type);
+  }
+
+  auto tail_start = std::chrono::steady_clock::now();
+  if (plan.steps.empty() && !query.atoms.empty()) {
+    // Unsatisfiable equality predicates: T is empty and the layout holds no
+    // columns, so skip rebinding. Global aggregates still produce their
+    // one empty-input row (COUNT(*) = 0).
+    if (query.HasAggregates() && query.group_by.empty()) {
+      Row agg_row;
+      for (const AggSpec& spec : query.aggregates) {
+        BEAS_ASSIGN_OR_RETURN(Value v,
+                              FinalizeWeighted(spec, WeightedAggState{}));
+        agg_row.push_back(std::move(v));
+      }
+      bool pass = true;
+      if (query.having) {
+        BEAS_ASSIGN_OR_RETURN(pass, EvalPredicate(*query.having, agg_row));
+      }
+      if (pass) {
+        Row out_row;
+        for (const OutputItem& out : query.outputs) {
+          out_row.push_back(agg_row[out.slot]);
+        }
+        result.rows.push_back(std::move(out_row));
+      }
+    }
+  } else if (query.HasAggregates()) {
+    // Weighted grouping over T.
+    std::vector<ExprPtr> groups;
+    for (const ExprPtr& g : query.group_by) {
+      ExprPtr rebound = RebindColumns(g, layout_pos);
+      if (!rebound) return Status::Internal("rebind failed for GROUP BY");
+      groups.push_back(std::move(rebound));
+    }
+    std::vector<AggSpec> aggs;
+    for (const AggSpec& spec : query.aggregates) {
+      AggSpec copy = spec;
+      if (copy.arg) {
+        copy.arg = RebindColumns(copy.arg, layout_pos);
+        if (!copy.arg) return Status::Internal("rebind failed for aggregate");
+      }
+      aggs.push_back(std::move(copy));
+    }
+
+    std::unordered_map<ValueVec, std::vector<WeightedAggState>, ValueVecHash,
+                       ValueVecEq>
+        group_states;
+    std::vector<ValueVec> group_order;
+    for (size_t r = 0; r < fragment.rows.size(); ++r) {
+      const Row& row = fragment.rows[r];
+      uint64_t weight = fragment.weights[r];
+      ValueVec key;
+      key.reserve(groups.size());
+      for (const ExprPtr& g : groups) {
+        BEAS_ASSIGN_OR_RETURN(Value v, Eval(*g, row));
+        key.push_back(std::move(v));
+      }
+      auto [it, inserted] =
+          group_states.try_emplace(key, aggs.size(), WeightedAggState{});
+      if (inserted) group_order.push_back(key);
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        Value v;
+        if (aggs[i].fn != AggFn::kCountStar) {
+          BEAS_ASSIGN_OR_RETURN(v, Eval(*aggs[i].arg, row));
+        }
+        BEAS_RETURN_NOT_OK(
+            AccumulateWeighted(aggs[i], v, weight, &it->second[i]));
+      }
+    }
+    if (groups.empty() && group_states.empty()) {
+      ValueVec key;
+      group_states.try_emplace(key, aggs.size(), WeightedAggState{});
+      group_order.push_back(key);
+    }
+
+    for (const ValueVec& key : group_order) {
+      const auto& states = group_states.at(key);
+      Row agg_row = key;
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        BEAS_ASSIGN_OR_RETURN(Value v, FinalizeWeighted(aggs[i], states[i]));
+        agg_row.push_back(std::move(v));
+      }
+      if (query.having) {
+        BEAS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*query.having, agg_row));
+        if (!pass) continue;
+      }
+      Row out_row;
+      out_row.reserve(query.outputs.size());
+      size_t num_groups = groups.size();
+      for (const OutputItem& out : query.outputs) {
+        size_t pos = out.agg == AggFn::kNone ? out.slot : num_groups + out.slot;
+        out_row.push_back(agg_row[pos]);
+      }
+      result.rows.push_back(std::move(out_row));
+    }
+  } else {
+    // Scalar projection with bag expansion by weight.
+    std::vector<ExprPtr> outputs;
+    for (const OutputItem& out : query.outputs) {
+      ExprPtr rebound = RebindColumns(out.expr, layout_pos);
+      if (!rebound) return Status::Internal("rebind failed for output");
+      outputs.push_back(std::move(rebound));
+    }
+    for (size_t r = 0; r < fragment.rows.size(); ++r) {
+      Row out_row;
+      out_row.reserve(outputs.size());
+      for (const ExprPtr& e : outputs) {
+        BEAS_ASSIGN_OR_RETURN(Value v, Eval(*e, fragment.rows[r]));
+        out_row.push_back(std::move(v));
+      }
+      if (query.distinct) {
+        result.rows.push_back(std::move(out_row));
+      } else {
+        for (uint64_t w = 0; w < fragment.weights[r]; ++w) {
+          result.rows.push_back(out_row);
+        }
+      }
+    }
+    if (query.distinct) {
+      std::unordered_set<ValueVec, ValueVecHash, ValueVecEq> seen;
+      std::vector<Row> unique_rows;
+      for (Row& row : result.rows) {
+        if (seen.insert(row).second) unique_rows.push_back(std::move(row));
+      }
+      result.rows = std::move(unique_rows);
+    }
+  }
+
+  // ORDER BY over output positions, then LIMIT.
+  if (!query.order_by.empty()) {
+    std::stable_sort(result.rows.begin(), result.rows.end(),
+                     [&query](const Row& a, const Row& b) {
+                       for (const BoundOrderItem& item : query.order_by) {
+                         int c = a[item.output_index].Compare(
+                             b[item.output_index]);
+                         if (c != 0) return item.asc ? c < 0 : c > 0;
+                       }
+                       return false;
+                     });
+  }
+  if (query.limit.has_value() &&
+      result.rows.size() > static_cast<size_t>(*query.limit)) {
+    result.rows.resize(static_cast<size_t>(*query.limit));
+  }
+
+  // Assemble telemetry.
+  OperatorStats tail;
+  tail.label = "RelationalTail(project/aggregate/sort/limit)";
+  tail.rows_out = result.rows.size();
+  tail.self_millis = MillisSince(tail_start);
+  tail.total_millis = tail.self_millis;
+
+  result.stats = fragment.stats.root;
+  result.stats.label = "BEAS BoundedPlan";
+  result.stats.children.push_back(std::move(tail));
+  result.stats.rows_out = result.rows.size();
+  result.tuples_accessed = fragment.stats.tuples_fetched;
+  result.millis = MillisSince(start);
+  result.plan_text = plan.ToString(query);
+
+  if (stats_out != nullptr) *stats_out = fragment.stats;
+  return result;
+}
+
+}  // namespace beas

@@ -1,0 +1,71 @@
+#ifndef BEAS_BOUNDED_BOUNDED_EXECUTOR_H_
+#define BEAS_BOUNDED_BOUNDED_EXECUTOR_H_
+
+#include <vector>
+
+#include "asx/access_schema.h"
+#include "binder/bound_query.h"
+#include "bounded/bounded_plan.h"
+#include "common/result.h"
+#include "engine/query_result.h"
+
+namespace beas {
+
+/// \brief Execution knobs for bounded plans.
+struct BoundedExecOptions {
+  /// 0 = exact evaluation. When positive, resource-bounded approximation:
+  /// each fetch step is capped at its proportional share of the budget
+  /// (in fetched tuples); unserved probe keys drop their rows and the
+  /// coverage lower bound η shrinks accordingly.
+  uint64_t fetch_budget = 0;
+};
+
+/// \brief Telemetry of a bounded execution.
+struct BoundedExecStats {
+  uint64_t tuples_fetched = 0;  ///< Σ bucket entries read (≤ deduced bound)
+  uint64_t keys_probed = 0;     ///< distinct index probes
+  double eta = 1.0;             ///< deterministic coverage lower bound
+  OperatorStats root;           ///< per-fetch-step breakdown (Fig. 3)
+};
+
+/// \brief Executes bounded plans (paper §3, BE Plan Executor): each
+/// fetch(X ∈ T, Y, R) probes the modified hash index of its access
+/// constraint once per distinct X-value in the intermediate relation T,
+/// joins the distinct Y-projections back into T, and applies every
+/// selection that has just become evaluable.
+///
+/// Bag-semantics note: T rows carry weights (products of the per-Y
+/// multiplicities stored in the indices), so COUNT/SUM/AVG and non-DISTINCT
+/// projections are exact even though only distinct partial tuples are
+/// fetched (see AcIndex::BucketView).
+class BoundedExecutor {
+ public:
+  explicit BoundedExecutor(const AsCatalog* catalog) : catalog_(catalog) {}
+
+  /// Runs the plan and the query's relational tail (projection /
+  /// aggregation / DISTINCT / ORDER BY / LIMIT). `stats_out` is optional.
+  Result<QueryResult> Execute(const BoundQuery& query, const BoundedPlan& plan,
+                              const BoundedExecOptions& options = {},
+                              BoundedExecStats* stats_out = nullptr) const;
+
+  /// \brief A materialized bounded fragment: the final intermediate
+  /// relation T (used by the partial-plan optimizer as a temp table).
+  struct Fragment {
+    std::vector<Row> rows;
+    std::vector<uint64_t> weights;   ///< parallel to rows
+    std::vector<AttrRef> layout;     ///< T column -> query attribute
+    BoundedExecStats stats;
+  };
+
+  /// Runs only the fetch chain, returning T.
+  Result<Fragment> ExecuteFragment(const BoundQuery& query,
+                                   const BoundedPlan& plan,
+                                   const BoundedExecOptions& options = {}) const;
+
+ private:
+  const AsCatalog* catalog_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_BOUNDED_BOUNDED_EXECUTOR_H_

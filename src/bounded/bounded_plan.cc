@@ -1,0 +1,66 @@
+#include "bounded/bounded_plan.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+std::string KeySource::ToString() const {
+  switch (kind) {
+    case Kind::kConstant:
+      return constant.ToString();
+    case Kind::kConstantList: {
+      std::string out = "in{";
+      for (size_t i = 0; i < list.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += list[i].ToString();
+      }
+      return out + "}";
+    }
+    case Kind::kFromT:
+      return "T[#" + std::to_string(t_column) + "]";
+  }
+  return "?";
+}
+
+size_t BoundedPlan::NumConstraintsUsed() const {
+  std::set<std::string> names;
+  for (const FetchStep& step : steps) names.insert(step.constraint.name);
+  return names.size();
+}
+
+std::string BoundedPlan::ToString(const BoundQuery& query) const {
+  std::string out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const FetchStep& step = steps[i];
+    const Schema& schema = query.atoms[step.atom].table->schema();
+    out += StringPrintf("(%zu) fetch(X in T, Y, %s) via %s\n", i + 1,
+                        query.atoms[step.atom].alias.c_str(),
+                        step.constraint.ToString().c_str());
+    out += "      keys: ";
+    for (size_t k = 0; k < step.x_cols.size(); ++k) {
+      if (k > 0) out += ", ";
+      out += schema.ColumnAt(step.x_cols[k]).name + " <- " +
+             step.key_sources[k].ToString();
+    }
+    out += "\n";
+    out += "      fetch: {";
+    for (size_t k = 0; k < step.y_cols.size(); ++k) {
+      if (k > 0) out += ", ";
+      out += schema.ColumnAt(step.y_cols[k]).name;
+    }
+    out += "}\n";
+    for (size_t ci : step.conjuncts_after) {
+      out += "      then select: " + query.conjuncts[ci].ToString() + "\n";
+    }
+    out += StringPrintf("      |T| <= %s\n",
+                        WithCommas(step.step_bound).c_str());
+  }
+  out += StringPrintf(
+      "total deduced access bound M = %s tuples (%zu constraints employed)\n",
+      WithCommas(total_access_bound).c_str(), NumConstraintsUsed());
+  return out;
+}
+
+}  // namespace beas

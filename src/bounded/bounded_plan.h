@@ -1,0 +1,78 @@
+#ifndef BEAS_BOUNDED_BOUNDED_PLAN_H_
+#define BEAS_BOUNDED_BOUNDED_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asx/access_constraint.h"
+#include "binder/bound_query.h"
+
+namespace beas {
+
+/// \brief How one X-attribute of a fetch obtains its key values.
+struct KeySource {
+  enum class Kind {
+    kConstant,      ///< a single constant from an equality predicate
+    kConstantList,  ///< an IN-list of constants (bound multiplier = list size)
+    kFromT,         ///< values of a column already materialized in T
+  };
+  Kind kind = Kind::kConstant;
+  Value constant;
+  std::vector<Value> list;
+  size_t t_column = 0;  ///< position in the T layout at the time of the step
+
+  std::string ToString() const;
+};
+
+/// \brief One fetch(X ∈ T, Y, R) step of a bounded plan (paper §3).
+///
+/// Executing the step probes the access-constraint index once per distinct
+/// key assembled from `key_sources`, unions the fetched distinct
+/// Y-projections into T (a join with the current intermediate relation),
+/// and then applies every WHERE conjunct that has just become evaluable.
+struct FetchStep {
+  size_t atom = 0;                 ///< which relation atom is fetched into
+  AccessConstraint constraint;     ///< the controlling ψ = R(X → Y, N)
+  std::vector<size_t> x_cols;      ///< X column indices in the table schema
+  std::vector<size_t> y_cols;      ///< Y column indices in the table schema
+  std::vector<KeySource> key_sources;  ///< parallel to x_cols
+  std::vector<AttrRef> added_columns;  ///< columns appended to T's layout
+  std::vector<size_t> conjuncts_after; ///< conjunct indices applied post-step
+
+  /// Deduced worst-case size of T after this step (the paper's per-fetch
+  /// annotation in Fig. 2(B)).
+  uint64_t step_bound = 0;
+};
+
+/// \brief A complete bounded query plan: a chain of fetch steps plus the
+/// relational tail (selections are embedded per-step; projection,
+/// aggregation, ordering come from the BoundQuery).
+struct BoundedPlan {
+  std::vector<FetchStep> steps;
+
+  /// Conjuncts with no column references (e.g. WHERE 1 = 0), evaluated
+  /// once before any fetch.
+  std::vector<size_t> initial_conjuncts;
+
+  /// Layout of the final intermediate relation T: position -> attribute.
+  std::vector<AttrRef> layout;
+
+  /// Worst-case number of rows of the final T.
+  uint64_t total_bound = 0;
+
+  /// Deduced bound M on total tuples accessed: the sum of per-step bounds
+  /// (Example 2: 2,000 + 24,000 + 12,000,000).
+  uint64_t total_access_bound = 0;
+
+  /// Number of distinct access constraints employed (Fig. 3 reports this).
+  size_t NumConstraintsUsed() const;
+
+  /// Pretty-prints the plan in the style of paper Example 2, each fetch
+  /// annotated with its deduced upper bound.
+  std::string ToString(const BoundQuery& query) const;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_BOUNDED_BOUNDED_PLAN_H_

@@ -1,0 +1,153 @@
+#include "bounded/plan_optimizer.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "plan/planner.h"
+
+namespace beas {
+
+namespace {
+
+int Popcount(uint32_t mask) { return __builtin_popcount(mask); }
+
+}  // namespace
+
+Result<PartialPlanResult> BePlanOptimizer::ExecutePartiallyBounded(
+    const BoundQuery& query, const EngineProfile& profile) const {
+  PartialPlanResult out;
+  size_t n = query.atoms.size();
+  if (n > 16) {
+    return Status::NotImplemented(
+        "partial-plan search supports at most 16 atoms");
+  }
+
+  // Candidate subsets in descending size; among equal sizes, pick the
+  // fragment with the smallest deduced bound.
+  std::vector<uint32_t> subsets;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) subsets.push_back(mask);
+  std::sort(subsets.begin(), subsets.end(), [](uint32_t a, uint32_t b) {
+    int pa = Popcount(a);
+    int pb = Popcount(b);
+    return pa != pb ? pa > pb : a < b;
+  });
+
+  bool found = false;
+  uint32_t best_mask = 0;
+  GenerationResult best_gen;
+  int best_size = -1;
+  for (uint32_t mask : subsets) {
+    int size = Popcount(mask);
+    if (found && size < best_size) break;  // no larger subset can appear
+    CoverageRequest request;
+    request.query = &query;
+    request.atom_enabled.assign(n, false);
+    for (size_t a = 0; a < n; ++a) {
+      if (mask & (1u << a)) request.atom_enabled[a] = true;
+    }
+    // A conjunct is enforceable inside the fragment iff all its attributes
+    // are inside; literal-only conjuncts are enforceable anywhere.
+    request.conjunct_enabled.assign(query.conjuncts.size(), false);
+    for (size_t ci = 0; ci < query.conjuncts.size(); ++ci) {
+      bool inside = true;
+      for (const AttrRef& attr : query.conjuncts[ci].attrs) {
+        if (!request.atom_enabled[attr.atom]) inside = false;
+      }
+      request.conjunct_enabled[ci] = inside;
+    }
+    auto gen = generator_.Generate(request);
+    if (!gen.ok()) continue;
+    if (!gen->covered) continue;
+    if (!found || gen->plan.total_access_bound <
+                      best_gen.plan.total_access_bound) {
+      found = true;
+      best_mask = mask;
+      best_gen = std::move(*gen);
+      best_size = size;
+    }
+  }
+
+  if (!found) {
+    // Fully conventional execution.
+    Planner planner(profile);
+    BEAS_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
+                          planner.Plan(query));
+    BEAS_ASSIGN_OR_RETURN(
+        out.result,
+        db_->ExecutePlan(*plan, query, profile.name + " (no bounded part)"));
+    out.any_bounded = false;
+    out.description = "no sub-query is covered; fully conventional plan";
+    return out;
+  }
+
+  // Execute the bounded fragment.
+  BoundedExecutor executor(catalog_);
+  BEAS_ASSIGN_OR_RETURN(BoundedExecutor::Fragment fragment,
+                        executor.ExecuteFragment(query, best_gen.plan));
+  out.fragment_access_bound = best_gen.plan.total_access_bound;
+  out.fragment_tuples_fetched = fragment.stats.tuples_fetched;
+  for (size_t a = 0; a < n; ++a) {
+    if (best_mask & (1u << a)) out.covered_atoms.push_back(a);
+  }
+
+  if (best_mask == (1u << n) - 1) {
+    // The whole query was covered after all: finish with the tail only.
+    BEAS_ASSIGN_OR_RETURN(out.result,
+                          executor.Execute(query, best_gen.plan));
+    out.any_bounded = true;
+    out.description = "entire query covered; fully bounded plan";
+    return out;
+  }
+
+  // Materialize the fragment as a Values seed (bag semantics: expand rows
+  // by weight so conventional executors see correct multiplicities).
+  auto seed_rows = std::make_shared<std::vector<Row>>();
+  for (size_t r = 0; r < fragment.rows.size(); ++r) {
+    for (uint64_t w = 0; w < fragment.weights[r]; ++w) {
+      seed_rows->push_back(fragment.rows[r]);
+    }
+  }
+  auto seed = std::make_unique<PlanNode>();
+  seed->type = PlanNodeType::kValues;
+  seed->rows = seed_rows;
+  seed->values_arity = fragment.layout.size();
+
+  // Conjuncts the fragment enforced (everything its generator enabled and
+  // scheduled; by construction that is: literal-only + fully-inside ones).
+  std::vector<bool> applied(query.conjuncts.size(), false);
+  for (size_t ci : best_gen.plan.initial_conjuncts) applied[ci] = true;
+  for (const FetchStep& step : best_gen.plan.steps) {
+    for (size_t ci : step.conjuncts_after) applied[ci] = true;
+  }
+  std::vector<bool> atom_in_seed(n, false);
+  for (size_t a : out.covered_atoms) atom_in_seed[a] = true;
+
+  Planner planner(profile);
+  BEAS_ASSIGN_OR_RETURN(
+      std::unique_ptr<PlanNode> plan,
+      planner.PlanWithSeed(query, std::move(seed), fragment.layout,
+                           applied, atom_in_seed));
+  BEAS_ASSIGN_OR_RETURN(
+      out.result,
+      db_->ExecutePlan(*plan, query, "BEAS (partially bounded, tail: " +
+                                         profile.name + ")"));
+  out.any_bounded = true;
+  out.result.tuples_accessed += fragment.stats.tuples_fetched;
+  // Surface the fetch chain in the breakdown.
+  out.result.stats.children.insert(out.result.stats.children.begin(),
+                                   fragment.stats.root);
+
+  std::string atom_names;
+  for (size_t a : out.covered_atoms) {
+    if (!atom_names.empty()) atom_names += ", ";
+    atom_names += query.atoms[a].alias;
+  }
+  out.description = StringPrintf(
+      "bounded fragment over {%s} (deduced bound %s, fetched %s tuples); "
+      "remaining atoms joined conventionally",
+      atom_names.c_str(), WithCommas(out.fragment_access_bound).c_str(),
+      WithCommas(out.fragment_tuples_fetched).c_str());
+  return out;
+}
+
+}  // namespace beas

@@ -1,0 +1,55 @@
+#ifndef BEAS_BOUNDED_PLAN_OPTIMIZER_H_
+#define BEAS_BOUNDED_PLAN_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "asx/access_schema.h"
+#include "binder/bound_query.h"
+#include "bounded/bounded_executor.h"
+#include "bounded/plan_generator.h"
+#include "engine/database.h"
+
+namespace beas {
+
+/// \brief Result of (partially) bounded execution of a non-covered query.
+struct PartialPlanResult {
+  /// True if some non-empty atom subset was evaluated via fetches.
+  bool any_bounded = false;
+  std::vector<size_t> covered_atoms;
+  uint64_t fragment_access_bound = 0;   ///< deduced bound of the fragment
+  uint64_t fragment_tuples_fetched = 0; ///< actual fetches of the fragment
+  QueryResult result;
+  std::string description;  ///< what was bounded, what ran conventionally
+};
+
+/// \brief The BE Plan Optimizer (paper §3): when a query is not covered by
+/// the access schema, it "identifies sub-queries of Q that are boundedly
+/// evaluable under A and speeds up the evaluation of Q by capitalizing on
+/// the indices of A".
+///
+/// Strategy: find the largest atom subset whose induced sub-query
+/// (conjuncts fully inside the subset) is covered; evaluate that fragment
+/// through fetch steps into a materialized seed relation; then join the
+/// remaining atoms with the conventional planner and apply the pending
+/// conjuncts and the relational tail.
+class BePlanOptimizer {
+ public:
+  BePlanOptimizer(Database* db, const AsCatalog* catalog)
+      : db_(db), catalog_(catalog), generator_(&catalog->schema()) {}
+
+  /// Executes `query` with the best partially bounded plan (falling back
+  /// to fully conventional execution when no fragment is coverable).
+  Result<PartialPlanResult> ExecutePartiallyBounded(
+      const BoundQuery& query,
+      const EngineProfile& profile = EngineProfile::PostgresLike()) const;
+
+ private:
+  Database* db_;
+  const AsCatalog* catalog_;
+  BoundedPlanGenerator generator_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_BOUNDED_PLAN_OPTIMIZER_H_

@@ -1,0 +1,60 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+const TableStats& TableInfo::stats() {
+  if (!stats_valid_ || stats_slots_ != heap_.NumSlots()) {
+    stats_ = ComputeTableStats(heap_);
+    stats_valid_ = true;
+    stats_slots_ = heap_.NumSlots();
+  }
+  return stats_;
+}
+
+std::string Catalog::Key(const std::string& name) { return ToLower(name); }
+
+Result<TableInfo*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  std::string key = Key(name);
+  if (tables_.count(key)) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto info = std::make_unique<TableInfo>(name, std::move(schema));
+  TableInfo* ptr = info.get();
+  tables_.emplace(std::move(key), std::move(info));
+  return ptr;
+}
+
+Result<TableInfo*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(Key(name)) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, info] : tables_) names.push_back(info->name());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace beas

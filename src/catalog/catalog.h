@@ -1,0 +1,68 @@
+#ifndef BEAS_CATALOG_CATALOG_H_
+#define BEAS_CATALOG_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/statistics.h"
+#include "common/result.h"
+#include "storage/table_heap.h"
+
+namespace beas {
+
+/// \brief A registered table: name, storage, and lazily computed stats.
+class TableInfo {
+ public:
+  TableInfo(std::string name, Schema schema)
+      : name_(std::move(name)), heap_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return heap_.schema(); }
+  TableHeap* heap() { return &heap_; }
+  const TableHeap& heap() const { return heap_; }
+
+  /// Returns cached stats, recomputing if the heap changed since last time.
+  const TableStats& stats();
+
+  /// Drops the stats cache (called on writes).
+  void InvalidateStats() { stats_valid_ = false; }
+
+ private:
+  std::string name_;
+  TableHeap heap_;
+  TableStats stats_;
+  bool stats_valid_ = false;
+  size_t stats_slots_ = 0;
+};
+
+/// \brief Name → table registry; owns all table storage.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table; errors if the name is taken.
+  Result<TableInfo*> CreateTable(const std::string& name, Schema schema);
+
+  /// Looks up a table by (case-insensitive) name.
+  Result<TableInfo*> GetTable(const std::string& name) const;
+
+  /// Removes a table and its storage.
+  Status DropTable(const std::string& name);
+
+  bool HasTable(const std::string& name) const;
+
+  /// Names of all registered tables (sorted).
+  std::vector<std::string> TableNames() const;
+
+ private:
+  static std::string Key(const std::string& name);
+  std::unordered_map<std::string, std::unique_ptr<TableInfo>> tables_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_CATALOG_CATALOG_H_

@@ -1,0 +1,37 @@
+#ifndef BEAS_CATALOG_STATISTICS_H_
+#define BEAS_CATALOG_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/table_heap.h"
+
+namespace beas {
+
+/// \brief Per-column statistics computed from a table snapshot.
+struct ColumnStats {
+  std::string name;
+  size_t distinct_count = 0;
+  size_t null_count = 0;
+  Value min;  ///< NULL when the column is all-NULL or table empty.
+  Value max;
+};
+
+/// \brief Table-level statistics used by the conventional planner (join
+/// ordering) and the AS Catalog metadata module (paper §3: "statistics
+/// including the index size in a system table as catalog").
+struct TableStats {
+  size_t row_count = 0;
+  std::vector<ColumnStats> columns;
+
+  /// Distinct count of column `name`, or 0 if unknown.
+  size_t DistinctOf(const std::string& name) const;
+};
+
+/// \brief Computes full statistics with one pass per column.
+TableStats ComputeTableStats(const TableHeap& heap);
+
+}  // namespace beas
+
+#endif  // BEAS_CATALOG_STATISTICS_H_

@@ -1,0 +1,34 @@
+#ifndef BEAS_COMMON_HASH_H_
+#define BEAS_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace beas {
+
+/// \brief Mixes a new hash into a running seed (boost::hash_combine style,
+/// widened to 64 bits).
+inline void HashCombine(uint64_t* seed, uint64_t h) {
+  *seed ^= h + 0x9e3779b97f4a7c15ULL + (*seed << 12) + (*seed >> 4);
+}
+
+/// \brief 64-bit finalizer from MurmurHash3; good avalanche for integers.
+inline uint64_t HashInt64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// \brief Hashes a string view with std::hash (adequate for hash maps here).
+inline uint64_t HashString(const std::string& s) {
+  return std::hash<std::string>{}(s);
+}
+
+}  // namespace beas
+
+#endif  // BEAS_COMMON_HASH_H_

@@ -1,0 +1,27 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace beas {
+
+size_t Rng::Zipf(size_t n, double s) {
+  if (n == 0) return 0;
+  // Inverse-CDF sampling over a truncated power law. Accurate enough for
+  // generating skewed workloads; not a statistically exact Zipf sampler.
+  double u = UniformReal(1e-12, 1.0);
+  double x = std::pow(u, 1.0 / (1.0 - s));  // heavy tail in [1, inf)
+  size_t idx = static_cast<size_t>(x) - 1;
+  return idx % n;
+}
+
+std::string Rng::Ident(size_t len) {
+  static const char kAlpha[] = "abcdefghijklmnopqrstuvwxyz";
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kAlpha[Uniform(0, 25)]);
+  }
+  return out;
+}
+
+}  // namespace beas

@@ -1,0 +1,56 @@
+#ifndef BEAS_COMMON_RNG_H_
+#define BEAS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace beas {
+
+/// \brief Deterministic pseudo-random generator used by the workload
+/// generator and property tests.
+///
+/// All randomness in the repository flows through this class so that every
+/// dataset, test input, and benchmark run is reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(gen_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(gen_);
+  }
+
+  /// Bernoulli trial with probability p of true.
+  bool Chance(double p) { return UniformReal(0.0, 1.0) < p; }
+
+  /// Zipf-like skewed pick in [0, n): favors small indices with exponent s.
+  /// Used to give CDR data realistic heavy-hitter callers.
+  size_t Zipf(size_t n, double s = 1.1);
+
+  /// Picks a uniformly random element of `v` (v must be non-empty).
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[static_cast<size_t>(Uniform(0, static_cast<int64_t>(v.size()) - 1))];
+  }
+
+  /// Random lowercase identifier of `len` characters.
+  std::string Ident(size_t len);
+
+  std::mt19937_64& generator() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_COMMON_RNG_H_

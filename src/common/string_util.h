@@ -1,0 +1,40 @@
+#ifndef BEAS_COMMON_STRING_UTIL_H_
+#define BEAS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace beas {
+
+/// \brief ASCII-lowercases a copy of `s`.
+std::string ToLower(const std::string& s);
+
+/// \brief ASCII-uppercases a copy of `s`.
+std::string ToUpper(const std::string& s);
+
+/// \brief Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// \brief Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// \brief Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// \brief Strips leading/trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// \brief True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// \brief printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// \brief Renders a count with thousands separators, e.g. 12000000 ->
+/// "12,000,000" (used by plan annotations and bench tables).
+std::string WithCommas(uint64_t n);
+
+}  // namespace beas
+
+#endif  // BEAS_COMMON_STRING_UTIL_H_

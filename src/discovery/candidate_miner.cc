@@ -1,0 +1,85 @@
+#include "discovery/candidate_miner.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+std::string CandidatePattern::Key() const {
+  return table + "|" + Join(x_attrs, ",") + "|" + Join(y_attrs, ",");
+}
+
+std::string CandidatePattern::ToString() const {
+  return table + "({" + Join(x_attrs, ", ") + "} -> {" + Join(y_attrs, ", ") +
+         "}, ?) weight=" + StringPrintf("%.1f", weight);
+}
+
+Result<std::vector<CandidatePattern>> MineCandidates(
+    const Database& db, const std::vector<std::string>& workload_sql) {
+  std::map<std::string, CandidatePattern> merged;
+
+  for (const std::string& sql : workload_sql) {
+    auto bound = db.Bind(sql);
+    if (!bound.ok()) continue;  // skip unparsable/unbindable history entries
+    const BoundQuery& query = *bound;
+
+    std::vector<AttrRef> used = query.AttrsUsed();
+    for (size_t a = 0; a < query.atoms.size(); ++a) {
+      const Schema& schema = query.atoms[a].table->schema();
+      std::set<std::string> const_bound;
+      std::set<std::string> join_bound;
+      for (const Conjunct& c : query.conjuncts) {
+        if ((c.cls == ConjunctClass::kEqConst ||
+             c.cls == ConjunctClass::kInConst) &&
+            c.lhs.atom == a) {
+          const_bound.insert(schema.ColumnAt(c.lhs.col).name);
+        }
+        if (c.cls == ConjunctClass::kEqAttr) {
+          if (c.lhs.atom == a && c.rhs.atom != a) {
+            join_bound.insert(schema.ColumnAt(c.lhs.col).name);
+          }
+          if (c.rhs.atom == a && c.lhs.atom != a) {
+            join_bound.insert(schema.ColumnAt(c.rhs.col).name);
+          }
+        }
+      }
+      std::set<std::string> needed;
+      for (const AttrRef& attr : used) {
+        if (attr.atom == a) needed.insert(schema.ColumnAt(attr.col).name);
+      }
+
+      auto add_candidate = [&](const std::set<std::string>& x_set) {
+        if (x_set.empty()) return;
+        std::vector<std::string> x(x_set.begin(), x_set.end());
+        std::vector<std::string> y;
+        for (const std::string& attr : needed) {
+          if (!x_set.count(attr)) y.push_back(attr);
+        }
+        if (y.empty()) return;
+        CandidatePattern pattern;
+        pattern.table = query.atoms[a].table->name();
+        pattern.x_attrs = std::move(x);
+        pattern.y_attrs = std::move(y);
+        pattern.weight = 1.0;
+        auto [it, inserted] = merged.emplace(pattern.Key(), pattern);
+        if (!inserted) it->second.weight += 1.0;
+      };
+
+      add_candidate(const_bound);
+      std::set<std::string> both = const_bound;
+      both.insert(join_bound.begin(), join_bound.end());
+      if (both != const_bound) add_candidate(both);
+      if (join_bound != both && !join_bound.empty()) add_candidate(join_bound);
+    }
+  }
+
+  std::vector<CandidatePattern> out;
+  out.reserve(merged.size());
+  for (auto& [key, pattern] : merged) out.push_back(std::move(pattern));
+  return out;
+}
+
+}  // namespace beas

@@ -1,0 +1,41 @@
+#ifndef BEAS_DISCOVERY_CANDIDATE_MINER_H_
+#define BEAS_DISCOVERY_CANDIDATE_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/database.h"
+
+namespace beas {
+
+/// \brief A candidate access constraint shape R(X → Y, ?) mined from the
+/// historical query load, before data profiling fixes its N.
+struct CandidatePattern {
+  std::string table;
+  std::vector<std::string> x_attrs;
+  std::vector<std::string> y_attrs;
+  double weight = 1.0;  ///< how many workload queries exhibit this pattern
+
+  /// Canonical key for deduplication ("table|x1,x2|y1,y2").
+  std::string Key() const;
+  std::string ToString() const;
+};
+
+/// \brief Mines candidate patterns from a workload of SQL queries
+/// (paper §3: discovery considers "(c) historical query patterns").
+///
+/// For every relation atom of every query, two candidates are proposed:
+///  1. X = the atom's constant-bound attributes (equality/IN predicates) —
+///     the attributes a bounded plan could seed from constants;
+///  2. X = constant-bound ∪ join-key attributes — the attributes that can
+///     be bound by earlier fetches.
+/// In both cases Y = the atom's remaining referenced attributes. Atoms
+/// with empty X or empty Y yield no candidate. Identical patterns across
+/// queries accumulate weight.
+Result<std::vector<CandidatePattern>> MineCandidates(
+    const Database& db, const std::vector<std::string>& workload_sql);
+
+}  // namespace beas
+
+#endif  // BEAS_DISCOVERY_CANDIDATE_MINER_H_

@@ -1,0 +1,89 @@
+#include "discovery/discovery.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+Result<DiscoveryResult> DiscoverAccessSchema(
+    const Database& db, const std::vector<std::string>& workload_sql,
+    const DiscoveryOptions& options) {
+  BEAS_ASSIGN_OR_RETURN(std::vector<CandidatePattern> candidates,
+                        MineCandidates(db, workload_sql));
+
+  DiscoveryResult result;
+  result.report += "discovery: " + std::to_string(candidates.size()) +
+                   " candidate patterns from " +
+                   std::to_string(workload_sql.size()) + " queries\n";
+
+  struct Scored {
+    CandidateProfile profile;
+    double utility = 0;
+  };
+  std::vector<Scored> scored;
+  for (const CandidatePattern& pattern : candidates) {
+    auto table = db.catalog().GetTable(pattern.table);
+    if (!table.ok()) continue;
+    BEAS_ASSIGN_OR_RETURN(CandidateProfile profile,
+                          ProfileCandidate(*(*table)->heap(), pattern));
+    if (profile.num_keys == 0) {
+      result.rejected.push_back(profile);
+      result.report += "  reject (no keys): " + profile.ToString() + "\n";
+      continue;
+    }
+    if (profile.observed_n > options.max_n) {
+      result.rejected.push_back(profile);
+      result.report += "  reject (N too large): " + profile.ToString() + "\n";
+      continue;
+    }
+    Scored s;
+    s.profile = std::move(profile);
+    // Multi-criteria utility: query-load benefit (pattern weight) damped by
+    // the bound size (large N = weaker pruning), per projected byte.
+    double n_term =
+        1.0 + options.n_penalty *
+                  std::log2(1.0 + static_cast<double>(s.profile.observed_n));
+    double bytes = std::max<double>(1.0, static_cast<double>(s.profile.approx_bytes));
+    s.utility = s.profile.pattern.weight / n_term / bytes;
+    scored.push_back(std::move(s));
+  }
+
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    return a.utility > b.utility;
+  });
+
+  size_t counter = 0;
+  for (Scored& s : scored) {
+    if (result.bytes_used + s.profile.approx_bytes >
+        options.storage_budget_bytes) {
+      result.rejected.push_back(s.profile);
+      result.report += "  reject (over budget): " + s.profile.ToString() + "\n";
+      continue;
+    }
+    AccessConstraint constraint;
+    constraint.name = "psi" + std::to_string(++counter);
+    constraint.table = s.profile.pattern.table;
+    constraint.x_attrs = s.profile.pattern.x_attrs;
+    constraint.y_attrs = s.profile.pattern.y_attrs;
+    constraint.limit_n = static_cast<uint64_t>(std::ceil(
+        static_cast<double>(std::max<uint64_t>(s.profile.observed_n, 1)) *
+        std::max(options.n_headroom, 1.0)));
+    Status added = result.schema.Add(constraint);
+    if (!added.ok()) continue;  // duplicate shape
+    result.bytes_used += s.profile.approx_bytes;
+    result.accepted.push_back(s.profile);
+    result.report += "  accept " + constraint.ToString() +
+                     StringPrintf(" (utility=%.3g, ~%llu bytes)\n", s.utility,
+                                  static_cast<unsigned long long>(
+                                      s.profile.approx_bytes));
+  }
+  result.report += StringPrintf(
+      "selected %zu constraints, ~%llu of %llu budget bytes\n",
+      result.schema.size(), static_cast<unsigned long long>(result.bytes_used),
+      static_cast<unsigned long long>(options.storage_budget_bytes));
+  return result;
+}
+
+}  // namespace beas

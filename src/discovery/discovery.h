@@ -1,0 +1,57 @@
+#ifndef BEAS_DISCOVERY_DISCOVERY_H_
+#define BEAS_DISCOVERY_DISCOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "asx/access_schema.h"
+#include "common/result.h"
+#include "discovery/profiler.h"
+
+namespace beas {
+
+/// \brief Knobs of the discovery module's multi-criteria objective
+/// (paper §3: "(a) performance of bounded evaluation of the query load,
+/// (b) storage limit for indices, (c) historical query patterns, and
+/// (d) statistics of datasets").
+struct DiscoveryOptions {
+  /// (b) Total index storage budget; candidates are greedily selected
+  /// under this cap.
+  uint64_t storage_budget_bytes = 256ull << 20;
+
+  /// Candidates whose observed N exceeds this are rejected outright:
+  /// a huge N gives useless bounds. (a): small N = fast bounded plans.
+  uint64_t max_n = 1u << 20;
+
+  /// Declared N = observed N rounded up by this headroom factor, so the
+  /// constraint survives modest data growth before readjustment.
+  double n_headroom = 1.0;
+
+  /// Relative weight of the N-penalty in the utility score.
+  double n_penalty = 0.25;
+};
+
+/// \brief Output of discovery: the selected access schema plus the
+/// accept/reject trail for the demo walkthrough (Fig. 2(D/E)).
+struct DiscoveryResult {
+  AccessSchema schema;
+  std::vector<CandidateProfile> accepted;
+  std::vector<CandidateProfile> rejected;
+  uint64_t bytes_used = 0;
+  std::string report;  ///< human-readable selection log
+};
+
+/// \brief Discovers an access schema from a dataset and a historical
+/// query workload under a storage budget.
+///
+/// Pipeline: mine candidate (X → Y) patterns from the workload, profile
+/// each against the data (observed N, index size), score by
+/// utility = weight / (1 + penalty·log2(1+N)) per byte, then select
+/// greedily under the storage budget. Names constraints "psi1", "psi2"...
+Result<DiscoveryResult> DiscoverAccessSchema(
+    const Database& db, const std::vector<std::string>& workload_sql,
+    const DiscoveryOptions& options = DiscoveryOptions());
+
+}  // namespace beas
+
+#endif  // BEAS_DISCOVERY_DISCOVERY_H_

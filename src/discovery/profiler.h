@@ -1,0 +1,29 @@
+#ifndef BEAS_DISCOVERY_PROFILER_H_
+#define BEAS_DISCOVERY_PROFILER_H_
+
+#include "common/result.h"
+#include "discovery/candidate_miner.h"
+#include "storage/table_heap.h"
+
+namespace beas {
+
+/// \brief A candidate pattern after profiling against the actual data:
+/// the observed cardinality bound and the projected index cost.
+struct CandidateProfile {
+  CandidatePattern pattern;
+  uint64_t observed_n = 0;     ///< max distinct Y per X-value in the data
+  uint64_t num_keys = 0;       ///< distinct X-values
+  uint64_t index_entries = 0;  ///< total distinct (X, Y) pairs
+  uint64_t approx_bytes = 0;   ///< projected index footprint
+
+  std::string ToString() const;
+};
+
+/// \brief Profiles a candidate with one grouping pass over the table
+/// (paper §3: discovery considers "(d) statistics of datasets").
+Result<CandidateProfile> ProfileCandidate(const TableHeap& heap,
+                                          const CandidatePattern& pattern);
+
+}  // namespace beas
+
+#endif  // BEAS_DISCOVERY_PROFILER_H_

@@ -1,0 +1,85 @@
+#include "engine/database.h"
+
+#include <chrono>
+
+namespace beas {
+
+Result<TableInfo*> Database::CreateTable(const std::string& name,
+                                         const Schema& schema) {
+  return catalog_.CreateTable(name, schema);
+}
+
+Status Database::Insert(const std::string& table, Row row) {
+  BEAS_ASSIGN_OR_RETURN(TableInfo * info, catalog_.GetTable(table));
+  BEAS_ASSIGN_OR_RETURN(SlotId slot, info->heap()->Insert(std::move(row)));
+  info->InvalidateStats();
+  const Row& stored = info->heap()->At(slot);
+  for (const WriteHook& hook : hooks_) hook(info->name(), stored, true);
+  return Status::OK();
+}
+
+Status Database::DeleteWhereEquals(const std::string& table, const Row& row) {
+  BEAS_ASSIGN_OR_RETURN(TableInfo * info, catalog_.GetTable(table));
+  TableHeap* heap = info->heap();
+  for (auto it = heap->Begin(); it.Valid(); it.Next()) {
+    const Row& candidate = it.row();
+    if (candidate.size() != row.size()) continue;
+    bool equal = true;
+    for (size_t i = 0; i < row.size() && equal; ++i) {
+      // NULL matches NULL here: deletion is by full-row identity.
+      if (candidate[i].is_null() != row[i].is_null()) equal = false;
+      if (!candidate[i].is_null() && candidate[i] != row[i]) equal = false;
+    }
+    if (equal) {
+      Row copy = candidate;
+      BEAS_RETURN_NOT_OK(heap->Delete(it.slot()));
+      info->InvalidateStats();
+      for (const WriteHook& hook : hooks_) hook(info->name(), copy, false);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no matching row in '" + table + "'");
+}
+
+Result<BoundQuery> Database::Bind(const std::string& sql) const {
+  Binder binder(&catalog_);
+  return binder.BindSql(sql);
+}
+
+Result<std::unique_ptr<PlanNode>> Database::Plan(
+    const BoundQuery& query, const EngineProfile& profile) const {
+  Planner planner(profile);
+  return planner.Plan(query);
+}
+
+Result<QueryResult> Database::ExecutePlan(const PlanNode& plan,
+                                          const BoundQuery& query,
+                                          const std::string& engine) const {
+  ExecContext ctx;
+  auto start = std::chrono::steady_clock::now();
+  BEAS_ASSIGN_OR_RETURN(std::unique_ptr<Executor> executor,
+                        BuildExecutor(plan, &ctx));
+  QueryResult result;
+  BEAS_ASSIGN_OR_RETURN(result.rows, DrainExecutor(executor.get()));
+  auto end = std::chrono::steady_clock::now();
+
+  result.millis = std::chrono::duration<double, std::milli>(end - start).count();
+  result.tuples_accessed = ctx.base_tuples_read;
+  result.stats = executor->CollectStats();
+  result.plan_text = plan.ToString();
+  result.engine = engine;
+  for (const OutputItem& out : query.outputs) {
+    result.column_names.push_back(out.name);
+    result.column_types.push_back(out.type);
+  }
+  return result;
+}
+
+Result<QueryResult> Database::Query(const std::string& sql,
+                                    const EngineProfile& profile) const {
+  BEAS_ASSIGN_OR_RETURN(BoundQuery query, Bind(sql));
+  BEAS_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan, Plan(query, profile));
+  return ExecutePlan(*plan, query, profile.name);
+}
+
+}  // namespace beas

@@ -1,0 +1,76 @@
+#ifndef BEAS_ENGINE_DATABASE_H_
+#define BEAS_ENGINE_DATABASE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "binder/binder.h"
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "engine/query_result.h"
+#include "exec/executor.h"
+#include "plan/engine_profile.h"
+#include "plan/planner.h"
+
+namespace beas {
+
+/// \brief The conventional relational engine facade: catalog + parser +
+/// binder + planner + executor.
+///
+/// BEAS "can be built on top of any conventional DBMS" (§1); this class is
+/// that DBMS substrate. The bounded layer (src/bounded) attaches to it via
+/// a BeasSession, which adds the access-schema catalog and the bounded
+/// planner/executor on top.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Catalog* catalog() { return &catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Creates a table from (name, type) column declarations.
+  Result<TableInfo*> CreateTable(const std::string& name,
+                                 const Schema& schema);
+
+  /// Inserts a row, running registered write hooks (index maintenance).
+  Status Insert(const std::string& table, Row row);
+
+  /// Deletes one live row equal to `row` (all columns), running hooks.
+  /// Returns NotFound if no such row exists.
+  Status DeleteWhereEquals(const std::string& table, const Row& row);
+
+  /// Registers a hook invoked after every Insert/Delete on `table`
+  /// (used by the AS Catalog maintenance module).
+  using WriteHook = std::function<void(const std::string& table,
+                                       const Row& row, bool is_insert)>;
+  void RegisterWriteHook(WriteHook hook) { hooks_.push_back(std::move(hook)); }
+
+  /// Parses + binds a SQL string.
+  Result<BoundQuery> Bind(const std::string& sql) const;
+
+  /// Plans a bound query under a profile.
+  Result<std::unique_ptr<PlanNode>> Plan(const BoundQuery& query,
+                                         const EngineProfile& profile) const;
+
+  /// Full pipeline: parse, bind, plan, execute.
+  Result<QueryResult> Query(
+      const std::string& sql,
+      const EngineProfile& profile = EngineProfile::PostgresLike()) const;
+
+  /// Executes an existing plan, labeling the result with `engine`.
+  Result<QueryResult> ExecutePlan(const PlanNode& plan,
+                                  const BoundQuery& query,
+                                  const std::string& engine) const;
+
+ private:
+  Catalog catalog_;
+  std::vector<WriteHook> hooks_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_ENGINE_DATABASE_H_

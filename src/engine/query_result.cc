@@ -1,0 +1,47 @@
+#include "engine/query_result.h"
+
+#include <algorithm>
+
+namespace beas {
+
+std::string QueryResult::ToTable(size_t max_rows) const {
+  std::vector<size_t> widths;
+  widths.reserve(column_names.size());
+  for (const std::string& name : column_names) widths.push_back(name.size());
+  size_t shown = std::min(rows.size(), max_rows);
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      std::string text = rows[r][c].ToCsv();
+      if (c < widths.size()) widths[c] = std::max(widths[c], text.size());
+      cells[r].push_back(std::move(text));
+    }
+  }
+  auto pad = [](const std::string& s, size_t w) {
+    return s + std::string(w > s.size() ? w - s.size() : 0, ' ');
+  };
+  std::string out;
+  for (size_t c = 0; c < column_names.size(); ++c) {
+    if (c > 0) out += " | ";
+    out += pad(column_names[c], widths[c]);
+  }
+  out += "\n";
+  for (size_t c = 0; c < column_names.size(); ++c) {
+    if (c > 0) out += "-+-";
+    out += std::string(widths[c], '-');
+  }
+  out += "\n";
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < cells[r].size(); ++c) {
+      if (c > 0) out += " | ";
+      out += pad(cells[r][c], c < widths.size() ? widths[c] : 0);
+    }
+    out += "\n";
+  }
+  if (rows.size() > shown) {
+    out += "... (" + std::to_string(rows.size() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace beas

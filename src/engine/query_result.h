@@ -1,0 +1,34 @@
+#ifndef BEAS_ENGINE_QUERY_RESULT_H_
+#define BEAS_ENGINE_QUERY_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "types/data_type.h"
+#include "types/tuple.h"
+
+namespace beas {
+
+/// \brief A materialized query answer plus the execution telemetry the
+/// paper's performance analyzer displays (Fig. 3): wall time, tuples
+/// accessed, and the per-operator breakdown.
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<TypeId> column_types;
+  std::vector<Row> rows;
+
+  double millis = 0;              ///< end-to-end wall time
+  uint64_t tuples_accessed = 0;   ///< base tuples read during execution
+  OperatorStats stats;            ///< per-operator breakdown
+  std::string plan_text;          ///< pretty-printed physical plan
+  std::string engine;             ///< profile or "BEAS (bounded)"
+
+  /// Renders an aligned result table (up to `max_rows` rows).
+  std::string ToTable(size_t max_rows = 20) const;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_ENGINE_QUERY_RESULT_H_

@@ -1,0 +1,141 @@
+#include "exec/aggregate_executor.h"
+
+#include <map>
+
+namespace beas {
+
+Status AggregateExecutor::Init() {
+  BEAS_RETURN_NOT_OK(children_[0]->Init());
+  results_.clear();
+  pos_ = 0;
+  materialized_ = false;
+  return Status::OK();
+}
+
+Status AggregateExecutor::Accumulate(const Row& input,
+                                     std::vector<AggState>* states) {
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    const AggSpec& spec = aggregates_[i];
+    AggState& state = (*states)[i];
+    if (spec.fn == AggFn::kCountStar) {
+      ++state.count;
+      continue;
+    }
+    auto value = Eval(*spec.arg, input);
+    if (!value.ok()) return value.status();
+    const Value& v = *value;
+    if (v.is_null()) continue;  // SQL: aggregates skip NULLs
+    if (spec.distinct) {
+      if (!state.distinct.insert(v).second) continue;
+    }
+    switch (spec.fn) {
+      case AggFn::kCount:
+        ++state.count;
+        break;
+      case AggFn::kSum:
+      case AggFn::kAvg:
+        ++state.count;
+        if (v.type() == TypeId::kDouble) {
+          state.sum_d += v.AsDouble();
+        } else {
+          state.sum_i += v.AsInt64();
+          state.sum_d += v.AsDouble();
+        }
+        break;
+      case AggFn::kMin:
+        if (!state.has_value || v.Compare(state.min_max) < 0) state.min_max = v;
+        state.has_value = true;
+        break;
+      case AggFn::kMax:
+        if (!state.has_value || v.Compare(state.min_max) > 0) state.min_max = v;
+        state.has_value = true;
+        break;
+      default:
+        return Status::Internal("bad aggregate function");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Value> AggregateExecutor::Finalize(const AggSpec& spec,
+                                          const AggState& state) const {
+  switch (spec.fn) {
+    case AggFn::kCountStar:
+    case AggFn::kCount:
+      return Value::Int64(state.count);
+    case AggFn::kSum:
+      if (state.count == 0) return Value::Null();
+      return spec.result_type == TypeId::kDouble ? Value::Double(state.sum_d)
+                                                 : Value::Int64(state.sum_i);
+    case AggFn::kAvg:
+      if (state.count == 0) return Value::Null();
+      return Value::Double(state.sum_d / static_cast<double>(state.count));
+    case AggFn::kMin:
+    case AggFn::kMax:
+      return state.has_value ? state.min_max : Value::Null();
+    case AggFn::kNone:
+      break;
+  }
+  return Status::Internal("bad aggregate function");
+}
+
+Result<bool> AggregateExecutor::Next(Row* out) {
+  ScopedTimer timer(&millis_, ctx_->collect_timing);
+  if (!materialized_) {
+    std::unordered_map<ValueVec, std::vector<AggState>, ValueVecHash,
+                       ValueVecEq>
+        groups;
+    std::vector<ValueVec> group_order;  // deterministic output order
+    Row input;
+    while (true) {
+      BEAS_ASSIGN_OR_RETURN(bool has, children_[0]->Next(&input));
+      if (!has) break;
+      ValueVec key;
+      key.reserve(group_by_.size());
+      for (const ExprPtr& g : group_by_) {
+        BEAS_ASSIGN_OR_RETURN(Value v, Eval(*g, input));
+        key.push_back(std::move(v));
+      }
+      auto [it, inserted] =
+          groups.try_emplace(key, aggregates_.size(), AggState{});
+      if (inserted) group_order.push_back(key);
+      BEAS_RETURN_NOT_OK(Accumulate(input, &it->second));
+    }
+    // Global aggregation over empty input still yields one row.
+    if (group_by_.empty() && groups.empty()) {
+      ValueVec key;
+      groups.try_emplace(key, aggregates_.size(), AggState{});
+      group_order.push_back(key);
+    }
+    for (const ValueVec& key : group_order) {
+      const std::vector<AggState>& states = groups.at(key);
+      Row row = key;  // group values first
+      for (size_t i = 0; i < aggregates_.size(); ++i) {
+        BEAS_ASSIGN_OR_RETURN(Value v, Finalize(aggregates_[i], states[i]));
+        row.push_back(std::move(v));
+      }
+      if (having_) {
+        BEAS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*having_, row));
+        if (!pass) continue;
+      }
+      results_.push_back(std::move(row));
+    }
+    materialized_ = true;
+  }
+  if (pos_ >= results_.size()) return false;
+  *out = results_[pos_++];
+  ++rows_out_;
+  return true;
+}
+
+std::string AggregateExecutor::Label() const {
+  std::string out = "Aggregate(groups=" + std::to_string(group_by_.size()) +
+                    ", aggs=[";
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += aggregates_[i].name;
+  }
+  return out + "])";
+}
+
+}  // namespace beas

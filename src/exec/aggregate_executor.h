@@ -1,0 +1,66 @@
+#ifndef BEAS_EXEC_AGGREGATE_EXECUTOR_H_
+#define BEAS_EXEC_AGGREGATE_EXECUTOR_H_
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "binder/bound_query.h"
+#include "exec/executor.h"
+#include "expr/evaluator.h"
+
+namespace beas {
+
+/// \brief Hash aggregation with optional grouping and HAVING.
+///
+/// Output layout: [group values..., aggregate values...]. With no GROUP BY,
+/// exactly one row is produced (COUNT(*) of an empty input is 0).
+/// Supports COUNT(*)/COUNT/SUM/AVG/MIN/MAX and DISTINCT arguments.
+class AggregateExecutor : public Executor {
+ public:
+  AggregateExecutor(ExecContext* ctx, std::unique_ptr<Executor> child,
+                    std::vector<ExprPtr> group_by,
+                    std::vector<AggSpec> aggregates, ExprPtr having)
+      : Executor(ctx),
+        group_by_(std::move(group_by)),
+        aggregates_(std::move(aggregates)),
+        having_(std::move(having)) {
+    children_.push_back(std::move(child));
+  }
+
+  Status Init() override;
+  Result<bool> Next(Row* out) override;
+  std::string Label() const override;
+
+ private:
+  struct ValueHashFn {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+  struct ValueEqFn {
+    bool operator()(const Value& a, const Value& b) const { return a == b; }
+  };
+
+  /// Running state of one aggregate within one group.
+  struct AggState {
+    int64_t count = 0;
+    int64_t sum_i = 0;
+    double sum_d = 0;
+    Value min_max;
+    bool has_value = false;
+    std::unordered_set<Value, ValueHashFn, ValueEqFn> distinct;
+  };
+
+  Status Accumulate(const Row& input, std::vector<AggState>* states);
+  Result<Value> Finalize(const AggSpec& spec, const AggState& state) const;
+
+  std::vector<ExprPtr> group_by_;
+  std::vector<AggSpec> aggregates_;
+  ExprPtr having_;
+
+  std::vector<Row> results_;
+  size_t pos_ = 0;
+  bool materialized_ = false;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_EXEC_AGGREGATE_EXECUTOR_H_

@@ -1,0 +1,43 @@
+#ifndef BEAS_EXEC_DISTINCT_EXECUTOR_H_
+#define BEAS_EXEC_DISTINCT_EXECUTOR_H_
+
+#include <unordered_set>
+
+#include "exec/executor.h"
+
+namespace beas {
+
+/// \brief Removes duplicate rows (hash-based, streaming).
+class DistinctExecutor : public Executor {
+ public:
+  DistinctExecutor(ExecContext* ctx, std::unique_ptr<Executor> child)
+      : Executor(ctx) {
+    children_.push_back(std::move(child));
+  }
+
+  Status Init() override {
+    seen_.clear();
+    return children_[0]->Init();
+  }
+
+  Result<bool> Next(Row* out) override {
+    ScopedTimer timer(&millis_, ctx_->collect_timing);
+    while (true) {
+      BEAS_ASSIGN_OR_RETURN(bool has, children_[0]->Next(out));
+      if (!has) return false;
+      if (seen_.insert(*out).second) {
+        ++rows_out_;
+        return true;
+      }
+    }
+  }
+
+  std::string Label() const override { return "Distinct"; }
+
+ private:
+  std::unordered_set<ValueVec, ValueVecHash, ValueVecEq> seen_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_EXEC_DISTINCT_EXECUTOR_H_

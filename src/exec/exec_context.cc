@@ -1,0 +1,17 @@
+#include "exec/exec_context.h"
+
+#include "common/string_util.h"
+
+namespace beas {
+
+std::string OperatorStats::ToString(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += StringPrintf("%-28s rows=%-10llu tuples=%-12llu self=%.3fms\n",
+                      label.c_str(), static_cast<unsigned long long>(rows_out),
+                      static_cast<unsigned long long>(tuples_accessed),
+                      self_millis);
+  for (const auto& child : children) out += child.ToString(indent + 1);
+  return out;
+}
+
+}  // namespace beas

@@ -1,0 +1,100 @@
+#include "exec/executor.h"
+
+#include "exec/aggregate_executor.h"
+#include "exec/bnl_join_executor.h"
+#include "exec/distinct_executor.h"
+#include "exec/filter_executor.h"
+#include "exec/hash_join_executor.h"
+#include "exec/limit_executor.h"
+#include "exec/project_executor.h"
+#include "exec/seq_scan_executor.h"
+#include "exec/sort_executor.h"
+#include "exec/values_executor.h"
+
+namespace beas {
+
+OperatorStats Executor::CollectStats() const {
+  OperatorStats stats;
+  stats.label = Label();
+  stats.rows_out = rows_out_;
+  stats.tuples_accessed = tuples_accessed_;
+  stats.total_millis = millis_;
+  double child_total = 0;
+  for (const auto& child : children_) {
+    stats.children.push_back(child->CollectStats());
+    child_total += stats.children.back().total_millis;
+  }
+  stats.self_millis = millis_ - child_total;
+  if (stats.self_millis < 0) stats.self_millis = 0;
+  return stats;
+}
+
+Result<std::unique_ptr<Executor>> BuildExecutor(const PlanNode& plan,
+                                                ExecContext* ctx) {
+  switch (plan.type) {
+    case PlanNodeType::kSeqScan:
+      return std::unique_ptr<Executor>(new SeqScanExecutor(
+          ctx, plan.table->heap(), "SeqScan(" + plan.table->name() + ")"));
+    case PlanNodeType::kFilter: {
+      BEAS_ASSIGN_OR_RETURN(auto child, BuildExecutor(*plan.children[0], ctx));
+      return std::unique_ptr<Executor>(
+          new FilterExecutor(ctx, std::move(child), plan.predicate));
+    }
+    case PlanNodeType::kProject: {
+      BEAS_ASSIGN_OR_RETURN(auto child, BuildExecutor(*plan.children[0], ctx));
+      return std::unique_ptr<Executor>(
+          new ProjectExecutor(ctx, std::move(child), plan.projections));
+    }
+    case PlanNodeType::kHashJoin: {
+      BEAS_ASSIGN_OR_RETURN(auto left, BuildExecutor(*plan.children[0], ctx));
+      BEAS_ASSIGN_OR_RETURN(auto right, BuildExecutor(*plan.children[1], ctx));
+      return std::unique_ptr<Executor>(
+          new HashJoinExecutor(ctx, std::move(left), std::move(right),
+                               plan.left_keys, plan.right_keys));
+    }
+    case PlanNodeType::kBnlJoin: {
+      BEAS_ASSIGN_OR_RETURN(auto left, BuildExecutor(*plan.children[0], ctx));
+      return std::unique_ptr<Executor>(
+          new BnlJoinExecutor(ctx, std::move(left), plan.children[1].get(),
+                              plan.predicate, plan.buffer_rows));
+    }
+    case PlanNodeType::kAggregate: {
+      BEAS_ASSIGN_OR_RETURN(auto child, BuildExecutor(*plan.children[0], ctx));
+      return std::unique_ptr<Executor>(
+          new AggregateExecutor(ctx, std::move(child), plan.group_by,
+                                plan.aggregates, plan.having));
+    }
+    case PlanNodeType::kSort: {
+      BEAS_ASSIGN_OR_RETURN(auto child, BuildExecutor(*plan.children[0], ctx));
+      return std::unique_ptr<Executor>(
+          new SortExecutor(ctx, std::move(child), plan.sort_keys));
+    }
+    case PlanNodeType::kLimit: {
+      BEAS_ASSIGN_OR_RETURN(auto child, BuildExecutor(*plan.children[0], ctx));
+      return std::unique_ptr<Executor>(
+          new LimitExecutor(ctx, std::move(child), plan.limit));
+    }
+    case PlanNodeType::kDistinct: {
+      BEAS_ASSIGN_OR_RETURN(auto child, BuildExecutor(*plan.children[0], ctx));
+      return std::unique_ptr<Executor>(
+          new DistinctExecutor(ctx, std::move(child)));
+    }
+    case PlanNodeType::kValues:
+      return std::unique_ptr<Executor>(new ValuesExecutor(ctx, plan.rows));
+  }
+  return Status::Internal("bad plan node type");
+}
+
+Result<std::vector<Row>> DrainExecutor(Executor* executor) {
+  BEAS_RETURN_NOT_OK(executor->Init());
+  std::vector<Row> rows;
+  Row row;
+  while (true) {
+    BEAS_ASSIGN_OR_RETURN(bool has, executor->Next(&row));
+    if (!has) break;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace beas

@@ -1,0 +1,56 @@
+#ifndef BEAS_EXEC_EXECUTOR_H_
+#define BEAS_EXEC_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/exec_context.h"
+#include "plan/planner.h"
+#include "types/tuple.h"
+
+namespace beas {
+
+/// \brief Volcano-style iterator executor.
+///
+/// Protocol: Init() once, then Next(&row) until it returns false. Each
+/// executor owns its children and accumulates per-operator statistics.
+class Executor {
+ public:
+  explicit Executor(ExecContext* ctx) : ctx_(ctx) {}
+  virtual ~Executor() = default;
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  virtual Status Init() = 0;
+
+  /// Produces the next row into `*out`; returns false when exhausted.
+  virtual Result<bool> Next(Row* out) = 0;
+
+  virtual std::string Label() const = 0;
+
+  /// Snapshot of this operator's (and children's) statistics.
+  OperatorStats CollectStats() const;
+
+  uint64_t rows_out() const { return rows_out_; }
+
+ protected:
+  ExecContext* ctx_;
+  std::vector<std::unique_ptr<Executor>> children_;
+  uint64_t rows_out_ = 0;
+  uint64_t tuples_accessed_ = 0;
+  double millis_ = 0;
+};
+
+/// \brief Builds an executor tree from a physical plan.
+Result<std::unique_ptr<Executor>> BuildExecutor(const PlanNode& plan,
+                                                ExecContext* ctx);
+
+/// \brief Runs an executor tree to completion, materializing all rows.
+Result<std::vector<Row>> DrainExecutor(Executor* executor);
+
+}  // namespace beas
+
+#endif  // BEAS_EXEC_EXECUTOR_H_

@@ -1,0 +1,43 @@
+#ifndef BEAS_EXEC_FILTER_EXECUTOR_H_
+#define BEAS_EXEC_FILTER_EXECUTOR_H_
+
+#include "exec/executor.h"
+#include "expr/evaluator.h"
+
+namespace beas {
+
+/// \brief Emits child rows satisfying a predicate.
+class FilterExecutor : public Executor {
+ public:
+  FilterExecutor(ExecContext* ctx, std::unique_ptr<Executor> child,
+                 ExprPtr predicate)
+      : Executor(ctx), predicate_(std::move(predicate)) {
+    children_.push_back(std::move(child));
+  }
+
+  Status Init() override { return children_[0]->Init(); }
+
+  Result<bool> Next(Row* out) override {
+    ScopedTimer timer(&millis_, ctx_->collect_timing);
+    while (true) {
+      BEAS_ASSIGN_OR_RETURN(bool has, children_[0]->Next(out));
+      if (!has) return false;
+      BEAS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, *out));
+      if (pass) {
+        ++rows_out_;
+        return true;
+      }
+    }
+  }
+
+  std::string Label() const override {
+    return "Filter(" + predicate_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr predicate_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_EXEC_FILTER_EXECUTOR_H_

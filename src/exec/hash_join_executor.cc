@@ -1,0 +1,73 @@
+#include "exec/hash_join_executor.h"
+
+namespace beas {
+
+Result<ValueVec> HashJoinExecutor::EvalKeys(const std::vector<ExprPtr>& keys,
+                                            const Row& row) {
+  ValueVec out;
+  out.reserve(keys.size());
+  for (const ExprPtr& k : keys) {
+    BEAS_ASSIGN_OR_RETURN(Value v, Eval(*k, row));
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+Status HashJoinExecutor::Init() {
+  BEAS_RETURN_NOT_OK(children_[0]->Init());
+  BEAS_RETURN_NOT_OK(children_[1]->Init());
+  table_.clear();
+  built_ = false;
+  current_bucket_ = nullptr;
+  bucket_pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> HashJoinExecutor::Next(Row* out) {
+  ScopedTimer timer(&millis_, ctx_->collect_timing);
+  if (!built_) {
+    Row row;
+    while (true) {
+      BEAS_ASSIGN_OR_RETURN(bool has, children_[1]->Next(&row));
+      if (!has) break;
+      BEAS_ASSIGN_OR_RETURN(ValueVec key, EvalKeys(right_keys_, row));
+      // SQL equality: NULL keys never join.
+      bool has_null = false;
+      for (const Value& v : key) has_null |= v.is_null();
+      if (has_null) continue;
+      table_[std::move(key)].push_back(row);
+    }
+    built_ = true;
+  }
+  while (true) {
+    if (current_bucket_ != nullptr && bucket_pos_ < current_bucket_->size()) {
+      *out = ConcatRows(current_left_, (*current_bucket_)[bucket_pos_]);
+      ++bucket_pos_;
+      ++rows_out_;
+      return true;
+    }
+    BEAS_ASSIGN_OR_RETURN(bool has, children_[0]->Next(&current_left_));
+    if (!has) return false;
+    BEAS_ASSIGN_OR_RETURN(ValueVec key, EvalKeys(left_keys_, current_left_));
+    bool has_null = false;
+    for (const Value& v : key) has_null |= v.is_null();
+    if (has_null) {
+      current_bucket_ = nullptr;
+      continue;
+    }
+    auto it = table_.find(key);
+    current_bucket_ = it == table_.end() ? nullptr : &it->second;
+    bucket_pos_ = 0;
+  }
+}
+
+std::string HashJoinExecutor::Label() const {
+  std::string out = "HashJoin(";
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += left_keys_[i]->ToString() + " = " + right_keys_[i]->ToString();
+  }
+  return out + ")";
+}
+
+}  // namespace beas

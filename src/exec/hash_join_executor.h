@@ -1,0 +1,47 @@
+#ifndef BEAS_EXEC_HASH_JOIN_EXECUTOR_H_
+#define BEAS_EXEC_HASH_JOIN_EXECUTOR_H_
+
+#include <unordered_map>
+
+#include "exec/executor.h"
+#include "expr/evaluator.h"
+
+namespace beas {
+
+/// \brief In-memory equi hash join.
+///
+/// Builds a hash table on the right child's key values, then streams the
+/// left child, probing per row. Output rows are concat(left, right).
+class HashJoinExecutor : public Executor {
+ public:
+  HashJoinExecutor(ExecContext* ctx, std::unique_ptr<Executor> left,
+                   std::unique_ptr<Executor> right,
+                   std::vector<ExprPtr> left_keys,
+                   std::vector<ExprPtr> right_keys)
+      : Executor(ctx),
+        left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)) {
+    children_.push_back(std::move(left));
+    children_.push_back(std::move(right));
+  }
+
+  Status Init() override;
+  Result<bool> Next(Row* out) override;
+  std::string Label() const override;
+
+ private:
+  Result<ValueVec> EvalKeys(const std::vector<ExprPtr>& keys, const Row& row);
+
+  std::vector<ExprPtr> left_keys_;
+  std::vector<ExprPtr> right_keys_;
+  std::unordered_map<ValueVec, std::vector<Row>, ValueVecHash, ValueVecEq>
+      table_;
+  Row current_left_;
+  const std::vector<Row>* current_bucket_ = nullptr;
+  size_t bucket_pos_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_EXEC_HASH_JOIN_EXECUTOR_H_

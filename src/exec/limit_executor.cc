@@ -1,0 +1,3 @@
+#include "exec/limit_executor.h"
+
+// Implementation is header-inline; this file anchors the translation unit.

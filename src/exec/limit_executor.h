@@ -1,0 +1,43 @@
+#ifndef BEAS_EXEC_LIMIT_EXECUTOR_H_
+#define BEAS_EXEC_LIMIT_EXECUTOR_H_
+
+#include "exec/executor.h"
+
+namespace beas {
+
+/// \brief Emits at most `limit` child rows.
+class LimitExecutor : public Executor {
+ public:
+  LimitExecutor(ExecContext* ctx, std::unique_ptr<Executor> child,
+                int64_t limit)
+      : Executor(ctx), limit_(limit) {
+    children_.push_back(std::move(child));
+  }
+
+  Status Init() override {
+    emitted_ = 0;
+    return children_[0]->Init();
+  }
+
+  Result<bool> Next(Row* out) override {
+    ScopedTimer timer(&millis_, ctx_->collect_timing);
+    if (emitted_ >= limit_) return false;
+    BEAS_ASSIGN_OR_RETURN(bool has, children_[0]->Next(out));
+    if (!has) return false;
+    ++emitted_;
+    ++rows_out_;
+    return true;
+  }
+
+  std::string Label() const override {
+    return "Limit(" + std::to_string(limit_) + ")";
+  }
+
+ private:
+  int64_t limit_;
+  int64_t emitted_ = 0;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_EXEC_LIMIT_EXECUTOR_H_

@@ -1,0 +1,50 @@
+#ifndef BEAS_EXEC_PROJECT_EXECUTOR_H_
+#define BEAS_EXEC_PROJECT_EXECUTOR_H_
+
+#include "exec/executor.h"
+#include "expr/evaluator.h"
+
+namespace beas {
+
+/// \brief Evaluates a list of expressions per child row.
+class ProjectExecutor : public Executor {
+ public:
+  ProjectExecutor(ExecContext* ctx, std::unique_ptr<Executor> child,
+                  std::vector<ExprPtr> exprs)
+      : Executor(ctx), exprs_(std::move(exprs)) {
+    children_.push_back(std::move(child));
+  }
+
+  Status Init() override { return children_[0]->Init(); }
+
+  Result<bool> Next(Row* out) override {
+    ScopedTimer timer(&millis_, ctx_->collect_timing);
+    Row input;
+    BEAS_ASSIGN_OR_RETURN(bool has, children_[0]->Next(&input));
+    if (!has) return false;
+    out->clear();
+    out->reserve(exprs_.size());
+    for (const ExprPtr& e : exprs_) {
+      BEAS_ASSIGN_OR_RETURN(Value v, Eval(*e, input));
+      out->push_back(std::move(v));
+    }
+    ++rows_out_;
+    return true;
+  }
+
+  std::string Label() const override {
+    std::string out = "Project(";
+    for (size_t i = 0; i < exprs_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += exprs_[i]->ToString();
+    }
+    return out + ")";
+  }
+
+ private:
+  std::vector<ExprPtr> exprs_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_EXEC_PROJECT_EXECUTOR_H_

@@ -1,0 +1,28 @@
+#ifndef BEAS_EXEC_SEQ_SCAN_EXECUTOR_H_
+#define BEAS_EXEC_SEQ_SCAN_EXECUTOR_H_
+
+#include "exec/executor.h"
+#include "storage/table_heap.h"
+
+namespace beas {
+
+/// \brief Full sequential scan of a table heap. Every row read counts
+/// against ExecContext::base_tuples_read.
+class SeqScanExecutor : public Executor {
+ public:
+  SeqScanExecutor(ExecContext* ctx, const TableHeap* heap, std::string label)
+      : Executor(ctx), heap_(heap), it_(heap, 0), label_(std::move(label)) {}
+
+  Status Init() override;
+  Result<bool> Next(Row* out) override;
+  std::string Label() const override { return label_; }
+
+ private:
+  const TableHeap* heap_;
+  TableHeap::Iterator it_;
+  std::string label_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_EXEC_SEQ_SCAN_EXECUTOR_H_

@@ -1,0 +1,50 @@
+#include "exec/sort_executor.h"
+
+#include <algorithm>
+
+namespace beas {
+
+Status SortExecutor::Init() {
+  BEAS_RETURN_NOT_OK(children_[0]->Init());
+  rows_.clear();
+  pos_ = 0;
+  materialized_ = false;
+  return Status::OK();
+}
+
+Result<bool> SortExecutor::Next(Row* out) {
+  ScopedTimer timer(&millis_, ctx_->collect_timing);
+  if (!materialized_) {
+    Row row;
+    while (true) {
+      BEAS_ASSIGN_OR_RETURN(bool has, children_[0]->Next(&row));
+      if (!has) break;
+      rows_.push_back(std::move(row));
+    }
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [this](const Row& a, const Row& b) {
+                       for (const auto& [idx, asc] : keys_) {
+                         int c = a[idx].Compare(b[idx]);
+                         if (c != 0) return asc ? c < 0 : c > 0;
+                       }
+                       return false;
+                     });
+    materialized_ = true;
+  }
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  ++rows_out_;
+  return true;
+}
+
+std::string SortExecutor::Label() const {
+  std::string out = "Sort(";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "#" + std::to_string(keys_[i].first) +
+           (keys_[i].second ? " ASC" : " DESC");
+  }
+  return out + ")";
+}
+
+}  // namespace beas

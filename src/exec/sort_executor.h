@@ -1,0 +1,30 @@
+#ifndef BEAS_EXEC_SORT_EXECUTOR_H_
+#define BEAS_EXEC_SORT_EXECUTOR_H_
+
+#include "exec/executor.h"
+
+namespace beas {
+
+/// \brief Materializing sort on (column index, ascending) keys.
+class SortExecutor : public Executor {
+ public:
+  SortExecutor(ExecContext* ctx, std::unique_ptr<Executor> child,
+               std::vector<std::pair<size_t, bool>> keys)
+      : Executor(ctx), keys_(std::move(keys)) {
+    children_.push_back(std::move(child));
+  }
+
+  Status Init() override;
+  Result<bool> Next(Row* out) override;
+  std::string Label() const override;
+
+ private:
+  std::vector<std::pair<size_t, bool>> keys_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+  bool materialized_ = false;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_EXEC_SORT_EXECUTOR_H_

@@ -1,0 +1,43 @@
+#ifndef BEAS_EXEC_VALUES_EXECUTOR_H_
+#define BEAS_EXEC_VALUES_EXECUTOR_H_
+
+#include <memory>
+
+#include "exec/executor.h"
+
+namespace beas {
+
+/// \brief Emits a materialized row set. Used as the bridge from bounded
+/// (fetch-based) evaluation into the conventional executor tail, and in
+/// tests.
+class ValuesExecutor : public Executor {
+ public:
+  ValuesExecutor(ExecContext* ctx,
+                 std::shared_ptr<const std::vector<Row>> rows)
+      : Executor(ctx), rows_(std::move(rows)) {}
+
+  Status Init() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* out) override {
+    ScopedTimer timer(&millis_, ctx_->collect_timing);
+    if (pos_ >= rows_->size()) return false;
+    *out = (*rows_)[pos_++];
+    ++rows_out_;
+    return true;
+  }
+
+  std::string Label() const override {
+    return "Values(" + std::to_string(rows_->size()) + " rows)";
+  }
+
+ private:
+  std::shared_ptr<const std::vector<Row>> rows_;
+  size_t pos_ = 0;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_EXEC_VALUES_EXECUTOR_H_

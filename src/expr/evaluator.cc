@@ -1,0 +1,165 @@
+#include "expr/evaluator.h"
+
+namespace beas {
+
+namespace {
+
+/// Boolean Values are INT64 0/1 internally; NULL means SQL unknown.
+Value BoolValue(bool b) { return Value::Int64(b ? 1 : 0); }
+
+bool ComparableTypes(const Value& a, const Value& b) {
+  auto numeric = [](TypeId t) {
+    return t == TypeId::kInt64 || t == TypeId::kDouble || t == TypeId::kDate;
+  };
+  if (numeric(a.type()) && numeric(b.type())) return true;
+  return a.type() == b.type();
+}
+
+Result<Value> EvalCompare(CompareOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  if (!ComparableTypes(l, r)) {
+    return Status::TypeError(std::string("cannot compare ") +
+                             TypeIdToString(l.type()) + " with " +
+                             TypeIdToString(r.type()));
+  }
+  int c = l.Compare(r);
+  switch (op) {
+    case CompareOp::kEq: return BoolValue(c == 0);
+    case CompareOp::kNe: return BoolValue(c != 0);
+    case CompareOp::kLt: return BoolValue(c < 0);
+    case CompareOp::kLe: return BoolValue(c <= 0);
+    case CompareOp::kGt: return BoolValue(c > 0);
+    case CompareOp::kGe: return BoolValue(c >= 0);
+  }
+  return Status::Internal("bad compare op");
+}
+
+Result<Value> EvalArith(ArithOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  auto numeric = [](TypeId t) {
+    return t == TypeId::kInt64 || t == TypeId::kDouble;
+  };
+  if (!numeric(l.type()) || !numeric(r.type())) {
+    return Status::TypeError("arithmetic requires numeric operands");
+  }
+  bool use_double = l.type() == TypeId::kDouble || r.type() == TypeId::kDouble;
+  if (op == ArithOp::kMod) {
+    if (use_double) return Status::TypeError("% requires integer operands");
+    if (r.AsInt64() == 0) return Value::Null();  // SQL: NULL on mod-by-zero
+    return Value::Int64(l.AsInt64() % r.AsInt64());
+  }
+  if (use_double) {
+    double a = l.AsDouble();
+    double b = r.AsDouble();
+    switch (op) {
+      case ArithOp::kAdd: return Value::Double(a + b);
+      case ArithOp::kSub: return Value::Double(a - b);
+      case ArithOp::kMul: return Value::Double(a * b);
+      case ArithOp::kDiv:
+        if (b == 0) return Value::Null();  // SQL: NULL on div-by-zero
+        return Value::Double(a / b);
+      default: break;
+    }
+  } else {
+    int64_t a = l.AsInt64();
+    int64_t b = r.AsInt64();
+    switch (op) {
+      case ArithOp::kAdd: return Value::Int64(a + b);
+      case ArithOp::kSub: return Value::Int64(a - b);
+      case ArithOp::kMul: return Value::Int64(a * b);
+      case ArithOp::kDiv:
+        if (b == 0) return Value::Null();
+        return Value::Int64(a / b);
+      default: break;
+    }
+  }
+  return Status::Internal("bad arith op");
+}
+
+}  // namespace
+
+Result<Value> Eval(const Expression& expr, const Row& row) {
+  switch (expr.kind) {
+    case ExprKind::kColumnRef:
+      if (expr.column_index >= row.size()) {
+        return Status::Internal("column index " +
+                                std::to_string(expr.column_index) +
+                                " out of range for row of arity " +
+                                std::to_string(row.size()));
+      }
+      return row[expr.column_index];
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kCompare: {
+      BEAS_ASSIGN_OR_RETURN(Value l, Eval(*expr.children[0], row));
+      BEAS_ASSIGN_OR_RETURN(Value r, Eval(*expr.children[1], row));
+      return EvalCompare(expr.cmp, l, r);
+    }
+    case ExprKind::kLogic: {
+      // Three-valued AND/OR with short circuit where sound.
+      BEAS_ASSIGN_OR_RETURN(Value l, Eval(*expr.children[0], row));
+      if (expr.logic == LogicOp::kAnd) {
+        if (!l.is_null() && l.AsInt64() == 0) return BoolValue(false);
+        BEAS_ASSIGN_OR_RETURN(Value r, Eval(*expr.children[1], row));
+        if (!r.is_null() && r.AsInt64() == 0) return BoolValue(false);
+        if (l.is_null() || r.is_null()) return Value::Null();
+        return BoolValue(true);
+      }
+      if (!l.is_null() && l.AsInt64() != 0) return BoolValue(true);
+      BEAS_ASSIGN_OR_RETURN(Value r, Eval(*expr.children[1], row));
+      if (!r.is_null() && r.AsInt64() != 0) return BoolValue(true);
+      if (l.is_null() || r.is_null()) return Value::Null();
+      return BoolValue(false);
+    }
+    case ExprKind::kNot: {
+      BEAS_ASSIGN_OR_RETURN(Value v, Eval(*expr.children[0], row));
+      if (v.is_null()) return Value::Null();
+      return BoolValue(v.AsInt64() == 0);
+    }
+    case ExprKind::kNeg: {
+      BEAS_ASSIGN_OR_RETURN(Value v, Eval(*expr.children[0], row));
+      if (v.is_null()) return Value::Null();
+      if (v.type() == TypeId::kInt64) return Value::Int64(-v.AsInt64());
+      if (v.type() == TypeId::kDouble) return Value::Double(-v.AsDouble());
+      return Status::TypeError("unary minus requires a numeric operand");
+    }
+    case ExprKind::kArith: {
+      BEAS_ASSIGN_OR_RETURN(Value l, Eval(*expr.children[0], row));
+      BEAS_ASSIGN_OR_RETURN(Value r, Eval(*expr.children[1], row));
+      return EvalArith(expr.arith, l, r);
+    }
+    case ExprKind::kBetween: {
+      BEAS_ASSIGN_OR_RETURN(Value v, Eval(*expr.children[0], row));
+      BEAS_ASSIGN_OR_RETURN(Value lo, Eval(*expr.children[1], row));
+      BEAS_ASSIGN_OR_RETURN(Value hi, Eval(*expr.children[2], row));
+      BEAS_ASSIGN_OR_RETURN(Value ge, EvalCompare(CompareOp::kGe, v, lo));
+      BEAS_ASSIGN_OR_RETURN(Value le, EvalCompare(CompareOp::kLe, v, hi));
+      if (ge.is_null() || le.is_null()) return Value::Null();
+      return BoolValue(ge.AsInt64() != 0 && le.AsInt64() != 0);
+    }
+    case ExprKind::kInList: {
+      BEAS_ASSIGN_OR_RETURN(Value v, Eval(*expr.children[0], row));
+      if (v.is_null()) return Value::Null();
+      for (const Value& item : expr.in_values) {
+        if (item.is_null()) continue;
+        if (ComparableTypes(v, item) && v.Compare(item) == 0) {
+          return BoolValue(true);
+        }
+      }
+      return BoolValue(false);
+    }
+    case ExprKind::kIsNull: {
+      BEAS_ASSIGN_OR_RETURN(Value v, Eval(*expr.children[0], row));
+      bool is_null = v.is_null();
+      return BoolValue(expr.negated ? !is_null : is_null);
+    }
+  }
+  return Status::Internal("bad expression kind");
+}
+
+Result<bool> EvalPredicate(const Expression& expr, const Row& row) {
+  BEAS_ASSIGN_OR_RETURN(Value v, Eval(expr, row));
+  return !v.is_null() && v.AsInt64() != 0;
+}
+
+}  // namespace beas

@@ -1,0 +1,23 @@
+#ifndef BEAS_EXPR_EVALUATOR_H_
+#define BEAS_EXPR_EVALUATOR_H_
+
+#include "common/result.h"
+#include "expr/expression.h"
+#include "types/tuple.h"
+
+namespace beas {
+
+/// \brief Evaluates a bound expression against a row.
+///
+/// SQL three-valued logic is implemented with NULL propagation:
+/// any NULL operand makes comparisons/arithmetic yield NULL, and
+/// EvalPredicate treats a NULL result as "not satisfied".
+Result<Value> Eval(const Expression& expr, const Row& row);
+
+/// \brief Evaluates `expr` as a predicate: true iff the result is a
+/// non-NULL value that is "truthy" (non-zero).
+Result<bool> EvalPredicate(const Expression& expr, const Row& row);
+
+}  // namespace beas
+
+#endif  // BEAS_EXPR_EVALUATOR_H_

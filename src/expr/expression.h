@@ -1,0 +1,92 @@
+#ifndef BEAS_EXPR_EXPRESSION_H_
+#define BEAS_EXPR_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace beas {
+
+/// \brief Bound expression node kinds (post name resolution).
+enum class ExprKind {
+  kColumnRef,  ///< index into the row layout the expression is bound to
+  kLiteral,
+  kCompare,
+  kLogic,   ///< AND/OR
+  kNot,
+  kNeg,
+  kArith,
+  kBetween,  ///< children: expr, lo, hi
+  kInList,   ///< children: expr; values in `in_values`
+  kIsNull,   ///< `negated` distinguishes IS NULL / IS NOT NULL
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class LogicOp { kAnd, kOr };
+enum class ArithOp { kAdd, kSub, kMul, kDiv, kMod };
+
+class Expression;
+/// Shared immutable expression nodes: trees are freely shared between
+/// plans; transforms (e.g. RebindColumns) build new trees.
+using ExprPtr = std::shared_ptr<const Expression>;
+
+/// \brief A bound, typed expression over a fixed row layout.
+class Expression {
+ public:
+  ExprKind kind;
+
+  // kColumnRef
+  size_t column_index = 0;
+  TypeId column_type = TypeId::kNull;
+  std::string column_name;  ///< for display only, e.g. "call.region"
+
+  // kLiteral
+  Value literal;
+
+  // Operators.
+  CompareOp cmp = CompareOp::kEq;
+  LogicOp logic = LogicOp::kAnd;
+  ArithOp arith = ArithOp::kAdd;
+  bool negated = false;  ///< kIsNull
+
+  // kInList
+  std::vector<Value> in_values;
+
+  std::vector<ExprPtr> children;
+
+  static ExprPtr Column(size_t index, TypeId type, std::string name);
+  static ExprPtr Literal(Value v);
+  static ExprPtr Compare(CompareOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr Logic(LogicOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr Not(ExprPtr child);
+  static ExprPtr Neg(ExprPtr child);
+  static ExprPtr Arith(ArithOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr Between(ExprPtr e, ExprPtr lo, ExprPtr hi);
+  static ExprPtr InList(ExprPtr e, std::vector<Value> values);
+  static ExprPtr IsNull(ExprPtr e, bool negated);
+
+  /// Static result type of the expression (predicates report kInt64 0/1).
+  TypeId ResultType() const;
+
+  /// Collects all column indices referenced, deduplicated, sorted.
+  void CollectColumns(std::vector<size_t>* out) const;
+
+  /// Structural equality (used to match GROUP BY with select items).
+  bool Equals(const Expression& other) const;
+
+  std::string ToString() const;
+};
+
+/// \brief Returns a copy of `expr` with every column index `i` replaced by
+/// `mapping.at(i)`. Errors (returns nullptr) if a referenced index is
+/// missing from the mapping; callers treat that as an internal bug.
+ExprPtr RebindColumns(const ExprPtr& expr,
+                      const std::unordered_map<size_t, size_t>& mapping);
+
+}  // namespace beas
+
+#endif  // BEAS_EXPR_EXPRESSION_H_

@@ -1,0 +1,60 @@
+#include "maintenance/maintenance.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+void MaintenanceManager::Attach() {
+  db_->RegisterWriteHook(
+      [this](const std::string& table, const Row& row, bool is_insert) {
+        for (AcIndex* index : catalog_->IndexesForTable(table)) {
+          if (is_insert) {
+            index->OnInsert(row);
+          } else {
+            index->OnDelete(row);
+          }
+          ++updates_applied_;
+        }
+      });
+}
+
+std::string MaintenanceManager::Adjustment::ToString() const {
+  return StringPrintf("%s: declared N=%llu observed=%llu -> suggest N=%llu%s",
+                      constraint_name.c_str(),
+                      static_cast<unsigned long long>(declared_n),
+                      static_cast<unsigned long long>(observed_max),
+                      static_cast<unsigned long long>(suggested_n),
+                      violated ? " [VIOLATED]" : "");
+}
+
+std::vector<MaintenanceManager::Adjustment>
+MaintenanceManager::RevalidateAndSuggest(double headroom) const {
+  std::vector<Adjustment> out;
+  for (const AccessConstraint& c : catalog_->schema().constraints()) {
+    const AcIndex* index = catalog_->IndexFor(c.name);
+    if (index == nullptr) continue;
+    Adjustment adj;
+    adj.constraint_name = c.name;
+    adj.declared_n = c.limit_n;
+    adj.observed_max = index->MaxBucketSize();
+    adj.suggested_n = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::ceil(
+               static_cast<double>(adj.observed_max) * headroom)));
+    adj.violated = adj.observed_max > adj.declared_n;
+    out.push_back(std::move(adj));
+  }
+  return out;
+}
+
+Status MaintenanceManager::ApplySuggestions(
+    const std::vector<Adjustment>& adjustments) {
+  for (const Adjustment& adj : adjustments) {
+    BEAS_RETURN_NOT_OK(
+        catalog_->AdjustLimit(adj.constraint_name, adj.suggested_n));
+  }
+  return Status::OK();
+}
+
+}  // namespace beas

@@ -1,0 +1,68 @@
+#ifndef BEAS_MAINTENANCE_MAINTENANCE_H_
+#define BEAS_MAINTENANCE_MAINTENANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asx/access_schema.h"
+#include "engine/database.h"
+
+namespace beas {
+
+/// \brief The AS Catalog maintenance module (paper §3, Fig. 1).
+///
+/// Two duties:
+///  (b) "incrementally updates the indices of A in response to changes to
+///      the datasets": Attach() hooks into Database writes so every
+///      insert/delete updates all affected AcIndex buckets in O(1)
+///      expected time — no rebuild, cost independent of |D|;
+///  (a) "periodically adjusts constraints in A based on changes":
+///      RevalidateAndSuggest() compares declared bounds to observed
+///      maxima and proposes tightened/loosened N values, which
+///      ApplySuggestions() writes back to the catalog.
+class MaintenanceManager {
+ public:
+  MaintenanceManager(Database* db, AsCatalog* catalog)
+      : db_(db), catalog_(catalog) {}
+
+  MaintenanceManager(const MaintenanceManager&) = delete;
+  MaintenanceManager& operator=(const MaintenanceManager&) = delete;
+
+  /// Registers the write hook. Call once after the catalog is populated;
+  /// constraints registered later are also maintained (the hook resolves
+  /// indices per write).
+  void Attach();
+
+  /// Number of index updates applied via the hook so far.
+  uint64_t updates_applied() const { return updates_applied_; }
+
+  /// \brief A proposed bound adjustment for one constraint.
+  struct Adjustment {
+    std::string constraint_name;
+    uint64_t declared_n = 0;
+    uint64_t observed_max = 0;
+    uint64_t suggested_n = 0;
+    bool violated = false;  ///< observed exceeded the declared bound
+
+    std::string ToString() const;
+  };
+
+  /// Scans all indices and suggests new bounds: observed maximum scaled by
+  /// `headroom` (rounded up), never below 1. A constraint whose observed
+  /// maximum exceeds the declared N is flagged `violated` — until adjusted,
+  /// plans deduced from it under-estimate their access bound.
+  std::vector<Adjustment> RevalidateAndSuggest(double headroom = 1.2) const;
+
+  /// Applies the given adjustments to the catalog's declared bounds.
+  Status ApplySuggestions(const std::vector<Adjustment>& adjustments);
+
+ private:
+  Database* db_;
+  AsCatalog* catalog_;
+  uint64_t updates_applied_ = 0;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_MAINTENANCE_MAINTENANCE_H_

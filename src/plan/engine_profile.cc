@@ -1,0 +1,26 @@
+#include "plan/engine_profile.h"
+
+namespace beas {
+
+const EngineProfile& EngineProfile::PostgresLike() {
+  static const EngineProfile kProfile{"PostgreSQL-like", /*use_hash_join=*/true,
+                                      /*join_buffer_rows=*/0,
+                                      /*greedy_join_order=*/true};
+  return kProfile;
+}
+
+const EngineProfile& EngineProfile::MySqlLike() {
+  static const EngineProfile kProfile{"MySQL-like", /*use_hash_join=*/false,
+                                      /*join_buffer_rows=*/128,
+                                      /*greedy_join_order=*/false};
+  return kProfile;
+}
+
+const EngineProfile& EngineProfile::MariaDbLike() {
+  static const EngineProfile kProfile{"MariaDB-like", /*use_hash_join=*/false,
+                                      /*join_buffer_rows=*/4096,
+                                      /*greedy_join_order=*/false};
+  return kProfile;
+}
+
+}  // namespace beas

@@ -1,0 +1,498 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+size_t PlanNode::OutputArity() const {
+  switch (type) {
+    case PlanNodeType::kSeqScan:
+      return table->schema().NumColumns();
+    case PlanNodeType::kFilter:
+    case PlanNodeType::kLimit:
+    case PlanNodeType::kDistinct:
+    case PlanNodeType::kSort:
+      return children[0]->OutputArity();
+    case PlanNodeType::kProject:
+      return projections.size();
+    case PlanNodeType::kHashJoin:
+    case PlanNodeType::kBnlJoin:
+      return children[0]->OutputArity() + children[1]->OutputArity();
+    case PlanNodeType::kAggregate:
+      return group_by.size() + aggregates.size();
+    case PlanNodeType::kValues:
+      return values_arity;
+  }
+  return 0;
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad;
+  switch (type) {
+    case PlanNodeType::kSeqScan:
+      out += "SeqScan(" + table->name() + ")";
+      break;
+    case PlanNodeType::kFilter:
+      out += "Filter(" + predicate->ToString() + ")";
+      break;
+    case PlanNodeType::kProject: {
+      out += "Project(";
+      for (size_t i = 0; i < projections.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += projections[i]->ToString();
+      }
+      out += ")";
+      break;
+    }
+    case PlanNodeType::kHashJoin: {
+      out += "HashJoin(";
+      for (size_t i = 0; i < left_keys.size(); ++i) {
+        if (i > 0) out += " AND ";
+        out += left_keys[i]->ToString() + " = " + right_keys[i]->ToString();
+      }
+      out += ")";
+      break;
+    }
+    case PlanNodeType::kBnlJoin:
+      out += "BNLJoin(" + (predicate ? predicate->ToString() : "true") +
+             ", buffer=" + std::to_string(buffer_rows) + ")";
+      break;
+    case PlanNodeType::kAggregate: {
+      out += "Aggregate(groups=" + std::to_string(group_by.size()) + ", [";
+      for (size_t i = 0; i < aggregates.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += aggregates[i].name;
+      }
+      out += "]";
+      if (having) out += ", having=" + having->ToString();
+      out += ")";
+      break;
+    }
+    case PlanNodeType::kSort: {
+      out += "Sort(";
+      for (size_t i = 0; i < sort_keys.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "#" + std::to_string(sort_keys[i].first) +
+               (sort_keys[i].second ? "" : " DESC");
+      }
+      out += ")";
+      break;
+    }
+    case PlanNodeType::kLimit:
+      out += "Limit(" + std::to_string(limit) + ")";
+      break;
+    case PlanNodeType::kDistinct:
+      out += "Distinct";
+      break;
+    case PlanNodeType::kValues:
+      out += "Values(" + std::to_string(rows ? rows->size() : 0) + " rows)";
+      break;
+  }
+  out += "\n";
+  for (const auto& child : children) out += child->ToString(indent + 1);
+  return out;
+}
+
+namespace {
+
+std::unique_ptr<PlanNode> NewNode(PlanNodeType type) {
+  auto node = std::make_unique<PlanNode>();
+  node->type = type;
+  return node;
+}
+
+/// True if every attribute of the conjunct belongs to atom `a` (false for
+/// literal-only conjuncts, which are handled by the final sweep).
+bool IsSingleAtom(const Conjunct& c, size_t a) {
+  if (c.attrs.empty()) return false;
+  for (const AttrRef& attr : c.attrs) {
+    if (attr.atom != a) return false;
+  }
+  return true;
+}
+
+/// Selectivity-aware size estimate for one atom after its pushed-down
+/// filters (equality via distinct counts; 0.5 per other predicate).
+double EstimateFilteredSize(const BoundQuery& query, size_t a) {
+  TableInfo* table = query.atoms[a].table;
+  const TableStats& stats = table->stats();
+  double size = static_cast<double>(stats.row_count);
+  for (const Conjunct& c : query.conjuncts) {
+    if (!IsSingleAtom(c, a)) continue;
+    switch (c.cls) {
+      case ConjunctClass::kEqConst: {
+        size_t distinct =
+            stats.DistinctOf(table->schema().ColumnAt(c.lhs.col).name);
+        if (distinct > 0) size /= static_cast<double>(distinct);
+        break;
+      }
+      case ConjunctClass::kInConst: {
+        size_t distinct =
+            stats.DistinctOf(table->schema().ColumnAt(c.lhs.col).name);
+        if (distinct > 0) {
+          size = size / static_cast<double>(distinct) *
+                 static_cast<double>(c.in_vals.size());
+        }
+        break;
+      }
+      default:
+        size *= 0.5;
+        break;
+    }
+  }
+  return std::max(size, 1.0);
+}
+
+}  // namespace
+
+struct Planner::JoinState {
+  /// Position p of the current intermediate row holds global column
+  /// layout_[p] of the BoundQuery's atom-major layout.
+  std::vector<size_t> layout;
+  std::unordered_map<size_t, size_t> global_to_pos;
+  std::vector<bool> conjunct_applied;
+
+  void Append(const BoundQuery& query, size_t atom) {
+    size_t base = query.atom_offsets[atom];
+    size_t n = query.atoms[atom].table->schema().NumColumns();
+    for (size_t c = 0; c < n; ++c) {
+      global_to_pos[base + c] = layout.size();
+      layout.push_back(base + c);
+    }
+  }
+
+  bool Covers(const Conjunct& c, const BoundQuery& query) const {
+    for (const AttrRef& attr : c.attrs) {
+      if (!global_to_pos.count(query.GlobalIndex(attr))) return false;
+    }
+    return true;
+  }
+};
+
+Result<std::unique_ptr<PlanNode>> Planner::BuildAtomPlan(
+    const BoundQuery& query, size_t a, JoinState* state) const {
+  auto scan = NewNode(PlanNodeType::kSeqScan);
+  scan->table = query.atoms[a].table;
+  // Push down single-atom conjuncts, rebound to the table-local layout.
+  ExprPtr pred;
+  for (size_t ci = 0; ci < query.conjuncts.size(); ++ci) {
+    if (state->conjunct_applied[ci]) continue;
+    const Conjunct& c = query.conjuncts[ci];
+    if (!IsSingleAtom(c, a)) continue;
+    std::unordered_map<size_t, size_t> mapping;
+    size_t base = query.atom_offsets[a];
+    size_t n = query.atoms[a].table->schema().NumColumns();
+    for (size_t col = 0; col < n; ++col) mapping[base + col] = col;
+    ExprPtr rebound = RebindColumns(c.expr, mapping);
+    if (!rebound) return Status::Internal("rebind failed in pushdown");
+    pred = pred ? Expression::Logic(LogicOp::kAnd, pred, rebound) : rebound;
+    state->conjunct_applied[ci] = true;
+  }
+  if (!pred) return scan;
+  auto filter = NewNode(PlanNodeType::kFilter);
+  filter->predicate = pred;
+  filter->children.push_back(std::move(scan));
+  return filter;
+}
+
+std::vector<size_t> Planner::DecideOrder(const BoundQuery& query,
+                                         const std::vector<size_t>& atoms,
+                                         bool have_seed) const {
+  if (!profile_.greedy_join_order || atoms.size() <= 1) return atoms;
+
+  std::unordered_map<size_t, double> est;
+  for (size_t a : atoms) est[a] = EstimateFilteredSize(query, a);
+
+  std::vector<size_t> order;
+  std::unordered_map<size_t, bool> placed;
+  for (size_t a : atoms) placed[a] = false;
+
+  if (!have_seed) {
+    size_t first = atoms[0];
+    for (size_t a : atoms) {
+      if (est[a] < est[first]) first = a;
+    }
+    order.push_back(first);
+    placed[first] = true;
+  }
+  // Greedily extend with the smallest atom connected by an equi-join to
+  // anything already placed (seed atoms count as placed implicitly: their
+  // attributes are in the layout, so `connected` uses conjunct reachability
+  // to any atom not in `atoms`).
+  while (order.size() < atoms.size()) {
+    size_t best = static_cast<size_t>(-1);
+    bool best_connected = false;
+    for (size_t a : atoms) {
+      if (placed[a]) continue;
+      bool connected = false;
+      for (const Conjunct& c : query.conjuncts) {
+        if (c.cls != ConjunctClass::kEqAttr) continue;
+        auto is_other_placed = [&](size_t other) {
+          if (other == a) return false;
+          auto it = placed.find(other);
+          if (it == placed.end()) return true;  // seed atom or outside set
+          return it->second;
+        };
+        if ((c.lhs.atom == a && is_other_placed(c.rhs.atom)) ||
+            (c.rhs.atom == a && is_other_placed(c.lhs.atom))) {
+          connected = true;
+          break;
+        }
+      }
+      if (best == static_cast<size_t>(-1) ||
+          (connected && !best_connected) ||
+          (connected == best_connected && est[a] < est[best])) {
+        best = a;
+        best_connected = connected;
+      }
+    }
+    order.push_back(best);
+    placed[best] = true;
+  }
+  return order;
+}
+
+Result<std::unique_ptr<PlanNode>> Planner::PlanJoinsCore(
+    const BoundQuery& query, JoinState* state,
+    std::unique_ptr<PlanNode> current, const std::vector<size_t>& order) const {
+  size_t start_index = 0;
+  if (current == nullptr) {
+    if (order.empty()) {
+      return Status::Internal("no atoms and no seed to plan from");
+    }
+    BEAS_ASSIGN_OR_RETURN(current, BuildAtomPlan(query, order[0], state));
+    state->Append(query, order[0]);
+    start_index = 1;
+  }
+
+  for (size_t i = start_index; i < order.size(); ++i) {
+    size_t a = order[i];
+    BEAS_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> atom_plan,
+                          BuildAtomPlan(query, a, state));
+    size_t atom_base = query.atom_offsets[a];
+    size_t atom_cols = query.atoms[a].table->schema().NumColumns();
+    size_t left_width = state->layout.size();
+
+    // Find unapplied equi-join conjuncts connecting the placed set with `a`.
+    std::vector<size_t> equi;
+    for (size_t ci = 0; ci < query.conjuncts.size(); ++ci) {
+      if (state->conjunct_applied[ci]) continue;
+      const Conjunct& c = query.conjuncts[ci];
+      if (c.cls != ConjunctClass::kEqAttr) continue;
+      bool lhs_placed = state->global_to_pos.count(query.GlobalIndex(c.lhs));
+      bool rhs_placed = state->global_to_pos.count(query.GlobalIndex(c.rhs));
+      if ((lhs_placed && c.rhs.atom == a && !rhs_placed) ||
+          (rhs_placed && c.lhs.atom == a && !lhs_placed)) {
+        equi.push_back(ci);
+      }
+    }
+
+    std::unique_ptr<PlanNode> join;
+    if (profile_.use_hash_join && !equi.empty()) {
+      join = NewNode(PlanNodeType::kHashJoin);
+      for (size_t ci : equi) {
+        const Conjunct& c = query.conjuncts[ci];
+        AttrRef left_attr = c.lhs.atom == a ? c.rhs : c.lhs;
+        AttrRef right_attr = c.lhs.atom == a ? c.lhs : c.rhs;
+        size_t left_pos = state->global_to_pos.at(query.GlobalIndex(left_attr));
+        TypeId lt = query.atoms[left_attr.atom]
+                        .table->schema()
+                        .ColumnAt(left_attr.col)
+                        .type;
+        TypeId rt =
+            query.atoms[a].table->schema().ColumnAt(right_attr.col).type;
+        join->left_keys.push_back(
+            Expression::Column(left_pos, lt, query.AttrName(left_attr)));
+        join->right_keys.push_back(
+            Expression::Column(right_attr.col, rt, query.AttrName(right_attr)));
+        state->conjunct_applied[ci] = true;
+      }
+      join->children.push_back(std::move(current));
+      join->children.push_back(std::move(atom_plan));
+    } else {
+      // Block nested loop: the pair predicate is every unapplied conjunct
+      // that becomes evaluable at this join, rebound to the concat layout.
+      std::unordered_map<size_t, size_t> mapping = state->global_to_pos;
+      for (size_t c = 0; c < atom_cols; ++c) {
+        mapping[atom_base + c] = left_width + c;
+      }
+      ExprPtr pred;
+      for (size_t ci = 0; ci < query.conjuncts.size(); ++ci) {
+        if (state->conjunct_applied[ci]) continue;
+        const Conjunct& c = query.conjuncts[ci];
+        if (c.attrs.empty()) continue;
+        bool evaluable = true;
+        bool touches_atom = false;
+        for (const AttrRef& attr : c.attrs) {
+          size_t g = query.GlobalIndex(attr);
+          if (!mapping.count(g)) evaluable = false;
+          if (attr.atom == a) touches_atom = true;
+        }
+        if (!evaluable || !touches_atom) continue;
+        ExprPtr rebound = RebindColumns(c.expr, mapping);
+        if (!rebound) return Status::Internal("rebind failed at BNL join");
+        pred = pred ? Expression::Logic(LogicOp::kAnd, pred, rebound) : rebound;
+        state->conjunct_applied[ci] = true;
+      }
+      join = NewNode(PlanNodeType::kBnlJoin);
+      join->predicate = pred;
+      join->buffer_rows =
+          profile_.join_buffer_rows == 0 ? 8192 : profile_.join_buffer_rows;
+      join->children.push_back(std::move(current));
+      join->children.push_back(std::move(atom_plan));
+    }
+    current = std::move(join);
+    state->Append(query, a);
+
+    // Apply any newly evaluable conjuncts above the join (e.g. range
+    // predicates across atoms after a hash join).
+    ExprPtr post;
+    for (size_t ci = 0; ci < query.conjuncts.size(); ++ci) {
+      if (state->conjunct_applied[ci]) continue;
+      const Conjunct& c = query.conjuncts[ci];
+      if (c.attrs.empty() || !state->Covers(c, query)) continue;
+      ExprPtr rebound = RebindColumns(c.expr, state->global_to_pos);
+      if (!rebound) return Status::Internal("rebind failed post-join");
+      post = post ? Expression::Logic(LogicOp::kAnd, post, rebound) : rebound;
+      state->conjunct_applied[ci] = true;
+    }
+    if (post) {
+      auto filter = NewNode(PlanNodeType::kFilter);
+      filter->predicate = post;
+      filter->children.push_back(std::move(current));
+      current = std::move(filter);
+    }
+  }
+
+  // Final sweep: literal-only conjuncts (no column references) and anything
+  // else still pending — e.g. WHERE 1 = 0 on a single-atom query.
+  ExprPtr final_pred;
+  for (size_t ci = 0; ci < query.conjuncts.size(); ++ci) {
+    if (state->conjunct_applied[ci]) continue;
+    const Conjunct& c = query.conjuncts[ci];
+    if (!state->Covers(c, query)) {
+      return Status::Internal("conjunct not applied: " + c.ToString());
+    }
+    ExprPtr rebound = RebindColumns(c.expr, state->global_to_pos);
+    if (!rebound) return Status::Internal("rebind failed in final sweep");
+    final_pred = final_pred
+                     ? Expression::Logic(LogicOp::kAnd, final_pred, rebound)
+                     : rebound;
+    state->conjunct_applied[ci] = true;
+  }
+  if (final_pred) {
+    auto filter = NewNode(PlanNodeType::kFilter);
+    filter->predicate = final_pred;
+    filter->children.push_back(std::move(current));
+    current = std::move(filter);
+  }
+  return current;
+}
+
+Result<std::unique_ptr<PlanNode>> Planner::PlanTail(
+    const BoundQuery& query, std::unique_ptr<PlanNode> input,
+    JoinState* state) const {
+  std::unique_ptr<PlanNode> current = std::move(input);
+  const std::unordered_map<size_t, size_t>& mapping = state->global_to_pos;
+
+  if (query.HasAggregates()) {
+    auto agg = NewNode(PlanNodeType::kAggregate);
+    for (const ExprPtr& g : query.group_by) {
+      ExprPtr rebound = RebindColumns(g, mapping);
+      if (!rebound) return Status::Internal("rebind failed for GROUP BY");
+      agg->group_by.push_back(std::move(rebound));
+    }
+    for (const AggSpec& spec : query.aggregates) {
+      AggSpec copy = spec;
+      if (copy.arg) {
+        copy.arg = RebindColumns(copy.arg, mapping);
+        if (!copy.arg) return Status::Internal("rebind failed for aggregate");
+      }
+      agg->aggregates.push_back(std::move(copy));
+    }
+    agg->having = query.having;  // already over [groups..., aggs...]
+    agg->children.push_back(std::move(current));
+    current = std::move(agg);
+
+    // Project aggregate output layout onto the SELECT list.
+    auto project = NewNode(PlanNodeType::kProject);
+    size_t num_groups = query.group_by.size();
+    for (const OutputItem& out : query.outputs) {
+      size_t pos = out.agg == AggFn::kNone ? out.slot : num_groups + out.slot;
+      project->projections.push_back(
+          Expression::Column(pos, out.type, out.name));
+    }
+    project->children.push_back(std::move(current));
+    current = std::move(project);
+  } else {
+    auto project = NewNode(PlanNodeType::kProject);
+    for (const OutputItem& out : query.outputs) {
+      ExprPtr rebound = RebindColumns(out.expr, mapping);
+      if (!rebound) return Status::Internal("rebind failed for output");
+      project->projections.push_back(std::move(rebound));
+    }
+    project->children.push_back(std::move(current));
+    current = std::move(project);
+  }
+
+  if (query.distinct) {
+    auto distinct = NewNode(PlanNodeType::kDistinct);
+    distinct->children.push_back(std::move(current));
+    current = std::move(distinct);
+  }
+  if (!query.order_by.empty()) {
+    auto sort = NewNode(PlanNodeType::kSort);
+    for (const BoundOrderItem& item : query.order_by) {
+      sort->sort_keys.emplace_back(item.output_index, item.asc);
+    }
+    sort->children.push_back(std::move(current));
+    current = std::move(sort);
+  }
+  if (query.limit.has_value()) {
+    auto limit = NewNode(PlanNodeType::kLimit);
+    limit->limit = *query.limit;
+    limit->children.push_back(std::move(current));
+    current = std::move(limit);
+  }
+  return current;
+}
+
+Result<std::unique_ptr<PlanNode>> Planner::Plan(const BoundQuery& query) const {
+  JoinState state;
+  state.conjunct_applied.assign(query.conjuncts.size(), false);
+  std::vector<size_t> all_atoms;
+  for (size_t a = 0; a < query.atoms.size(); ++a) all_atoms.push_back(a);
+  std::vector<size_t> order = DecideOrder(query, all_atoms, /*have_seed=*/false);
+  BEAS_ASSIGN_OR_RETURN(
+      std::unique_ptr<PlanNode> joined,
+      PlanJoinsCore(query, &state, /*current=*/nullptr, order));
+  return PlanTail(query, std::move(joined), &state);
+}
+
+Result<std::unique_ptr<PlanNode>> Planner::PlanWithSeed(
+    const BoundQuery& query, std::unique_ptr<PlanNode> seed,
+    const std::vector<AttrRef>& seed_layout,
+    std::vector<bool> conjunct_applied,
+    const std::vector<bool>& atom_in_seed) const {
+  JoinState state;
+  state.conjunct_applied = std::move(conjunct_applied);
+  state.conjunct_applied.resize(query.conjuncts.size(), false);
+  for (const AttrRef& attr : seed_layout) {
+    state.global_to_pos[query.GlobalIndex(attr)] = state.layout.size();
+    state.layout.push_back(query.GlobalIndex(attr));
+  }
+  std::vector<size_t> remaining;
+  for (size_t a = 0; a < query.atoms.size(); ++a) {
+    if (a >= atom_in_seed.size() || !atom_in_seed[a]) remaining.push_back(a);
+  }
+  std::vector<size_t> order = DecideOrder(query, remaining, /*have_seed=*/true);
+  BEAS_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> joined,
+                        PlanJoinsCore(query, &state, std::move(seed), order));
+  return PlanTail(query, std::move(joined), &state);
+}
+
+}  // namespace beas

@@ -1,0 +1,126 @@
+#ifndef BEAS_PLAN_PLANNER_H_
+#define BEAS_PLAN_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "binder/bound_query.h"
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "expr/expression.h"
+#include "plan/engine_profile.h"
+
+namespace beas {
+
+/// \brief Physical plan node kinds of the conventional engine.
+enum class PlanNodeType {
+  kSeqScan,
+  kFilter,
+  kProject,
+  kHashJoin,
+  kBnlJoin,
+  kAggregate,
+  kSort,
+  kLimit,
+  kDistinct,
+  kValues,
+};
+
+/// \brief A physical plan node. Executors are built from these trees; the
+/// block nested-loop join rebuilds its inner subtree once per buffer pass,
+/// which is why plans (not executors) are the unit of reuse.
+struct PlanNode {
+  PlanNodeType type;
+
+  // kSeqScan
+  TableInfo* table = nullptr;
+
+  // kFilter; also the pair predicate of kBnlJoin (over concat layout).
+  ExprPtr predicate;
+
+  // kProject
+  std::vector<ExprPtr> projections;
+
+  // kHashJoin: output is concat(left row, right row); the hash table is
+  // built on the right child.
+  std::vector<ExprPtr> left_keys;   ///< over left-child layout
+  std::vector<ExprPtr> right_keys;  ///< over right-child layout
+
+  // kBnlJoin
+  size_t buffer_rows = 0;
+
+  // kAggregate: output layout is [group values..., aggregate values...].
+  std::vector<ExprPtr> group_by;   ///< over child layout
+  std::vector<AggSpec> aggregates; ///< args over child layout
+  ExprPtr having;                  ///< over the aggregate output layout
+
+  // kSort: (column index in child layout, ascending).
+  std::vector<std::pair<size_t, bool>> sort_keys;
+
+  // kLimit
+  int64_t limit = 0;
+
+  // kValues
+  std::shared_ptr<const std::vector<Row>> rows;
+  size_t values_arity = 0;
+
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  /// Number of columns this node outputs (computed from the tree).
+  size_t OutputArity() const;
+
+  /// Pretty-prints the plan subtree.
+  std::string ToString(int indent = 0) const;
+};
+
+/// \brief Builds conventional (scan-and-join) physical plans from a
+/// BoundQuery under an EngineProfile. This is the "commercial DBMS"
+/// stand-in that BEAS is compared against, and also the tail used by
+/// partially bounded plans.
+class Planner {
+ public:
+  explicit Planner(const EngineProfile& profile) : profile_(profile) {}
+
+  /// Plans the full query (joins, filters, aggregation, sort, limit).
+  Result<std::unique_ptr<PlanNode>> Plan(const BoundQuery& query) const;
+
+  /// Plans the query starting from a materialized seed relation (the
+  /// output of a bounded fragment, as a kValues node): joins the remaining
+  /// atoms conventionally and applies the pending conjuncts and the tail.
+  /// This is how BE Plan Optimizer builds *partially bounded* plans
+  /// (paper §3).
+  ///
+  /// `seed_layout[p]` names the query attribute at seed column p;
+  /// `conjunct_applied[ci]` marks conjuncts already enforced inside the
+  /// fragment; `atom_in_seed[a]` marks atoms the fragment covered.
+  Result<std::unique_ptr<PlanNode>> PlanWithSeed(
+      const BoundQuery& query, std::unique_ptr<PlanNode> seed,
+      const std::vector<AttrRef>& seed_layout,
+      std::vector<bool> conjunct_applied,
+      const std::vector<bool>& atom_in_seed) const;
+
+ private:
+  struct JoinState;
+
+  Result<std::unique_ptr<PlanNode>> BuildAtomPlan(const BoundQuery& query,
+                                                  size_t atom,
+                                                  JoinState* state) const;
+  std::vector<size_t> DecideOrder(const BoundQuery& query,
+                                  const std::vector<size_t>& atoms,
+                                  bool have_seed) const;
+  Result<std::unique_ptr<PlanNode>> PlanJoinsCore(
+      const BoundQuery& query, JoinState* state,
+      std::unique_ptr<PlanNode> current,
+      const std::vector<size_t>& order) const;
+  Result<std::unique_ptr<PlanNode>> PlanTail(const BoundQuery& query,
+                                             std::unique_ptr<PlanNode> input,
+                                             JoinState* state) const;
+
+  const EngineProfile& profile_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_PLAN_PLANNER_H_

@@ -1,0 +1,143 @@
+#include "sql/ast.h"
+
+namespace beas {
+
+namespace {
+
+const char* BinOpToString(AstBinOp op) {
+  switch (op) {
+    case AstBinOp::kEq: return "=";
+    case AstBinOp::kNe: return "<>";
+    case AstBinOp::kLt: return "<";
+    case AstBinOp::kLe: return "<=";
+    case AstBinOp::kGt: return ">";
+    case AstBinOp::kGe: return ">=";
+    case AstBinOp::kAnd: return "AND";
+    case AstBinOp::kOr: return "OR";
+    case AstBinOp::kAdd: return "+";
+    case AstBinOp::kSub: return "-";
+    case AstBinOp::kMul: return "*";
+    case AstBinOp::kDiv: return "/";
+    case AstBinOp::kMod: return "%";
+  }
+  return "?";
+}
+
+}  // namespace
+
+AstExprPtr AstExpr::MakeColumn(std::string table, std::string column) {
+  auto e = std::make_unique<AstExpr>();
+  e->type = AstExprType::kColumn;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+AstExprPtr AstExpr::MakeLiteral(Value v) {
+  auto e = std::make_unique<AstExpr>();
+  e->type = AstExprType::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+AstExprPtr AstExpr::MakeBinary(AstBinOp op, AstExprPtr l, AstExprPtr r) {
+  auto e = std::make_unique<AstExpr>();
+  e->type = AstExprType::kBinary;
+  e->bin_op = op;
+  e->children.push_back(std::move(l));
+  e->children.push_back(std::move(r));
+  return e;
+}
+
+AstExprPtr AstExpr::MakeUnary(AstUnOp op, AstExprPtr child) {
+  auto e = std::make_unique<AstExpr>();
+  e->type = AstExprType::kUnary;
+  e->un_op = op;
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+AstExprPtr AstExpr::MakeStar() {
+  auto e = std::make_unique<AstExpr>();
+  e->type = AstExprType::kStar;
+  return e;
+}
+
+std::string AstExpr::ToString() const {
+  switch (type) {
+    case AstExprType::kColumn:
+      return table.empty() ? column : table + "." + column;
+    case AstExprType::kLiteral:
+      return literal.ToString();
+    case AstExprType::kBinary:
+      return "(" + children[0]->ToString() + " " + BinOpToString(bin_op) +
+             " " + children[1]->ToString() + ")";
+    case AstExprType::kUnary:
+      return un_op == AstUnOp::kNot ? "(NOT " + children[0]->ToString() + ")"
+                                    : "(-" + children[0]->ToString() + ")";
+    case AstExprType::kFunction: {
+      std::string out = func_name + "(";
+      if (distinct_arg) out += "DISTINCT ";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case AstExprType::kBetween:
+      return "(" + children[0]->ToString() + " BETWEEN " +
+             children[1]->ToString() + " AND " + children[2]->ToString() + ")";
+    case AstExprType::kInList: {
+      std::string out = "(" + children[0]->ToString() + " IN (";
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + "))";
+    }
+    case AstExprType::kIsNull:
+      return "(" + children[0]->ToString() + (negated ? " IS NOT NULL)" : " IS NULL)");
+    case AstExprType::kStar:
+      return "*";
+  }
+  return "?";
+}
+
+std::string SelectStatement::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i].expr->ToString();
+    if (!items[i].alias.empty()) out += " AS " + items[i].alias;
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += from[i].table;
+    if (!from[i].alias.empty() && from[i].alias != from[i].table) {
+      out += " " + from[i].alias;
+    }
+  }
+  if (where) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  if (having) out += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].expr->ToString();
+      out += order_by[i].asc ? " ASC" : " DESC";
+    }
+  }
+  if (limit.has_value()) out += " LIMIT " + std::to_string(*limit);
+  return out;
+}
+
+}  // namespace beas

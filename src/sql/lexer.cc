@@ -1,0 +1,173 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+namespace {
+
+const std::unordered_map<std::string, TokenType>& KeywordMap() {
+  static const auto* kMap = new std::unordered_map<std::string, TokenType>{
+      {"select", TokenType::kSelect},   {"distinct", TokenType::kDistinct},
+      {"from", TokenType::kFrom},       {"where", TokenType::kWhere},
+      {"group", TokenType::kGroup},     {"by", TokenType::kBy},
+      {"having", TokenType::kHaving},   {"order", TokenType::kOrder},
+      {"limit", TokenType::kLimit},     {"asc", TokenType::kAsc},
+      {"desc", TokenType::kDesc},       {"and", TokenType::kAnd},
+      {"or", TokenType::kOr},           {"not", TokenType::kNot},
+      {"in", TokenType::kIn},           {"between", TokenType::kBetween},
+      {"as", TokenType::kAs},           {"join", TokenType::kJoin},
+      {"inner", TokenType::kInner},     {"on", TokenType::kOn},
+      {"null", TokenType::kNull},       {"is", TokenType::kIs},
+      {"date", TokenType::kDate},
+  };
+  return *kMap;
+}
+
+}  // namespace
+
+char Lexer::Peek(size_t ahead) const {
+  size_t p = pos_ + ahead;
+  return p < input_.size() ? input_[p] : '\0';
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (pos_ < input_.size()) {
+    char c = input_[pos_];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos_;
+    } else if (c == '-' && Peek(1) == '-') {
+      while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+    } else {
+      break;
+    }
+  }
+}
+
+Result<Token> Lexer::Next() {
+  SkipWhitespaceAndComments();
+  Token tok;
+  tok.pos = pos_;
+  if (pos_ >= input_.size()) {
+    tok.type = TokenType::kEof;
+    return tok;
+  }
+  char c = input_[pos_];
+
+  // Identifiers and keywords.
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_')) {
+      ++pos_;
+    }
+    std::string word = ToLower(input_.substr(start, pos_ - start));
+    auto it = KeywordMap().find(word);
+    if (it != KeywordMap().end()) {
+      tok.type = it->second;
+      tok.text = word;
+    } else {
+      tok.type = TokenType::kIdentifier;
+      tok.text = word;
+    }
+    return tok;
+  }
+
+  // Numbers: 123, 123.45, .5 not supported (leading digit required).
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    size_t start = pos_;
+    bool is_float = false;
+    while (pos_ < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_float = true;
+      ++pos_;
+      while (pos_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+        ++pos_;
+      }
+    }
+    std::string num = input_.substr(start, pos_ - start);
+    if (is_float) {
+      tok.type = TokenType::kFloatLiteral;
+      tok.float_val = std::strtod(num.c_str(), nullptr);
+    } else {
+      tok.type = TokenType::kIntLiteral;
+      tok.int_val = std::strtoll(num.c_str(), nullptr, 10);
+    }
+    return tok;
+  }
+
+  // String literals.
+  if (c == '\'') {
+    ++pos_;
+    std::string body;
+    while (true) {
+      if (pos_ >= input_.size()) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(tok.pos));
+      }
+      char ch = input_[pos_];
+      if (ch == '\'') {
+        if (Peek(1) == '\'') {  // escaped quote
+          body.push_back('\'');
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        break;
+      }
+      body.push_back(ch);
+      ++pos_;
+    }
+    tok.type = TokenType::kStringLiteral;
+    tok.text = std::move(body);
+    return tok;
+  }
+
+  // Symbols.
+  auto two = [&](char a, char b) { return c == a && Peek(1) == b; };
+  if (two('<', '=')) { tok.type = TokenType::kLe; pos_ += 2; return tok; }
+  if (two('>', '=')) { tok.type = TokenType::kGe; pos_ += 2; return tok; }
+  if (two('<', '>')) { tok.type = TokenType::kNe; pos_ += 2; return tok; }
+  if (two('!', '=')) { tok.type = TokenType::kNe; pos_ += 2; return tok; }
+  ++pos_;
+  switch (c) {
+    case ',': tok.type = TokenType::kComma; return tok;
+    case '.': tok.type = TokenType::kDot; return tok;
+    case '*': tok.type = TokenType::kStar; return tok;
+    case '(': tok.type = TokenType::kLParen; return tok;
+    case ')': tok.type = TokenType::kRParen; return tok;
+    case '=': tok.type = TokenType::kEq; return tok;
+    case '<': tok.type = TokenType::kLt; return tok;
+    case '>': tok.type = TokenType::kGt; return tok;
+    case '+': tok.type = TokenType::kPlus; return tok;
+    case '-': tok.type = TokenType::kMinus; return tok;
+    case '/': tok.type = TokenType::kSlash; return tok;
+    case '%': tok.type = TokenType::kPercent; return tok;
+    case ';': tok.type = TokenType::kSemicolon; return tok;
+    default:
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' at offset " + std::to_string(tok.pos));
+  }
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    BEAS_ASSIGN_OR_RETURN(Token tok, Next());
+    bool eof = tok.type == TokenType::kEof;
+    tokens.push_back(std::move(tok));
+    if (eof) break;
+  }
+  return tokens;
+}
+
+}  // namespace beas

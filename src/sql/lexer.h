@@ -1,0 +1,35 @@
+#ifndef BEAS_SQL_LEXER_H_
+#define BEAS_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace beas {
+
+/// \brief Tokenizes a SQL string.
+///
+/// Keywords are case-insensitive; identifiers are lowercased. String
+/// literals use single quotes with '' as the escape for a quote.
+/// Comments: `-- to end of line`.
+class Lexer {
+ public:
+  explicit Lexer(std::string input) : input_(std::move(input)) {}
+
+  /// Lexes the whole input; the last token is always kEof.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Result<Token> Next();
+  char Peek(size_t ahead = 0) const;
+  void SkipWhitespaceAndComments();
+
+  std::string input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_SQL_LEXER_H_

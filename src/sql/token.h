@@ -1,0 +1,77 @@
+#ifndef BEAS_SQL_TOKEN_H_
+#define BEAS_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace beas {
+
+/// \brief Lexical token kinds for the SQL subset BEAS parses.
+enum class TokenType {
+  kEof = 0,
+  kIdentifier,
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+
+  // Keywords.
+  kSelect,
+  kDistinct,
+  kFrom,
+  kWhere,
+  kGroup,
+  kBy,
+  kHaving,
+  kOrder,
+  kLimit,
+  kAsc,
+  kDesc,
+  kAnd,
+  kOr,
+  kNot,
+  kIn,
+  kBetween,
+  kAs,
+  kJoin,
+  kInner,
+  kOn,
+  kNull,
+  kIs,
+  kDate,
+
+  // Symbols.
+  kComma,
+  kDot,
+  kStar,
+  kLParen,
+  kRParen,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kSemicolon,
+};
+
+/// \brief A lexed token with its source position (for error messages).
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;     ///< Identifier/keyword text or string literal body.
+  int64_t int_val = 0;  ///< Value for kIntLiteral.
+  double float_val = 0; ///< Value for kFloatLiteral.
+  size_t pos = 0;       ///< Byte offset in the query string.
+
+  std::string ToString() const;
+};
+
+/// \brief Name of a token type for diagnostics.
+const char* TokenTypeToString(TokenType t);
+
+}  // namespace beas
+
+#endif  // BEAS_SQL_TOKEN_H_

@@ -1,0 +1,28 @@
+#ifndef BEAS_STORAGE_CSV_H_
+#define BEAS_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/table_heap.h"
+
+namespace beas {
+
+/// \brief Loads a headerless CSV file into `heap`, coercing each field to
+/// the heap's column type. Empty fields load as NULL. Returns the number
+/// of rows loaded.
+///
+/// The dialect is minimal (no quoting/escaping): fields must not contain
+/// commas or newlines. This suffices for the synthetic workloads shipped
+/// with the repository.
+Result<size_t> LoadCsv(const std::string& path, TableHeap* heap);
+
+/// \brief Writes all live rows of `heap` to a headerless CSV file.
+Status SaveCsv(const std::string& path, const TableHeap& heap);
+
+/// \brief Parses one CSV line against `schema` into a Row.
+Result<Row> ParseCsvLine(const std::string& line, const Schema& schema);
+
+}  // namespace beas
+
+#endif  // BEAS_STORAGE_CSV_H_

@@ -1,0 +1,46 @@
+#include "storage/table_heap.h"
+
+namespace beas {
+
+Result<SlotId> TableHeap::Insert(Row row) {
+  if (row.size() != schema_.NumColumns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema (" +
+        std::to_string(schema_.NumColumns()) + " columns)");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    TypeId want = schema_.ColumnAt(i).type;
+    if (row[i].is_null() || row[i].type() == want) continue;
+    BEAS_ASSIGN_OR_RETURN(row[i], row[i].CoerceTo(want));
+  }
+  return InsertUnchecked(std::move(row));
+}
+
+SlotId TableHeap::InsertUnchecked(Row row) {
+  rows_.push_back(std::move(row));
+  live_.push_back(1);
+  ++num_live_;
+  return rows_.size() - 1;
+}
+
+Status TableHeap::Delete(SlotId slot) {
+  if (slot >= rows_.size()) {
+    return Status::OutOfRange("slot " + std::to_string(slot) + " out of range");
+  }
+  if (!live_[slot]) {
+    return Status::InvalidArgument("slot " + std::to_string(slot) +
+                                   " already deleted");
+  }
+  live_[slot] = 0;
+  --num_live_;
+  return Status::OK();
+}
+
+std::vector<Row> TableHeap::Snapshot() const {
+  std::vector<Row> out;
+  out.reserve(num_live_);
+  for (Iterator it = Begin(); it.Valid(); it.Next()) out.push_back(it.row());
+  return out;
+}
+
+}  // namespace beas

@@ -1,0 +1,88 @@
+#ifndef BEAS_STORAGE_TABLE_HEAP_H_
+#define BEAS_STORAGE_TABLE_HEAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace beas {
+
+/// \brief Stable identifier of a row inside a TableHeap.
+using SlotId = size_t;
+
+/// \brief An in-memory row store with stable slots and tombstone deletes.
+///
+/// This is the storage substrate underneath both the conventional engine
+/// (sequential scans) and the access-constraint indices (which reference
+/// rows by slot). Slots are never reused, so a SlotId handed out by
+/// Insert remains valid (live or dead) for the heap's lifetime.
+class TableHeap {
+ public:
+  explicit TableHeap(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// Appends a row; validates arity and column types (after implicit
+  /// coercion). Returns the new slot.
+  Result<SlotId> Insert(Row row);
+
+  /// Appends without validation; for bulk loads from trusted generators.
+  SlotId InsertUnchecked(Row row);
+
+  /// Tombstones a slot. Errors if out of range or already dead.
+  Status Delete(SlotId slot);
+
+  /// True if `slot` holds a live row.
+  bool IsLive(SlotId slot) const {
+    return slot < rows_.size() && live_[slot] != 0;
+  }
+
+  /// The row at `slot`; caller must ensure IsLive(slot).
+  const Row& At(SlotId slot) const { return rows_[slot]; }
+
+  /// Number of live rows.
+  size_t NumRows() const { return num_live_; }
+
+  /// Number of slots ever allocated (live + dead).
+  size_t NumSlots() const { return rows_.size(); }
+
+  /// \brief Forward iterator over live rows.
+  class Iterator {
+   public:
+    Iterator(const TableHeap* heap, SlotId pos) : heap_(heap), pos_(pos) {
+      SkipDead();
+    }
+    bool Valid() const { return pos_ < heap_->rows_.size(); }
+    SlotId slot() const { return pos_; }
+    const Row& row() const { return heap_->rows_[pos_]; }
+    void Next() {
+      ++pos_;
+      SkipDead();
+    }
+
+   private:
+    void SkipDead() {
+      while (pos_ < heap_->rows_.size() && !heap_->live_[pos_]) ++pos_;
+    }
+    const TableHeap* heap_;
+    SlotId pos_;
+  };
+
+  Iterator Begin() const { return Iterator(this, 0); }
+
+  /// Copies all live rows out (test/debug helper).
+  std::vector<Row> Snapshot() const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<uint8_t> live_;
+  size_t num_live_ = 0;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_STORAGE_TABLE_HEAP_H_

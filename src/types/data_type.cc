@@ -1,0 +1,70 @@
+#include "types/data_type.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+const char* TypeIdToString(TypeId t) {
+  switch (t) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kInt64:
+      return "INT";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kString:
+      return "STRING";
+    case TypeId::kDate:
+      return "DATE";
+  }
+  return "UNKNOWN";
+}
+
+Result<TypeId> TypeIdFromString(const std::string& name) {
+  std::string up = ToUpper(Trim(name));
+  if (up == "INT" || up == "INTEGER" || up == "BIGINT") return TypeId::kInt64;
+  if (up == "DOUBLE" || up == "FLOAT" || up == "REAL") return TypeId::kDouble;
+  if (up == "STRING" || up == "TEXT" || up == "VARCHAR") return TypeId::kString;
+  if (up == "DATE") return TypeId::kDate;
+  return Status::InvalidArgument("unknown type name: " + name);
+}
+
+bool IsImplicitlyCoercible(TypeId from, TypeId to) {
+  if (from == to) return true;
+  if (from == TypeId::kNull) return true;
+  if (from == TypeId::kInt64 && to == TypeId::kDouble) return true;
+  if (from == TypeId::kString && to == TypeId::kDate) return true;
+  if (from == TypeId::kInt64 && to == TypeId::kDate) return true;
+  return false;
+}
+
+Result<int64_t> ParseDate(const std::string& s) {
+  int y = 0, m = 0, d = 0;
+  char extra = 0;
+  if (std::sscanf(s.c_str(), "%d-%d-%d%c", &y, &m, &d, &extra) != 3) {
+    return Status::InvalidArgument("not a date (want YYYY-MM-DD): '" + s + "'");
+  }
+  if (y < 1 || y > 9999 || m < 1 || m > 12 || d < 1 || d > 31) {
+    return Status::InvalidArgument("date out of range: '" + s + "'");
+  }
+  return static_cast<int64_t>(y) * 10000 + m * 100 + d;
+}
+
+std::string FormatDate(int64_t yyyymmdd) {
+  int64_t y = yyyymmdd / 10000;
+  int64_t m = (yyyymmdd / 100) % 100;
+  int64_t d = yyyymmdd % 100;
+  return StringPrintf("%04lld-%02lld-%02lld", static_cast<long long>(y),
+                      static_cast<long long>(m), static_cast<long long>(d));
+}
+
+bool IsValidDateEncoding(int64_t yyyymmdd) {
+  int64_t y = yyyymmdd / 10000;
+  int64_t m = (yyyymmdd / 100) % 100;
+  int64_t d = yyyymmdd % 100;
+  return y >= 1 && y <= 9999 && m >= 1 && m <= 12 && d >= 1 && d <= 31;
+}
+
+}  // namespace beas

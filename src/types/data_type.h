@@ -1,0 +1,47 @@
+#ifndef BEAS_TYPES_DATA_TYPE_H_
+#define BEAS_TYPES_DATA_TYPE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace beas {
+
+/// \brief Scalar SQL types supported by the engine.
+///
+/// DATE is stored as an int64 encoded YYYYMMDD; the encoding is
+/// order-preserving so date comparisons are plain integer comparisons.
+enum class TypeId : uint8_t {
+  kNull = 0,
+  kInt64,
+  kDouble,
+  kString,
+  kDate,
+};
+
+/// \brief Human-readable type name ("INT", "DOUBLE", "STRING", "DATE").
+const char* TypeIdToString(TypeId t);
+
+/// \brief Parses a type name as used in schema declarations; accepts
+/// INT/INTEGER/BIGINT, DOUBLE/FLOAT/REAL, STRING/TEXT/VARCHAR, DATE.
+Result<TypeId> TypeIdFromString(const std::string& name);
+
+/// \brief True if values of `from` can be implicitly coerced to `to`
+/// (INT->DOUBLE, STRING->DATE when the string parses as a date).
+bool IsImplicitlyCoercible(TypeId from, TypeId to);
+
+/// \brief Parses "YYYY-MM-DD" into the int64 YYYYMMDD encoding,
+/// validating month/day ranges.
+Result<int64_t> ParseDate(const std::string& s);
+
+/// \brief Renders an int64 YYYYMMDD date back to "YYYY-MM-DD".
+std::string FormatDate(int64_t yyyymmdd);
+
+/// \brief True if `yyyymmdd` encodes a syntactically valid date
+/// (months 1..12, days 1..31; no per-month day count check).
+bool IsValidDateEncoding(int64_t yyyymmdd);
+
+}  // namespace beas
+
+#endif  // BEAS_TYPES_DATA_TYPE_H_

@@ -1,0 +1,47 @@
+#include "types/schema.h"
+
+namespace beas {
+
+Schema::Schema(std::vector<Column> columns) {
+  for (auto& c : columns) AddColumn(std::move(c));
+}
+
+size_t Schema::AddColumn(Column col) {
+  size_t idx = columns_.size();
+  // First binding wins for duplicate names; IndexOf reports the first.
+  by_name_.emplace(col.name, idx);
+  columns_.push_back(std::move(col));
+  return idx;
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no column named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Schema::Contains(const std::string& name) const {
+  return by_name_.count(name) > 0;
+}
+
+Schema Schema::Concat(const Schema& a, const Schema& b) {
+  Schema out;
+  for (const auto& c : a.columns()) out.AddColumn(c);
+  for (const auto& c : b.columns()) out.AddColumn(c);
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += TypeIdToString(columns_[i].type);
+  }
+  return out;
+}
+
+}  // namespace beas

@@ -1,0 +1,62 @@
+#ifndef BEAS_TYPES_SCHEMA_H_
+#define BEAS_TYPES_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "types/data_type.h"
+
+namespace beas {
+
+/// \brief A named, typed column of a relation.
+struct Column {
+  std::string name;
+  TypeId type;
+
+  Column(std::string n, TypeId t) : name(std::move(n)), type(t) {}
+  bool operator==(const Column& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief An ordered list of columns with O(1) name lookup.
+///
+/// Schemas are value types; they are cheap at the column counts used here
+/// (tens of columns) and are copied freely between plans and executors.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  /// Appends a column; returns its index.
+  size_t AddColumn(Column col);
+
+  size_t NumColumns() const { return columns_.size(); }
+  const Column& ColumnAt(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of column `name`, or error if absent/ambiguous.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// True if a column with `name` exists.
+  bool Contains(const std::string& name) const;
+
+  /// Concatenation of two schemas (used by joins).
+  static Schema Concat(const Schema& a, const Schema& b);
+
+  /// Renders "name TYPE, name TYPE, ...".
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const { return columns_ == other.columns_; }
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_TYPES_SCHEMA_H_

@@ -1,0 +1,36 @@
+#ifndef BEAS_TYPES_TUPLE_H_
+#define BEAS_TYPES_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace beas {
+
+/// \brief A row of values. The engine's tuple representation.
+///
+/// Rows do not carry their schema; executors know the layout of the rows
+/// they produce. "Partial tuples" (the projections fetched via access
+/// constraints) are plain Rows over a subset of a relation's columns.
+using Row = std::vector<Value>;
+
+/// \brief Renders a row as "(v1, v2, ...)" for debugging and result dumps.
+std::string RowToString(const Row& row);
+
+/// \brief Projects `row` onto the given column indices.
+Row ProjectRow(const Row& row, const std::vector<size_t>& indices);
+
+/// \brief Concatenates two rows (join output).
+Row ConcatRows(const Row& a, const Row& b);
+
+/// \brief Sorts rows lexicographically and removes duplicates, in place.
+/// Used for DISTINCT semantics and deterministic result comparison in tests.
+void SortAndDedupRows(std::vector<Row>* rows);
+
+/// \brief True if two multisets of rows are equal (order-insensitive).
+bool RowMultisetsEqual(std::vector<Row> a, std::vector<Row> b);
+
+}  // namespace beas
+
+#endif  // BEAS_TYPES_TUPLE_H_

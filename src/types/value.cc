@@ -1,0 +1,143 @@
+#include "types/value.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+Result<Value> Value::DateFromString(const std::string& s) {
+  BEAS_ASSIGN_OR_RETURN(int64_t enc, ParseDate(s));
+  return Value::Date(enc);
+}
+
+Result<Value> Value::CoerceTo(TypeId target) const {
+  if (type_ == target) return *this;
+  if (type_ == TypeId::kNull) return Value::Null();
+  switch (target) {
+    case TypeId::kDouble:
+      if (type_ == TypeId::kInt64) return Value::Double(static_cast<double>(i_));
+      break;
+    case TypeId::kDate:
+      if (type_ == TypeId::kString) return DateFromString(s_);
+      if (type_ == TypeId::kInt64) {
+        if (!IsValidDateEncoding(i_)) {
+          return Status::TypeError("integer " + std::to_string(i_) +
+                                   " is not a valid YYYYMMDD date");
+        }
+        return Value::Date(i_);
+      }
+      break;
+    case TypeId::kInt64:
+      if (type_ == TypeId::kDate) return Value::Int64(i_);
+      break;
+    default:
+      break;
+  }
+  return Status::TypeError(std::string("cannot coerce ") + TypeIdToString(type_) +
+                           " to " + TypeIdToString(target));
+}
+
+namespace {
+
+/// Numeric family: INT64, DOUBLE, DATE (DATE shares the int encoding).
+bool IsNumericFamily(TypeId t) {
+  return t == TypeId::kInt64 || t == TypeId::kDouble || t == TypeId::kDate;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+  if (IsNumericFamily(type_) && IsNumericFamily(other.type_)) {
+    if (type_ == TypeId::kDouble || other.type_ == TypeId::kDouble) {
+      double a = AsDouble();
+      double b = other.AsDouble();
+      if (a < b) return -1;
+      if (a > b) return 1;
+      return 0;
+    }
+    if (i_ < other.i_) return -1;
+    if (i_ > other.i_) return 1;
+    return 0;
+  }
+  if (type_ == TypeId::kString && other.type_ == TypeId::kString) {
+    return s_.compare(other.s_) < 0 ? -1 : (s_ == other.s_ ? 0 : 1);
+  }
+  // Heterogeneous (string vs numeric): order by type tag for stability.
+  return static_cast<int>(type_) < static_cast<int>(other.type_) ? -1 : 1;
+}
+
+uint64_t Value::Hash() const {
+  switch (type_) {
+    case TypeId::kNull:
+      return 0xDEADBEEFCAFEF00DULL;
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      return HashInt64(static_cast<uint64_t>(i_));
+    case TypeId::kDouble: {
+      // Hash doubles that equal an integer identically to that integer so
+      // mixed INT/DOUBLE group keys behave (rare in practice).
+      double r = std::round(d_);
+      if (r == d_ && std::abs(d_) < 9.0e18) {
+        return HashInt64(static_cast<uint64_t>(static_cast<int64_t>(r)));
+      }
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d_));
+      __builtin_memcpy(&bits, &d_, sizeof(bits));
+      return HashInt64(bits);
+    }
+    case TypeId::kString:
+      return HashString(s_);
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kInt64:
+      return std::to_string(i_);
+    case TypeId::kDouble: {
+      std::string s = StringPrintf("%.6g", d_);
+      return s;
+    }
+    case TypeId::kString:
+      return "'" + s_ + "'";
+    case TypeId::kDate:
+      return FormatDate(i_);
+  }
+  return "?";
+}
+
+std::string Value::ToCsv() const {
+  if (type_ == TypeId::kString) return s_;
+  if (type_ == TypeId::kNull) return "";
+  return ToString();
+}
+
+int CompareValueVec(const ValueVec& a, const ValueVec& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() < b.size()) return -1;
+  if (a.size() > b.size()) return 1;
+  return 0;
+}
+
+std::string ValueVecToString(const ValueVec& v) {
+  std::string out = "(";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += v[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace beas

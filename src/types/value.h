@@ -1,0 +1,133 @@
+#ifndef BEAS_TYPES_VALUE_H_
+#define BEAS_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "types/data_type.h"
+
+namespace beas {
+
+/// \brief A typed scalar: the unit of data flowing through the engine.
+///
+/// Values are small tagged unions. Strings are stored inline
+/// (std::string); numeric payloads share storage. NULL compares equal to
+/// NULL for grouping/index purposes and orders before all non-NULL values;
+/// SQL three-valued logic is handled by the expression evaluator, which
+/// treats comparisons against NULL as not-satisfied.
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : type_(TypeId::kNull), i_(0), d_(0) {}
+
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) {
+    Value out;
+    out.type_ = TypeId::kInt64;
+    out.i_ = v;
+    return out;
+  }
+  static Value Double(double v) {
+    Value out;
+    out.type_ = TypeId::kDouble;
+    out.d_ = v;
+    return out;
+  }
+  static Value String(std::string v) {
+    Value out;
+    out.type_ = TypeId::kString;
+    out.s_ = std::move(v);
+    return out;
+  }
+  /// Constructs a DATE from the int64 YYYYMMDD encoding.
+  static Value Date(int64_t yyyymmdd) {
+    Value out;
+    out.type_ = TypeId::kDate;
+    out.i_ = yyyymmdd;
+    return out;
+  }
+  /// Parses "YYYY-MM-DD" into a DATE value.
+  static Result<Value> DateFromString(const std::string& s);
+
+  TypeId type() const { return type_; }
+  bool is_null() const { return type_ == TypeId::kNull; }
+
+  /// \name Accessors; callers must check type() first.
+  /// @{
+  int64_t AsInt64() const { return i_; }
+  double AsDouble() const { return type_ == TypeId::kDouble ? d_ : static_cast<double>(i_); }
+  const std::string& AsString() const { return s_; }
+  int64_t AsDate() const { return i_; }
+  /// @}
+
+  /// \brief Coerces this value to `target` type if implicitly allowed
+  /// (INT->DOUBLE, STRING->DATE, INT->DATE).
+  Result<Value> CoerceTo(TypeId target) const;
+
+  /// \brief Total order across values of the same comparable family.
+  ///
+  /// NULL < everything; INT and DOUBLE compare numerically with each
+  /// other; DATE compares with DATE (and INT, sharing the encoding).
+  /// Returns <0, 0, >0. Comparing STRING with a numeric type is a
+  /// programming error caught by the evaluator before reaching here;
+  /// this function falls back to type-tag order for heterogeneity.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// \brief Hash consistent with operator== (INT/DOUBLE/DATE with equal
+  /// numeric value may hash differently across type families; the engine
+  /// always hashes values of one declared column type together).
+  uint64_t Hash() const;
+
+  /// \brief Renders for display: NULL, 42, 3.14, 'text', 2016-03-01.
+  std::string ToString() const;
+
+  /// \brief Renders for CSV (no quotes added; dates as YYYY-MM-DD).
+  std::string ToCsv() const;
+
+ private:
+  TypeId type_;
+  int64_t i_;
+  double d_;
+  std::string s_;
+};
+
+/// \brief A key made of several values (e.g. the X-projection probed into an
+/// access-constraint index).
+using ValueVec = std::vector<Value>;
+
+/// \brief Hash functor for ValueVec keys in unordered containers.
+struct ValueVecHash {
+  size_t operator()(const ValueVec& v) const {
+    uint64_t seed = 0x2545F4914F6CDD1DULL;
+    for (const Value& x : v) HashCombine(&seed, x.Hash());
+    return static_cast<size_t>(seed);
+  }
+};
+
+/// \brief Equality functor for ValueVec keys in unordered containers.
+struct ValueVecEq {
+  bool operator()(const ValueVec& a, const ValueVec& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  }
+};
+
+/// \brief Lexicographic comparison of two value vectors.
+int CompareValueVec(const ValueVec& a, const ValueVec& b);
+
+/// \brief Renders a vector of values as "(v1, v2, ...)".
+std::string ValueVecToString(const ValueVec& v);
+
+}  // namespace beas
+
+#endif  // BEAS_TYPES_VALUE_H_

@@ -1,0 +1,36 @@
+#include "workload/tlc_access_schema.h"
+
+namespace beas {
+
+std::vector<AccessConstraint> TlcAccessConstraints() {
+  return {
+      // Paper Example 1.
+      {"psi1", "call", {"pnum", "date"}, {"recnum", "region"}, 500},
+      {"psi2", "package", {"pnum", "year"}, {"pid", "start", "end"}, 12},
+      {"psi3", "business", {"type", "region"}, {"pnum"}, 2000},
+      // The rest of A_TLC.
+      {"psi4", "customer", {"pnum"}, {"cid", "age", "gender", "city", "plan_type"}, 1},
+      {"psi5", "message", {"pnum", "date"}, {"recnum", "region", "length"}, 1000},
+      {"psi6", "data_usage", {"pnum", "date"}, {"mb_used", "region"}, 24},
+      {"psi7", "handoff", {"pnum", "date"}, {"tid", "count"}, 100},
+      {"psi8", "complaint", {"cid"}, {"date", "category", "severity"}, 50},
+      {"psi9", "payment", {"cid", "year"}, {"month", "amount", "method"}, 12},
+      {"psi10", "roaming", {"pnum", "date"}, {"country", "minutes"}, 5},
+      {"psi11", "promotion", {"pid", "region"}, {"month", "discount"}, 12},
+      {"psi12", "tower", {"tid"}, {"region", "capacity", "operator"}, 1},
+      // Secondary constraints used by individual workload queries.
+      {"psi13", "package", {"pnum", "year"}, {"pid", "fee"}, 12},
+      {"psi14", "business", {"pnum"}, {"type", "region", "name"}, 1},
+      {"psi15", "promotion", {"pid"}, {"region", "month", "discount"}, 96},
+      {"psi16", "roaming", {"pnum"}, {"date", "country", "minutes"}, 140},
+  };
+}
+
+Status RegisterTlcAccessSchema(AsCatalog* catalog) {
+  for (const AccessConstraint& c : TlcAccessConstraints()) {
+    BEAS_RETURN_NOT_OK(catalog->Register(c));
+  }
+  return Status::OK();
+}
+
+}  // namespace beas

@@ -1,0 +1,42 @@
+#ifndef BEAS_WORKLOAD_TLC_GENERATOR_H_
+#define BEAS_WORKLOAD_TLC_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "engine/database.h"
+
+namespace beas {
+
+/// \brief Generator knobs. Row counts scale linearly with `scale_factor`
+/// (SF): SF=1 ≈ 50k rows total; the Fig. 4 scalability sweep uses
+/// SF ∈ {1, 2, 4, 8, 16} standing in for the paper's 1–200 GB range.
+struct TlcOptions {
+  double scale_factor = 1.0;
+  uint64_t seed = 42;
+};
+
+/// \brief Row counts produced by a generation run.
+struct TlcStats {
+  size_t num_pnums = 0;
+  size_t total_rows = 0;
+  size_t rows_per_table[12] = {0};
+
+  std::string ToString() const;
+};
+
+/// \brief Creates the 12 TLC tables in `db` and fills them with a
+/// deterministic dataset that conforms to the TLC access schema
+/// (see tlc_access_schema.h).
+///
+/// A deterministic "cohort" is planted so the 11 built-in queries return
+/// non-empty answers at every scale: every bank business in R1 holds
+/// package kTlcPackageId across kTlcDate and calls on that date, and the
+/// probe subscriber kTlcProbePnum has calls, messages, data usage,
+/// roaming, handoffs, complaints and payments on the workload dates.
+Result<TlcStats> GenerateTlc(Database* db, const TlcOptions& options = {});
+
+}  // namespace beas
+
+#endif  // BEAS_WORKLOAD_TLC_GENERATOR_H_

@@ -1,0 +1,87 @@
+#include "workload/tlc_queries.h"
+
+namespace beas {
+
+const std::vector<TlcQuery>& TlcQueries() {
+  static const auto* kQueries = new std::vector<TlcQuery>{
+      {"Q1",
+       "regions reached by calls from bank businesses in R1 on d0 holding "
+       "package c0 (paper Example 2)",
+       "SELECT call.region "
+       "FROM call, package, business "
+       "WHERE business.type = 'bank' AND business.region = 'R1' "
+       "AND business.pnum = call.pnum AND call.date = '2016-03-15' "
+       "AND call.pnum = package.pnum AND package.year = 2016 "
+       "AND package.start <= '2016-03-15' AND package.end >= '2016-03-15' "
+       "AND package.pid = 5",
+       true},
+      {"Q2",
+       "distinct numbers a subscriber called on a given day",
+       "SELECT DISTINCT call.recnum FROM call "
+       "WHERE call.pnum = 10001 AND call.date = '2016-03-15'",
+       true},
+      {"Q3",
+       "roaming activity of a subscriber across three days",
+       "SELECT count(*) AS trips, sum(roaming.minutes) AS total_minutes "
+       "FROM roaming WHERE roaming.pnum = 10001 "
+       "AND roaming.date IN ('2016-03-10', '2016-03-11', '2016-03-12')",
+       true},
+      {"Q4",
+       "total 2016 payments of the customer owning a number",
+       "SELECT sum(payment.amount) AS total FROM customer, payment "
+       "WHERE customer.pnum = 10001 AND customer.cid = payment.cid "
+       "AND payment.year = 2016",
+       true},
+      {"Q5",
+       "call volume by destination region for a subscriber-day (top 3)",
+       "SELECT call.region, count(*) AS calls FROM call "
+       "WHERE call.pnum = 10001 AND call.date = '2016-03-15' "
+       "GROUP BY call.region ORDER BY calls DESC LIMIT 3",
+       true},
+      {"Q6",
+       "average daily data usage of a subscriber over a week",
+       "SELECT avg(data_usage.mb_used) AS avg_mb FROM data_usage "
+       "WHERE data_usage.pnum = 10001 AND data_usage.date IN "
+       "('2016-03-08', '2016-03-09', '2016-03-10', '2016-03-11', "
+       "'2016-03-12', '2016-03-13', '2016-03-14')",
+       true},
+      {"Q7",
+       "severe complaints filed by bank businesses in R1",
+       "SELECT complaint.category, complaint.severity "
+       "FROM business, customer, complaint "
+       "WHERE business.type = 'bank' AND business.region = 'R1' "
+       "AND business.pnum = customer.pnum AND customer.cid = complaint.cid "
+       "AND complaint.severity >= 3",
+       true},
+      {"Q8",
+       "premium packages held by a subscriber in 2016",
+       "SELECT package.pid, package.fee FROM package "
+       "WHERE package.pnum = 10001 AND package.year = 2016 "
+       "AND package.fee > 20.0",
+       true},
+      {"Q9",
+       "tower capacities serving a subscriber's handoffs on a day",
+       "SELECT handoff.tid, tower.capacity FROM handoff, tower "
+       "WHERE handoff.pnum = 10001 AND handoff.date = '2016-03-15' "
+       "AND handoff.tid = tower.tid",
+       true},
+      {"Q10",
+       "first-quarter promotions of package c0 across regions",
+       "SELECT promotion.region, promotion.month, promotion.discount "
+       "FROM promotion WHERE promotion.pid = 5 "
+       "AND promotion.month BETWEEN 1 AND 3 "
+       "ORDER BY promotion.region, promotion.month",
+       true},
+      {"Q11",
+       "region-wide call count (no access constraint keys call by region "
+       "alone: NOT boundedly evaluable; exercises the partially bounded / "
+       "conventional fallback)",
+       "SELECT count(*) AS calls FROM call WHERE call.region = 'R1'",
+       false},
+  };
+  return *kQueries;
+}
+
+const std::string& TlcExample2Sql() { return TlcQueries()[0].sql; }
+
+}  // namespace beas

@@ -1,0 +1,107 @@
+#include "workload/tlc_schema.h"
+
+namespace beas {
+
+std::vector<std::string> TlcTableNames() {
+  return {"call",      "package", "business", "customer",
+          "message",   "data_usage", "tower", "handoff",
+          "complaint", "payment", "roaming",  "promotion"};
+}
+
+Result<Schema> TlcTableSchema(const std::string& name) {
+  using T = TypeId;
+  if (name == "call") {
+    return Schema({{"pnum", T::kInt64},
+                   {"recnum", T::kInt64},
+                   {"date", T::kDate},
+                   {"region", T::kString},
+                   {"duration", T::kInt64},
+                   {"cost", T::kDouble},
+                   {"cell_id", T::kInt64},
+                   {"imei", T::kInt64}});
+  }
+  if (name == "package") {
+    return Schema({{"pnum", T::kInt64},
+                   {"pid", T::kInt64},
+                   {"start", T::kDate},
+                   {"end", T::kDate},
+                   {"year", T::kInt64},
+                   {"fee", T::kDouble}});
+  }
+  if (name == "business") {
+    return Schema({{"pnum", T::kInt64},
+                   {"type", T::kString},
+                   {"region", T::kString},
+                   {"name", T::kString}});
+  }
+  if (name == "customer") {
+    return Schema({{"pnum", T::kInt64},
+                   {"cid", T::kInt64},
+                   {"age", T::kInt64},
+                   {"gender", T::kString},
+                   {"city", T::kString},
+                   {"plan_type", T::kString}});
+  }
+  if (name == "message") {
+    return Schema({{"pnum", T::kInt64},
+                   {"recnum", T::kInt64},
+                   {"date", T::kDate},
+                   {"region", T::kString},
+                   {"length", T::kInt64}});
+  }
+  if (name == "data_usage") {
+    return Schema({{"pnum", T::kInt64},
+                   {"date", T::kDate},
+                   {"mb_used", T::kDouble},
+                   {"region", T::kString}});
+  }
+  if (name == "tower") {
+    return Schema({{"tid", T::kInt64},
+                   {"region", T::kString},
+                   {"capacity", T::kInt64},
+                   {"operator", T::kString}});
+  }
+  if (name == "handoff") {
+    return Schema({{"pnum", T::kInt64},
+                   {"date", T::kDate},
+                   {"tid", T::kInt64},
+                   {"count", T::kInt64}});
+  }
+  if (name == "complaint") {
+    return Schema({{"cid", T::kInt64},
+                   {"date", T::kDate},
+                   {"category", T::kString},
+                   {"severity", T::kInt64}});
+  }
+  if (name == "payment") {
+    return Schema({{"cid", T::kInt64},
+                   {"month", T::kInt64},
+                   {"year", T::kInt64},
+                   {"amount", T::kDouble},
+                   {"method", T::kString}});
+  }
+  if (name == "roaming") {
+    return Schema({{"pnum", T::kInt64},
+                   {"date", T::kDate},
+                   {"country", T::kString},
+                   {"minutes", T::kInt64}});
+  }
+  if (name == "promotion") {
+    return Schema({{"pid", T::kInt64},
+                   {"region", T::kString},
+                   {"month", T::kInt64},
+                   {"discount", T::kDouble}});
+  }
+  return Status::NotFound("unknown TLC table '" + name + "'");
+}
+
+Status CreateTlcTables(Database* db) {
+  for (const std::string& name : TlcTableNames()) {
+    BEAS_ASSIGN_OR_RETURN(Schema schema, TlcTableSchema(name));
+    auto created = db->CreateTable(name, schema);
+    if (!created.ok()) return created.status();
+  }
+  return Status::OK();
+}
+
+}  // namespace beas

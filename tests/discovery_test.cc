@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "asx/conformance.h"
+#include "bounded/beas_session.h"
+#include "discovery/discovery.h"
+#include "test_util.h"
+
+namespace beas {
+namespace {
+
+using testing_util::Dt;
+using testing_util::I;
+using testing_util::MakeTable;
+using testing_util::S;
+
+class DiscoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::vector<Row> calls;
+    for (int p = 1; p <= 20; ++p) {
+      for (int d = 1; d <= 5; ++d) {
+        for (int r = 0; r < (p % 3) + 1; ++r) {
+          calls.push_back({I(p), Dt("2016-03-0" + std::to_string(d)),
+                           I(100 + r), S(p % 2 ? "R1" : "R2")});
+        }
+      }
+    }
+    MakeTable(&db_, "call",
+              Schema({{"pnum", TypeId::kInt64},
+                      {"date", TypeId::kDate},
+                      {"recnum", TypeId::kInt64},
+                      {"region", TypeId::kString}}),
+              calls);
+    workload_ = {
+        "SELECT call.recnum FROM call WHERE call.pnum = 3 AND call.date = "
+        "'2016-03-01'",
+        "SELECT call.recnum, call.region FROM call WHERE call.pnum = 5 AND "
+        "call.date = '2016-03-02'",
+        "SELECT call.recnum, call.region FROM call WHERE call.pnum = 7 AND "
+        "call.date = '2016-03-02'",
+    };
+  }
+
+  Database db_;
+  std::vector<std::string> workload_;
+};
+
+TEST_F(DiscoveryTest, MinesCandidatesFromWorkload) {
+  auto candidates = MineCandidates(db_, workload_);
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_FALSE(candidates->empty());
+  // The dominant pattern: call({date, pnum} -> {recnum[, region]}).
+  bool found = false;
+  for (const CandidatePattern& c : *candidates) {
+    if (c.table == "call" && c.x_attrs.size() == 2) found = true;
+  }
+  EXPECT_TRUE(found);
+  // Repeated query shapes accumulate weight.
+  double max_weight = 0;
+  for (const CandidatePattern& c : *candidates) {
+    max_weight = std::max(max_weight, c.weight);
+  }
+  EXPECT_GE(max_weight, 2.0);
+}
+
+TEST_F(DiscoveryTest, SkipsUnbindableWorkloadEntries) {
+  std::vector<std::string> noisy = workload_;
+  noisy.push_back("SELECT nope FROM nothing");
+  noisy.push_back("not even sql");
+  auto candidates = MineCandidates(db_, noisy);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_FALSE(candidates->empty());
+}
+
+TEST_F(DiscoveryTest, ProfilerComputesObservedN) {
+  CandidatePattern pattern;
+  pattern.table = "call";
+  pattern.x_attrs = {"pnum", "date"};
+  pattern.y_attrs = {"recnum"};
+  auto table = db_.catalog()->GetTable("call");
+  auto profile = ProfileCandidate(*(*table)->heap(), pattern);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->observed_n, 3u) << "pnum%3+1 distinct recnums, max 3";
+  EXPECT_EQ(profile->num_keys, 100u) << "20 pnums x 5 days";
+  EXPECT_GT(profile->approx_bytes, 0u);
+}
+
+TEST_F(DiscoveryTest, DiscoveredSchemaConformsAndCoversWorkload) {
+  DiscoveryOptions options;
+  auto result = DiscoverAccessSchema(db_, workload_, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(result->schema.size(), 0u);
+
+  // Every discovered constraint must actually hold on the data.
+  auto reports = VerifySchemaConformance(db_, result->schema);
+  ASSERT_TRUE(reports.ok());
+  for (const ConformanceReport& report : *reports) {
+    EXPECT_TRUE(report.conforms) << report.ToString();
+  }
+
+  // Registering the discovered schema makes the workload covered.
+  AsCatalog catalog(&db_);
+  for (const AccessConstraint& c : result->schema.constraints()) {
+    ASSERT_TRUE(catalog.Register(c).ok());
+  }
+  BeasSession session(&db_, &catalog);
+  for (const std::string& sql : workload_) {
+    auto coverage = session.Check(sql);
+    ASSERT_TRUE(coverage.ok());
+    EXPECT_TRUE(coverage->covered) << sql << ": " << coverage->reason;
+    // And bounded answers match the conventional engine.
+    auto bounded = session.ExecuteBounded(sql);
+    auto conventional = db_.Query(sql);
+    ASSERT_TRUE(bounded.ok());
+    ASSERT_TRUE(conventional.ok());
+    EXPECT_TRUE(RowMultisetsEqual(bounded->rows, conventional->rows));
+  }
+}
+
+TEST_F(DiscoveryTest, StorageBudgetRespected) {
+  DiscoveryOptions tiny;
+  tiny.storage_budget_bytes = 1;  // nothing fits
+  auto result = DiscoverAccessSchema(db_, workload_, tiny);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->schema.size(), 0u);
+  EXPECT_FALSE(result->rejected.empty());
+  EXPECT_NE(result->report.find("over budget"), std::string::npos);
+
+  DiscoveryOptions ample;
+  ample.storage_budget_bytes = 1ull << 30;
+  auto full = DiscoverAccessSchema(db_, workload_, ample);
+  ASSERT_TRUE(full.ok());
+  EXPECT_GT(full->schema.size(), 0u);
+  EXPECT_LE(full->bytes_used, ample.storage_budget_bytes);
+}
+
+TEST_F(DiscoveryTest, MaxNRejectsUnselectiveCandidates) {
+  DiscoveryOptions options;
+  options.max_n = 1;  // observed N is 3 -> rejected
+  auto result = DiscoverAccessSchema(db_, workload_, options);
+  ASSERT_TRUE(result.ok());
+  for (const CandidateProfile& p : result->accepted) {
+    EXPECT_LE(p.observed_n, 1u);
+  }
+  EXPECT_NE(result->report.find("N too large"), std::string::npos);
+}
+
+TEST_F(DiscoveryTest, HeadroomScalesDeclaredBound) {
+  DiscoveryOptions options;
+  options.n_headroom = 2.0;
+  auto result = DiscoverAccessSchema(db_, workload_, options);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < result->schema.size(); ++i) {
+    const AccessConstraint& c = result->schema.constraints()[i];
+    // Declared N is observed * 2 (rounded up), so at least observed.
+    bool matched = false;
+    for (const CandidateProfile& p : result->accepted) {
+      if (p.pattern.table == c.table && p.pattern.x_attrs == c.x_attrs &&
+          p.pattern.y_attrs == c.y_attrs) {
+        EXPECT_EQ(c.limit_n, p.observed_n * 2);
+        matched = true;
+      }
+    }
+    EXPECT_TRUE(matched);
+  }
+}
+
+}  // namespace
+}  // namespace beas

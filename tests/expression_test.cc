@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "expr/evaluator.h"
+#include "expr/expression.h"
+#include "test_util.h"
+
+namespace beas {
+namespace {
+
+using testing_util::D;
+using testing_util::I;
+using testing_util::N;
+using testing_util::S;
+
+ExprPtr Col(size_t i, TypeId t = TypeId::kInt64) {
+  return Expression::Column(i, t, "c" + std::to_string(i));
+}
+ExprPtr Lit(Value v) { return Expression::Literal(std::move(v)); }
+
+Value MustEval(const ExprPtr& e, const Row& row) {
+  auto v = Eval(*e, row);
+  EXPECT_TRUE(v.ok()) << v.status().ToString();
+  return v.ok() ? *v : Value::Null();
+}
+
+TEST(ExpressionTest, ColumnRefReadsRow) {
+  Row row{I(10), S("x")};
+  EXPECT_EQ(MustEval(Col(0), row), I(10));
+  EXPECT_EQ(MustEval(Col(1, TypeId::kString), row), S("x"));
+}
+
+TEST(ExpressionTest, ColumnOutOfRangeIsInternalError) {
+  EXPECT_EQ(Eval(*Col(3), Row{I(1)}).status().code(), StatusCode::kInternal);
+}
+
+TEST(ExpressionTest, CompareOps) {
+  Row row{I(5)};
+  auto check = [&](CompareOp op, int64_t rhs, bool expect) {
+    auto e = Expression::Compare(op, Col(0), Lit(I(rhs)));
+    EXPECT_EQ(MustEval(e, row), I(expect ? 1 : 0));
+  };
+  check(CompareOp::kEq, 5, true);
+  check(CompareOp::kEq, 6, false);
+  check(CompareOp::kNe, 6, true);
+  check(CompareOp::kLt, 6, true);
+  check(CompareOp::kLe, 5, true);
+  check(CompareOp::kGt, 4, true);
+  check(CompareOp::kGe, 6, false);
+}
+
+TEST(ExpressionTest, CompareNullIsNull) {
+  auto e = Expression::Compare(CompareOp::kEq, Col(0), Lit(I(1)));
+  EXPECT_TRUE(MustEval(e, Row{N()}).is_null());
+}
+
+TEST(ExpressionTest, CompareStringWithIntIsTypeError) {
+  auto e = Expression::Compare(CompareOp::kEq, Lit(S("x")), Lit(I(1)));
+  EXPECT_EQ(Eval(*e, {}).status().code(), StatusCode::kTypeError);
+}
+
+TEST(ExpressionTest, ArithIntAndDouble) {
+  auto add = Expression::Arith(ArithOp::kAdd, Lit(I(2)), Lit(I(3)));
+  EXPECT_EQ(MustEval(add, {}), I(5));
+  auto mul = Expression::Arith(ArithOp::kMul, Lit(I(2)), Lit(D(1.5)));
+  EXPECT_EQ(MustEval(mul, {}).AsDouble(), 3.0);
+  auto div = Expression::Arith(ArithOp::kDiv, Lit(I(7)), Lit(I(2)));
+  EXPECT_EQ(MustEval(div, {}), I(3)) << "integer division";
+  auto mod = Expression::Arith(ArithOp::kMod, Lit(I(7)), Lit(I(4)));
+  EXPECT_EQ(MustEval(mod, {}), I(3));
+}
+
+TEST(ExpressionTest, DivisionByZeroIsNull) {
+  auto div = Expression::Arith(ArithOp::kDiv, Lit(I(7)), Lit(I(0)));
+  EXPECT_TRUE(MustEval(div, {}).is_null());
+  auto fdiv = Expression::Arith(ArithOp::kDiv, Lit(D(7)), Lit(D(0)));
+  EXPECT_TRUE(MustEval(fdiv, {}).is_null());
+  auto mod = Expression::Arith(ArithOp::kMod, Lit(I(7)), Lit(I(0)));
+  EXPECT_TRUE(MustEval(mod, {}).is_null());
+}
+
+TEST(ExpressionTest, ArithNullPropagates) {
+  auto add = Expression::Arith(ArithOp::kAdd, Lit(N()), Lit(I(3)));
+  EXPECT_TRUE(MustEval(add, {}).is_null());
+}
+
+TEST(ExpressionTest, LogicThreeValued) {
+  auto t = Lit(I(1));
+  auto f = Lit(I(0));
+  auto n = Lit(N());
+  auto eval = [&](LogicOp op, ExprPtr a, ExprPtr b) {
+    return MustEval(Expression::Logic(op, a, b), {});
+  };
+  EXPECT_EQ(eval(LogicOp::kAnd, t, t), I(1));
+  EXPECT_EQ(eval(LogicOp::kAnd, t, f), I(0));
+  EXPECT_EQ(eval(LogicOp::kAnd, f, n), I(0)) << "false AND null = false";
+  EXPECT_TRUE(eval(LogicOp::kAnd, t, n).is_null()) << "true AND null = null";
+  EXPECT_EQ(eval(LogicOp::kOr, f, t), I(1));
+  EXPECT_EQ(eval(LogicOp::kOr, t, n), I(1)) << "true OR null = true";
+  EXPECT_TRUE(eval(LogicOp::kOr, f, n).is_null()) << "false OR null = null";
+}
+
+TEST(ExpressionTest, NotAndNeg) {
+  EXPECT_EQ(MustEval(Expression::Not(Lit(I(0))), {}), I(1));
+  EXPECT_EQ(MustEval(Expression::Not(Lit(I(1))), {}), I(0));
+  EXPECT_TRUE(MustEval(Expression::Not(Lit(N())), {}).is_null());
+  EXPECT_EQ(MustEval(Expression::Neg(Lit(I(5))), {}), I(-5));
+  EXPECT_EQ(MustEval(Expression::Neg(Lit(D(2.5))), {}).AsDouble(), -2.5);
+}
+
+TEST(ExpressionTest, Between) {
+  auto e = Expression::Between(Col(0), Lit(I(2)), Lit(I(4)));
+  EXPECT_EQ(MustEval(e, Row{I(3)}), I(1));
+  EXPECT_EQ(MustEval(e, Row{I(2)}), I(1)) << "inclusive";
+  EXPECT_EQ(MustEval(e, Row{I(4)}), I(1)) << "inclusive";
+  EXPECT_EQ(MustEval(e, Row{I(5)}), I(0));
+  EXPECT_TRUE(MustEval(e, Row{N()}).is_null());
+}
+
+TEST(ExpressionTest, InList) {
+  auto e = Expression::InList(Col(0), {I(1), I(3), I(5)});
+  EXPECT_EQ(MustEval(e, Row{I(3)}), I(1));
+  EXPECT_EQ(MustEval(e, Row{I(2)}), I(0));
+  EXPECT_TRUE(MustEval(e, Row{N()}).is_null());
+}
+
+TEST(ExpressionTest, IsNull) {
+  auto is_null = Expression::IsNull(Col(0), false);
+  auto not_null = Expression::IsNull(Col(0), true);
+  EXPECT_EQ(MustEval(is_null, Row{N()}), I(1));
+  EXPECT_EQ(MustEval(is_null, Row{I(1)}), I(0));
+  EXPECT_EQ(MustEval(not_null, Row{N()}), I(0));
+  EXPECT_EQ(MustEval(not_null, Row{I(1)}), I(1));
+}
+
+TEST(ExpressionTest, EvalPredicateNullIsFalse) {
+  auto e = Expression::Compare(CompareOp::kEq, Col(0), Lit(I(1)));
+  EXPECT_FALSE(*EvalPredicate(*e, Row{N()}));
+  EXPECT_TRUE(*EvalPredicate(*e, Row{I(1)}));
+}
+
+TEST(ExpressionTest, ResultTypes) {
+  EXPECT_EQ(Col(0)->ResultType(), TypeId::kInt64);
+  EXPECT_EQ(Lit(D(1))->ResultType(), TypeId::kDouble);
+  auto cmp = Expression::Compare(CompareOp::kEq, Col(0), Lit(I(1)));
+  EXPECT_EQ(cmp->ResultType(), TypeId::kInt64);
+  auto mixed = Expression::Arith(ArithOp::kAdd, Col(0), Lit(D(1)));
+  EXPECT_EQ(mixed->ResultType(), TypeId::kDouble);
+}
+
+TEST(ExpressionTest, CollectColumnsDedupSorted) {
+  auto e = Expression::Logic(
+      LogicOp::kAnd,
+      Expression::Compare(CompareOp::kEq, Col(3), Col(1)),
+      Expression::Compare(CompareOp::kLt, Col(1), Lit(I(5))));
+  std::vector<size_t> cols;
+  e->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::vector<size_t>{1, 3}));
+}
+
+TEST(ExpressionTest, StructuralEquals) {
+  auto a = Expression::Compare(CompareOp::kEq, Col(0), Lit(I(1)));
+  auto b = Expression::Compare(CompareOp::kEq, Col(0), Lit(I(1)));
+  auto c = Expression::Compare(CompareOp::kEq, Col(0), Lit(I(2)));
+  auto d = Expression::Compare(CompareOp::kNe, Col(0), Lit(I(1)));
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+  EXPECT_FALSE(a->Equals(*d));
+}
+
+TEST(ExpressionTest, RebindColumns) {
+  auto e = Expression::Compare(CompareOp::kEq, Col(5), Col(9));
+  std::unordered_map<size_t, size_t> mapping{{5, 0}, {9, 1}};
+  ExprPtr rebound = RebindColumns(e, mapping);
+  ASSERT_NE(rebound, nullptr);
+  EXPECT_EQ(rebound->children[0]->column_index, 0u);
+  EXPECT_EQ(rebound->children[1]->column_index, 1u);
+  // Missing mapping -> nullptr.
+  std::unordered_map<size_t, size_t> partial{{5, 0}};
+  EXPECT_EQ(RebindColumns(e, partial), nullptr);
+}
+
+TEST(ExpressionTest, ToStringStable) {
+  auto e = Expression::Logic(
+      LogicOp::kAnd, Expression::Compare(CompareOp::kLe, Col(0), Lit(I(5))),
+      Expression::InList(Col(1), {I(1), I(2)}));
+  EXPECT_EQ(e->ToString(), "((c0 <= 5) AND (c1 IN (1, 2)))");
+}
+
+}  // namespace
+}  // namespace beas

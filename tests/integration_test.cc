@@ -1,0 +1,143 @@
+// End-to-end parity: every TLC benchmark query, executed through the
+// BEAS session (bounded / partially bounded / conventional as decided by
+// the checker) and through all three conventional engine profiles, must
+// return identical multisets of rows. Parameterized over (query, profile).
+
+#include <gtest/gtest.h>
+
+#include "bounded/beas_session.h"
+#include "workload/tlc_access_schema.h"
+#include "workload/tlc_generator.h"
+#include "workload/tlc_queries.h"
+
+namespace beas {
+namespace {
+
+struct Env {
+  Database db;
+  std::unique_ptr<AsCatalog> catalog;
+  std::unique_ptr<BeasSession> session;
+};
+
+Env* SharedEnv() {
+  static Env* env = [] {
+    auto* e = new Env();
+    TlcOptions options;
+    options.scale_factor = 0.5;
+    auto stats = GenerateTlc(&e->db, options);
+    if (!stats.ok()) return e;
+    e->catalog = std::make_unique<AsCatalog>(&e->db);
+    if (!RegisterTlcAccessSchema(e->catalog.get()).ok()) return e;
+    e->session = std::make_unique<BeasSession>(&e->db, e->catalog.get());
+    return e;
+  }();
+  return env;
+}
+
+class TlcQueryParity
+    : public ::testing::TestWithParam<std::tuple<size_t, int>> {};
+
+const EngineProfile& ProfileFor(int which) {
+  switch (which) {
+    case 0: return EngineProfile::PostgresLike();
+    case 1: return EngineProfile::MySqlLike();
+    default: return EngineProfile::MariaDbLike();
+  }
+}
+
+TEST_P(TlcQueryParity, BeasMatchesConventionalEngine) {
+  Env* env = SharedEnv();
+  ASSERT_NE(env->session, nullptr);
+  const TlcQuery& query = TlcQueries()[std::get<0>(GetParam())];
+  const EngineProfile& profile = ProfileFor(std::get<1>(GetParam()));
+
+  BeasSession::ExecutionDecision decision;
+  auto beas = env->session->Execute(query.sql, &decision);
+  ASSERT_TRUE(beas.ok()) << query.id << ": " << beas.status().ToString();
+
+  auto conventional = env->db.Query(query.sql, profile);
+  ASSERT_TRUE(conventional.ok())
+      << query.id << ": " << conventional.status().ToString();
+
+  EXPECT_TRUE(RowMultisetsEqual(beas->rows, conventional->rows))
+      << query.id << " on " << profile.name << ": BEAS returned "
+      << beas->rows.size() << " rows, conventional "
+      << conventional->rows.size();
+
+  if (query.expect_covered) {
+    EXPECT_EQ(decision.mode, BeasSession::ExecutionDecision::Mode::kBounded)
+        << query.id;
+  } else {
+    EXPECT_NE(decision.mode, BeasSession::ExecutionDecision::Mode::kBounded)
+        << query.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllQueriesAllEngines, TlcQueryParity,
+    ::testing::Combine(::testing::Range<size_t>(0, 11),
+                       ::testing::Values(0, 1, 2)),
+    [](const ::testing::TestParamInfo<std::tuple<size_t, int>>& info) {
+      return TlcQueries()[std::get<0>(info.param)].id + "_" +
+             ProfileFor(std::get<1>(info.param)).name.substr(0, 5);
+    });
+
+class TlcBoundHonored : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TlcBoundHonored, ActualFetchesNeverExceedDeducedBound) {
+  Env* env = SharedEnv();
+  ASSERT_NE(env->session, nullptr);
+  const TlcQuery& query = TlcQueries()[GetParam()];
+  if (!query.expect_covered) GTEST_SKIP() << "not covered";
+  auto coverage = env->session->Check(query.sql);
+  ASSERT_TRUE(coverage.ok());
+  ASSERT_TRUE(coverage->covered) << coverage->reason;
+  auto result = env->session->ExecuteBounded(query.sql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LE(result->tuples_accessed, coverage->plan.total_access_bound)
+      << query.id;
+  EXPECT_GT(coverage->plan.total_access_bound, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TlcBoundHonored,
+                         ::testing::Range<size_t>(0, 11),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return TlcQueries()[info.param].id;
+                         });
+
+class TlcScaleIndependence : public ::testing::Test {};
+
+TEST_F(TlcScaleIndependence, FetchCountFlatWhileScanGrows) {
+  // The essence of Fig. 4: BEAS's data access is flat across scale factors
+  // while the conventional engine's grows.
+  uint64_t beas_small = 0, beas_large = 0;
+  uint64_t conv_small = 0, conv_large = 0;
+  for (double sf : {0.25, 1.0}) {
+    Database db;
+    TlcOptions options;
+    options.scale_factor = sf;
+    ASSERT_TRUE(GenerateTlc(&db, options).ok());
+    AsCatalog catalog(&db);
+    ASSERT_TRUE(RegisterTlcAccessSchema(&catalog).ok());
+    BeasSession session(&db, &catalog);
+    auto beas = session.ExecuteBounded(TlcExample2Sql());
+    ASSERT_TRUE(beas.ok());
+    auto conv = db.Query(TlcExample2Sql());
+    ASSERT_TRUE(conv.ok());
+    if (sf < 0.5) {
+      beas_small = beas->tuples_accessed;
+      conv_small = conv->tuples_accessed;
+    } else {
+      beas_large = beas->tuples_accessed;
+      conv_large = conv->tuples_accessed;
+    }
+  }
+  // Conventional access grows ~4x; BEAS's stays within the cohort size
+  // (bounded by the access schema, not the data).
+  EXPECT_GT(conv_large, conv_small * 2);
+  EXPECT_LT(beas_large, beas_small * 3 + 64)
+      << "bounded access must not scale with |D|";
+}
+
+}  // namespace
+}  // namespace beas

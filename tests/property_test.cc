@@ -1,0 +1,249 @@
+// Randomized differential testing: random micro-databases, random access
+// schemas whose bounds are profiled from the data (so D |= A by
+// construction), and random queries. Invariants checked per seed:
+//
+//   P1. All engines agree: BEAS (whatever mode its checker picks),
+//       PostgreSQL-like, MySQL-like, MariaDB-like — identical multisets.
+//   P2. The naive cartesian-product reference agrees (non-aggregate).
+//   P3. When covered, actual fetched tuples <= the deduced bound M.
+//   P4. The deduced bound is independent of |D|: re-checking after
+//       doubling the data yields the same M.
+
+#include <gtest/gtest.h>
+
+#include "bounded/beas_session.h"
+#include "common/rng.h"
+#include "discovery/profiler.h"
+#include "test_util.h"
+
+namespace beas {
+namespace {
+
+using testing_util::I;
+
+struct RandomDb {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<AsCatalog> catalog;
+  std::unique_ptr<BeasSession> session;
+  std::vector<std::string> tables;
+  std::vector<size_t> arity;
+};
+
+/// Builds 2 tables with small integer domains and conforming constraints.
+RandomDb BuildRandomDb(Rng* rng, bool double_data = false) {
+  RandomDb out;
+  out.db = std::make_unique<Database>();
+  size_t num_tables = 2;
+  for (size_t t = 0; t < num_tables; ++t) {
+    std::string name = "t" + std::to_string(t);
+    size_t cols = static_cast<size_t>(rng->Uniform(3, 4));
+    Schema schema;
+    for (size_t c = 0; c < cols; ++c) {
+      schema.AddColumn({"c" + std::to_string(c), TypeId::kInt64});
+    }
+    auto info = out.db->CreateTable(name, schema);
+    EXPECT_TRUE(info.ok());
+    size_t rows = static_cast<size_t>(rng->Uniform(15, 40));
+    // Row values come from a derived generator so that doubling the row
+    // count (P4's scale test) does not shift the structural draws below —
+    // the doubled database is then a superset with identical schema.
+    Rng value_rng(static_cast<uint64_t>(rng->Uniform(0, 1 << 30)));
+    if (double_data) rows *= 2;
+    for (size_t r = 0; r < rows; ++r) {
+      Row row;
+      for (size_t c = 0; c < cols; ++c) {
+        row.push_back(I(value_rng.Uniform(0, 4)));
+      }
+      EXPECT_TRUE(out.db->Insert(name, row).ok());
+    }
+    out.tables.push_back(name);
+    out.arity.push_back(cols);
+  }
+
+  // Random constraints with N = observed maximum (conforms by construction).
+  out.catalog = std::make_unique<AsCatalog>(out.db.get());
+  for (size_t t = 0; t < num_tables; ++t) {
+    TableInfo* info = *out.db->catalog()->GetTable(out.tables[t]);
+    int num_constraints = static_cast<int>(rng->Uniform(2, 4));
+    for (int k = 0; k < num_constraints; ++k) {
+      CandidatePattern pattern;
+      pattern.table = out.tables[t];
+      size_t x = static_cast<size_t>(rng->Uniform(0,
+          static_cast<int64_t>(out.arity[t]) - 1));
+      pattern.x_attrs = {"c" + std::to_string(x)};
+      if (rng->Chance(0.4)) {
+        size_t x2 = static_cast<size_t>(rng->Uniform(0,
+            static_cast<int64_t>(out.arity[t]) - 1));
+        if (x2 != x) pattern.x_attrs.push_back("c" + std::to_string(x2));
+      }
+      for (size_t c = 0; c < out.arity[t]; ++c) {
+        std::string name = "c" + std::to_string(c);
+        bool in_x = false;
+        for (const auto& xa : pattern.x_attrs) in_x |= (xa == name);
+        if (!in_x && rng->Chance(0.7)) pattern.y_attrs.push_back(name);
+      }
+      if (pattern.y_attrs.empty()) continue;
+      auto profile = ProfileCandidate(*info->heap(), pattern);
+      if (!profile.ok() || profile->num_keys == 0) continue;
+      AccessConstraint constraint;
+      constraint.name =
+          "r" + std::to_string(t) + "_" + std::to_string(k);
+      constraint.table = pattern.table;
+      constraint.x_attrs = pattern.x_attrs;
+      constraint.y_attrs = pattern.y_attrs;
+      constraint.limit_n = profile->observed_n;
+      Status st = out.catalog->Register(constraint);
+      (void)st;  // duplicates are fine to skip
+    }
+  }
+  out.session = std::make_unique<BeasSession>(out.db.get(), out.catalog.get());
+  return out;
+}
+
+/// Builds a random query over the two tables. Always at least one constant
+/// equality so results stay small.
+std::string BuildRandomQuery(Rng* rng, const RandomDb& env, bool* aggregate) {
+  bool two_atoms = rng->Chance(0.7);
+  *aggregate = rng->Chance(0.3);
+  std::string from = "t0 a";
+  if (two_atoms) from += ", t1 b";
+
+  std::vector<std::string> conjuncts;
+  conjuncts.push_back("a.c0 = " + std::to_string(rng->Uniform(0, 4)));
+  if (two_atoms) {
+    // A join predicate and optionally more filters.
+    conjuncts.push_back(
+        "a.c" + std::to_string(rng->Uniform(0, 2)) + " = b.c" +
+        std::to_string(rng->Uniform(0, 2)));
+    if (rng->Chance(0.5)) {
+      conjuncts.push_back("b.c1 IN (" + std::to_string(rng->Uniform(0, 2)) +
+                          ", " + std::to_string(rng->Uniform(2, 4)) + ")");
+    }
+  }
+  if (rng->Chance(0.4)) {
+    conjuncts.push_back("a.c1 <= " + std::to_string(rng->Uniform(1, 4)));
+  }
+  if (rng->Chance(0.2)) {
+    conjuncts.push_back("(a.c2 = 1 OR a.c2 = 2)");
+  }
+
+  std::string where;
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    where += (i == 0 ? " WHERE " : " AND ") + conjuncts[i];
+  }
+
+  std::string select;
+  if (*aggregate) {
+    select = "SELECT a.c1, count(*) AS n, sum(a.c2) AS s FROM " + from +
+             where + " GROUP BY a.c1";
+  } else {
+    select = "SELECT ";
+    if (rng->Chance(0.3)) select += "DISTINCT ";
+    select += "a.c1, a.c2";
+    if (two_atoms) select += ", b.c0";
+    select += " FROM " + from + where;
+  }
+  return select;
+}
+
+class RandomizedParity : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomizedParity, EnginesAgreeAndBoundsHold) {
+  Rng rng(GetParam() * 7919 + 13);
+  RandomDb env = BuildRandomDb(&rng);
+  for (int q = 0; q < 6; ++q) {
+    bool aggregate = false;
+    std::string sql = BuildRandomQuery(&rng, env, &aggregate);
+    SCOPED_TRACE(sql);
+
+    BeasSession::ExecutionDecision decision;
+    auto beas = env.session->Execute(sql, &decision);
+    ASSERT_TRUE(beas.ok()) << beas.status().ToString();
+    auto pg = env.db->Query(sql, EngineProfile::PostgresLike());
+    ASSERT_TRUE(pg.ok()) << pg.status().ToString();
+    auto my = env.db->Query(sql, EngineProfile::MySqlLike());
+    ASSERT_TRUE(my.ok());
+    auto maria = env.db->Query(sql, EngineProfile::MariaDbLike());
+    ASSERT_TRUE(maria.ok());
+
+    // P1: all engines agree.
+    EXPECT_TRUE(RowMultisetsEqual(beas->rows, pg->rows))
+        << "BEAS(" << static_cast<int>(decision.mode) << ") vs pg: "
+        << beas->rows.size() << " vs " << pg->rows.size();
+    EXPECT_TRUE(RowMultisetsEqual(pg->rows, my->rows));
+    EXPECT_TRUE(RowMultisetsEqual(pg->rows, maria->rows));
+
+    // P2: the naive reference agrees on non-aggregate queries.
+    if (!aggregate) {
+      auto bound = env.db->Bind(sql);
+      ASSERT_TRUE(bound.ok());
+      auto naive = testing_util::NaiveEvaluate(*bound);
+      ASSERT_TRUE(naive.ok());
+      EXPECT_TRUE(RowMultisetsEqual(pg->rows, *naive));
+    }
+
+    // P3: bound honored when the checker accepted.
+    auto coverage = env.session->Check(sql);
+    ASSERT_TRUE(coverage.ok());
+    if (coverage->covered && !coverage->unsatisfiable) {
+      auto bounded = env.session->ExecuteBounded(sql);
+      ASSERT_TRUE(bounded.ok());
+      EXPECT_LE(bounded->tuples_accessed, coverage->plan.total_access_bound);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedParity,
+                         ::testing::Range<uint64_t>(0, 20));
+
+class BoundScaleIndependence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BoundScaleIndependence, DeducedBoundUnchangedByDataGrowth) {
+  // P4: M depends on Q and A only. Build two databases from the same seed,
+  // one with twice the rows, register the SAME constraints (bounds from the
+  // smaller profile scaled up so both conform), and compare deduced bounds.
+  Rng rng_a(GetParam() * 104729 + 7);
+  Rng rng_b(GetParam() * 104729 + 7);
+  RandomDb small = BuildRandomDb(&rng_a);
+  RandomDb large = BuildRandomDb(&rng_b, /*double_data=*/true);
+
+  // Align the large catalog to the small one's constraints (same A).
+  auto* fresh_catalog = new AsCatalog(large.db.get());
+  for (const AccessConstraint& c : small.catalog->schema().constraints()) {
+    AccessConstraint copy = c;
+    copy.limit_n = c.limit_n * 4 + 8;  // loose enough for the larger D
+    ASSERT_TRUE(fresh_catalog->Register(copy).ok());
+  }
+  auto* small_aligned = new AsCatalog(small.db.get());
+  for (const AccessConstraint& c : small.catalog->schema().constraints()) {
+    AccessConstraint copy = c;
+    copy.limit_n = c.limit_n * 4 + 8;  // the SAME declared bounds
+    ASSERT_TRUE(small_aligned->Register(copy).ok());
+  }
+  BeasSession session_small(small.db.get(), small_aligned);
+  BeasSession session_large(large.db.get(), fresh_catalog);
+
+  Rng qrng(GetParam() * 31 + 5);
+  for (int q = 0; q < 4; ++q) {
+    bool aggregate = false;
+    std::string sql = BuildRandomQuery(&qrng, small, &aggregate);
+    SCOPED_TRACE(sql);
+    auto ca = session_small.Check(sql);
+    auto cb = session_large.Check(sql);
+    ASSERT_TRUE(ca.ok());
+    ASSERT_TRUE(cb.ok());
+    EXPECT_EQ(ca->covered, cb->covered);
+    if (ca->covered) {
+      EXPECT_EQ(ca->plan.total_access_bound, cb->plan.total_access_bound)
+          << "M must be decided by Q and A, never |D|";
+    }
+  }
+  delete fresh_catalog;
+  delete small_aligned;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundScaleIndependence,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace beas

@@ -1,0 +1,171 @@
+// Tests for the human-facing surfaces: result tables, plan dumps with
+// bound annotations, engine profiles, and the metadata/conformance
+// reports that stand in for the demo UI panels (paper Fig. 2/3).
+
+#include <gtest/gtest.h>
+
+#include "bounded/beas_session.h"
+#include "engine/query_result.h"
+#include "test_util.h"
+#include "workload/tlc_access_schema.h"
+#include "workload/tlc_generator.h"
+#include "workload/tlc_queries.h"
+
+namespace beas {
+namespace {
+
+using testing_util::Dt;
+using testing_util::I;
+using testing_util::MakeTable;
+using testing_util::S;
+
+TEST(QueryResultTest, ToTableAlignsAndTruncates) {
+  QueryResult result;
+  result.column_names = {"id", "name"};
+  result.column_types = {TypeId::kInt64, TypeId::kString};
+  for (int i = 0; i < 30; ++i) {
+    result.rows.push_back({I(i), S("row" + std::to_string(i))});
+  }
+  std::string table = result.ToTable(5);
+  EXPECT_NE(table.find("id"), std::string::npos);
+  EXPECT_NE(table.find("row4"), std::string::npos);
+  EXPECT_EQ(table.find("row5"), std::string::npos) << "truncated at 5";
+  EXPECT_NE(table.find("25 more rows"), std::string::npos);
+}
+
+TEST(QueryResultTest, ToTableEmptyResult) {
+  QueryResult result;
+  result.column_names = {"x"};
+  std::string table = result.ToTable();
+  EXPECT_NE(table.find("x"), std::string::npos);
+  EXPECT_EQ(table.find("more rows"), std::string::npos);
+}
+
+TEST(EngineProfileTest, ProfilesMatchDocumentedShape) {
+  EXPECT_TRUE(EngineProfile::PostgresLike().use_hash_join);
+  EXPECT_TRUE(EngineProfile::PostgresLike().greedy_join_order);
+  EXPECT_FALSE(EngineProfile::MySqlLike().use_hash_join);
+  EXPECT_FALSE(EngineProfile::MariaDbLike().use_hash_join);
+  // MariaDB's join buffer is larger than MySQL's: fewer BNL rescans.
+  EXPECT_GT(EngineProfile::MariaDbLike().join_buffer_rows,
+            EngineProfile::MySqlLike().join_buffer_rows);
+}
+
+TEST(OperatorStatsTest, ToStringIndentsChildren) {
+  OperatorStats root;
+  root.label = "Root";
+  root.rows_out = 2;
+  OperatorStats child;
+  child.label = "Child";
+  root.children.push_back(child);
+  std::string text = root.ToString();
+  EXPECT_NE(text.find("Root"), std::string::npos);
+  EXPECT_NE(text.find("  Child"), std::string::npos);
+}
+
+class ReportingFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MakeTable(&db_, "call",
+              Schema({{"pnum", TypeId::kInt64},
+                      {"recnum", TypeId::kInt64},
+                      {"date", TypeId::kDate},
+                      {"region", TypeId::kString}}),
+              {{I(7), I(100), Dt("2016-03-15"), S("R1")}});
+    catalog_ = std::make_unique<AsCatalog>(&db_);
+    ASSERT_TRUE(catalog_
+                    ->Register({"psi1",
+                                "call",
+                                {"pnum", "date"},
+                                {"recnum", "region"},
+                                500})
+                    .ok());
+    session_ = std::make_unique<BeasSession>(&db_, catalog_.get());
+  }
+  Database db_;
+  std::unique_ptr<AsCatalog> catalog_;
+  std::unique_ptr<BeasSession> session_;
+};
+
+TEST_F(ReportingFixture, BoundedPlanToStringHasAnnotations) {
+  const char* sql =
+      "SELECT call.recnum FROM call WHERE call.pnum = 7 AND call.date = "
+      "'2016-03-15'";
+  auto coverage = session_->Check(sql);
+  ASSERT_TRUE(coverage.ok());
+  ASSERT_TRUE(coverage->covered);
+  auto bound = db_.Bind(sql);
+  std::string text = coverage->plan.ToString(*bound);
+  // The Fig. 2(B) elements: the fetch op, its constraint, keys, the
+  // deduced per-step bound and the total M.
+  EXPECT_NE(text.find("fetch(X in T, Y, call)"), std::string::npos) << text;
+  EXPECT_NE(text.find("psi1"), std::string::npos);
+  EXPECT_NE(text.find("pnum <- 7"), std::string::npos);
+  EXPECT_NE(text.find("|T| <= 500"), std::string::npos);
+  EXPECT_NE(text.find("total deduced access bound M = 500"),
+            std::string::npos);
+}
+
+TEST_F(ReportingFixture, QueryResultCarriesPlanAndStats) {
+  auto result = session_->ExecuteBounded(
+      "SELECT call.recnum FROM call WHERE call.pnum = 7 AND call.date = "
+      "'2016-03-15'");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->engine, "BEAS (bounded)");
+  EXPECT_NE(result->plan_text.find("fetch"), std::string::npos);
+  EXPECT_EQ(result->stats.label, "BEAS BoundedPlan");
+  ASSERT_FALSE(result->stats.children.empty());
+  EXPECT_NE(result->stats.children[0].label.find("psi1"), std::string::npos);
+  EXPECT_GE(result->millis, 0.0);
+}
+
+TEST_F(ReportingFixture, MetadataReportListsConstraintStatistics) {
+  std::string report = catalog_->MetadataReport();
+  EXPECT_NE(report.find("psi1"), std::string::npos);
+  EXPECT_NE(report.find("conforms"), std::string::npos);
+  EXPECT_NE(report.find("yes"), std::string::npos);
+}
+
+TEST_F(ReportingFixture, DecisionExplanationsAreHumanReadable) {
+  BeasSession::ExecutionDecision decision;
+  auto r1 = session_->Execute(
+      "SELECT call.recnum FROM call WHERE call.pnum = 7 AND call.date = "
+      "'2016-03-15'",
+      &decision);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_NE(decision.explanation.find("bounded plan"), std::string::npos);
+  EXPECT_NE(decision.explanation.find("500"), std::string::npos);
+
+  auto r2 = session_->Execute(
+      "SELECT call.recnum FROM call WHERE call.region = 'R1'", &decision);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_NE(decision.explanation.find("not covered"), std::string::npos);
+}
+
+TEST(TlcQueriesTest, MetadataComplete) {
+  ASSERT_EQ(TlcQueries().size(), 11u);
+  size_t expected_covered = 0;
+  for (const TlcQuery& q : TlcQueries()) {
+    EXPECT_FALSE(q.id.empty());
+    EXPECT_FALSE(q.description.empty());
+    EXPECT_FALSE(q.sql.empty());
+    if (q.expect_covered) ++expected_covered;
+  }
+  EXPECT_EQ(expected_covered, 10u) << "the >90% design point";
+  EXPECT_EQ(TlcExample2Sql(), TlcQueries()[0].sql);
+}
+
+TEST(TlcAccessSchemaTest, PaperConstraintsVerbatim) {
+  auto constraints = TlcAccessConstraints();
+  ASSERT_GE(constraints.size(), 3u);
+  // Example 1's psi1/psi2/psi3 with the published bounds.
+  EXPECT_EQ(constraints[0].table, "call");
+  EXPECT_EQ(constraints[0].limit_n, 500u);
+  EXPECT_EQ(constraints[1].table, "package");
+  EXPECT_EQ(constraints[1].limit_n, 12u);
+  EXPECT_EQ(constraints[2].table, "business");
+  EXPECT_EQ(constraints[2].limit_n, 2000u);
+}
+
+}  // namespace
+}  // namespace beas

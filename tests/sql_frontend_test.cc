@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace beas {
+namespace {
+
+std::vector<Token> Lex(const std::string& sql) {
+  Lexer lexer(sql);
+  auto tokens = lexer.Tokenize();
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return tokens.ok() ? *tokens : std::vector<Token>{};
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Lex("SELECT select SeLeCt");
+  ASSERT_EQ(tokens.size(), 4u);  // 3 + EOF
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(tokens[i].type, TokenType::kSelect);
+}
+
+TEST(LexerTest, IdentifiersLowercased) {
+  auto tokens = Lex("MyTable my_col2");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "mytable");
+  EXPECT_EQ(tokens[1].text, "my_col2");
+}
+
+TEST(LexerTest, IntAndFloatLiterals) {
+  auto tokens = Lex("42 3.75 0");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_val, 42);
+  EXPECT_EQ(tokens[1].type, TokenType::kFloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[1].float_val, 3.75);
+  EXPECT_EQ(tokens[2].int_val, 0);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapedQuote) {
+  auto tokens = Lex("'hello' 'it''s'");
+  EXPECT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringErrors) {
+  Lexer lexer("'oops");
+  EXPECT_EQ(lexer.Tokenize().status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, OperatorsTwoChar) {
+  auto tokens = Lex("<= >= <> != < > =");
+  EXPECT_EQ(tokens[0].type, TokenType::kLe);
+  EXPECT_EQ(tokens[1].type, TokenType::kGe);
+  EXPECT_EQ(tokens[2].type, TokenType::kNe);
+  EXPECT_EQ(tokens[3].type, TokenType::kNe);
+  EXPECT_EQ(tokens[4].type, TokenType::kLt);
+  EXPECT_EQ(tokens[5].type, TokenType::kGt);
+  EXPECT_EQ(tokens[6].type, TokenType::kEq);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Lex("select -- a comment\n 1");
+  EXPECT_EQ(tokens[0].type, TokenType::kSelect);
+  EXPECT_EQ(tokens[1].type, TokenType::kIntLiteral);
+}
+
+TEST(LexerTest, UnknownCharErrors) {
+  Lexer lexer("select @");
+  EXPECT_EQ(lexer.Tokenize().status().code(), StatusCode::kParseError);
+}
+
+SelectStatement MustParse(const std::string& sql) {
+  auto stmt = Parser::Parse(sql);
+  EXPECT_TRUE(stmt.ok()) << sql << " -> " << stmt.status().ToString();
+  return stmt.ok() ? std::move(*stmt) : SelectStatement{};
+}
+
+TEST(ParserTest, MinimalSelect) {
+  SelectStatement stmt = MustParse("SELECT a FROM t");
+  ASSERT_EQ(stmt.items.size(), 1u);
+  EXPECT_EQ(stmt.items[0].expr->ToString(), "a");
+  ASSERT_EQ(stmt.from.size(), 1u);
+  EXPECT_EQ(stmt.from[0].table, "t");
+  EXPECT_EQ(stmt.where, nullptr);
+}
+
+TEST(ParserTest, QualifiedColumnsAndAliases) {
+  SelectStatement stmt =
+      MustParse("SELECT t.a AS x, u.b y FROM tab t, other AS u");
+  EXPECT_EQ(stmt.items[0].alias, "x");
+  EXPECT_EQ(stmt.items[1].alias, "y");
+  EXPECT_EQ(stmt.from[0].alias, "t");
+  EXPECT_EQ(stmt.from[1].alias, "u");
+  EXPECT_EQ(stmt.items[0].expr->ToString(), "t.a");
+}
+
+TEST(ParserTest, WherePrecedenceAndOverOr) {
+  SelectStatement stmt =
+      MustParse("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  // AND binds tighter: (a=1) OR ((b=2) AND (c=3)).
+  EXPECT_EQ(stmt.where->ToString(),
+            "((a = 1) OR ((b = 2) AND (c = 3)))");
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  SelectStatement stmt = MustParse("SELECT a + b * c - d FROM t");
+  EXPECT_EQ(stmt.items[0].expr->ToString(), "((a + (b * c)) - d)");
+}
+
+TEST(ParserTest, ComparisonOperators) {
+  SelectStatement stmt = MustParse(
+      "SELECT a FROM t WHERE a <= 5 AND b >= 6 AND c <> 7 AND d < 8 AND e > 9");
+  EXPECT_NE(stmt.where, nullptr);
+  EXPECT_NE(stmt.where->ToString().find("<="), std::string::npos);
+}
+
+TEST(ParserTest, BetweenAndIn) {
+  SelectStatement stmt = MustParse(
+      "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b IN (1, 2, 3)");
+  EXPECT_EQ(stmt.where->ToString(),
+            "((a BETWEEN 1 AND 5) AND (b IN (1, 2, 3)))");
+}
+
+TEST(ParserTest, NotVariants) {
+  SelectStatement stmt = MustParse(
+      "SELECT a FROM t WHERE NOT a = 1 AND b NOT IN (2) AND c NOT BETWEEN 3 "
+      "AND 4");
+  std::string s = stmt.where->ToString();
+  EXPECT_NE(s.find("NOT"), std::string::npos);
+}
+
+TEST(ParserTest, IsNull) {
+  SelectStatement stmt =
+      MustParse("SELECT a FROM t WHERE a IS NULL AND b IS NOT NULL");
+  EXPECT_EQ(stmt.where->ToString(),
+            "((a IS NULL) AND (b IS NOT NULL))");
+}
+
+TEST(ParserTest, Aggregates) {
+  SelectStatement stmt = MustParse(
+      "SELECT count(*), sum(a), avg(b), min(c), max(d), count(DISTINCT e) "
+      "FROM t");
+  EXPECT_EQ(stmt.items[0].expr->type, AstExprType::kFunction);
+  EXPECT_EQ(stmt.items[0].expr->func_name, "count");
+  EXPECT_EQ(stmt.items[5].expr->distinct_arg, true);
+}
+
+TEST(ParserTest, GroupByHavingOrderLimit) {
+  SelectStatement stmt = MustParse(
+      "SELECT a, count(*) AS c FROM t GROUP BY a HAVING count(*) > 2 "
+      "ORDER BY c DESC, a ASC LIMIT 10");
+  EXPECT_EQ(stmt.group_by.size(), 1u);
+  EXPECT_NE(stmt.having, nullptr);
+  ASSERT_EQ(stmt.order_by.size(), 2u);
+  EXPECT_FALSE(stmt.order_by[0].asc);
+  EXPECT_TRUE(stmt.order_by[1].asc);
+  EXPECT_EQ(stmt.limit, 10);
+}
+
+TEST(ParserTest, JoinOnFoldedIntoWhere) {
+  SelectStatement stmt = MustParse(
+      "SELECT t.a FROM t JOIN u ON t.id = u.id WHERE t.b = 1");
+  EXPECT_EQ(stmt.from.size(), 2u);
+  // ON condition conjoined with WHERE.
+  EXPECT_EQ(stmt.where->ToString(), "((t.b = 1) AND (t.id = u.id))");
+}
+
+TEST(ParserTest, InnerJoinKeyword) {
+  SelectStatement stmt =
+      MustParse("SELECT t.a FROM t INNER JOIN u ON t.id = u.id");
+  EXPECT_EQ(stmt.from.size(), 2u);
+  EXPECT_NE(stmt.where, nullptr);
+}
+
+TEST(ParserTest, DistinctFlag) {
+  EXPECT_TRUE(MustParse("SELECT DISTINCT a FROM t").distinct);
+  EXPECT_FALSE(MustParse("SELECT a FROM t").distinct);
+}
+
+TEST(ParserTest, DateLiteralAndDateColumn) {
+  SelectStatement stmt = MustParse(
+      "SELECT t.date FROM t WHERE t.date = DATE '2016-03-15' AND date = "
+      "'2016-03-16'");
+  // DATE 'literal' becomes a date value; bare `date` is a column.
+  EXPECT_NE(stmt.where->ToString().find("2016-03-15"), std::string::npos);
+  EXPECT_EQ(stmt.items[0].expr->column, "date");
+}
+
+TEST(ParserTest, NegativeNumbersFold) {
+  SelectStatement stmt = MustParse("SELECT a FROM t WHERE a = -5");
+  EXPECT_EQ(stmt.where->ToString(), "(a = -5)");
+}
+
+TEST(ParserTest, TrailingSemicolonOk) {
+  EXPECT_TRUE(Parser::Parse("SELECT a FROM t;").ok());
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parser::Parse("").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT a").ok()) << "missing FROM";
+  EXPECT_FALSE(Parser::Parse("SELECT a FROM").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT a FROM t LIMIT x").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT a FROM t extra garbage").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT frob(a) FROM t").ok())
+      << "unknown function";
+  EXPECT_FALSE(Parser::Parse("SELECT a FROM t JOIN u").ok()) << "missing ON";
+  EXPECT_FALSE(Parser::Parse("SELECT a FROM t WHERE a IN ()").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT a FROM t WHERE a IN (b)").ok())
+      << "IN list items must be literals";
+}
+
+TEST(ParserTest, StatementToStringRoundTripParses) {
+  const char* sql =
+      "SELECT a, count(*) AS c FROM t, u WHERE t.id = u.id AND a > 3 "
+      "GROUP BY a ORDER BY c DESC LIMIT 5";
+  SelectStatement stmt = MustParse(sql);
+  // Rendering must itself be parseable (stable textual form).
+  EXPECT_TRUE(Parser::Parse(stmt.ToString()).ok()) << stmt.ToString();
+}
+
+TEST(ParserTest, PaperExample2Parses) {
+  const char* sql =
+      "SELECT call.region FROM call, package, business "
+      "WHERE business.type = 'bank' AND business.region = 'R1' "
+      "AND business.pnum = call.pnum AND call.date = '2016-03-15' "
+      "AND call.pnum = package.pnum AND package.year = 2016 "
+      "AND package.start <= '2016-03-15' AND package.end >= '2016-03-15' "
+      "AND package.pid = 5";
+  SelectStatement stmt = MustParse(sql);
+  EXPECT_EQ(stmt.from.size(), 3u);
+}
+
+}  // namespace
+}  // namespace beas

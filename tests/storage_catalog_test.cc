@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "catalog/catalog.h"
+#include "catalog/statistics.h"
+#include "storage/csv.h"
+#include "storage/table_heap.h"
+#include "test_util.h"
+#include "types/schema.h"
+
+namespace beas {
+namespace {
+
+using testing_util::Dt;
+using testing_util::I;
+using testing_util::N;
+using testing_util::S;
+
+Schema TwoColSchema() {
+  return Schema({{"id", TypeId::kInt64}, {"name", TypeId::kString}});
+}
+
+TEST(SchemaTest, IndexOfAndContains) {
+  Schema s = TwoColSchema();
+  EXPECT_EQ(*s.IndexOf("id"), 0u);
+  EXPECT_EQ(*s.IndexOf("name"), 1u);
+  EXPECT_FALSE(s.IndexOf("missing").ok());
+  EXPECT_TRUE(s.Contains("id"));
+  EXPECT_FALSE(s.Contains("missing"));
+}
+
+TEST(SchemaTest, Concat) {
+  Schema a({{"x", TypeId::kInt64}});
+  Schema b({{"y", TypeId::kString}});
+  Schema c = Schema::Concat(a, b);
+  EXPECT_EQ(c.NumColumns(), 2u);
+  EXPECT_EQ(c.ColumnAt(1).name, "y");
+}
+
+TEST(SchemaTest, ToString) {
+  EXPECT_EQ(TwoColSchema().ToString(), "id INT, name STRING");
+}
+
+TEST(TupleTest, ProjectAndConcat) {
+  Row r{I(1), S("a"), I(3)};
+  EXPECT_EQ(ProjectRow(r, {2, 0}), (Row{I(3), I(1)}));
+  EXPECT_EQ(ConcatRows({I(1)}, {S("b")}), (Row{I(1), S("b")}));
+}
+
+TEST(TupleTest, SortAndDedupRows) {
+  std::vector<Row> rows{{I(2)}, {I(1)}, {I(2)}, {I(1)}};
+  SortAndDedupRows(&rows);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (Row{I(1)}));
+  EXPECT_EQ(rows[1], (Row{I(2)}));
+}
+
+TEST(TupleTest, RowMultisetsEqual) {
+  EXPECT_TRUE(RowMultisetsEqual({{I(1)}, {I(2)}, {I(2)}},
+                                {{I(2)}, {I(1)}, {I(2)}}));
+  EXPECT_FALSE(RowMultisetsEqual({{I(1)}, {I(2)}}, {{I(1)}, {I(1)}}));
+  EXPECT_FALSE(RowMultisetsEqual({{I(1)}}, {{I(1)}, {I(1)}}));
+}
+
+TEST(TableHeapTest, InsertValidatesArity) {
+  TableHeap heap(TwoColSchema());
+  EXPECT_FALSE(heap.Insert({I(1)}).ok());
+  EXPECT_TRUE(heap.Insert({I(1), S("a")}).ok());
+  EXPECT_EQ(heap.NumRows(), 1u);
+}
+
+TEST(TableHeapTest, InsertCoercesTypes) {
+  TableHeap heap(Schema({{"d", TypeId::kDate}}));
+  ASSERT_TRUE(heap.Insert({S("2016-03-15")}).ok());
+  EXPECT_EQ(heap.At(0)[0].type(), TypeId::kDate);
+  EXPECT_FALSE(heap.Insert({S("garbage")}).ok());
+}
+
+TEST(TableHeapTest, InsertAllowsNulls) {
+  TableHeap heap(TwoColSchema());
+  ASSERT_TRUE(heap.Insert({N(), N()}).ok());
+  EXPECT_TRUE(heap.At(0)[0].is_null());
+}
+
+TEST(TableHeapTest, DeleteTombstones) {
+  TableHeap heap(TwoColSchema());
+  SlotId s0 = *heap.Insert({I(1), S("a")});
+  SlotId s1 = *heap.Insert({I(2), S("b")});
+  ASSERT_TRUE(heap.Delete(s0).ok());
+  EXPECT_EQ(heap.NumRows(), 1u);
+  EXPECT_EQ(heap.NumSlots(), 2u);
+  EXPECT_FALSE(heap.IsLive(s0));
+  EXPECT_TRUE(heap.IsLive(s1));
+  EXPECT_FALSE(heap.Delete(s0).ok()) << "double delete";
+  EXPECT_FALSE(heap.Delete(99).ok()) << "out of range";
+}
+
+TEST(TableHeapTest, IteratorSkipsDead) {
+  TableHeap heap(TwoColSchema());
+  heap.InsertUnchecked({I(1), S("a")});
+  SlotId s1 = heap.InsertUnchecked({I(2), S("b")});
+  heap.InsertUnchecked({I(3), S("c")});
+  ASSERT_TRUE(heap.Delete(s1).ok());
+  std::vector<int64_t> seen;
+  for (auto it = heap.Begin(); it.Valid(); it.Next()) {
+    seen.push_back(it.row()[0].AsInt64());
+  }
+  EXPECT_EQ(seen, (std::vector<int64_t>{1, 3}));
+}
+
+TEST(TableHeapTest, SnapshotCopiesLiveRows) {
+  TableHeap heap(TwoColSchema());
+  heap.InsertUnchecked({I(1), S("a")});
+  SlotId s1 = heap.InsertUnchecked({I(2), S("b")});
+  ASSERT_TRUE(heap.Delete(s1).ok());
+  auto rows = heap.Snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], I(1));
+}
+
+TEST(CsvTest, RoundTrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "beas_csv_test.csv").string();
+  TableHeap heap(Schema({{"id", TypeId::kInt64},
+                         {"name", TypeId::kString},
+                         {"score", TypeId::kDouble},
+                         {"day", TypeId::kDate}}));
+  heap.InsertUnchecked({I(1), S("alice"), Value::Double(1.5), Dt("2016-03-15")});
+  heap.InsertUnchecked({I(2), S("bob"), N(), Dt("2016-03-16")});
+  ASSERT_TRUE(SaveCsv(path, heap).ok());
+
+  TableHeap loaded(heap.schema());
+  auto count = LoadCsv(path, &loaded);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, 2u);
+  EXPECT_EQ(loaded.At(0)[1], S("alice"));
+  EXPECT_TRUE(loaded.At(1)[2].is_null());
+  EXPECT_EQ(loaded.At(1)[3].AsDate(), 20160316);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RejectsBadArityAndTypes) {
+  Schema schema({{"id", TypeId::kInt64}});
+  EXPECT_FALSE(ParseCsvLine("1,2", schema).ok());
+  EXPECT_FALSE(ParseCsvLine("abc", schema).ok());
+  EXPECT_TRUE(ParseCsvLine("42", schema).ok());
+  EXPECT_TRUE(ParseCsvLine("", schema).ok()) << "empty field is NULL";
+}
+
+TEST(CsvTest, MissingFileErrors) {
+  TableHeap heap(Schema({{"id", TypeId::kInt64}}));
+  EXPECT_EQ(LoadCsv("/nonexistent/beas.csv", &heap).status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(CatalogTest, CreateGetDrop) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", TwoColSchema()).ok());
+  EXPECT_FALSE(catalog.CreateTable("T", TwoColSchema()).ok())
+      << "names are case-insensitive";
+  EXPECT_TRUE(catalog.GetTable("T").ok());
+  EXPECT_TRUE(catalog.HasTable("t"));
+  ASSERT_TRUE(catalog.DropTable("t").ok());
+  EXPECT_FALSE(catalog.GetTable("t").ok());
+  EXPECT_FALSE(catalog.DropTable("t").ok());
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("zeta", TwoColSchema()).ok());
+  ASSERT_TRUE(catalog.CreateTable("alpha", TwoColSchema()).ok());
+  EXPECT_EQ(catalog.TableNames(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST(StatisticsTest, ComputesCountsAndMinMax) {
+  TableHeap heap(TwoColSchema());
+  heap.InsertUnchecked({I(5), S("b")});
+  heap.InsertUnchecked({I(3), S("a")});
+  heap.InsertUnchecked({I(5), N()});
+  TableStats stats = ComputeTableStats(heap);
+  EXPECT_EQ(stats.row_count, 3u);
+  EXPECT_EQ(stats.columns[0].distinct_count, 2u);
+  EXPECT_EQ(stats.columns[0].min, I(3));
+  EXPECT_EQ(stats.columns[0].max, I(5));
+  EXPECT_EQ(stats.columns[1].null_count, 1u);
+  EXPECT_EQ(stats.columns[1].distinct_count, 2u);
+  EXPECT_EQ(stats.DistinctOf("id"), 2u);
+  EXPECT_EQ(stats.DistinctOf("nope"), 0u);
+}
+
+TEST(StatisticsTest, CachedAndInvalidated) {
+  Catalog catalog;
+  TableInfo* info = *catalog.CreateTable("t", TwoColSchema());
+  info->heap()->InsertUnchecked({I(1), S("a")});
+  EXPECT_EQ(info->stats().row_count, 1u);
+  info->heap()->InsertUnchecked({I(2), S("b")});
+  // Slot count changed, stats recompute automatically.
+  EXPECT_EQ(info->stats().row_count, 2u);
+}
+
+}  // namespace
+}  // namespace beas

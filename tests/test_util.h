@@ -1,0 +1,112 @@
+#ifndef BEAS_TESTS_TEST_UTIL_H_
+#define BEAS_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "binder/bound_query.h"
+#include "engine/database.h"
+#include "expr/evaluator.h"
+#include "types/tuple.h"
+
+namespace beas {
+namespace testing_util {
+
+/// Shorthand row builders.
+inline Value I(int64_t v) { return Value::Int64(v); }
+inline Value D(double v) { return Value::Double(v); }
+inline Value S(const std::string& v) { return Value::String(v); }
+inline Value Dt(const std::string& v) {
+  return Value::DateFromString(v).ValueOrDie();
+}
+inline Value N() { return Value::Null(); }
+
+/// Creates a table and inserts rows; aborts the test on failure.
+inline TableInfo* MakeTable(Database* db, const std::string& name,
+                            Schema schema, std::vector<Row> rows) {
+  auto info = db->CreateTable(name, std::move(schema));
+  if (!info.ok()) return nullptr;
+  for (Row& row : rows) {
+    if (!db->Insert(name, std::move(row)).ok()) return nullptr;
+  }
+  return info.ValueOrDie();
+}
+
+/// Brute-force reference evaluation for non-aggregate queries: cartesian
+/// product of the atoms, all conjuncts as filters, then projection,
+/// DISTINCT, ORDER BY and LIMIT. Deliberately simple — an independent
+/// implementation to cross-check all four engines.
+inline Result<std::vector<Row>> NaiveEvaluate(const BoundQuery& query) {
+  if (query.HasAggregates()) {
+    return Status::NotImplemented("naive evaluator covers non-aggregate only");
+  }
+  std::vector<Row> result;
+  // Iterative cartesian product over atom snapshots.
+  std::vector<std::vector<Row>> tables;
+  for (const BoundAtom& atom : query.atoms) {
+    tables.push_back(atom.table->heap()->Snapshot());
+  }
+  std::vector<size_t> idx(tables.size(), 0);
+  while (true) {
+    // Build the global row.
+    Row row;
+    for (size_t a = 0; a < tables.size(); ++a) {
+      if (tables[a].empty()) break;
+      const Row& part = tables[a][idx[a]];
+      row.insert(row.end(), part.begin(), part.end());
+    }
+    bool any_empty = false;
+    for (const auto& t : tables) any_empty |= t.empty();
+    if (any_empty) break;
+
+    bool pass = true;
+    for (const Conjunct& c : query.conjuncts) {
+      BEAS_ASSIGN_OR_RETURN(bool ok, EvalPredicate(*c.expr, row));
+      if (!ok) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) {
+      Row out;
+      for (const OutputItem& item : query.outputs) {
+        BEAS_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, row));
+        out.push_back(std::move(v));
+      }
+      result.push_back(std::move(out));
+    }
+
+    // Advance the product iterator.
+    size_t a = tables.size();
+    while (a-- > 0) {
+      if (++idx[a] < tables[a].size()) break;
+      idx[a] = 0;
+      if (a == 0) goto done;
+    }
+    if (tables.empty()) break;
+  }
+done:
+  if (query.distinct) SortAndDedupRows(&result);
+  if (!query.order_by.empty()) {
+    std::stable_sort(result.begin(), result.end(),
+                     [&query](const Row& x, const Row& y) {
+                       for (const BoundOrderItem& item : query.order_by) {
+                         int c = x[item.output_index].Compare(
+                             y[item.output_index]);
+                         if (c != 0) return item.asc ? c < 0 : c > 0;
+                       }
+                       return false;
+                     });
+  }
+  if (query.limit.has_value() &&
+      result.size() > static_cast<size_t>(*query.limit)) {
+    result.resize(static_cast<size_t>(*query.limit));
+  }
+  return result;
+}
+
+}  // namespace testing_util
+}  // namespace beas
+
+#endif  // BEAS_TESTS_TEST_UTIL_H_

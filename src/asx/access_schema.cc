@@ -65,22 +65,32 @@ Status AsCatalog::Register(AccessConstraint constraint) {
     return index.status();
   }
   indexes_.push_back(std::move(index).ValueOrDie());
+  NotifyChange(ChangeKind::kConstraintRegistered, added.table, added.name);
   return Status::OK();
 }
 
 Status AsCatalog::Unregister(const std::string& name) {
   for (size_t i = 0; i < schema_.constraints().size(); ++i) {
     if (schema_.constraints()[i].name == name) {
+      std::string table = schema_.constraints()[i].table;
       AccessSchema rebuilt;
       for (size_t j = 0; j < schema_.constraints().size(); ++j) {
         if (j != i) (void)rebuilt.Add(schema_.constraints()[j]);
       }
       schema_ = std::move(rebuilt);
       indexes_.erase(indexes_.begin() + static_cast<ptrdiff_t>(i));
+      NotifyChange(ChangeKind::kConstraintUnregistered, table, name);
       return Status::OK();
     }
   }
   return Status::NotFound("no access constraint named '" + name + "'");
+}
+
+void AsCatalog::NotifyChange(ChangeKind kind, const std::string& table,
+                             const std::string& name) const {
+  for (const ChangeListener& listener : listeners_) {
+    listener(kind, table, name);
+  }
 }
 
 AcIndex* AsCatalog::IndexFor(const std::string& constraint_name) {
@@ -126,6 +136,8 @@ Status AsCatalog::AdjustLimit(const std::string& name, uint64_t new_n) {
       // The index structure is bound-agnostic; keep its constraint copy in
       // sync so AcIndex::Conforms() uses the new bound.
       indexes_[i]->set_limit(new_n);
+      NotifyChange(ChangeKind::kLimitAdjusted,
+                   schema_.constraints()[i].table, name);
       return Status::OK();
     }
   }

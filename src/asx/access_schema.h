@@ -1,6 +1,7 @@
 #ifndef BEAS_ASX_ACCESS_SCHEMA_H_
 #define BEAS_ASX_ACCESS_SCHEMA_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -75,14 +76,39 @@ class AsCatalog {
   /// maintenance module's periodic adjustment).
   Status AdjustLimit(const std::string& name, uint64_t new_n);
 
+  /// \brief A change to the registered access schema that affects plan
+  /// validity: coverage decisions and deduced bounds derived before the
+  /// change may no longer hold. Plain data writes are deliberately NOT
+  /// events — AcIndex maintenance keeps existing plans valid under
+  /// inserts/deletes.
+  enum class ChangeKind {
+    kConstraintRegistered,
+    kConstraintUnregistered,
+    kLimitAdjusted,
+  };
+
+  /// Listener invoked after every schema change, with the affected table
+  /// (the invalidation granularity of the service plan cache) and the
+  /// constraint name. Must be registered before the catalog is shared
+  /// across threads; runs on the mutating thread.
+  using ChangeListener = std::function<void(
+      ChangeKind kind, const std::string& table, const std::string& name)>;
+  void AddChangeListener(ChangeListener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
   /// Human-readable system-table dump: one line per constraint with
   /// index statistics (keys, entries, max bucket, bytes, conforming?).
   std::string MetadataReport() const;
 
  private:
+  void NotifyChange(ChangeKind kind, const std::string& table,
+                    const std::string& name) const;
+
   Database* db_;
   AccessSchema schema_;
   std::vector<std::unique_ptr<AcIndex>> indexes_;  // parallel to schema_
+  std::vector<ChangeListener> listeners_;
 };
 
 }  // namespace beas

@@ -18,15 +18,6 @@ bool IsNumericType(TypeId t) {
   return t == TypeId::kInt64 || t == TypeId::kDouble;
 }
 
-bool IsComparableTypes(TypeId a, TypeId b) {
-  auto family = [](TypeId t) {
-    return t == TypeId::kInt64 || t == TypeId::kDouble || t == TypeId::kDate;
-  };
-  if (a == TypeId::kNull || b == TypeId::kNull) return true;
-  if (family(a) && family(b)) return true;
-  return a == b;
-}
-
 /// Coerces a literal operand to `target` when implicitly allowed, so that
 /// e.g. call.date = '2016-03-01' compares DATE with DATE.
 Result<ExprPtr> CoerceLiteral(ExprPtr e, TypeId target) {
@@ -34,7 +25,7 @@ Result<ExprPtr> CoerceLiteral(ExprPtr e, TypeId target) {
       e->literal.type() != target &&
       IsImplicitlyCoercible(e->literal.type(), target)) {
     BEAS_ASSIGN_OR_RETURN(Value v, e->literal.CoerceTo(target));
-    return Expression::Literal(std::move(v));
+    return Expression::Literal(std::move(v), e->literal_param);
   }
   return e;
 }
@@ -128,7 +119,7 @@ Result<ExprPtr> Binder::BindScalar(const Context& ctx,
       return Expression::Column(global, type, atom.alias + "." + ast.column);
     }
     case AstExprType::kLiteral:
-      return Expression::Literal(ast.literal);
+      return Expression::Literal(ast.literal, ast.literal_param);
     case AstExprType::kBinary: {
       if (ast.bin_op == AstBinOp::kAnd || ast.bin_op == AstBinOp::kOr) {
         BEAS_ASSIGN_OR_RETURN(ExprPtr l, BindScalar(ctx, *ast.children[0]));
@@ -215,6 +206,7 @@ Result<ExprPtr> Binder::BindScalar(const Context& ctx,
     case AstExprType::kInList: {
       BEAS_ASSIGN_OR_RETURN(ExprPtr e, BindScalar(ctx, *ast.children[0]));
       std::vector<Value> values;
+      std::vector<int32_t> params;
       for (size_t i = 1; i < ast.children.size(); ++i) {
         if (ast.children[i]->type != AstExprType::kLiteral) {
           return Status::BindError("IN list items must be literals");
@@ -230,8 +222,10 @@ Result<ExprPtr> Binder::BindScalar(const Context& ctx,
                                    ast.children[0]->ToString());
         }
         values.push_back(std::move(v));
+        params.push_back(ast.children[i]->literal_param);
       }
-      return Expression::InList(std::move(e), std::move(values));
+      return Expression::InList(std::move(e), std::move(values),
+                                std::move(params));
     }
     case AstExprType::kIsNull: {
       BEAS_ASSIGN_OR_RETURN(ExprPtr e, BindScalar(ctx, *ast.children[0]));
@@ -358,7 +352,7 @@ Result<ExprPtr> Binder::BindHaving(const Context& ctx, const AstExpr& ast,
                                "' which is not in GROUP BY");
     }
     case AstExprType::kLiteral:
-      return Expression::Literal(ast.literal);
+      return Expression::Literal(ast.literal, ast.literal_param);
     case AstExprType::kBinary: {
       BEAS_ASSIGN_OR_RETURN(ExprPtr l, BindHaving(ctx, *ast.children[0], query));
       BEAS_ASSIGN_OR_RETURN(ExprPtr r, BindHaving(ctx, *ast.children[1], query));
@@ -584,6 +578,7 @@ Result<BoundQuery> Binder::Bind(const SelectStatement& stmt) {
   }
 
   query.limit = stmt.limit;
+  query.limit_param = stmt.limit_param;
   query.distinct = stmt.distinct;
   if (query.distinct && query.HasAggregates()) {
     return Status::BindError(

@@ -97,6 +97,7 @@ struct BoundQuery {
   ExprPtr having;  ///< bound to the [group values..., aggregate values...] layout
   std::vector<BoundOrderItem> order_by;
   std::optional<int64_t> limit;
+  int32_t limit_param = 0;  ///< literal provenance of `limit` (0 = none)
   bool distinct = false;
 
   /// Atom-major global layout: column `c` of atom `a` lives at

@@ -19,6 +19,12 @@ Result<QueryResult> BeasSession::Execute(
     const std::string& sql, ExecutionDecision* decision,
     const EngineProfile& fallback_profile) const {
   BEAS_ASSIGN_OR_RETURN(BoundQuery query, db_->Bind(sql));
+  return Execute(query, decision, fallback_profile);
+}
+
+Result<QueryResult> BeasSession::Execute(
+    const BoundQuery& query, ExecutionDecision* decision,
+    const EngineProfile& fallback_profile) const {
   BEAS_ASSIGN_OR_RETURN(CoverageResult coverage, checker_.Check(query));
   if (coverage.covered) {
     BEAS_ASSIGN_OR_RETURN(QueryResult result,

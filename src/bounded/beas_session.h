@@ -39,6 +39,12 @@ class BeasSession {
   /// BE Checker entry: parse, bind, and check coverage.
   Result<CoverageResult> Check(const std::string& sql) const;
 
+  /// BE Checker entry for an already-bound query (plan-reuse path: the
+  /// service layer binds once and routes through its template cache).
+  Result<CoverageResult> Check(const BoundQuery& query) const {
+    return checker_.Check(query);
+  }
+
   /// Budget check without execution (Fig. 2(A)).
   Result<BeChecker::BudgetReport> CheckBudget(const std::string& sql,
                                               uint64_t budget) const;
@@ -64,6 +70,47 @@ class BeasSession {
   /// Resource-bounded approximation of a covered query.
   Result<ApproxResult> ExecuteApproximate(const std::string& sql,
                                           uint64_t budget) const;
+
+  /// \name Plan-reuse entry points (used by the service layer's template
+  /// plan cache to run pre-bound queries with cached, constant-rebound
+  /// plans without repeating the coverage search).
+  /// @{
+
+  /// Full pipeline on a pre-bound query.
+  Result<QueryResult> Execute(const BoundQuery& query,
+                              ExecutionDecision* decision = nullptr,
+                              const EngineProfile& fallback_profile =
+                                  EngineProfile::PostgresLike()) const;
+
+  /// Bounded execution of a covered query with a known plan.
+  Result<QueryResult> ExecuteCovered(
+      const BoundQuery& query, const BoundedPlan& plan,
+      const BoundedExecOptions& options = {}) const {
+    return executor_.Execute(query, plan, options);
+  }
+
+  /// Partial-plan search half (cacheable per template).
+  Result<PartialPlanChoice> ChoosePartialPlan(const BoundQuery& query) const {
+    return optimizer_.ChoosePlan(query);
+  }
+
+  /// Partial-plan execution half, for a cached (rebound) choice.
+  Result<PartialPlanResult> ExecutePartialChoice(
+      const BoundQuery& query, const PartialPlanChoice& choice,
+      const EngineProfile& fallback_profile = EngineProfile::PostgresLike(),
+      const BoundedExecOptions& exec_options = {}) const {
+    return optimizer_.ExecuteChoice(query, choice, fallback_profile,
+                                    exec_options);
+  }
+
+  /// Approximation of a covered query with a known plan.
+  Result<ApproxResult> ExecuteApproximate(const BoundQuery& query,
+                                          const BoundedPlan& plan,
+                                          uint64_t budget) const {
+    return approximator_.Execute(query, plan, budget);
+  }
+
+  /// @}
 
  private:
   Database* db_;

@@ -119,9 +119,11 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragment(
   for (const FetchStep& step : plan.steps) {
     auto step_start = std::chrono::steady_clock::now();
     OperatorStats step_stats;
-    step_stats.label =
-        "fetch[" + step.constraint.name + " on " +
-        query.atoms[step.atom].alias + "]";
+    if (options.collect_stats) {
+      step_stats.label =
+          "fetch[" + step.constraint.name + " on " +
+          query.atoms[step.atom].alias + "]";
+    }
 
     const AcIndex* index = catalog_->IndexFor(step.constraint.name);
     if (index == nullptr) {
@@ -294,11 +296,13 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragment(
     t_weights.reserve(t_rows.size());
     for (const Row& row : t_rows) t_weights.push_back(merged.at(row));
 
-    step_stats.rows_out = t_rows.size();
-    step_stats.tuples_accessed = fetched_this_step;
-    step_stats.self_millis = MillisSince(step_start);
-    step_stats.total_millis = step_stats.self_millis;
-    fragment.stats.root.children.push_back(std::move(step_stats));
+    if (options.collect_stats) {
+      step_stats.rows_out = t_rows.size();
+      step_stats.tuples_accessed = fetched_this_step;
+      step_stats.self_millis = MillisSince(step_start);
+      step_stats.total_millis = step_stats.self_millis;
+      fragment.stats.root.children.push_back(std::move(step_stats));
+    }
   }
 
   fragment.rows = std::move(t_rows);
@@ -475,19 +479,21 @@ Result<QueryResult> BoundedExecutor::Execute(
   }
 
   // Assemble telemetry.
-  OperatorStats tail;
-  tail.label = "RelationalTail(project/aggregate/sort/limit)";
-  tail.rows_out = result.rows.size();
-  tail.self_millis = MillisSince(tail_start);
-  tail.total_millis = tail.self_millis;
+  if (options.collect_stats) {
+    OperatorStats tail;
+    tail.label = "RelationalTail(project/aggregate/sort/limit)";
+    tail.rows_out = result.rows.size();
+    tail.self_millis = MillisSince(tail_start);
+    tail.total_millis = tail.self_millis;
 
-  result.stats = fragment.stats.root;
-  result.stats.label = "BEAS BoundedPlan";
-  result.stats.children.push_back(std::move(tail));
-  result.stats.rows_out = result.rows.size();
+    result.stats = fragment.stats.root;
+    result.stats.label = "BEAS BoundedPlan";
+    result.stats.children.push_back(std::move(tail));
+    result.stats.rows_out = result.rows.size();
+    result.plan_text = plan.ToString(query);
+  }
   result.tuples_accessed = fragment.stats.tuples_fetched;
   result.millis = MillisSince(start);
-  result.plan_text = plan.ToString(query);
 
   if (stats_out != nullptr) *stats_out = fragment.stats;
   return result;

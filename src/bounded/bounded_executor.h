@@ -18,6 +18,13 @@ struct BoundedExecOptions {
   /// (in fetched tuples); unserved probe keys drop their rows and the
   /// coverage lower bound η shrinks accordingly.
   uint64_t fetch_budget = 0;
+
+  /// When false, skips the per-query diagnostic rendering — the plan text
+  /// and the per-step operator breakdown with its labels and timers.
+  /// Answers, counters (tuples_fetched / keys_probed / eta) and timings of
+  /// the result itself are unaffected. The service layer's cached fast
+  /// path uses this; the analysis UI and benches keep full telemetry.
+  bool collect_stats = true;
 };
 
 /// \brief Telemetry of a bounded execution.

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "bounded/attr_binding.h"
 #include "common/string_util.h"
 
 namespace beas {
@@ -60,6 +61,51 @@ std::string BoundedPlan::ToString(const BoundQuery& query) const {
   out += StringPrintf(
       "total deduced access bound M = %s tuples (%zu constraints employed)\n",
       WithCommas(total_access_bound).c_str(), NumConstraintsUsed());
+  return out;
+}
+
+Result<BoundedPlan> RebindPlanConstants(
+    const BoundedPlan& plan, const BoundQuery& query,
+    const std::vector<bool>& conjunct_enabled) {
+  AttrBindingAnalysis binding(query, conjunct_enabled);
+  BoundedPlan out = plan;
+  for (FetchStep& step : out.steps) {
+    if (step.atom >= query.atoms.size()) {
+      return Status::Internal("cached plan references atom " +
+                              std::to_string(step.atom) +
+                              " beyond the query's atom list");
+    }
+    for (size_t i = 0; i < step.key_sources.size(); ++i) {
+      KeySource& source = step.key_sources[i];
+      if (source.kind == KeySource::Kind::kFromT) continue;
+      size_t global = query.atom_offsets[step.atom] + step.x_cols[i];
+      const std::vector<Value>* consts = binding.ConstantsOf(global);
+      if (consts == nullptr) {
+        return Status::Internal(
+            "cached plan keys " + query.AttrName(AttrRef{step.atom,
+                                                         step.x_cols[i]}) +
+            " from a constant, but the query binds none there");
+      }
+      if (source.kind == KeySource::Kind::kConstant) {
+        if (consts->size() != 1) {
+          return Status::Internal(
+              "cached plan expects a single constant for " +
+              query.AttrName(AttrRef{step.atom, step.x_cols[i]}) + ", got " +
+              std::to_string(consts->size()));
+        }
+        source.constant = (*consts)[0];
+      } else {
+        // kConstantList: the deduced bounds multiplied by the old arity,
+        // so a different arity invalidates the skeleton.
+        if (consts->size() != source.list.size()) {
+          return Status::Internal(
+              "cached plan IN-list arity mismatch for " +
+              query.AttrName(AttrRef{step.atom, step.x_cols[i]}));
+        }
+        source.list = *consts;
+      }
+    }
+  }
   return out;
 }
 

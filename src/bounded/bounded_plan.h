@@ -73,6 +73,22 @@ struct BoundedPlan {
   std::string ToString(const BoundQuery& query) const;
 };
 
+/// \brief Re-targets a cached plan skeleton at a new instance of the same
+/// query template: every constant-seeded fetch key (kConstant /
+/// kConstantList) is re-derived from `query`'s own predicates, while the
+/// step order, layouts, conjunct schedule and deduced bounds are reused
+/// verbatim.
+///
+/// Preconditions (enforced by the caller, i.e. the service plan cache):
+/// `query` has the same bound template as the query the plan was generated
+/// from — same atoms, conjunct structure, and IN-list arities — restricted
+/// to `conjunct_enabled` (empty = all conjuncts; the partial-plan path
+/// passes the fragment's enforced subset). Returns Internal if the
+/// constant bindings do not line up (callers treat that as a cache miss).
+Result<BoundedPlan> RebindPlanConstants(
+    const BoundedPlan& plan, const BoundQuery& query,
+    const std::vector<bool>& conjunct_enabled = {});
+
 }  // namespace beas
 
 #endif  // BEAS_BOUNDED_BOUNDED_PLAN_H_

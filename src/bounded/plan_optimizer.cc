@@ -15,7 +15,12 @@ int Popcount(uint32_t mask) { return __builtin_popcount(mask); }
 
 Result<PartialPlanResult> BePlanOptimizer::ExecutePartiallyBounded(
     const BoundQuery& query, const EngineProfile& profile) const {
-  PartialPlanResult out;
+  BEAS_ASSIGN_OR_RETURN(PartialPlanChoice choice, ChoosePlan(query));
+  return ExecuteChoice(query, choice, profile);
+}
+
+Result<PartialPlanChoice> BePlanOptimizer::ChoosePlan(
+    const BoundQuery& query) const {
   size_t n = query.atoms.size();
   if (n > 16) {
     return Status::NotImplemented(
@@ -32,13 +37,12 @@ Result<PartialPlanResult> BePlanOptimizer::ExecutePartiallyBounded(
     return pa != pb ? pa > pb : a < b;
   });
 
-  bool found = false;
-  uint32_t best_mask = 0;
+  PartialPlanChoice choice;
   GenerationResult best_gen;
   int best_size = -1;
   for (uint32_t mask : subsets) {
     int size = Popcount(mask);
-    if (found && size < best_size) break;  // no larger subset can appear
+    if (choice.found && size < best_size) break;  // no larger subset left
     CoverageRequest request;
     request.query = &query;
     request.atom_enabled.assign(n, false);
@@ -58,16 +62,27 @@ Result<PartialPlanResult> BePlanOptimizer::ExecutePartiallyBounded(
     auto gen = generator_.Generate(request);
     if (!gen.ok()) continue;
     if (!gen->covered) continue;
-    if (!found || gen->plan.total_access_bound <
-                      best_gen.plan.total_access_bound) {
-      found = true;
-      best_mask = mask;
+    if (!choice.found || gen->plan.total_access_bound <
+                             best_gen.plan.total_access_bound) {
+      choice.found = true;
+      choice.atom_enabled = request.atom_enabled;
+      choice.conjunct_enabled = request.conjunct_enabled;
       best_gen = std::move(*gen);
       best_size = size;
     }
   }
+  if (choice.found) choice.plan = std::move(best_gen.plan);
+  return choice;
+}
 
-  if (!found) {
+Result<PartialPlanResult> BePlanOptimizer::ExecuteChoice(
+    const BoundQuery& query, const PartialPlanChoice& choice,
+    const EngineProfile& profile,
+    const BoundedExecOptions& exec_options) const {
+  PartialPlanResult out;
+  size_t n = query.atoms.size();
+
+  if (!choice.found) {
     // Fully conventional execution.
     Planner planner(profile);
     BEAS_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
@@ -82,18 +97,24 @@ Result<PartialPlanResult> BePlanOptimizer::ExecutePartiallyBounded(
 
   // Execute the bounded fragment.
   BoundedExecutor executor(catalog_);
-  BEAS_ASSIGN_OR_RETURN(BoundedExecutor::Fragment fragment,
-                        executor.ExecuteFragment(query, best_gen.plan));
-  out.fragment_access_bound = best_gen.plan.total_access_bound;
+  BEAS_ASSIGN_OR_RETURN(
+      BoundedExecutor::Fragment fragment,
+      executor.ExecuteFragment(query, choice.plan, exec_options));
+  out.fragment_access_bound = choice.plan.total_access_bound;
   out.fragment_tuples_fetched = fragment.stats.tuples_fetched;
+  bool all_atoms = true;
   for (size_t a = 0; a < n; ++a) {
-    if (best_mask & (1u << a)) out.covered_atoms.push_back(a);
+    if (choice.atom_enabled[a]) {
+      out.covered_atoms.push_back(a);
+    } else {
+      all_atoms = false;
+    }
   }
 
-  if (best_mask == (1u << n) - 1) {
+  if (all_atoms) {
     // The whole query was covered after all: finish with the tail only.
     BEAS_ASSIGN_OR_RETURN(out.result,
-                          executor.Execute(query, best_gen.plan));
+                          executor.Execute(query, choice.plan, exec_options));
     out.any_bounded = true;
     out.description = "entire query covered; fully bounded plan";
     return out;
@@ -115,8 +136,8 @@ Result<PartialPlanResult> BePlanOptimizer::ExecutePartiallyBounded(
   // Conjuncts the fragment enforced (everything its generator enabled and
   // scheduled; by construction that is: literal-only + fully-inside ones).
   std::vector<bool> applied(query.conjuncts.size(), false);
-  for (size_t ci : best_gen.plan.initial_conjuncts) applied[ci] = true;
-  for (const FetchStep& step : best_gen.plan.steps) {
+  for (size_t ci : choice.plan.initial_conjuncts) applied[ci] = true;
+  for (const FetchStep& step : choice.plan.steps) {
     for (size_t ci : step.conjuncts_after) applied[ci] = true;
   }
   std::vector<bool> atom_in_seed(n, false);

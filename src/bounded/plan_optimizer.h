@@ -23,6 +23,20 @@ struct PartialPlanResult {
   std::string description;  ///< what was bounded, what ran conventionally
 };
 
+/// \brief The outcome of the partial-plan *search*, separated from
+/// execution so the service layer can cache it per query template: the
+/// atom subset chosen, the conjuncts its fragment enforces, and the
+/// fragment's bounded-plan skeleton. Re-used on a new template instance by
+/// rebinding the skeleton's constants (RebindPlanConstants) and calling
+/// ExecuteChoice — skipping the exponential subset search entirely.
+struct PartialPlanChoice {
+  /// True if some non-empty atom subset's induced sub-query is covered.
+  bool found = false;
+  std::vector<bool> atom_enabled;      ///< fragment atoms (size = #atoms)
+  std::vector<bool> conjunct_enabled;  ///< conjuncts the fragment enforces
+  BoundedPlan plan;                    ///< fragment plan; valid iff found
+};
+
 /// \brief The BE Plan Optimizer (paper §3): when a query is not covered by
 /// the access schema, it "identifies sub-queries of Q that are boundedly
 /// evaluable under A and speeds up the evaluation of Q by capitalizing on
@@ -40,9 +54,22 @@ class BePlanOptimizer {
 
   /// Executes `query` with the best partially bounded plan (falling back
   /// to fully conventional execution when no fragment is coverable).
+  /// Equivalent to ChoosePlan + ExecuteChoice.
   Result<PartialPlanResult> ExecutePartiallyBounded(
       const BoundQuery& query,
       const EngineProfile& profile = EngineProfile::PostgresLike()) const;
+
+  /// The search half: picks the largest / cheapest covered fragment.
+  Result<PartialPlanChoice> ChoosePlan(const BoundQuery& query) const;
+
+  /// The execution half: runs a previously chosen (possibly cached and
+  /// constant-rebound) fragment plan, then the conventional tail.
+  /// `exec_options` reaches the bounded fragment executor (the service's
+  /// cached fast path disables per-step telemetry with it).
+  Result<PartialPlanResult> ExecuteChoice(
+      const BoundQuery& query, const PartialPlanChoice& choice,
+      const EngineProfile& profile = EngineProfile::PostgresLike(),
+      const BoundedExecOptions& exec_options = {}) const;
 
  private:
   Database* db_;

@@ -7,6 +7,7 @@
 namespace beas {
 
 const TableStats& TableInfo::stats() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
   if (!stats_valid_ || stats_slots_ != heap_.NumSlots()) {
     stats_ = ComputeTableStats(heap_);
     stats_valid_ = true;

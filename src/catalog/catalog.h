@@ -2,6 +2,7 @@
 #define BEAS_CATALOG_CATALOG_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +25,11 @@ class TableInfo {
   const TableHeap& heap() const { return heap_; }
 
   /// Returns cached stats, recomputing if the heap changed since last time.
+  ///
+  /// Thread-safety: safe to call from concurrent *readers* (the lazy
+  /// recomputation is serialized by an internal mutex); must not race with
+  /// writes to the heap itself — the engine's single-writer contract (see
+  /// Database) keeps writers exclusive.
   const TableStats& stats();
 
   /// Drops the stats cache (called on writes).
@@ -32,6 +38,7 @@ class TableInfo {
  private:
   std::string name_;
   TableHeap heap_;
+  std::mutex stats_mutex_;  ///< serializes lazy recomputation among readers
   TableStats stats_;
   bool stats_valid_ = false;
   size_t stats_slots_ = 0;

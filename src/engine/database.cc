@@ -4,12 +4,30 @@
 
 namespace beas {
 
+namespace {
+
+Status ConcurrentWriteError(const char* op, const std::string& table) {
+  return Status::Internal(
+      std::string("concurrent write detected in ") + op + "('" + table +
+      "'): Database requires a single writer at a time (and write hooks "
+      "must not re-enter the write path); serialize writes, e.g. through "
+      "BeasService");
+}
+
+}  // namespace
+
 Result<TableInfo*> Database::CreateTable(const std::string& name,
                                          const Schema& schema) {
-  return catalog_.CreateTable(name, schema);
+  WriteScope scope(this);
+  if (!scope.claimed()) return ConcurrentWriteError("CreateTable", name);
+  BEAS_ASSIGN_OR_RETURN(TableInfo * info, catalog_.CreateTable(name, schema));
+  for (const DdlHook& hook : ddl_hooks_) hook(info->name());
+  return info;
 }
 
 Status Database::Insert(const std::string& table, Row row) {
+  WriteScope scope(this);
+  if (!scope.claimed()) return ConcurrentWriteError("Insert", table);
   BEAS_ASSIGN_OR_RETURN(TableInfo * info, catalog_.GetTable(table));
   BEAS_ASSIGN_OR_RETURN(SlotId slot, info->heap()->Insert(std::move(row)));
   info->InvalidateStats();
@@ -19,6 +37,8 @@ Status Database::Insert(const std::string& table, Row row) {
 }
 
 Status Database::DeleteWhereEquals(const std::string& table, const Row& row) {
+  WriteScope scope(this);
+  if (!scope.claimed()) return ConcurrentWriteError("DeleteWhereEquals", table);
   BEAS_ASSIGN_OR_RETURN(TableInfo * info, catalog_.GetTable(table));
   TableHeap* heap = info->heap();
   for (auto it = heap->Begin(); it.Valid(); it.Next()) {

@@ -1,6 +1,7 @@
 #ifndef BEAS_ENGINE_DATABASE_H_
 #define BEAS_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -23,6 +24,24 @@ namespace beas {
 /// that DBMS substrate. The bounded layer (src/bounded) attaches to it via
 /// a BeasSession, which adds the access-schema catalog and the bounded
 /// planner/executor on top.
+///
+/// ## Thread-safety contract (single writer / multiple readers)
+///
+/// Read paths (Bind / Plan / Query / ExecutePlan and everything reachable
+/// from them) are safe to run from any number of threads concurrently, as
+/// long as no write is in flight. Write paths (CreateTable / Insert /
+/// DeleteWhereEquals) require *exclusive* access: exactly one writer and
+/// no concurrent readers. RegisterWriteHook / RegisterDdlHook must be
+/// called before the database is shared across threads. Hooks run on the
+/// writer's thread, inside its exclusive section; they must not re-enter
+/// the write path (re-entrant writes would mutate storage mid-hook).
+///
+/// The writer half of the contract is *enforced*, not implicit: each write
+/// entry point atomically claims a writer slot and returns
+/// Status::Internal("concurrent write ...") if another write is already in
+/// flight (including re-entrant writes from hooks). Callers that need the
+/// full contract — e.g. BeasService — add a shared/exclusive lock on top
+/// to also keep readers out during writes.
 class Database {
  public:
   Database() = default;
@@ -44,10 +63,17 @@ class Database {
   Status DeleteWhereEquals(const std::string& table, const Row& row);
 
   /// Registers a hook invoked after every Insert/Delete on `table`
-  /// (used by the AS Catalog maintenance module).
+  /// (used by the AS Catalog maintenance module). See the thread-safety
+  /// contract above: registration must precede concurrent use, and hooks
+  /// must not re-enter the write path.
   using WriteHook = std::function<void(const std::string& table,
                                        const Row& row, bool is_insert)>;
   void RegisterWriteHook(WriteHook hook) { hooks_.push_back(std::move(hook)); }
+
+  /// Registers a hook invoked after every successful CreateTable (used by
+  /// the service layer to invalidate plan-cache entries on DDL).
+  using DdlHook = std::function<void(const std::string& table)>;
+  void RegisterDdlHook(DdlHook hook) { ddl_hooks_.push_back(std::move(hook)); }
 
   /// Parses + binds a SQL string.
   Result<BoundQuery> Bind(const std::string& sql) const;
@@ -67,8 +93,31 @@ class Database {
                                   const std::string& engine) const;
 
  private:
+  /// RAII writer-slot claim enforcing the single-writer contract.
+  class WriteScope {
+   public:
+    explicit WriteScope(const Database* db) : db_(db) {
+      claimed_ = !db_->write_in_flight_.exchange(true,
+                                                 std::memory_order_acquire);
+    }
+    ~WriteScope() {
+      if (claimed_) {
+        db_->write_in_flight_.store(false, std::memory_order_release);
+      }
+    }
+    WriteScope(const WriteScope&) = delete;
+    WriteScope& operator=(const WriteScope&) = delete;
+    bool claimed() const { return claimed_; }
+
+   private:
+    const Database* db_;
+    bool claimed_ = false;
+  };
+
   Catalog catalog_;
   std::vector<WriteHook> hooks_;
+  std::vector<DdlHook> ddl_hooks_;
+  mutable std::atomic<bool> write_in_flight_{false};
 };
 
 }  // namespace beas

@@ -45,9 +45,10 @@ ExprPtr Expression::Column(size_t index, TypeId type, std::string name) {
   return n;
 }
 
-ExprPtr Expression::Literal(Value v) {
+ExprPtr Expression::Literal(Value v, int32_t literal_param) {
   auto n = NewNode(ExprKind::kLiteral);
   n->literal = std::move(v);
+  n->literal_param = literal_param;
   return n;
 }
 
@@ -94,6 +95,15 @@ ExprPtr Expression::InList(ExprPtr e, std::vector<Value> values) {
   auto n = NewNode(ExprKind::kInList);
   n->children = {std::move(e)};
   n->in_values = std::move(values);
+  return n;
+}
+
+ExprPtr Expression::InList(ExprPtr e, std::vector<Value> values,
+                           std::vector<int32_t> params) {
+  auto n = NewNode(ExprKind::kInList);
+  n->children = {std::move(e)};
+  n->in_values = std::move(values);
+  n->in_params = std::move(params);
   return n;
 }
 
@@ -211,6 +221,83 @@ std::string Expression::ToString() const {
              (negated ? " IS NOT NULL)" : " IS NULL)");
   }
   return "?";
+}
+
+bool HasParams(const ExprPtr& expr) {
+  if (!expr) return false;
+  if (expr->literal_param != 0) return true;
+  for (int32_t p : expr->in_params) {
+    if (p != 0) return true;
+  }
+  for (const ExprPtr& child : expr->children) {
+    if (HasParams(child)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Resolves one provenance slot against a new instance's literal values:
+/// re-applies the parser's negation fold and the binder's implicit
+/// coercion to the type the cached literal ended up with. A parameter
+/// whose type is incompatible with the cached literal's comparison family
+/// is an error — a fresh bind would reject the query (or bind it
+/// differently), so the caller must fall back to the full front end.
+Result<Value> ResolveParam(int32_t param, TypeId target_type,
+                           const std::vector<Value>& params) {
+  size_t idx = static_cast<size_t>(param > 0 ? param : -param) - 1;
+  if (idx >= params.size()) {
+    return Status::Internal("literal parameter index out of range");
+  }
+  Value v = params[idx];
+  if (param < 0) {
+    if (v.type() == TypeId::kInt64) {
+      v = Value::Int64(-v.AsInt64());
+    } else if (v.type() == TypeId::kDouble) {
+      v = Value::Double(-v.AsDouble());
+    } else {
+      return Status::Internal("cannot negate a non-numeric parameter");
+    }
+  }
+  if (!v.is_null() && v.type() != target_type) {
+    if (IsImplicitlyCoercible(v.type(), target_type)) {
+      BEAS_ASSIGN_OR_RETURN(v, v.CoerceTo(target_type));
+    } else if (!IsComparableTypes(v.type(), target_type)) {
+      return Status::Internal(
+          "parameter type is incompatible with the template literal");
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<ExprPtr> SubstituteParams(const ExprPtr& expr,
+                                 const std::vector<Value>& params) {
+  if (!expr || !HasParams(expr)) return expr;  // share unchanged subtrees
+  if (expr->kind == ExprKind::kLiteral) {
+    BEAS_ASSIGN_OR_RETURN(
+        Value v, ResolveParam(expr->literal_param, expr->literal.type(),
+                              params));
+    return Expression::Literal(std::move(v), expr->literal_param);
+  }
+  auto copy = std::make_shared<Expression>(*expr);
+  if (expr->kind == ExprKind::kInList) {
+    for (size_t i = 0;
+         i < copy->in_values.size() && i < copy->in_params.size(); ++i) {
+      if (copy->in_params[i] == 0) continue;
+      BEAS_ASSIGN_OR_RETURN(
+          copy->in_values[i],
+          ResolveParam(copy->in_params[i], expr->in_values[i].type(),
+                       params));
+    }
+  }
+  copy->children.clear();
+  for (const ExprPtr& child : expr->children) {
+    BEAS_ASSIGN_OR_RETURN(ExprPtr c, SubstituteParams(child, params));
+    copy->children.push_back(std::move(c));
+  }
+  return ExprPtr(std::move(copy));
 }
 
 ExprPtr RebindColumns(const ExprPtr& expr,

@@ -46,6 +46,11 @@ class Expression {
 
   // kLiteral
   Value literal;
+  /// Literal provenance: 0 = none, +k = literal token #(k-1) of the source
+  /// SQL, -k = its negation (see AstExpr::literal_param). Used by the
+  /// service layer to re-instantiate cached bound queries with new
+  /// parameters (SubstituteParams).
+  int32_t literal_param = 0;
 
   // Operators.
   CompareOp cmp = CompareOp::kEq;
@@ -55,11 +60,13 @@ class Expression {
 
   // kInList
   std::vector<Value> in_values;
+  /// Provenance per IN value, parallel to `in_values` (empty = none).
+  std::vector<int32_t> in_params;
 
   std::vector<ExprPtr> children;
 
   static ExprPtr Column(size_t index, TypeId type, std::string name);
-  static ExprPtr Literal(Value v);
+  static ExprPtr Literal(Value v, int32_t literal_param = 0);
   static ExprPtr Compare(CompareOp op, ExprPtr l, ExprPtr r);
   static ExprPtr Logic(LogicOp op, ExprPtr l, ExprPtr r);
   static ExprPtr Not(ExprPtr child);
@@ -67,6 +74,8 @@ class Expression {
   static ExprPtr Arith(ArithOp op, ExprPtr l, ExprPtr r);
   static ExprPtr Between(ExprPtr e, ExprPtr lo, ExprPtr hi);
   static ExprPtr InList(ExprPtr e, std::vector<Value> values);
+  static ExprPtr InList(ExprPtr e, std::vector<Value> values,
+                        std::vector<int32_t> params);
   static ExprPtr IsNull(ExprPtr e, bool negated);
 
   /// Static result type of the expression (predicates report kInt64 0/1).
@@ -86,6 +95,19 @@ class Expression {
 /// missing from the mapping; callers treat that as an internal bug.
 ExprPtr RebindColumns(const ExprPtr& expr,
                       const std::unordered_map<size_t, size_t>& mapping);
+
+/// \brief Returns `expr` with every provenance-tagged literal replaced by
+/// the corresponding value from `params` (the literal values of a new
+/// instance of the same query template, in token order): negation folds
+/// are re-applied and the binder's implicit coercion to the cached
+/// literal's type is reproduced. Subtrees without parameters are shared,
+/// not copied. Errors if an index is out of range or a coercion fails
+/// (e.g. a malformed date string) — callers fall back to a full re-bind.
+Result<ExprPtr> SubstituteParams(const ExprPtr& expr,
+                                 const std::vector<Value>& params);
+
+/// \brief True if any literal in `expr` carries parameter provenance.
+bool HasParams(const ExprPtr& expr);
 
 }  // namespace beas
 

@@ -48,6 +48,16 @@ MaintenanceManager::RevalidateAndSuggest(double headroom) const {
   return out;
 }
 
+Status MaintenanceManager::RunAdjustmentCycle(double headroom,
+                                              size_t* changed_out) {
+  std::vector<Adjustment> changed;
+  for (Adjustment& adj : RevalidateAndSuggest(headroom)) {
+    if (adj.suggested_n != adj.declared_n) changed.push_back(std::move(adj));
+  }
+  if (changed_out != nullptr) *changed_out = changed.size();
+  return ApplySuggestions(changed);
+}
+
 Status MaintenanceManager::ApplySuggestions(
     const std::vector<Adjustment>& adjustments) {
   for (const Adjustment& adj : adjustments) {

@@ -55,7 +55,17 @@ class MaintenanceManager {
   std::vector<Adjustment> RevalidateAndSuggest(double headroom = 1.2) const;
 
   /// Applies the given adjustments to the catalog's declared bounds.
+  /// Each applied adjustment fires the catalog's change listeners, which
+  /// is how the service layer's plan cache learns that deduced bounds
+  /// derived from the old N values are stale.
   Status ApplySuggestions(const std::vector<Adjustment>& adjustments);
+
+  /// One periodic maintenance round: revalidate, then apply only the
+  /// suggestions that actually change a declared bound (no-op adjustments
+  /// would needlessly invalidate cached plans). Returns the number of
+  /// bounds changed via `changed_out` (optional).
+  Status RunAdjustmentCycle(double headroom = 1.2,
+                            size_t* changed_out = nullptr);
 
  private:
   Database* db_;

@@ -1,0 +1,443 @@
+#include "service/beas_service.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace beas {
+
+namespace {
+
+std::string BoundedExplanation(uint64_t bound, bool cached) {
+  std::string out =
+      "covered by the access schema; bounded plan with deduced bound M = " +
+      WithCommas(bound);
+  if (cached) out += " (cached template plan)";
+  return out;
+}
+
+/// Cross-checks the hot-path masker against the reference lexer lifting:
+/// same parameter values, in the same order. Run once per template.
+bool ParamsAgree(const std::vector<Value>& a, const std::vector<Value>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].type() != b[i].type() || a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+BeasService::BeasService(ServiceOptions options)
+    : options_(std::move(options)),
+      catalog_(&db_),
+      maintenance_(&db_, &catalog_),
+      session_(&db_, &catalog_),
+      cache_(options_.cache_capacity, options_.cache_shards),
+      cache_enabled_(options_.enable_plan_cache) {
+  // (b) incremental index maintenance: inserts/deletes update AC indices
+  // in place, keeping cached plans valid — no cache invalidation here.
+  maintenance_.Attach();
+  // (a) plan-validity events invalidate at table granularity.
+  db_.RegisterDdlHook(
+      [this](const std::string& table) { cache_.InvalidateTable(table); });
+  catalog_.AddChangeListener([this](AsCatalog::ChangeKind,
+                                    const std::string& table,
+                                    const std::string&) {
+    cache_.InvalidateTable(table);
+  });
+  // At least one worker, or Submit() futures would never resolve.
+  options_.num_workers = std::max<size_t>(1, options_.num_workers);
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+BeasService::~BeasService() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Write side.
+// ---------------------------------------------------------------------------
+
+Result<TableInfo*> BeasService::CreateTable(const std::string& name,
+                                            const Schema& schema) {
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  return db_.CreateTable(name, schema);
+}
+
+Status BeasService::Insert(const std::string& table, Row row) {
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  return db_.Insert(table, std::move(row));
+}
+
+Status BeasService::Delete(const std::string& table, const Row& row) {
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  return db_.DeleteWhereEquals(table, row);
+}
+
+Status BeasService::RegisterConstraint(AccessConstraint constraint) {
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  return catalog_.Register(std::move(constraint));
+}
+
+Status BeasService::UnregisterConstraint(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  return catalog_.Unregister(name);
+}
+
+Status BeasService::RunAdjustmentCycle(double headroom, size_t* changed_out) {
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  return maintenance_.RunAdjustmentCycle(headroom, changed_out);
+}
+
+Status BeasService::ApplySuggestions(
+    const std::vector<MaintenanceManager::Adjustment>& adjustments) {
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  return maintenance_.ApplySuggestions(adjustments);
+}
+
+std::vector<MaintenanceManager::Adjustment> BeasService::RevalidateAndSuggest(
+    double headroom) const {
+  std::shared_lock<std::shared_mutex> lock(rw_mutex_);
+  return maintenance_.RevalidateAndSuggest(headroom);
+}
+
+// ---------------------------------------------------------------------------
+// Read side.
+// ---------------------------------------------------------------------------
+
+Result<ServiceResponse> BeasService::Execute(const std::string& sql) {
+  std::shared_lock<std::shared_mutex> lock(rw_mutex_);
+  return ExecuteLocked(sql);
+}
+
+Result<ServiceResponse> BeasService::ExecuteUncachedQuery(
+    const BoundQuery& query) {
+  ServiceResponse resp;
+  resp.cacheable = false;
+  BEAS_ASSIGN_OR_RETURN(
+      resp.result,
+      session_.Execute(query, &resp.decision, options_.fallback_profile));
+  return resp;
+}
+
+Result<ServiceResponse> BeasService::ExecuteLocked(const std::string& sql) {
+  if (!cache_enabled_.load(std::memory_order_relaxed)) {
+    BEAS_ASSIGN_OR_RETURN(BoundQuery query, db_.Bind(sql));
+    return ExecuteUncachedQuery(query);
+  }
+
+  Result<SqlTemplate> masked_r = MaskSqlLiterals(sql);
+  if (!masked_r.ok()) {
+    // Malformed literal syntax: let the real front end report the error.
+    BEAS_ASSIGN_OR_RETURN(BoundQuery query, db_.Bind(sql));
+    return ExecuteUncachedQuery(query);
+  }
+  SqlTemplate masked = std::move(*masked_r);
+
+  QueryTemplate key;
+  key.canonical = masked.text;
+  key.hash = HashString(key.canonical);
+
+  // --- Fast path: instantiate the cached template, skipping parse+bind
+  // and the coverage / partial-plan search. ---
+  std::shared_ptr<const PlanCache::Entry> entry = cache_.Lookup(key);
+  BoundQuery query;
+  bool have_query = false;
+  if (entry != nullptr && entry->prepared != nullptr) {
+    Result<BoundQuery> inst =
+        InstantiatePrepared(*entry->prepared, masked.params);
+    if (inst.ok()) {
+      query = std::move(*inst);
+      have_query = true;
+      if (entry->covered) {
+        Result<BoundedPlan> plan = RebindPlanConstants(entry->plan, query);
+        if (plan.ok()) {
+          BoundedExecOptions exec_options;
+          exec_options.collect_stats = false;
+          ServiceResponse resp;
+          resp.cache_hit = true;
+          resp.template_hash = key.hash;
+          BEAS_ASSIGN_OR_RETURN(
+              resp.result, session_.ExecuteCovered(query, *plan, exec_options));
+          resp.decision.mode = BeasSession::ExecutionDecision::Mode::kBounded;
+          resp.decision.deduced_bound = plan->total_access_bound;
+          resp.decision.explanation = entry->covered_explanation;
+          return resp;
+        }
+      } else if (entry->partial_computed) {
+        // Copy only the cheap choice fields; the plan skeleton is copied
+        // once, inside RebindPlanConstants.
+        PartialPlanChoice choice;
+        choice.found = entry->partial.found;
+        choice.atom_enabled = entry->partial.atom_enabled;
+        choice.conjunct_enabled = entry->partial.conjunct_enabled;
+        bool rebound = true;
+        if (choice.found) {
+          Result<BoundedPlan> plan = RebindPlanConstants(
+              entry->partial.plan, query, choice.conjunct_enabled);
+          if (plan.ok()) {
+            choice.plan = std::move(*plan);
+          } else {
+            rebound = false;
+          }
+        }
+        if (rebound) {
+          BoundedExecOptions exec_options;
+          exec_options.collect_stats = false;
+          BEAS_ASSIGN_OR_RETURN(
+              PartialPlanResult partial,
+              session_.ExecutePartialChoice(
+                  query, choice, options_.fallback_profile, exec_options));
+          ServiceResponse resp;
+          resp.cache_hit = true;
+          resp.template_hash = key.hash;
+          resp.result = std::move(partial.result);
+          resp.decision.mode =
+              partial.any_bounded
+                  ? BeasSession::ExecutionDecision::Mode::kPartiallyBounded
+                  : BeasSession::ExecutionDecision::Mode::kConventional;
+          resp.decision.deduced_bound = partial.fragment_access_bound;
+          resp.decision.explanation = entry->reason + "; " +
+                                      partial.description +
+                                      " (cached template plan)";
+          return resp;
+        }
+      }
+      // Covered rebind mismatch, or a not-covered entry whose fallback was
+      // never computed (strict-bounded / Check populated it): re-plan below
+      // reusing the instantiated query.
+    }
+  }
+
+  if (!have_query) {
+    BEAS_ASSIGN_OR_RETURN(query, db_.Bind(sql));
+  }
+  return ExecuteMiss(sql, masked, std::move(query));
+}
+
+std::shared_ptr<PlanCache::Entry> BeasService::MakeEntry(
+    const std::string& sql, const SqlTemplate& masked,
+    const QueryTemplate& tmpl, const BoundQuery& query,
+    const CoverageResult& coverage) {
+  auto entry = std::make_shared<PlanCache::Entry>();
+  entry->covered = coverage.covered;
+  entry->unsatisfiable = coverage.unsatisfiable;
+  entry->plan = coverage.plan;
+  entry->nodes_explored = coverage.nodes_explored;
+  entry->reason = coverage.reason;
+  entry->tables = tmpl.tables;
+  if (coverage.covered) {
+    entry->covered_explanation =
+        BoundedExplanation(coverage.plan.total_access_bound, /*cached=*/true);
+  }
+  // Validate the hot-path masker against the reference lexer once per
+  // template; on agreement the entry carries a substitutable binding.
+  Result<SqlTemplate> reference = NormalizeSql(sql);
+  if (reference.ok() && ParamsAgree(reference->params, masked.params)) {
+    entry->prepared = std::make_shared<PreparedQuery>(
+        PrepareQuery(BoundQuery(query), masked.params));
+  }
+  return entry;
+}
+
+Result<ServiceResponse> BeasService::ExecuteMiss(const std::string& sql,
+                                                 const SqlTemplate& masked,
+                                                 BoundQuery query) {
+  QueryTemplate tmpl = BuildQueryTemplate(masked, query);
+  if (!tmpl.cacheable) {
+    cache_.NoteUncacheable();
+    ServiceResponse resp;
+    BEAS_ASSIGN_OR_RETURN(resp, ExecuteUncachedQuery(query));
+    resp.template_hash = tmpl.hash;
+    return resp;
+  }
+
+  ServiceResponse resp;
+  resp.template_hash = tmpl.hash;
+  BEAS_ASSIGN_OR_RETURN(CoverageResult coverage, session_.Check(query));
+  std::shared_ptr<PlanCache::Entry> entry =
+      MakeEntry(sql, masked, tmpl, query, coverage);
+
+  if (coverage.covered) {
+    BEAS_ASSIGN_OR_RETURN(resp.result,
+                          session_.ExecuteCovered(query, coverage.plan));
+    resp.decision.mode = BeasSession::ExecutionDecision::Mode::kBounded;
+    resp.decision.deduced_bound = coverage.plan.total_access_bound;
+    resp.decision.explanation =
+        BoundedExplanation(coverage.plan.total_access_bound, false);
+  } else {
+    BEAS_ASSIGN_OR_RETURN(PartialPlanChoice choice,
+                          session_.ChoosePartialPlan(query));
+    entry->partial_computed = true;
+    entry->partial = choice;
+    BEAS_ASSIGN_OR_RETURN(
+        PartialPlanResult partial,
+        session_.ExecutePartialChoice(query, choice,
+                                      options_.fallback_profile));
+    resp.result = std::move(partial.result);
+    resp.decision.mode =
+        partial.any_bounded
+            ? BeasSession::ExecutionDecision::Mode::kPartiallyBounded
+            : BeasSession::ExecutionDecision::Mode::kConventional;
+    resp.decision.deduced_bound = partial.fragment_access_bound;
+    resp.decision.explanation = coverage.reason + "; " + partial.description;
+  }
+  if (entry->prepared != nullptr) {
+    QueryTemplate key;
+    key.canonical = masked.text;
+    key.hash = tmpl.hash;
+    cache_.Insert(key, std::move(entry));
+  } else {
+    // Masker/lexer divergence: the template can never be served from the
+    // cache, so the response must not claim eligibility.
+    cache_.NoteUncacheable();
+    resp.cacheable = false;
+  }
+  return resp;
+}
+
+Result<ServiceResponse> BeasService::ExecuteBounded(const std::string& sql) {
+  std::shared_lock<std::shared_mutex> lock(rw_mutex_);
+  bool cache_hit = false;
+  BoundQuery query;
+  BEAS_ASSIGN_OR_RETURN(CoverageResult coverage,
+                        CheckLocked(sql, &cache_hit, &query));
+  if (!coverage.covered) return Status::NotCovered(coverage.reason);
+  // CheckLocked's plan is already rebound to this instance's constants.
+  ServiceResponse resp;
+  resp.cache_hit = cache_hit;
+  BEAS_ASSIGN_OR_RETURN(resp.result,
+                        session_.ExecuteCovered(query, coverage.plan));
+  resp.decision.mode = BeasSession::ExecutionDecision::Mode::kBounded;
+  resp.decision.deduced_bound = coverage.plan.total_access_bound;
+  resp.decision.explanation =
+      BoundedExplanation(coverage.plan.total_access_bound, cache_hit);
+  return resp;
+}
+
+Result<ApproxResult> BeasService::ExecuteApproximate(const std::string& sql,
+                                                     uint64_t budget) {
+  std::shared_lock<std::shared_mutex> lock(rw_mutex_);
+  BoundQuery query;
+  BEAS_ASSIGN_OR_RETURN(CoverageResult coverage,
+                        CheckLocked(sql, nullptr, &query));
+  if (!coverage.covered) {
+    return Status::NotCovered("approximation requires a covered query: " +
+                              coverage.reason);
+  }
+  return session_.ExecuteApproximate(query, coverage.plan, budget);
+}
+
+Result<CoverageResult> BeasService::Check(const std::string& sql) {
+  std::shared_lock<std::shared_mutex> lock(rw_mutex_);
+  return CheckLocked(sql);
+}
+
+Result<CoverageResult> BeasService::CheckLocked(const std::string& sql,
+                                                bool* cache_hit,
+                                                BoundQuery* query_out) {
+  if (cache_hit != nullptr) *cache_hit = false;
+  if (!cache_enabled_.load(std::memory_order_relaxed)) {
+    BEAS_ASSIGN_OR_RETURN(BoundQuery query, db_.Bind(sql));
+    Result<CoverageResult> coverage = session_.Check(query);
+    if (query_out != nullptr) *query_out = std::move(query);
+    return coverage;
+  }
+  Result<SqlTemplate> masked_r = MaskSqlLiterals(sql);
+  if (!masked_r.ok()) {
+    BEAS_ASSIGN_OR_RETURN(BoundQuery query, db_.Bind(sql));
+    Result<CoverageResult> coverage = session_.Check(query);
+    if (query_out != nullptr) *query_out = std::move(query);
+    return coverage;
+  }
+  SqlTemplate masked = std::move(*masked_r);
+  QueryTemplate key;
+  key.canonical = masked.text;
+  key.hash = HashString(key.canonical);
+
+  std::shared_ptr<const PlanCache::Entry> entry = cache_.Lookup(key);
+  if (entry != nullptr && entry->prepared != nullptr) {
+    Result<BoundQuery> inst =
+        InstantiatePrepared(*entry->prepared, masked.params);
+    if (inst.ok()) {
+      Result<BoundedPlan> plan =
+          entry->covered ? RebindPlanConstants(entry->plan, *inst)
+                         : Result<BoundedPlan>(BoundedPlan(entry->plan));
+      if (plan.ok()) {
+        CoverageResult coverage;
+        coverage.covered = entry->covered;
+        coverage.unsatisfiable = entry->unsatisfiable;
+        coverage.plan = std::move(*plan);
+        coverage.reason = entry->reason;
+        coverage.nodes_explored = entry->nodes_explored;  // search saved
+        if (cache_hit != nullptr) *cache_hit = true;
+        if (query_out != nullptr) *query_out = std::move(*inst);
+        return coverage;
+      }
+    }
+  }
+
+  BEAS_ASSIGN_OR_RETURN(BoundQuery query, db_.Bind(sql));
+  QueryTemplate tmpl = BuildQueryTemplate(masked, query);
+  BEAS_ASSIGN_OR_RETURN(CoverageResult coverage, session_.Check(query));
+  if (tmpl.cacheable) {
+    std::shared_ptr<PlanCache::Entry> fresh =
+        MakeEntry(sql, masked, tmpl, query, coverage);
+    if (fresh->prepared != nullptr) {
+      cache_.Insert(key, std::move(fresh));
+    } else {
+      cache_.NoteUncacheable();
+    }
+  } else {
+    // Keep stats consistent with ExecuteLocked's uncacheable accounting.
+    cache_.NoteUncacheable();
+  }
+  if (query_out != nullptr) *query_out = std::move(query);
+  return coverage;
+}
+
+std::future<Result<ServiceResponse>> BeasService::Submit(
+    const std::string& sql) {
+  auto promise = std::make_shared<std::promise<Result<ServiceResponse>>>();
+  std::future<Result<ServiceResponse>> future = promise->get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) {
+      promise->set_value(Status::Internal("service is shutting down"));
+      return future;
+    }
+    queue_.push_back([this, promise, sql] {
+      promise->set_value(Execute(sql));
+    });
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void BeasService::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace beas

@@ -1,0 +1,191 @@
+#ifndef BEAS_SERVICE_BEAS_SERVICE_H_
+#define BEAS_SERVICE_BEAS_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bounded/beas_session.h"
+#include "engine/database.h"
+#include "maintenance/maintenance.h"
+#include "service/plan_cache.h"
+#include "service/template_key.h"
+#include "sql/sql_template.h"
+
+namespace beas {
+
+/// \brief Tuning knobs for a BeasService.
+struct ServiceOptions {
+  size_t num_workers = 4;      ///< threads serving Submit(); clamped to >= 1
+  size_t cache_capacity = 1024;
+  size_t cache_shards = 8;
+  bool enable_plan_cache = true;
+  EngineProfile fallback_profile = EngineProfile::PostgresLike();
+};
+
+/// \brief A query answer plus the service-level telemetry.
+struct ServiceResponse {
+  QueryResult result;
+  BeasSession::ExecutionDecision decision;
+  bool cache_hit = false;   ///< answered from a cached template plan
+  bool cacheable = true;    ///< template was eligible for the cache
+  uint64_t template_hash = 0;
+};
+
+/// \brief The concurrent query-service layer: the first piece of the
+/// serving architecture on the road from the paper's single-session
+/// pipeline to a production engine.
+///
+/// A BeasService owns the full stack — conventional engine (Database),
+/// AS catalog (AsCatalog), maintenance module (attached), BEAS session —
+/// plus a worker thread pool and a template plan cache, and multiplexes
+/// concurrent clients over them under a single-writer/multi-reader
+/// contract:
+///
+///  * Read paths (Execute / ExecuteBounded / ExecuteApproximate / Check /
+///    Submit) take a shared lock and run concurrently.
+///  * Write paths (CreateTable / Insert / Delete / constraint
+///    registration / maintenance adjustment) take the exclusive lock.
+///    Database additionally *enforces* its single-writer contract.
+///
+/// ## The template plan cache
+///
+/// Real workloads are dominated by repeated parameterized templates, and
+/// for BEAS the expensive per-query work — the BE checker's coverage
+/// search and the partial-plan optimizer's subset search — depends only on
+/// the template, not the parameter values. Execute therefore normalizes
+/// each query (token-level + bound-AST constant lifting), looks its
+/// template up in a sharded LRU cache, and on a hit skips straight to
+/// execution with the cached plan skeleton, rebinding fetch-key constants
+/// to the new parameters. Value-dependent templates (see
+/// QueryTemplate::cacheable) bypass the cache.
+///
+/// ## Maintenance-driven invalidation
+///
+/// Cached decisions are invalidated by events that change what plans are
+/// valid, at table granularity: constraint registration/unregistration,
+/// declared-bound adjustments (MaintenanceManager::ApplySuggestions →
+/// AsCatalog::AdjustLimit → change listener), and DDL. Plain inserts and
+/// deletes do NOT invalidate: the maintenance module incrementally updates
+/// the AC indices, which keeps every cached plan's answers exact (its
+/// deduced bounds remain valid until the declared N values are adjusted).
+class BeasService {
+ public:
+  explicit BeasService(ServiceOptions options = {});
+  ~BeasService();
+
+  BeasService(const BeasService&) = delete;
+  BeasService& operator=(const BeasService&) = delete;
+
+  /// \name Write side (exclusive lock).
+  /// @{
+  Result<TableInfo*> CreateTable(const std::string& name,
+                                 const Schema& schema);
+  Status Insert(const std::string& table, Row row);
+  Status Delete(const std::string& table, const Row& row);
+  Status RegisterConstraint(AccessConstraint constraint);
+  Status UnregisterConstraint(const std::string& name);
+  /// One maintenance round: revalidate declared bounds against observed
+  /// maxima and apply changed suggestions (each firing cache invalidation).
+  Status RunAdjustmentCycle(double headroom = 1.2,
+                            size_t* changed_out = nullptr);
+  Status ApplySuggestions(
+      const std::vector<MaintenanceManager::Adjustment>& adjustments);
+  std::vector<MaintenanceManager::Adjustment> RevalidateAndSuggest(
+      double headroom = 1.2) const;
+  /// @}
+
+  /// \name Read side (shared lock; safe from many threads).
+  /// @{
+  Result<ServiceResponse> Execute(const std::string& sql);
+  Result<ServiceResponse> ExecuteBounded(const std::string& sql);
+  Result<ApproxResult> ExecuteApproximate(const std::string& sql,
+                                          uint64_t budget);
+  Result<CoverageResult> Check(const std::string& sql);
+  /// @}
+
+  /// Enqueues `sql` on the worker pool; the future resolves to the same
+  /// response Execute would produce.
+  std::future<Result<ServiceResponse>> Submit(const std::string& sql);
+
+  PlanCacheStats cache_stats() const { return cache_.stats(); }
+  void set_cache_enabled(bool enabled) { cache_enabled_.store(enabled); }
+  bool cache_enabled() const { return cache_enabled_.load(); }
+  void ClearCache() { cache_.Clear(); }
+
+  /// \name Setup escape hatches.
+  /// Direct access to the owned components, for bulk loading and catalog
+  /// setup *before* the service is shared across threads (e.g. TLC
+  /// generation). Mutating through these while serving breaks the
+  /// single-writer contract that the service otherwise enforces; writes
+  /// that bypass AsCatalog also bypass cache invalidation.
+  /// @{
+  Database* db() { return &db_; }
+  AsCatalog* catalog() { return &catalog_; }
+  MaintenanceManager* maintenance() { return &maintenance_; }
+  const BeasSession& session() const { return session_; }
+  /// @}
+
+ private:
+  /// Cached-path Execute; caller holds the shared lock.
+  Result<ServiceResponse> ExecuteLocked(const std::string& sql);
+
+  /// Cached-path Check; caller holds the shared lock. `cache_hit` (may be
+  /// null) reports whether the verdict came from the template cache;
+  /// `query_out` (may be null) receives the bound or instantiated query
+  /// so callers can execute without re-binding.
+  Result<CoverageResult> CheckLocked(const std::string& sql,
+                                     bool* cache_hit = nullptr,
+                                     BoundQuery* query_out = nullptr);
+
+  /// Full per-query pipeline, bypassing the cache.
+  Result<ServiceResponse> ExecuteUncachedQuery(const BoundQuery& query);
+
+  /// Runs the full pipeline on a cache miss and populates the cache.
+  /// `query` is already bound (or instantiated); `masked` identifies the
+  /// template and carries this instance's parameters.
+  Result<ServiceResponse> ExecuteMiss(const std::string& sql,
+                                      const SqlTemplate& masked,
+                                      BoundQuery query);
+
+  /// Builds the cache entry skeleton shared by the miss paths: coverage
+  /// fields plus the prepared template (null if validation failed).
+  std::shared_ptr<PlanCache::Entry> MakeEntry(const std::string& sql,
+                                              const SqlTemplate& masked,
+                                              const QueryTemplate& tmpl,
+                                              const BoundQuery& query,
+                                              const CoverageResult& coverage);
+
+  void WorkerLoop();
+
+  ServiceOptions options_;
+  Database db_;
+  AsCatalog catalog_;
+  MaintenanceManager maintenance_;
+  BeasSession session_;
+  PlanCache cache_;
+  std::atomic<bool> cache_enabled_;
+
+  /// Readers (query paths) share; writers (DDL/data/constraint/bound
+  /// changes) are exclusive.
+  mutable std::shared_mutex rw_mutex_;
+
+  // Worker pool.
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_SERVICE_BEAS_SERVICE_H_

@@ -1,0 +1,104 @@
+#include "service/plan_cache.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+std::string PlanCacheStats::ToString() const {
+  return StringPrintf(
+      "plan cache: %llu hits, %llu misses, %llu evictions, "
+      "%llu invalidations, %llu uncacheable, %zu resident",
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(misses),
+      static_cast<unsigned long long>(evictions),
+      static_cast<unsigned long long>(invalidations),
+      static_cast<unsigned long long>(uncacheable), entries);
+}
+
+PlanCache::PlanCache(size_t capacity, size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  capacity_per_shard_ = std::max<size_t>(1, capacity / num_shards);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const PlanCache::Entry> PlanCache::Lookup(
+    const QueryTemplate& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key.canonical);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void PlanCache::Insert(const QueryTemplate& key,
+                       std::shared_ptr<const Entry> entry) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key.canonical);
+  if (it != shard.map.end()) {
+    it->second->second = std::move(entry);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key.canonical, std::move(entry));
+  shard.map[key.canonical] = shard.lru.begin();
+  while (shard.lru.size() > capacity_per_shard_) {
+    shard.map.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void PlanCache::InvalidateTable(const std::string& table) {
+  std::string needle = ToLower(table);
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      const auto& tables = it->second->tables;
+      if (std::find(tables.begin(), tables.end(), needle) != tables.end()) {
+        shard.map.erase(it->first);
+        it = shard.lru.erase(it);
+        ++shard.invalidations;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void PlanCache::Clear() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.clear();
+    shard.lru.clear();
+  }
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats out;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.evictions += shard.evictions;
+    out.invalidations += shard.invalidations;
+    out.entries += shard.lru.size();
+  }
+  out.uncacheable = uncacheable_.load();
+  return out;
+}
+
+}  // namespace beas

@@ -1,0 +1,48 @@
+#ifndef BEAS_SERVICE_TEMPLATE_KEY_H_
+#define BEAS_SERVICE_TEMPLATE_KEY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "binder/bound_query.h"
+#include "sql/sql_template.h"
+
+namespace beas {
+
+/// \brief The normalized identity of a parameterized query: the plan-cache
+/// key of the service layer.
+///
+/// Two queries share a QueryTemplate iff they differ only in constant
+/// values (same tables, join/predicate structure, IN-list arities,
+/// output/grouping/ordering shape). For such pairs the BE checker's
+/// coverage decision, the bounded plan's step sequence, and every deduced
+/// bound are identical — so they are computed once and reused, with only
+/// the fetch-key constants rebound per instance (RebindPlanConstants).
+struct QueryTemplate {
+  uint64_t hash = 0;          ///< hash of `canonical` (shard + map key)
+  /// The literal-masked SQL text (MaskSqlLiterals). Binding is a
+  /// deterministic function of this text plus the catalog state, so it
+  /// fully identifies the template; catalog changes invalidate entries.
+  std::string canonical;
+  size_t param_count = 0;           ///< lifted constants
+  std::vector<std::string> tables;  ///< referenced tables, lowercased
+
+  /// False when the *values* of the parameters can change the coverage
+  /// decision or the deduced bounds, so a cached plan must not be reused.
+  /// Today that is exactly the queries where one attribute equivalence
+  /// class is constrained by more than one constant-bearing predicate
+  /// (e.g. "x = ?1 AND x = ?2": satisfiable iff ?1 = ?2, and the class's
+  /// constant set — hence the plan — depends on the intersection).
+  bool cacheable = true;
+  std::string uncacheable_reason;
+};
+
+/// Builds the template for a bound query. `sql_template` is the masked
+/// form of the original SQL (MaskSqlLiterals / NormalizeSql).
+QueryTemplate BuildQueryTemplate(const SqlTemplate& sql_template,
+                                 const BoundQuery& query);
+
+}  // namespace beas
+
+#endif  // BEAS_SERVICE_TEMPLATE_KEY_H_

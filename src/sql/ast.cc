@@ -33,10 +33,11 @@ AstExprPtr AstExpr::MakeColumn(std::string table, std::string column) {
   return e;
 }
 
-AstExprPtr AstExpr::MakeLiteral(Value v) {
+AstExprPtr AstExpr::MakeLiteral(Value v, int32_t literal_param) {
   auto e = std::make_unique<AstExpr>();
   e->type = AstExprType::kLiteral;
   e->literal = std::move(v);
+  e->literal_param = literal_param;
   return e;
 }
 

@@ -47,6 +47,11 @@ struct AstExpr {
 
   // kLiteral
   Value literal;
+  /// Provenance of the literal in the source text: 0 = none (synthesized,
+  /// e.g. NULL), +k = the value of literal token #(k-1), -k = its
+  /// negation (the parser folds unary minus into literals). Lets a cached
+  /// bound query be re-instantiated with new parameters without reparsing.
+  int32_t literal_param = 0;
 
   // kBinary / kUnary
   AstBinOp bin_op = AstBinOp::kEq;
@@ -64,7 +69,7 @@ struct AstExpr {
   std::vector<AstExprPtr> children;
 
   static AstExprPtr MakeColumn(std::string table, std::string column);
-  static AstExprPtr MakeLiteral(Value v);
+  static AstExprPtr MakeLiteral(Value v, int32_t literal_param = 0);
   static AstExprPtr MakeBinary(AstBinOp op, AstExprPtr l, AstExprPtr r);
   static AstExprPtr MakeUnary(AstUnOp op, AstExprPtr child);
   static AstExprPtr MakeStar();
@@ -106,6 +111,7 @@ struct SelectStatement {
   AstExprPtr having;  ///< may be null
   std::vector<OrderItem> order_by;
   std::optional<int64_t> limit;
+  int32_t limit_param = 0;  ///< literal provenance of `limit` (see AstExpr)
 
   std::string ToString() const;
 };

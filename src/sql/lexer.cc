@@ -161,9 +161,15 @@ Result<Token> Lexer::Next() {
 
 Result<std::vector<Token>> Lexer::Tokenize() {
   std::vector<Token> tokens;
+  int32_t next_ordinal = 0;
   while (true) {
     BEAS_ASSIGN_OR_RETURN(Token tok, Next());
     bool eof = tok.type == TokenType::kEof;
+    if (tok.type == TokenType::kIntLiteral ||
+        tok.type == TokenType::kFloatLiteral ||
+        tok.type == TokenType::kStringLiteral) {
+      tok.literal_ordinal = next_ordinal++;
+    }
     tokens.push_back(std::move(tok));
     if (eof) break;
   }

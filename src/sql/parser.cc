@@ -178,7 +178,9 @@ Result<SelectStatement> Parser::ParseSelect() {
     if (Peek().type != TokenType::kIntLiteral) {
       return ErrorHere("expected integer after LIMIT");
     }
-    stmt.limit = Advance().int_val;
+    const Token& tok = Advance();
+    stmt.limit = tok.int_val;
+    stmt.limit_param = tok.literal_ordinal + 1;
   }
   return stmt;
 }
@@ -316,13 +318,16 @@ Result<AstExprPtr> Parser::ParseMultiplicative() {
 Result<AstExprPtr> Parser::ParseUnary() {
   if (Match(TokenType::kMinus)) {
     BEAS_ASSIGN_OR_RETURN(AstExprPtr child, ParseUnary());
-    // Fold negation of literals immediately.
+    // Fold negation of literals immediately (flipping the provenance sign
+    // so instantiation re-applies the negation to new parameters).
     if (child->type == AstExprType::kLiteral) {
       if (child->literal.type() == TypeId::kInt64) {
-        return AstExpr::MakeLiteral(Value::Int64(-child->literal.AsInt64()));
+        return AstExpr::MakeLiteral(Value::Int64(-child->literal.AsInt64()),
+                                    -child->literal_param);
       }
       if (child->literal.type() == TypeId::kDouble) {
-        return AstExpr::MakeLiteral(Value::Double(-child->literal.AsDouble()));
+        return AstExpr::MakeLiteral(Value::Double(-child->literal.AsDouble()),
+                                    -child->literal_param);
       }
     }
     return AstExpr::MakeUnary(AstUnOp::kNeg, std::move(child));
@@ -331,29 +336,45 @@ Result<AstExprPtr> Parser::ParseUnary() {
 }
 
 Result<AstExprPtr> Parser::ParseLiteralValue() {
-  // Used inside IN lists: literals only.
+  // Used inside IN lists: literals only. Literal provenance (+k/-k, see
+  // AstExpr::literal_param) is threaded from the token ordinals so bound
+  // queries can be re-instantiated with fresh parameters.
   switch (Peek().type) {
-    case TokenType::kIntLiteral:
-      return AstExpr::MakeLiteral(Value::Int64(Advance().int_val));
-    case TokenType::kFloatLiteral:
-      return AstExpr::MakeLiteral(Value::Double(Advance().float_val));
-    case TokenType::kStringLiteral:
-      return AstExpr::MakeLiteral(Value::String(Advance().text));
+    case TokenType::kIntLiteral: {
+      const Token& tok = Advance();
+      return AstExpr::MakeLiteral(Value::Int64(tok.int_val),
+                                  tok.literal_ordinal + 1);
+    }
+    case TokenType::kFloatLiteral: {
+      const Token& tok = Advance();
+      return AstExpr::MakeLiteral(Value::Double(tok.float_val),
+                                  tok.literal_ordinal + 1);
+    }
+    case TokenType::kStringLiteral: {
+      const Token& tok = Advance();
+      return AstExpr::MakeLiteral(Value::String(tok.text),
+                                  tok.literal_ordinal + 1);
+    }
     case TokenType::kDate: {
       Advance();
       if (Peek().type != TokenType::kStringLiteral) {
         return ErrorHere("expected string after DATE");
       }
-      BEAS_ASSIGN_OR_RETURN(Value v, Value::DateFromString(Advance().text));
-      return AstExpr::MakeLiteral(std::move(v));
+      const Token& tok = Advance();
+      BEAS_ASSIGN_OR_RETURN(Value v, Value::DateFromString(tok.text));
+      return AstExpr::MakeLiteral(std::move(v), tok.literal_ordinal + 1);
     }
     case TokenType::kMinus: {
       Advance();
       if (Peek().type == TokenType::kIntLiteral) {
-        return AstExpr::MakeLiteral(Value::Int64(-Advance().int_val));
+        const Token& tok = Advance();
+        return AstExpr::MakeLiteral(Value::Int64(-tok.int_val),
+                                    -(tok.literal_ordinal + 1));
       }
       if (Peek().type == TokenType::kFloatLiteral) {
-        return AstExpr::MakeLiteral(Value::Double(-Advance().float_val));
+        const Token& tok = Advance();
+        return AstExpr::MakeLiteral(Value::Double(-tok.float_val),
+                                    -(tok.literal_ordinal + 1));
       }
       return ErrorHere("expected number after '-'");
     }

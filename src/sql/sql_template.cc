@@ -1,0 +1,111 @@
+#include "sql/sql_template.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "sql/lexer.h"
+
+namespace beas {
+
+Result<SqlTemplate> NormalizeSql(const std::string& sql) {
+  Lexer lexer(sql);
+  BEAS_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  SqlTemplate out;
+  out.text.reserve(sql.size());
+  for (const Token& token : tokens) {
+    if (token.type == TokenType::kEof) break;
+    if (token.type == TokenType::kSemicolon) continue;  // trailing ';'
+    if (!out.text.empty()) out.text += ' ';
+    switch (token.type) {
+      case TokenType::kIntLiteral:
+        out.text += '?';
+        out.params.push_back(Value::Int64(token.int_val));
+        break;
+      case TokenType::kFloatLiteral:
+        out.text += '?';
+        out.params.push_back(Value::Double(token.float_val));
+        break;
+      case TokenType::kStringLiteral:
+        out.text += '?';
+        out.params.push_back(Value::String(token.text));
+        break;
+      case TokenType::kIdentifier:
+        out.text += token.text;  // already lowercased by the lexer
+        break;
+      default:
+        out.text += TokenTypeToString(token.type);
+        break;
+    }
+  }
+  return out;
+}
+
+Result<SqlTemplate> MaskSqlLiterals(const std::string& sql) {
+  SqlTemplate out;
+  out.text.reserve(sql.size());
+  size_t i = 0;
+  size_t n = sql.size();
+  // Is `c` part of an identifier (so a digit after it is not a literal)?
+  auto ident_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  char prev = '\0';  // previous significant source character
+  while (i < n) {
+    char c = sql[i];
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;  // comment: strip to EOL
+      continue;
+    }
+    if (c == '\'') {
+      std::string body;
+      ++i;
+      while (true) {
+        if (i >= n) {
+          return Status::ParseError("unterminated string literal");
+        }
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            body.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        body.push_back(sql[i]);
+        ++i;
+      }
+      out.text.push_back('?');
+      out.params.push_back(Value::String(std::move(body)));
+      prev = '\'';
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) && !ident_char(prev)) {
+      size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      bool is_float = false;
+      if (i + 1 < n && sql[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      std::string num = sql.substr(start, i - start);
+      out.text.push_back('?');
+      if (is_float) {
+        out.params.push_back(Value::Double(std::strtod(num.c_str(), nullptr)));
+      } else {
+        out.params.push_back(
+            Value::Int64(std::strtoll(num.c_str(), nullptr, 10)));
+      }
+      prev = '0';
+      continue;
+    }
+    out.text.push_back(c);
+    prev = c;
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace beas

@@ -1,0 +1,44 @@
+#ifndef BEAS_SQL_SQL_TEMPLATE_H_
+#define BEAS_SQL_SQL_TEMPLATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/value.h"
+
+namespace beas {
+
+/// \brief A raw SQL string normalized at the token level: every constant
+/// literal replaced by '?', keywords canonicalized, whitespace and
+/// comments dropped.
+///
+/// Real workloads are dominated by repeated *parameterized templates* —
+/// the same query text with different constants. The masked text is the
+/// service layer's plan-cache key: binding is deterministic in it plus
+/// the catalog state, and the lifted values are the parameters a cached
+/// prepared binding is re-instantiated with (see binder/prepared_query.h).
+struct SqlTemplate {
+  std::string text;           ///< e.g. "SELECT x FROM t WHERE id = ?"
+  std::vector<Value> params;  ///< lifted literals, in appearance order
+};
+
+/// Tokenizes `sql` and lifts its literals. Errors propagate from the lexer
+/// (unterminated strings etc.).
+Result<SqlTemplate> NormalizeSql(const std::string& sql);
+
+/// \brief Hot-path literal masker: one pass over the raw text, no token
+/// stream. Literals become '?' (lifted into `params` in the same order the
+/// lexer numbers them — see Token::literal_ordinal); comments are
+/// stripped; everything else is copied verbatim, so the masked text is a
+/// deterministic cache key for the query's template (case/whitespace
+/// variants of one template get separate, equally correct entries).
+///
+/// The service cross-checks this against NormalizeSql once per template
+/// (at cache-miss time) and refuses to cache on divergence, so the masker
+/// can never cause a wrong answer, only a missed optimization.
+Result<SqlTemplate> MaskSqlLiterals(const std::string& sql);
+
+}  // namespace beas
+
+#endif  // BEAS_SQL_SQL_TEMPLATE_H_

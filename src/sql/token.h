@@ -66,6 +66,11 @@ struct Token {
   double float_val = 0; ///< Value for kFloatLiteral.
   size_t pos = 0;       ///< Byte offset in the query string.
 
+  /// For literal tokens: the 0-based index among the query's literal
+  /// tokens, in source order — the parameter slot this literal occupies in
+  /// the query's template (see sql_template.h). -1 for non-literals.
+  int32_t literal_ordinal = -1;
+
   std::string ToString() const;
 };
 

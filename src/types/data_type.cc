@@ -40,6 +40,15 @@ bool IsImplicitlyCoercible(TypeId from, TypeId to) {
   return false;
 }
 
+bool IsComparableTypes(TypeId a, TypeId b) {
+  auto family = [](TypeId t) {
+    return t == TypeId::kInt64 || t == TypeId::kDouble || t == TypeId::kDate;
+  };
+  if (a == TypeId::kNull || b == TypeId::kNull) return true;
+  if (family(a) && family(b)) return true;
+  return a == b;
+}
+
 Result<int64_t> ParseDate(const std::string& s) {
   int y = 0, m = 0, d = 0;
   char extra = 0;

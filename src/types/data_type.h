@@ -31,6 +31,13 @@ Result<TypeId> TypeIdFromString(const std::string& name);
 /// (INT->DOUBLE, STRING->DATE when the string parses as a date).
 bool IsImplicitlyCoercible(TypeId from, TypeId to);
 
+/// \brief True if the two types can appear on either side of a comparison:
+/// NULL compares with anything, the numeric/date family (INT, DOUBLE,
+/// DATE) compares within itself, everything else only with itself. Used
+/// by the binder's type checks and mirrored exactly by the service
+/// layer's prepared-parameter validation.
+bool IsComparableTypes(TypeId a, TypeId b);
+
 /// \brief Parses "YYYY-MM-DD" into the int64 YYYYMMDD encoding,
 /// validating month/day ranges.
 Result<int64_t> ParseDate(const std::string& s);

@@ -1,0 +1,782 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bounded/bounded_plan.h"
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "service/beas_service.h"
+#include "service/plan_cache.h"
+#include "service/template_key.h"
+#include "sql/sql_template.h"
+#include "test_util.h"
+
+namespace beas {
+namespace {
+
+using testing_util::Dt;
+using testing_util::I;
+using testing_util::MakeTable;
+using testing_util::S;
+
+// ---------------------------------------------------------------------------
+// Template normalization.
+// ---------------------------------------------------------------------------
+
+TEST(SqlTemplateTest, LiftsLiteralsAndCanonicalizes) {
+  auto t1 = NormalizeSql("SELECT x FROM t WHERE id = 7 -- comment\n");
+  auto t2 = NormalizeSql("select X  from T where ID=42;");
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t1->text, t2->text);
+  EXPECT_EQ(t1->text, "SELECT x FROM t WHERE id = ?");
+  ASSERT_EQ(t1->params.size(), 1u);
+  EXPECT_EQ(t1->params[0], Value::Int64(7));
+  EXPECT_EQ(t2->params[0], Value::Int64(42));
+}
+
+TEST(SqlTemplateTest, InListArityIsPartOfTheTemplate) {
+  auto t2 = NormalizeSql("SELECT x FROM t WHERE id IN (1, 2)");
+  auto t3 = NormalizeSql("SELECT x FROM t WHERE id IN (1, 2, 3)");
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE(t3.ok());
+  EXPECT_NE(t2->text, t3->text);
+}
+
+TEST(SqlTemplateTest, DistinguishesStructure) {
+  auto a = NormalizeSql("SELECT x FROM t WHERE id = 1");
+  auto b = NormalizeSql("SELECT x FROM t WHERE id > 1");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->text, b->text);
+}
+
+/// CDR fixture shared by the bound-template and service tests.
+class TemplateKeyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MakeTable(&db_, "call",
+              Schema({{"pnum", TypeId::kInt64},
+                      {"recnum", TypeId::kInt64},
+                      {"date", TypeId::kDate},
+                      {"region", TypeId::kString}}),
+              {{I(7), I(100), Dt("2016-03-15"), S("R1")}});
+    MakeTable(&db_, "package",
+              Schema({{"pnum", TypeId::kInt64},
+                      {"pid", TypeId::kInt64},
+                      {"year", TypeId::kInt64}}),
+              {{I(7), I(5), I(2016)}});
+  }
+
+  QueryTemplate Template(const std::string& sql) {
+    auto sql_tmpl = NormalizeSql(sql);
+    EXPECT_TRUE(sql_tmpl.ok());
+    auto query = db_.Bind(sql);
+    EXPECT_TRUE(query.ok()) << query.status().ToString();
+    return BuildQueryTemplate(*sql_tmpl, *query);
+  }
+
+  Database db_;
+};
+
+TEST_F(TemplateKeyTest, SameTemplateForDifferentConstants) {
+  QueryTemplate a = Template(
+      "SELECT call.region FROM call WHERE call.pnum = 7 AND "
+      "call.date = '2016-03-15' LIMIT 5");
+  QueryTemplate b = Template(
+      "SELECT call.region FROM call WHERE call.pnum = 99 AND "
+      "call.date = '2017-01-01' LIMIT 10");
+  EXPECT_EQ(a.canonical, b.canonical);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_TRUE(a.cacheable);
+  EXPECT_EQ(a.param_count, b.param_count);
+  ASSERT_EQ(a.tables.size(), 1u);
+  EXPECT_EQ(a.tables[0], "call");
+}
+
+TEST_F(TemplateKeyTest, StructureChangesTheTemplate) {
+  QueryTemplate base =
+      Template("SELECT call.region FROM call WHERE call.pnum = 7");
+  QueryTemplate extra_pred = Template(
+      "SELECT call.region FROM call WHERE call.pnum = 7 AND "
+      "call.recnum = 1");
+  QueryTemplate join = Template(
+      "SELECT call.region FROM call, package WHERE call.pnum = package.pnum "
+      "AND call.pnum = 7");
+  QueryTemplate in3 =
+      Template("SELECT call.region FROM call WHERE call.pnum IN (1, 2, 3)");
+  QueryTemplate in2 =
+      Template("SELECT call.region FROM call WHERE call.pnum IN (1, 2)");
+  EXPECT_NE(base.canonical, extra_pred.canonical);
+  EXPECT_NE(base.canonical, join.canonical);
+  EXPECT_NE(in3.canonical, in2.canonical);
+  EXPECT_NE(base.canonical, in2.canonical);
+}
+
+TEST_F(TemplateKeyTest, ValueDependentTemplatesAreUncacheable) {
+  // Two equality constants on one attribute: satisfiable iff equal.
+  QueryTemplate twice = Template(
+      "SELECT call.region FROM call WHERE call.pnum = 7 AND call.pnum = 8");
+  EXPECT_FALSE(twice.cacheable);
+
+  // Same through a join-induced equivalence class.
+  QueryTemplate via_join = Template(
+      "SELECT call.region FROM call, package WHERE call.pnum = package.pnum "
+      "AND call.pnum = 7 AND package.pnum = 8");
+  EXPECT_FALSE(via_join.cacheable);
+
+  // IN plus equality on one class: the intersection depends on values.
+  QueryTemplate eq_and_in = Template(
+      "SELECT call.region FROM call WHERE call.pnum = 7 AND "
+      "call.pnum IN (7, 8)");
+  EXPECT_FALSE(eq_and_in.cacheable);
+
+  // One constant predicate per class stays cacheable.
+  QueryTemplate fine = Template(
+      "SELECT call.region FROM call, package WHERE call.pnum = package.pnum "
+      "AND call.pnum = 7 AND package.year = 2016");
+  EXPECT_TRUE(fine.cacheable);
+}
+
+TEST(SqlTemplateTest, MaskerAgreesWithLexerLifting) {
+  const char* cases[] = {
+      "SELECT x FROM t WHERE id = 7 AND name = 'it''s' -- trailing\n",
+      "SELECT x FROM t1 WHERE a2 = 10 AND b = 2.5 AND c IN (1, 2, 3)",
+      "SELECT x FROM t WHERE d = DATE '2016-03-15' AND e > -42 LIMIT 9",
+      "SELECT x + 1 FROM t WHERE y BETWEEN 0.5 AND 1.5 ORDER BY 1",
+      "SELECT x FROM t WHERE s = '--not a comment' AND z = 3",
+  };
+  for (const char* sql : cases) {
+    auto reference = NormalizeSql(sql);
+    auto masked = MaskSqlLiterals(sql);
+    ASSERT_TRUE(reference.ok()) << sql;
+    ASSERT_TRUE(masked.ok()) << sql;
+    ASSERT_EQ(reference->params.size(), masked->params.size()) << sql;
+    for (size_t i = 0; i < masked->params.size(); ++i) {
+      EXPECT_EQ(reference->params[i].type(), masked->params[i].type()) << sql;
+      EXPECT_EQ(reference->params[i], masked->params[i]) << sql;
+    }
+  }
+  // Same template, different spacing/case: the mask lifts identically.
+  auto a = MaskSqlLiterals("SELECT x FROM t WHERE id = 7");
+  auto b = MaskSqlLiterals("SELECT x FROM t WHERE id = 123");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->text, b->text);
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache mechanics.
+// ---------------------------------------------------------------------------
+
+QueryTemplate KeyFor(const std::string& canonical,
+                     std::vector<std::string> tables) {
+  QueryTemplate key;
+  key.canonical = canonical;
+  key.hash = HashString(canonical);
+  key.tables = std::move(tables);
+  return key;
+}
+
+std::shared_ptr<const PlanCache::Entry> EntryFor(
+    std::vector<std::string> tables) {
+  auto entry = std::make_shared<PlanCache::Entry>();
+  entry->covered = true;
+  entry->tables = std::move(tables);
+  return entry;
+}
+
+TEST(PlanCacheTest, HitMissAndLruEviction) {
+  PlanCache cache(/*capacity=*/2, /*num_shards=*/1);
+  QueryTemplate a = KeyFor("a", {"t"});
+  QueryTemplate b = KeyFor("b", {"t"});
+  QueryTemplate c = KeyFor("c", {"t"});
+
+  EXPECT_EQ(cache.Lookup(a), nullptr);
+  cache.Insert(a, EntryFor({"t"}));
+  cache.Insert(b, EntryFor({"t"}));
+  EXPECT_NE(cache.Lookup(a), nullptr);  // refreshes a; b is now LRU
+  cache.Insert(c, EntryFor({"t"}));     // evicts b
+  EXPECT_NE(cache.Lookup(a), nullptr);
+  EXPECT_EQ(cache.Lookup(b), nullptr);
+  EXPECT_NE(cache.Lookup(c), nullptr);
+
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 2u);  // first Lookup(a) and Lookup(b) after evict
+}
+
+TEST(PlanCacheTest, TableTargetedInvalidation) {
+  PlanCache cache(8, 2);
+  QueryTemplate a = KeyFor("a", {"call"});
+  QueryTemplate b = KeyFor("b", {"package"});
+  QueryTemplate ab = KeyFor("ab", {"call", "package"});
+  cache.Insert(a, EntryFor({"call"}));
+  cache.Insert(b, EntryFor({"package"}));
+  cache.Insert(ab, EntryFor({"call", "package"}));
+
+  cache.InvalidateTable("CALL");  // case-insensitive
+  EXPECT_EQ(cache.Lookup(a), nullptr);
+  EXPECT_EQ(cache.Lookup(ab), nullptr);
+  EXPECT_NE(cache.Lookup(b), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Database thread-safety contract.
+// ---------------------------------------------------------------------------
+
+TEST(DatabaseContractTest, ReentrantWriteFromHookIsRejected) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", Schema({{"x", TypeId::kInt64}})).ok());
+  Status inner = Status::OK();
+  bool attempted = false;
+  db.RegisterWriteHook([&](const std::string&, const Row&, bool) {
+    if (attempted) return;  // only re-enter once
+    attempted = true;
+    inner = db.Insert("t", {I(99)});
+  });
+  ASSERT_TRUE(db.Insert("t", {I(1)}).ok());
+  EXPECT_TRUE(attempted);
+  EXPECT_FALSE(inner.ok());
+  EXPECT_NE(inner.ToString().find("concurrent write"), std::string::npos);
+}
+
+TEST(DatabaseContractTest, DdlHookFiresOnCreateTable) {
+  Database db;
+  std::vector<std::string> created;
+  db.RegisterDdlHook([&](const std::string& t) { created.push_back(t); });
+  ASSERT_TRUE(db.CreateTable("t1", Schema({{"x", TypeId::kInt64}})).ok());
+  ASSERT_TRUE(db.CreateTable("t2", Schema({{"x", TypeId::kInt64}})).ok());
+  EXPECT_EQ(created, (std::vector<std::string>{"t1", "t2"}));
+}
+
+// ---------------------------------------------------------------------------
+// RebindPlanConstants.
+// ---------------------------------------------------------------------------
+
+TEST_F(TemplateKeyTest, RebindPlanConstantsRetargetsFetchKeys) {
+  AsCatalog catalog(&db_);
+  ASSERT_TRUE(catalog
+                  .Register({"psi1",
+                             "call",
+                             {"pnum", "date"},
+                             {"recnum", "region"},
+                             500})
+                  .ok());
+  BeasSession session(&db_, &catalog);
+
+  auto q1 = db_.Bind(
+      "SELECT call.region FROM call WHERE call.pnum = 7 AND "
+      "call.date = '2016-03-15'");
+  auto q2 = db_.Bind(
+      "SELECT call.region FROM call WHERE call.pnum = 8 AND "
+      "call.date = '2016-04-01'");
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  auto coverage = session.Check(*q1);
+  ASSERT_TRUE(coverage.ok() && coverage->covered);
+
+  auto rebound = RebindPlanConstants(coverage->plan, *q2);
+  ASSERT_TRUE(rebound.ok()) << rebound.status().ToString();
+  ASSERT_EQ(rebound->steps.size(), 1u);
+  ASSERT_EQ(rebound->steps[0].key_sources.size(), 2u);
+  EXPECT_EQ(rebound->steps[0].key_sources[0].constant, I(8));
+  EXPECT_EQ(rebound->steps[0].key_sources[1].constant,
+            Dt("2016-04-01"));
+  // Bounds are template-level properties: unchanged by rebinding.
+  EXPECT_EQ(rebound->total_access_bound, coverage->plan.total_access_bound);
+}
+
+// ---------------------------------------------------------------------------
+// BeasService.
+// ---------------------------------------------------------------------------
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServiceOptions options;
+    options.num_workers = 2;
+    options.cache_capacity = 64;
+    options.cache_shards = 4;
+    service_ = std::make_unique<BeasService>(options);
+    Populate(service_.get());
+  }
+
+  static void Populate(BeasService* service) {
+    ASSERT_TRUE(service
+                    ->CreateTable("call", Schema({{"pnum", TypeId::kInt64},
+                                                  {"recnum", TypeId::kInt64},
+                                                  {"date", TypeId::kDate},
+                                                  {"region", TypeId::kString}}))
+                    .ok());
+    ASSERT_TRUE(service
+                    ->CreateTable("business",
+                                  Schema({{"pnum", TypeId::kInt64},
+                                          {"type", TypeId::kString},
+                                          {"region", TypeId::kString}}))
+                    .ok());
+    ASSERT_TRUE(service
+                    ->CreateTable("package", Schema({{"pnum", TypeId::kInt64},
+                                                     {"pid", TypeId::kInt64},
+                                                     {"year", TypeId::kInt64}}))
+                    .ok());
+    std::vector<Row> calls = {
+        {I(7), I(100), Dt("2016-03-15"), S("R1")},
+        {I(7), I(101), Dt("2016-03-15"), S("R2")},
+        {I(7), I(100), Dt("2016-03-16"), S("R1")},
+        {I(8), I(200), Dt("2016-03-15"), S("R1")},
+        {I(9), I(300), Dt("2016-03-15"), S("R3")},
+    };
+    for (Row& row : calls) {
+      ASSERT_TRUE(service->Insert("call", std::move(row)).ok());
+    }
+    std::vector<Row> businesses = {
+        {I(7), S("bank"), S("R1")},
+        {I(8), S("bank"), S("R1")},
+        {I(9), S("school"), S("R1")},
+    };
+    for (Row& row : businesses) {
+      ASSERT_TRUE(service->Insert("business", std::move(row)).ok());
+    }
+    std::vector<Row> packages = {
+        {I(7), I(5), I(2016)},
+        {I(8), I(5), I(2016)},
+    };
+    for (Row& row : packages) {
+      ASSERT_TRUE(service->Insert("package", std::move(row)).ok());
+    }
+    ASSERT_TRUE(service
+                    ->RegisterConstraint({"psi1",
+                                          "call",
+                                          {"pnum", "date"},
+                                          {"recnum", "region"},
+                                          500})
+                    .ok());
+    ASSERT_TRUE(service
+                    ->RegisterConstraint({"psi3",
+                                          "business",
+                                          {"type", "region"},
+                                          {"pnum"},
+                                          2000})
+                    .ok());
+  }
+
+  ServiceResponse MustExecute(const std::string& sql) {
+    auto resp = service_->Execute(sql);
+    EXPECT_TRUE(resp.ok()) << resp.status().ToString();
+    return std::move(*resp);
+  }
+
+  static std::vector<Row> Sorted(std::vector<Row> rows) {
+    std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+      return CompareValueVec(a, b) < 0;
+    });
+    return rows;
+  }
+
+  std::unique_ptr<BeasService> service_;
+};
+
+TEST_F(ServiceTest, CachedExecutionMatchesUncachedAcrossParameters) {
+  const char* with_params[] = {
+      "SELECT call.region FROM call WHERE call.pnum = %d AND "
+      "call.date = '2016-03-15'",
+  };
+  for (const char* fmt : with_params) {
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int pnum : {7, 8, 9}) {
+        std::string sql = StringPrintf(fmt, pnum);
+        ServiceResponse cached = MustExecute(sql);
+        EXPECT_EQ(cached.decision.mode,
+                  BeasSession::ExecutionDecision::Mode::kBounded);
+        // Reference: the session pipeline, bypassing the cache.
+        auto reference = service_->session().Execute(sql);
+        ASSERT_TRUE(reference.ok());
+        EXPECT_EQ(Sorted(cached.result.rows), Sorted(reference->rows))
+            << sql;
+        if (pass > 0) {
+          EXPECT_TRUE(cached.cache_hit) << sql;
+        }
+      }
+    }
+  }
+  PlanCacheStats stats = service_->cache_stats();
+  EXPECT_EQ(stats.misses, 1u);  // one template
+  EXPECT_GE(stats.hits, 5u);    // five parameterized reuses
+}
+
+TEST_F(ServiceTest, JoinTemplateIsCachedAndRebound) {
+  std::string q1 =
+      "SELECT call.region FROM call, business WHERE business.type = 'bank' "
+      "AND business.region = 'R1' AND business.pnum = call.pnum AND "
+      "call.date = '2016-03-15'";
+  std::string q2 =
+      "SELECT call.region FROM call, business WHERE business.type = 'school' "
+      "AND business.region = 'R1' AND business.pnum = call.pnum AND "
+      "call.date = '2016-03-15'";
+  ServiceResponse r1 = MustExecute(q1);
+  ServiceResponse r2 = MustExecute(q2);
+  EXPECT_FALSE(r1.cache_hit);
+  EXPECT_TRUE(r2.cache_hit);
+  EXPECT_EQ(r1.decision.mode, BeasSession::ExecutionDecision::Mode::kBounded);
+  // banks 7,8 -> R1,R2,R1 ; school 9 -> R3
+  EXPECT_EQ(Sorted(r1.result.rows),
+            Sorted({{S("R1")}, {S("R2")}, {S("R1")}}));
+  EXPECT_EQ(Sorted(r2.result.rows), Sorted({{S("R3")}}));
+}
+
+TEST_F(ServiceTest, NonCoveredTemplateCachesPartialChoice) {
+  // business alone: psi3 needs a constant type AND region; only region is
+  // bound, so the query is not covered and has no coverable fragment.
+  std::string q = "SELECT business.pnum FROM business WHERE "
+                  "business.region = 'R1'";
+  ServiceResponse r1 = MustExecute(q);
+  ServiceResponse r2 = MustExecute(q);
+  EXPECT_FALSE(r1.cache_hit);
+  EXPECT_TRUE(r2.cache_hit);
+  EXPECT_EQ(r1.decision.mode,
+            BeasSession::ExecutionDecision::Mode::kConventional);
+  EXPECT_EQ(r2.decision.mode,
+            BeasSession::ExecutionDecision::Mode::kConventional);
+  EXPECT_EQ(Sorted(r2.result.rows), Sorted({{I(7)}, {I(8)}, {I(9)}}));
+}
+
+TEST_F(ServiceTest, UncacheableTemplateBypassesTheCache) {
+  std::string q = "SELECT call.region FROM call WHERE call.pnum = 7 AND "
+                  "call.pnum = 7 AND call.date = '2016-03-15'";
+  ServiceResponse r1 = MustExecute(q);
+  ServiceResponse r2 = MustExecute(q);
+  EXPECT_FALSE(r1.cacheable);
+  EXPECT_FALSE(r2.cache_hit);
+  EXPECT_EQ(Sorted(r1.result.rows), Sorted({{S("R1")}, {S("R2")}}));
+  EXPECT_EQ(service_->cache_stats().uncacheable, 2u);
+
+  // The value-dependent twin with different constants: empty answer.
+  ServiceResponse r3 = MustExecute(
+      "SELECT call.region FROM call WHERE call.pnum = 7 AND "
+      "call.pnum = 8 AND call.date = '2016-03-15'");
+  EXPECT_TRUE(r3.result.rows.empty());
+}
+
+TEST_F(ServiceTest, PlainInsertsDoNotInvalidateButAnswersStayFresh) {
+  std::string q = "SELECT call.region FROM call WHERE call.pnum = 7 AND "
+                  "call.date = '2016-03-16'";
+  ServiceResponse before = MustExecute(q);
+  EXPECT_EQ(Sorted(before.result.rows), Sorted({{S("R1")}}));
+
+  // Incremental AC-index maintenance keeps the cached plan valid: no
+  // invalidation, and the new row shows up in the cached-plan answer.
+  ASSERT_TRUE(
+      service_->Insert("call", {I(7), I(400), Dt("2016-03-16"), S("R9")})
+          .ok());
+  ServiceResponse after = MustExecute(q);
+  EXPECT_TRUE(after.cache_hit);
+  EXPECT_EQ(Sorted(after.result.rows), Sorted({{S("R1")}, {S("R9")}}));
+  EXPECT_EQ(service_->cache_stats().invalidations, 0u);
+}
+
+TEST_F(ServiceTest, BoundAdjustmentInvalidatesAffectedTemplates) {
+  std::string q = "SELECT call.region FROM call WHERE call.pnum = 7 AND "
+                  "call.date = '2016-03-15'";
+  ServiceResponse before = MustExecute(q);
+  EXPECT_EQ(before.decision.deduced_bound, 500u);  // declared N of psi1
+
+  // Maintenance observes max 2 distinct (recnum, region) per key and
+  // tightens N; the adjustment must evict call-templates.
+  size_t changed = 0;
+  ASSERT_TRUE(service_->RunAdjustmentCycle(1.0, &changed).ok());
+  ASSERT_GE(changed, 1u);
+  EXPECT_GE(service_->cache_stats().invalidations, 1u);
+
+  ServiceResponse after = MustExecute(q);
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_EQ(after.decision.deduced_bound, 2u);
+  EXPECT_EQ(Sorted(after.result.rows), Sorted(before.result.rows));
+}
+
+TEST_F(ServiceTest, ConstraintRegistrationInvalidatesAndEnablesCoverage) {
+  std::string q = "SELECT package.pid FROM package WHERE package.pnum = 7 "
+                  "AND package.year = 2016";
+  ServiceResponse before = MustExecute(q);
+  EXPECT_EQ(before.decision.mode,
+            BeasSession::ExecutionDecision::Mode::kConventional);
+  MustExecute(q);  // warm the not-covered entry
+
+  ASSERT_TRUE(service_
+                  ->RegisterConstraint(
+                      {"psi2", "package", {"pnum", "year"}, {"pid"}, 12})
+                  .ok());
+  ServiceResponse after = MustExecute(q);
+  EXPECT_FALSE(after.cache_hit);  // entry was evicted by the registration
+  EXPECT_EQ(after.decision.mode,
+            BeasSession::ExecutionDecision::Mode::kBounded);
+  EXPECT_EQ(Sorted(after.result.rows), Sorted(before.result.rows));
+}
+
+TEST_F(ServiceTest, ExecuteBoundedUsesTheCache) {
+  std::string covered = "SELECT call.region FROM call WHERE call.pnum = 8 "
+                        "AND call.date = '2016-03-15'";
+  auto r1 = service_->ExecuteBounded(covered);
+  auto r2 = service_->ExecuteBounded(covered);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_FALSE(r1->cache_hit);
+  EXPECT_TRUE(r2->cache_hit);
+  EXPECT_EQ(r2->result.rows, (std::vector<Row>{{S("R1")}}));
+
+  std::string uncovered = "SELECT business.pnum FROM business WHERE "
+                          "business.region = 'R1'";
+  auto e1 = service_->ExecuteBounded(uncovered);
+  auto e2 = service_->ExecuteBounded(uncovered);
+  EXPECT_FALSE(e1.ok());
+  EXPECT_FALSE(e2.ok());  // cached not-covered verdict
+}
+
+TEST_F(ServiceTest, ApproximateExecutionThroughTheService) {
+  std::string q = "SELECT call.region FROM call WHERE call.pnum = 7 AND "
+                  "call.date = '2016-03-15'";
+  auto approx = service_->ExecuteApproximate(q, /*budget=*/1000);
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  EXPECT_TRUE(approx->exact);
+  EXPECT_EQ(approx->eta, 1.0);
+}
+
+// The prepared fast path must reproduce full parse+bind semantics for the
+// constructs the binder treats value-sensitively. Every query is checked
+// against the session pipeline (which never touches the cache).
+TEST_F(ServiceTest, PreparedInstantiationMatchesFullBind) {
+  auto verify = [&](const std::string& sql) -> ServiceResponse {
+    ServiceResponse got = MustExecute(sql);
+    auto want = service_->session().Execute(sql);
+    EXPECT_TRUE(want.ok()) << sql << ": " << want.status().ToString();
+    if (want.ok()) {
+      EXPECT_EQ(Sorted(got.result.rows), Sorted(want->rows)) << sql;
+    }
+    return got;
+  };
+
+  // Negative literals: the parser folds the sign; substitution re-applies.
+  verify("SELECT call.recnum FROM call WHERE call.pnum = 7 AND "
+         "call.date = '2016-03-15' AND call.recnum > -1");
+  ServiceResponse neg = verify(
+      "SELECT call.recnum FROM call WHERE call.pnum = 8 AND "
+      "call.date = '2016-03-15' AND call.recnum > -500");
+  EXPECT_TRUE(neg.cache_hit);
+
+  // DATE keyword literals.
+  verify("SELECT call.region FROM call WHERE call.pnum = 7 AND "
+         "call.date = DATE '2016-03-15'");
+  EXPECT_TRUE(verify("SELECT call.region FROM call WHERE call.pnum = 7 AND "
+                     "call.date = DATE '2016-03-16'")
+                  .cache_hit);
+
+  // LIMIT is a substitutable parameter.
+  ServiceResponse l1 = verify(
+      "SELECT call.recnum FROM call WHERE call.pnum = 7 AND "
+      "call.date = '2016-03-15' LIMIT 1");
+  ServiceResponse l2 = verify(
+      "SELECT call.recnum FROM call WHERE call.pnum = 7 AND "
+      "call.date = '2016-03-15' LIMIT 2");
+  EXPECT_EQ(l1.result.rows.size(), 1u);
+  EXPECT_EQ(l2.result.rows.size(), 2u);
+  EXPECT_TRUE(l2.cache_hit);
+
+  // ORDER BY position is consumed during binding: the slot is frozen, so
+  // the second instance re-binds (no hit) and still orders correctly.
+  ServiceResponse o1 = verify(
+      "SELECT call.recnum, call.region FROM call WHERE call.pnum = 7 AND "
+      "call.date = '2016-03-15' ORDER BY 1 DESC");
+  ServiceResponse o2 = verify(
+      "SELECT call.recnum, call.region FROM call WHERE call.pnum = 7 AND "
+      "call.date = '2016-03-15' ORDER BY 2 DESC");
+  EXPECT_FALSE(o2.cache_hit);
+  EXPECT_EQ(o1.result.rows[0][0], I(101));    // ordered by recnum
+  EXPECT_EQ(o2.result.rows[0][1], S("R2"));   // ordered by region
+
+  // GROUP BY expressions with literals are frozen too: changing the
+  // literal re-binds instead of silently reusing the old grouping.
+  ServiceResponse g1 = verify(
+      "SELECT call.recnum + 1 AS r, count(*) AS n FROM call WHERE "
+      "call.pnum = 7 AND call.date = '2016-03-15' GROUP BY call.recnum + 1");
+  ServiceResponse g2 = verify(
+      "SELECT call.recnum + 2 AS r, count(*) AS n FROM call WHERE "
+      "call.pnum = 7 AND call.date = '2016-03-15' GROUP BY call.recnum + 2");
+  EXPECT_FALSE(g2.cache_hit);
+  EXPECT_EQ(Sorted(g1.result.rows), Sorted({{I(101), I(1)}, {I(102), I(1)}}));
+  EXPECT_EQ(Sorted(g2.result.rows), Sorted({{I(102), I(1)}, {I(103), I(1)}}));
+
+  // IN-list duplicates: the binder dedups values, so the cached plan's
+  // key-list arity can disagree with a later instance; the service must
+  // fall back to a re-plan and stay exact.
+  ServiceResponse in1 = verify(
+      "SELECT call.region FROM call WHERE call.pnum IN (7, 7) AND "
+      "call.date = '2016-03-15'");
+  ServiceResponse in2 = verify(
+      "SELECT call.region FROM call WHERE call.pnum IN (7, 8) AND "
+      "call.date = '2016-03-15'");
+  EXPECT_EQ(Sorted(in1.result.rows), Sorted({{S("R1")}, {S("R2")}}));
+  EXPECT_EQ(Sorted(in2.result.rows),
+            Sorted({{S("R1")}, {S("R2")}, {S("R1")}}));
+
+  // Unaliased outputs embedding a parameter re-render their column name.
+  ServiceResponse n1 = MustExecute(
+      "SELECT call.recnum + 10 FROM call WHERE call.pnum = 7 AND "
+      "call.date = '2016-03-15'");
+  ServiceResponse n2 = MustExecute(
+      "SELECT call.recnum + 20 FROM call WHERE call.pnum = 7 AND "
+      "call.date = '2016-03-15'");
+  EXPECT_TRUE(n2.cache_hit);
+  EXPECT_NE(n1.result.column_names[0], n2.result.column_names[0]);
+  EXPECT_NE(n2.result.column_names[0].find("20"), std::string::npos);
+}
+
+// A template instance whose parameter drifts outside the cached literal's
+// comparison family must fall back to a full bind (same masked text, but
+// a fresh bind rejects it) — never execute with a mismatched probe key.
+TEST_F(ServiceTest, TypeMismatchedParameterFallsBackToFullBind) {
+  std::string ok_sql = "SELECT call.region FROM call WHERE call.pnum = 7 "
+                       "AND call.date = '2016-03-15'";
+  MustExecute(ok_sql);  // populate the template (pnum is an int column)
+  // Same masked template, but a string where the int parameter was.
+  auto bad = service_->Execute(
+      "SELECT call.region FROM call WHERE call.pnum = 'seven' "
+      "AND call.date = '2016-03-15'");
+  auto reference = service_->session().Execute(
+      "SELECT call.region FROM call WHERE call.pnum = 'seven' "
+      "AND call.date = '2016-03-15'");
+  EXPECT_FALSE(reference.ok());  // fresh bind rejects int-vs-string compare
+  EXPECT_FALSE(bad.ok());        // the cached path must agree
+  // An int-vs-double drift stays within the comparison family and is fine.
+  auto dbl = service_->Execute(
+      "SELECT call.region FROM call WHERE call.pnum = 7.5 "
+      "AND call.date = '2016-03-15'");
+  ASSERT_TRUE(dbl.ok()) << dbl.status().ToString();
+  EXPECT_TRUE(dbl->result.rows.empty());  // no pnum equals 7.5
+}
+
+// Output literals of grouped/ordered queries are matched by value during
+// binding; substituting only the select-list side must not silently
+// detach it from GROUP BY / ORDER BY.
+TEST_F(ServiceTest, GroupedAndOrderedOutputLiteralsStayConsistent) {
+  std::string grouped = "SELECT call.recnum + 1 AS r, count(*) AS n FROM "
+                        "call WHERE call.pnum = 7 AND call.date = "
+                        "'2016-03-15' GROUP BY call.recnum + 1";
+  MustExecute(grouped);
+  // Select-list literal changes, GROUP BY literal does not: a fresh bind
+  // rejects this; the cached path must not return mislabeled groups.
+  std::string detached = "SELECT call.recnum + 5 AS r, count(*) AS n FROM "
+                         "call WHERE call.pnum = 7 AND call.date = "
+                         "'2016-03-15' GROUP BY call.recnum + 1";
+  auto cached = service_->Execute(detached);
+  auto reference = service_->session().Execute(detached);
+  EXPECT_FALSE(reference.ok());
+  EXPECT_FALSE(cached.ok());
+
+  // Ordered queries freeze output literals: the variant re-binds (no
+  // silent reuse) and still orders correctly.
+  ServiceResponse o1 = MustExecute(
+      "SELECT call.recnum + 1 AS r FROM call WHERE call.pnum = 7 AND "
+      "call.date = '2016-03-15' ORDER BY r DESC");
+  ServiceResponse o2 = MustExecute(
+      "SELECT call.recnum + 9 AS r FROM call WHERE call.pnum = 7 AND "
+      "call.date = '2016-03-15' ORDER BY r DESC");
+  EXPECT_FALSE(o2.cache_hit);
+  EXPECT_EQ(o1.result.rows[0][0], I(102));
+  EXPECT_EQ(o2.result.rows[0][0], I(110));
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServiceTest, ConcurrentClientsWithWriterStress) {
+  struct Workload {
+    std::string sql;
+    std::vector<Row> expected;
+  };
+  std::vector<Workload> workloads;
+  for (int pnum : {7, 8, 9}) {
+    Workload w;
+    w.sql = StringPrintf(
+        "SELECT call.region FROM call WHERE call.pnum = %d AND "
+        "call.date = '2016-03-15'",
+        pnum);
+    w.expected = Sorted(MustExecute(w.sql).result.rows);
+    workloads.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.sql =
+        "SELECT call.region FROM call, business WHERE business.type = 'bank' "
+        "AND business.region = 'R1' AND business.pnum = call.pnum AND "
+        "call.date = '2016-03-15'";
+    w.expected = Sorted(MustExecute(w.sql).result.rows);
+    workloads.push_back(std::move(w));
+  }
+
+  constexpr int kReaders = 4;
+  constexpr int kItersPerReader = 150;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerReader; ++i) {
+        const Workload& w = workloads[(t + i) % workloads.size()];
+        auto resp = service_->Execute(w.sql);
+        if (!resp.ok()) {
+          ++failures;
+          continue;
+        }
+        if (Sorted(resp->result.rows) != w.expected) ++mismatches;
+      }
+    });
+  }
+  // A single writer inserting rows that match no workload predicate: the
+  // exclusive lock serializes it against readers, and the cache must not
+  // be invalidated by it.
+  std::thread writer([&] {
+    for (int i = 0; i < 50; ++i) {
+      Status st = service_->Insert(
+          "call", {I(100000 + i), I(1), Dt("2016-01-01"), S("RX")});
+      if (!st.ok()) ++failures;
+    }
+  });
+  // And a batch through the worker pool.
+  std::vector<std::future<Result<ServiceResponse>>> futures;
+  futures.reserve(40);
+  for (int i = 0; i < 40; ++i) {
+    futures.push_back(service_->Submit(workloads[i % workloads.size()].sql));
+  }
+
+  for (std::thread& t : readers) t.join();
+  writer.join();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    auto resp = futures[i].get();
+    if (!resp.ok()) {
+      ++failures;
+      continue;
+    }
+    if (Sorted(resp->result.rows) != workloads[i % workloads.size()].expected) {
+      ++mismatches;
+    }
+  }
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  PlanCacheStats stats = service_->cache_stats();
+  EXPECT_GE(stats.hits,
+            static_cast<uint64_t>(kReaders * kItersPerReader - 16));
+  EXPECT_EQ(stats.invalidations, 0u);
+}
+
+}  // namespace
+}  // namespace beas

@@ -1,0 +1,188 @@
+// Fetch-chain executor bench: vectorized (columnar T + batched probes +
+// compiled step programs) vs the scalar row-at-a-time reference, on the
+// multi-step TLC chains the paper's core claim rests on. Measures the
+// fetch chain itself (ExecuteFragment — what the tentpole vectorizes) and
+// the end-to-end bounded execution (fetch chain + shared relational
+// tail), verifies result parity (rows, order, weights, η) per chain, and
+// emits BENCH_fetch_chain.json so CI tracks the perf trajectory.
+//
+// Knobs: TLC_SF (default 32) data scale; FETCH_REPS (default 15) timing
+// reps; BENCH_JSON_PATH (default BENCH_fetch_chain.json).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "bounded/bounded_executor.h"
+#include "common/string_util.h"
+#include "workload/tlc_queries.h"
+
+using namespace beas;
+using namespace beas::bench;
+
+namespace {
+
+struct ChainResult {
+  std::string name;
+  size_t steps = 0;
+  double frag_scalar_ms = 0;
+  double frag_vectorized_ms = 0;
+  double frag_speedup = 0;
+  double exec_scalar_ms = 0;
+  double exec_vectorized_ms = 0;
+  double exec_speedup = 0;
+  double vectorized_qps = 0;
+  bool identical = false;
+};
+
+bool FragmentsIdentical(const BoundedExecutor::Fragment& a,
+                        const BoundedExecutor::Fragment& b) {
+  if (a.rows.size() != b.rows.size()) return false;
+  if (a.weights != b.weights) return false;
+  if (a.stats.eta != b.stats.eta) return false;
+  if (a.stats.tuples_fetched != b.stats.tuples_fetched) return false;
+  for (size_t r = 0; r < a.rows.size(); ++r) {
+    if (CompareValueVec(a.rows[r], b.rows[r]) != 0) return false;
+  }
+  return true;
+}
+
+double Geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double log_sum = 0;
+  for (double x : xs) log_sum += std::log(std::max(x, 1e-6));
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Fetch-chain execution: vectorized vs scalar");
+  double sf = EnvDouble("TLC_SF", 32);
+  int reps = static_cast<int>(EnvDouble("FETCH_REPS", 15));
+  const char* json_path = std::getenv("BENCH_JSON_PATH");
+  if (json_path == nullptr) json_path = "BENCH_fetch_chain.json";
+
+  TlcEnv env = MakeTlcEnv(sf);
+  BoundedExecutor executor(env.catalog.get());
+
+  std::vector<ChainResult> results;
+  bool any_error = false;
+  for (const TlcQuery& q : TlcQueries()) {
+    if (!q.expect_covered) continue;
+    auto coverage = env.session->Check(q.sql);
+    if (!coverage.ok() || !coverage->covered) continue;
+    auto bound = env.db->Bind(q.sql);
+    if (!bound.ok()) continue;
+    const BoundQuery& query = *bound;
+    const BoundedPlan& plan = coverage->plan;
+    if (plan.steps.size() < 2) continue;  // multi-step chains only
+
+    BoundedExecOptions scalar_opts;
+    scalar_opts.use_vectorized = false;
+    scalar_opts.collect_stats = false;
+    BoundedExecOptions vec_opts;
+    vec_opts.collect_stats = false;
+    // Mirror the service's cached fast path: step programs are compiled
+    // once per template and reused by every execution.
+    auto compiled = CompileBoundedPlan(query, plan, *env.catalog);
+    if (compiled.ok()) vec_opts.compiled = &*compiled;
+
+    // Parity first (rows, order, weights, eta) — doubles as warmup. An
+    // execution error on either path is itself a divergence: flag it.
+    auto frag_s = executor.ExecuteFragment(query, plan, scalar_opts);
+    auto frag_v = executor.ExecuteFragment(query, plan, vec_opts);
+    if (!frag_s.ok() || !frag_v.ok()) {
+      std::fprintf(stderr, "%s: executor error (scalar: %s, vectorized: %s)\n",
+                   q.id.c_str(), frag_s.status().ToString().c_str(),
+                   frag_v.status().ToString().c_str());
+      any_error = true;
+      continue;
+    }
+    for (int w = 0; w < 3; ++w) {
+      (void)executor.ExecuteFragment(query, plan, scalar_opts);
+      (void)executor.ExecuteFragment(query, plan, vec_opts);
+    }
+
+    ChainResult r;
+    r.name = q.id;
+    r.steps = plan.steps.size();
+    r.identical = FragmentsIdentical(*frag_s, *frag_v);
+    r.frag_scalar_ms = MedianMillis(
+        [&] { (void)executor.ExecuteFragment(query, plan, scalar_opts); },
+        reps);
+    r.frag_vectorized_ms = MedianMillis(
+        [&] { (void)executor.ExecuteFragment(query, plan, vec_opts); }, reps);
+    r.exec_scalar_ms = MedianMillis(
+        [&] { (void)executor.Execute(query, plan, scalar_opts); }, reps);
+    r.exec_vectorized_ms = MedianMillis(
+        [&] { (void)executor.Execute(query, plan, vec_opts); }, reps);
+    r.frag_speedup = r.frag_scalar_ms / std::max(r.frag_vectorized_ms, 1e-6);
+    r.exec_speedup = r.exec_scalar_ms / std::max(r.exec_vectorized_ms, 1e-6);
+    r.vectorized_qps = 1000.0 / std::max(r.exec_vectorized_ms, 1e-6);
+    results.push_back(r);
+  }
+
+  std::printf("%-6s %-6s | %-22s | %-22s | %-10s %s\n", "chain", "steps",
+              "fetch chain s->v (ms)", "end-to-end s->v (ms)", "vec qps",
+              "identical?");
+  std::vector<double> frag_speedups;
+  std::vector<double> exec_speedups;
+  // Vacuous passes are failures: no measured chain, or any executor error,
+  // counts as divergence.
+  bool all_identical = !results.empty() && !any_error;
+  for (const ChainResult& r : results) {
+    std::printf(
+        "%-6s %-6zu | %6.3f -> %6.3f %5.2fx | %6.3f -> %6.3f %5.2fx | "
+        "%-10.0f %s\n",
+        r.name.c_str(), r.steps, r.frag_scalar_ms, r.frag_vectorized_ms,
+        r.frag_speedup, r.exec_scalar_ms, r.exec_vectorized_ms,
+        r.exec_speedup, r.vectorized_qps, r.identical ? "yes" : "NO");
+    frag_speedups.push_back(r.frag_speedup);
+    exec_speedups.push_back(r.exec_speedup);
+    all_identical &= r.identical;
+  }
+  // The headline: the paper's Fig. 4 query (Q1 = Example 2, a 3-step
+  // chain) at the fetch-chain level — the code path this PR vectorizes.
+  double fig4_speedup = results.empty() ? 0 : results.front().frag_speedup;
+  std::printf(
+      "\nfig4 chain (Q1) fetch-chain speedup: %.2fx; geomean over %zu "
+      "multi-step chains: fetch chain %.2fx, end-to-end %.2fx (results "
+      "%s)\n",
+      fig4_speedup, results.size(), Geomean(frag_speedups),
+      Geomean(exec_speedups), all_identical ? "bit-identical" : "DIVERGED");
+
+  FILE* json = std::fopen(json_path, "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"bench\": \"fetch_chain\",\n");
+    std::fprintf(json, "  \"tlc_sf\": %.2f,\n  \"reps\": %d,\n", sf, reps);
+    std::fprintf(json, "  \"fig4_chain_speedup\": %.4f,\n", fig4_speedup);
+    std::fprintf(json, "  \"fetch_chain_speedup_geomean\": %.4f,\n",
+                 Geomean(frag_speedups));
+    std::fprintf(json, "  \"end_to_end_speedup_geomean\": %.4f,\n",
+                 Geomean(exec_speedups));
+    std::fprintf(json, "  \"all_identical\": %s,\n",
+                 all_identical ? "true" : "false");
+    std::fprintf(json, "  \"chains\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      const ChainResult& r = results[i];
+      std::fprintf(
+          json,
+          "    {\"name\": \"%s\", \"steps\": %zu, "
+          "\"fetch_chain_scalar_ms\": %.4f, "
+          "\"fetch_chain_vectorized_ms\": %.4f, "
+          "\"fetch_chain_speedup\": %.4f, "
+          "\"scalar_ms\": %.4f, \"vectorized_ms\": %.4f, "
+          "\"speedup\": %.4f, \"ops_per_sec\": %.1f, \"identical\": %s}%s\n",
+          r.name.c_str(), r.steps, r.frag_scalar_ms, r.frag_vectorized_ms,
+          r.frag_speedup, r.exec_scalar_ms, r.exec_vectorized_ms,
+          r.exec_speedup, r.vectorized_qps, r.identical ? "true" : "false",
+          i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote %s\n", json_path);
+  }
+
+  return all_identical ? 0 : 1;
+}

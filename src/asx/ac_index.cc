@@ -41,6 +41,16 @@ AcIndex::BucketView AcIndex::LookupWithCounts(const ValueVec& key) const {
   return BucketView{&it->second.distinct_y, &it->second.mults};
 }
 
+void AcIndex::LookupBatch(const ValueVec* keys, size_t count,
+                          BucketView* out) const {
+  for (size_t i = 0; i < count; ++i) {
+    auto it = buckets_.find(keys[i]);
+    out[i] = it == buckets_.end()
+                 ? BucketView{}
+                 : BucketView{&it->second.distinct_y, &it->second.mults};
+  }
+}
+
 void AcIndex::OnInsert(const Row& row) {
   ValueVec key = KeyOf(row);
   for (const Value& v : key) {

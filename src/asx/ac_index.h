@@ -54,6 +54,16 @@ class AcIndex {
   /// Lookup returning Y-projections together with their multiplicities.
   BucketView LookupWithCounts(const ValueVec& key) const;
 
+  /// \brief Batched probe: resolves `count` keys into `out[0..count)`.
+  /// Today this is a tight find loop — one probe per key, same cost as N
+  /// LookupWithCounts calls; the batching win lives in the caller, which
+  /// deduplicates the raw (row × combo) fan-out to distinct keys before
+  /// probing and shards large batches across a TaskPool. Keys containing
+  /// NULL resolve to the empty bucket (NULL X-values are never indexed).
+  /// Read-only and safe to call concurrently from several shards of one
+  /// key set.
+  void LookupBatch(const ValueVec* keys, size_t count, BucketView* out) const;
+
   /// Incremental maintenance on tuple insert.
   void OnInsert(const Row& row);
 

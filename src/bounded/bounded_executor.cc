@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "common/task_pool.h"
 #include "expr/evaluator.h"
 
 namespace beas {
@@ -87,9 +88,56 @@ Result<Value> FinalizeWeighted(const AggSpec& spec,
   return Status::Internal("bad aggregate function");
 }
 
+/// Remaining per-step budget. `capped` distinguishes "no budget" from an
+/// exhausted one: an exhausted step serves zero keys (η shrinks to 0 for
+/// the step) instead of silently over-fetching.
+struct StepBudget {
+  bool capped = false;
+  uint64_t cap = 0;
+};
+
+StepBudget BudgetFor(const BoundedExecOptions& options,
+                     const BoundedExecStats& stats) {
+  StepBudget budget;
+  if (options.fetch_budget == 0) return budget;
+  budget.capped = true;
+  budget.cap = options.fetch_budget > stats.tuples_fetched
+                   ? options.fetch_budget - stats.tuples_fetched
+                   : 0;
+  return budget;
+}
+
+/// The IN-list expansion shape of a step's key sources.
+struct ComboShape {
+  std::vector<const std::vector<Value>*> lists;
+  std::vector<size_t> list_sizes;
+  size_t combos = 1;
+};
+
+ComboShape ShapeOf(const FetchStep& step) {
+  ComboShape shape;
+  for (const KeySource& src : step.key_sources) {
+    if (src.kind == KeySource::Kind::kConstantList) {
+      shape.lists.push_back(&src.list);
+      shape.list_sizes.push_back(src.list.size());
+      shape.combos *= src.list.size();
+    }
+  }
+  return shape;
+}
+
+/// How many distinct keys justify sharding probes across the pool.
+constexpr size_t kParallelProbeThreshold = 1024;
+
 }  // namespace
 
-Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragment(
+// ---------------------------------------------------------------------------
+// Fetch chain, scalar reference path (row-at-a-time). Kept for differential
+// testing against the vectorized path; probe keys are served in
+// first-appearance order so budgeted runs are bit-identical across paths.
+// ---------------------------------------------------------------------------
+
+Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentScalar(
     const BoundQuery& query, const BoundedPlan& plan,
     const BoundedExecOptions& options) const {
   Fragment fragment;
@@ -135,29 +183,11 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragment(
     // greedy allocation serves every probe whenever the budget exceeds the
     // actual (not worst-case) need, and degrades later steps first when it
     // does not; eta accounts for the unserved fraction either way.
-    uint64_t step_cap = 0;
-    if (options.fetch_budget > 0) {
-      step_cap = options.fetch_budget > fragment.stats.tuples_fetched
-                     ? options.fetch_budget - fragment.stats.tuples_fetched
-                     : 1;
-    }
+    StepBudget budget = BudgetFor(options, fragment.stats);
 
     // --- Phase A: distinct probe keys from T (expanding IN-lists). ---
     // Each T row yields one key per combination of IN-list values.
-    size_t num_lists = 0;
-    for (const KeySource& src : step.key_sources) {
-      if (src.kind == KeySource::Kind::kConstantList) ++num_lists;
-    }
-    std::vector<size_t> list_sizes;
-    std::vector<const std::vector<Value>*> lists;
-    for (const KeySource& src : step.key_sources) {
-      if (src.kind == KeySource::Kind::kConstantList) {
-        lists.push_back(&src.list);
-        list_sizes.push_back(src.list.size());
-      }
-    }
-    size_t combos = 1;
-    for (size_t s : list_sizes) combos *= s;
+    ComboShape shape = ShapeOf(step);
 
     auto key_of = [&](const Row& row, size_t combo) {
       ValueVec key;
@@ -170,8 +200,8 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragment(
             key.push_back(src.constant);
             break;
           case KeySource::Kind::kConstantList: {
-            size_t sz = list_sizes[list_idx];
-            key.push_back((*lists[list_idx])[rem % sz]);
+            size_t sz = shape.list_sizes[list_idx];
+            key.push_back((*shape.lists[list_idx])[rem % sz]);
             rem /= sz;
             ++list_idx;
             break;
@@ -184,20 +214,23 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragment(
       return key;
     };
 
-    std::unordered_set<ValueVec, ValueVecHash, ValueVecEq> distinct_keys;
+    // Distinct keys in first-appearance order (the order budget-capped
+    // serving follows, on both executor paths).
+    std::unordered_set<ValueVec, ValueVecHash, ValueVecEq> seen_keys;
+    std::vector<ValueVec> ordered_keys;
     for (const Row& row : t_rows) {
-      for (size_t combo = 0; combo < combos; ++combo) {
-        distinct_keys.insert(key_of(row, combo));
+      for (size_t combo = 0; combo < shape.combos; ++combo) {
+        ValueVec key = key_of(row, combo);
+        if (seen_keys.insert(key).second) ordered_keys.push_back(std::move(key));
       }
     }
 
     // --- Phase B: probe each distinct key once (budget-capped). ---
     std::unordered_map<ValueVec, AcIndex::BucketView, ValueVecHash, ValueVecEq>
         fetched;
-    std::unordered_set<ValueVec, ValueVecHash, ValueVecEq> unserved;
     uint64_t fetched_this_step = 0;
     size_t served = 0;
-    for (const ValueVec& key : distinct_keys) {
+    for (const ValueVec& key : ordered_keys) {
       // NULL key components never match (SQL equality).
       bool has_null = false;
       for (const Value& v : key) has_null |= v.is_null();
@@ -206,9 +239,8 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragment(
         ++served;
         continue;
       }
-      if (step_cap > 0 && fetched_this_step >= step_cap) {
-        unserved.insert(key);
-        continue;
+      if (budget.capped && fetched_this_step >= budget.cap) {
+        continue;  // unserved: rows keyed by it are dropped, eta shrinks
       }
       AcIndex::BucketView bucket = index->LookupWithCounts(key);
       ++fragment.stats.keys_probed;
@@ -217,9 +249,9 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragment(
       fetched.emplace(key, bucket);
       ++served;
     }
-    if (!distinct_keys.empty()) {
+    if (!ordered_keys.empty()) {
       fragment.stats.eta *= static_cast<double>(served) /
-                            static_cast<double>(distinct_keys.size());
+                            static_cast<double>(ordered_keys.size());
     }
 
     // --- Phase C: join T with the fetched partial tuples. ---
@@ -235,7 +267,7 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragment(
     std::vector<Row> new_rows;
     std::vector<uint64_t> new_weights;
     for (size_t r = 0; r < t_rows.size(); ++r) {
-      for (size_t combo = 0; combo < combos; ++combo) {
+      for (size_t combo = 0; combo < shape.combos; ++combo) {
         ValueVec key = key_of(t_rows[r], combo);
         auto it = fetched.find(key);
         if (it == fetched.end()) continue;  // unserved under budget: dropped
@@ -315,6 +347,399 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragment(
   return fragment;
 }
 
+// ---------------------------------------------------------------------------
+// Fetch chain, vectorized path: columnar T, deduplicated probe keys in
+// first-appearance order, batched (optionally sharded) index probes,
+// gather-based join, compiled predicate programs, hash-based weighted
+// dedup. Bit-identical to the scalar path (rows, order, weights, η).
+// ---------------------------------------------------------------------------
+
+Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentVectorized(
+    const BoundQuery& query, const BoundedPlan& plan,
+    const CompiledPlan& compiled, const BoundedExecOptions& options) const {
+  Fragment fragment;
+  fragment.layout = plan.layout;
+  fragment.stats.root.label = "BoundedFetchChain";
+
+  Row empty_row;
+  for (size_t ci : plan.initial_conjuncts) {
+    BEAS_ASSIGN_OR_RETURN(bool pass,
+                          EvalPredicate(*query.conjuncts[ci].expr, empty_row));
+    if (!pass) return fragment;
+  }
+  if (plan.steps.empty() && !query.atoms.empty()) return fragment;
+
+  // T starts as a single empty row of weight 1 (zero columns). Row hashes
+  // are threaded through every gather so dedup never rehashes the parent
+  // prefix of a row.
+  TupleBatch t;
+  t.set_num_rows(1);
+  t.weights().assign(1, 1);
+  t.mutable_hashes().assign(1, TupleBatch::kHashSeed);
+
+  for (size_t si = 0; si < plan.steps.size(); ++si) {
+    const FetchStep& step = plan.steps[si];
+    const StepProgram& prog = compiled.steps[si];
+    auto step_start = std::chrono::steady_clock::now();
+    OperatorStats step_stats;
+    if (options.collect_stats) {
+      step_stats.label =
+          "fetch[" + step.constraint.name + " on " +
+          query.atoms[step.atom].alias + "]";
+    }
+
+    StepBudget budget = BudgetFor(options, fragment.stats);
+
+    // --- Phase A: build + dedup probe keys, first-appearance order. ---
+    // Keys are materialized lazily: per-part hashes are precomputed
+    // (constants once, IN-list elements once, T columns once per row), the
+    // (row, combo) loop only combines them, and a ValueVec is built only
+    // when a key turns out to be distinct.
+    ComboShape shape = ShapeOf(step);
+    size_t num_parts = step.key_sources.size();
+    size_t num_lists = shape.lists.size();
+    size_t raw_keys = t.num_rows() * shape.combos;
+
+    std::vector<uint64_t> part_const_hash(num_parts, 0);
+    std::vector<std::vector<uint64_t>> part_list_hashes(num_lists);
+    std::vector<std::vector<uint64_t>> part_col_hashes(num_parts);
+    std::vector<int64_t> list_of_part(num_parts, -1);
+    {
+      size_t list_idx = 0;
+      for (size_t k = 0; k < num_parts; ++k) {
+        const KeySource& src = step.key_sources[k];
+        switch (src.kind) {
+          case KeySource::Kind::kConstant:
+            part_const_hash[k] = src.constant.Hash();
+            break;
+          case KeySource::Kind::kConstantList: {
+            list_of_part[k] = static_cast<int64_t>(list_idx);
+            std::vector<uint64_t>& hashes = part_list_hashes[list_idx];
+            hashes.reserve(src.list.size());
+            for (const Value& v : src.list) hashes.push_back(v.Hash());
+            ++list_idx;
+            break;
+          }
+          case KeySource::Kind::kFromT: {
+            const std::vector<Value>& col = t.column(src.t_column);
+            std::vector<uint64_t>& hashes = part_col_hashes[k];
+            hashes.reserve(t.num_rows());
+            for (size_t r = 0; r < t.num_rows(); ++r) {
+              hashes.push_back(col[r].Hash());
+            }
+            break;
+          }
+        }
+      }
+    }
+
+    // The value of part k for the current (row, combo).
+    std::vector<size_t> list_elem(num_lists, 0);
+    auto part_value = [&](size_t k, size_t r) -> const Value& {
+      const KeySource& src = step.key_sources[k];
+      switch (src.kind) {
+        case KeySource::Kind::kConstant:
+          return src.constant;
+        case KeySource::Kind::kConstantList:
+          return src.list[list_elem[static_cast<size_t>(list_of_part[k])]];
+        case KeySource::Kind::kFromT:
+        default:
+          return t.column(src.t_column)[r];
+      }
+    };
+
+    std::vector<uint32_t> key_ids;
+    key_ids.reserve(raw_keys);
+    std::vector<ValueVec> distinct_keys;
+    std::vector<uint64_t> key_hashes;
+    std::vector<char> key_has_null;
+
+    size_t table_cap = HashTableCapacity(raw_keys * 2);
+    size_t table_mask = table_cap - 1;
+    std::vector<uint32_t> slots(table_cap, UINT32_MAX);
+
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      for (size_t combo = 0; combo < shape.combos; ++combo) {
+        size_t rem = combo;
+        for (size_t li = 0; li < num_lists; ++li) {
+          list_elem[li] = rem % shape.list_sizes[li];
+          rem /= shape.list_sizes[li];
+        }
+        uint64_t h = kValueVecHashSeed;
+        for (size_t k = 0; k < num_parts; ++k) {
+          const KeySource& src = step.key_sources[k];
+          switch (src.kind) {
+            case KeySource::Kind::kConstant:
+              HashCombine(&h, part_const_hash[k]);
+              break;
+            case KeySource::Kind::kConstantList:
+              HashCombine(
+                  &h,
+                  part_list_hashes[static_cast<size_t>(list_of_part[k])]
+                                  [list_elem[static_cast<size_t>(
+                                      list_of_part[k])]]);
+              break;
+            case KeySource::Kind::kFromT:
+              HashCombine(&h, part_col_hashes[k][r]);
+              break;
+          }
+        }
+        size_t slot = static_cast<size_t>(h) & table_mask;
+        uint32_t id;
+        for (;;) {
+          uint32_t other = slots[slot];
+          if (other == UINT32_MAX) {
+            id = static_cast<uint32_t>(distinct_keys.size());
+            slots[slot] = id;
+            ValueVec key;
+            key.reserve(num_parts);
+            bool has_null = false;
+            for (size_t k = 0; k < num_parts; ++k) {
+              const Value& v = part_value(k, r);
+              has_null |= v.is_null();
+              key.push_back(v);
+            }
+            distinct_keys.push_back(std::move(key));
+            key_hashes.push_back(h);
+            key_has_null.push_back(has_null ? 1 : 0);
+            break;
+          }
+          if (key_hashes[other] == h) {
+            const ValueVec& stored = distinct_keys[other];
+            bool equal = true;
+            for (size_t k = 0; k < num_parts && equal; ++k) {
+              equal = stored[k] == part_value(k, r);
+            }
+            if (equal) {
+              id = other;
+              break;
+            }
+          }
+          slot = (slot + 1) & table_mask;
+        }
+        key_ids.push_back(id);
+      }
+    }
+
+    // --- Phase B: probe distinct keys (batched; sharded when large). ---
+    size_t nkeys = distinct_keys.size();
+    std::vector<AcIndex::BucketView> buckets(nkeys);
+    std::vector<char> served(nkeys, 0);
+    uint64_t fetched_this_step = 0;
+    size_t served_count = 0;
+    const AcIndex* index = prog.index;
+
+    if (!budget.capped) {
+      // Exact evaluation: every key is served; probe the whole batch, in
+      // shards across the pool when the fan-out is large. NULL-bearing
+      // keys resolve to empty buckets inside LookupBatch and are excluded
+      // from probe accounting below, like the scalar path.
+      TaskPool* pool = options.probe_pool;
+      if (pool != nullptr && pool->num_threads() > 0 &&
+          nkeys >= kParallelProbeThreshold) {
+        size_t shard = std::max<size_t>(
+            512, nkeys / (4 * (pool->num_threads() + 1)));
+        size_t num_shards = (nkeys + shard - 1) / shard;
+        pool->ParallelFor(num_shards, [&](size_t s) {
+          size_t begin = s * shard;
+          size_t end = std::min(nkeys, begin + shard);
+          index->LookupBatch(&distinct_keys[begin], end - begin,
+                             &buckets[begin]);
+        });
+      } else {
+        index->LookupBatch(distinct_keys.data(), nkeys, buckets.data());
+      }
+      served_count = nkeys;
+      for (size_t i = 0; i < nkeys; ++i) {
+        served[i] = 1;
+        if (key_has_null[i]) continue;
+        ++fragment.stats.keys_probed;
+        fetched_this_step += buckets[i].size();
+        fragment.stats.tuples_fetched += buckets[i].size();
+      }
+    } else {
+      // Budgeted: serve keys in order until the cap is hit (an exhausted
+      // cap serves zero); inherently sequential.
+      for (size_t i = 0; i < nkeys; ++i) {
+        if (key_has_null[i]) {
+          served[i] = 1;
+          ++served_count;
+          continue;
+        }
+        if (fetched_this_step >= budget.cap) continue;  // unserved
+        buckets[i] = index->LookupWithCounts(distinct_keys[i]);
+        ++fragment.stats.keys_probed;
+        fetched_this_step += buckets[i].size();
+        fragment.stats.tuples_fetched += buckets[i].size();
+        served[i] = 1;
+        ++served_count;
+      }
+    }
+    if (nkeys > 0) {
+      fragment.stats.eta *= static_cast<double>(served_count) /
+                            static_cast<double>(nkeys);
+    }
+
+    // --- Phase C: gather-join T with the fetched partial tuples. ---
+    size_t out_count = 0;
+    for (uint32_t id : key_ids) {
+      if (served[id]) out_count += buckets[id].size();
+    }
+
+    std::vector<uint32_t> src_row;
+    std::vector<uint32_t> src_kid;
+    std::vector<uint32_t> src_b;
+    src_row.reserve(out_count);
+    src_kid.reserve(out_count);
+    src_b.reserve(out_count);
+    std::vector<uint64_t> new_weights;
+    new_weights.reserve(out_count);
+
+    size_t flat = 0;
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      uint64_t w = t.weights()[r];
+      for (size_t combo = 0; combo < shape.combos; ++combo) {
+        uint32_t id = key_ids[flat++];
+        if (!served[id]) continue;
+        const AcIndex::BucketView& bucket = buckets[id];
+        for (size_t b = 0; b < bucket.size(); ++b) {
+          src_row.push_back(static_cast<uint32_t>(r));
+          src_kid.push_back(id);
+          src_b.push_back(static_cast<uint32_t>(b));
+          new_weights.push_back(w * (*bucket.multiplicities)[b]);
+        }
+      }
+    }
+
+    TupleBatch next(t.num_columns() + step.added_columns.size());
+    next.set_num_rows(out_count);
+    next.weights() = std::move(new_weights);
+    // Row hash = parent row hash folded with the added values, column by
+    // column — same fold ComputeHashes would run, without rehashing the
+    // parent prefix.
+    std::vector<uint64_t>& next_hashes = next.mutable_hashes();
+    next_hashes.resize(out_count);
+    {
+      const std::vector<uint64_t>& parent_hashes = t.hashes();
+      for (size_t i = 0; i < out_count; ++i) {
+        next_hashes[i] = parent_hashes[src_row[i]];
+      }
+    }
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      const std::vector<Value>& src = t.column(c);
+      std::vector<Value>& dst = next.column(c);
+      dst.reserve(out_count);
+      for (size_t i = 0; i < out_count; ++i) dst.push_back(src[src_row[i]]);
+    }
+    for (size_t a = 0; a < step.added_columns.size(); ++a) {
+      const StepProgram::OutSource& osrc = prog.out_sources[a];
+      std::vector<Value>& dst = next.column(t.num_columns() + a);
+      dst.reserve(out_count);
+      if (osrc.from_key) {
+        for (size_t i = 0; i < out_count; ++i) {
+          const Value& v = distinct_keys[src_kid[i]][osrc.pos];
+          HashCombine(&next_hashes[i], v.Hash());
+          dst.push_back(v);
+        }
+      } else {
+        for (size_t i = 0; i < out_count; ++i) {
+          const Value& v = (*buckets[src_kid[i]].rows)[src_b[i]][osrc.pos];
+          HashCombine(&next_hashes[i], v.Hash());
+          dst.push_back(v);
+        }
+      }
+    }
+    t = std::move(next);
+
+    // --- Apply the conjuncts that just became evaluable. ---
+    // Runs even on an empty T so rebind failures surface exactly like the
+    // scalar path's.
+    if (!step.conjuncts_after.empty()) {
+      std::vector<char> keep(t.num_rows(), 1);
+      // Built on demand, once per step, for interpreted fallbacks only.
+      std::unordered_map<size_t, size_t> fallback_mapping;
+      for (size_t k = 0; k < step.conjuncts_after.size(); ++k) {
+        size_t ci = step.conjuncts_after[k];
+        const std::optional<ExprProgram>& cp = prog.conjunct_programs[k];
+        bool evaluated = false;
+        if (cp.has_value()) {
+          Result<std::vector<Value>> lits =
+              cp->BindLiterals(*query.conjuncts[ci].expr);
+          if (lits.ok()) {
+            cp->FilterBatch(t.columns(), t.num_rows(), *lits, &keep);
+            evaluated = true;
+          }
+        }
+        if (!evaluated) {
+          // Interpreted fallback (not compilable, or an instance whose
+          // literal shape diverged): rebind against the current layout
+          // and tree-walk the surviving rows.
+          if (fallback_mapping.empty()) {
+            fallback_mapping.insert(prog.layout_pairs.begin(),
+                                    prog.layout_pairs.end());
+          }
+          ExprPtr rebound =
+              RebindColumns(query.conjuncts[ci].expr, fallback_mapping);
+          if (!rebound) {
+            return Status::Internal("rebind failed for conjunct " +
+                                    query.conjuncts[ci].ToString());
+          }
+          for (size_t r = 0; r < t.num_rows(); ++r) {
+            if (!keep[r]) continue;
+            BEAS_ASSIGN_OR_RETURN(bool pass,
+                                  EvalPredicate(*rebound, t.GetRow(r)));
+            if (!pass) keep[r] = 0;
+          }
+        }
+      }
+      t.Filter(keep);
+    }
+
+    // --- Weighted dedup on precomputed row hashes. ---
+    t.DedupMergeWeights();
+
+    if (options.collect_stats) {
+      step_stats.rows_out = t.num_rows();
+      step_stats.tuples_accessed = fetched_this_step;
+      step_stats.self_millis = MillisSince(step_start);
+      step_stats.total_millis = step_stats.self_millis;
+      fragment.stats.root.children.push_back(std::move(step_stats));
+    }
+  }
+
+  fragment.rows = t.ToRows();
+  fragment.weights = std::move(t.weights());
+  for (const auto& child : fragment.stats.root.children) {
+    fragment.stats.root.total_millis += child.total_millis;
+  }
+  fragment.stats.root.tuples_accessed = fragment.stats.tuples_fetched;
+  fragment.stats.root.rows_out = fragment.rows.size();
+  return fragment;
+}
+
+Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragment(
+    const BoundQuery& query, const BoundedPlan& plan,
+    const BoundedExecOptions& options) const {
+  if (!options.use_vectorized) {
+    return ExecuteFragmentScalar(query, plan, options);
+  }
+  const CompiledPlan* compiled = options.compiled;
+  CompiledPlan local;
+  if (compiled == nullptr || compiled->steps.size() != plan.steps.size()) {
+    Result<CompiledPlan> built = CompileBoundedPlan(query, plan, *catalog_);
+    if (!built.ok()) return built.status();
+    local = std::move(*built);
+    compiled = &local;
+  }
+  return ExecuteFragmentVectorized(query, plan, *compiled, options);
+}
+
+// ---------------------------------------------------------------------------
+// Relational tail (shared by both fetch-chain paths): weighted grouping /
+// DISTINCT run over hash-based group indices (ValueVecGrouper) instead of
+// rehashing ValueVec map keys per row.
+// ---------------------------------------------------------------------------
+
 Result<QueryResult> BoundedExecutor::Execute(
     const BoundQuery& query, const BoundedPlan& plan,
     const BoundedExecOptions& options, BoundedExecStats* stats_out) const {
@@ -377,10 +802,8 @@ Result<QueryResult> BoundedExecutor::Execute(
       aggs.push_back(std::move(copy));
     }
 
-    std::unordered_map<ValueVec, std::vector<WeightedAggState>, ValueVecHash,
-                       ValueVecEq>
-        group_states;
-    std::vector<ValueVec> group_order;
+    ValueVecGrouper grouper;
+    std::vector<std::vector<WeightedAggState>> group_states;
     for (size_t r = 0; r < fragment.rows.size(); ++r) {
       const Row& row = fragment.rows[r];
       uint64_t weight = fragment.weights[r];
@@ -390,27 +813,27 @@ Result<QueryResult> BoundedExecutor::Execute(
         BEAS_ASSIGN_OR_RETURN(Value v, Eval(*g, row));
         key.push_back(std::move(v));
       }
-      auto [it, inserted] =
-          group_states.try_emplace(key, aggs.size(), WeightedAggState{});
-      if (inserted) group_order.push_back(key);
+      size_t gid = grouper.IdFor(std::move(key));
+      if (gid == group_states.size()) {
+        group_states.emplace_back(aggs.size());
+      }
       for (size_t i = 0; i < aggs.size(); ++i) {
         Value v;
         if (aggs[i].fn != AggFn::kCountStar) {
           BEAS_ASSIGN_OR_RETURN(v, Eval(*aggs[i].arg, row));
         }
         BEAS_RETURN_NOT_OK(
-            AccumulateWeighted(aggs[i], v, weight, &it->second[i]));
+            AccumulateWeighted(aggs[i], v, weight, &group_states[gid][i]));
       }
     }
-    if (groups.empty() && group_states.empty()) {
-      ValueVec key;
-      group_states.try_emplace(key, aggs.size(), WeightedAggState{});
-      group_order.push_back(key);
+    if (groups.empty() && grouper.size() == 0) {
+      grouper.IdFor(ValueVec{});
+      group_states.emplace_back(aggs.size());
     }
 
-    for (const ValueVec& key : group_order) {
-      const auto& states = group_states.at(key);
-      Row agg_row = key;
+    for (size_t gid = 0; gid < grouper.size(); ++gid) {
+      const std::vector<WeightedAggState>& states = group_states[gid];
+      Row agg_row = grouper.key(gid);
       for (size_t i = 0; i < aggs.size(); ++i) {
         BEAS_ASSIGN_OR_RETURN(Value v, FinalizeWeighted(aggs[i], states[i]));
         agg_row.push_back(std::move(v));
@@ -452,12 +875,9 @@ Result<QueryResult> BoundedExecutor::Execute(
       }
     }
     if (query.distinct) {
-      std::unordered_set<ValueVec, ValueVecHash, ValueVecEq> seen;
-      std::vector<Row> unique_rows;
-      for (Row& row : result.rows) {
-        if (seen.insert(row).second) unique_rows.push_back(std::move(row));
-      }
-      result.rows = std::move(unique_rows);
+      ValueVecGrouper seen;
+      for (Row& row : result.rows) seen.IdFor(std::move(row));
+      result.rows = std::move(seen).ReleaseKeys();
     }
   }
 

@@ -6,17 +6,22 @@
 #include "asx/access_schema.h"
 #include "binder/bound_query.h"
 #include "bounded/bounded_plan.h"
+#include "bounded/step_program.h"
+#include "bounded/tuple_batch.h"
 #include "common/result.h"
 #include "engine/query_result.h"
 
 namespace beas {
 
+class TaskPool;
+
 /// \brief Execution knobs for bounded plans.
 struct BoundedExecOptions {
   /// 0 = exact evaluation. When positive, resource-bounded approximation:
-  /// each fetch step is capped at its proportional share of the budget
-  /// (in fetched tuples); unserved probe keys drop their rows and the
-  /// coverage lower bound η shrinks accordingly.
+  /// each fetch step may consume whatever budget remains (in fetched
+  /// tuples); once the budget is exhausted a step serves zero keys,
+  /// unserved probe keys drop their rows, and the coverage lower bound η
+  /// shrinks accordingly.
   uint64_t fetch_budget = 0;
 
   /// When false, skips the per-query diagnostic rendering — the plan text
@@ -25,6 +30,23 @@ struct BoundedExecOptions {
   /// the result itself are unaffected. The service layer's cached fast
   /// path uses this; the analysis UI and benches keep full telemetry.
   bool collect_stats = true;
+
+  /// When true (default) the fetch chain runs the vectorized batch
+  /// executor (columnar T, batched probes, compiled step programs). The
+  /// row-at-a-time path is kept for differential testing; both produce
+  /// bit-identical results (rows, weights, η) — probe keys are served in
+  /// first-appearance order under a budget on either path.
+  bool use_vectorized = true;
+
+  /// Optional precompiled step programs for `plan`'s template (cached by
+  /// the service next to the plan skeleton). Null = compile on the fly.
+  /// Must have been compiled from the same template as `plan`.
+  const CompiledPlan* compiled = nullptr;
+
+  /// Optional worker pool: large distinct-key sets of exact (un-budgeted)
+  /// steps shard their index probes across it. Null = serial probes.
+  /// Results are merged deterministically regardless.
+  TaskPool* probe_pool = nullptr;
 };
 
 /// \brief Telemetry of a bounded execution.
@@ -45,6 +67,15 @@ struct BoundedExecStats {
 /// multiplicities stored in the indices), so COUNT/SUM/AVG and non-DISTINCT
 /// projections are exact even though only distinct partial tuples are
 /// fetched (see AcIndex::BucketView).
+///
+/// Two fetch-chain implementations share this contract:
+///  * the vectorized path (default): T is a columnar TupleBatch; probe
+///    keys are deduplicated into first-appearance order, probed through
+///    AcIndex::LookupBatch (sharded across a TaskPool when large), joined
+///    by index-gather, filtered with compiled predicate programs, and
+///    deduplicated by precomputed row hashes;
+///  * the scalar row-at-a-time path (BoundedExecOptions::use_vectorized =
+///    false), retained as the differential-testing reference.
 class BoundedExecutor {
  public:
   explicit BoundedExecutor(const AsCatalog* catalog) : catalog_(catalog) {}
@@ -70,6 +101,14 @@ class BoundedExecutor {
                                    const BoundedExecOptions& options = {}) const;
 
  private:
+  Result<Fragment> ExecuteFragmentScalar(const BoundQuery& query,
+                                         const BoundedPlan& plan,
+                                         const BoundedExecOptions& options) const;
+
+  Result<Fragment> ExecuteFragmentVectorized(
+      const BoundQuery& query, const BoundedPlan& plan,
+      const CompiledPlan& compiled, const BoundedExecOptions& options) const;
+
   const AsCatalog* catalog_;
 };
 

@@ -1,0 +1,79 @@
+#include "bounded/step_program.h"
+
+namespace beas {
+
+Result<CompiledPlan> CompileBoundedPlan(const BoundQuery& query,
+                                        const BoundedPlan& plan,
+                                        const AsCatalog& catalog) {
+  CompiledPlan compiled;
+  compiled.steps.reserve(plan.steps.size());
+
+  // slot_of_global mirrors the executor's growing layout mapping.
+  std::vector<int64_t> slot_of_global(query.total_columns, -1);
+  size_t width = 0;
+
+  for (const FetchStep& step : plan.steps) {
+    StepProgram program;
+    program.index = catalog.IndexFor(step.constraint.name);
+    if (program.index == nullptr) {
+      return Status::Internal("no index registered for constraint '" +
+                              step.constraint.name + "'");
+    }
+
+    // X-position per table column (X wins over Y, as in the scalar path).
+    std::unordered_map<size_t, size_t> x_pos;
+    for (size_t i = 0; i < step.x_cols.size(); ++i) x_pos[step.x_cols[i]] = i;
+    std::unordered_map<size_t, size_t> y_pos;
+    for (size_t i = 0; i < step.y_cols.size(); ++i) {
+      if (!x_pos.count(step.y_cols[i])) y_pos[step.y_cols[i]] = i;
+    }
+    program.out_sources.reserve(step.added_columns.size());
+    for (const AttrRef& attr : step.added_columns) {
+      StepProgram::OutSource src;
+      auto xp = x_pos.find(attr.col);
+      if (xp != x_pos.end()) {
+        src.from_key = true;
+        src.pos = xp->second;
+      } else {
+        auto yp = y_pos.find(attr.col);
+        if (yp == y_pos.end()) {
+          return Status::Internal(
+              "fetch step adds a column that is neither in X nor Y");
+        }
+        src.from_key = false;
+        src.pos = yp->second;
+      }
+      program.out_sources.push_back(src);
+    }
+
+    // Extend the layout, then compile the conjuncts that become evaluable.
+    for (const AttrRef& attr : step.added_columns) {
+      size_t global = query.GlobalIndex(attr);
+      if (global >= slot_of_global.size()) {
+        return Status::Internal("fetch step column outside the query layout");
+      }
+      slot_of_global[global] = static_cast<int64_t>(width++);
+    }
+    program.width_after = width;
+    for (size_t g = 0; g < slot_of_global.size(); ++g) {
+      if (slot_of_global[g] >= 0) {
+        program.layout_pairs.emplace_back(
+            g, static_cast<size_t>(slot_of_global[g]));
+      }
+    }
+
+    program.conjunct_programs.reserve(step.conjuncts_after.size());
+    for (size_t ci : step.conjuncts_after) {
+      if (ci >= query.conjuncts.size()) {
+        return Status::Internal("fetch step references an unknown conjunct");
+      }
+      program.conjunct_programs.push_back(
+          ExprProgram::Compile(*query.conjuncts[ci].expr, slot_of_global));
+    }
+
+    compiled.steps.push_back(std::move(program));
+  }
+  return compiled;
+}
+
+}  // namespace beas

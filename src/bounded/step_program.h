@@ -1,0 +1,69 @@
+#ifndef BEAS_BOUNDED_STEP_PROGRAM_H_
+#define BEAS_BOUNDED_STEP_PROGRAM_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "asx/access_schema.h"
+#include "binder/bound_query.h"
+#include "bounded/bounded_plan.h"
+#include "common/result.h"
+#include "expr/expr_program.h"
+
+namespace beas {
+
+/// \brief The per-template compiled artifacts of one fetch step: everything
+/// `ExecuteFragment` used to re-derive per execution — resolved index,
+/// X/Y output routing, flat layout arrays, and the post-step conjuncts
+/// compiled to slot-addressed predicate programs.
+///
+/// Only *structure* lives here; per-instance constants (fetch-key values,
+/// predicate literals) are read at execution time from the rebound plan
+/// and the instance's conjunct expressions (ExprProgram::BindLiterals),
+/// so one compiled program serves every instance of the template.
+struct StepProgram {
+  /// Resolved once; validity is guaranteed by the plan-cache invalidation
+  /// bridge (constraint registration/unregistration/adjustment evicts the
+  /// owning entry) plus the service's shared-lock execution contract.
+  const AcIndex* index = nullptr;
+
+  /// Where each added T column comes from: the probe key (X wins when a
+  /// column is in both X and Y) or the fetched Y-projection.
+  struct OutSource {
+    bool from_key = false;
+    size_t pos = 0;  ///< key position or Y position
+  };
+  std::vector<OutSource> out_sources;  ///< parallel to step.added_columns
+
+  /// Compiled post-step conjuncts, parallel to step.conjuncts_after;
+  /// nullopt = not compilable, executor falls back to the interpreted
+  /// tree walk for that conjunct.
+  std::vector<std::optional<ExprProgram>> conjunct_programs;
+
+  /// Global column index -> T slot, as of *after* this step (flat pairs;
+  /// the interpreted fallback builds its RebindColumns map from this).
+  std::vector<std::pair<size_t, size_t>> layout_pairs;
+
+  size_t width_after = 0;  ///< T arity after this step
+};
+
+/// \brief A bounded plan compiled for vectorized execution: one
+/// StepProgram per fetch step. Cached per template in the service plan
+/// cache (next to the plan skeleton) and shared across instances; also
+/// built on the fly for uncached executions.
+struct CompiledPlan {
+  std::vector<StepProgram> steps;
+};
+
+/// Compiles `plan` (any instance of the template; only structure is read)
+/// for `query` against the registered indices. Errors when an index is
+/// missing or the plan references columns outside the query's layout.
+Result<CompiledPlan> CompileBoundedPlan(const BoundQuery& query,
+                                        const BoundedPlan& plan,
+                                        const AsCatalog& catalog);
+
+}  // namespace beas
+
+#endif  // BEAS_BOUNDED_STEP_PROGRAM_H_

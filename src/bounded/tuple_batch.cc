@@ -1,0 +1,162 @@
+#include "bounded/tuple_batch.h"
+
+#include <limits>
+
+#include "common/hash.h"
+
+namespace beas {
+
+namespace {
+
+constexpr size_t kEmptySlot = std::numeric_limits<size_t>::max();
+
+bool RowsEqual(const std::vector<std::vector<Value>>& cols, size_t a,
+               size_t b) {
+  for (const std::vector<Value>& col : cols) {
+    if (col[a] != col[b]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void TupleBatch::ComputeHashes() {
+  hashes_.assign(num_rows_, kHashSeed);
+  for (const std::vector<Value>& col : columns_) {
+    for (size_t r = 0; r < num_rows_; ++r) {
+      HashCombine(&hashes_[r], col[r].Hash());
+    }
+  }
+}
+
+Row TupleBatch::GetRow(size_t r) const {
+  Row row;
+  row.reserve(columns_.size());
+  for (const std::vector<Value>& col : columns_) row.push_back(col[r]);
+  return row;
+}
+
+std::vector<Row> TupleBatch::ToRows() const {
+  std::vector<Row> rows(num_rows_);
+  for (Row& row : rows) row.reserve(columns_.size());
+  for (const std::vector<Value>& col : columns_) {
+    for (size_t r = 0; r < num_rows_; ++r) rows[r].push_back(col[r]);
+  }
+  return rows;
+}
+
+void TupleBatch::Filter(const std::vector<char>& keep) {
+  bool with_hashes = hashes_valid();
+  size_t out = 0;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    if (!keep[r]) continue;
+    if (out != r) {
+      for (std::vector<Value>& col : columns_) col[out] = std::move(col[r]);
+      weights_[out] = weights_[r];
+      if (with_hashes) hashes_[out] = hashes_[r];
+    }
+    ++out;
+  }
+  for (std::vector<Value>& col : columns_) col.resize(out);
+  weights_.resize(out);
+  if (with_hashes) {
+    hashes_.resize(out);
+  } else {
+    hashes_.clear();
+  }
+  num_rows_ = out;
+}
+
+void TupleBatch::DedupMergeWeights() {
+  if (num_rows_ == 0) return;
+  if (!hashes_valid()) ComputeHashes();
+
+  // Open addressing over row indices: slot -> first row index with that
+  // content. first_of[r] = index of the first row equal to r.
+  size_t capacity = HashTableCapacity(num_rows_ * 2);
+  size_t mask = capacity - 1;
+  std::vector<size_t> slots(capacity, kEmptySlot);
+  std::vector<size_t> group_of(num_rows_);     // row -> dense group id
+  std::vector<size_t> first_rows;              // group id -> first row
+  std::vector<uint64_t> group_weights;         // merged weights per group
+  first_rows.reserve(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    size_t slot = static_cast<size_t>(hashes_[r]) & mask;
+    for (;;) {
+      size_t other = slots[slot];
+      if (other == kEmptySlot) {
+        slots[slot] = r;
+        group_of[r] = first_rows.size();
+        first_rows.push_back(r);
+        group_weights.push_back(weights_[r]);
+        break;
+      }
+      if (hashes_[other] == hashes_[r] && RowsEqual(columns_, other, r)) {
+        size_t g = group_of[other];
+        group_of[r] = g;
+        group_weights[g] += weights_[r];
+        break;
+      }
+      slot = (slot + 1) & mask;
+    }
+  }
+  if (first_rows.size() == num_rows_) {
+    return;  // already distinct; weights unchanged
+  }
+
+  // Compact to first-occurrence order.
+  for (std::vector<Value>& col : columns_) {
+    for (size_t g = 0; g < first_rows.size(); ++g) {
+      if (first_rows[g] != g) col[g] = std::move(col[first_rows[g]]);
+    }
+    col.resize(first_rows.size());
+  }
+  std::vector<uint64_t> new_hashes(first_rows.size());
+  for (size_t g = 0; g < first_rows.size(); ++g) {
+    new_hashes[g] = hashes_[first_rows[g]];
+  }
+  hashes_ = std::move(new_hashes);
+  weights_ = std::move(group_weights);
+  num_rows_ = first_rows.size();
+}
+
+ValueVecGrouper::ValueVecGrouper() : slots_(16, kEmptySlot), mask_(15) {}
+
+size_t ValueVecGrouper::IdFor(ValueVec&& key) {
+  if (keys_.size() * 2 >= slots_.size()) Grow();
+  uint64_t h = ValueVecHash{}(key);
+  size_t slot = static_cast<size_t>(h) & mask_;
+  for (;;) {
+    size_t id = slots_[slot];
+    if (id == kEmptySlot) {
+      slots_[slot] = keys_.size();
+      keys_.push_back(std::move(key));
+      key_hashes_.push_back(h);
+      return keys_.size() - 1;
+    }
+    if (key_hashes_[id] == h && ValueVecEq{}(keys_[id], key)) return id;
+    slot = (slot + 1) & mask_;
+  }
+}
+
+std::vector<ValueVec> ValueVecGrouper::ReleaseKeys() && {
+  std::vector<ValueVec> out = std::move(keys_);
+  keys_.clear();
+  key_hashes_.clear();
+  slots_.assign(16, kEmptySlot);
+  mask_ = 15;
+  return out;
+}
+
+void ValueVecGrouper::Grow() {
+  size_t capacity = slots_.size() * 2;
+  mask_ = capacity - 1;
+  slots_.assign(capacity, kEmptySlot);
+  for (size_t id = 0; id < keys_.size(); ++id) {
+    size_t slot = static_cast<size_t>(key_hashes_[id]) & mask_;
+    while (slots_[slot] != kEmptySlot) slot = (slot + 1) & mask_;
+    slots_[slot] = id;
+  }
+}
+
+}  // namespace beas

@@ -1,0 +1,118 @@
+#ifndef BEAS_BOUNDED_TUPLE_BATCH_H_
+#define BEAS_BOUNDED_TUPLE_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace beas {
+
+/// \brief Columnar representation of the intermediate relation T of a
+/// bounded fetch chain: one Value vector per T column plus a parallel
+/// weight vector (bag multiplicities) and, on demand, precomputed 64-bit
+/// row hashes.
+///
+/// The vectorized executor grows a batch per fetch step (gathering parent
+/// columns through an index array instead of copying row vectors), filters
+/// it in place, and deduplicates it by hash — all without the per-row
+/// std::vector allocations of the row-at-a-time path.
+class TupleBatch {
+ public:
+  /// Seed of the per-row hash fold — same as ValueVecHash, so batch hashes
+  /// agree with the row-at-a-time containers.
+  static constexpr uint64_t kHashSeed = kValueVecHashSeed;
+
+  TupleBatch() = default;
+
+  /// A batch of `num_columns` empty columns (0 rows).
+  explicit TupleBatch(size_t num_columns) : columns_(num_columns) {}
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  std::vector<Value>& column(size_t c) { return columns_[c]; }
+  const std::vector<Value>& column(size_t c) const { return columns_[c]; }
+  std::vector<std::vector<Value>>& columns() { return columns_; }
+  const std::vector<std::vector<Value>>& columns() const { return columns_; }
+
+  std::vector<uint64_t>& weights() { return weights_; }
+  const std::vector<uint64_t>& weights() const { return weights_; }
+
+  const std::vector<uint64_t>& hashes() const { return hashes_; }
+  std::vector<uint64_t>& mutable_hashes() { return hashes_; }
+
+  /// True when every row has a precomputed hash (set by ComputeHashes or
+  /// threaded incrementally through mutable_hashes during a gather).
+  bool hashes_valid() const { return hashes_.size() == num_rows_; }
+
+  /// Sets the logical row count. With zero columns the batch still carries
+  /// `n` (empty) rows — the fetch chain's T starts as one empty row of
+  /// weight 1.
+  void set_num_rows(size_t n) { num_rows_ = n; }
+
+  /// Appends an (empty-columned) column vector; caller fills it to
+  /// `num_rows` entries.
+  void AddColumn() { columns_.emplace_back(); }
+
+  /// Recomputes the per-row hashes over all columns, in column order —
+  /// identical to ValueVecHash over the materialized row, so hash-based
+  /// dedup groups exactly the rows ValueVecEq would.
+  void ComputeHashes();
+
+  /// Materializes row `r`.
+  Row GetRow(size_t r) const;
+
+  /// Materializes every row (Fragment interface / relational tail).
+  std::vector<Row> ToRows() const;
+
+  /// Drops every row whose `keep` flag is 0, preserving order; weights —
+  /// and hashes, when valid — follow.
+  void Filter(const std::vector<char>& keep);
+
+  /// Deduplicates rows (Value equality, NULL == NULL), merging weights of
+  /// equal rows and keeping first-occurrence order — the bag-semantics
+  /// contract of BEAS's intermediate relations. Uses the precomputed
+  /// hashes when valid, computing them otherwise.
+  void DedupMergeWeights();
+
+ private:
+  size_t num_rows_ = 0;
+  std::vector<std::vector<Value>> columns_;
+  std::vector<uint64_t> weights_;
+  std::vector<uint64_t> hashes_;
+};
+
+/// \brief Incremental group index over ValueVec keys: assigns dense group
+/// ids in first-appearance order using 64-bit hashes and open addressing.
+/// Replaces unordered_map<ValueVec, ...> in the weighted-aggregation and
+/// DISTINCT tails (one hash per key, no rehash on growth collisions, keys
+/// moved not copied).
+class ValueVecGrouper {
+ public:
+  ValueVecGrouper();
+
+  /// Returns the group id of `key` (existing or freshly assigned). The key
+  /// is moved in only when new.
+  size_t IdFor(ValueVec&& key);
+
+  size_t size() const { return keys_.size(); }
+  const std::vector<ValueVec>& keys() const { return keys_; }
+  const ValueVec& key(size_t id) const { return keys_[id]; }
+
+  /// Moves the keys out (first-appearance order); the grouper is reset.
+  std::vector<ValueVec> ReleaseKeys() &&;
+
+ private:
+  void Grow();
+
+  std::vector<ValueVec> keys_;         ///< group id -> key
+  std::vector<uint64_t> key_hashes_;   ///< parallel to keys_
+  std::vector<size_t> slots_;          ///< open-addressing table, kEmpty free
+  size_t mask_ = 0;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_BOUNDED_TUPLE_BATCH_H_

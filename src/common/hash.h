@@ -3,7 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <cstring>
 #include <string>
 
 namespace beas {
@@ -24,9 +24,60 @@ inline uint64_t HashInt64(uint64_t k) {
   return k;
 }
 
-/// \brief Hashes a string view with std::hash (adequate for hash maps here).
+/// \brief MurmurHash64A-style 64-bit byte hash: 8 bytes per round plus a
+/// finalizer, giving full-width avalanche (every input bit flips ~32
+/// output bits). Shared by Value::Hash, ValueVecHash, the batch row hashes
+/// of the vectorized executor, and the plan-cache template key.
+inline uint64_t HashBytes(const void* data, size_t len,
+                          uint64_t seed = 0xe17a1465f3c0b7a9ULL) {
+  constexpr uint64_t m = 0xc6a4a7935bd1e995ULL;
+  constexpr int r = 47;
+  uint64_t h = seed ^ (static_cast<uint64_t>(len) * m);
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  const unsigned char* end = p + (len & ~static_cast<size_t>(7));
+  while (p != end) {
+    uint64_t k;
+    std::memcpy(&k, p, sizeof(k));
+    p += 8;
+    k *= m;
+    k ^= k >> r;
+    k *= m;
+    h ^= k;
+    h *= m;
+  }
+  switch (len & 7) {
+    case 7: h ^= static_cast<uint64_t>(p[6]) << 48; [[fallthrough]];
+    case 6: h ^= static_cast<uint64_t>(p[5]) << 40; [[fallthrough]];
+    case 5: h ^= static_cast<uint64_t>(p[4]) << 32; [[fallthrough]];
+    case 4: h ^= static_cast<uint64_t>(p[3]) << 24; [[fallthrough]];
+    case 3: h ^= static_cast<uint64_t>(p[2]) << 16; [[fallthrough]];
+    case 2: h ^= static_cast<uint64_t>(p[1]) << 8; [[fallthrough]];
+    case 1: h ^= static_cast<uint64_t>(p[0]); h *= m; [[fallthrough]];
+    default: break;
+  }
+  h ^= h >> r;
+  h *= m;
+  h ^= h >> r;
+  return h;
+}
+
+/// \brief Hashes a string with the shared 64-bit byte hash.
 inline uint64_t HashString(const std::string& s) {
-  return std::hash<std::string>{}(s);
+  return HashBytes(s.data(), s.size());
+}
+
+/// \brief Seed of the value-vector / row hash fold. ValueVecHash, the
+/// TupleBatch row hashes, and the vectorized executor's probe-key dedup
+/// must all fold from this same seed — their agreement is what lets batch
+/// structures interoperate bit-for-bit with the row-at-a-time containers.
+constexpr uint64_t kValueVecHashSeed = 0x2545F4914F6CDD1DULL;
+
+/// \brief Smallest power of two >= max(n, 16): the open-addressing table
+/// capacity used by the batch dedup/group structures.
+inline size_t HashTableCapacity(size_t n) {
+  size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
 }
 
 }  // namespace beas

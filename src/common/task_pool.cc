@@ -1,0 +1,115 @@
+#include "common/task_pool.h"
+
+#include <atomic>
+#include <memory>
+
+namespace beas {
+
+namespace {
+
+/// Shared state of one ParallelFor: workers and the caller race on `next`
+/// to claim indices; `completed` reaching `n` releases the caller.
+struct ParallelJob {
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> completed{0};
+  size_t n = 0;
+  const std::function<void(size_t)>* fn = nullptr;
+  std::mutex mutex;
+  std::condition_variable done_cv;
+};
+
+void DrainJob(ParallelJob* job) {
+  for (;;) {
+    size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job->n) return;
+    (*job->fn)(i);
+    if (job->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job->n) {
+      std::lock_guard<std::mutex> lock(job->mutex);
+      job->done_cv.notify_all();
+    }
+  }
+}
+
+/// True while the current thread is inside a ParallelFor (prevents
+/// re-entrant fan-out, which could starve the index race).
+thread_local bool t_in_parallel_for = false;
+
+}  // namespace
+
+TaskPool::TaskPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+bool TaskPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // No workers to drain the queue: run on the caller, preserving the
+    // "submitted tasks always execute" contract.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return false;
+    }
+    task();
+    return true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void TaskPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (t_in_parallel_for || workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<ParallelJob>();
+  job->n = n;
+  job->fn = &fn;
+  // Helpers beyond n-1 would find the range drained immediately.
+  size_t helpers = std::min(workers_.size(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    if (!Submit([job] { DrainJob(job.get()); })) break;
+  }
+  t_in_parallel_for = true;
+  DrainJob(job.get());
+  t_in_parallel_for = false;
+  std::unique_lock<std::mutex> lock(job->mutex);
+  job->done_cv.wait(lock, [&] {
+    return job->completed.load(std::memory_order_acquire) == job->n;
+  });
+}
+
+void TaskPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace beas

@@ -1,0 +1,60 @@
+#ifndef BEAS_COMMON_TASK_POOL_H_
+#define BEAS_COMMON_TASK_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace beas {
+
+/// \brief A fixed worker pool serving two kinds of work:
+///
+///  * `Submit` enqueues an independent task (the service layer's query
+///    dispatch), executed FIFO by the workers.
+///  * `ParallelFor` fans one loop out across the workers AND the calling
+///    thread. The caller participates in the index range, so the call
+///    completes even when every worker is busy with long Submit tasks —
+///    intra-query parallelism (the bounded executor's batched index
+///    probes) can therefore safely share the pool with the query tasks
+///    that spawned it, without a nested-wait deadlock.
+///
+/// Destruction drains the queue: tasks already submitted run to
+/// completion before the workers join (Submit-ed promises always resolve).
+class TaskPool {
+ public:
+  /// Creates `num_threads` workers (0 = everything runs on the caller).
+  explicit TaskPool(size_t num_threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Enqueues `task` (a zero-worker pool runs it synchronously on the
+  /// caller instead). Returns false, without running the task, when the
+  /// pool is shutting down.
+  bool Submit(std::function<void()> task);
+
+  /// Runs `fn(i)` for every i in [0, n), distributing indices across the
+  /// workers and the calling thread; returns when all n calls finished.
+  /// `fn` must not throw. Nested ParallelFor calls run serially on the
+  /// caller (no re-entrant fan-out).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_COMMON_TASK_POOL_H_

@@ -1,37 +1,19 @@
 #include "expr/evaluator.h"
 
+#include "expr/value_kernels.h"
+
 namespace beas {
 
 namespace {
 
-/// Boolean Values are INT64 0/1 internally; NULL means SQL unknown.
-Value BoolValue(bool b) { return Value::Int64(b ? 1 : 0); }
-
-bool ComparableTypes(const Value& a, const Value& b) {
-  auto numeric = [](TypeId t) {
-    return t == TypeId::kInt64 || t == TypeId::kDouble || t == TypeId::kDate;
-  };
-  if (numeric(a.type()) && numeric(b.type())) return true;
-  return a.type() == b.type();
-}
-
 Result<Value> EvalCompare(CompareOp op, const Value& l, const Value& r) {
   if (l.is_null() || r.is_null()) return Value::Null();
-  if (!ComparableTypes(l, r)) {
+  if (!ComparableValues(l, r)) {
     return Status::TypeError(std::string("cannot compare ") +
                              TypeIdToString(l.type()) + " with " +
                              TypeIdToString(r.type()));
   }
-  int c = l.Compare(r);
-  switch (op) {
-    case CompareOp::kEq: return BoolValue(c == 0);
-    case CompareOp::kNe: return BoolValue(c != 0);
-    case CompareOp::kLt: return BoolValue(c < 0);
-    case CompareOp::kLe: return BoolValue(c <= 0);
-    case CompareOp::kGt: return BoolValue(c > 0);
-    case CompareOp::kGe: return BoolValue(c >= 0);
-  }
-  return Status::Internal("bad compare op");
+  return CompareValuesTotal(op, l, r);
 }
 
 Result<Value> EvalArith(ArithOp op, const Value& l, const Value& r) {
@@ -42,38 +24,11 @@ Result<Value> EvalArith(ArithOp op, const Value& l, const Value& r) {
   if (!numeric(l.type()) || !numeric(r.type())) {
     return Status::TypeError("arithmetic requires numeric operands");
   }
-  bool use_double = l.type() == TypeId::kDouble || r.type() == TypeId::kDouble;
-  if (op == ArithOp::kMod) {
-    if (use_double) return Status::TypeError("% requires integer operands");
-    if (r.AsInt64() == 0) return Value::Null();  // SQL: NULL on mod-by-zero
-    return Value::Int64(l.AsInt64() % r.AsInt64());
+  if (op == ArithOp::kMod &&
+      (l.type() == TypeId::kDouble || r.type() == TypeId::kDouble)) {
+    return Status::TypeError("% requires integer operands");
   }
-  if (use_double) {
-    double a = l.AsDouble();
-    double b = r.AsDouble();
-    switch (op) {
-      case ArithOp::kAdd: return Value::Double(a + b);
-      case ArithOp::kSub: return Value::Double(a - b);
-      case ArithOp::kMul: return Value::Double(a * b);
-      case ArithOp::kDiv:
-        if (b == 0) return Value::Null();  // SQL: NULL on div-by-zero
-        return Value::Double(a / b);
-      default: break;
-    }
-  } else {
-    int64_t a = l.AsInt64();
-    int64_t b = r.AsInt64();
-    switch (op) {
-      case ArithOp::kAdd: return Value::Int64(a + b);
-      case ArithOp::kSub: return Value::Int64(a - b);
-      case ArithOp::kMul: return Value::Int64(a * b);
-      case ArithOp::kDiv:
-        if (b == 0) return Value::Null();
-        return Value::Int64(a / b);
-      default: break;
-    }
-  }
-  return Status::Internal("bad arith op");
+  return ArithValuesTotal(op, l, r);
 }
 
 }  // namespace
@@ -99,22 +54,22 @@ Result<Value> Eval(const Expression& expr, const Row& row) {
       // Three-valued AND/OR with short circuit where sound.
       BEAS_ASSIGN_OR_RETURN(Value l, Eval(*expr.children[0], row));
       if (expr.logic == LogicOp::kAnd) {
-        if (!l.is_null() && l.AsInt64() == 0) return BoolValue(false);
+        if (!l.is_null() && l.AsInt64() == 0) return BoolValueOf(false);
         BEAS_ASSIGN_OR_RETURN(Value r, Eval(*expr.children[1], row));
-        if (!r.is_null() && r.AsInt64() == 0) return BoolValue(false);
+        if (!r.is_null() && r.AsInt64() == 0) return BoolValueOf(false);
         if (l.is_null() || r.is_null()) return Value::Null();
-        return BoolValue(true);
+        return BoolValueOf(true);
       }
-      if (!l.is_null() && l.AsInt64() != 0) return BoolValue(true);
+      if (!l.is_null() && l.AsInt64() != 0) return BoolValueOf(true);
       BEAS_ASSIGN_OR_RETURN(Value r, Eval(*expr.children[1], row));
-      if (!r.is_null() && r.AsInt64() != 0) return BoolValue(true);
+      if (!r.is_null() && r.AsInt64() != 0) return BoolValueOf(true);
       if (l.is_null() || r.is_null()) return Value::Null();
-      return BoolValue(false);
+      return BoolValueOf(false);
     }
     case ExprKind::kNot: {
       BEAS_ASSIGN_OR_RETURN(Value v, Eval(*expr.children[0], row));
       if (v.is_null()) return Value::Null();
-      return BoolValue(v.AsInt64() == 0);
+      return BoolValueOf(v.AsInt64() == 0);
     }
     case ExprKind::kNeg: {
       BEAS_ASSIGN_OR_RETURN(Value v, Eval(*expr.children[0], row));
@@ -135,23 +90,23 @@ Result<Value> Eval(const Expression& expr, const Row& row) {
       BEAS_ASSIGN_OR_RETURN(Value ge, EvalCompare(CompareOp::kGe, v, lo));
       BEAS_ASSIGN_OR_RETURN(Value le, EvalCompare(CompareOp::kLe, v, hi));
       if (ge.is_null() || le.is_null()) return Value::Null();
-      return BoolValue(ge.AsInt64() != 0 && le.AsInt64() != 0);
+      return BoolValueOf(ge.AsInt64() != 0 && le.AsInt64() != 0);
     }
     case ExprKind::kInList: {
       BEAS_ASSIGN_OR_RETURN(Value v, Eval(*expr.children[0], row));
       if (v.is_null()) return Value::Null();
       for (const Value& item : expr.in_values) {
         if (item.is_null()) continue;
-        if (ComparableTypes(v, item) && v.Compare(item) == 0) {
-          return BoolValue(true);
+        if (ComparableValues(v, item) && v.Compare(item) == 0) {
+          return BoolValueOf(true);
         }
       }
-      return BoolValue(false);
+      return BoolValueOf(false);
     }
     case ExprKind::kIsNull: {
       BEAS_ASSIGN_OR_RETURN(Value v, Eval(*expr.children[0], row));
       bool is_null = v.is_null();
-      return BoolValue(expr.negated ? !is_null : is_null);
+      return BoolValueOf(expr.negated ? !is_null : is_null);
     }
   }
   return Status::Internal("bad expression kind");

@@ -1,0 +1,424 @@
+#include "expr/expr_program.h"
+
+#include "expr/value_kernels.h"
+
+namespace beas {
+
+namespace {
+
+/// Static comparability: kNull operands always yield NULL at runtime, so
+/// they are trivially sound.
+bool StaticallyComparable(TypeId a, TypeId b) {
+  if (a == TypeId::kNull || b == TypeId::kNull) return true;
+  if (NumericFamilyType(a) && NumericFamilyType(b)) return true;
+  return a == b;
+}
+
+bool StaticallyArithmetic(TypeId t) {
+  return t == TypeId::kInt64 || t == TypeId::kDouble || t == TypeId::kNull;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Compilation. EmitExpr returns the static result type (kNull = provably
+// always NULL) or nullopt when the subtree is not soundly compilable. The
+// recursion visits children left-to-right and registers literals at the
+// node that owns them — BindLiterals repeats exactly this traversal.
+// ---------------------------------------------------------------------------
+
+std::optional<ExprProgram> ExprProgram::Compile(
+    const Expression& expr, const std::vector<int64_t>& slot_of_column) {
+  ExprProgram program;
+  size_t depth = 0;
+
+  // Recursive lambda via explicit function object.
+  struct Emitter {
+    ExprProgram* p;
+    const std::vector<int64_t>& slots;
+    size_t* depth;
+    bool failed = false;
+
+    void Push() {
+      ++*depth;
+      if (*depth > p->max_stack_) p->max_stack_ = *depth;
+    }
+    void Pop(size_t n) { *depth -= n; }
+
+    /// Returns the static type of the subtree (kNull = always NULL).
+    TypeId Emit(const Expression& e) {
+      if (failed) return TypeId::kNull;
+      switch (e.kind) {
+        case ExprKind::kColumnRef: {
+          if (e.column_index >= slots.size() ||
+              slots[e.column_index] < 0) {
+            failed = true;
+            return TypeId::kNull;
+          }
+          Op op;
+          op.code = OpCode::kPushCol;
+          op.slot = static_cast<uint32_t>(slots[e.column_index]);
+          p->ops_.push_back(op);
+          Push();
+          return e.column_type;
+        }
+        case ExprKind::kLiteral: {
+          Op op;
+          op.code = OpCode::kPushLit;
+          op.lit_index = static_cast<uint32_t>(p->literal_types_.size());
+          p->literal_types_.push_back(e.literal.type());
+          p->ops_.push_back(op);
+          Push();
+          return e.literal.type();
+        }
+        case ExprKind::kCompare: {
+          TypeId l = Emit(*e.children[0]);
+          TypeId r = Emit(*e.children[1]);
+          if (failed || !StaticallyComparable(l, r)) {
+            failed = true;
+            return TypeId::kNull;
+          }
+          Op op;
+          op.code = OpCode::kCompare;
+          op.cmp = e.cmp;
+          p->ops_.push_back(op);
+          Pop(1);
+          return TypeId::kInt64;
+        }
+        case ExprKind::kLogic: {
+          Emit(*e.children[0]);
+          Emit(*e.children[1]);
+          if (failed) return TypeId::kNull;
+          Op op;
+          op.code = e.logic == LogicOp::kAnd ? OpCode::kAnd : OpCode::kOr;
+          p->ops_.push_back(op);
+          Pop(1);
+          return TypeId::kInt64;
+        }
+        case ExprKind::kNot: {
+          Emit(*e.children[0]);
+          if (failed) return TypeId::kNull;
+          p->ops_.push_back(Op{OpCode::kNot, CompareOp::kEq, ArithOp::kAdd,
+                               false, 0, 0, 0});
+          return TypeId::kInt64;
+        }
+        case ExprKind::kNeg: {
+          TypeId t = Emit(*e.children[0]);
+          if (failed || !StaticallyArithmetic(t)) {
+            failed = true;
+            return TypeId::kNull;
+          }
+          p->ops_.push_back(Op{OpCode::kNeg, CompareOp::kEq, ArithOp::kAdd,
+                               false, 0, 0, 0});
+          return t;
+        }
+        case ExprKind::kArith: {
+          TypeId l = Emit(*e.children[0]);
+          TypeId r = Emit(*e.children[1]);
+          if (failed || !StaticallyArithmetic(l) ||
+              !StaticallyArithmetic(r)) {
+            failed = true;
+            return TypeId::kNull;
+          }
+          if (e.arith == ArithOp::kMod &&
+              (l == TypeId::kDouble || r == TypeId::kDouble)) {
+            failed = true;  // evaluator raises "% requires integers"
+            return TypeId::kNull;
+          }
+          Op op;
+          op.code = OpCode::kArith;
+          op.arith = e.arith;
+          p->ops_.push_back(op);
+          Pop(1);
+          if (l == TypeId::kNull || r == TypeId::kNull) return TypeId::kNull;
+          return l == TypeId::kDouble || r == TypeId::kDouble
+                     ? TypeId::kDouble
+                     : TypeId::kInt64;
+        }
+        case ExprKind::kBetween: {
+          TypeId v = Emit(*e.children[0]);
+          TypeId lo = Emit(*e.children[1]);
+          TypeId hi = Emit(*e.children[2]);
+          if (failed || !StaticallyComparable(v, lo) ||
+              !StaticallyComparable(v, hi)) {
+            failed = true;
+            return TypeId::kNull;
+          }
+          p->ops_.push_back(Op{OpCode::kBetween, CompareOp::kEq,
+                               ArithOp::kAdd, false, 0, 0, 0});
+          Pop(2);
+          return TypeId::kInt64;
+        }
+        case ExprKind::kInList: {
+          Emit(*e.children[0]);
+          if (failed) return TypeId::kNull;
+          Op op;
+          op.code = OpCode::kInList;
+          op.lit_index = static_cast<uint32_t>(p->literal_types_.size());
+          op.list_count = static_cast<uint32_t>(e.in_values.size());
+          for (const Value& v : e.in_values) {
+            p->literal_types_.push_back(v.type());
+          }
+          p->ops_.push_back(op);
+          return TypeId::kInt64;
+        }
+        case ExprKind::kIsNull: {
+          Emit(*e.children[0]);
+          if (failed) return TypeId::kNull;
+          Op op;
+          op.code = OpCode::kIsNull;
+          op.negated = e.negated;
+          p->ops_.push_back(op);
+          return TypeId::kInt64;
+        }
+      }
+      failed = true;
+      return TypeId::kNull;
+    }
+  };
+
+  Emitter emitter{&program, slot_of_column, &depth};
+  emitter.Emit(expr);
+  if (emitter.failed) return std::nullopt;
+  program.DetectFastPattern();
+  return program;
+}
+
+void ExprProgram::DetectFastPattern() {
+  fast_ = FastPattern::kNone;
+  if (ops_.empty() || ops_[0].code != OpCode::kPushCol) return;
+  if (ops_.size() == 3 && ops_[1].code == OpCode::kPushLit &&
+      ops_[2].code == OpCode::kCompare) {
+    fast_ = FastPattern::kColCmpLit;
+  } else if (ops_.size() == 4 && ops_[1].code == OpCode::kPushLit &&
+             ops_[2].code == OpCode::kPushLit &&
+             ops_[3].code == OpCode::kBetween) {
+    fast_ = FastPattern::kColBetween;
+  } else if (ops_.size() == 2 && ops_[1].code == OpCode::kInList) {
+    fast_ = FastPattern::kColInList;
+  } else if (ops_.size() == 2 && ops_[1].code == OpCode::kIsNull) {
+    fast_ = FastPattern::kColIsNull;
+  }
+}
+
+namespace {
+
+/// The literal-collection twin of the compile traversal: children
+/// left-to-right, literals registered at the owning node.
+void CollectLiterals(const Expression& e, std::vector<Value>* out) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      out->push_back(e.literal);
+      return;
+    case ExprKind::kInList:
+      CollectLiterals(*e.children[0], out);
+      for (const Value& v : e.in_values) out->push_back(v);
+      return;
+    default:
+      for (const ExprPtr& child : e.children) CollectLiterals(*child, out);
+      return;
+  }
+}
+
+}  // namespace
+
+Result<std::vector<Value>> ExprProgram::BindLiterals(
+    const Expression& expr) const {
+  std::vector<Value> literals;
+  literals.reserve(literal_types_.size());
+  CollectLiterals(expr, &literals);
+  if (literals.size() != literal_types_.size()) {
+    return Status::Internal("literal arity diverged from compiled program");
+  }
+  for (size_t i = 0; i < literals.size(); ++i) {
+    if (literals[i].type() != literal_types_[i]) {
+      return Status::Internal("literal type diverged from compiled program");
+    }
+  }
+  return literals;
+}
+
+Value ExprProgram::EvalRow(const std::vector<std::vector<Value>>& cols,
+                           size_t row, const std::vector<Value>& literals,
+                           std::vector<Value>* stack) const {
+  stack->clear();
+  for (const Op& op : ops_) {
+    switch (op.code) {
+      case OpCode::kPushCol:
+        stack->push_back(cols[op.slot][row]);
+        break;
+      case OpCode::kPushLit:
+        stack->push_back(literals[op.lit_index]);
+        break;
+      case OpCode::kCompare: {
+        Value r = std::move(stack->back());
+        stack->pop_back();
+        stack->back() = CompareValuesTotal(op.cmp, stack->back(), r);
+        break;
+      }
+      case OpCode::kAnd: {
+        Value r = std::move(stack->back());
+        stack->pop_back();
+        const Value& l = stack->back();
+        bool l_false = !l.is_null() && l.AsInt64() == 0;
+        bool r_false = !r.is_null() && r.AsInt64() == 0;
+        if (l_false || r_false) {
+          stack->back() = BoolValueOf(false);
+        } else if (l.is_null() || r.is_null()) {
+          stack->back() = Value::Null();
+        } else {
+          stack->back() = BoolValueOf(true);
+        }
+        break;
+      }
+      case OpCode::kOr: {
+        Value r = std::move(stack->back());
+        stack->pop_back();
+        const Value& l = stack->back();
+        bool l_true = !l.is_null() && l.AsInt64() != 0;
+        bool r_true = !r.is_null() && r.AsInt64() != 0;
+        if (l_true || r_true) {
+          stack->back() = BoolValueOf(true);
+        } else if (l.is_null() || r.is_null()) {
+          stack->back() = Value::Null();
+        } else {
+          stack->back() = BoolValueOf(false);
+        }
+        break;
+      }
+      case OpCode::kNot: {
+        const Value& v = stack->back();
+        stack->back() =
+            v.is_null() ? Value::Null() : BoolValueOf(v.AsInt64() == 0);
+        break;
+      }
+      case OpCode::kNeg: {
+        const Value& v = stack->back();
+        if (v.is_null()) {
+          stack->back() = Value::Null();
+        } else if (v.type() == TypeId::kInt64) {
+          stack->back() = Value::Int64(-v.AsInt64());
+        } else {
+          stack->back() = Value::Double(-v.AsDouble());
+        }
+        break;
+      }
+      case OpCode::kArith: {
+        Value r = std::move(stack->back());
+        stack->pop_back();
+        stack->back() = ArithValuesTotal(op.arith, stack->back(), r);
+        break;
+      }
+      case OpCode::kBetween: {
+        Value hi = std::move(stack->back());
+        stack->pop_back();
+        Value lo = std::move(stack->back());
+        stack->pop_back();
+        const Value& v = stack->back();
+        Value ge = CompareValuesTotal(CompareOp::kGe, v, lo);
+        Value le = CompareValuesTotal(CompareOp::kLe, v, hi);
+        if (ge.is_null() || le.is_null()) {
+          stack->back() = Value::Null();
+        } else {
+          stack->back() = BoolValueOf(ge.AsInt64() != 0 && le.AsInt64() != 0);
+        }
+        break;
+      }
+      case OpCode::kInList: {
+        const Value& v = stack->back();
+        if (v.is_null()) {
+          stack->back() = Value::Null();
+          break;
+        }
+        bool found = false;
+        for (uint32_t i = 0; i < op.list_count && !found; ++i) {
+          const Value& item = literals[op.lit_index + i];
+          if (item.is_null()) continue;
+          found = ComparableValues(v, item) && v.Compare(item) == 0;
+        }
+        stack->back() = BoolValueOf(found);
+        break;
+      }
+      case OpCode::kIsNull: {
+        bool is_null = stack->back().is_null();
+        stack->back() = BoolValueOf(op.negated ? !is_null : is_null);
+        break;
+      }
+    }
+  }
+  return std::move(stack->back());
+}
+
+void ExprProgram::FilterBatch(const std::vector<std::vector<Value>>& cols,
+                              size_t num_rows,
+                              const std::vector<Value>& literals,
+                              std::vector<char>* keep) const {
+  switch (fast_) {
+    case FastPattern::kColCmpLit: {
+      const std::vector<Value>& col = cols[ops_[0].slot];
+      const Value& lit = literals[ops_[1].lit_index];
+      CompareOp cmp = ops_[2].cmp;
+      for (size_t r = 0; r < num_rows; ++r) {
+        if (!(*keep)[r]) continue;
+        Value v = CompareValuesTotal(cmp, col[r], lit);
+        if (v.is_null() || v.AsInt64() == 0) (*keep)[r] = 0;
+      }
+      return;
+    }
+    case FastPattern::kColBetween: {
+      const std::vector<Value>& col = cols[ops_[0].slot];
+      const Value& lo = literals[ops_[1].lit_index];
+      const Value& hi = literals[ops_[2].lit_index];
+      for (size_t r = 0; r < num_rows; ++r) {
+        if (!(*keep)[r]) continue;
+        Value ge = CompareValuesTotal(CompareOp::kGe, col[r], lo);
+        Value le = CompareValuesTotal(CompareOp::kLe, col[r], hi);
+        bool pass = !ge.is_null() && !le.is_null() && ge.AsInt64() != 0 &&
+                    le.AsInt64() != 0;
+        if (!pass) (*keep)[r] = 0;
+      }
+      return;
+    }
+    case FastPattern::kColInList: {
+      const std::vector<Value>& col = cols[ops_[0].slot];
+      const Op& in = ops_[1];
+      for (size_t r = 0; r < num_rows; ++r) {
+        if (!(*keep)[r]) continue;
+        const Value& v = col[r];
+        if (v.is_null()) {
+          (*keep)[r] = 0;
+          continue;
+        }
+        bool found = false;
+        for (uint32_t i = 0; i < in.list_count && !found; ++i) {
+          const Value& item = literals[in.lit_index + i];
+          if (item.is_null()) continue;
+          found = ComparableValues(v, item) && v.Compare(item) == 0;
+        }
+        if (!found) (*keep)[r] = 0;
+      }
+      return;
+    }
+    case FastPattern::kColIsNull: {
+      const std::vector<Value>& col = cols[ops_[0].slot];
+      bool negated = ops_[1].negated;
+      for (size_t r = 0; r < num_rows; ++r) {
+        if (!(*keep)[r]) continue;
+        bool is_null = col[r].is_null();
+        if ((negated ? !is_null : is_null) == false) (*keep)[r] = 0;
+      }
+      return;
+    }
+    case FastPattern::kNone:
+      break;
+  }
+  std::vector<Value> stack;
+  stack.reserve(max_stack_);
+  for (size_t r = 0; r < num_rows; ++r) {
+    if (!(*keep)[r]) continue;
+    Value v = EvalRow(cols, r, literals, &stack);
+    if (v.is_null() || v.AsInt64() == 0) (*keep)[r] = 0;
+  }
+}
+
+}  // namespace beas

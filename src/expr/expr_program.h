@@ -1,0 +1,108 @@
+#ifndef BEAS_EXPR_EXPR_PROGRAM_H_
+#define BEAS_EXPR_EXPR_PROGRAM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/expression.h"
+
+namespace beas {
+
+/// \brief A bound expression compiled to a flat, slot-addressed postfix
+/// program, evaluated over columnar batches without tree walks, per-node
+/// Result allocations, or per-execution RebindColumns copies.
+///
+/// Compilation separates the *template-stable* structure (op sequence,
+/// column slots, literal arity/types) from the *per-instance* literal
+/// values: every literal — parameterized or not — is referenced through a
+/// literal table that `BindLiterals` re-collects from the current
+/// instance's expression tree in one cheap walk. A cached program is
+/// therefore reused verbatim across all instances of a query template.
+///
+/// `Compile` refuses (returns nullopt) any expression whose evaluation
+/// could raise a type error at runtime (e.g. comparing a string column
+/// with a numeric literal): the tree evaluator's AND/OR short-circuit can
+/// shield such subtrees, and the batch evaluator — which does not
+/// short-circuit — must never surface an error the scalar path would
+/// swallow. Callers fall back to the interpreted tree walk in that case.
+/// For everything it accepts, evaluation is total and exactly mirrors
+/// Eval()'s three-valued logic.
+class ExprProgram {
+ public:
+  /// Compiles `expr` against `slot_of_column`: the row slot of every
+  /// column index the expression references (-1 = not available, compile
+  /// fails). Returns nullopt when the expression is not soundly
+  /// compilable.
+  static std::optional<ExprProgram> Compile(
+      const Expression& expr, const std::vector<int64_t>& slot_of_column);
+
+  /// Collects the literal values of `expr` — an instance of the same
+  /// template this program was compiled from — in compile order,
+  /// validating count and types. Errors mean "evaluate this instance with
+  /// the interpreted path instead".
+  Result<std::vector<Value>> BindLiterals(const Expression& expr) const;
+
+  /// Evaluates the program for row `row` of the columnar data. `stack` is
+  /// caller-provided scratch reused across rows. Total: never errors for
+  /// programs Compile accepted.
+  Value EvalRow(const std::vector<std::vector<Value>>& cols, size_t row,
+                const std::vector<Value>& literals,
+                std::vector<Value>* stack) const;
+
+  /// Predicate form over a whole batch: clears keep[r] when the result is
+  /// NULL or falsy (EvalPredicate semantics). keep must have `num_rows`
+  /// entries.
+  void FilterBatch(const std::vector<std::vector<Value>>& cols,
+                   size_t num_rows, const std::vector<Value>& literals,
+                   std::vector<char>* keep) const;
+
+  size_t num_literals() const { return literal_types_.size(); }
+
+ private:
+  enum class OpCode : uint8_t {
+    kPushCol,
+    kPushLit,
+    kCompare,
+    kAnd,
+    kOr,
+    kNot,
+    kNeg,
+    kArith,
+    kBetween,
+    kInList,
+    kIsNull,
+  };
+
+  struct Op {
+    OpCode code = OpCode::kPushCol;
+    CompareOp cmp = CompareOp::kEq;
+    ArithOp arith = ArithOp::kAdd;
+    bool negated = false;          ///< kIsNull
+    uint32_t slot = 0;             ///< kPushCol
+    uint32_t lit_index = 0;        ///< kPushLit; kInList: first list value
+    uint32_t list_count = 0;       ///< kInList
+  };
+
+  /// Specializations of the overwhelmingly common single-column predicate
+  /// shapes, evaluated without touching the Value stack (no string copies).
+  enum class FastPattern : uint8_t {
+    kNone,
+    kColCmpLit,   ///< [PushCol, PushLit, Compare]
+    kColBetween,  ///< [PushCol, PushLit, PushLit, Between]
+    kColInList,   ///< [PushCol, InList]
+    kColIsNull,   ///< [PushCol, IsNull]
+  };
+
+  void DetectFastPattern();
+
+  std::vector<Op> ops_;
+  std::vector<TypeId> literal_types_;  ///< literal table shape (validation)
+  size_t max_stack_ = 0;
+  FastPattern fast_ = FastPattern::kNone;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_EXPR_EXPR_PROGRAM_H_

@@ -35,7 +35,9 @@ BeasService::BeasService(ServiceOptions options)
       maintenance_(&db_, &catalog_),
       session_(&db_, &catalog_),
       cache_(options_.cache_capacity, options_.cache_shards),
-      cache_enabled_(options_.enable_plan_cache) {
+      cache_enabled_(options_.enable_plan_cache),
+      // At least one worker, or Submit() futures would never resolve.
+      pool_(std::max<size_t>(1, options_.num_workers)) {
   // (b) incremental index maintenance: inserts/deletes update AC indices
   // in place, keeping cached plans valid — no cache invalidation here.
   maintenance_.Attach();
@@ -47,24 +49,9 @@ BeasService::BeasService(ServiceOptions options)
                                     const std::string&) {
     cache_.InvalidateTable(table);
   });
-  // At least one worker, or Submit() futures would never resolve.
-  options_.num_workers = std::max<size_t>(1, options_.num_workers);
-  workers_.reserve(options_.num_workers);
-  for (size_t i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
 }
 
-BeasService::~BeasService() {
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    stopping_ = true;
-  }
-  queue_cv_.notify_all();
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
-  }
-}
+BeasService::~BeasService() = default;
 
 // ---------------------------------------------------------------------------
 // Write side.
@@ -150,9 +137,11 @@ Result<ServiceResponse> BeasService::ExecuteLocked(const std::string& sql) {
   key.canonical = masked.text;
   key.hash = HashString(key.canonical);
 
-  // --- Fast path: instantiate the cached template, skipping parse+bind
-  // and the coverage / partial-plan search. ---
-  std::shared_ptr<const PlanCache::Entry> entry = cache_.Lookup(key);
+  // --- Fast path: instantiate the cached template (the variant matching
+  // this instance's frozen parameters), skipping parse+bind and the
+  // coverage / partial-plan search. ---
+  std::shared_ptr<const PlanCache::Entry> entry =
+      cache_.Lookup(key, masked.params);
   BoundQuery query;
   bool have_query = false;
   if (entry != nullptr && entry->prepared != nullptr) {
@@ -164,8 +153,7 @@ Result<ServiceResponse> BeasService::ExecuteLocked(const std::string& sql) {
       if (entry->covered) {
         Result<BoundedPlan> plan = RebindPlanConstants(entry->plan, query);
         if (plan.ok()) {
-          BoundedExecOptions exec_options;
-          exec_options.collect_stats = false;
+          BoundedExecOptions exec_options = FastPathOptions(*entry);
           ServiceResponse resp;
           resp.cache_hit = true;
           resp.template_hash = key.hash;
@@ -196,6 +184,7 @@ Result<ServiceResponse> BeasService::ExecuteLocked(const std::string& sql) {
         if (rebound) {
           BoundedExecOptions exec_options;
           exec_options.collect_stats = false;
+          exec_options.probe_pool = &pool_;
           BEAS_ASSIGN_OR_RETURN(
               PartialPlanResult partial,
               session_.ExecutePartialChoice(
@@ -227,6 +216,15 @@ Result<ServiceResponse> BeasService::ExecuteLocked(const std::string& sql) {
   return ExecuteMiss(sql, masked, std::move(query));
 }
 
+BoundedExecOptions BeasService::FastPathOptions(
+    const PlanCache::Entry& entry) const {
+  BoundedExecOptions options;
+  options.collect_stats = false;
+  options.compiled = entry.compiled.get();
+  options.probe_pool = &pool_;
+  return options;
+}
+
 std::shared_ptr<PlanCache::Entry> BeasService::MakeEntry(
     const std::string& sql, const SqlTemplate& masked,
     const QueryTemplate& tmpl, const BoundQuery& query,
@@ -241,6 +239,14 @@ std::shared_ptr<PlanCache::Entry> BeasService::MakeEntry(
   if (coverage.covered) {
     entry->covered_explanation =
         BoundedExplanation(coverage.plan.total_access_bound, /*cached=*/true);
+    // Compile the vectorized step programs once per template; every cache
+    // hit executes with them directly (no per-query layout/rebind work).
+    Result<CompiledPlan> compiled =
+        CompileBoundedPlan(query, coverage.plan, catalog_);
+    if (compiled.ok()) {
+      entry->compiled =
+          std::make_shared<const CompiledPlan>(std::move(*compiled));
+    }
   }
   // Validate the hot-path masker against the reference lexer once per
   // template; on agreement the entry carries a substitutable binding.
@@ -271,8 +277,14 @@ Result<ServiceResponse> BeasService::ExecuteMiss(const std::string& sql,
       MakeEntry(sql, masked, tmpl, query, coverage);
 
   if (coverage.covered) {
-    BEAS_ASSIGN_OR_RETURN(resp.result,
-                          session_.ExecuteCovered(query, coverage.plan));
+    // First execution of the template: full telemetry, but already with
+    // the freshly compiled step programs and the probe pool.
+    BoundedExecOptions exec_options;
+    exec_options.compiled = entry->compiled.get();
+    exec_options.probe_pool = &pool_;
+    BEAS_ASSIGN_OR_RETURN(
+        resp.result,
+        session_.ExecuteCovered(query, coverage.plan, exec_options));
     resp.decision.mode = BeasSession::ExecutionDecision::Mode::kBounded;
     resp.decision.deduced_bound = coverage.plan.total_access_bound;
     resp.decision.explanation =
@@ -312,14 +324,18 @@ Result<ServiceResponse> BeasService::ExecuteBounded(const std::string& sql) {
   std::shared_lock<std::shared_mutex> lock(rw_mutex_);
   bool cache_hit = false;
   BoundQuery query;
+  std::shared_ptr<const PlanCache::Entry> entry;
   BEAS_ASSIGN_OR_RETURN(CoverageResult coverage,
-                        CheckLocked(sql, &cache_hit, &query));
+                        CheckLocked(sql, &cache_hit, &query, &entry));
   if (!coverage.covered) return Status::NotCovered(coverage.reason);
   // CheckLocked's plan is already rebound to this instance's constants.
   ServiceResponse resp;
   resp.cache_hit = cache_hit;
-  BEAS_ASSIGN_OR_RETURN(resp.result,
-                        session_.ExecuteCovered(query, coverage.plan));
+  BoundedExecOptions exec_options;
+  exec_options.probe_pool = &pool_;
+  if (entry != nullptr) exec_options.compiled = entry->compiled.get();
+  BEAS_ASSIGN_OR_RETURN(
+      resp.result, session_.ExecuteCovered(query, coverage.plan, exec_options));
   resp.decision.mode = BeasSession::ExecutionDecision::Mode::kBounded;
   resp.decision.deduced_bound = coverage.plan.total_access_bound;
   resp.decision.explanation =
@@ -345,10 +361,11 @@ Result<CoverageResult> BeasService::Check(const std::string& sql) {
   return CheckLocked(sql);
 }
 
-Result<CoverageResult> BeasService::CheckLocked(const std::string& sql,
-                                                bool* cache_hit,
-                                                BoundQuery* query_out) {
+Result<CoverageResult> BeasService::CheckLocked(
+    const std::string& sql, bool* cache_hit, BoundQuery* query_out,
+    std::shared_ptr<const PlanCache::Entry>* entry_out) {
   if (cache_hit != nullptr) *cache_hit = false;
+  if (entry_out != nullptr) entry_out->reset();
   if (!cache_enabled_.load(std::memory_order_relaxed)) {
     BEAS_ASSIGN_OR_RETURN(BoundQuery query, db_.Bind(sql));
     Result<CoverageResult> coverage = session_.Check(query);
@@ -367,7 +384,8 @@ Result<CoverageResult> BeasService::CheckLocked(const std::string& sql,
   key.canonical = masked.text;
   key.hash = HashString(key.canonical);
 
-  std::shared_ptr<const PlanCache::Entry> entry = cache_.Lookup(key);
+  std::shared_ptr<const PlanCache::Entry> entry =
+      cache_.Lookup(key, masked.params);
   if (entry != nullptr && entry->prepared != nullptr) {
     Result<BoundQuery> inst =
         InstantiatePrepared(*entry->prepared, masked.params);
@@ -384,6 +402,7 @@ Result<CoverageResult> BeasService::CheckLocked(const std::string& sql,
         coverage.nodes_explored = entry->nodes_explored;  // search saved
         if (cache_hit != nullptr) *cache_hit = true;
         if (query_out != nullptr) *query_out = std::move(*inst);
+        if (entry_out != nullptr) *entry_out = std::move(entry);
         return coverage;
       }
     }
@@ -395,6 +414,7 @@ Result<CoverageResult> BeasService::CheckLocked(const std::string& sql,
   if (tmpl.cacheable) {
     std::shared_ptr<PlanCache::Entry> fresh =
         MakeEntry(sql, masked, tmpl, query, coverage);
+    if (entry_out != nullptr) *entry_out = fresh;
     if (fresh->prepared != nullptr) {
       cache_.Insert(key, std::move(fresh));
     } else {
@@ -412,32 +432,13 @@ std::future<Result<ServiceResponse>> BeasService::Submit(
     const std::string& sql) {
   auto promise = std::make_shared<std::promise<Result<ServiceResponse>>>();
   std::future<Result<ServiceResponse>> future = promise->get_future();
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    if (stopping_) {
-      promise->set_value(Status::Internal("service is shutting down"));
-      return future;
-    }
-    queue_.push_back([this, promise, sql] {
-      promise->set_value(Execute(sql));
-    });
+  bool queued = pool_.Submit([this, promise, sql] {
+    promise->set_value(Execute(sql));
+  });
+  if (!queued) {
+    promise->set_value(Status::Internal("service is shutting down"));
   }
-  queue_cv_.notify_one();
   return future;
-}
-
-void BeasService::WorkerLoop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    task();
-  }
 }
 
 }  // namespace beas

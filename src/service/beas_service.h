@@ -2,18 +2,14 @@
 #define BEAS_SERVICE_BEAS_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
-#include <deque>
-#include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <shared_mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "bounded/beas_session.h"
+#include "common/task_pool.h"
 #include "engine/database.h"
 #include "maintenance/maintenance.h"
 #include "service/plan_cache.h"
@@ -141,10 +137,13 @@ class BeasService {
   /// Cached-path Check; caller holds the shared lock. `cache_hit` (may be
   /// null) reports whether the verdict came from the template cache;
   /// `query_out` (may be null) receives the bound or instantiated query
-  /// so callers can execute without re-binding.
-  Result<CoverageResult> CheckLocked(const std::string& sql,
-                                     bool* cache_hit = nullptr,
-                                     BoundQuery* query_out = nullptr);
+  /// so callers can execute without re-binding; `entry_out` (may be null)
+  /// receives the resident cache entry — hit or freshly inserted — whose
+  /// compiled step programs callers pass to the executor.
+  Result<CoverageResult> CheckLocked(
+      const std::string& sql, bool* cache_hit = nullptr,
+      BoundQuery* query_out = nullptr,
+      std::shared_ptr<const PlanCache::Entry>* entry_out = nullptr);
 
   /// Full per-query pipeline, bypassing the cache.
   Result<ServiceResponse> ExecuteUncachedQuery(const BoundQuery& query);
@@ -164,7 +163,9 @@ class BeasService {
                                               const BoundQuery& query,
                                               const CoverageResult& coverage);
 
-  void WorkerLoop();
+  /// Execution options of the cached fast path: telemetry off, compiled
+  /// step programs from `entry`, probe fan-out over the worker pool.
+  BoundedExecOptions FastPathOptions(const PlanCache::Entry& entry) const;
 
   ServiceOptions options_;
   Database db_;
@@ -178,12 +179,10 @@ class BeasService {
   /// changes) are exclusive.
   mutable std::shared_mutex rw_mutex_;
 
-  // Worker pool.
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  bool stopping_ = false;
+  /// Serves Submit() query dispatch AND the bounded executor's sharded
+  /// index probes (ParallelFor lets the submitting thread participate, so
+  /// the two uses never deadlock on each other).
+  mutable TaskPool pool_;
 };
 
 }  // namespace beas

@@ -6,6 +6,49 @@
 
 namespace beas {
 
+namespace {
+
+/// True when `params` supplies the exact values of every frozen slot of
+/// the variant's prepared binding — the same check InstantiatePrepared
+/// re-verifies. A variant without a prepared binding carries no frozen
+/// information and matches anything.
+bool FrozenParamsMatch(const PlanCache::Entry& entry,
+                       const std::vector<Value>& params) {
+  if (entry.prepared == nullptr) return true;
+  const PreparedQuery& prepared = *entry.prepared;
+  if (prepared.params.size() != params.size()) return false;
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (prepared.substitutable[i]) continue;
+    if (params[i].type() != prepared.params[i].type() ||
+        params[i] != prepared.params[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Two entries are the same variant iff their frozen slots and frozen
+/// values coincide.
+bool SameFrozenSignature(const PlanCache::Entry& a,
+                         const PlanCache::Entry& b) {
+  if ((a.prepared == nullptr) != (b.prepared == nullptr)) return false;
+  if (a.prepared == nullptr) return true;
+  const PreparedQuery& pa = *a.prepared;
+  const PreparedQuery& pb = *b.prepared;
+  if (pa.params.size() != pb.params.size()) return false;
+  if (pa.substitutable != pb.substitutable) return false;
+  for (size_t i = 0; i < pa.params.size(); ++i) {
+    if (pa.substitutable[i]) continue;
+    if (pa.params[i].type() != pb.params[i].type() ||
+        pa.params[i] != pb.params[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 std::string PlanCacheStats::ToString() const {
   return StringPrintf(
       "plan cache: %llu hits, %llu misses, %llu evictions, "
@@ -27,7 +70,7 @@ PlanCache::PlanCache(size_t capacity, size_t num_shards) {
 }
 
 std::shared_ptr<const PlanCache::Entry> PlanCache::Lookup(
-    const QueryTemplate& key) {
+    const QueryTemplate& key, const std::vector<Value>& params) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.map.find(key.canonical);
@@ -35,9 +78,19 @@ std::shared_ptr<const PlanCache::Entry> PlanCache::Lookup(
     ++shard.misses;
     return nullptr;
   }
-  ++shard.hits;
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  return it->second->second;
+  std::vector<std::shared_ptr<const Entry>>& variants =
+      it->second->second.variants;
+  for (size_t v = 0; v < variants.size(); ++v) {
+    if (!FrozenParamsMatch(*variants[v], params)) continue;
+    // Freshen both the variant and the template.
+    if (v != 0) std::rotate(variants.begin(), variants.begin() + v,
+                            variants.begin() + v + 1);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.hits;
+    return variants.front();
+  }
+  ++shard.misses;  // template known, but no variant for these frozen values
+  return nullptr;
 }
 
 void PlanCache::Insert(const QueryTemplate& key,
@@ -46,16 +99,39 @@ void PlanCache::Insert(const QueryTemplate& key,
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.map.find(key.canonical);
   if (it != shard.map.end()) {
-    it->second->second = std::move(entry);
+    std::vector<std::shared_ptr<const Entry>>& variants =
+        it->second->second.variants;
+    bool replaced = false;
+    for (size_t v = 0; v < variants.size(); ++v) {
+      if (SameFrozenSignature(*variants[v], *entry)) {
+        variants.erase(variants.begin() + v);
+        replaced = true;
+        break;
+      }
+    }
+    variants.insert(variants.begin(), std::move(entry));
+    if (!replaced) {
+      ++shard.entry_count;
+      if (variants.size() > kMaxVariantsPerTemplate) {
+        variants.pop_back();
+        --shard.entry_count;
+        ++shard.evictions;
+      }
+    }
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.lru.emplace_front(key.canonical, std::move(entry));
+  Node node;
+  node.variants.push_back(std::move(entry));
+  shard.lru.emplace_front(key.canonical, std::move(node));
   shard.map[key.canonical] = shard.lru.begin();
+  ++shard.entry_count;
   while (shard.lru.size() > capacity_per_shard_) {
+    size_t dropped = shard.lru.back().second.variants.size();
+    shard.evictions += dropped;
+    shard.entry_count -= dropped;
     shard.map.erase(shard.lru.back().first);
     shard.lru.pop_back();
-    ++shard.evictions;
   }
 }
 
@@ -65,11 +141,12 @@ void PlanCache::InvalidateTable(const std::string& table) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {
-      const auto& tables = it->second->tables;
+      const auto& tables = it->second.variants.front()->tables;
       if (std::find(tables.begin(), tables.end(), needle) != tables.end()) {
+        shard.invalidations += it->second.variants.size();
+        shard.entry_count -= it->second.variants.size();
         shard.map.erase(it->first);
         it = shard.lru.erase(it);
-        ++shard.invalidations;
       } else {
         ++it;
       }
@@ -83,6 +160,7 @@ void PlanCache::Clear() {
     std::lock_guard<std::mutex> lock(shard.mutex);
     shard.map.clear();
     shard.lru.clear();
+    shard.entry_count = 0;
   }
 }
 
@@ -95,7 +173,7 @@ PlanCacheStats PlanCache::stats() const {
     out.misses += shard.misses;
     out.evictions += shard.evictions;
     out.invalidations += shard.invalidations;
-    out.entries += shard.lru.size();
+    out.entries += shard.entry_count;
   }
   out.uncacheable = uncacheable_.load();
   return out;

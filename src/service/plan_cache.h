@@ -13,6 +13,7 @@
 #include "binder/prepared_query.h"
 #include "bounded/bounded_plan.h"
 #include "bounded/plan_optimizer.h"
+#include "bounded/step_program.h"
 #include "service/template_key.h"
 
 namespace beas {
@@ -44,8 +45,22 @@ struct PlanCacheStats {
 /// registration/unregistration, bound adjustment, DDL) evict exactly the
 /// entries touching the affected table. Plain inserts/deletes are NOT
 /// invalidation events: AcIndex maintenance keeps cached plans valid.
+///
+/// ## Frozen-parameter variants
+///
+/// Some literal slots of a template are *frozen* (see PreparedQuery):
+/// their value steered a binder decision (e.g. `ORDER BY 1` vs
+/// `ORDER BY 2`), so instances differing there need different entries even
+/// though they share the masked text. Each LRU node therefore holds a
+/// small set of variants keyed by their frozen values; the param-aware
+/// Lookup returns the variant whose frozen slots match the incoming
+/// parameters, and Insert replaces only the same-signature variant —
+/// `ORDER BY 1` and `ORDER BY 2` instances coexist instead of evicting
+/// each other on every execution.
 class PlanCache {
  public:
+  /// Variants retained per template before the oldest is dropped.
+  static constexpr size_t kMaxVariantsPerTemplate = 8;
   /// \brief One cached template decision.
   struct Entry {
     bool covered = false;
@@ -68,6 +83,12 @@ class PlanCache {
     /// be validated for preparation (masker/lexer divergence).
     std::shared_ptr<const PreparedQuery> prepared;
 
+    /// Covered templates: the vectorized executor's compiled step
+    /// programs (resolved indices, layouts, predicate programs) — built
+    /// once per template, reused by every instance. Null when compilation
+    /// failed or the template is not covered. Invalidated with the entry.
+    std::shared_ptr<const CompiledPlan> compiled;
+
     /// Precomputed ExecutionDecision text for covered cache hits.
     std::string covered_explanation;
 
@@ -79,11 +100,16 @@ class PlanCache {
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
-  /// Returns the entry for `key` (touching its LRU position), or nullptr.
-  std::shared_ptr<const Entry> Lookup(const QueryTemplate& key);
+  /// Returns the variant whose frozen parameter slots match `params` (a
+  /// variant without a prepared binding matches any), or nullptr. Touches
+  /// the LRU position on a hit only.
+  std::shared_ptr<const Entry> Lookup(const QueryTemplate& key,
+                                      const std::vector<Value>& params);
 
-  /// Inserts or replaces the entry for `key`, evicting the shard's least
-  /// recently used entry when over capacity.
+  /// Inserts or replaces the same-frozen-signature variant for `key`,
+  /// evicting the shard's least recently used template when over capacity
+  /// and the oldest variant when a template exceeds
+  /// kMaxVariantsPerTemplate.
   void Insert(const QueryTemplate& key, std::shared_ptr<const Entry> entry);
 
   /// Drops every entry whose template touches `table` (case-insensitive).
@@ -98,11 +124,17 @@ class PlanCache {
   PlanCacheStats stats() const;
 
  private:
+  /// All cached variants of one template, most recently used first.
+  struct Node {
+    std::vector<std::shared_ptr<const Entry>> variants;
+  };
+
   struct Shard {
     mutable std::mutex mutex;
-    /// Front = most recently used. Pairs of (canonical key, entry).
-    std::list<std::pair<std::string, std::shared_ptr<const Entry>>> lru;
+    /// Front = most recently used. Pairs of (canonical key, variants).
+    std::list<std::pair<std::string, Node>> lru;
     std::unordered_map<std::string, decltype(lru)::iterator> map;
+    size_t entry_count = 0;  ///< Σ variants, kept O(1) for stats()
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;

@@ -105,7 +105,7 @@ using ValueVec = std::vector<Value>;
 /// \brief Hash functor for ValueVec keys in unordered containers.
 struct ValueVecHash {
   size_t operator()(const ValueVec& v) const {
-    uint64_t seed = 0x2545F4914F6CDD1DULL;
+    uint64_t seed = kValueVecHashSeed;
     for (const Value& x : v) HashCombine(&seed, x.Hash());
     return static_cast<size_t>(seed);
   }

@@ -456,6 +456,43 @@ TEST_F(BoundedTest, TwoProjectionsOfSameAtomNotCovered) {
   EXPECT_TRUE(single->covered) << single->reason;
 }
 
+// Regression for the budget-cap edge: a step that starts with the budget
+// already exhausted must serve ZERO keys (η -> 0 for the step), not
+// degrade to a cap of 1 and silently over-fetch while claiming coverage.
+// Both executor paths must agree exactly.
+TEST_F(BoundedTest, BudgetExhaustionServesZeroKeysMidChain) {
+  const char* sql =
+      "SELECT package.pid FROM call, package WHERE call.pnum IN (7, 8) AND "
+      "call.date = '2016-03-15' AND package.pnum = call.pnum AND "
+      "package.year = 2016";
+  CoverageResult cov = MustCheck(sql);
+  ASSERT_TRUE(cov.covered) << cov.reason;
+  ASSERT_EQ(cov.plan.steps.size(), 2u);
+  BoundQuery q = MustBind(sql);
+  BoundedExecutor executor(catalog_.get());
+  // Whichever step order the optimizer picks, each step's exact need is 3
+  // fetched tuples (keys 7 and 8 with bucket sizes 2 + 1 on both tables).
+  for (bool vectorized : {true, false}) {
+    SCOPED_TRACE(vectorized ? "vectorized" : "scalar");
+    BoundedExecOptions options;
+    options.use_vectorized = vectorized;
+    options.fetch_budget = 3;  // exactly consumed by step 1
+    BoundedExecStats stats;
+    auto r = executor.Execute(q, cov.plan, options, &stats);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(stats.tuples_fetched, 3u);  // step 2 fetched nothing
+    EXPECT_DOUBLE_EQ(stats.eta, 0.0);     // 0 of step 2's 2 keys served
+    EXPECT_TRUE(r->rows.empty());
+
+    options.fetch_budget = 4;  // exhausts mid-step-2: 1 of 2 keys served
+    auto r2 = executor.Execute(q, cov.plan, options, &stats);
+    ASSERT_TRUE(r2.ok());
+    EXPECT_DOUBLE_EQ(stats.eta, 0.5);
+    EXPECT_EQ(stats.tuples_fetched, 5u);
+    EXPECT_FALSE(r2->rows.empty());
+  }
+}
+
 TEST_F(BoundedTest, EmptyXConstraintActsAsGlobalBound) {
   AsCatalog catalog2(&db_);
   ASSERT_TRUE(

@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <mutex>
+#include <unordered_set>
+
+#include "common/hash.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/task_pool.h"
 
 namespace beas {
 namespace {
@@ -199,6 +205,96 @@ TEST(RngTest, PickReturnsElement) {
     int x = rng.Pick(v);
     EXPECT_TRUE(x == 10 || x == 20 || x == 30);
   }
+}
+
+// ---------------------------------------------------------------------------
+// HashString / HashBytes: the shared 64-bit string hash.
+// ---------------------------------------------------------------------------
+
+TEST(HashTest, StringHashAvalanche) {
+  // Flipping any single input bit should flip about half the output bits
+  // (murmur-style finalizer); a weak hash fails the per-flip band badly.
+  const std::string base = "the quick brown fox jumps over 1234567890";
+  uint64_t h0 = HashString(base);
+  int total_flips = 0;
+  int samples = 0;
+  for (size_t i = 0; i < base.size(); ++i) {
+    for (int b = 0; b < 8; ++b) {
+      std::string flipped = base;
+      flipped[i] = static_cast<char>(flipped[i] ^ (1 << b));
+      int flips = __builtin_popcountll(h0 ^ HashString(flipped));
+      EXPECT_GE(flips, 10) << "byte " << i << " bit " << b;
+      EXPECT_LE(flips, 54) << "byte " << i << " bit " << b;
+      total_flips += flips;
+      ++samples;
+    }
+  }
+  double avg = static_cast<double>(total_flips) / samples;
+  EXPECT_NEAR(avg, 32.0, 3.0);
+}
+
+TEST(HashTest, StringHashCollisionSanity) {
+  // Structured key families (shared prefixes, numeric suffixes) must not
+  // collide in 64 bits at this scale.
+  std::unordered_set<uint64_t> seen;
+  for (int i = 0; i < 20000; ++i) {
+    seen.insert(HashString("key_" + std::to_string(i)));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    seen.insert(HashString(std::string(i % 40, 'a') + std::to_string(i)));
+  }
+  EXPECT_EQ(seen.size(), 22000u);
+  // Length-sensitive: a trailing NUL byte is not the empty string.
+  EXPECT_NE(HashString(""), HashString(std::string(1, '\0')));
+  EXPECT_NE(HashBytes("abc", 3), HashBytes("abc", 2));
+}
+
+// ---------------------------------------------------------------------------
+// TaskPool.
+// ---------------------------------------------------------------------------
+
+TEST(TaskPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  TaskPool pool(3);
+  std::vector<std::atomic<int>> counts(997);
+  for (auto& c : counts) c.store(0);
+  pool.ParallelFor(counts.size(),
+                   [&](size_t i) { counts[i].fetch_add(1); });
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << i;
+  }
+}
+
+TEST(TaskPoolTest, ParallelForWorksWithoutWorkers) {
+  TaskPool pool(0);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(100, [&](size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(TaskPoolTest, ParallelForCompletesWhileWorkersAreBusy) {
+  // Workers blocked on long Submit tasks: the caller must drain the range
+  // itself (no deadlock).
+  TaskPool pool(2);
+  std::mutex m;
+  std::unique_lock<std::mutex> hold(m);
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&m] { std::lock_guard<std::mutex> wait(m); });
+  }
+  std::atomic<int> ran{0};
+  pool.ParallelFor(50, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 50);
+  hold.unlock();
+}
+
+TEST(TaskPoolTest, SubmitRunsTasks) {
+  std::atomic<int> ran{0};
+  {
+    TaskPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_TRUE(pool.Submit([&] { ran.fetch_add(1); }));
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(ran.load(), 20);
 }
 
 }  // namespace

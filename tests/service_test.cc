@@ -197,14 +197,14 @@ TEST(PlanCacheTest, HitMissAndLruEviction) {
   QueryTemplate b = KeyFor("b", {"t"});
   QueryTemplate c = KeyFor("c", {"t"});
 
-  EXPECT_EQ(cache.Lookup(a), nullptr);
+  EXPECT_EQ(cache.Lookup(a, {}), nullptr);
   cache.Insert(a, EntryFor({"t"}));
   cache.Insert(b, EntryFor({"t"}));
-  EXPECT_NE(cache.Lookup(a), nullptr);  // refreshes a; b is now LRU
+  EXPECT_NE(cache.Lookup(a, {}), nullptr);  // refreshes a; b is now LRU
   cache.Insert(c, EntryFor({"t"}));     // evicts b
-  EXPECT_NE(cache.Lookup(a), nullptr);
-  EXPECT_EQ(cache.Lookup(b), nullptr);
-  EXPECT_NE(cache.Lookup(c), nullptr);
+  EXPECT_NE(cache.Lookup(a, {}), nullptr);
+  EXPECT_EQ(cache.Lookup(b, {}), nullptr);
+  EXPECT_NE(cache.Lookup(c, {}), nullptr);
 
   PlanCacheStats stats = cache.stats();
   EXPECT_EQ(stats.entries, 2u);
@@ -223,9 +223,9 @@ TEST(PlanCacheTest, TableTargetedInvalidation) {
   cache.Insert(ab, EntryFor({"call", "package"}));
 
   cache.InvalidateTable("CALL");  // case-insensitive
-  EXPECT_EQ(cache.Lookup(a), nullptr);
-  EXPECT_EQ(cache.Lookup(ab), nullptr);
-  EXPECT_NE(cache.Lookup(b), nullptr);
+  EXPECT_EQ(cache.Lookup(a, {}), nullptr);
+  EXPECT_EQ(cache.Lookup(ab, {}), nullptr);
+  EXPECT_NE(cache.Lookup(b, {}), nullptr);
   EXPECT_EQ(cache.stats().invalidations, 2u);
 }
 
@@ -634,6 +634,38 @@ TEST_F(ServiceTest, PreparedInstantiationMatchesFullBind) {
   EXPECT_TRUE(n2.cache_hit);
   EXPECT_NE(n1.result.column_names[0], n2.result.column_names[0]);
   EXPECT_NE(n2.result.column_names[0].find("20"), std::string::npos);
+}
+
+// Frozen-parameter variants: two instances of one template that differ in
+// a frozen slot (ORDER BY position) get separate cache variants keyed on
+// (template, frozen values) — they coexist and both hit, instead of
+// evicting each other and re-planning every time.
+TEST_F(ServiceTest, FrozenParameterVariantsCoexistInTheCache) {
+  std::string by_recnum =
+      "SELECT call.recnum, call.region FROM call WHERE call.pnum = 7 AND "
+      "call.date = '2016-03-15' ORDER BY 1 DESC";
+  std::string by_region =
+      "SELECT call.recnum, call.region FROM call WHERE call.pnum = 7 AND "
+      "call.date = '2016-03-15' ORDER BY 2 DESC";
+  ServiceResponse first_recnum = MustExecute(by_recnum);
+  ServiceResponse first_region = MustExecute(by_region);
+  EXPECT_FALSE(first_recnum.cache_hit);
+  EXPECT_FALSE(first_region.cache_hit);  // new variant, not an eviction
+
+  // Both variants now resident: each re-execution hits its own entry.
+  ServiceResponse again_recnum = MustExecute(by_recnum);
+  ServiceResponse again_region = MustExecute(by_region);
+  EXPECT_TRUE(again_recnum.cache_hit) << "ORDER BY 1 variant was evicted";
+  EXPECT_TRUE(again_region.cache_hit) << "ORDER BY 2 variant was evicted";
+  EXPECT_EQ(again_recnum.result.rows[0][0], I(101));  // ordered by recnum
+  EXPECT_EQ(again_region.result.rows[0][1], S("R2"));  // ordered by region
+
+  // Substitutable parameters still roam freely within a variant.
+  ServiceResponse other_pnum = MustExecute(
+      "SELECT call.recnum, call.region FROM call WHERE call.pnum = 8 AND "
+      "call.date = '2016-03-15' ORDER BY 2 DESC");
+  EXPECT_TRUE(other_pnum.cache_hit);
+  EXPECT_EQ(other_pnum.result.rows[0][1], S("R1"));
 }
 
 // A template instance whose parameter drifts outside the cached literal's

@@ -6,6 +6,15 @@
 // tail), verifies result parity (rows, order, weights, η) per chain, and
 // emits BENCH_fetch_chain.json so CI tracks the perf trajectory.
 //
+// A second section drives *string-keyed* chains over a synthetic
+// three-level edge graph with ~30-byte node names, where every probe key
+// and every gathered payload is a string — the workload the dictionary
+// encoding targets. Each chain is timed three ways: scalar reference,
+// vectorized with dictionary encoding (the default), and vectorized with
+// interning disabled (the PR 2 executor's behavior); `dict_speedup` is
+// the dictionary's isolated contribution on the vectorized path, and all
+// three must produce identical fragments.
+//
 // Knobs: TLC_SF (default 32) data scale; FETCH_REPS (default 15) timing
 // reps; BENCH_JSON_PATH (default BENCH_fetch_chain.json).
 
@@ -52,6 +61,114 @@ double Geomean(const std::vector<double>& xs) {
   double log_sum = 0;
   for (double x : xs) log_sum += std::log(std::max(x, 1e-6));
   return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+// ---------------------------------------------------------------------------
+// String-keyed chains: a three-level edge graph whose keys and payloads
+// are all strings long enough (~30 bytes) to defeat SSO — the shape where
+// inline strings cost an allocation per copy and a byte hash per probe.
+// ---------------------------------------------------------------------------
+
+struct StringChainResult {
+  std::string name;
+  size_t steps = 0;
+  double frag_scalar_ms = 0;
+  double frag_vectorized_ms = 0;
+  double frag_speedup = 0;       ///< scalar / vectorized (dict on)
+  double frag_nodict_ms = 0;     ///< vectorized, interning disabled (PR 2)
+  double dict_speedup = 0;       ///< nodict / dict on the vectorized path
+  bool identical = false;
+};
+
+struct StringChainEnv {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<AsCatalog> catalog;
+  std::unique_ptr<BeasSession> session;
+};
+
+std::string NodeName(const char* level, int i) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s_%05d_padpadpadpadpadpadpad", level, i);
+  return buf;
+}
+
+/// Builds the edge graph with interning on or off: 4 roots x 64 level-1
+/// nodes, 32 edges per level-1 node into 1024 level-2 nodes, 8 edges per
+/// level-2 node into 256 level-3 nodes.
+StringChainEnv MakeStringChainEnv(double sf, bool dict_enabled) {
+  bool saved = TableHeap::default_dict_enabled();
+  TableHeap::default_dict_enabled() = dict_enabled;
+  StringChainEnv env;
+  env.db = std::make_unique<Database>();
+  int l1 = std::max(8, static_cast<int>(2 * sf));
+  int l2 = l1 * 4;
+  int l3 = std::max(16, l2 / 4);
+  Schema edge_schema({{"src", TypeId::kString}, {"dst", TypeId::kString}});
+  const char* names[] = {"e1", "e2", "e3"};
+  for (const char* name : names) {
+    if (!env.db->CreateTable(name, edge_schema).ok()) std::abort();
+  }
+  auto heap = [&](const char* name) {
+    return (*env.db->catalog()->GetTable(name))->heap();
+  };
+  std::vector<Row> rows;
+  for (int r = 0; r < 4; ++r) {
+    for (int i = 0; i < l1 / 4; ++i) {
+      rows.push_back({Value::String(NodeName("root", r)),
+                      Value::String(NodeName("l1", r * (l1 / 4) + i))});
+    }
+  }
+  heap("e1")->InsertBatchUnchecked(std::move(rows));
+  rows.clear();
+  for (int i = 0; i < l1; ++i) {
+    for (int j = 0; j < 32; ++j) {
+      rows.push_back({Value::String(NodeName("l1", i)),
+                      Value::String(NodeName("l2", (i * 32 + j) % l2))});
+    }
+  }
+  heap("e2")->InsertBatchUnchecked(std::move(rows));
+  rows.clear();
+  for (int k = 0; k < l2; ++k) {
+    for (int m = 0; m < 8; ++m) {
+      rows.push_back({Value::String(NodeName("l2", k)),
+                      Value::String(NodeName("l3", (k * 8 + m) % l3))});
+    }
+  }
+  heap("e3")->InsertBatchUnchecked(std::move(rows));
+
+  env.catalog = std::make_unique<AsCatalog>(env.db.get());
+  if (!env.catalog
+           ->Register(
+               {"chi1", "e1", {"src"}, {"dst"}, static_cast<uint64_t>(l1)})
+           .ok() ||
+      !env.catalog->Register({"chi2", "e2", {"src"}, {"dst"}, 32}).ok() ||
+      !env.catalog->Register({"chi3", "e3", {"src"}, {"dst"}, 8}).ok()) {
+    std::abort();
+  }
+  env.session =
+      std::make_unique<BeasSession>(env.db.get(), env.catalog.get());
+  TableHeap::default_dict_enabled() = saved;
+  return env;
+}
+
+const std::vector<std::pair<std::string, std::string>>& StringChainQueries() {
+  static const auto* kQueries =
+      new std::vector<std::pair<std::string, std::string>>{
+          {"S1",
+           "SELECT c.dst FROM e1 a, e2 b, e3 c WHERE a.src = '" +
+               NodeName("root", 0) + "' AND b.src = a.dst AND c.src = b.dst"},
+          {"S2",
+           "SELECT b.dst FROM e1 a, e2 b WHERE a.src IN ('" +
+               NodeName("root", 1) + "', '" + NodeName("root", 2) +
+               "') AND b.src = a.dst AND b.dst <> '" + NodeName("l2", 7) +
+               "'"},
+          {"S3",
+           "SELECT DISTINCT c.dst FROM e1 a, e2 b, e3 c WHERE a.src = '" +
+               NodeName("root", 3) +
+               "' AND b.src = a.dst AND c.src = b.dst AND c.dst >= '" +
+               NodeName("l3", 0) + "'"},
+      };
+  return *kQueries;
 }
 
 }  // namespace
@@ -123,6 +240,92 @@ int main() {
     results.push_back(r);
   }
 
+  // --- String-keyed chains: scalar vs vectorized+dict vs vectorized
+  // without interning (the PR 2 executor's string handling). ---
+  StringChainEnv dict_env = MakeStringChainEnv(sf, /*dict_enabled=*/true);
+  StringChainEnv nodict_env = MakeStringChainEnv(sf, /*dict_enabled=*/false);
+  BoundedExecutor dict_executor(dict_env.catalog.get());
+  BoundedExecutor nodict_executor(nodict_env.catalog.get());
+  std::vector<StringChainResult> string_results;
+  // Errors are tracked per section so a setup failure in one cannot be
+  // misreported as a divergence of the other.
+  bool string_error = false;
+  for (const auto& [id, sql] : StringChainQueries()) {
+    auto coverage = dict_env.session->Check(sql);
+    auto nd_coverage = nodict_env.session->Check(sql);
+    if (!coverage.ok() || !coverage->covered || !nd_coverage.ok() ||
+        !nd_coverage->covered) {
+      std::fprintf(stderr, "%s: string chain not covered (%s)\n", id.c_str(),
+                   coverage.ok() ? coverage->reason.c_str()
+                                 : coverage.status().ToString().c_str());
+      string_error = true;
+      continue;
+    }
+    auto bound = dict_env.db->Bind(sql);
+    auto nd_bound = nodict_env.db->Bind(sql);
+    if (!bound.ok() || !nd_bound.ok()) {
+      string_error = true;
+      continue;
+    }
+
+    BoundedExecOptions scalar_opts;
+    scalar_opts.use_vectorized = false;
+    scalar_opts.collect_stats = false;
+    BoundedExecOptions vec_opts;
+    vec_opts.collect_stats = false;
+    auto compiled = CompileBoundedPlan(*bound, coverage->plan, *dict_env.catalog);
+    if (compiled.ok()) vec_opts.compiled = &*compiled;
+    BoundedExecOptions nd_vec_opts;
+    nd_vec_opts.collect_stats = false;
+    auto nd_compiled =
+        CompileBoundedPlan(*nd_bound, nd_coverage->plan, *nodict_env.catalog);
+    if (nd_compiled.ok()) nd_vec_opts.compiled = &*nd_compiled;
+
+    auto frag_s = dict_executor.ExecuteFragment(*bound, coverage->plan,
+                                                scalar_opts);
+    auto frag_v = dict_executor.ExecuteFragment(*bound, coverage->plan,
+                                                vec_opts);
+    auto frag_nd = nodict_executor.ExecuteFragment(
+        *nd_bound, nd_coverage->plan, nd_vec_opts);
+    if (!frag_s.ok() || !frag_v.ok() || !frag_nd.ok()) {
+      std::fprintf(stderr, "%s: string chain executor error\n", id.c_str());
+      string_error = true;
+      continue;
+    }
+    for (int w = 0; w < 3; ++w) {
+      (void)dict_executor.ExecuteFragment(*bound, coverage->plan, vec_opts);
+      (void)nodict_executor.ExecuteFragment(*nd_bound, nd_coverage->plan,
+                                            nd_vec_opts);
+    }
+
+    StringChainResult r;
+    r.name = id;
+    r.steps = coverage->plan.steps.size();
+    r.identical = FragmentsIdentical(*frag_s, *frag_v) &&
+                  FragmentsIdentical(*frag_v, *frag_nd);
+    r.frag_scalar_ms = MedianMillis(
+        [&] {
+          (void)dict_executor.ExecuteFragment(*bound, coverage->plan,
+                                              scalar_opts);
+        },
+        reps);
+    r.frag_vectorized_ms = MedianMillis(
+        [&] {
+          (void)dict_executor.ExecuteFragment(*bound, coverage->plan,
+                                              vec_opts);
+        },
+        reps);
+    r.frag_nodict_ms = MedianMillis(
+        [&] {
+          (void)nodict_executor.ExecuteFragment(*nd_bound, nd_coverage->plan,
+                                                nd_vec_opts);
+        },
+        reps);
+    r.frag_speedup = r.frag_scalar_ms / std::max(r.frag_vectorized_ms, 1e-6);
+    r.dict_speedup = r.frag_nodict_ms / std::max(r.frag_vectorized_ms, 1e-6);
+    string_results.push_back(r);
+  }
+
   std::printf("%-6s %-6s | %-22s | %-22s | %-10s %s\n", "chain", "steps",
               "fetch chain s->v (ms)", "end-to-end s->v (ms)", "vec qps",
               "identical?");
@@ -152,6 +355,30 @@ int main() {
       fig4_speedup, results.size(), Geomean(frag_speedups),
       Geomean(exec_speedups), all_identical ? "bit-identical" : "DIVERGED");
 
+  std::printf(
+      "\n%-6s %-6s | %-30s | %-16s | %s\n", "chain", "steps",
+      "string fetch chain s->v (ms)", "nodict vec (ms)",
+      "dict speedup / identical?");
+  std::vector<double> string_speedups;
+  std::vector<double> dict_speedups;
+  bool strings_identical = !string_results.empty() && !string_error;
+  for (const StringChainResult& r : string_results) {
+    std::printf("%-6s %-6zu | %8.3f -> %8.3f %6.2fx | %12.3f | %5.2fx %s\n",
+                r.name.c_str(), r.steps, r.frag_scalar_ms,
+                r.frag_vectorized_ms, r.frag_speedup, r.frag_nodict_ms,
+                r.dict_speedup, r.identical ? "yes" : "NO");
+    string_speedups.push_back(r.frag_speedup);
+    dict_speedups.push_back(r.dict_speedup);
+    strings_identical &= r.identical;
+  }
+  all_identical &= strings_identical;
+  std::printf(
+      "\nstring-keyed chains: fetch-chain geomean %.2fx vs scalar; "
+      "dictionary encoding alone %.2fx vs the no-dict vectorized executor "
+      "(results %s)\n",
+      Geomean(string_speedups), Geomean(dict_speedups),
+      strings_identical ? "bit-identical" : "DIVERGED");
+
   FILE* json = std::fopen(json_path, "w");
   if (json != nullptr) {
     std::fprintf(json, "{\n  \"bench\": \"fetch_chain\",\n");
@@ -163,6 +390,27 @@ int main() {
                  Geomean(exec_speedups));
     std::fprintf(json, "  \"all_identical\": %s,\n",
                  all_identical ? "true" : "false");
+    std::fprintf(json, "  \"string_chain_speedup_geomean\": %.4f,\n",
+                 Geomean(string_speedups));
+    std::fprintf(json, "  \"string_dict_speedup_geomean\": %.4f,\n",
+                 Geomean(dict_speedups));
+    std::fprintf(json, "  \"string_chains\": [\n");
+    for (size_t i = 0; i < string_results.size(); ++i) {
+      const StringChainResult& r = string_results[i];
+      std::fprintf(
+          json,
+          "    {\"name\": \"%s\", \"steps\": %zu, "
+          "\"fetch_chain_scalar_ms\": %.4f, "
+          "\"fetch_chain_vectorized_ms\": %.4f, "
+          "\"fetch_chain_speedup\": %.4f, "
+          "\"vectorized_nodict_ms\": %.4f, \"dict_speedup\": %.4f, "
+          "\"identical\": %s}%s\n",
+          r.name.c_str(), r.steps, r.frag_scalar_ms, r.frag_vectorized_ms,
+          r.frag_speedup, r.frag_nodict_ms, r.dict_speedup,
+          r.identical ? "true" : "false",
+          i + 1 < string_results.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
     std::fprintf(json, "  \"chains\": [\n");
     for (size_t i = 0; i < results.size(); ++i) {
       const ChainResult& r = results[i];

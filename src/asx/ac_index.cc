@@ -10,6 +10,7 @@ Result<std::unique_ptr<AcIndex>> AcIndex::Build(AccessConstraint constraint,
                         constraint.ResolveY(heap.schema()));
   std::unique_ptr<AcIndex> index(new AcIndex(
       std::move(constraint), std::move(x_cols), std::move(y_cols)));
+  index->dict_ = heap.dict();
   for (auto it = heap.Begin(); it.Valid(); it.Next()) {
     index->OnInsert(it.row());
   }

@@ -24,6 +24,21 @@ namespace beas {
 ///
 /// Rows whose X-projection contains NULL are not indexed (SQL equality
 /// never matches NULL keys).
+///
+/// ## Dictionary-encoded string keys
+///
+/// Keys and buckets are projections of heap rows, and the heap interns
+/// every string at insert — so for a table with a dictionary, the stored
+/// X-keys are effectively *code vectors*: hashing a string component
+/// reads the dictionary's precomputed hash (zero byte hashing per probe)
+/// and equality against another value of the same dictionary is a uint32
+/// compare. Callers who probe with ad-hoc (inline) strings still get
+/// byte-correct answers — hashes agree across representations — but the
+/// bounded executor canonicalizes probe keys into this dictionary first
+/// (see dict()) to stay on the O(1) path. Codes are not order-preserving;
+/// this index is hash/equality only, so no ordering guarantee is needed
+/// here — range and ORDER BY consumers decode at the comparison
+/// (Value::Compare).
 class AcIndex {
  public:
   /// Builds the index over all live rows of `heap`. The declared bound
@@ -72,6 +87,11 @@ class AcIndex {
 
   const AccessConstraint& constraint() const { return constraint_; }
 
+  /// The indexed table's string dictionary (nullptr when the table has no
+  /// STRING columns or interning is off). Probe keys whose string
+  /// components are backed by this dictionary hash and compare in O(1).
+  const StringDict* dict() const { return dict_; }
+
   /// Patches the declared bound (maintenance module's periodic adjustment;
   /// the index structure itself is bound-agnostic).
   void set_limit(uint64_t n) { constraint_.limit_n = n; }
@@ -116,6 +136,7 @@ class AcIndex {
   AccessConstraint constraint_;
   std::vector<size_t> x_cols_;
   std::vector<size_t> y_cols_;
+  const StringDict* dict_ = nullptr;  ///< the indexed heap's dictionary
   std::unordered_map<ValueVec, Bucket, ValueVecHash, ValueVecEq> buckets_;
   size_t num_entries_ = 0;
 };

@@ -352,6 +352,15 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentScalar(
 // first-appearance order, batched (optionally sharded) index probes,
 // gather-based join, compiled predicate programs, hash-based weighted
 // dedup. Bit-identical to the scalar path (rows, order, weights, η).
+//
+// String columns ride the dictionary-encoded path end to end: probe-key
+// string constants are canonicalized into the probed table's dictionary
+// once per step, key parts coming from T carry their source dictionary's
+// precomputed hashes, and STRING output columns gather as uint32 code
+// columns — the chain moves 4-byte codes and array-read hashes where it
+// used to move std::strings and byte hashes. Representation never leaks
+// into results: dictionary-backed and inline values hash and compare
+// identically, so parity with the scalar reference is preserved.
 // ---------------------------------------------------------------------------
 
 Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentVectorized(
@@ -394,12 +403,34 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentVectorized(
     // Keys are materialized lazily: per-part hashes are precomputed
     // (constants once, IN-list elements once, T columns once per row), the
     // (row, combo) loop only combines them, and a ValueVec is built only
-    // when a key turns out to be distinct.
+    // when a key turns out to be distinct. For a dictionary-backed table,
+    // string constants are canonicalized into the table's dictionary up
+    // front and string parts from T are canonicalized when a distinct key
+    // is first seen — using hashes already in hand, so no byte hashing —
+    // which keeps every downstream probe and gather on the code path.
     ComboShape shape = ShapeOf(step);
     size_t num_parts = step.key_sources.size();
     size_t num_lists = shape.lists.size();
     size_t raw_keys = t.num_rows() * shape.combos;
+    const StringDict* dict = prog.dict;
 
+    // Re-encodes `v` as a code of `dict` when possible; `h` is v's hash
+    // (byte-identical across representations, so no rehash on success or
+    // failure). A miss means the string occurs nowhere in the probed
+    // table — the probe will find no bucket either way.
+    auto canonicalize = [dict](const Value& v, uint64_t h) -> Value {
+      if (dict == nullptr || v.type() != TypeId::kString ||
+          v.dict() == dict) {
+        return v;
+      }
+      int64_t code = dict->FindWithHash(v.AsString(), h);
+      return code >= 0
+                 ? Value::DictString(dict, static_cast<uint32_t>(code))
+                 : v;
+    };
+
+    std::vector<Value> const_vals(num_parts);
+    std::vector<std::vector<Value>> list_vals(num_lists);
     std::vector<uint64_t> part_const_hash(num_parts, 0);
     std::vector<std::vector<uint64_t>> part_list_hashes(num_lists);
     std::vector<std::vector<uint64_t>> part_col_hashes(num_parts);
@@ -409,23 +440,32 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentVectorized(
       for (size_t k = 0; k < num_parts; ++k) {
         const KeySource& src = step.key_sources[k];
         switch (src.kind) {
-          case KeySource::Kind::kConstant:
-            part_const_hash[k] = src.constant.Hash();
+          case KeySource::Kind::kConstant: {
+            uint64_t h = src.constant.Hash();
+            part_const_hash[k] = h;
+            const_vals[k] = canonicalize(src.constant, h);
             break;
+          }
           case KeySource::Kind::kConstantList: {
             list_of_part[k] = static_cast<int64_t>(list_idx);
             std::vector<uint64_t>& hashes = part_list_hashes[list_idx];
+            std::vector<Value>& vals = list_vals[list_idx];
             hashes.reserve(src.list.size());
-            for (const Value& v : src.list) hashes.push_back(v.Hash());
+            vals.reserve(src.list.size());
+            for (const Value& v : src.list) {
+              uint64_t h = v.Hash();
+              hashes.push_back(h);
+              vals.push_back(canonicalize(v, h));
+            }
             ++list_idx;
             break;
           }
           case KeySource::Kind::kFromT: {
-            const std::vector<Value>& col = t.column(src.t_column);
+            const BatchColumn& col = t.column(src.t_column);
             std::vector<uint64_t>& hashes = part_col_hashes[k];
             hashes.reserve(t.num_rows());
             for (size_t r = 0; r < t.num_rows(); ++r) {
-              hashes.push_back(col[r].Hash());
+              hashes.push_back(col.HashAt(r));
             }
             break;
           }
@@ -433,26 +473,80 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentVectorized(
       }
     }
 
-    // The value of part k for the current (row, combo).
+    // The value of part k for the current (row, combo). Constants and
+    // list elements are already canonical; T parts come out in their
+    // source column's representation (canonicalized at key creation).
     std::vector<size_t> list_elem(num_lists, 0);
-    auto part_value = [&](size_t k, size_t r) -> const Value& {
+    auto part_value = [&](size_t k, size_t r) -> Value {
       const KeySource& src = step.key_sources[k];
       switch (src.kind) {
         case KeySource::Kind::kConstant:
-          return src.constant;
+          return const_vals[k];
         case KeySource::Kind::kConstantList:
-          return src.list[list_elem[static_cast<size_t>(list_of_part[k])]];
+          return list_vals[static_cast<size_t>(list_of_part[k])]
+                          [list_elem[static_cast<size_t>(list_of_part[k])]];
         case KeySource::Kind::kFromT:
         default:
-          return t.column(src.t_column)[r];
+          return t.column(src.t_column).At(r);
+      }
+    };
+    // Equality of a stored key part against the current (row, combo)
+    // part, without materializing the latter: O(1) for encoded columns.
+    auto part_equals = [&](const Value& stored, size_t k, size_t r) -> bool {
+      const KeySource& src = step.key_sources[k];
+      switch (src.kind) {
+        case KeySource::Kind::kConstant:
+          return stored.Equals(const_vals[k]);
+        case KeySource::Kind::kConstantList:
+          return stored.Equals(
+              list_vals[static_cast<size_t>(list_of_part[k])]
+                       [list_elem[static_cast<size_t>(list_of_part[k])]]);
+        case KeySource::Kind::kFromT:
+        default: {
+          const BatchColumn& col = t.column(src.t_column);
+          if (col.encoded()) {
+            uint32_t code = col.codes[r];
+            if (stored.is_null()) return code == TupleBatch::kNullCode;
+            return stored.dict() == col.dict && code != TupleBatch::kNullCode &&
+                   stored.dict_code() == code;
+          }
+          return stored.Equals(col.values[r]);
+        }
+      }
+    };
+    // Hash of part k for (row, combo), read from the precomputed tables.
+    auto part_hash = [&](size_t k, size_t r) -> uint64_t {
+      const KeySource& src = step.key_sources[k];
+      switch (src.kind) {
+        case KeySource::Kind::kConstant:
+          return part_const_hash[k];
+        case KeySource::Kind::kConstantList:
+          return part_list_hashes[static_cast<size_t>(list_of_part[k])]
+                                 [list_elem[static_cast<size_t>(
+                                     list_of_part[k])]];
+        case KeySource::Kind::kFromT:
+        default:
+          return part_col_hashes[k][r];
       }
     };
 
     std::vector<uint32_t> key_ids;
     key_ids.reserve(raw_keys);
+    // Distinct keys, two views: `distinct_keys` preserves each part's
+    // source representation (what dedup equality runs against) and
+    // `probe_keys` is the dictionary-canonical form handed to the index
+    // and the gather. They share storage unless a T string part actually
+    // needed re-encoding.
     std::vector<ValueVec> distinct_keys;
+    std::vector<ValueVec> probe_keys;
     std::vector<uint64_t> key_hashes;
     std::vector<char> key_has_null;
+    bool canonicalize_t_parts = false;
+    if (dict != nullptr) {
+      for (const KeySource& src : step.key_sources) {
+        canonicalize_t_parts |= src.kind == KeySource::Kind::kFromT;
+      }
+    }
 
     size_t table_cap = HashTableCapacity(raw_keys * 2);
     size_t table_mask = table_cap - 1;
@@ -467,22 +561,7 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentVectorized(
         }
         uint64_t h = kValueVecHashSeed;
         for (size_t k = 0; k < num_parts; ++k) {
-          const KeySource& src = step.key_sources[k];
-          switch (src.kind) {
-            case KeySource::Kind::kConstant:
-              HashCombine(&h, part_const_hash[k]);
-              break;
-            case KeySource::Kind::kConstantList:
-              HashCombine(
-                  &h,
-                  part_list_hashes[static_cast<size_t>(list_of_part[k])]
-                                  [list_elem[static_cast<size_t>(
-                                      list_of_part[k])]]);
-              break;
-            case KeySource::Kind::kFromT:
-              HashCombine(&h, part_col_hashes[k][r]);
-              break;
-          }
+          HashCombine(&h, part_hash(k, r));
         }
         size_t slot = static_cast<size_t>(h) & table_mask;
         uint32_t id;
@@ -495,9 +574,17 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentVectorized(
             key.reserve(num_parts);
             bool has_null = false;
             for (size_t k = 0; k < num_parts; ++k) {
-              const Value& v = part_value(k, r);
+              Value v = part_value(k, r);
               has_null |= v.is_null();
-              key.push_back(v);
+              key.push_back(std::move(v));
+            }
+            if (canonicalize_t_parts) {
+              ValueVec canon;
+              canon.reserve(num_parts);
+              for (size_t k = 0; k < num_parts; ++k) {
+                canon.push_back(canonicalize(key[k], part_hash(k, r)));
+              }
+              probe_keys.push_back(std::move(canon));
             }
             distinct_keys.push_back(std::move(key));
             key_hashes.push_back(h);
@@ -508,7 +595,7 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentVectorized(
             const ValueVec& stored = distinct_keys[other];
             bool equal = true;
             for (size_t k = 0; k < num_parts && equal; ++k) {
-              equal = stored[k] == part_value(k, r);
+              equal = part_equals(stored[k], k, r);
             }
             if (equal) {
               id = other;
@@ -520,6 +607,9 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentVectorized(
         key_ids.push_back(id);
       }
     }
+    // The canonical view the index probes and the gather reads from.
+    const std::vector<ValueVec>& canon_keys =
+        canonicalize_t_parts ? probe_keys : distinct_keys;
 
     // --- Phase B: probe distinct keys (batched; sharded when large). ---
     size_t nkeys = distinct_keys.size();
@@ -533,7 +623,9 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentVectorized(
       // Exact evaluation: every key is served; probe the whole batch, in
       // shards across the pool when the fan-out is large. NULL-bearing
       // keys resolve to empty buckets inside LookupBatch and are excluded
-      // from probe accounting below, like the scalar path.
+      // from probe accounting below, like the scalar path. Keys are the
+      // canonical (dictionary-encoded) view, so string components hash by
+      // stored code — zero byte hashing inside the probe loop.
       TaskPool* pool = options.probe_pool;
       if (pool != nullptr && pool->num_threads() > 0 &&
           nkeys >= kParallelProbeThreshold) {
@@ -543,11 +635,11 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentVectorized(
         pool->ParallelFor(num_shards, [&](size_t s) {
           size_t begin = s * shard;
           size_t end = std::min(nkeys, begin + shard);
-          index->LookupBatch(&distinct_keys[begin], end - begin,
+          index->LookupBatch(&canon_keys[begin], end - begin,
                              &buckets[begin]);
         });
       } else {
-        index->LookupBatch(distinct_keys.data(), nkeys, buckets.data());
+        index->LookupBatch(canon_keys.data(), nkeys, buckets.data());
       }
       served_count = nkeys;
       for (size_t i = 0; i < nkeys; ++i) {
@@ -567,7 +659,7 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentVectorized(
           continue;
         }
         if (fetched_this_step >= budget.cap) continue;  // unserved
-        buckets[i] = index->LookupWithCounts(distinct_keys[i]);
+        buckets[i] = index->LookupWithCounts(canon_keys[i]);
         ++fragment.stats.keys_probed;
         fetched_this_step += buckets[i].size();
         fragment.stats.tuples_fetched += buckets[i].size();
@@ -625,27 +717,72 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentVectorized(
         next_hashes[i] = parent_hashes[src_row[i]];
       }
     }
+    // Parent columns: encoded columns gather 4-byte codes, generic ones
+    // gather Values.
     for (size_t c = 0; c < t.num_columns(); ++c) {
-      const std::vector<Value>& src = t.column(c);
-      std::vector<Value>& dst = next.column(c);
-      dst.reserve(out_count);
-      for (size_t i = 0; i < out_count; ++i) dst.push_back(src[src_row[i]]);
-    }
-    for (size_t a = 0; a < step.added_columns.size(); ++a) {
-      const StepProgram::OutSource& osrc = prog.out_sources[a];
-      std::vector<Value>& dst = next.column(t.num_columns() + a);
-      dst.reserve(out_count);
-      if (osrc.from_key) {
+      const BatchColumn& src = t.column(c);
+      BatchColumn& dst = next.column(c);
+      if (src.encoded()) {
+        dst.dict = src.dict;
+        dst.codes.reserve(out_count);
         for (size_t i = 0; i < out_count; ++i) {
-          const Value& v = distinct_keys[src_kid[i]][osrc.pos];
-          HashCombine(&next_hashes[i], v.Hash());
-          dst.push_back(v);
+          dst.codes.push_back(src.codes[src_row[i]]);
         }
       } else {
+        dst.values.reserve(out_count);
         for (size_t i = 0; i < out_count; ++i) {
-          const Value& v = (*buckets[src_kid[i]].rows)[src_b[i]][osrc.pos];
+          dst.values.push_back(src.values[src_row[i]]);
+        }
+      }
+    }
+    // Added columns. STRING columns of a dictionary-backed table land as
+    // code columns: Y-values already carry the table's codes, and probe
+    // keys were canonicalized in Phase A, so encoding is a field read.
+    for (size_t a = 0; a < step.added_columns.size(); ++a) {
+      const StepProgram::OutSource& osrc = prog.out_sources[a];
+      BatchColumn& dst = next.column(t.num_columns() + a);
+      // The gathered value for output row i.
+      auto value_at = [&](size_t i) -> const Value& {
+        return osrc.from_key
+                   ? canon_keys[src_kid[i]][osrc.pos]
+                   : (*buckets[src_kid[i]].rows)[src_b[i]][osrc.pos];
+      };
+      bool encoded = osrc.out_dict != nullptr;
+      if (encoded) {
+        // Encode pass. A value that is not already a code of the target
+        // dictionary cannot legitimately appear here (keys that found a
+        // bucket are canonical; Y-values are interned at insert) — but if
+        // it ever does, fall back to a generic column rather than guess.
+        dst.codes.reserve(out_count);
+        for (size_t i = 0; i < out_count && encoded; ++i) {
+          const Value& v = value_at(i);
+          if (v.is_null()) {
+            dst.codes.push_back(TupleBatch::kNullCode);
+          } else if (v.dict() == osrc.out_dict) {
+            dst.codes.push_back(v.dict_code());
+          } else {
+            encoded = false;
+          }
+        }
+        if (encoded) {
+          dst.dict = osrc.out_dict;
+          const StringDict* out_dict = osrc.out_dict;
+          for (size_t i = 0; i < out_count; ++i) {
+            uint32_t code = dst.codes[i];
+            HashCombine(&next_hashes[i], code == TupleBatch::kNullCode
+                                             ? kNullValueHash
+                                             : out_dict->hash(code));
+          }
+        } else {
+          dst.codes.clear();
+        }
+      }
+      if (!encoded) {
+        dst.values.reserve(out_count);
+        for (size_t i = 0; i < out_count; ++i) {
+          const Value& v = value_at(i);
           HashCombine(&next_hashes[i], v.Hash());
-          dst.push_back(v);
+          dst.values.push_back(v);
         }
       }
     }
@@ -666,7 +803,7 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentVectorized(
           Result<std::vector<Value>> lits =
               cp->BindLiterals(*query.conjuncts[ci].expr);
           if (lits.ok()) {
-            cp->FilterBatch(t.columns(), t.num_rows(), *lits, &keep);
+            cp->FilterBatch(t.columns().data(), t.num_rows(), *lits, &keep);
             evaluated = true;
           }
         }

@@ -19,6 +19,11 @@ Result<CompiledPlan> CompileBoundedPlan(const BoundQuery& query,
       return Status::Internal("no index registered for constraint '" +
                               step.constraint.name + "'");
     }
+    program.dict = program.index->dict();
+    if (step.atom >= query.atoms.size()) {
+      return Status::Internal("fetch step references an unknown atom");
+    }
+    const Schema& atom_schema = query.atoms[step.atom].table->schema();
 
     // X-position per table column (X wins over Y, as in the scalar path).
     std::unordered_map<size_t, size_t> x_pos;
@@ -42,6 +47,12 @@ Result<CompiledPlan> CompileBoundedPlan(const BoundQuery& query,
         }
         src.from_key = false;
         src.pos = yp->second;
+      }
+      // STRING columns of a dictionary-backed table gather as code
+      // columns: the executor moves uint32 codes instead of Values.
+      if (program.dict != nullptr && attr.col < atom_schema.NumColumns() &&
+          atom_schema.ColumnAt(attr.col).type == TypeId::kString) {
+        src.out_dict = program.dict;
       }
       program.out_sources.push_back(src);
     }

@@ -29,11 +29,21 @@ struct StepProgram {
   /// owning entry) plus the service's shared-lock execution contract.
   const AcIndex* index = nullptr;
 
+  /// The probed table's string dictionary (nullptr when the table has no
+  /// STRING columns or interning is off). The executor canonicalizes
+  /// probe-key string constants into it once per step, so LookupBatch
+  /// hashes string key components in O(1) — zero byte hashing per probe.
+  const StringDict* dict = nullptr;
+
   /// Where each added T column comes from: the probe key (X wins when a
   /// column is in both X and Y) or the fetched Y-projection.
   struct OutSource {
     bool from_key = false;
     size_t pos = 0;  ///< key position or Y position
+    /// Non-null for STRING columns of a dictionary-backed table: the
+    /// gather emits a dictionary-encoded code column (4-byte codes)
+    /// instead of a Value column.
+    const StringDict* out_dict = nullptr;
   };
   std::vector<OutSource> out_sources;  ///< parallel to step.added_columns
 

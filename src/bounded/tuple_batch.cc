@@ -10,10 +10,9 @@ namespace {
 
 constexpr size_t kEmptySlot = std::numeric_limits<size_t>::max();
 
-bool RowsEqual(const std::vector<std::vector<Value>>& cols, size_t a,
-               size_t b) {
-  for (const std::vector<Value>& col : cols) {
-    if (col[a] != col[b]) return false;
+bool RowsEqual(const std::vector<BatchColumn>& cols, size_t a, size_t b) {
+  for (const BatchColumn& col : cols) {
+    if (!col.RowsEqual(a, b)) return false;
   }
   return true;
 }
@@ -22,9 +21,18 @@ bool RowsEqual(const std::vector<std::vector<Value>>& cols, size_t a,
 
 void TupleBatch::ComputeHashes() {
   hashes_.assign(num_rows_, kHashSeed);
-  for (const std::vector<Value>& col : columns_) {
-    for (size_t r = 0; r < num_rows_; ++r) {
-      HashCombine(&hashes_[r], col[r].Hash());
+  for (const BatchColumn& col : columns_) {
+    if (col.encoded()) {
+      const StringDict* dict = col.dict;
+      for (size_t r = 0; r < num_rows_; ++r) {
+        uint32_t code = col.codes[r];
+        HashCombine(&hashes_[r],
+                    code == kNullCode ? kNullValueHash : dict->hash(code));
+      }
+    } else {
+      for (size_t r = 0; r < num_rows_; ++r) {
+        HashCombine(&hashes_[r], col.values[r].Hash());
+      }
     }
   }
 }
@@ -32,15 +40,15 @@ void TupleBatch::ComputeHashes() {
 Row TupleBatch::GetRow(size_t r) const {
   Row row;
   row.reserve(columns_.size());
-  for (const std::vector<Value>& col : columns_) row.push_back(col[r]);
+  for (const BatchColumn& col : columns_) row.push_back(col.At(r));
   return row;
 }
 
 std::vector<Row> TupleBatch::ToRows() const {
   std::vector<Row> rows(num_rows_);
   for (Row& row : rows) row.reserve(columns_.size());
-  for (const std::vector<Value>& col : columns_) {
-    for (size_t r = 0; r < num_rows_; ++r) rows[r].push_back(col[r]);
+  for (const BatchColumn& col : columns_) {
+    for (size_t r = 0; r < num_rows_; ++r) rows[r].push_back(col.At(r));
   }
   return rows;
 }
@@ -51,13 +59,25 @@ void TupleBatch::Filter(const std::vector<char>& keep) {
   for (size_t r = 0; r < num_rows_; ++r) {
     if (!keep[r]) continue;
     if (out != r) {
-      for (std::vector<Value>& col : columns_) col[out] = std::move(col[r]);
+      for (BatchColumn& col : columns_) {
+        if (col.encoded()) {
+          col.codes[out] = col.codes[r];
+        } else {
+          col.values[out] = std::move(col.values[r]);
+        }
+      }
       weights_[out] = weights_[r];
       if (with_hashes) hashes_[out] = hashes_[r];
     }
     ++out;
   }
-  for (std::vector<Value>& col : columns_) col.resize(out);
+  for (BatchColumn& col : columns_) {
+    if (col.encoded()) {
+      col.codes.resize(out);
+    } else {
+      col.values.resize(out);
+    }
+  }
   weights_.resize(out);
   if (with_hashes) {
     hashes_.resize(out);
@@ -105,11 +125,20 @@ void TupleBatch::DedupMergeWeights() {
   }
 
   // Compact to first-occurrence order.
-  for (std::vector<Value>& col : columns_) {
-    for (size_t g = 0; g < first_rows.size(); ++g) {
-      if (first_rows[g] != g) col[g] = std::move(col[first_rows[g]]);
+  for (BatchColumn& col : columns_) {
+    if (col.encoded()) {
+      for (size_t g = 0; g < first_rows.size(); ++g) {
+        if (first_rows[g] != g) col.codes[g] = col.codes[first_rows[g]];
+      }
+      col.codes.resize(first_rows.size());
+    } else {
+      for (size_t g = 0; g < first_rows.size(); ++g) {
+        if (first_rows[g] != g) {
+          col.values[g] = std::move(col.values[first_rows[g]]);
+        }
+      }
+      col.values.resize(first_rows.size());
     }
-    col.resize(first_rows.size());
   }
   std::vector<uint64_t> new_hashes(first_rows.size());
   for (size_t g = 0; g < first_rows.size(); ++g) {

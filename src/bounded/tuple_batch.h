@@ -4,38 +4,47 @@
 #include <cstdint>
 #include <vector>
 
+#include "storage/string_dict.h"
 #include "types/tuple.h"
 #include "types/value.h"
 
 namespace beas {
 
 /// \brief Columnar representation of the intermediate relation T of a
-/// bounded fetch chain: one Value vector per T column plus a parallel
-/// weight vector (bag multiplicities) and, on demand, precomputed 64-bit
-/// row hashes.
+/// bounded fetch chain: one column per T attribute plus a parallel weight
+/// vector (bag multiplicities) and, on demand, precomputed 64-bit row
+/// hashes.
 ///
-/// The vectorized executor grows a batch per fetch step (gathering parent
-/// columns through an index array instead of copying row vectors), filters
-/// it in place, and deduplicates it by hash — all without the per-row
-/// std::vector allocations of the row-at-a-time path.
+/// Columns are BatchColumns and come in two representations: generic
+/// (Value vectors) and dictionary-encoded (uint32 code vectors over a
+/// table's StringDict). The vectorized executor keeps string columns
+/// encoded end to end — gathers move 4-byte codes, the incremental row
+/// hashes fold precomputed dictionary hashes, dedup compares codes — and
+/// materializes dictionary-backed Values only at the fragment boundary
+/// (ToRows/GetRow), which itself copies no bytes. Both representations
+/// hash and compare identically, so mixed batches stay bit-compatible
+/// with the row-at-a-time reference path.
 class TupleBatch {
  public:
   /// Seed of the per-row hash fold — same as ValueVecHash, so batch hashes
   /// agree with the row-at-a-time containers.
   static constexpr uint64_t kHashSeed = kValueVecHashSeed;
 
+  /// NULL sentinel of encoded columns.
+  static constexpr uint32_t kNullCode = StringDict::kNullCode;
+
   TupleBatch() = default;
 
-  /// A batch of `num_columns` empty columns (0 rows).
+  /// A batch of `num_columns` empty generic columns (0 rows).
   explicit TupleBatch(size_t num_columns) : columns_(num_columns) {}
 
   size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return columns_.size(); }
 
-  std::vector<Value>& column(size_t c) { return columns_[c]; }
-  const std::vector<Value>& column(size_t c) const { return columns_[c]; }
-  std::vector<std::vector<Value>>& columns() { return columns_; }
-  const std::vector<std::vector<Value>>& columns() const { return columns_; }
+  BatchColumn& column(size_t c) { return columns_[c]; }
+  const BatchColumn& column(size_t c) const { return columns_[c]; }
+  std::vector<BatchColumn>& columns() { return columns_; }
+  const std::vector<BatchColumn>& columns() const { return columns_; }
 
   std::vector<uint64_t>& weights() { return weights_; }
   const std::vector<uint64_t>& weights() const { return weights_; }
@@ -52,8 +61,8 @@ class TupleBatch {
   /// weight 1.
   void set_num_rows(size_t n) { num_rows_ = n; }
 
-  /// Appends an (empty-columned) column vector; caller fills it to
-  /// `num_rows` entries.
+  /// Appends an empty generic column; caller fills it to `num_rows`
+  /// entries.
   void AddColumn() { columns_.emplace_back(); }
 
   /// Recomputes the per-row hashes over all columns, in column order —
@@ -61,7 +70,7 @@ class TupleBatch {
   /// dedup groups exactly the rows ValueVecEq would.
   void ComputeHashes();
 
-  /// Materializes row `r`.
+  /// Materializes row `r` (encoded cells become dictionary-backed Values).
   Row GetRow(size_t r) const;
 
   /// Materializes every row (Fragment interface / relational tail).
@@ -79,7 +88,7 @@ class TupleBatch {
 
  private:
   size_t num_rows_ = 0;
-  std::vector<std::vector<Value>> columns_;
+  std::vector<BatchColumn> columns_;
   std::vector<uint64_t> weights_;
   std::vector<uint64_t> hashes_;
 };

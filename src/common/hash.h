@@ -61,10 +61,29 @@ inline uint64_t HashBytes(const void* data, size_t len,
   return h;
 }
 
+/// \brief Byte-string hashes computed on the calling thread. The
+/// dictionary-encoded string path promises *zero per-probe byte hashing*
+/// (AcIndex::LookupBatch over dict-backed keys reads precomputed hashes
+/// instead); tests pin that promise against this counter. A plain
+/// thread_local increment — not atomic — so it never contends.
+inline thread_local uint64_t tls_hash_string_calls = 0;
+
 /// \brief Hashes a string with the shared 64-bit byte hash.
+///
+/// Dictionary-encoded values (see storage/string_dict.h) bypass this at
+/// query time: the dictionary computes it once at intern time and serves
+/// the stored hash by code thereafter. Both must agree byte-for-byte —
+/// hash consistency between the inline and encoded representations of the
+/// same string is what keeps the two interchangeable in every container.
 inline uint64_t HashString(const std::string& s) {
+  ++tls_hash_string_calls;
   return HashBytes(s.data(), s.size());
 }
+
+/// \brief Hash of the NULL value. Shared between Value::Hash and the
+/// encoded-column hash fold (a kNullCode slot must hash exactly like the
+/// NULL Value it stands for).
+constexpr uint64_t kNullValueHash = 0xDEADBEEFCAFEF00DULL;
 
 /// \brief Seed of the value-vector / row hash fold. ValueVecHash, the
 /// TupleBatch row hashes, and the vectorized executor's probe-key dedup

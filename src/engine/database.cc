@@ -36,6 +36,26 @@ Status Database::Insert(const std::string& table, Row row) {
   return Status::OK();
 }
 
+Status Database::InsertBatch(const std::string& table, std::vector<Row> rows) {
+  WriteScope scope(this);
+  if (!scope.claimed()) return ConcurrentWriteError("InsertBatch", table);
+  BEAS_ASSIGN_OR_RETURN(TableInfo * info, catalog_.GetTable(table));
+  TableHeap* heap = info->heap();
+  for (size_t r = 0; r < rows.size(); ++r) {
+    Result<SlotId> slot = heap->Insert(std::move(rows[r]));
+    if (!slot.ok()) {
+      info->InvalidateStats();
+      return Status::InvalidArgument(
+          "InsertBatch('" + table + "') row " + std::to_string(r) + ": " +
+          slot.status().message());
+    }
+    const Row& stored = heap->At(*slot);
+    for (const WriteHook& hook : hooks_) hook(info->name(), stored, true);
+  }
+  info->InvalidateStats();
+  return Status::OK();
+}
+
 Status Database::DeleteWhereEquals(const std::string& table, const Row& row) {
   WriteScope scope(this);
   if (!scope.claimed()) return ConcurrentWriteError("DeleteWhereEquals", table);

@@ -58,6 +58,14 @@ class Database {
   /// Inserts a row, running registered write hooks (index maintenance).
   Status Insert(const std::string& table, Row row);
 
+  /// Inserts a batch of rows under one writer-slot claim: rows are
+  /// validated and interned in one pass, write hooks still run per row
+  /// (AC-index maintenance is inherently per-tuple) but the table's stats
+  /// cache is invalidated once. On a validation error, rows preceding the
+  /// bad one remain inserted (single-writer append semantics, no
+  /// rollback); the error reports the failing row index.
+  Status InsertBatch(const std::string& table, std::vector<Row> rows);
+
   /// Deletes one live row equal to `row` (all columns), running hooks.
   /// Returns NotFound if no such row exists.
   Status DeleteWhereEquals(const std::string& table, const Row& row);

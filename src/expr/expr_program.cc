@@ -1,5 +1,7 @@
 #include "expr/expr_program.h"
 
+#include <algorithm>
+
 #include "expr/value_kernels.h"
 
 namespace beas {
@@ -203,6 +205,131 @@ void ExprProgram::DetectFastPattern() {
 
 namespace {
 
+/// Applies a three-way comparison result to a CompareOp.
+bool CmpPasses(CompareOp op, int c) {
+  switch (op) {
+    case CompareOp::kEq: return c == 0;
+    case CompareOp::kNe: return c != 0;
+    case CompareOp::kLt: return c < 0;
+    case CompareOp::kLe: return c <= 0;
+    case CompareOp::kGt: return c > 0;
+    case CompareOp::kGe: return c >= 0;
+  }
+  return false;
+}
+
+/// The code of `lit` in `dict`, or -1 when the string was never interned
+/// (no stored value can equal it). Reuses the literal's own hash — a
+/// dictionary-backed literal of another table costs zero byte hashing;
+/// an inline literal is hashed once per batch, here.
+int64_t LiteralCode(const StringDict& dict, const Value& lit) {
+  if (lit.dict() == &dict) return lit.dict_code();
+  return dict.FindWithHash(lit.AsString(), lit.Hash());
+}
+
+/// col-op-lit over an encoded column. Equality ops compare codes;
+/// ordering ops decode to bytes per row.
+void FilterEncodedCmp(const BatchColumn& col, CompareOp cmp, const Value& lit,
+                      size_t num_rows, std::vector<char>* keep) {
+  const StringDict& dict = *col.dict;
+  if (lit.is_null()) {
+    // compare-with-NULL is NULL: nothing passes.
+    std::fill(keep->begin(), keep->begin() + num_rows, 0);
+    return;
+  }
+  if (cmp == CompareOp::kEq || cmp == CompareOp::kNe) {
+    int64_t code = LiteralCode(dict, lit);
+    if (code < 0) {
+      // Literal not in the dictionary: `=` folds to false for every row;
+      // `<>` folds to true for every non-NULL row.
+      for (size_t r = 0; r < num_rows; ++r) {
+        if (!(*keep)[r]) continue;
+        if (cmp == CompareOp::kEq || col.codes[r] == StringDict::kNullCode) {
+          (*keep)[r] = 0;
+        }
+      }
+      return;
+    }
+    uint32_t lit_code = static_cast<uint32_t>(code);
+    for (size_t r = 0; r < num_rows; ++r) {
+      if (!(*keep)[r]) continue;
+      uint32_t c = col.codes[r];
+      // kNullCode never equals a real code, so `=` rejects NULL for free.
+      bool pass = cmp == CompareOp::kEq
+                      ? c == lit_code
+                      : c != lit_code && c != StringDict::kNullCode;
+      if (!pass) (*keep)[r] = 0;
+    }
+    return;
+  }
+  const std::string& s = lit.AsString();
+  for (size_t r = 0; r < num_rows; ++r) {
+    if (!(*keep)[r]) continue;
+    uint32_t c = col.codes[r];
+    if (c == StringDict::kNullCode) {
+      (*keep)[r] = 0;
+      continue;
+    }
+    int three_way = dict.str(c).compare(s);
+    three_way = three_way < 0 ? -1 : (three_way > 0 ? 1 : 0);
+    if (!CmpPasses(cmp, three_way)) (*keep)[r] = 0;
+  }
+}
+
+/// col BETWEEN lo AND hi over an encoded column (byte order, decoded).
+void FilterEncodedBetween(const BatchColumn& col, const Value& lo,
+                          const Value& hi, size_t num_rows,
+                          std::vector<char>* keep) {
+  const StringDict& dict = *col.dict;
+  if (lo.is_null() || hi.is_null()) {
+    std::fill(keep->begin(), keep->begin() + num_rows, 0);
+    return;
+  }
+  const std::string& lo_s = lo.AsString();
+  const std::string& hi_s = hi.AsString();
+  for (size_t r = 0; r < num_rows; ++r) {
+    if (!(*keep)[r]) continue;
+    uint32_t c = col.codes[r];
+    if (c == StringDict::kNullCode) {
+      (*keep)[r] = 0;
+      continue;
+    }
+    const std::string& v = dict.str(c);
+    if (v.compare(lo_s) < 0 || v.compare(hi_s) > 0) (*keep)[r] = 0;
+  }
+}
+
+/// col IN (...) over an encoded column: the list becomes a code set once
+/// per batch; items absent from the dictionary (or of other types) can
+/// never match and drop out of the set.
+void FilterEncodedInList(const BatchColumn& col, const Value* items,
+                         size_t num_items, size_t num_rows,
+                         std::vector<char>* keep) {
+  const StringDict& dict = *col.dict;
+  std::vector<uint32_t> codes;
+  codes.reserve(num_items);
+  for (size_t i = 0; i < num_items; ++i) {
+    const Value& item = items[i];
+    if (item.is_null() || item.type() != TypeId::kString) continue;
+    int64_t code = LiteralCode(dict, item);
+    if (code >= 0) codes.push_back(static_cast<uint32_t>(code));
+  }
+  for (size_t r = 0; r < num_rows; ++r) {
+    if (!(*keep)[r]) continue;
+    uint32_t c = col.codes[r];
+    bool found = false;
+    if (c != StringDict::kNullCode) {
+      for (uint32_t code : codes) {
+        if (c == code) {
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) (*keep)[r] = 0;
+  }
+}
+
 /// The literal-collection twin of the compile traversal: children
 /// left-to-right, literals registered at the owning node.
 void CollectLiterals(const Expression& e, std::vector<Value>* out) {
@@ -238,14 +365,14 @@ Result<std::vector<Value>> ExprProgram::BindLiterals(
   return literals;
 }
 
-Value ExprProgram::EvalRow(const std::vector<std::vector<Value>>& cols,
-                           size_t row, const std::vector<Value>& literals,
+Value ExprProgram::EvalRow(const BatchColumn* cols, size_t row,
+                           const std::vector<Value>& literals,
                            std::vector<Value>* stack) const {
   stack->clear();
   for (const Op& op : ops_) {
     switch (op.code) {
       case OpCode::kPushCol:
-        stack->push_back(cols[op.slot][row]);
+        stack->push_back(cols[op.slot].At(row));
         break;
       case OpCode::kPushLit:
         stack->push_back(literals[op.lit_index]);
@@ -349,30 +476,37 @@ Value ExprProgram::EvalRow(const std::vector<std::vector<Value>>& cols,
   return std::move(stack->back());
 }
 
-void ExprProgram::FilterBatch(const std::vector<std::vector<Value>>& cols,
-                              size_t num_rows,
+void ExprProgram::FilterBatch(const BatchColumn* cols, size_t num_rows,
                               const std::vector<Value>& literals,
                               std::vector<char>* keep) const {
   switch (fast_) {
     case FastPattern::kColCmpLit: {
-      const std::vector<Value>& col = cols[ops_[0].slot];
+      const BatchColumn& col = cols[ops_[0].slot];
       const Value& lit = literals[ops_[1].lit_index];
       CompareOp cmp = ops_[2].cmp;
+      if (col.encoded()) {
+        FilterEncodedCmp(col, cmp, lit, num_rows, keep);
+        return;
+      }
       for (size_t r = 0; r < num_rows; ++r) {
         if (!(*keep)[r]) continue;
-        Value v = CompareValuesTotal(cmp, col[r], lit);
+        Value v = CompareValuesTotal(cmp, col.values[r], lit);
         if (v.is_null() || v.AsInt64() == 0) (*keep)[r] = 0;
       }
       return;
     }
     case FastPattern::kColBetween: {
-      const std::vector<Value>& col = cols[ops_[0].slot];
+      const BatchColumn& col = cols[ops_[0].slot];
       const Value& lo = literals[ops_[1].lit_index];
       const Value& hi = literals[ops_[2].lit_index];
+      if (col.encoded()) {
+        FilterEncodedBetween(col, lo, hi, num_rows, keep);
+        return;
+      }
       for (size_t r = 0; r < num_rows; ++r) {
         if (!(*keep)[r]) continue;
-        Value ge = CompareValuesTotal(CompareOp::kGe, col[r], lo);
-        Value le = CompareValuesTotal(CompareOp::kLe, col[r], hi);
+        Value ge = CompareValuesTotal(CompareOp::kGe, col.values[r], lo);
+        Value le = CompareValuesTotal(CompareOp::kLe, col.values[r], hi);
         bool pass = !ge.is_null() && !le.is_null() && ge.AsInt64() != 0 &&
                     le.AsInt64() != 0;
         if (!pass) (*keep)[r] = 0;
@@ -380,11 +514,16 @@ void ExprProgram::FilterBatch(const std::vector<std::vector<Value>>& cols,
       return;
     }
     case FastPattern::kColInList: {
-      const std::vector<Value>& col = cols[ops_[0].slot];
+      const BatchColumn& col = cols[ops_[0].slot];
       const Op& in = ops_[1];
+      if (col.encoded()) {
+        FilterEncodedInList(col, literals.data() + in.lit_index,
+                            in.list_count, num_rows, keep);
+        return;
+      }
       for (size_t r = 0; r < num_rows; ++r) {
         if (!(*keep)[r]) continue;
-        const Value& v = col[r];
+        const Value& v = col.values[r];
         if (v.is_null()) {
           (*keep)[r] = 0;
           continue;
@@ -400,11 +539,19 @@ void ExprProgram::FilterBatch(const std::vector<std::vector<Value>>& cols,
       return;
     }
     case FastPattern::kColIsNull: {
-      const std::vector<Value>& col = cols[ops_[0].slot];
+      const BatchColumn& col = cols[ops_[0].slot];
       bool negated = ops_[1].negated;
+      if (col.encoded()) {
+        for (size_t r = 0; r < num_rows; ++r) {
+          if (!(*keep)[r]) continue;
+          bool is_null = col.codes[r] == StringDict::kNullCode;
+          if ((negated ? !is_null : is_null) == false) (*keep)[r] = 0;
+        }
+        return;
+      }
       for (size_t r = 0; r < num_rows; ++r) {
         if (!(*keep)[r]) continue;
-        bool is_null = col[r].is_null();
+        bool is_null = col.values[r].is_null();
         if ((negated ? !is_null : is_null) == false) (*keep)[r] = 0;
       }
       return;

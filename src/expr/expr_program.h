@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "expr/expression.h"
+#include "storage/string_dict.h"
 
 namespace beas {
 
@@ -44,18 +45,28 @@ class ExprProgram {
   /// the interpreted path instead".
   Result<std::vector<Value>> BindLiterals(const Expression& expr) const;
 
-  /// Evaluates the program for row `row` of the columnar data. `stack` is
-  /// caller-provided scratch reused across rows. Total: never errors for
-  /// programs Compile accepted.
-  Value EvalRow(const std::vector<std::vector<Value>>& cols, size_t row,
+  /// Evaluates the program for row `row` of the columnar data (generic or
+  /// dictionary-encoded columns; encoded cells materialize as
+  /// dictionary-backed Values, no byte copies). `stack` is caller-provided
+  /// scratch reused across rows. Total: never errors for programs Compile
+  /// accepted.
+  Value EvalRow(const BatchColumn* cols, size_t row,
                 const std::vector<Value>& literals,
                 std::vector<Value>* stack) const;
 
   /// Predicate form over a whole batch: clears keep[r] when the result is
   /// NULL or falsy (EvalPredicate semantics). keep must have `num_rows`
   /// entries.
-  void FilterBatch(const std::vector<std::vector<Value>>& cols,
-                   size_t num_rows, const std::vector<Value>& literals,
+  ///
+  /// On dictionary-encoded columns the fast patterns (col-op-lit, IN,
+  /// BETWEEN, IS NULL) translate their string literals to codes once per
+  /// batch — equality/IN then compare uint32 codes per row; a literal
+  /// absent from the dictionary constant-folds the conjunct (= -> all
+  /// false, <> / NOT IN -> non-NULL rows pass) since no stored string can
+  /// match it. Ordering comparisons decode to bytes per row (codes are
+  /// not order-preserving) without materializing Values.
+  void FilterBatch(const BatchColumn* cols, size_t num_rows,
+                   const std::vector<Value>& literals,
                    std::vector<char>* keep) const;
 
   size_t num_literals() const { return literal_types_.size(); }

@@ -1,6 +1,8 @@
 #include "service/beas_service.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cstring>
 
 #include "common/hash.h"
 #include "common/string_util.h"
@@ -25,6 +27,24 @@ bool ParamsAgree(const std::vector<Value>& a, const std::vector<Value>& b) {
     if (a[i].type() != b[i].type() || a[i] != b[i]) return false;
   }
   return true;
+}
+
+/// Case-insensitive "does the SQL mention the stats table" check — cheap
+/// enough to run on every Execute, and a false positive (the name inside
+/// a string literal) merely refreshes the table needlessly.
+bool MentionsStatsTable(const std::string& sql) {
+  const char* name = BeasService::kStatsTableName;
+  size_t n = std::strlen(name);
+  if (sql.size() < n) return false;
+  for (size_t i = 0; i + n <= sql.size(); ++i) {
+    size_t j = 0;
+    while (j < n &&
+           std::tolower(static_cast<unsigned char>(sql[i + j])) == name[j]) {
+      ++j;
+    }
+    if (j == n) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -68,12 +88,27 @@ Status BeasService::Insert(const std::string& table, Row row) {
   return db_.Insert(table, std::move(row));
 }
 
+Status BeasService::InsertBatch(const std::string& table,
+                                std::vector<Row> rows) {
+  if (rows.empty()) return Status::OK();
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  return db_.InsertBatch(table, std::move(rows));
+}
+
 Status BeasService::Delete(const std::string& table, const Row& row) {
   std::unique_lock<std::shared_mutex> lock(rw_mutex_);
   return db_.DeleteWhereEquals(table, row);
 }
 
 Status BeasService::RegisterConstraint(AccessConstraint constraint) {
+  // The stats table is refreshed outside the hooked write path (and
+  // periodically recycled), so an AC index on it would silently go stale.
+  if (constraint.table == kStatsTableName) {
+    return Status::InvalidArgument(
+        std::string(kStatsTableName) +
+        " is a service-managed metadata table; access constraints on it "
+        "are not supported");
+  }
   std::unique_lock<std::shared_mutex> lock(rw_mutex_);
   return catalog_.Register(std::move(constraint));
 }
@@ -105,8 +140,90 @@ std::vector<MaintenanceManager::Adjustment> BeasService::RevalidateAndSuggest(
 // ---------------------------------------------------------------------------
 
 Result<ServiceResponse> BeasService::Execute(const std::string& sql) {
+  if (MentionsStatsTable(sql)) {
+    // Materialize fresh serving-health counters before answering; the
+    // refresh takes the exclusive lock, the query itself runs shared.
+    BEAS_RETURN_NOT_OK(RefreshStatsTable());
+  }
   std::shared_lock<std::shared_mutex> lock(rw_mutex_);
   return ExecuteLocked(sql);
+}
+
+Status BeasService::RefreshStatsTable() {
+  // Each refresh tombstones the old snapshot and appends a fresh one, and
+  // heap slots are never reused — so a polled stats table would grow
+  // forever. Recreate it (cheap, rare) once the dead-slot debt builds up.
+  constexpr size_t kMaxDeadSlots = 4096;
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  TableInfo* info = nullptr;
+  if (db_.catalog()->HasTable(kStatsTableName)) {
+    BEAS_ASSIGN_OR_RETURN(info, db_.catalog()->GetTable(kStatsTableName));
+    if (info->heap()->NumSlots() - info->heap()->NumRows() > kMaxDeadSlots) {
+      BEAS_RETURN_NOT_OK(db_.catalog()->DropTable(kStatsTableName));
+      info = nullptr;
+    }
+  }
+  if (info == nullptr) {
+    BEAS_ASSIGN_OR_RETURN(
+        info, db_.CreateTable(kStatsTableName,
+                              Schema({{"metric", TypeId::kString},
+                                      {"value", TypeId::kDouble}})));
+    // No interning for this table: it is the one table the service ever
+    // drops (the recycle above), and dictionary-backed Values in results
+    // a client still holds would dangle into the destroyed dictionary.
+    // Inline strings keep returned rows self-contained; at ~14 tiny rows
+    // the encoding would buy nothing anyway.
+    info->heap()->set_dict_enabled(false);
+  }
+  TableHeap* heap = info->heap();
+  // Tombstone the previous snapshot (the table has no AC indices, so no
+  // write hooks need to observe these) and append the fresh one.
+  for (auto it = heap->Begin(); it.Valid(); it.Next()) {
+    BEAS_RETURN_NOT_OK(heap->Delete(it.slot()));
+  }
+
+  PlanCacheStats cache = cache_.stats();
+  double dict_strings = 0;
+  double dict_bytes = 0;
+  double num_tables = 0;
+  double num_rows = 0;
+  for (const std::string& name : db_.catalog()->TableNames()) {
+    Result<TableInfo*> table = db_.catalog()->GetTable(name);
+    if (!table.ok()) continue;
+    ++num_tables;
+    num_rows += static_cast<double>((*table)->heap()->NumRows());
+    const StringDict* dict = (*table)->heap()->dict();
+    if (dict != nullptr) {
+      dict_strings += static_cast<double>(dict->size());
+      dict_bytes += static_cast<double>(dict->ApproxBytes());
+    }
+  }
+
+  std::vector<Row> rows;
+  auto add = [&rows](const char* metric, double value) {
+    rows.push_back({Value::String(metric), Value::Double(value)});
+  };
+  add("plan_cache_hits", static_cast<double>(cache.hits));
+  add("plan_cache_misses", static_cast<double>(cache.misses));
+  add("plan_cache_evictions", static_cast<double>(cache.evictions));
+  add("plan_cache_invalidations", static_cast<double>(cache.invalidations));
+  add("plan_cache_uncacheable", static_cast<double>(cache.uncacheable));
+  add("plan_cache_entries", static_cast<double>(cache.entries));
+  add("plan_cache_enabled", cache_enabled_.load() ? 1 : 0);
+  add("maintenance_updates_applied",
+      static_cast<double>(maintenance_.updates_applied()));
+  add("constraints_registered",
+      static_cast<double>(catalog_.schema().constraints().size()));
+  add("tables", num_tables);
+  add("rows_live", num_rows);
+  add("dict_strings_total", dict_strings);
+  add("dict_bytes_total", dict_bytes);
+  add("workers", static_cast<double>(pool_.num_threads()));
+  for (Row& row : rows) {
+    heap->InsertUnchecked(std::move(row));
+  }
+  info->InvalidateStats();
+  return Status::OK();
 }
 
 Result<ServiceResponse> BeasService::ExecuteUncachedQuery(

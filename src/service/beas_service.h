@@ -86,6 +86,13 @@ class BeasService {
   Result<TableInfo*> CreateTable(const std::string& name,
                                  const Schema& schema);
   Status Insert(const std::string& table, Row row);
+  /// Bulk write: one exclusive-lock acquisition and one stats pass for
+  /// the whole batch (Insert pays both per row), with per-row index
+  /// maintenance intact. The write path of choice under churn — readers
+  /// are blocked once per batch instead of once per row — and the natural
+  /// grain for dictionary encoding (the heap interns the batch in one
+  /// pass).
+  Status InsertBatch(const std::string& table, std::vector<Row> rows);
   Status Delete(const std::string& table, const Row& row);
   Status RegisterConstraint(AccessConstraint constraint);
   Status UnregisterConstraint(const std::string& name);
@@ -111,6 +118,20 @@ class BeasService {
   /// Enqueues `sql` on the worker pool; the future resolves to the same
   /// response Execute would produce.
   std::future<Result<ServiceResponse>> Submit(const std::string& sql);
+
+  /// \name Serving-health metadata table.
+  /// Queries that mention `beas_stats` trigger a refresh of a real table
+  /// of that name (metric STRING, value DOUBLE) holding the plan-cache
+  /// counters, maintenance counters, and storage/dictionary gauges — so
+  /// serving health is queryable through plain SQL
+  /// (`SELECT * FROM beas_stats`), not just programmatic cache_stats().
+  /// @{
+  static constexpr const char* kStatsTableName = "beas_stats";
+  /// Rebuilds the stats table's rows from the current counters (exclusive
+  /// lock). Execute() calls this automatically for queries that mention
+  /// the table; exposed for tests and manual refresh.
+  Status RefreshStatsTable();
+  /// @}
 
   PlanCacheStats cache_stats() const { return cache_.stats(); }
   void set_cache_enabled(bool enabled) { cache_enabled_.store(enabled); }

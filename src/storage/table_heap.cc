@@ -16,11 +16,32 @@ Result<SlotId> TableHeap::Insert(Row row) {
   return InsertUnchecked(std::move(row));
 }
 
+void TableHeap::InternStrings(Row* row) {
+  for (Value& v : *row) {
+    if (v.type() != TypeId::kString) continue;
+    if (v.dict() == &dict_) continue;  // already ours (re-inserted gather)
+    v = Value::DictString(&dict_, dict_.Intern(v.AsString()));
+  }
+}
+
 SlotId TableHeap::InsertUnchecked(Row row) {
+  if (dict_enabled_ && has_string_cols_) InternStrings(&row);
   rows_.push_back(std::move(row));
   live_.push_back(1);
   ++num_live_;
   return rows_.size() - 1;
+}
+
+void TableHeap::InsertBatchUnchecked(std::vector<Row> rows) {
+  rows_.reserve(rows_.size() + rows.size());
+  live_.reserve(live_.size() + rows.size());
+  bool intern = dict_enabled_ && has_string_cols_;
+  for (Row& row : rows) {
+    if (intern) InternStrings(&row);
+    rows_.push_back(std::move(row));
+    live_.push_back(1);
+  }
+  num_live_ += rows.size();
 }
 
 Status TableHeap::Delete(SlotId slot) {

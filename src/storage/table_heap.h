@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "storage/string_dict.h"
 #include "types/schema.h"
 #include "types/tuple.h"
 
@@ -19,18 +20,61 @@ using SlotId = size_t;
 /// (sequential scans) and the access-constraint indices (which reference
 /// rows by slot). Slots are never reused, so a SlotId handed out by
 /// Insert remains valid (live or dead) for the heap's lifetime.
+///
+/// ## String dictionary
+///
+/// A table with STRING columns owns a StringDict; every string value is
+/// interned on insert, so stored rows hold dictionary-backed Values
+/// (pointer + uint32 code) instead of inline bytes. Everything downstream
+/// of storage — AC index keys and buckets, batch gathers, probe-key
+/// hashing — inherits O(1) string hashing/equality from that single
+/// encode. The dictionary is append-only (deletes keep their strings);
+/// `dict()` exposes it to the index and executor layers.
 class TableHeap {
  public:
-  explicit TableHeap(Schema schema) : schema_(std::move(schema)) {}
+  explicit TableHeap(Schema schema)
+      : schema_(std::move(schema)), dict_enabled_(default_dict_enabled()) {
+    for (const Column& c : schema_.columns()) {
+      has_string_cols_ |= c.type == TypeId::kString;
+    }
+  }
+
+  /// Rows hold pointers into dict_; copying a heap would silently retarget
+  /// nothing and dangle everything.
+  TableHeap(const TableHeap&) = delete;
+  TableHeap& operator=(const TableHeap&) = delete;
 
   const Schema& schema() const { return schema_; }
+
+  /// The table's string dictionary, or nullptr when the table has no
+  /// STRING columns (or interning is disabled for A/B measurement).
+  const StringDict* dict() const {
+    return dict_enabled_ && has_string_cols_ ? &dict_ : nullptr;
+  }
+
+  /// Disables/enables interning for rows inserted *from now on*; only
+  /// meaningful on an empty heap (benches use it to measure the encoded
+  /// path against the inline baseline). On by default.
+  void set_dict_enabled(bool enabled) { dict_enabled_ = enabled; }
+
+  /// Process-wide default for new heaps (bench ablation knob; not
+  /// thread-safe — flip it only during single-threaded setup).
+  static bool& default_dict_enabled() {
+    static bool enabled = true;
+    return enabled;
+  }
 
   /// Appends a row; validates arity and column types (after implicit
   /// coercion). Returns the new slot.
   Result<SlotId> Insert(Row row);
 
   /// Appends without validation; for bulk loads from trusted generators.
+  /// Interns string values like Insert does.
   SlotId InsertUnchecked(Row row);
+
+  /// Bulk append without validation: one reserve + one interning pass for
+  /// the whole batch (the natural grain for dictionary encoding).
+  void InsertBatchUnchecked(std::vector<Row> rows);
 
   /// Tombstones a slot. Errors if out of range or already dead.
   Status Delete(SlotId slot);
@@ -77,10 +121,16 @@ class TableHeap {
   std::vector<Row> Snapshot() const;
 
  private:
+  /// Replaces inline string values of `row` with dictionary-backed ones.
+  void InternStrings(Row* row);
+
   Schema schema_;
   std::vector<Row> rows_;
   std::vector<uint8_t> live_;
   size_t num_live_ = 0;
+  StringDict dict_;
+  bool dict_enabled_ = true;
+  bool has_string_cols_ = false;
 };
 
 }  // namespace beas

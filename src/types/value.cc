@@ -3,8 +3,13 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "storage/string_dict.h"
 
 namespace beas {
+
+const std::string& Value::AsString() const {
+  return dict_ != nullptr ? dict_->str(static_cast<uint32_t>(i_)) : s_;
+}
 
 Result<Value> Value::DateFromString(const std::string& s) {
   BEAS_ASSIGN_OR_RETURN(int64_t enc, ParseDate(s));
@@ -19,7 +24,7 @@ Result<Value> Value::CoerceTo(TypeId target) const {
       if (type_ == TypeId::kInt64) return Value::Double(static_cast<double>(i_));
       break;
     case TypeId::kDate:
-      if (type_ == TypeId::kString) return DateFromString(s_);
+      if (type_ == TypeId::kString) return DateFromString(AsString());
       if (type_ == TypeId::kInt64) {
         if (!IsValidDateEncoding(i_)) {
           return Status::TypeError("integer " + std::to_string(i_) +
@@ -64,7 +69,14 @@ int Value::Compare(const Value& other) const {
     return 0;
   }
   if (type_ == TypeId::kString && other.type_ == TypeId::kString) {
-    return s_.compare(other.s_) < 0 ? -1 : (s_ == other.s_ ? 0 : 1);
+    // Same dictionary: equal codes <=> equal bytes (interning dedups).
+    // Distinct codes still need a byte compare for the *order* — codes
+    // are first-appearance, not order-preserving (the sort boundary
+    // decodes here).
+    if (dict_ != nullptr && dict_ == other.dict_ && i_ == other.i_) return 0;
+    const std::string& a = AsString();
+    const std::string& b = other.AsString();
+    return a.compare(b) < 0 ? -1 : (a == b ? 0 : 1);
   }
   // Heterogeneous (string vs numeric): order by type tag for stability.
   return static_cast<int>(type_) < static_cast<int>(other.type_) ? -1 : 1;
@@ -73,7 +85,7 @@ int Value::Compare(const Value& other) const {
 uint64_t Value::Hash() const {
   switch (type_) {
     case TypeId::kNull:
-      return 0xDEADBEEFCAFEF00DULL;
+      return kNullValueHash;
     case TypeId::kInt64:
     case TypeId::kDate:
       return HashInt64(static_cast<uint64_t>(i_));
@@ -90,6 +102,8 @@ uint64_t Value::Hash() const {
       return HashInt64(bits);
     }
     case TypeId::kString:
+      // Dictionary-backed: the byte hash computed once at intern time.
+      if (dict_ != nullptr) return dict_->hash(static_cast<uint32_t>(i_));
       return HashString(s_);
   }
   return 0;
@@ -106,7 +120,7 @@ std::string Value::ToString() const {
       return s;
     }
     case TypeId::kString:
-      return "'" + s_ + "'";
+      return "'" + AsString() + "'";
     case TypeId::kDate:
       return FormatDate(i_);
   }
@@ -114,7 +128,7 @@ std::string Value::ToString() const {
 }
 
 std::string Value::ToCsv() const {
-  if (type_ == TypeId::kString) return s_;
+  if (type_ == TypeId::kString) return AsString();
   if (type_ == TypeId::kNull) return "";
   return ToString();
 }

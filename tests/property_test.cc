@@ -102,7 +102,8 @@ RandomDb BuildRandomDb(Rng* rng, bool double_data = false) {
 
 /// Builds a random query over the two tables. Always at least one constant
 /// equality so results stay small.
-std::string BuildRandomQuery(Rng* rng, const RandomDb& env, bool* aggregate) {
+std::string BuildRandomQuery(Rng* rng, const RandomDb& /*env*/,
+                             bool* aggregate) {
   bool two_atoms = rng->Chance(0.7);
   *aggregate = rng->Chance(0.3);
   std::string from = "t0 a";
@@ -327,6 +328,208 @@ TEST_P(VectorizedScalarDifferential, PathsAgreeBitForBit) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, VectorizedScalarDifferential,
+                         ::testing::Range<uint64_t>(0, 15));
+
+// ---------------------------------------------------------------------------
+// P6. String-heavy differential: random chains whose key columns and
+// Y-projections are strings — high- and low-cardinality pools, duplicate
+// string Y-projections, empty strings in the data — so the encoded
+// (dictionary) vectorized path is fuzzed exactly where it engages:
+// code-column gathers, canonicalized probe constants, encoded predicate
+// kernels. Checked against the scalar reference bit-for-bit and against
+// the conventional engines for multiset agreement.
+// ---------------------------------------------------------------------------
+
+/// Low-cardinality pool: lots of duplicate keys and Y-values (includes
+/// the empty string, which must survive interning round-trips).
+std::string LowCardString(Rng* rng) {
+  static const char* kPool[] = {"s0", "s1", "s2", "s3", ""};
+  return kPool[rng->Uniform(0, 4)];
+}
+
+/// High-cardinality pool: long enough to defeat SSO (the expensive case
+/// for inline strings).
+std::string HighCardString(Rng* rng) {
+  return "u" + std::to_string(rng->Uniform(0, 19)) + "_padpadpadpadpad";
+}
+
+/// Two tables with string key columns: t0(c0 lo, c1 hi, c2 int, c3 lo),
+/// t1(c0 lo, c1 hi, c2 int). Constraints mined from the data like the
+/// integer RandomDb's.
+RandomDb BuildRandomStringDb(Rng* rng) {
+  RandomDb out;
+  out.db = std::make_unique<Database>();
+  auto build = [&](const std::string& name, bool four_cols) {
+    Schema schema;
+    schema.AddColumn({"c0", TypeId::kString});
+    schema.AddColumn({"c1", TypeId::kString});
+    schema.AddColumn({"c2", TypeId::kInt64});
+    if (four_cols) schema.AddColumn({"c3", TypeId::kString});
+    EXPECT_TRUE(out.db->CreateTable(name, schema).ok());
+    size_t rows = static_cast<size_t>(rng->Uniform(20, 50));
+    std::vector<Row> batch;
+    for (size_t r = 0; r < rows; ++r) {
+      Row row;
+      row.push_back(rng->Chance(0.1) ? Value::Null()
+                                     : Value::String(LowCardString(rng)));
+      row.push_back(rng->Chance(0.1) ? Value::Null()
+                                     : Value::String(HighCardString(rng)));
+      row.push_back(I(rng->Uniform(0, 4)));
+      if (four_cols) row.push_back(Value::String(LowCardString(rng)));
+      batch.push_back(std::move(row));
+    }
+    // The batch path is the dictionary's natural grain — use it here so
+    // the fuzz also exercises InsertBatch.
+    EXPECT_TRUE(out.db->InsertBatch(name, std::move(batch)).ok());
+    out.tables.push_back(name);
+    out.arity.push_back(four_cols ? 4 : 3);
+  };
+  build("t0", true);
+  build("t1", false);
+
+  out.catalog = std::make_unique<AsCatalog>(out.db.get());
+  for (size_t t = 0; t < out.tables.size(); ++t) {
+    TableInfo* info = *out.db->catalog()->GetTable(out.tables[t]);
+    int num_constraints = static_cast<int>(rng->Uniform(2, 4));
+    for (int k = 0; k < num_constraints; ++k) {
+      CandidatePattern pattern;
+      pattern.table = out.tables[t];
+      size_t x = static_cast<size_t>(
+          rng->Uniform(0, static_cast<int64_t>(out.arity[t]) - 1));
+      pattern.x_attrs = {"c" + std::to_string(x)};
+      if (rng->Chance(0.4)) {
+        size_t x2 = static_cast<size_t>(
+            rng->Uniform(0, static_cast<int64_t>(out.arity[t]) - 1));
+        if (x2 != x) pattern.x_attrs.push_back("c" + std::to_string(x2));
+      }
+      for (size_t c = 0; c < out.arity[t]; ++c) {
+        std::string name = "c" + std::to_string(c);
+        bool in_x = false;
+        for (const auto& xa : pattern.x_attrs) in_x |= (xa == name);
+        if (!in_x && rng->Chance(0.7)) pattern.y_attrs.push_back(name);
+      }
+      if (pattern.y_attrs.empty()) continue;
+      auto profile = ProfileCandidate(*info->heap(), pattern);
+      if (!profile.ok() || profile->num_keys == 0) continue;
+      AccessConstraint constraint;
+      constraint.name = "rs" + std::to_string(t) + "_" + std::to_string(k);
+      constraint.table = pattern.table;
+      constraint.x_attrs = pattern.x_attrs;
+      constraint.y_attrs = pattern.y_attrs;
+      constraint.limit_n = profile->observed_n;
+      Status st = out.catalog->Register(constraint);
+      (void)st;
+    }
+  }
+  out.session = std::make_unique<BeasSession>(out.db.get(), out.catalog.get());
+  return out;
+}
+
+/// Random query over the string tables: string-constant fetch keys,
+/// string joins, string IN-lists (with never-interned members), string
+/// range filters — the predicate shapes the encoded kernels special-case.
+std::string BuildRandomStringQuery(Rng* rng, bool* aggregate) {
+  bool two_atoms = rng->Chance(0.7);
+  *aggregate = rng->Chance(0.3);
+  std::string from = "t0 a";
+  if (two_atoms) from += ", t1 b";
+
+  std::vector<std::string> conjuncts;
+  conjuncts.push_back("a.c0 = 's" + std::to_string(rng->Uniform(0, 3)) + "'");
+  if (two_atoms) {
+    // String-keyed joins dominate; occasionally join on the int column.
+    switch (rng->Uniform(0, 3)) {
+      case 0: conjuncts.push_back("a.c0 = b.c0"); break;
+      case 1: conjuncts.push_back("a.c1 = b.c1"); break;
+      case 2: conjuncts.push_back("a.c3 = b.c0"); break;
+      default: conjuncts.push_back("a.c2 = b.c2"); break;
+    }
+    if (rng->Chance(0.5)) {
+      // IN-list with one member that was never interned anywhere.
+      conjuncts.push_back("b.c1 IN ('u" + std::to_string(rng->Uniform(0, 19)) +
+                          "_padpadpadpadpad', 'u" +
+                          std::to_string(rng->Uniform(0, 19)) +
+                          "_padpadpadpadpad', 'never_interned')");
+    }
+  }
+  if (rng->Chance(0.4)) {
+    conjuncts.push_back("a.c3 <> 's" + std::to_string(rng->Uniform(0, 4)) +
+                        "'");
+  }
+  if (rng->Chance(0.4)) {
+    // Byte-order range over codes that are not order-preserving.
+    conjuncts.push_back("a.c1 <= 'u" + std::to_string(rng->Uniform(5, 19)) +
+                        "_padpadpadpadpad'");
+  }
+  if (rng->Chance(0.2)) {
+    conjuncts.push_back("(a.c3 = 's0' OR a.c3 = 's2')");
+  }
+
+  std::string where;
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    where += (i == 0 ? " WHERE " : " AND ") + conjuncts[i];
+  }
+
+  std::string select;
+  if (*aggregate) {
+    select = "SELECT a.c3, count(*) AS n, count(DISTINCT a.c1) AS d FROM " +
+             from + where + " GROUP BY a.c3";
+  } else {
+    select = "SELECT ";
+    if (rng->Chance(0.3)) select += "DISTINCT ";
+    select += "a.c1, a.c3";
+    if (two_atoms) select += ", b.c1";
+    select += " FROM " + from + where;
+  }
+  return select;
+}
+
+class StringChainDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StringChainDifferential, EncodedAndScalarPathsAgreeBitForBit) {
+  Rng rng(GetParam() * 60257 + 11);
+  RandomDb env = BuildRandomStringDb(&rng);
+  BoundedExecutor executor(env.catalog.get());
+  const uint64_t budgets[] = {0, 1, 3, 17};
+
+  for (int q = 0; q < 8; ++q) {
+    bool aggregate = false;
+    std::string sql = BuildRandomStringQuery(&rng, &aggregate);
+    SCOPED_TRACE(sql);
+
+    // Engine parity first (BEAS vs the conventional engine), so the
+    // dictionary path is also checked against an independent evaluator.
+    BeasSession::ExecutionDecision decision;
+    auto beas = env.session->Execute(sql, &decision);
+    ASSERT_TRUE(beas.ok()) << beas.status().ToString();
+    auto pg = env.db->Query(sql, EngineProfile::PostgresLike());
+    ASSERT_TRUE(pg.ok()) << pg.status().ToString();
+    EXPECT_TRUE(RowMultisetsEqual(beas->rows, pg->rows))
+        << beas->rows.size() << " vs " << pg->rows.size();
+
+    auto coverage = env.session->Check(sql);
+    ASSERT_TRUE(coverage.ok());
+    if (!coverage->covered) continue;
+    auto bound = env.db->Bind(sql);
+    ASSERT_TRUE(bound.ok());
+    for (uint64_t budget : budgets) {
+      SCOPED_TRACE("budget=" + std::to_string(budget));
+      BoundedExecOptions scalar_opts;
+      scalar_opts.use_vectorized = false;
+      scalar_opts.fetch_budget = budget;
+      BoundedExecOptions vec_opts;
+      vec_opts.fetch_budget = budget;
+      auto frag_s =
+          executor.ExecuteFragment(*bound, coverage->plan, scalar_opts);
+      auto frag_v = executor.ExecuteFragment(*bound, coverage->plan, vec_opts);
+      ASSERT_TRUE(frag_s.ok()) << frag_s.status().ToString();
+      ASSERT_TRUE(frag_v.ok()) << frag_v.status().ToString();
+      ExpectFragmentsIdentical(*frag_s, *frag_v);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StringChainDifferential,
                          ::testing::Range<uint64_t>(0, 15));
 
 }  // namespace

@@ -139,6 +139,26 @@ TEST(ValueTest, HashEqualValuesEqualHashes) {
       << "integral doubles hash like their integer value";
 }
 
+TEST(ValueTest, StringEqualityAndHashAreByteExact) {
+  // Embedded NUL bytes and empty strings: equality/hash must treat the
+  // full (length, bytes) payload, never the C-string prefix. The
+  // dictionary round-trip twin of this test lives in string_dict_test.cc.
+  Value nul_b = Value::String(std::string("a\0b", 3));
+  Value nul_c = Value::String(std::string("a\0c", 3));
+  Value prefix = Value::String("a");
+  Value empty = Value::String("");
+  EXPECT_FALSE(nul_b == nul_c);
+  EXPECT_FALSE(nul_b == prefix);
+  EXPECT_FALSE(prefix == empty);
+  EXPECT_NE(nul_b.Hash(), nul_c.Hash());
+  EXPECT_NE(prefix.Hash(), empty.Hash());
+  EXPECT_TRUE(nul_b == Value::String(std::string("a\0b", 3)));
+  EXPECT_TRUE(empty == Value::String(""));
+  EXPECT_EQ(empty.Hash(), Value::String("").Hash());
+  EXPECT_FALSE(empty.is_null()) << "empty string is not NULL";
+  EXPECT_LT(empty.Compare(prefix), 0);
+}
+
 TEST(ValueTest, HashSpreads) {
   // Not a strict requirement, but catastrophic collisions would break
   // index performance: check a few values differ.

@@ -33,10 +33,22 @@ TupleBatch MakeBatch(const std::vector<Row>& rows,
   TupleBatch batch(cols);
   batch.set_num_rows(rows.size());
   for (size_t c = 0; c < cols; ++c) {
-    for (const Row& row : rows) batch.column(c).push_back(row[c]);
+    for (const Row& row : rows) batch.column(c).values.push_back(row[c]);
   }
   batch.weights() = weights;
   return batch;
+}
+
+/// Encodes string column `c` of `batch` through `dict` (NULLs become
+/// kNullCode), converting it to the dictionary-encoded representation.
+void EncodeColumn(TupleBatch* batch, size_t c, StringDict* dict) {
+  BatchColumn& col = batch->column(c);
+  for (const Value& v : col.values) {
+    col.codes.push_back(v.is_null() ? TupleBatch::kNullCode
+                                    : dict->Intern(v.AsString()));
+  }
+  col.values.clear();
+  col.dict = dict;
 }
 
 TEST(TupleBatchTest, DedupMergesWeightsFirstOccurrenceOrder) {
@@ -127,15 +139,42 @@ void ExpectProgramMatchesTreeEval(const ExprPtr& expr, size_t arity,
   TupleBatch batch(arity);
   batch.set_num_rows(rows.size());
   for (size_t c = 0; c < arity; ++c) {
-    for (const Row& row : rows) batch.column(c).push_back(row[c]);
+    for (const Row& row : rows) batch.column(c).values.push_back(row[c]);
   }
   std::vector<char> keep(rows.size(), 1);
-  program->FilterBatch(batch.columns(), rows.size(), *literals, &keep);
+  program->FilterBatch(batch.columns().data(), rows.size(), *literals, &keep);
   for (size_t r = 0; r < rows.size(); ++r) {
     auto expected = EvalPredicate(*expr, rows[r]);
     ASSERT_TRUE(expected.ok());
     EXPECT_EQ(keep[r] != 0, *expected)
         << expr->ToString() << " on " << RowToString(rows[r]);
+  }
+
+  // Same program over the same batch with every string column
+  // dictionary-encoded: the encoded kernels must agree bit-for-bit.
+  StringDict dict;
+  bool any_encoded = false;
+  for (size_t c = 0; c < arity; ++c) {
+    bool is_string = false;
+    bool mixed = false;
+    for (const Row& row : rows) {
+      if (row[c].is_null()) continue;
+      if (row[c].type() == TypeId::kString) {
+        is_string = true;
+      } else {
+        mixed = true;
+      }
+    }
+    if (is_string && !mixed) {
+      EncodeColumn(&batch, c, &dict);
+      any_encoded = true;
+    }
+  }
+  if (any_encoded) {
+    std::vector<char> keep_encoded(rows.size(), 1);
+    program->FilterBatch(batch.columns().data(), rows.size(), *literals,
+                         &keep_encoded);
+    EXPECT_EQ(keep, keep_encoded) << expr->ToString();
   }
 }
 
@@ -186,6 +225,66 @@ TEST(ExprProgramTest, MatchesTreeEvaluatorOnPredicateShapes) {
   for (const ExprPtr& predicate : predicates) {
     ExpectProgramMatchesTreeEval(predicate, 3, rows);
   }
+}
+
+TEST(ExprProgramTest, EncodedFastPathsMatchGenericOnStringPredicates) {
+  // Every fast pattern over a dictionary-encoded string column, including
+  // literals absent from the dictionary (the constant-fold cases) and
+  // byte-ordered range compares (codes are not order-preserving).
+  ExprPtr s = Expression::Column(0, TypeId::kString, "s");
+  std::vector<ExprPtr> predicates = {
+      Expression::Compare(CompareOp::kEq, s, Expression::Literal(S("bb"))),
+      Expression::Compare(CompareOp::kEq, s,
+                          Expression::Literal(S("not-there"))),
+      Expression::Compare(CompareOp::kNe, s, Expression::Literal(S("bb"))),
+      Expression::Compare(CompareOp::kNe, s,
+                          Expression::Literal(S("not-there"))),
+      Expression::Compare(CompareOp::kLt, s, Expression::Literal(S("bb"))),
+      Expression::Compare(CompareOp::kGe, s, Expression::Literal(S("b"))),
+      Expression::Between(s, Expression::Literal(S("a")),
+                          Expression::Literal(S("bz"))),
+      Expression::InList(s, {S("aa"), S("cc"), S("nope"), Value::Null()}),
+      Expression::IsNull(s, false),
+      Expression::IsNull(s, true),
+      Expression::Compare(CompareOp::kEq, s,
+                          Expression::Literal(Value::Null())),
+  };
+  std::vector<Row> rows = {{S("aa")}, {S("bb")}, {N()}, {S("cc")},
+                           {S("b")},  {S("bb")}, {S("")}};
+  for (const ExprPtr& predicate : predicates) {
+    ExpectProgramMatchesTreeEval(predicate, 1, rows);
+  }
+}
+
+TEST(TupleBatchTest, EncodedColumnsDedupFilterAndHashLikeGeneric) {
+  std::vector<Row> rows = {{S("x"), I(1)}, {S("y"), I(2)}, {S("x"), I(1)},
+                           {N(), I(3)},    {N(), I(3)},    {S("x"), I(2)}};
+  std::vector<uint64_t> weights = {1, 2, 3, 4, 5, 6};
+  TupleBatch generic = MakeBatch(rows, weights);
+  TupleBatch encoded = MakeBatch(rows, weights);
+  StringDict dict;
+  EncodeColumn(&encoded, 0, &dict);
+
+  generic.ComputeHashes();
+  encoded.ComputeHashes();
+  ASSERT_EQ(generic.hashes(), encoded.hashes())
+      << "encoded rows must hash exactly like their materialized twins";
+
+  generic.DedupMergeWeights();
+  encoded.DedupMergeWeights();
+  EXPECT_EQ(generic.num_rows(), 4u);
+  EXPECT_EQ(encoded.num_rows(), 4u);
+  EXPECT_EQ(generic.weights(), encoded.weights());
+  for (size_t r = 0; r < generic.num_rows(); ++r) {
+    EXPECT_EQ(CompareValueVec(generic.GetRow(r), encoded.GetRow(r)), 0);
+  }
+
+  std::vector<char> keep = {1, 0, 1, 0};
+  generic.Filter(keep);
+  encoded.Filter(keep);
+  EXPECT_EQ(generic.ToRows(), encoded.ToRows());
+  EXPECT_EQ(generic.weights(), encoded.weights());
+  EXPECT_EQ(generic.hashes(), encoded.hashes());
 }
 
 TEST(ExprProgramTest, RefusesStaticallyTypeUnsoundComparisons) {
@@ -279,6 +378,58 @@ TEST(AcIndexBatchTest, LookupBatchMatchesScalarLookups) {
   EXPECT_EQ((*out[0].multiplicities)[0], 2u);  // v=10 appears twice
   EXPECT_EQ(out[2].size(), 0u);   // missing key
   EXPECT_EQ(out[3].size(), 0u);   // NULL key never matches
+}
+
+TEST(AcIndexBatchTest, LookupBatchDoesZeroStringHashingOnDictKeys) {
+  // The dictionary-encoding contract of the probe path: for a table whose
+  // string values are interned, LookupBatch over dictionary-backed keys
+  // must hash string components via the dictionary's precomputed hashes —
+  // zero HashString (byte-hash) calls per probe.
+  Database db;
+  std::vector<Row> rows;
+  for (int i = 0; i < 64; ++i) {
+    rows.push_back({S("key_with_some_length_" + std::to_string(i % 16)),
+                    S("payload_" + std::to_string(i))});
+  }
+  testing_util::MakeTable(
+      &db, "t", Schema({{"k", TypeId::kString}, {"v", TypeId::kString}}),
+      rows);
+  TableInfo* info = *db.catalog()->GetTable("t");
+  ASSERT_NE(info->heap()->dict(), nullptr);
+  auto index = AcIndex::Build({"psi", "t", {"k"}, {"v"}, 64}, *info->heap());
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->dict(), info->heap()->dict());
+
+  // Dictionary-backed probe keys, straight from the stored rows.
+  std::vector<ValueVec> keys;
+  for (auto it = info->heap()->Begin(); it.Valid(); it.Next()) {
+    keys.push_back((*index)->KeyOf(it.row()));
+  }
+  std::vector<AcIndex::BucketView> out(keys.size());
+
+  uint64_t before = tls_hash_string_calls;
+  (*index)->LookupBatch(keys.data(), keys.size(), out.data());
+  EXPECT_EQ(tls_hash_string_calls, before)
+      << "dict-backed probe keys must not hash string bytes";
+  for (const AcIndex::BucketView& bucket : out) {
+    EXPECT_GT(bucket.size(), 0u);
+  }
+
+  // Contrast: inline (non-interned) string keys still answer correctly,
+  // but pay byte hashing — the path the dictionary removes.
+  std::vector<ValueVec> inline_keys;
+  for (int i = 0; i < 16; ++i) {
+    inline_keys.push_back(
+        {S("key_with_some_length_" + std::to_string(i))});
+  }
+  std::vector<AcIndex::BucketView> inline_out(inline_keys.size());
+  before = tls_hash_string_calls;
+  (*index)->LookupBatch(inline_keys.data(), inline_keys.size(),
+                        inline_out.data());
+  EXPECT_GT(tls_hash_string_calls, before);
+  for (const AcIndex::BucketView& bucket : inline_out) {
+    EXPECT_GT(bucket.size(), 0u);
+  }
 }
 
 // ---------------------------------------------------------------------------

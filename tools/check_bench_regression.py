@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the fetch-chain bench.
+
+Compares a freshly produced BENCH_fetch_chain.json against the baseline
+committed at the repo root and fails (exit 1) when:
+
+  * the fresh run diverged (all_identical != true), or
+  * fetch_chain_speedup_geomean fell below THRESHOLD (default 0.9) of the
+    committed baseline, or
+  * string_dict_speedup_geomean fell below the absolute dictionary floor
+    (1.5x, the dictionary-encoding acceptance bar) or below THRESHOLD of
+    the committed baseline — whichever is lower protects against CI
+    machine variance while still catching real regressions.
+
+Usage: check_bench_regression.py <fresh.json> <baseline.json> [threshold]
+"""
+
+import json
+import sys
+
+DICT_SPEEDUP_FLOOR = 1.5
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        fresh = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 0.9
+
+    failures = []
+
+    # Speedups are scale-dependent; comparing runs at different data
+    # scales would gate on incommensurable numbers.
+    if fresh.get("tlc_sf") != baseline.get("tlc_sf"):
+        failures.append(
+            f"config mismatch: fresh tlc_sf={fresh.get('tlc_sf')} vs "
+            f"baseline tlc_sf={baseline.get('tlc_sf')} — run the bench at "
+            "the baseline's scale or regenerate the baseline")
+
+    if fresh.get("all_identical") is not True:
+        failures.append("fresh run diverged: all_identical != true")
+
+    def gate(metric, floor_abs=None):
+        fresh_v = fresh.get(metric)
+        base_v = baseline.get(metric)
+        if fresh_v is None:
+            failures.append(f"{metric} missing from fresh results")
+            return
+        if base_v is None:
+            print(f"  {metric}: {fresh_v:.3f} (no baseline; recorded only)")
+            return
+        bar = threshold * base_v
+        if floor_abs is not None:
+            bar = min(bar, floor_abs)
+        status = "ok" if fresh_v >= bar else "REGRESSED"
+        print(f"  {metric}: fresh {fresh_v:.3f} vs baseline {base_v:.3f} "
+              f"(bar {bar:.3f}) {status}")
+        if fresh_v < bar:
+            failures.append(
+                f"{metric} regressed: {fresh_v:.3f} < {bar:.3f} "
+                f"(baseline {base_v:.3f})")
+
+    print("fetch-chain perf gate:")
+    gate("fetch_chain_speedup_geomean")
+    gate("string_chain_speedup_geomean")
+    gate("string_dict_speedup_geomean", floor_abs=DICT_SPEEDUP_FLOOR)
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

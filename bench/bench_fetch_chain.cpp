@@ -15,15 +15,29 @@
 // the dictionary's isolated contribution on the vectorized path, and all
 // three must produce identical fragments.
 //
+// A third section measures *hash-partitioned storage* (the sharding
+// tentpole): the same TLC data is materialized at BEAS_SHARDS=1 and at
+// BEAS_SHARDS=N (default 4), and every multi-step chain runs the
+// vectorized executor with the same worker pool on both — so the
+// difference is exactly the sharded fan-out (partitioned AC-index probes
+// + chunk-parallel gather). Both runs must be bit-identical to the
+// unsharded scalar reference; the Fig. 4 chain's sharded/unsharded ratio
+// is the CI gate (tools/check_bench_regression.py, skipped on single-core
+// runners where no parallel speedup is physically possible).
+//
 // Knobs: TLC_SF (default 32) data scale; FETCH_REPS (default 15) timing
-// reps; BENCH_JSON_PATH (default BENCH_fetch_chain.json).
+// reps; BEAS_SHARDS (default 4) sharded-run shard count;
+// BENCH_JSON_PATH (default BENCH_fetch_chain.json).
 
 #include <cmath>
 #include <cstdio>
+#include <thread>
 
 #include "bench_util.h"
 #include "bounded/bounded_executor.h"
+#include "common/shard_config.h"
 #include "common/string_util.h"
+#include "common/task_pool.h"
 #include "workload/tlc_queries.h"
 
 using namespace beas;
@@ -169,6 +183,72 @@ const std::vector<std::pair<std::string, std::string>>& StringChainQueries() {
                NodeName("l3", 0) + "'"},
       };
   return *kQueries;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded vs unsharded storage on the TLC chains.
+// ---------------------------------------------------------------------------
+
+struct ShardRun {
+  std::string name;
+  size_t steps = 0;
+  double ms = 0;
+  bool identical = false;
+};
+
+/// Materializes TLC at `shards` storage shards and median-times every
+/// covered multi-step chain on the vectorized executor with a worker pool
+/// and compiled plans — so two calls differ only in the shard count. Each
+/// chain is cross-checked bit-for-bit against the scalar reference on the
+/// same storage.
+std::vector<ShardRun> RunShardSection(double sf, int reps, size_t shards,
+                                      bool* error) {
+  ShardCountOverride() = shards;
+  TlcEnv env = MakeTlcEnv(sf);
+  ShardCountOverride() = 0;
+  BoundedExecutor executor(env.catalog.get());
+  TaskPool pool(std::max<size_t>(2, shards));
+
+  std::vector<ShardRun> out;
+  for (const TlcQuery& q : TlcQueries()) {
+    if (!q.expect_covered) continue;
+    auto coverage = env.session->Check(q.sql);
+    if (!coverage.ok() || !coverage->covered) continue;
+    auto bound = env.db->Bind(q.sql);
+    if (!bound.ok()) continue;
+    const BoundQuery& query = *bound;
+    const BoundedPlan& plan = coverage->plan;
+    if (plan.steps.size() < 2) continue;
+
+    BoundedExecOptions vec_opts;
+    vec_opts.collect_stats = false;
+    vec_opts.probe_pool = &pool;
+    auto compiled = CompileBoundedPlan(query, plan, *env.catalog);
+    if (compiled.ok()) vec_opts.compiled = &*compiled;
+    BoundedExecOptions scalar_opts;
+    scalar_opts.use_vectorized = false;
+    scalar_opts.collect_stats = false;
+
+    auto frag_v = executor.ExecuteFragment(query, plan, vec_opts);
+    auto frag_s = executor.ExecuteFragment(query, plan, scalar_opts);
+    if (!frag_v.ok() || !frag_s.ok()) {
+      *error = true;
+      continue;
+    }
+    for (int w = 0; w < 3; ++w) {
+      (void)executor.ExecuteFragment(query, plan, vec_opts);
+    }
+    ShardRun r;
+    r.name = q.id;
+    r.steps = plan.steps.size();
+    // Scalar runs on the same (sharded) storage: if partitioning leaked
+    // into answers anywhere, this cross-check diverges.
+    r.identical = FragmentsIdentical(*frag_v, *frag_s);
+    r.ms = MedianMillis(
+        [&] { (void)executor.ExecuteFragment(query, plan, vec_opts); }, reps);
+    out.push_back(std::move(r));
+  }
+  return out;
 }
 
 }  // namespace
@@ -379,6 +459,47 @@ int main() {
       Geomean(string_speedups), Geomean(dict_speedups),
       strings_identical ? "bit-identical" : "DIVERGED");
 
+  // --- Sharded vs unsharded storage (the end-to-end fan-out A/B). ---
+  size_t shard_count =
+      static_cast<size_t>(EnvDouble("BEAS_SHARDS", 4));
+  if (shard_count < 2) shard_count = 2;
+  unsigned hw = std::thread::hardware_concurrency();
+  bool shard_error = false;
+  std::vector<ShardRun> unsharded = RunShardSection(sf, reps, 1,
+                                                    &shard_error);
+  std::vector<ShardRun> sharded =
+      RunShardSection(sf, reps, shard_count, &shard_error);
+
+  std::printf("\n%-6s %-6s | %-26s | %s\n", "chain", "steps",
+              "shards 1 -> N fetch (ms)", "speedup / identical?");
+  std::vector<double> shard_speedups;
+  double fig4_shard_speedup = 0;
+  // An empty section (no covered multi-step chains at this scale) still
+  // fails the bench — a vacuous run must not pass the CI gate — but is
+  // reported as such, not as a divergence.
+  bool shard_section_ran =
+      !unsharded.empty() && unsharded.size() == sharded.size();
+  bool shards_identical = shard_section_ran && !shard_error;
+  for (size_t i = 0; i < sharded.size() && i < unsharded.size(); ++i) {
+    const ShardRun& u = unsharded[i];
+    const ShardRun& s = sharded[i];
+    double speedup = u.ms / std::max(s.ms, 1e-6);
+    bool identical = u.identical && s.identical && u.name == s.name;
+    std::printf("%-6s %-6zu | %8.3f -> %8.3f | %5.2fx %s\n", s.name.c_str(),
+                s.steps, u.ms, s.ms, speedup, identical ? "yes" : "NO");
+    shard_speedups.push_back(speedup);
+    if (i == 0) fig4_shard_speedup = speedup;
+    shards_identical &= identical;
+  }
+  all_identical &= shards_identical;
+  std::printf(
+      "\nsharded storage (BEAS_SHARDS=%zu, %u cores): fig4 chain %.2fx vs "
+      "unsharded, geomean %.2fx (results %s)\n",
+      shard_count, hw, fig4_shard_speedup, Geomean(shard_speedups),
+      !shard_section_ran ? "MISSING — no qualifying chains"
+      : shards_identical ? "bit-identical"
+                         : "DIVERGED");
+
   FILE* json = std::fopen(json_path, "w");
   if (json != nullptr) {
     std::fprintf(json, "{\n  \"bench\": \"fetch_chain\",\n");
@@ -394,6 +515,26 @@ int main() {
                  Geomean(string_speedups));
     std::fprintf(json, "  \"string_dict_speedup_geomean\": %.4f,\n",
                  Geomean(dict_speedups));
+    std::fprintf(json, "  \"shards\": %zu,\n", shard_count);
+    std::fprintf(json, "  \"hardware_concurrency\": %u,\n", hw);
+    std::fprintf(json, "  \"fig4_shard_speedup\": %.4f,\n",
+                 fig4_shard_speedup);
+    std::fprintf(json, "  \"shard_speedup_geomean\": %.4f,\n",
+                 Geomean(shard_speedups));
+    std::fprintf(json, "  \"shard_chains\": [\n");
+    for (size_t i = 0; i < sharded.size() && i < unsharded.size(); ++i) {
+      const ShardRun& u = unsharded[i];
+      const ShardRun& s = sharded[i];
+      std::fprintf(json,
+                   "    {\"name\": \"%s\", \"steps\": %zu, "
+                   "\"unsharded_ms\": %.4f, \"sharded_ms\": %.4f, "
+                   "\"speedup\": %.4f, \"identical\": %s}%s\n",
+                   s.name.c_str(), s.steps, u.ms, s.ms,
+                   u.ms / std::max(s.ms, 1e-6),
+                   (u.identical && s.identical) ? "true" : "false",
+                   i + 1 < sharded.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
     std::fprintf(json, "  \"string_chains\": [\n");
     for (size_t i = 0; i < string_results.size(); ++i) {
       const StringChainResult& r = string_results[i];

@@ -1,6 +1,30 @@
 #include "asx/ac_index.h"
 
+#include "common/task_pool.h"
+
 namespace beas {
+
+namespace {
+
+/// Key sets below this size are probed with the plain per-key loop: the
+/// partition pass plus a pool dispatch would cost more than the probes
+/// themselves. Matches the executor's serial cutoff for single-shard
+/// chunked fan-out, so small per-step batches never pay fan-out overhead
+/// on either path.
+constexpr size_t kShardedProbeMin = 1024;
+
+}  // namespace
+
+AcIndex::AcIndex(AccessConstraint constraint, std::vector<size_t> x_cols,
+                 std::vector<size_t> y_cols, size_t num_shards)
+    : constraint_(std::move(constraint)),
+      x_cols_(std::move(x_cols)),
+      y_cols_(std::move(y_cols)) {
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<SubIndex>());
+  }
+}
 
 Result<std::unique_ptr<AcIndex>> AcIndex::Build(AccessConstraint constraint,
                                                 const TableHeap& heap) {
@@ -8,8 +32,9 @@ Result<std::unique_ptr<AcIndex>> AcIndex::Build(AccessConstraint constraint,
                         constraint.ResolveX(heap.schema()));
   BEAS_ASSIGN_OR_RETURN(std::vector<size_t> y_cols,
                         constraint.ResolveY(heap.schema()));
-  std::unique_ptr<AcIndex> index(new AcIndex(
-      std::move(constraint), std::move(x_cols), std::move(y_cols)));
+  std::unique_ptr<AcIndex> index(
+      new AcIndex(std::move(constraint), std::move(x_cols), std::move(y_cols),
+                  heap.num_shards()));
   index->dict_ = heap.dict();
   for (auto it = heap.Begin(); it.Valid(); it.Next()) {
     index->OnInsert(it.row());
@@ -32,23 +57,66 @@ Row AcIndex::YProjectionOf(const Row& row) const {
 }
 
 const std::vector<Row>* AcIndex::Lookup(const ValueVec& key) const {
-  auto it = buckets_.find(key);
-  return it == buckets_.end() ? nullptr : &it->second.distinct_y;
+  const SubIndex& sub = *shards_[ShardOfKey(key)];
+  auto it = sub.buckets.find(key);
+  return it == sub.buckets.end() ? nullptr : &it->second.distinct_y;
+}
+
+AcIndex::BucketView AcIndex::FindIn(const SubIndex& sub,
+                                    const ValueVec& key) const {
+  auto it = sub.buckets.find(key);
+  if (it == sub.buckets.end()) return BucketView{};
+  return BucketView{&it->second.distinct_y, &it->second.mults};
 }
 
 AcIndex::BucketView AcIndex::LookupWithCounts(const ValueVec& key) const {
-  auto it = buckets_.find(key);
-  if (it == buckets_.end()) return BucketView{};
-  return BucketView{&it->second.distinct_y, &it->second.mults};
+  return FindIn(*shards_[ShardOfKey(key)], key);
 }
 
 void AcIndex::LookupBatch(const ValueVec* keys, size_t count,
                           BucketView* out) const {
   for (size_t i = 0; i < count; ++i) {
-    auto it = buckets_.find(keys[i]);
-    out[i] = it == buckets_.end()
-                 ? BucketView{}
-                 : BucketView{&it->second.distinct_y, &it->second.mults};
+    out[i] = FindIn(*shards_[ShardOfKey(keys[i])], keys[i]);
+  }
+}
+
+void AcIndex::LookupBatch(const ValueVec* keys, size_t count, BucketView* out,
+                          TaskPool* pool) const {
+  size_t num_shards = shards_.size();
+  if (num_shards == 1 || count < kShardedProbeMin) {
+    LookupBatch(keys, count, out);
+    return;
+  }
+  // Counting-sort the key positions by sub-index, then resolve each
+  // shard's group as one unit. Results scatter into the caller's slots,
+  // so the merged answer order is the caller's key order by construction
+  // — no merge step, no schedule dependence.
+  std::vector<uint32_t> shard_of(count);
+  std::vector<uint32_t> begin(num_shards + 1, 0);
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t s = static_cast<uint32_t>(ShardOfKey(keys[i]));
+    shard_of[i] = s;
+    ++begin[s + 1];
+  }
+  for (size_t s = 0; s < num_shards; ++s) begin[s + 1] += begin[s];
+  std::vector<uint32_t> grouped(count);
+  {
+    std::vector<uint32_t> cursor(begin.begin(), begin.end() - 1);
+    for (size_t i = 0; i < count; ++i) {
+      grouped[cursor[shard_of[i]]++] = static_cast<uint32_t>(i);
+    }
+  }
+  auto probe_shard = [&](size_t s) {
+    const SubIndex& sub = *shards_[s];
+    for (uint32_t j = begin[s]; j < begin[s + 1]; ++j) {
+      uint32_t p = grouped[j];
+      out[p] = FindIn(sub, keys[p]);
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 0) {
+    pool->ParallelFor(num_shards, probe_shard);
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) probe_shard(s);
   }
 }
 
@@ -57,7 +125,11 @@ void AcIndex::OnInsert(const Row& row) {
   for (const Value& v : key) {
     if (v.is_null()) return;  // NULL X-values are not indexed
   }
-  Bucket& bucket = buckets_[std::move(key)];
+  SubIndex& sub = *shards_[ShardOfKey(key)];
+  // Writers whose rows hash to different heap shards may reach the same
+  // sub-index; per-key order still equals the commit order they observed.
+  std::lock_guard<std::mutex> lock(sub.write_mutex);
+  Bucket& bucket = sub.buckets[std::move(key)];
   Row y = YProjectionOf(row);
   auto it = bucket.positions.find(y);
   if (it != bucket.positions.end()) {
@@ -67,7 +139,7 @@ void AcIndex::OnInsert(const Row& row) {
   bucket.positions.emplace(y, bucket.distinct_y.size());
   bucket.distinct_y.push_back(std::move(y));
   bucket.mults.push_back(1);
-  ++num_entries_;
+  ++sub.num_entries;
 }
 
 void AcIndex::OnDelete(const Row& row) {
@@ -75,8 +147,10 @@ void AcIndex::OnDelete(const Row& row) {
   for (const Value& v : key) {
     if (v.is_null()) return;
   }
-  auto bucket_it = buckets_.find(key);
-  if (bucket_it == buckets_.end()) return;
+  SubIndex& sub = *shards_[ShardOfKey(key)];
+  std::lock_guard<std::mutex> lock(sub.write_mutex);
+  auto bucket_it = sub.buckets.find(key);
+  if (bucket_it == sub.buckets.end()) return;
   Bucket& bucket = bucket_it->second;
   Row y = YProjectionOf(row);
   auto it = bucket.positions.find(y);
@@ -94,14 +168,28 @@ void AcIndex::OnDelete(const Row& row) {
   }
   bucket.distinct_y.pop_back();
   bucket.mults.pop_back();
-  --num_entries_;
-  if (bucket.distinct_y.empty()) buckets_.erase(bucket_it);
+  --sub.num_entries;
+  if (bucket.distinct_y.empty()) sub.buckets.erase(bucket_it);
+}
+
+size_t AcIndex::NumKeys() const {
+  size_t n = 0;
+  for (const auto& sub : shards_) n += sub->buckets.size();
+  return n;
+}
+
+size_t AcIndex::NumEntries() const {
+  size_t n = 0;
+  for (const auto& sub : shards_) n += sub->num_entries;
+  return n;
 }
 
 size_t AcIndex::MaxBucketSize() const {
   size_t max_size = 0;
-  for (const auto& [key, bucket] : buckets_) {
-    max_size = std::max(max_size, bucket.distinct_y.size());
+  for (const auto& sub : shards_) {
+    for (const auto& [key, bucket] : sub->buckets) {
+      max_size = std::max(max_size, bucket.distinct_y.size());
+    }
   }
   return max_size;
 }

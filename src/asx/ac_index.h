@@ -2,13 +2,17 @@
 #define BEAS_ASX_AC_INDEX_H_
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "asx/access_constraint.h"
 #include "common/result.h"
 #include "storage/table_heap.h"
 
 namespace beas {
+
+class TaskPool;
 
 /// \brief The "modified hash index" of an access constraint (paper §3):
 /// the key is the X-projection of a tuple; each key maps to the bucket
@@ -24,6 +28,22 @@ namespace beas {
 ///
 /// Rows whose X-projection contains NULL are not indexed (SQL equality
 /// never matches NULL keys).
+///
+/// ## Hash sharding
+///
+/// The index is partitioned into the same number of shards as the heap it
+/// was built over: a key lives in sub-index `hash(key) % num_shards()`.
+/// Each bucket lives entirely in one sub-index, and per-key maintenance
+/// order equals the caller's write order, so bucket contents — and hence
+/// every fetched Y order downstream — are bit-identical across shard
+/// counts. `LookupBatch` with a TaskPool partitions a deduplicated probe
+/// set by sub-index and probes the shards in parallel, writing each
+/// result into its caller-assigned slot (results therefore come back in
+/// the caller's first-appearance key order, merge-free). Maintenance
+/// (OnInsert/OnDelete) takes a per-sub-index mutex so writers whose rows
+/// hash to different heap shards — serialized only per shard by Database
+/// — may maintain one index concurrently; lookups never lock (readers are
+/// excluded from all writers by the per-shard lock table).
 ///
 /// ## Dictionary-encoded string keys
 ///
@@ -41,7 +61,8 @@ namespace beas {
 /// (Value::Compare).
 class AcIndex {
  public:
-  /// Builds the index over all live rows of `heap`. The declared bound
+  /// Builds the index over all live rows of `heap` (walked in global
+  /// insertion order — shard-count invariant). The declared bound
   /// `constraint.limit_n` is NOT enforced here: the index always stores
   /// every distinct Y-value so query answers stay exact; conformance is
   /// checked separately (see conformance.h) and exposed via Conforms().
@@ -70,19 +91,26 @@ class AcIndex {
   BucketView LookupWithCounts(const ValueVec& key) const;
 
   /// \brief Batched probe: resolves `count` keys into `out[0..count)`.
-  /// Today this is a tight find loop — one probe per key, same cost as N
-  /// LookupWithCounts calls; the batching win lives in the caller, which
-  /// deduplicates the raw (row × combo) fan-out to distinct keys before
-  /// probing and shards large batches across a TaskPool. Keys containing
-  /// NULL resolve to the empty bucket (NULL X-values are never indexed).
-  /// Read-only and safe to call concurrently from several shards of one
-  /// key set.
+  /// A tight find loop per sub-index; the batching win lives in the
+  /// caller, which deduplicates the raw (row × combo) fan-out to distinct
+  /// keys before probing. Keys containing NULL resolve to the empty
+  /// bucket (NULL X-values are never indexed). Read-only and safe to call
+  /// concurrently from several shards of one key set.
   void LookupBatch(const ValueVec* keys, size_t count, BucketView* out) const;
 
-  /// Incremental maintenance on tuple insert.
+  /// Shard-routed batched probe: partitions the keys by sub-index and
+  /// probes each shard's group as one unit — on `pool` when provided
+  /// (shard-parallel, the fan-out grain of the sharded fetch chain),
+  /// serially otherwise (still per-shard grouped for locality). Each
+  /// result lands in its key's slot of `out`, so the merged answer is in
+  /// the caller's key order regardless of shard schedule.
+  void LookupBatch(const ValueVec* keys, size_t count, BucketView* out,
+                   TaskPool* pool) const;
+
+  /// Incremental maintenance on tuple insert (locks the key's sub-index).
   void OnInsert(const Row& row);
 
-  /// Incremental maintenance on tuple delete.
+  /// Incremental maintenance on tuple delete (locks the key's sub-index).
   void OnDelete(const Row& row);
 
   const AccessConstraint& constraint() const { return constraint_; }
@@ -96,11 +124,14 @@ class AcIndex {
   /// the index structure itself is bound-agnostic).
   void set_limit(uint64_t n) { constraint_.limit_n = n; }
 
+  /// Number of hash shards (sub-indexes).
+  size_t num_shards() const { return shards_.size(); }
+
   /// Number of distinct X-keys.
-  size_t NumKeys() const { return buckets_.size(); }
+  size_t NumKeys() const;
 
   /// Total number of distinct (X, Y) entries.
-  size_t NumEntries() const { return num_entries_; }
+  size_t NumEntries() const;
 
   /// Largest bucket (max distinct Y per X observed).
   size_t MaxBucketSize() const;
@@ -119,10 +150,7 @@ class AcIndex {
 
  private:
   AcIndex(AccessConstraint constraint, std::vector<size_t> x_cols,
-          std::vector<size_t> y_cols)
-      : constraint_(std::move(constraint)),
-        x_cols_(std::move(x_cols)),
-        y_cols_(std::move(y_cols)) {}
+          std::vector<size_t> y_cols, size_t num_shards);
 
   struct Bucket {
     /// Distinct Y-projections, stable order for determinism.
@@ -133,12 +161,30 @@ class AcIndex {
     std::unordered_map<ValueVec, size_t, ValueVecHash, ValueVecEq> positions;
   };
 
+  /// One hash partition of the key space.
+  struct SubIndex {
+    std::unordered_map<ValueVec, Bucket, ValueVecHash, ValueVecEq> buckets;
+    size_t num_entries = 0;
+    /// Writer-writer serialization only (see class comment).
+    std::mutex write_mutex;
+  };
+
+  /// The sub-index `key` routes to. The modulo distributes the same
+  /// 64-bit hash the sub-maps use, so routing is deterministic and free
+  /// of representational bias (dictionary-backed and inline strings hash
+  /// identically).
+  size_t ShardOfKey(const ValueVec& key) const {
+    if (shards_.size() == 1) return 0;
+    return static_cast<size_t>(ValueVecHash{}(key) % shards_.size());
+  }
+
+  BucketView FindIn(const SubIndex& sub, const ValueVec& key) const;
+
   AccessConstraint constraint_;
   std::vector<size_t> x_cols_;
   std::vector<size_t> y_cols_;
   const StringDict* dict_ = nullptr;  ///< the indexed heap's dictionary
-  std::unordered_map<ValueVec, Bucket, ValueVecHash, ValueVecEq> buckets_;
-  size_t num_entries_ = 0;
+  std::vector<std::unique_ptr<SubIndex>> shards_;
 };
 
 }  // namespace beas

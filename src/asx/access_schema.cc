@@ -51,6 +51,19 @@ std::string AccessSchema::ToString() const {
 Status AsCatalog::Register(AccessConstraint constraint) {
   BEAS_ASSIGN_OR_RETURN(TableInfo * table,
                         db_->catalog()->GetTable(constraint.table));
+  // The table's first constraint nominates the heap's shard key: rows
+  // inserted from now on hash-route by its first X-column, so writes with
+  // distinct key values spread across per-shard write locks. Placement is
+  // a locality hint only (the heap's slot directory records every row's
+  // location), so rows loaded before this point simply stay where the
+  // row-hash fallback put them.
+  if (table->heap()->shard_key_col() < 0) {
+    Result<std::vector<size_t>> x_cols =
+        constraint.ResolveX(table->heap()->schema());
+    if (x_cols.ok() && !x_cols->empty()) {
+      table->heap()->DeclareShardKey((*x_cols)[0]);
+    }
+  }
   BEAS_RETURN_NOT_OK(schema_.Add(constraint));
   const AccessConstraint& added = schema_.constraints().back();
   auto index = AcIndex::Build(added, *table->heap());

@@ -1,6 +1,7 @@
 #include "bounded/bounded_executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <unordered_map>
 #include <unordered_set>
@@ -128,6 +129,32 @@ ComboShape ShapeOf(const FetchStep& step) {
 
 /// How many distinct keys justify sharding probes across the pool.
 constexpr size_t kParallelProbeThreshold = 1024;
+
+/// How many gathered output rows justify fanning a step's gather out
+/// across the pool (sharded storage only).
+constexpr size_t kParallelGatherThreshold = 4096;
+
+/// Runs fn(begin, end) over contiguous chunks of [0, n), fanned across
+/// `pool` (the caller participates); serial when the pool is null or the
+/// range is small. Chunking a pure scatter is order-free, so results are
+/// bit-identical to the serial loop.
+void ParallelChunks(TaskPool* pool, size_t n, size_t min_chunk,
+                    const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  size_t workers = pool == nullptr ? 0 : pool->num_threads();
+  if (workers == 0 || n <= min_chunk) {
+    fn(0, n);
+    return;
+  }
+  size_t chunks =
+      std::min((n + min_chunk - 1) / min_chunk, 4 * (workers + 1));
+  size_t per = (n + chunks - 1) / chunks;
+  pool->ParallelFor(chunks, [&](size_t c) {
+    size_t begin = c * per;
+    size_t end = std::min(n, begin + per);
+    if (begin < end) fn(begin, end);
+  });
+}
 
 }  // namespace
 
@@ -352,6 +379,13 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentScalar(
 // first-appearance order, batched (optionally sharded) index probes,
 // gather-based join, compiled predicate programs, hash-based weighted
 // dedup. Bit-identical to the scalar path (rows, order, weights, η).
+//
+// With hash-partitioned storage (BEAS_SHARDS > 1) each step runs
+// shard-parallel end to end: the probe batch partitions by AC-index
+// sub-shard and executes shard groups on the pool, and the gather/hash
+// scatter runs in chunks on the same pool. Every parallel piece writes to
+// disjoint, caller-ordered slots, so the merged T is bit-identical to the
+// serial (and single-shard) execution.
 //
 // String columns ride the dictionary-encoded path end to end: probe-key
 // string constants are canonicalized into the probed table's dictionary
@@ -620,15 +654,23 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentVectorized(
     const AcIndex* index = prog.index;
 
     if (!budget.capped) {
-      // Exact evaluation: every key is served; probe the whole batch, in
-      // shards across the pool when the fan-out is large. NULL-bearing
-      // keys resolve to empty buckets inside LookupBatch and are excluded
-      // from probe accounting below, like the scalar path. Keys are the
-      // canonical (dictionary-encoded) view, so string components hash by
-      // stored code — zero byte hashing inside the probe loop.
+      // Exact evaluation: every key is served; probe the whole batch.
+      // With a sharded index (BEAS_SHARDS > 1) the batch is partitioned
+      // by sub-index and the shard groups execute on the pool — each
+      // worker walks one sub-index (locality) and scatters results into
+      // the caller-ordered slots, so the merge is deterministic by
+      // construction. A single-shard index keeps the pre-sharding
+      // behavior: chunked fan-out for large key sets, serial otherwise.
+      // NULL-bearing keys resolve to empty buckets inside LookupBatch and
+      // are excluded from probe accounting below, like the scalar path.
+      // Keys are the canonical (dictionary-encoded) view, so string
+      // components hash by stored code — zero byte hashing inside the
+      // probe loop.
       TaskPool* pool = options.probe_pool;
-      if (pool != nullptr && pool->num_threads() > 0 &&
-          nkeys >= kParallelProbeThreshold) {
+      if (prog.index_shards > 1) {
+        index->LookupBatch(canon_keys.data(), nkeys, buckets.data(), pool);
+      } else if (pool != nullptr && pool->num_threads() > 0 &&
+                 nkeys >= kParallelProbeThreshold) {
         size_t shard = std::max<size_t>(
             512, nkeys / (4 * (pool->num_threads() + 1)));
         size_t num_shards = (nkeys + shard - 1) / shard;
@@ -706,6 +748,17 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentVectorized(
     TupleBatch next(t.num_columns() + step.added_columns.size());
     next.set_num_rows(out_count);
     next.weights() = std::move(new_weights);
+    // Sharded storage fans the gather itself out across the pool: every
+    // loop below is a pure scatter indexed by output row, so chunking it
+    // changes nothing about the result. Null on the serial path (and for
+    // single-shard indices, which keep the pre-sharding loops).
+    TaskPool* gather_pool =
+        (prog.index_shards > 1 && options.probe_pool != nullptr &&
+         options.probe_pool->num_threads() > 0 &&
+         out_count >= kParallelGatherThreshold)
+            ? options.probe_pool
+            : nullptr;
+    constexpr size_t kGatherChunk = 4096;
     // Row hash = parent row hash folded with the added values, column by
     // column — same fold ComputeHashes would run, without rehashing the
     // parent prefix.
@@ -713,9 +766,12 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentVectorized(
     next_hashes.resize(out_count);
     {
       const std::vector<uint64_t>& parent_hashes = t.hashes();
-      for (size_t i = 0; i < out_count; ++i) {
-        next_hashes[i] = parent_hashes[src_row[i]];
-      }
+      ParallelChunks(gather_pool, out_count, kGatherChunk,
+                     [&](size_t begin, size_t end) {
+                       for (size_t i = begin; i < end; ++i) {
+                         next_hashes[i] = parent_hashes[src_row[i]];
+                       }
+                     });
     }
     // Parent columns: encoded columns gather 4-byte codes, generic ones
     // gather Values.
@@ -724,10 +780,21 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentVectorized(
       BatchColumn& dst = next.column(c);
       if (src.encoded()) {
         dst.dict = src.dict;
-        dst.codes.reserve(out_count);
-        for (size_t i = 0; i < out_count; ++i) {
-          dst.codes.push_back(src.codes[src_row[i]]);
-        }
+        dst.codes.resize(out_count);
+        ParallelChunks(gather_pool, out_count, kGatherChunk,
+                       [&](size_t begin, size_t end) {
+                         for (size_t i = begin; i < end; ++i) {
+                           dst.codes[i] = src.codes[src_row[i]];
+                         }
+                       });
+      } else if (gather_pool != nullptr) {
+        dst.values.resize(out_count);
+        ParallelChunks(gather_pool, out_count, kGatherChunk,
+                       [&](size_t begin, size_t end) {
+                         for (size_t i = begin; i < end; ++i) {
+                           dst.values[i] = src.values[src_row[i]];
+                         }
+                       });
       } else {
         dst.values.reserve(out_count);
         for (size_t i = 0; i < out_count; ++i) {
@@ -753,36 +820,73 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentVectorized(
         // dictionary cannot legitimately appear here (keys that found a
         // bucket are canonical; Y-values are interned at insert) — but if
         // it ever does, fall back to a generic column rather than guess.
-        dst.codes.reserve(out_count);
-        for (size_t i = 0; i < out_count && encoded; ++i) {
-          const Value& v = value_at(i);
-          if (v.is_null()) {
-            dst.codes.push_back(TupleBatch::kNullCode);
-          } else if (v.dict() == osrc.out_dict) {
-            dst.codes.push_back(v.dict_code());
-          } else {
-            encoded = false;
+        if (gather_pool != nullptr) {
+          dst.codes.resize(out_count);
+          std::atomic<bool> all_encoded{true};
+          ParallelChunks(gather_pool, out_count, kGatherChunk,
+                         [&](size_t begin, size_t end) {
+                           for (size_t i = begin; i < end; ++i) {
+                             const Value& v = value_at(i);
+                             if (v.is_null()) {
+                               dst.codes[i] = TupleBatch::kNullCode;
+                             } else if (v.dict() == osrc.out_dict) {
+                               dst.codes[i] = v.dict_code();
+                             } else {
+                               all_encoded.store(false,
+                                                 std::memory_order_relaxed);
+                               return;
+                             }
+                           }
+                         });
+          encoded = all_encoded.load(std::memory_order_relaxed);
+        } else {
+          dst.codes.reserve(out_count);
+          for (size_t i = 0; i < out_count && encoded; ++i) {
+            const Value& v = value_at(i);
+            if (v.is_null()) {
+              dst.codes.push_back(TupleBatch::kNullCode);
+            } else if (v.dict() == osrc.out_dict) {
+              dst.codes.push_back(v.dict_code());
+            } else {
+              encoded = false;
+            }
           }
         }
         if (encoded) {
           dst.dict = osrc.out_dict;
           const StringDict* out_dict = osrc.out_dict;
-          for (size_t i = 0; i < out_count; ++i) {
-            uint32_t code = dst.codes[i];
-            HashCombine(&next_hashes[i], code == TupleBatch::kNullCode
+          ParallelChunks(gather_pool, out_count, kGatherChunk,
+                         [&](size_t begin, size_t end) {
+                           for (size_t i = begin; i < end; ++i) {
+                             uint32_t code = dst.codes[i];
+                             HashCombine(&next_hashes[i],
+                                         code == TupleBatch::kNullCode
                                              ? kNullValueHash
                                              : out_dict->hash(code));
-          }
+                           }
+                         });
         } else {
           dst.codes.clear();
         }
       }
       if (!encoded) {
-        dst.values.reserve(out_count);
-        for (size_t i = 0; i < out_count; ++i) {
-          const Value& v = value_at(i);
-          HashCombine(&next_hashes[i], v.Hash());
-          dst.values.push_back(v);
+        if (gather_pool != nullptr) {
+          dst.values.resize(out_count);
+          ParallelChunks(gather_pool, out_count, kGatherChunk,
+                         [&](size_t begin, size_t end) {
+                           for (size_t i = begin; i < end; ++i) {
+                             const Value& v = value_at(i);
+                             HashCombine(&next_hashes[i], v.Hash());
+                             dst.values[i] = v;
+                           }
+                         });
+        } else {
+          dst.values.reserve(out_count);
+          for (size_t i = 0; i < out_count; ++i) {
+            const Value& v = value_at(i);
+            HashCombine(&next_hashes[i], v.Hash());
+            dst.values.push_back(v);
+          }
         }
       }
     }

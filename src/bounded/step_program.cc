@@ -20,6 +20,7 @@ Result<CompiledPlan> CompileBoundedPlan(const BoundQuery& query,
                               step.constraint.name + "'");
     }
     program.dict = program.index->dict();
+    program.index_shards = program.index->num_shards();
     if (step.atom >= query.atoms.size()) {
       return Status::Internal("fetch step references an unknown atom");
     }

@@ -35,6 +35,12 @@ struct StepProgram {
   /// hashes string key components in O(1) — zero byte hashing per probe.
   const StringDict* dict = nullptr;
 
+  /// Shard routing: the probed index's sub-index count, resolved at
+  /// compile time. >1 switches the executor's step loop onto the
+  /// shard-parallel paths (partitioned LookupBatch, chunked gather); 1
+  /// keeps the exact pre-sharding execution.
+  size_t index_shards = 1;
+
   /// Where each added T column comes from: the probe key (X wins when a
   /// column is in both X and Y) or the fetched Y-projection.
   struct OutSource {

@@ -8,9 +8,10 @@ namespace beas {
 
 const TableStats& TableInfo::stats() {
   std::lock_guard<std::mutex> lock(stats_mutex_);
-  if (!stats_valid_ || stats_slots_ != heap_.NumSlots()) {
+  if (!stats_valid_.load(std::memory_order_acquire) ||
+      stats_slots_ != heap_.NumSlots()) {
     stats_ = ComputeTableStats(heap_);
-    stats_valid_ = true;
+    stats_valid_.store(true, std::memory_order_release);
     stats_slots_ = heap_.NumSlots();
   }
   return stats_;

@@ -1,6 +1,7 @@
 #ifndef BEAS_CATALOG_CATALOG_H_
 #define BEAS_CATALOG_CATALOG_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -32,15 +33,18 @@ class TableInfo {
   /// Database) keeps writers exclusive.
   const TableStats& stats();
 
-  /// Drops the stats cache (called on writes).
-  void InvalidateStats() { stats_valid_ = false; }
+  /// Drops the stats cache (called on writes; atomic because writers to
+  /// different shards of the heap may invalidate concurrently).
+  void InvalidateStats() {
+    stats_valid_.store(false, std::memory_order_release);
+  }
 
  private:
   std::string name_;
   TableHeap heap_;
   std::mutex stats_mutex_;  ///< serializes lazy recomputation among readers
   TableStats stats_;
-  bool stats_valid_ = false;
+  std::atomic<bool> stats_valid_{false};
   size_t stats_slots_ = 0;
 };
 

@@ -1,0 +1,44 @@
+#include "common/shard_config.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+namespace beas {
+
+namespace {
+
+size_t ClampShards(long long n) {
+  if (n < 1) return 1;
+  if (n > static_cast<long long>(kMaxStorageShards)) return kMaxStorageShards;
+  return static_cast<size_t>(n);
+}
+
+/// Env/hardware default, resolved once per process.
+size_t EnvDefaultShardCount() {
+  static const size_t resolved = [] {
+    if (const char* env = std::getenv("BEAS_SHARDS")) {
+      char* end = nullptr;
+      long long parsed = std::strtoll(env, &end, 10);
+      if (end != env && parsed > 0) return ClampShards(parsed);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return ClampShards(std::min<long long>(hw == 0 ? 1 : hw, 8));
+  }();
+  return resolved;
+}
+
+}  // namespace
+
+size_t& ShardCountOverride() {
+  static size_t override_count = 0;
+  return override_count;
+}
+
+size_t ConfiguredShardCount() {
+  size_t override_count = ShardCountOverride();
+  if (override_count != 0) return ClampShards(static_cast<long long>(override_count));
+  return EnvDefaultShardCount();
+}
+
+}  // namespace beas

@@ -1,0 +1,36 @@
+#ifndef BEAS_COMMON_SHARD_CONFIG_H_
+#define BEAS_COMMON_SHARD_CONFIG_H_
+
+#include <cstddef>
+
+namespace beas {
+
+/// \brief Process-wide storage shard-count configuration.
+///
+/// Each TableHeap (and every AcIndex built over it) is hash-partitioned
+/// into this many shards; the per-shard write locks in Database and the
+/// shard-parallel fetch paths of the bounded executor all key off the
+/// same number. The value is resolved once, in this order:
+///
+///   1. `ShardCountOverride()` when non-zero (tests and benches sweep
+///      shard counts in-process with it — set it *before* constructing
+///      the heaps/databases it should affect);
+///   2. the `BEAS_SHARDS` environment variable when set and positive;
+///   3. `std::thread::hardware_concurrency()` clamped to 8.
+///
+/// Always clamped to [1, kMaxStorageShards]. Sharding never changes
+/// answers — every layer merges shard results back into the global
+/// insertion / first-appearance order — so any value is semantically
+/// safe; it only moves the parallelism/locking granularity.
+constexpr size_t kMaxStorageShards = 64;
+
+/// The in-process override slot. 0 = no override (env/hardware default).
+/// Not thread-safe: flip it only during single-threaded setup.
+size_t& ShardCountOverride();
+
+/// The shard count new heaps/databases pick up right now (see above).
+size_t ConfiguredShardCount();
+
+}  // namespace beas
+
+#endif  // BEAS_COMMON_SHARD_CONFIG_H_

@@ -1,5 +1,6 @@
 #include "engine/database.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace beas {
@@ -9,17 +10,34 @@ namespace {
 Status ConcurrentWriteError(const char* op, const std::string& table) {
   return Status::Internal(
       std::string("concurrent write detected in ") + op + "('" + table +
-      "'): Database requires a single writer at a time (and write hooks "
-      "must not re-enter the write path); serialize writes, e.g. through "
-      "BeasService");
+      "'): write hooks must not re-enter the write path of the database "
+      "that invoked them; writes from other threads are serialized by the "
+      "per-shard lock table (e.g. through BeasService)");
 }
 
+/// The database this thread is currently inside a write of (hook
+/// re-entrancy detection; nesting across *different* databases is legal).
+thread_local const Database* t_current_writer = nullptr;
+
 }  // namespace
+
+Database::WriteScope::WriteScope(const Database* db) : db_(db) {
+  claimed_ = t_current_writer != db;
+  if (claimed_) {
+    prev_ = t_current_writer;
+    t_current_writer = db;
+  }
+}
+
+Database::WriteScope::~WriteScope() {
+  if (claimed_) t_current_writer = prev_;
+}
 
 Result<TableInfo*> Database::CreateTable(const std::string& name,
                                          const Schema& schema) {
   WriteScope scope(this);
   if (!scope.claimed()) return ConcurrentWriteError("CreateTable", name);
+  StructuralScope lock(this);
   BEAS_ASSIGN_OR_RETURN(TableInfo * info, catalog_.CreateTable(name, schema));
   for (const DdlHook& hook : ddl_hooks_) hook(info->name());
   return info;
@@ -28,39 +46,90 @@ Result<TableInfo*> Database::CreateTable(const std::string& name,
 Status Database::Insert(const std::string& table, Row row) {
   WriteScope scope(this);
   if (!scope.claimed()) return ConcurrentWriteError("Insert", table);
+  std::shared_lock<std::shared_mutex> structural(structural_mutex_);
   BEAS_ASSIGN_OR_RETURN(TableInfo * info, catalog_.GetTable(table));
-  BEAS_ASSIGN_OR_RETURN(SlotId slot, info->heap()->Insert(std::move(row)));
+  TableHeap* heap = info->heap();
+  // Coerce before routing so the shard is computed on the stored
+  // representation, then lock exactly that shard.
+  BEAS_RETURN_NOT_OK(heap->ValidateAndCoerce(&row));
+  size_t shard = heap->ShardOf(row);
+  std::unique_lock<std::shared_mutex> lock(ShardMutex(shard));
+  const Row* stored = nullptr;
+  heap->InsertUnchecked(std::move(row), &stored, shard);
   info->InvalidateStats();
-  const Row& stored = info->heap()->At(slot);
-  for (const WriteHook& hook : hooks_) hook(info->name(), stored, true);
+  for (const WriteHook& hook : hooks_) hook(info->name(), *stored, true);
   return Status::OK();
 }
 
 Status Database::InsertBatch(const std::string& table, std::vector<Row> rows) {
   WriteScope scope(this);
   if (!scope.claimed()) return ConcurrentWriteError("InsertBatch", table);
+  std::shared_lock<std::shared_mutex> structural(structural_mutex_);
   BEAS_ASSIGN_OR_RETURN(TableInfo * info, catalog_.GetTable(table));
   TableHeap* heap = info->heap();
+
+  // Validate/coerce up front; on the first bad row, commit what precedes
+  // it (append semantics, matching the row-at-a-time path) and report the
+  // failing index.
+  size_t commit_count = rows.size();
+  Status bad = Status::OK();
   for (size_t r = 0; r < rows.size(); ++r) {
-    Result<SlotId> slot = heap->Insert(std::move(rows[r]));
-    if (!slot.ok()) {
-      info->InvalidateStats();
-      return Status::InvalidArgument(
-          "InsertBatch('" + table + "') row " + std::to_string(r) + ": " +
-          slot.status().message());
+    Status st = heap->ValidateAndCoerce(&rows[r]);
+    if (!st.ok()) {
+      commit_count = r;
+      bad = Status::InvalidArgument("InsertBatch('" + table + "') row " +
+                                    std::to_string(r) + ": " + st.message());
+      break;
     }
-    const Row& stored = heap->At(*slot);
-    for (const WriteHook& hook : hooks_) hook(info->name(), stored, true);
+  }
+
+  // Route rows, then lock each touched shard exactly once, ascending.
+  // Shards are cached so commit places each row exactly where its lock
+  // was routed, not re-derived.
+  std::vector<size_t> shards(commit_count);
+  std::vector<size_t> touched;
+  touched.reserve(std::min(commit_count, num_shard_locks_));
+  {
+    std::vector<char> seen(num_shard_locks_, 0);
+    for (size_t r = 0; r < commit_count; ++r) {
+      shards[r] = heap->ShardOf(rows[r]);
+      size_t lock_id = shards[r] % num_shard_locks_;
+      if (!seen[lock_id]) {
+        seen[lock_id] = 1;
+        touched.push_back(lock_id);
+      }
+    }
+  }
+  std::sort(touched.begin(), touched.end());
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(touched.size());
+  for (size_t lock_id : touched) {
+    locks.emplace_back(shard_mutexes_[lock_id]);
+  }
+
+  // Commit in batch order — bucket order (and thus answers) must match a
+  // row-at-a-time history regardless of how rows spread across shards.
+  for (size_t r = 0; r < commit_count; ++r) {
+    const Row* stored = nullptr;
+    heap->InsertUnchecked(std::move(rows[r]), &stored, shards[r]);
+    for (const WriteHook& hook : hooks_) hook(info->name(), *stored, true);
   }
   info->InvalidateStats();
-  return Status::OK();
+  return bad;
 }
 
 Status Database::DeleteWhereEquals(const std::string& table, const Row& row) {
   WriteScope scope(this);
   if (!scope.claimed()) return ConcurrentWriteError("DeleteWhereEquals", table);
+  std::shared_lock<std::shared_mutex> structural(structural_mutex_);
   BEAS_ASSIGN_OR_RETURN(TableInfo * info, catalog_.GetTable(table));
   TableHeap* heap = info->heap();
+  // Full-table scan: every shard, ascending.
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(num_shard_locks_);
+  for (size_t s = 0; s < num_shard_locks_; ++s) {
+    locks.emplace_back(shard_mutexes_[s]);
+  }
   for (auto it = heap->Begin(); it.Valid(); it.Next()) {
     const Row& candidate = it.row();
     if (candidate.size() != row.size()) continue;

@@ -1,15 +1,16 @@
 #ifndef BEAS_ENGINE_DATABASE_H_
 #define BEAS_ENGINE_DATABASE_H_
 
-#include <atomic>
 #include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "binder/binder.h"
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "common/shard_config.h"
 #include "engine/query_result.h"
 #include "exec/executor.h"
 #include "plan/engine_profile.h"
@@ -25,49 +26,130 @@ namespace beas {
 /// a BeasSession, which adds the access-schema catalog and the bounded
 /// planner/executor on top.
 ///
-/// ## Thread-safety contract (single writer / multiple readers)
+/// ## Thread-safety contract (per-shard single writer / multiple readers)
 ///
-/// Read paths (Bind / Plan / Query / ExecutePlan and everything reachable
-/// from them) are safe to run from any number of threads concurrently, as
-/// long as no write is in flight. Write paths (CreateTable / Insert /
-/// DeleteWhereEquals) require *exclusive* access: exactly one writer and
-/// no concurrent readers. RegisterWriteHook / RegisterDdlHook must be
-/// called before the database is shared across threads. Hooks run on the
-/// writer's thread, inside its exclusive section; they must not re-enter
-/// the write path (re-entrant writes would mutate storage mid-hook).
+/// Storage is hash-partitioned (see TableHeap); the contract follows the
+/// partitioning. The database owns two layers of locks:
 ///
-/// The writer half of the contract is *enforced*, not implicit: each write
-/// entry point atomically claims a writer slot and returns
-/// Status::Internal("concurrent write ...") if another write is already in
-/// flight (including re-entrant writes from hooks). Callers that need the
-/// full contract — e.g. BeasService — add a shared/exclusive lock on top
-/// to also keep readers out during writes.
+///  * a *structural* shared_mutex — DDL (CreateTable), and every caller
+///    that mutates the catalog, the access schema, or declared bounds,
+///    takes it exclusively; readers and data writers take it shared;
+///  * a table of `ConfiguredShardCount()` per-shard shared_mutexes — a
+///    reader share-locks all of them (ReadScope), a data write
+///    exclusively locks only the shards its rows hash to.
+///
+/// Consequences: readers run concurrently with each other; a data write
+/// excludes readers (they hold every shard) but *not* writers to other
+/// shards — concurrent InsertBatch calls whose rows land on disjoint
+/// shards proceed in parallel, each locking its shards once. All locks
+/// are acquired structural-first then shards in ascending order, so the
+/// scheme is deadlock-free. Write paths self-lock; read paths do NOT —
+/// a concurrent caller (e.g. BeasService) brackets its reads with
+/// ReadScope. Hooks run on the writer's thread, inside its locked
+/// section; they must not re-enter the write path (enforced: a
+/// re-entrant write from a hook returns Status::Internal("concurrent
+/// write ...")). RegisterWriteHook / RegisterDdlHook must be called
+/// before the database is shared across threads.
 class Database {
  public:
-  Database() = default;
+  Database()
+      : num_shard_locks_(ConfiguredShardCount()),
+        shard_mutexes_(new std::shared_mutex[num_shard_locks_]) {}
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
   Catalog* catalog() { return &catalog_; }
   const Catalog& catalog() const { return catalog_; }
 
-  /// Creates a table from (name, type) column declarations.
+  /// \name Concurrency scopes (see the class contract).
+  /// @{
+  size_t num_shard_locks() const { return num_shard_locks_; }
+
+  /// Reader bracket: structural shared + every shard shared. Hold it for
+  /// the duration of any read that must not interleave with writes.
+  class ReadScope {
+   public:
+    explicit ReadScope(const Database* db) : db_(db) {
+      db_->structural_mutex_.lock_shared();
+      for (size_t s = 0; s < db_->num_shard_locks_; ++s) {
+        db_->shard_mutexes_[s].lock_shared();
+      }
+    }
+    ~ReadScope() {
+      for (size_t s = db_->num_shard_locks_; s > 0; --s) {
+        db_->shard_mutexes_[s - 1].unlock_shared();
+      }
+      db_->structural_mutex_.unlock_shared();
+    }
+    ReadScope(const ReadScope&) = delete;
+    ReadScope& operator=(const ReadScope&) = delete;
+
+   private:
+    const Database* db_;
+  };
+
+  /// Structural bracket: excludes every reader and every data writer
+  /// (they all hold the structural lock shared). For catalog / access
+  /// schema / declared-bound mutation and whole-table rebuilds.
+  class StructuralScope {
+   public:
+    explicit StructuralScope(const Database* db) : db_(db) {
+      db_->structural_mutex_.lock();
+    }
+    ~StructuralScope() { db_->structural_mutex_.unlock(); }
+    StructuralScope(const StructuralScope&) = delete;
+    StructuralScope& operator=(const StructuralScope&) = delete;
+
+   private:
+    const Database* db_;
+  };
+
+  /// One-shard reader bracket (plus structural shared): monitoring
+  /// snapshots sample per-shard gauges one shard at a time with this,
+  /// never holding two shard locks at once.
+  class ShardReadScope {
+   public:
+    ShardReadScope(const Database* db, size_t shard)
+        : db_(db), shard_(shard % db->num_shard_locks_) {
+      db_->structural_mutex_.lock_shared();
+      db_->shard_mutexes_[shard_].lock_shared();
+    }
+    ~ShardReadScope() {
+      db_->shard_mutexes_[shard_].unlock_shared();
+      db_->structural_mutex_.unlock_shared();
+    }
+    ShardReadScope(const ShardReadScope&) = delete;
+    ShardReadScope& operator=(const ShardReadScope&) = delete;
+
+   private:
+    const Database* db_;
+    size_t shard_;
+  };
+  /// @}
+
+  /// Creates a table from (name, type) column declarations. Takes the
+  /// structural lock exclusively (self-locking; do not hold a scope).
   Result<TableInfo*> CreateTable(const std::string& name,
                                  const Schema& schema);
 
   /// Inserts a row, running registered write hooks (index maintenance).
+  /// Locks only the shard the row hashes to.
   Status Insert(const std::string& table, Row row);
 
-  /// Inserts a batch of rows under one writer-slot claim: rows are
-  /// validated and interned in one pass, write hooks still run per row
-  /// (AC-index maintenance is inherently per-tuple) but the table's stats
+  /// Inserts a batch of rows: rows are validated/coerced up front, the
+  /// touched shards are locked once each (ascending), then rows are
+  /// committed *in batch order* — so index bucket order, and therefore
+  /// every downstream answer, is identical to row-at-a-time inserts and
+  /// invariant across shard counts. Write hooks still run per row
+  /// (AC-index maintenance is inherently per-tuple); the table's stats
   /// cache is invalidated once. On a validation error, rows preceding the
-  /// bad one remain inserted (single-writer append semantics, no
-  /// rollback); the error reports the failing row index.
+  /// bad one remain inserted (append semantics, no rollback); the error
+  /// reports the failing row index.
   Status InsertBatch(const std::string& table, std::vector<Row> rows);
 
   /// Deletes one live row equal to `row` (all columns), running hooks.
-  /// Returns NotFound if no such row exists.
+  /// Returns NotFound if no such row exists. Scans the whole table, so it
+  /// locks every shard.
   Status DeleteWhereEquals(const std::string& table, const Row& row);
 
   /// Registers a hook invoked after every Insert/Delete on `table`
@@ -101,31 +183,34 @@ class Database {
                                   const std::string& engine) const;
 
  private:
-  /// RAII writer-slot claim enforcing the single-writer contract.
+  /// RAII writer claim: catches a hook re-entering the write path of the
+  /// database it was invoked from (the legal concurrency — two threads
+  /// writing different shards — is arbitrated by the lock table instead).
   class WriteScope {
    public:
-    explicit WriteScope(const Database* db) : db_(db) {
-      claimed_ = !db_->write_in_flight_.exchange(true,
-                                                 std::memory_order_acquire);
-    }
-    ~WriteScope() {
-      if (claimed_) {
-        db_->write_in_flight_.store(false, std::memory_order_release);
-      }
-    }
+    explicit WriteScope(const Database* db);
+    ~WriteScope();
     WriteScope(const WriteScope&) = delete;
     WriteScope& operator=(const WriteScope&) = delete;
     bool claimed() const { return claimed_; }
 
    private:
     const Database* db_;
+    const Database* prev_ = nullptr;
     bool claimed_ = false;
   };
+
+  std::shared_mutex& ShardMutex(size_t heap_shard) const {
+    return shard_mutexes_[heap_shard % num_shard_locks_];
+  }
 
   Catalog catalog_;
   std::vector<WriteHook> hooks_;
   std::vector<DdlHook> ddl_hooks_;
-  mutable std::atomic<bool> write_in_flight_{false};
+
+  size_t num_shard_locks_;
+  mutable std::shared_mutex structural_mutex_;
+  mutable std::unique_ptr<std::shared_mutex[]> shard_mutexes_;
 };
 
 }  // namespace beas

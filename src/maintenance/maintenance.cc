@@ -15,7 +15,7 @@ void MaintenanceManager::Attach() {
           } else {
             index->OnDelete(row);
           }
-          ++updates_applied_;
+          updates_applied_.fetch_add(1, std::memory_order_relaxed);
         }
       });
 }

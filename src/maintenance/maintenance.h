@@ -1,6 +1,7 @@
 #ifndef BEAS_MAINTENANCE_MAINTENANCE_H_
 #define BEAS_MAINTENANCE_MAINTENANCE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -34,8 +35,11 @@ class MaintenanceManager {
   /// indices per write).
   void Attach();
 
-  /// Number of index updates applied via the hook so far.
-  uint64_t updates_applied() const { return updates_applied_; }
+  /// Number of index updates applied via the hook so far (atomic: hooks
+  /// run on concurrent per-shard writers).
+  uint64_t updates_applied() const {
+    return updates_applied_.load(std::memory_order_relaxed);
+  }
 
   /// \brief A proposed bound adjustment for one constraint.
   struct Adjustment {
@@ -70,7 +74,7 @@ class MaintenanceManager {
  private:
   Database* db_;
   AsCatalog* catalog_;
-  uint64_t updates_applied_ = 0;
+  std::atomic<uint64_t> updates_applied_{0};
 };
 
 }  // namespace beas

@@ -79,24 +79,24 @@ BeasService::~BeasService() = default;
 
 Result<TableInfo*> BeasService::CreateTable(const std::string& name,
                                             const Schema& schema) {
-  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  // DDL self-locks the structural lock exclusively inside Database.
   return db_.CreateTable(name, schema);
 }
 
 Status BeasService::Insert(const std::string& table, Row row) {
-  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  // Per-shard locking inside Database: only the shard the row hashes to
+  // is blocked; inserts to other shards (and none of the readers' shards
+  // being free) proceed concurrently.
   return db_.Insert(table, std::move(row));
 }
 
 Status BeasService::InsertBatch(const std::string& table,
                                 std::vector<Row> rows) {
   if (rows.empty()) return Status::OK();
-  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
   return db_.InsertBatch(table, std::move(rows));
 }
 
 Status BeasService::Delete(const std::string& table, const Row& row) {
-  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
   return db_.DeleteWhereEquals(table, row);
 }
 
@@ -109,29 +109,29 @@ Status BeasService::RegisterConstraint(AccessConstraint constraint) {
         " is a service-managed metadata table; access constraints on it "
         "are not supported");
   }
-  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  Database::StructuralScope lock(&db_);
   return catalog_.Register(std::move(constraint));
 }
 
 Status BeasService::UnregisterConstraint(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  Database::StructuralScope lock(&db_);
   return catalog_.Unregister(name);
 }
 
 Status BeasService::RunAdjustmentCycle(double headroom, size_t* changed_out) {
-  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  Database::StructuralScope lock(&db_);
   return maintenance_.RunAdjustmentCycle(headroom, changed_out);
 }
 
 Status BeasService::ApplySuggestions(
     const std::vector<MaintenanceManager::Adjustment>& adjustments) {
-  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  Database::StructuralScope lock(&db_);
   return maintenance_.ApplySuggestions(adjustments);
 }
 
 std::vector<MaintenanceManager::Adjustment> BeasService::RevalidateAndSuggest(
     double headroom) const {
-  std::shared_lock<std::shared_mutex> lock(rw_mutex_);
+  Database::ReadScope lock(&db_);
   return maintenance_.RevalidateAndSuggest(headroom);
 }
 
@@ -145,7 +145,7 @@ Result<ServiceResponse> BeasService::Execute(const std::string& sql) {
     // refresh takes the exclusive lock, the query itself runs shared.
     BEAS_RETURN_NOT_OK(RefreshStatsTable());
   }
-  std::shared_lock<std::shared_mutex> lock(rw_mutex_);
+  Database::ReadScope lock(&db_);
   return ExecuteLocked(sql);
 }
 
@@ -154,49 +154,87 @@ Status BeasService::RefreshStatsTable() {
   // heap slots are never reused — so a polled stats table would grow
   // forever. Recreate it (cheap, rare) once the dead-slot debt builds up.
   constexpr size_t kMaxDeadSlots = 4096;
-  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
-  TableInfo* info = nullptr;
-  if (db_.catalog()->HasTable(kStatsTableName)) {
-    BEAS_ASSIGN_OR_RETURN(info, db_.catalog()->GetTable(kStatsTableName));
-    if (info->heap()->NumSlots() - info->heap()->NumRows() > kMaxDeadSlots) {
-      BEAS_RETURN_NOT_OK(db_.catalog()->DropTable(kStatsTableName));
-      info = nullptr;
+  // One refresh at a time (concurrent beas_stats queries each trigger
+  // one); this leaf mutex is always taken before any engine lock.
+  std::lock_guard<std::mutex> refresh_lock(stats_refresh_mutex_);
+
+  // Phase 1 — make sure the table exists: recycle it when the dead-slot
+  // debt built up, create it when missing. Structural-exclusive, briefly.
+  bool need_create = false;
+  {
+    Database::StructuralScope lock(&db_);
+    if (db_.catalog()->HasTable(kStatsTableName)) {
+      BEAS_ASSIGN_OR_RETURN(TableInfo * info,
+                            db_.catalog()->GetTable(kStatsTableName));
+      if (info->heap()->NumSlots() - info->heap()->NumRows() > kMaxDeadSlots) {
+        BEAS_RETURN_NOT_OK(db_.catalog()->DropTable(kStatsTableName));
+        need_create = true;
+      }
+    } else {
+      need_create = true;
     }
   }
-  if (info == nullptr) {
+  if (need_create) {
     BEAS_ASSIGN_OR_RETURN(
-        info, db_.CreateTable(kStatsTableName,
-                              Schema({{"metric", TypeId::kString},
-                                      {"value", TypeId::kDouble}})));
+        TableInfo * info,
+        db_.CreateTable(kStatsTableName, Schema({{"metric", TypeId::kString},
+                                                 {"value", TypeId::kDouble}})));
     // No interning for this table: it is the one table the service ever
     // drops (the recycle above), and dictionary-backed Values in results
     // a client still holds would dangle into the destroyed dictionary.
-    // Inline strings keep returned rows self-contained; at ~14 tiny rows
+    // Inline strings keep returned rows self-contained; at ~20 tiny rows
     // the encoding would buy nothing anyway.
+    Database::StructuralScope lock(&db_);
     info->heap()->set_dict_enabled(false);
   }
-  TableHeap* heap = info->heap();
-  // Tombstone the previous snapshot (the table has no AC indices, so no
-  // write hooks need to observe these) and append the fresh one.
-  for (auto it = heap->Begin(); it.Valid(); it.Next()) {
-    BEAS_RETURN_NOT_OK(heap->Delete(it.slot()));
-  }
 
+  // Phase 2 — snapshot the gauges. Per-shard storage counters are read
+  // one shard at a time under that shard's read lock (never two shard
+  // locks at once, so this can never invert lock order against a writer
+  // that is taking its shards in ascending order); dictionary gauges are
+  // sampled under each table's intern mutex. Counters (cache,
+  // maintenance) are atomics.
   PlanCacheStats cache = cache_.stats();
   double dict_strings = 0;
   double dict_bytes = 0;
   double num_tables = 0;
   double num_rows = 0;
-  for (const std::string& name : db_.catalog()->TableNames()) {
-    Result<TableInfo*> table = db_.catalog()->GetTable(name);
-    if (!table.ok()) continue;
-    ++num_tables;
-    num_rows += static_cast<double>((*table)->heap()->NumRows());
-    const StringDict* dict = (*table)->heap()->dict();
-    if (dict != nullptr) {
-      dict_strings += static_cast<double>(dict->size());
-      dict_bytes += static_cast<double>(dict->ApproxBytes());
+  size_t lock_shards = db_.num_shard_locks();
+  std::vector<double> rows_per_shard(lock_shards, 0);
+  std::vector<std::string> table_names;
+  {
+    Database::ShardReadScope scope(&db_, 0);
+    table_names = db_.catalog()->TableNames();
+    num_tables = static_cast<double>(table_names.size());
+    for (const std::string& name : table_names) {
+      Result<TableInfo*> table = db_.catalog()->GetTable(name);
+      if (!table.ok()) continue;
+      TableHeap::DictGauges gauges = (*table)->heap()->SampleDictGauges();
+      dict_strings += static_cast<double>(gauges.strings);
+      dict_bytes += static_cast<double>(gauges.bytes);
     }
+  }
+  for (size_t s = 0; s < lock_shards; ++s) {
+    Database::ShardReadScope scope(&db_, s);
+    for (const std::string& name : table_names) {
+      // The metadata table's own (about-to-be-replaced) snapshot is not
+      // data; leaving it out keeps rows_live equal to user-visible rows.
+      if (name == kStatsTableName) continue;
+      Result<TableInfo*> table = db_.catalog()->GetTable(name);
+      if (!table.ok()) continue;
+      const TableHeap& heap = *(*table)->heap();
+      // Lock id s protects every heap shard congruent to it.
+      for (size_t h = s; h < heap.num_shards(); h += lock_shards) {
+        rows_per_shard[s] += static_cast<double>(heap.ShardLiveRows(h));
+      }
+    }
+    num_rows += rows_per_shard[s];
+  }
+  double shard_rows_max = 0;
+  double shard_rows_min = lock_shards == 0 ? 0 : rows_per_shard[0];
+  for (double r : rows_per_shard) {
+    shard_rows_max = std::max(shard_rows_max, r);
+    shard_rows_min = std::min(shard_rows_min, r);
   }
 
   std::vector<Row> rows;
@@ -219,6 +257,21 @@ Status BeasService::RefreshStatsTable() {
   add("dict_strings_total", dict_strings);
   add("dict_bytes_total", dict_bytes);
   add("workers", static_cast<double>(pool_.num_threads()));
+  add("storage_shards", static_cast<double>(lock_shards));
+  add("shard_rows_max", shard_rows_max);
+  add("shard_rows_min", shard_rows_min);
+
+  // Phase 3 — swap the snapshot in: tombstone the previous rows (the
+  // table has no AC indices, so no write hooks need to observe these) and
+  // append the fresh ones, under the structural lock so no reader sees a
+  // half-built table.
+  Database::StructuralScope lock(&db_);
+  BEAS_ASSIGN_OR_RETURN(TableInfo * info,
+                        db_.catalog()->GetTable(kStatsTableName));
+  TableHeap* heap = info->heap();
+  for (auto it = heap->Begin(); it.Valid(); it.Next()) {
+    BEAS_RETURN_NOT_OK(heap->Delete(it.slot()));
+  }
   for (Row& row : rows) {
     heap->InsertUnchecked(std::move(row));
   }
@@ -438,7 +491,7 @@ Result<ServiceResponse> BeasService::ExecuteMiss(const std::string& sql,
 }
 
 Result<ServiceResponse> BeasService::ExecuteBounded(const std::string& sql) {
-  std::shared_lock<std::shared_mutex> lock(rw_mutex_);
+  Database::ReadScope lock(&db_);
   bool cache_hit = false;
   BoundQuery query;
   std::shared_ptr<const PlanCache::Entry> entry;
@@ -462,7 +515,7 @@ Result<ServiceResponse> BeasService::ExecuteBounded(const std::string& sql) {
 
 Result<ApproxResult> BeasService::ExecuteApproximate(const std::string& sql,
                                                      uint64_t budget) {
-  std::shared_lock<std::shared_mutex> lock(rw_mutex_);
+  Database::ReadScope lock(&db_);
   BoundQuery query;
   BEAS_ASSIGN_OR_RETURN(CoverageResult coverage,
                         CheckLocked(sql, nullptr, &query));
@@ -474,7 +527,7 @@ Result<ApproxResult> BeasService::ExecuteApproximate(const std::string& sql,
 }
 
 Result<CoverageResult> BeasService::Check(const std::string& sql) {
-  std::shared_lock<std::shared_mutex> lock(rw_mutex_);
+  Database::ReadScope lock(&db_);
   return CheckLocked(sql);
 }
 

@@ -4,7 +4,7 @@
 #include <atomic>
 #include <future>
 #include <memory>
-#include <shared_mutex>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -43,14 +43,18 @@ struct ServiceResponse {
 /// A BeasService owns the full stack — conventional engine (Database),
 /// AS catalog (AsCatalog), maintenance module (attached), BEAS session —
 /// plus a worker thread pool and a template plan cache, and multiplexes
-/// concurrent clients over them under a single-writer/multi-reader
-/// contract:
+/// concurrent clients over them under the engine's per-shard
+/// single-writer/multi-reader contract (see Database):
 ///
 ///  * Read paths (Execute / ExecuteBounded / ExecuteApproximate / Check /
-///    Submit) take a shared lock and run concurrently.
-///  * Write paths (CreateTable / Insert / Delete / constraint
-///    registration / maintenance adjustment) take the exclusive lock.
-///    Database additionally *enforces* its single-writer contract.
+///    Submit) bracket themselves with Database::ReadScope (structural +
+///    every storage shard, shared) and run concurrently.
+///  * Data writes (Insert / InsertBatch / Delete) go straight to the
+///    Database, which locks only the shards the rows hash to — writers
+///    to disjoint shards proceed in parallel.
+///  * Structural writes (CreateTable / constraint registration /
+///    maintenance adjustment) take the structural lock exclusively,
+///    excluding everyone.
 ///
 /// ## The template plan cache
 ///
@@ -81,17 +85,19 @@ class BeasService {
   BeasService(const BeasService&) = delete;
   BeasService& operator=(const BeasService&) = delete;
 
-  /// \name Write side (exclusive lock).
+  /// \name Write side (structural lock for schema changes; per-shard
+  /// locks for data, taken inside Database).
   /// @{
   Result<TableInfo*> CreateTable(const std::string& name,
                                  const Schema& schema);
   Status Insert(const std::string& table, Row row);
-  /// Bulk write: one exclusive-lock acquisition and one stats pass for
-  /// the whole batch (Insert pays both per row), with per-row index
-  /// maintenance intact. The write path of choice under churn — readers
-  /// are blocked once per batch instead of once per row — and the natural
-  /// grain for dictionary encoding (the heap interns the batch in one
-  /// pass).
+  /// Bulk write: the batch's touched shards are each locked once and the
+  /// whole batch commits under them (Insert pays the locking per row),
+  /// with per-row index maintenance intact. The write path of choice
+  /// under churn — readers are blocked once per batch instead of once per
+  /// row, and batches whose rows hash to disjoint shards commit in
+  /// parallel — and the natural grain for dictionary encoding (the heap
+  /// interns the batch in one pass).
   Status InsertBatch(const std::string& table, std::vector<Row> rows);
   Status Delete(const std::string& table, const Row& row);
   Status RegisterConstraint(AccessConstraint constraint);
@@ -122,14 +128,19 @@ class BeasService {
   /// \name Serving-health metadata table.
   /// Queries that mention `beas_stats` trigger a refresh of a real table
   /// of that name (metric STRING, value DOUBLE) holding the plan-cache
-  /// counters, maintenance counters, and storage/dictionary gauges — so
-  /// serving health is queryable through plain SQL
-  /// (`SELECT * FROM beas_stats`), not just programmatic cache_stats().
+  /// counters, maintenance counters, storage/dictionary gauges, and the
+  /// per-shard storage gauges — so serving health is queryable through
+  /// plain SQL (`SELECT * FROM beas_stats`), not just programmatic
+  /// cache_stats().
   /// @{
   static constexpr const char* kStatsTableName = "beas_stats";
-  /// Rebuilds the stats table's rows from the current counters (exclusive
-  /// lock). Execute() calls this automatically for queries that mention
-  /// the table; exposed for tests and manual refresh.
+  /// Rebuilds the stats table's rows from the current counters. Per-shard
+  /// counters are sampled one shard at a time (ShardReadScope each) — the
+  /// refresh never holds two shard locks at once, so it cannot invert
+  /// lock order against per-shard writers; only the final row rebuild
+  /// takes the structural lock exclusively. Execute() calls this
+  /// automatically for queries that mention the table; exposed for tests
+  /// and manual refresh.
   Status RefreshStatsTable();
   /// @}
 
@@ -196,9 +207,9 @@ class BeasService {
   PlanCache cache_;
   std::atomic<bool> cache_enabled_;
 
-  /// Readers (query paths) share; writers (DDL/data/constraint/bound
-  /// changes) are exclusive.
-  mutable std::shared_mutex rw_mutex_;
+  /// Serializes stats-table refreshes (each beas_stats query triggers
+  /// one). Leaf ordering: taken before any Database lock, never inside.
+  mutable std::mutex stats_refresh_mutex_;
 
   /// Serves Submit() query dispatch AND the bounded executor's sharded
   /// index probes (ParallelFor lets the submitting thread participate, so

@@ -1,22 +1,30 @@
 #include "storage/table_heap.h"
 
+#include <cassert>
+
 namespace beas {
 
-Result<SlotId> TableHeap::Insert(Row row) {
-  if (row.size() != schema_.NumColumns()) {
+Status TableHeap::ValidateAndCoerce(Row* row) const {
+  if (row->size() != schema_.NumColumns()) {
     return Status::InvalidArgument(
-        "row arity " + std::to_string(row.size()) + " does not match schema (" +
-        std::to_string(schema_.NumColumns()) + " columns)");
+        "row arity " + std::to_string(row->size()) +
+        " does not match schema (" + std::to_string(schema_.NumColumns()) +
+        " columns)");
   }
-  for (size_t i = 0; i < row.size(); ++i) {
+  for (size_t i = 0; i < row->size(); ++i) {
     TypeId want = schema_.ColumnAt(i).type;
-    if (row[i].is_null() || row[i].type() == want) continue;
-    BEAS_ASSIGN_OR_RETURN(row[i], row[i].CoerceTo(want));
+    if ((*row)[i].is_null() || (*row)[i].type() == want) continue;
+    BEAS_ASSIGN_OR_RETURN((*row)[i], (*row)[i].CoerceTo(want));
   }
+  return Status::OK();
+}
+
+Result<SlotId> TableHeap::Insert(Row row) {
+  BEAS_RETURN_NOT_OK(ValidateAndCoerce(&row));
   return InsertUnchecked(std::move(row));
 }
 
-void TableHeap::InternStrings(Row* row) {
+void TableHeap::InternStringsLocked(Row* row) {
   for (Value& v : *row) {
     if (v.type() != TypeId::kString) continue;
     if (v.dict() == &dict_) continue;  // already ours (re-inserted gather)
@@ -24,42 +32,75 @@ void TableHeap::InternStrings(Row* row) {
   }
 }
 
-SlotId TableHeap::InsertUnchecked(Row row) {
+void TableHeap::InternStrings(Row* row) {
+  std::lock_guard<std::mutex> lock(dict_mutex_);
+  InternStringsLocked(row);
+}
+
+SlotId TableHeap::Place(Row row, const Row** stored, size_t shard) {
+  if (shard == kShardAuto) {
+    shard = ShardOf(row);
+  } else {
+    // A caller-precomputed shard routed the per-shard write lock; if
+    // interning ever changed the row's hash, placement would land in a
+    // shard whose lock the writer does not hold.
+    assert(shard == ShardOf(row));
+  }
+  Shard& sh = shards_[shard];
+  SlotId slot;
+  {
+    // Concurrent writers to *different* shards append here; their own
+    // shard stores are protected by Database's per-shard locks.
+    std::lock_guard<std::mutex> lock(directory_mutex_);
+    slot = directory_.size();
+    directory_.push_back({static_cast<uint32_t>(shard),
+                          static_cast<uint32_t>(sh.rows.size())});
+  }
+  sh.rows.push_back(std::move(row));
+  sh.live.push_back(1);
+  ++sh.num_live;
+  num_live_.fetch_add(1, std::memory_order_relaxed);
+  if (stored != nullptr) *stored = &sh.rows.back();
+  return slot;
+}
+
+SlotId TableHeap::InsertUnchecked(Row row, const Row** stored, size_t shard) {
   if (dict_enabled_ && has_string_cols_) InternStrings(&row);
-  rows_.push_back(std::move(row));
-  live_.push_back(1);
-  ++num_live_;
-  return rows_.size() - 1;
+  return Place(std::move(row), stored, shard);
 }
 
 void TableHeap::InsertBatchUnchecked(std::vector<Row> rows) {
-  rows_.reserve(rows_.size() + rows.size());
-  live_.reserve(live_.size() + rows.size());
-  bool intern = dict_enabled_ && has_string_cols_;
-  for (Row& row : rows) {
-    if (intern) InternStrings(&row);
-    rows_.push_back(std::move(row));
-    live_.push_back(1);
+  if (dict_enabled_ && has_string_cols_) {
+    // One interning pass under one lock acquisition for the whole batch.
+    std::lock_guard<std::mutex> lock(dict_mutex_);
+    for (Row& row : rows) InternStringsLocked(&row);
   }
-  num_live_ += rows.size();
+  {
+    std::lock_guard<std::mutex> lock(directory_mutex_);
+    directory_.reserve(directory_.size() + rows.size());
+  }
+  for (Row& row : rows) Place(std::move(row));
 }
 
 Status TableHeap::Delete(SlotId slot) {
-  if (slot >= rows_.size()) {
+  if (slot >= directory_.size()) {
     return Status::OutOfRange("slot " + std::to_string(slot) + " out of range");
   }
-  if (!live_[slot]) {
+  const SlotRef& ref = directory_[slot];
+  Shard& sh = shards_[ref.shard];
+  if (!sh.live[ref.local]) {
     return Status::InvalidArgument("slot " + std::to_string(slot) +
                                    " already deleted");
   }
-  live_[slot] = 0;
-  --num_live_;
+  sh.live[ref.local] = 0;
+  --sh.num_live;
+  num_live_.fetch_sub(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 std::vector<Row> TableHeap::Snapshot() const {
   std::vector<Row> out;
-  out.reserve(num_live_);
+  out.reserve(NumRows());
   for (Iterator it = Begin(); it.Valid(); it.Next()) out.push_back(it.row());
   return out;
 }

@@ -1,10 +1,13 @@
 #ifndef BEAS_STORAGE_TABLE_HEAP_H_
 #define BEAS_STORAGE_TABLE_HEAP_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/result.h"
+#include "common/shard_config.h"
 #include "storage/string_dict.h"
 #include "types/schema.h"
 #include "types/tuple.h"
@@ -14,12 +17,38 @@ namespace beas {
 /// \brief Stable identifier of a row inside a TableHeap.
 using SlotId = size_t;
 
-/// \brief An in-memory row store with stable slots and tombstone deletes.
+/// \brief An in-memory row store with stable slots and tombstone deletes,
+/// hash-partitioned into N shards.
 ///
 /// This is the storage substrate underneath both the conventional engine
 /// (sequential scans) and the access-constraint indices (which reference
 /// rows by slot). Slots are never reused, so a SlotId handed out by
 /// Insert remains valid (live or dead) for the heap's lifetime.
+///
+/// ## Sharding
+///
+/// Rows live in `ConfiguredShardCount()` per-shard stores; a row's shard
+/// is the hash of its shard-key column (the first X-column of the first
+/// access constraint registered on the table, see DeclareShardKey) modulo
+/// the shard count, falling back to the full row hash while no key is
+/// declared. A global *slot directory* — one (shard, local) entry per
+/// insert, in insertion order — keeps the public surface shard-oblivious:
+/// SlotIds are directory positions, and iteration walks the directory, so
+/// scan order, AC-index build order and hence every query answer are
+/// bit-identical across shard counts. Sharding buys locking granularity
+/// (Database holds one write lock per shard) and end-to-end parallelism
+/// (AcIndex partitions into sub-indexes along the same shard count), not
+/// different semantics.
+///
+/// ## Thread-safety
+///
+/// Same single-writer/multi-reader contract as before, now at shard
+/// granularity: writers to *different* shards may run concurrently (the
+/// directory append and the dictionary intern are internally serialized;
+/// everything else a writer touches is per-shard), while a reader must be
+/// excluded from every shard it reads — Database's per-shard lock table
+/// enforces exactly that (readers share-lock all shards, a writer
+/// exclusively locks the shards its rows hash to).
 ///
 /// ## String dictionary
 ///
@@ -28,12 +57,15 @@ using SlotId = size_t;
 /// (pointer + uint32 code) instead of inline bytes. Everything downstream
 /// of storage — AC index keys and buckets, batch gathers, probe-key
 /// hashing — inherits O(1) string hashing/equality from that single
-/// encode. The dictionary is append-only (deletes keep their strings);
-/// `dict()` exposes it to the index and executor layers.
+/// encode. The dictionary is table-level (shared by all shards, so code
+/// equality keeps working across shards) and append-only; `dict()`
+/// exposes it to the index and executor layers.
 class TableHeap {
  public:
   explicit TableHeap(Schema schema)
-      : schema_(std::move(schema)), dict_enabled_(default_dict_enabled()) {
+      : schema_(std::move(schema)),
+        shards_(ConfiguredShardCount()),
+        dict_enabled_(default_dict_enabled()) {
     for (const Column& c : schema_.columns()) {
       has_string_cols_ |= c.type == TypeId::kString;
     }
@@ -64,13 +96,91 @@ class TableHeap {
     return enabled;
   }
 
+  /// \name Shard surface.
+  /// @{
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Repartitions an *empty* heap (tests/benches sweep shard counts on a
+  /// per-heap basis); no-op with an error-free shrug once rows exist.
+  void set_num_shards(size_t n) {
+    if (directory_.empty() && n >= 1 && n <= kMaxStorageShards) {
+      shards_.clear();
+      shards_.resize(n);
+    }
+  }
+
+  /// Declares the column future inserts shard by (the first X-column of
+  /// the table's first access constraint). Rows already placed stay where
+  /// they are — placement is a locality/locking hint, never a correctness
+  /// input, because the directory records every row's location.
+  void DeclareShardKey(size_t col) {
+    if (shard_key_col_ < 0 && col < schema_.NumColumns()) {
+      shard_key_col_ = static_cast<int64_t>(col);
+    }
+  }
+  int64_t shard_key_col() const { return shard_key_col_; }
+
+  /// Sentinel for InsertUnchecked's `shard`: derive the shard from the
+  /// row instead of trusting a caller-precomputed value.
+  static constexpr size_t kShardAuto = static_cast<size_t>(-1);
+
+  /// The shard `row` routes to: hash of the shard-key column when
+  /// declared, full row hash otherwise. Deterministic across processes
+  /// (same hashes the rest of the engine uses). Callers that take
+  /// per-shard write locks (Database) compute this before locking.
+  size_t ShardOf(const Row& row) const {
+    if (shards_.size() == 1) return 0;
+    uint64_t h;
+    if (shard_key_col_ >= 0 &&
+        static_cast<size_t>(shard_key_col_) < row.size()) {
+      h = row[static_cast<size_t>(shard_key_col_)].Hash();
+    } else {
+      h = ValueVecHash{}(row);
+    }
+    return static_cast<size_t>(h % shards_.size());
+  }
+
+  /// Live rows currently stored in shard `s` (per-shard gauge; sample it
+  /// under that shard's lock — see the stats snapshot in BeasService).
+  size_t ShardLiveRows(size_t s) const { return shards_[s].num_live; }
+
+  /// Dictionary gauges sampled under the intern lock, so monitoring can
+  /// read them without excluding writers from every shard.
+  struct DictGauges {
+    uint64_t strings = 0;
+    uint64_t bytes = 0;
+  };
+  DictGauges SampleDictGauges() const {
+    DictGauges g;
+    if (dict() == nullptr) return g;
+    std::lock_guard<std::mutex> lock(dict_mutex_);
+    g.strings = dict_.size();
+    g.bytes = dict_.ApproxBytes();
+    return g;
+  }
+  /// @}
+
+  /// Validates arity and coerces column types of `row` in place (the
+  /// validation half of Insert; Database runs it before computing the
+  /// row's shard so per-shard locking sees the stored representation).
+  Status ValidateAndCoerce(Row* row) const;
+
   /// Appends a row; validates arity and column types (after implicit
   /// coercion). Returns the new slot.
   Result<SlotId> Insert(Row row);
 
   /// Appends without validation; for bulk loads from trusted generators.
-  /// Interns string values like Insert does.
-  SlotId InsertUnchecked(Row row);
+  /// Interns string values like Insert does. `stored` (optional) receives
+  /// a pointer to the row as stored, readable by the inserting writer
+  /// without touching the cross-shard slot directory (which another
+  /// shard's writer may be appending to) — valid only until the next
+  /// insert lands in the same shard (the shard's row vector may then
+  /// reallocate), so consume it before releasing the shard lock.
+  /// `shard` (optional) is the row's precomputed ShardOf — callers that
+  /// route locking by it pass it down so lock and placement agree by
+  /// construction rather than by re-derivation.
+  SlotId InsertUnchecked(Row row, const Row** stored = nullptr,
+                         size_t shard = kShardAuto);
 
   /// Bulk append without validation: one reserve + one interning pass for
   /// the whole batch (the natural grain for dictionary encoding).
@@ -81,27 +191,33 @@ class TableHeap {
 
   /// True if `slot` holds a live row.
   bool IsLive(SlotId slot) const {
-    return slot < rows_.size() && live_[slot] != 0;
+    if (slot >= directory_.size()) return false;
+    const SlotRef& ref = directory_[slot];
+    return shards_[ref.shard].live[ref.local] != 0;
   }
 
   /// The row at `slot`; caller must ensure IsLive(slot).
-  const Row& At(SlotId slot) const { return rows_[slot]; }
+  const Row& At(SlotId slot) const {
+    const SlotRef& ref = directory_[slot];
+    return shards_[ref.shard].rows[ref.local];
+  }
 
   /// Number of live rows.
-  size_t NumRows() const { return num_live_; }
+  size_t NumRows() const { return num_live_.load(std::memory_order_relaxed); }
 
   /// Number of slots ever allocated (live + dead).
-  size_t NumSlots() const { return rows_.size(); }
+  size_t NumSlots() const { return directory_.size(); }
 
-  /// \brief Forward iterator over live rows.
+  /// \brief Forward iterator over live rows, in global insertion order
+  /// (directory order) — invariant across shard counts.
   class Iterator {
    public:
     Iterator(const TableHeap* heap, SlotId pos) : heap_(heap), pos_(pos) {
       SkipDead();
     }
-    bool Valid() const { return pos_ < heap_->rows_.size(); }
+    bool Valid() const { return pos_ < heap_->directory_.size(); }
     SlotId slot() const { return pos_; }
-    const Row& row() const { return heap_->rows_[pos_]; }
+    const Row& row() const { return heap_->At(pos_); }
     void Next() {
       ++pos_;
       SkipDead();
@@ -109,7 +225,7 @@ class TableHeap {
 
    private:
     void SkipDead() {
-      while (pos_ < heap_->rows_.size() && !heap_->live_[pos_]) ++pos_;
+      while (pos_ < heap_->directory_.size() && !heap_->IsLive(pos_)) ++pos_;
     }
     const TableHeap* heap_;
     SlotId pos_;
@@ -121,14 +237,46 @@ class TableHeap {
   std::vector<Row> Snapshot() const;
 
  private:
+  /// Location of one slot: which shard, and where inside it.
+  struct SlotRef {
+    uint32_t shard = 0;
+    uint32_t local = 0;
+  };
+
+  /// One hash partition of the row store.
+  struct Shard {
+    std::vector<Row> rows;
+    std::vector<uint8_t> live;
+    size_t num_live = 0;
+  };
+
   /// Replaces inline string values of `row` with dictionary-backed ones.
+  /// Serialized by dict_mutex_ (concurrent per-shard writers share the
+  /// table-level dictionary); the Locked variant assumes the caller holds
+  /// it (batch loads intern under one acquisition).
   void InternStrings(Row* row);
+  void InternStringsLocked(Row* row);
+
+  /// Appends an already-interned row to its shard and records it in the
+  /// directory; returns the new global slot. `shard` is the caller's
+  /// precomputed ShardOf (kShardAuto derives it here); interning must not
+  /// change it — dict-backed and inline strings hash identically.
+  SlotId Place(Row row, const Row** stored = nullptr,
+               size_t shard = kShardAuto);
 
   Schema schema_;
-  std::vector<Row> rows_;
-  std::vector<uint8_t> live_;
-  size_t num_live_ = 0;
+  std::vector<Shard> shards_;
+  std::vector<SlotRef> directory_;  ///< global slot -> location, insert order
+  std::atomic<size_t> num_live_{0};
+  int64_t shard_key_col_ = -1;
+
+  /// Serializes directory appends among concurrent per-shard writers
+  /// (readers never race it: they hold every shard's read lock, which
+  /// excludes all writers).
+  std::mutex directory_mutex_;
+
   StringDict dict_;
+  mutable std::mutex dict_mutex_;  ///< serializes Intern among writers
   bool dict_enabled_ = true;
   bool has_string_cols_ = false;
 };

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "asx/ac_index.h"
 #include "asx/access_schema.h"
 #include "asx/conformance.h"
 #include "common/rng.h"
+#include "common/task_pool.h"
 #include "maintenance/maintenance.h"
 #include "test_util.h"
 
@@ -138,6 +141,82 @@ TEST(AcIndexTest, IncrementalEqualsRebuildProperty) {
       std::vector<Row> bv = *b;
       EXPECT_TRUE(RowMultisetsEqual(av, bv));
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded AcIndex: sub-indexing by key hash must be invisible — same
+// buckets, same in-bucket order, same counters at every shard count, and
+// the shard-routed LookupBatch (serial or pooled) must agree with the
+// per-key probes.
+// ---------------------------------------------------------------------------
+
+TEST(AcIndexShardingTest, ShardCountsProduceIdenticalBuckets) {
+  Rng rng(1234);
+  std::vector<Row> rows;
+  for (int i = 0; i < 300; ++i) {
+    rows.push_back({I(rng.Uniform(0, 40)), Dt("2016-03-15"),
+                    I(rng.Uniform(100, 110)), S("R" + std::to_string(i % 3))});
+  }
+
+  auto build = [&](size_t shards) {
+    auto heap = std::make_unique<TableHeap>(CallSchema());
+    heap->set_num_shards(shards);
+    for (const Row& row : rows) heap->InsertUnchecked(row);
+    auto index = AcIndex::Build(Psi1(), *heap);
+    EXPECT_TRUE(index.ok());
+    return std::make_pair(std::move(heap), std::move(*index));
+  };
+  auto [heap1, ref] = build(1);
+  ASSERT_EQ(ref->num_shards(), 1u);
+
+  // Probe keys: all present keys plus misses and a NULL-bearing key.
+  std::vector<ValueVec> keys;
+  for (int k = 0; k < 44; ++k) keys.push_back({I(k), Dt("2016-03-15")});
+  keys.push_back({I(7), Dt("1999-01-01")});
+  keys.push_back({N(), Dt("2016-03-15")});
+  for (int k = 0; k < 44; ++k) keys.push_back({I(k), Dt("2016-03-15")});
+
+  TaskPool pool(3);
+  for (size_t shards : {size_t{3}, size_t{8}}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    auto [heap_s, sharded] = build(shards);
+    EXPECT_EQ(sharded->num_shards(), shards);
+    EXPECT_EQ(sharded->NumKeys(), ref->NumKeys());
+    EXPECT_EQ(sharded->NumEntries(), ref->NumEntries());
+    EXPECT_EQ(sharded->MaxBucketSize(), ref->MaxBucketSize());
+
+    std::vector<AcIndex::BucketView> pooled(keys.size());
+    std::vector<AcIndex::BucketView> serial(keys.size());
+    sharded->LookupBatch(keys.data(), keys.size(), pooled.data(), &pool);
+    sharded->LookupBatch(keys.data(), keys.size(), serial.data(),
+                         static_cast<TaskPool*>(nullptr));
+    for (size_t i = 0; i < keys.size(); ++i) {
+      SCOPED_TRACE("key " + std::to_string(i));
+      AcIndex::BucketView expect = ref->LookupWithCounts(keys[i]);
+      for (const AcIndex::BucketView* got : {&pooled[i], &serial[i]}) {
+        ASSERT_EQ(got->size(), expect.size());
+        for (size_t b = 0; b < expect.size(); ++b) {
+          // Same distinct Y-projections, same first-appearance order,
+          // same multiplicities.
+          EXPECT_EQ((*got->rows)[b], (*expect.rows)[b]);
+          EXPECT_EQ((*got->multiplicities)[b], (*expect.multiplicities)[b]);
+        }
+      }
+    }
+
+    // Incremental maintenance routes to the right sub-index.
+    Row extra{I(7), Dt("2016-03-15"), I(999), S("RX")};
+    sharded->OnInsert(extra);
+    ref->OnInsert(extra);
+    EXPECT_EQ(sharded->NumEntries(), ref->NumEntries());
+    auto after = sharded->LookupWithCounts({I(7), Dt("2016-03-15")});
+    auto after_ref = ref->LookupWithCounts({I(7), Dt("2016-03-15")});
+    ASSERT_EQ(after.size(), after_ref.size());
+    EXPECT_EQ((*after.rows).back(), (*after_ref.rows).back());
+    sharded->OnDelete(extra);
+    ref->OnDelete(extra);
+    EXPECT_EQ(sharded->NumEntries(), ref->NumEntries());
   }
 }
 

@@ -13,6 +13,8 @@
 
 #include "bounded/beas_session.h"
 #include "common/rng.h"
+#include "common/shard_config.h"
+#include "common/task_pool.h"
 #include "discovery/profiler.h"
 #include "test_util.h"
 
@@ -531,6 +533,96 @@ TEST_P(StringChainDifferential, EncodedAndScalarPathsAgreeBitForBit) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StringChainDifferential,
                          ::testing::Range<uint64_t>(0, 15));
+
+// ---------------------------------------------------------------------------
+// P7. Shard-count differential: hash-partitioned storage (BEAS_SHARDS)
+// never changes answers. The same seed is materialized at shard counts
+// {1, 3, 8}; every query's fetch-chain fragment — scalar and vectorized,
+// with and without a probe pool, exact and budget-capped — must be
+// bit-identical (rows, order, weights, η, probe counters) to the
+// single-shard scalar reference. Integer and string (dictionary-encoded)
+// databases are both swept.
+// ---------------------------------------------------------------------------
+
+using testing_util::ShardOverrideGuard;
+
+class ShardCountDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShardCountDifferential, ShardingIsInvisibleBitForBit) {
+  const size_t kShardCounts[] = {1, 3, 8};
+  const uint64_t budgets[] = {0, 2, 17};
+  bool strings = GetParam() % 2 == 1;  // alternate int / dictionary DBs
+
+  // Materialize the same database (same seed => same rows in the same
+  // insertion order) at each shard count.
+  std::vector<RandomDb> envs;
+  for (size_t shards : kShardCounts) {
+    ShardOverrideGuard guard(shards);
+    Rng rng(GetParam() * 88951 + 29);
+    envs.push_back(strings ? BuildRandomStringDb(&rng)
+                           : BuildRandomDb(&rng));
+    ASSERT_EQ((*envs.back().db->catalog()->GetTable("t0"))
+                  ->heap()
+                  ->num_shards(),
+              shards);
+  }
+  std::vector<BoundedExecutor> executors;
+  for (RandomDb& env : envs) executors.emplace_back(env.catalog.get());
+  TaskPool pool(3);
+
+  Rng qrng(GetParam() * 52379 + 17);
+  for (int q = 0; q < 6; ++q) {
+    bool aggregate = false;
+    std::string sql = strings ? BuildRandomStringQuery(&qrng, &aggregate)
+                              : BuildRandomQuery(&qrng, envs[0], &aggregate);
+    SCOPED_TRACE(sql);
+
+    auto ref_coverage = envs[0].session->Check(sql);
+    ASSERT_TRUE(ref_coverage.ok());
+    if (!ref_coverage->covered) continue;
+    auto ref_bound = envs[0].db->Bind(sql);
+    ASSERT_TRUE(ref_bound.ok());
+
+    for (uint64_t budget : budgets) {
+      SCOPED_TRACE("budget=" + std::to_string(budget));
+      BoundedExecOptions ref_opts;
+      ref_opts.use_vectorized = false;
+      ref_opts.fetch_budget = budget;
+      auto reference = executors[0].ExecuteFragment(
+          *ref_bound, ref_coverage->plan, ref_opts);
+      ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+      for (size_t e = 0; e < envs.size(); ++e) {
+        SCOPED_TRACE("shards=" + std::to_string(kShardCounts[e]));
+        auto coverage = envs[e].session->Check(sql);
+        ASSERT_TRUE(coverage.ok());
+        // Coverage and deduced bounds are properties of (Q, A) — never of
+        // the partitioning.
+        ASSERT_TRUE(coverage->covered);
+        EXPECT_EQ(coverage->plan.total_access_bound,
+                  ref_coverage->plan.total_access_bound);
+        auto bound = envs[e].db->Bind(sql);
+        ASSERT_TRUE(bound.ok());
+
+        for (bool vectorized : {false, true}) {
+          for (TaskPool* p : {static_cast<TaskPool*>(nullptr), &pool}) {
+            BoundedExecOptions opts;
+            opts.use_vectorized = vectorized;
+            opts.fetch_budget = budget;
+            opts.probe_pool = p;
+            auto frag = executors[e].ExecuteFragment(*bound, coverage->plan,
+                                                     opts);
+            ASSERT_TRUE(frag.ok()) << frag.status().ToString();
+            ExpectFragmentsIdentical(*reference, *frag);
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardCountDifferential,
+                         ::testing::Range<uint64_t>(0, 10));
 
 }  // namespace
 }  // namespace beas

@@ -10,6 +10,7 @@
 
 #include "bounded/bounded_plan.h"
 #include "common/hash.h"
+#include "common/shard_config.h"
 #include "common/string_util.h"
 #include "service/beas_service.h"
 #include "service/plan_cache.h"
@@ -808,6 +809,148 @@ TEST_F(ServiceTest, ConcurrentClientsWithWriterStress) {
   EXPECT_GE(stats.hits,
             static_cast<uint64_t>(kReaders * kItersPerReader - 16));
   EXPECT_EQ(stats.invalidations, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded storage: the per-shard single-writer contract.
+// ---------------------------------------------------------------------------
+
+using testing_util::ShardOverrideGuard;
+
+TEST(ShardedServiceTest, ConcurrentBatchesToDisjointShardsBothCommit) {
+  // Two writer threads batching into disjoint key ranges: under the
+  // per-shard contract both must succeed — no "concurrent write" error,
+  // no lost rows — because each batch exclusively locks only the shards
+  // its keys hash to.
+  ShardOverrideGuard guard(8);
+  ServiceOptions options;
+  options.num_workers = 2;
+  BeasService service(options);
+  ASSERT_TRUE(service
+                  .CreateTable("kv", Schema({{"k", TypeId::kInt64},
+                                             {"v", TypeId::kInt64}}))
+                  .ok());
+  // The constraint nominates `k` as the shard key for future inserts.
+  ASSERT_TRUE(service.RegisterConstraint({"kv_k", "kv", {"k"}, {"v"}, 64}).ok());
+
+  constexpr int kBatches = 20;
+  constexpr int kPerBatch = 25;
+  std::atomic<int> failures{0};
+  auto writer = [&](int base) {
+    for (int b = 0; b < kBatches; ++b) {
+      std::vector<Row> batch;
+      for (int i = 0; i < kPerBatch; ++i) {
+        int k = base + b * kPerBatch + i;
+        batch.push_back({I(k), I(k * 10)});
+      }
+      if (!service.InsertBatch("kv", std::move(batch)).ok()) ++failures;
+    }
+  };
+  std::thread w1(writer, 0);
+  std::thread w2(writer, 1000000);
+  w1.join();
+  w2.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  auto count = service.Execute("SELECT count(*) AS n FROM kv");
+  ASSERT_TRUE(count.ok());
+  ASSERT_EQ(count->result.rows.size(), 1u);
+  EXPECT_EQ(count->result.rows[0][0], I(2 * kBatches * kPerBatch));
+  // Every row reached its AC index (bounded point lookups see them).
+  for (int k : {0, 499, 1000000, 1000499}) {
+    auto got = service.ExecuteBounded(
+        StringPrintf("SELECT kv.v FROM kv WHERE kv.k = %d", k));
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got->result.rows.size(), 1u);
+    EXPECT_EQ(got->result.rows[0][0], I(k * 10));
+  }
+}
+
+TEST(ShardedServiceTest, PerShardWritersAndReadersStress) {
+  // Mixed load against 4-way sharded storage: four writers (row inserts
+  // and batches, disjoint key ranges), readers running cached bounded
+  // point queries whose answers must stay stable (their keys are never
+  // written), plus beas_stats polls exercising the per-shard gauge
+  // snapshot while shard locks churn.
+  ShardOverrideGuard guard(4);
+  ServiceOptions options;
+  options.num_workers = 3;
+  BeasService service(options);
+  ASSERT_TRUE(service
+                  .CreateTable("kv", Schema({{"k", TypeId::kInt64},
+                                             {"v", TypeId::kInt64}}))
+                  .ok());
+  ASSERT_TRUE(
+      service.RegisterConstraint({"kv_k", "kv", {"k"}, {"v"}, 64}).ok());
+  for (int k = 0; k < 32; ++k) {
+    ASSERT_TRUE(service.Insert("kv", {I(-k - 1), I(k)}).ok());
+  }
+
+  constexpr int kWriters = 4;
+  constexpr int kRowsPerWriter = 300;
+  constexpr int kReaders = 3;
+  constexpr int kReadsPerReader = 120;
+  std::atomic<int> failures{0};
+  std::atomic<int> mismatches{0};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      int base = (w + 1) * 100000;
+      for (int i = 0; i < kRowsPerWriter; i += 3) {
+        // Alternate single-row inserts and mini-batches.
+        if (!service.Insert("kv", {I(base + i), I(base + i)}).ok()) {
+          ++failures;
+        }
+        std::vector<Row> batch = {{I(base + i + 1), I(base + i + 1)},
+                                  {I(base + i + 2), I(base + i + 2)}};
+        if (!service.InsertBatch("kv", std::move(batch)).ok()) ++failures;
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      for (int i = 0; i < kReadsPerReader; ++i) {
+        int k = (r * 7 + i) % 32;
+        auto resp = service.Execute(
+            StringPrintf("SELECT kv.v FROM kv WHERE kv.k = %d", -k - 1));
+        if (!resp.ok()) {
+          ++failures;
+          continue;
+        }
+        if (resp->result.rows.size() != 1 ||
+            !(resp->result.rows[0][0] == I(k))) {
+          ++mismatches;
+        }
+        if (i % 24 == 0) {
+          auto stats = service.Execute(
+              "SELECT metric, value FROM beas_stats WHERE metric = "
+              "'storage_shards'");
+          if (!stats.ok() || stats->result.rows.size() != 1 ||
+              !(stats->result.rows[0][1] == Value::Double(4))) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  auto count = service.Execute("SELECT count(*) AS n FROM kv");
+  ASSERT_TRUE(count.ok());
+  ASSERT_EQ(count->result.rows.size(), 1u);
+  EXPECT_EQ(count->result.rows[0][0], I(32 + kWriters * kRowsPerWriter));
+
+  // The post-stress per-shard gauges add up to the live rows.
+  ASSERT_TRUE(service.RefreshStatsTable().ok());
+  auto shards = service.Execute(
+      "SELECT value FROM beas_stats WHERE metric = 'rows_live'");
+  ASSERT_TRUE(shards.ok());
+  ASSERT_EQ(shards->result.rows.size(), 1u);
+  EXPECT_EQ(shards->result.rows[0][0],
+            Value::Double(32 + kWriters * kRowsPerWriter));
 }
 
 TEST_F(ServiceTest, InsertBatchMaintainsIndicesLikeRowInserts) {

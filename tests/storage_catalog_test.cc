@@ -120,6 +120,68 @@ TEST(TableHeapTest, SnapshotCopiesLiveRows) {
   EXPECT_EQ(rows[0][0], I(1));
 }
 
+// ---------------------------------------------------------------------------
+// Sharded TableHeap: hash partitioning must be invisible through the
+// public surface — slots, iteration order, deletes, snapshots are all
+// identical at every shard count.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedHeapTest, PublicSurfaceInvariantAcrossShardCounts) {
+  for (size_t shards : {size_t{1}, size_t{3}, size_t{8}}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    TableHeap heap(TwoColSchema());
+    heap.set_num_shards(shards);
+    ASSERT_EQ(heap.num_shards(), shards);
+
+    std::vector<SlotId> slots;
+    for (int i = 0; i < 50; ++i) {
+      slots.push_back(heap.InsertUnchecked({I(i), S("v" + std::to_string(i))}));
+    }
+    // Slots are dense and in insertion order, whatever the partitioning.
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_EQ(slots[i], static_cast<SlotId>(i));
+      EXPECT_EQ(heap.At(slots[i])[0], I(i));
+    }
+    ASSERT_TRUE(heap.Delete(slots[10]).ok());
+    ASSERT_TRUE(heap.Delete(slots[11]).ok());
+    EXPECT_EQ(heap.NumRows(), 48u);
+    EXPECT_EQ(heap.NumSlots(), 50u);
+
+    std::vector<int64_t> seen;
+    for (auto it = heap.Begin(); it.Valid(); it.Next()) {
+      seen.push_back(it.row()[0].AsInt64());
+    }
+    ASSERT_EQ(seen.size(), 48u);
+    for (size_t i = 0; i < seen.size(); ++i) {
+      // Insertion order with 10 and 11 skipped.
+      EXPECT_EQ(seen[i], static_cast<int64_t>(i < 10 ? i : i + 2));
+    }
+
+    // Per-shard live counts cover exactly the live rows.
+    size_t per_shard_total = 0;
+    for (size_t s = 0; s < heap.num_shards(); ++s) {
+      per_shard_total += heap.ShardLiveRows(s);
+    }
+    EXPECT_EQ(per_shard_total, heap.NumRows());
+  }
+}
+
+TEST(ShardedHeapTest, ShardKeyRoutesByDeclaredColumn) {
+  TableHeap heap(TwoColSchema());
+  heap.set_num_shards(4);
+  heap.DeclareShardKey(0);
+  EXPECT_EQ(heap.shard_key_col(), 0);
+  // Same key value => same shard, independent of the other columns.
+  EXPECT_EQ(heap.ShardOf({I(7), S("a")}), heap.ShardOf({I(7), S("zzz")}));
+  // Distinct key values spread across more than one shard (hash quality).
+  std::vector<char> hit(4, 0);
+  for (int k = 0; k < 64; ++k) hit[heap.ShardOf({I(k), S("x")})] = 1;
+  EXPECT_GT(hit[0] + hit[1] + hit[2] + hit[3], 1);
+  // A second declaration is ignored (first constraint wins).
+  heap.DeclareShardKey(1);
+  EXPECT_EQ(heap.shard_key_col(), 0);
+}
+
 TEST(CsvTest, RoundTrip) {
   std::string path =
       (std::filesystem::temp_directory_path() / "beas_csv_test.csv").string();

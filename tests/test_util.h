@@ -6,12 +6,27 @@
 #include <vector>
 
 #include "binder/bound_query.h"
+#include "common/shard_config.h"
 #include "engine/database.h"
 #include "expr/evaluator.h"
 #include "types/tuple.h"
 
 namespace beas {
 namespace testing_util {
+
+/// RAII shard-count override for tests that sweep BEAS_SHARDS: set the
+/// process override (before the tables under test are constructed),
+/// restore on exit.
+class ShardOverrideGuard {
+ public:
+  explicit ShardOverrideGuard(size_t shards) : saved_(ShardCountOverride()) {
+    ShardCountOverride() = shards;
+  }
+  ~ShardOverrideGuard() { ShardCountOverride() = saved_; }
+
+ private:
+  size_t saved_;
+};
 
 /// Shorthand row builders.
 inline Value I(int64_t v) { return Value::Int64(v); }

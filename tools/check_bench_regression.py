@@ -10,7 +10,13 @@ committed at the repo root and fails (exit 1) when:
   * string_dict_speedup_geomean fell below the absolute dictionary floor
     (1.5x, the dictionary-encoding acceptance bar) or below THRESHOLD of
     the committed baseline — whichever is lower protects against CI
-    machine variance while still catching real regressions.
+    machine variance while still catching real regressions, or
+  * fig4_shard_speedup (the Fig. 4 three-step chain at BEAS_SHARDS=N vs
+    BEAS_SHARDS=1, same pool, same data) fell below the absolute sharding
+    floor (1.5x). This gate only applies when the fresh run reports at
+    least SHARD_GATE_MIN_CORES hardware threads — on smaller machines a
+    parallel fan-out cannot physically reach the floor, so the metric is
+    recorded but not gated.
 
 Usage: check_bench_regression.py <fresh.json> <baseline.json> [threshold]
 """
@@ -19,6 +25,8 @@ import json
 import sys
 
 DICT_SPEEDUP_FLOOR = 1.5
+SHARD_SPEEDUP_FLOOR = 1.5
+SHARD_GATE_MIN_CORES = 4
 
 
 def main() -> int:
@@ -68,6 +76,27 @@ def main() -> int:
     gate("fetch_chain_speedup_geomean")
     gate("string_chain_speedup_geomean")
     gate("string_dict_speedup_geomean", floor_abs=DICT_SPEEDUP_FLOOR)
+
+    # Sharded-storage gate: absolute floor on the Fig. 4 chain, applied
+    # only where the hardware can express parallelism at all.
+    shard_speedup = fresh.get("fig4_shard_speedup")
+    cores = fresh.get("hardware_concurrency", 1)
+    if shard_speedup is None:
+        failures.append("fig4_shard_speedup missing from fresh results")
+    elif cores < SHARD_GATE_MIN_CORES:
+        print(f"  fig4_shard_speedup: {shard_speedup:.3f} (recorded only: "
+              f"{cores} hardware threads < {SHARD_GATE_MIN_CORES}, floor "
+              "not applicable)")
+    elif shard_speedup < SHARD_SPEEDUP_FLOOR:
+        print(f"  fig4_shard_speedup: {shard_speedup:.3f} "
+              f"(floor {SHARD_SPEEDUP_FLOOR:.2f}) REGRESSED")
+        failures.append(
+            f"fig4_shard_speedup below floor: {shard_speedup:.3f} < "
+            f"{SHARD_SPEEDUP_FLOOR:.2f} (shards="
+            f"{fresh.get('shards')}, cores={cores})")
+    else:
+        print(f"  fig4_shard_speedup: {shard_speedup:.3f} "
+              f"(floor {SHARD_SPEEDUP_FLOOR:.2f}) ok")
 
     if failures:
         print("\nFAIL:")

@@ -25,6 +25,16 @@
 // is the CI gate (tools/check_bench_regression.py, skipped on single-core
 // runners where no parallel speedup is physically possible).
 //
+// A fourth section measures the *columnar relational tail*: tail-heavy
+// queries (high-cardinality string GROUP BY, DISTINCT, ORDER BY + LIMIT)
+// over the Fig. 4-shaped string chain, executed end to end twice on the
+// same vectorized fetch chain — once with the columnar tail (default) and
+// once with the scalar row-at-a-time tail — after a maintenance pass has
+// renumbered the dictionaries into sorted order (so string ORDER BY is
+// pure code comparisons on both paths). `fig4_tail_speedup` (the 3-step
+// chain's ratio) is gated at >= 1.5x by tools/check_bench_regression.py;
+// results must be identical rows-and-order on both tails.
+//
 // Knobs: TLC_SF (default 32) data scale; FETCH_REPS (default 15) timing
 // reps; BEAS_SHARDS (default 4) sharded-run shard count;
 // BENCH_JSON_PATH (default BENCH_fetch_chain.json).
@@ -38,6 +48,7 @@
 #include "common/shard_config.h"
 #include "common/string_util.h"
 #include "common/task_pool.h"
+#include "maintenance/maintenance.h"
 #include "workload/tlc_queries.h"
 
 using namespace beas;
@@ -183,6 +194,129 @@ const std::vector<std::pair<std::string, std::string>>& StringChainQueries() {
                NodeName("l3", 0) + "'"},
       };
   return *kQueries;
+}
+
+// ---------------------------------------------------------------------------
+// Columnar vs scalar relational tail over the string chain.
+// ---------------------------------------------------------------------------
+
+struct TailRun {
+  std::string name;
+  size_t steps = 0;
+  size_t t_rows = 0;          ///< T rows entering the tail
+  double scalar_tail_ms = 0;  ///< vectorized chain + scalar tail
+  double columnar_tail_ms = 0;
+  double speedup = 0;
+  bool identical = false;
+};
+
+/// Tail-heavy queries over the edge graph: the fetch chain fans out to
+/// thousands of T rows, then everything interesting happens in the tail.
+const std::vector<std::pair<std::string, std::string>>& TailQueries() {
+  static const auto* kQueries = new std::vector<
+      std::pair<std::string, std::string>>{
+      // Fig. 4-shaped 3-step chain, high-cardinality string GROUP BY +
+      // ORDER BY over the counts — the CI-gated headline.
+      {"T1",
+       "SELECT c.dst, count(*) AS n FROM e1 a, e2 b, e3 c WHERE a.src IN "
+       "('" + NodeName("root", 0) + "', '" + NodeName("root", 1) + "', '" +
+           NodeName("root", 2) + "', '" + NodeName("root", 3) +
+           "') AND b.src = a.dst AND c.src = b.dst GROUP BY c.dst "
+           "ORDER BY 2 DESC, 1"},
+      // Grouped aggregation with DISTINCT + MIN/MAX over string keys.
+      {"T2",
+       "SELECT b.dst, count(*) AS n, count(DISTINCT a.src) AS roots, "
+       "min(a.dst) AS lo FROM e1 a, e2 b WHERE a.src IN ('" +
+           NodeName("root", 0) + "', '" + NodeName("root", 1) + "', '" +
+           NodeName("root", 2) + "', '" + NodeName("root", 3) +
+           "') AND b.src = a.dst GROUP BY b.dst ORDER BY 1"},
+      // DISTINCT projection, encoded dedup + sort.
+      {"T3",
+       "SELECT DISTINCT c.dst, b.dst FROM e1 a, e2 b, e3 c WHERE a.src = '" +
+           NodeName("root", 0) +
+           "' AND b.src = a.dst AND c.src = b.dst ORDER BY 1, 2"},
+      // Bag-expansion ORDER BY + LIMIT: the index sort materializes only
+      // the survivors.
+      {"T4",
+       "SELECT c.dst, b.dst FROM e1 a, e2 b, e3 c WHERE a.src IN ('" +
+           NodeName("root", 0) + "', '" + NodeName("root", 1) +
+           "') AND b.src = a.dst AND c.src = b.dst ORDER BY 1 DESC, 2 "
+           "LIMIT 500"},
+  };
+  return *kQueries;
+}
+
+bool ResultsIdentical(const QueryResult& a, const QueryResult& b) {
+  if (a.rows.size() != b.rows.size()) return false;
+  for (size_t r = 0; r < a.rows.size(); ++r) {
+    if (CompareValueVec(a.rows[r], b.rows[r]) != 0) return false;
+  }
+  return true;
+}
+
+std::vector<TailRun> RunTailSection(StringChainEnv* env, int reps,
+                                    bool* error) {
+  BoundedExecutor executor(env->catalog.get());
+  // Production shape: a maintenance cycle has renumbered the dictionaries
+  // into sorted order, so ORDER BY on string columns is pure code
+  // comparisons — on both tails (the scalar tail's Value::Compare takes
+  // the same sorted-code fast path; the columnar win measured here is
+  // grouping and materialization, not a sort handicap).
+  MaintenanceManager maintenance(env->db.get(), env->catalog.get());
+  MaintenanceManager::DictRebuildPolicy force;
+  force.min_strings = 1;
+  force.min_out_of_order_fraction = 0.0;
+  if (!maintenance.MaintainDictionaries(force).ok()) *error = true;
+
+  std::vector<TailRun> out;
+  for (const auto& [id, sql] : TailQueries()) {
+    auto coverage = env->session->Check(sql);
+    if (!coverage.ok() || !coverage->covered) {
+      std::fprintf(stderr, "%s: tail chain not covered\n", id.c_str());
+      *error = true;
+      continue;
+    }
+    auto bound = env->db->Bind(sql);
+    if (!bound.ok()) {
+      *error = true;
+      continue;
+    }
+    const BoundQuery& query = *bound;
+    const BoundedPlan& plan = coverage->plan;
+
+    BoundedExecOptions columnar_opts;
+    columnar_opts.collect_stats = false;
+    auto compiled = CompileBoundedPlan(query, plan, *env->catalog);
+    if (compiled.ok()) columnar_opts.compiled = &*compiled;
+    BoundedExecOptions scalar_tail_opts = columnar_opts;
+    scalar_tail_opts.use_columnar_tail = false;
+
+    auto res_c = executor.Execute(query, plan, columnar_opts);
+    auto res_s = executor.Execute(query, plan, scalar_tail_opts);
+    auto frag = executor.ExecuteFragment(query, plan, columnar_opts);
+    if (!res_c.ok() || !res_s.ok() || !frag.ok()) {
+      std::fprintf(stderr, "%s: tail executor error\n", id.c_str());
+      *error = true;
+      continue;
+    }
+    for (int w = 0; w < 3; ++w) {
+      (void)executor.Execute(query, plan, columnar_opts);
+      (void)executor.Execute(query, plan, scalar_tail_opts);
+    }
+
+    TailRun r;
+    r.name = id;
+    r.steps = plan.steps.size();
+    r.t_rows = frag->rows.size();
+    r.identical = ResultsIdentical(*res_c, *res_s);
+    r.columnar_tail_ms = MedianMillis(
+        [&] { (void)executor.Execute(query, plan, columnar_opts); }, reps);
+    r.scalar_tail_ms = MedianMillis(
+        [&] { (void)executor.Execute(query, plan, scalar_tail_opts); }, reps);
+    r.speedup = r.scalar_tail_ms / std::max(r.columnar_tail_ms, 1e-6);
+    out.push_back(std::move(r));
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -459,6 +593,34 @@ int main() {
       Geomean(string_speedups), Geomean(dict_speedups),
       strings_identical ? "bit-identical" : "DIVERGED");
 
+  // --- Columnar vs scalar relational tail (same vectorized chain). ---
+  // Runs on the dictionary env *after* its timing sections: the embedded
+  // maintenance pass renumbers the dictionaries, which must not happen
+  // under the earlier sections' feet.
+  bool tail_error = false;
+  std::vector<TailRun> tail_results = RunTailSection(&dict_env, reps,
+                                                     &tail_error);
+  std::printf("\n%-6s %-6s %-8s | %-26s | %s\n", "chain", "steps", "T rows",
+              "tail scalar -> columnar (ms)", "speedup / identical?");
+  std::vector<double> tail_speedups;
+  double fig4_tail_speedup = 0;
+  bool tails_identical = !tail_results.empty() && !tail_error;
+  for (size_t i = 0; i < tail_results.size(); ++i) {
+    const TailRun& r = tail_results[i];
+    std::printf("%-6s %-6zu %-8zu | %9.3f -> %9.3f | %5.2fx %s\n",
+                r.name.c_str(), r.steps, r.t_rows, r.scalar_tail_ms,
+                r.columnar_tail_ms, r.speedup, r.identical ? "yes" : "NO");
+    tail_speedups.push_back(r.speedup);
+    if (i == 0) fig4_tail_speedup = r.speedup;
+    tails_identical &= r.identical;
+  }
+  all_identical &= tails_identical;
+  std::printf(
+      "\ncolumnar tail: fig4-shaped chain (T1) %.2fx vs the scalar tail, "
+      "geomean %.2fx over %zu tail-heavy chains (results %s)\n",
+      fig4_tail_speedup, Geomean(tail_speedups), tail_results.size(),
+      tails_identical ? "identical" : "DIVERGED");
+
   // --- Sharded vs unsharded storage (the end-to-end fan-out A/B). ---
   size_t shard_count =
       static_cast<size_t>(EnvDouble("BEAS_SHARDS", 4));
@@ -515,6 +677,22 @@ int main() {
                  Geomean(string_speedups));
     std::fprintf(json, "  \"string_dict_speedup_geomean\": %.4f,\n",
                  Geomean(dict_speedups));
+    std::fprintf(json, "  \"fig4_tail_speedup\": %.4f,\n", fig4_tail_speedup);
+    std::fprintf(json, "  \"tail_speedup_geomean\": %.4f,\n",
+                 Geomean(tail_speedups));
+    std::fprintf(json, "  \"tail_chains\": [\n");
+    for (size_t i = 0; i < tail_results.size(); ++i) {
+      const TailRun& r = tail_results[i];
+      std::fprintf(json,
+                   "    {\"name\": \"%s\", \"steps\": %zu, \"t_rows\": %zu, "
+                   "\"scalar_tail_ms\": %.4f, \"columnar_tail_ms\": %.4f, "
+                   "\"speedup\": %.4f, \"identical\": %s}%s\n",
+                   r.name.c_str(), r.steps, r.t_rows, r.scalar_tail_ms,
+                   r.columnar_tail_ms, r.speedup,
+                   r.identical ? "true" : "false",
+                   i + 1 < tail_results.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
     std::fprintf(json, "  \"shards\": %zu,\n", shard_count);
     std::fprintf(json, "  \"hardware_concurrency\": %u,\n", hw);
     std::fprintf(json, "  \"fig4_shard_speedup\": %.4f,\n",

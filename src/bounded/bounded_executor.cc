@@ -6,8 +6,10 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "bounded/columnar_tail.h"
 #include "common/string_util.h"
 #include "common/task_pool.h"
+#include "exec/grouping.h"
 #include "expr/evaluator.h"
 
 namespace beas {
@@ -18,75 +20,6 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
       .count();
-}
-
-/// Weighted aggregate accumulation state (bag semantics via weights).
-struct WeightedAggState {
-  uint64_t count = 0;
-  int64_t sum_i = 0;
-  double sum_d = 0;
-  Value min_max;
-  bool has_value = false;
-  std::unordered_set<ValueVec, ValueVecHash, ValueVecEq> distinct;
-};
-
-Status AccumulateWeighted(const AggSpec& spec, const Value& v, uint64_t weight,
-                          WeightedAggState* state) {
-  if (spec.fn == AggFn::kCountStar) {
-    state->count += weight;
-    return Status::OK();
-  }
-  if (v.is_null()) return Status::OK();
-  if (spec.distinct) {
-    // DISTINCT aggregates ignore multiplicity by definition.
-    if (!state->distinct.insert(ValueVec{v}).second) return Status::OK();
-    weight = 1;
-  }
-  switch (spec.fn) {
-    case AggFn::kCount:
-      state->count += weight;
-      break;
-    case AggFn::kSum:
-    case AggFn::kAvg:
-      state->count += weight;
-      state->sum_i += static_cast<int64_t>(weight) *
-                      (v.type() == TypeId::kDouble ? 0 : v.AsInt64());
-      state->sum_d += static_cast<double>(weight) * v.AsDouble();
-      break;
-    case AggFn::kMin:
-      if (!state->has_value || v.Compare(state->min_max) < 0) state->min_max = v;
-      state->has_value = true;
-      break;
-    case AggFn::kMax:
-      if (!state->has_value || v.Compare(state->min_max) > 0) state->min_max = v;
-      state->has_value = true;
-      break;
-    default:
-      return Status::Internal("bad aggregate function");
-  }
-  return Status::OK();
-}
-
-Result<Value> FinalizeWeighted(const AggSpec& spec,
-                               const WeightedAggState& state) {
-  switch (spec.fn) {
-    case AggFn::kCountStar:
-    case AggFn::kCount:
-      return Value::Int64(static_cast<int64_t>(state.count));
-    case AggFn::kSum:
-      if (state.count == 0) return Value::Null();
-      return spec.result_type == TypeId::kDouble ? Value::Double(state.sum_d)
-                                                 : Value::Int64(state.sum_i);
-    case AggFn::kAvg:
-      if (state.count == 0) return Value::Null();
-      return Value::Double(state.sum_d / static_cast<double>(state.count));
-    case AggFn::kMin:
-    case AggFn::kMax:
-      return state.has_value ? state.min_max : Value::Null();
-    case AggFn::kNone:
-      break;
-  }
-  return Status::Internal("bad aggregate function");
 }
 
 /// Remaining per-step budget. `capped` distinguishes "no budget" from an
@@ -397,12 +330,17 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentScalar(
 // identically, so parity with the scalar reference is preserved.
 // ---------------------------------------------------------------------------
 
-Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentVectorized(
+Result<BoundedExecutor::BatchFragment>
+BoundedExecutor::ExecuteFragmentVectorized(
     const BoundQuery& query, const BoundedPlan& plan,
     const CompiledPlan& compiled, const BoundedExecOptions& options) const {
-  Fragment fragment;
+  BatchFragment fragment;
   fragment.layout = plan.layout;
   fragment.stats.root.label = "BoundedFetchChain";
+  // An empty result still carries the layout's arity: the columnar tail
+  // borrows columns by slot, so the batch must be addressable even with
+  // zero rows.
+  fragment.batch = TupleBatch(plan.layout.size());
 
   Row empty_row;
   for (size_t ci : plan.initial_conjuncts) {
@@ -948,22 +886,18 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentVectorized(
     }
   }
 
-  fragment.rows = t.ToRows();
-  fragment.weights = std::move(t.weights());
+  fragment.batch = std::move(t);
   for (const auto& child : fragment.stats.root.children) {
     fragment.stats.root.total_millis += child.total_millis;
   }
   fragment.stats.root.tuples_accessed = fragment.stats.tuples_fetched;
-  fragment.stats.root.rows_out = fragment.rows.size();
+  fragment.stats.root.rows_out = fragment.batch.num_rows();
   return fragment;
 }
 
-Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragment(
+Result<BoundedExecutor::BatchFragment> BoundedExecutor::ExecuteBatchFragment(
     const BoundQuery& query, const BoundedPlan& plan,
     const BoundedExecOptions& options) const {
-  if (!options.use_vectorized) {
-    return ExecuteFragmentScalar(query, plan, options);
-  }
   const CompiledPlan* compiled = options.compiled;
   CompiledPlan local;
   if (compiled == nullptr || compiled->steps.size() != plan.steps.size()) {
@@ -975,24 +909,50 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragment(
   return ExecuteFragmentVectorized(query, plan, *compiled, options);
 }
 
+Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragment(
+    const BoundQuery& query, const BoundedPlan& plan,
+    const BoundedExecOptions& options) const {
+  if (!options.use_vectorized) {
+    return ExecuteFragmentScalar(query, plan, options);
+  }
+  BEAS_ASSIGN_OR_RETURN(BatchFragment bf,
+                        ExecuteBatchFragment(query, plan, options));
+  Fragment fragment;
+  fragment.layout = std::move(bf.layout);
+  fragment.stats = std::move(bf.stats);
+  fragment.rows = bf.batch.ToRows();
+  fragment.weights = std::move(bf.batch.weights());
+  return fragment;
+}
+
 // ---------------------------------------------------------------------------
-// Relational tail (shared by both fetch-chain paths): weighted grouping /
-// DISTINCT run over hash-based group indices (ValueVecGrouper) instead of
-// rehashing ValueVec map keys per row.
+// Relational tail. On the vectorized path the tail consumes the columnar
+// T directly (bounded/columnar_tail.h): compiled key/output programs,
+// code-aware grouping, encoded-key sorts — no Row materialization. The
+// scalar tail below remains both the fallback for non-compilable tail
+// expressions and the differential reference the columnar tail is tested
+// bit-identical against (weighted grouping / DISTINCT over ValueVecGrouper
+// group indices).
 // ---------------------------------------------------------------------------
 
 Result<QueryResult> BoundedExecutor::Execute(
     const BoundQuery& query, const BoundedPlan& plan,
     const BoundedExecOptions& options, BoundedExecStats* stats_out) const {
   auto start = std::chrono::steady_clock::now();
-  BEAS_ASSIGN_OR_RETURN(Fragment fragment,
-                        ExecuteFragment(query, plan, options));
 
-  // Rebuild the global -> T position mapping.
-  std::unordered_map<size_t, size_t> layout_pos;
-  for (size_t p = 0; p < fragment.layout.size(); ++p) {
-    layout_pos[query.GlobalIndex(fragment.layout[p])] = p;
+  // Fetch chain: columnar batch on the vectorized path (so the tail can
+  // consume it without materializing rows), Fragment on the scalar one.
+  bool have_batch = options.use_vectorized;
+  BatchFragment bf;
+  Fragment fragment;
+  if (have_batch) {
+    BEAS_ASSIGN_OR_RETURN(bf, ExecuteBatchFragment(query, plan, options));
+  } else {
+    BEAS_ASSIGN_OR_RETURN(fragment,
+                          ExecuteFragmentScalar(query, plan, options));
   }
+  BoundedExecStats& stats = have_batch ? bf.stats : fragment.stats;
+  const std::vector<AttrRef>& layout = have_batch ? bf.layout : fragment.layout;
 
   QueryResult result;
   result.engine = "BEAS (bounded)";
@@ -1002,7 +962,38 @@ Result<QueryResult> BoundedExecutor::Execute(
   }
 
   auto tail_start = std::chrono::steady_clock::now();
-  if (plan.steps.empty() && !query.atoms.empty()) {
+  bool unsatisfiable = plan.steps.empty() && !query.atoms.empty();
+  bool columnar_done = false;
+  if (!unsatisfiable && have_batch && options.use_columnar_tail) {
+    std::vector<int64_t> slot_of_column(query.total_columns, -1);
+    for (size_t p = 0; p < layout.size(); ++p) {
+      slot_of_column[query.GlobalIndex(layout[p])] =
+          static_cast<int64_t>(p);
+    }
+    BEAS_ASSIGN_OR_RETURN(
+        columnar_done, RunColumnarTail(query, bf.batch, slot_of_column,
+                                       options.probe_pool, &result));
+  }
+  if (!unsatisfiable && !columnar_done && have_batch) {
+    // Scalar-tail fallback (non-compilable tail expression, or the tail
+    // ablation knob): materialize the batch into the row Fragment the
+    // reference tail consumes.
+    fragment.layout = bf.layout;
+    fragment.rows = bf.batch.ToRows();
+    fragment.weights = std::move(bf.batch.weights());
+  }
+
+  // Rebuild the global -> T position mapping (scalar tail only).
+  std::unordered_map<size_t, size_t> layout_pos;
+  if (!columnar_done) {
+    for (size_t p = 0; p < fragment.layout.size(); ++p) {
+      layout_pos[query.GlobalIndex(fragment.layout[p])] = p;
+    }
+  }
+
+  if (columnar_done) {
+    // Tail complete, ORDER BY and LIMIT included.
+  } else if (unsatisfiable) {
     // Unsatisfiable equality predicates: T is empty and the layout holds no
     // columns, so skip rebinding. Global aggregates still produce their
     // one empty-input row (COUNT(*) = 0).
@@ -1122,41 +1113,30 @@ Result<QueryResult> BoundedExecutor::Execute(
     }
   }
 
-  // ORDER BY over output positions, then LIMIT.
-  if (!query.order_by.empty()) {
-    std::stable_sort(result.rows.begin(), result.rows.end(),
-                     [&query](const Row& a, const Row& b) {
-                       for (const BoundOrderItem& item : query.order_by) {
-                         int c = a[item.output_index].Compare(
-                             b[item.output_index]);
-                         if (c != 0) return item.asc ? c < 0 : c > 0;
-                       }
-                       return false;
-                     });
-  }
-  if (query.limit.has_value() &&
-      result.rows.size() > static_cast<size_t>(*query.limit)) {
-    result.rows.resize(static_cast<size_t>(*query.limit));
-  }
+  // ORDER BY over output positions, then LIMIT (the columnar tail has
+  // already applied its own — on encoded sort keys).
+  if (!columnar_done) SortRowsAndLimit(query, &result.rows);
 
   // Assemble telemetry.
   if (options.collect_stats) {
     OperatorStats tail;
-    tail.label = "RelationalTail(project/aggregate/sort/limit)";
+    tail.label = columnar_done
+                     ? "RelationalTail(columnar group/sort/limit)"
+                     : "RelationalTail(project/aggregate/sort/limit)";
     tail.rows_out = result.rows.size();
     tail.self_millis = MillisSince(tail_start);
     tail.total_millis = tail.self_millis;
 
-    result.stats = fragment.stats.root;
+    result.stats = stats.root;
     result.stats.label = "BEAS BoundedPlan";
     result.stats.children.push_back(std::move(tail));
     result.stats.rows_out = result.rows.size();
     result.plan_text = plan.ToString(query);
   }
-  result.tuples_accessed = fragment.stats.tuples_fetched;
+  result.tuples_accessed = stats.tuples_fetched;
   result.millis = MillisSince(start);
 
-  if (stats_out != nullptr) *stats_out = fragment.stats;
+  if (stats_out != nullptr) *stats_out = stats;
   return result;
 }
 

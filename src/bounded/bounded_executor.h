@@ -38,6 +38,15 @@ struct BoundedExecOptions {
   /// first-appearance order under a budget on either path.
   bool use_vectorized = true;
 
+  /// When true (default, vectorized path only) the relational tail —
+  /// GROUP BY aggregation, DISTINCT, projection, ORDER BY, LIMIT — also
+  /// consumes the columnar T directly (see bounded/columnar_tail.h): no
+  /// Row materialization, code-aware grouping, encoded-key sorts.
+  /// Queries whose tail expressions are not soundly compilable fall back
+  /// to the scalar tail automatically. False forces the scalar tail (the
+  /// differential reference) after the vectorized fetch chain.
+  bool use_columnar_tail = true;
+
   /// Optional precompiled step programs for `plan`'s template (cached by
   /// the service next to the plan skeleton). Null = compile on the fly.
   /// Must have been compiled from the same template as `plan`.
@@ -101,11 +110,27 @@ class BoundedExecutor {
                                    const BoundedExecOptions& options = {}) const;
 
  private:
+  /// The vectorized fetch chain's product before any materialization: T
+  /// as a columnar batch (string columns still dictionary-encoded). The
+  /// columnar tail consumes this directly; Fragment consumers get it
+  /// materialized through ToRows.
+  struct BatchFragment {
+    TupleBatch batch;
+    std::vector<AttrRef> layout;     ///< T column -> query attribute
+    BoundedExecStats stats;
+  };
+
   Result<Fragment> ExecuteFragmentScalar(const BoundQuery& query,
                                          const BoundedPlan& plan,
                                          const BoundedExecOptions& options) const;
 
-  Result<Fragment> ExecuteFragmentVectorized(
+  /// Vectorized chain with compile-on-the-fly when `options.compiled` is
+  /// absent or stale.
+  Result<BatchFragment> ExecuteBatchFragment(
+      const BoundQuery& query, const BoundedPlan& plan,
+      const BoundedExecOptions& options) const;
+
+  Result<BatchFragment> ExecuteFragmentVectorized(
       const BoundQuery& query, const BoundedPlan& plan,
       const CompiledPlan& compiled, const BoundedExecOptions& options) const;
 

@@ -1,0 +1,72 @@
+#ifndef BEAS_BOUNDED_COLUMNAR_TAIL_H_
+#define BEAS_BOUNDED_COLUMNAR_TAIL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "binder/bound_query.h"
+#include "bounded/tuple_batch.h"
+#include "common/result.h"
+#include "engine/query_result.h"
+
+namespace beas {
+
+class TaskPool;
+
+/// \name Tail telemetry (process-wide, queryable via beas_stats).
+/// @{
+/// Batches the columnar tail consumed (one per bounded execution whose
+/// tail ran columnar end to end).
+std::atomic<uint64_t>& TailBatchesTotal();
+/// Rows fed through the code-aware grouper (GROUP BY keys + DISTINCT
+/// dedup), the unit of work the columnar tail saves a Row materialization
+/// and a ValueVec allocation on.
+std::atomic<uint64_t>& TailRowsGrouped();
+/// @}
+
+/// \brief ORDER BY over output positions (stable, Value::Compare — which
+/// fast-paths to code comparisons on sorted dictionaries), then LIMIT.
+/// The one definition both tails share: the scalar reference tail sorts
+/// its materialized rows with exactly the comparator the columnar tail
+/// uses for its grouped/DISTINCT outputs, so the bit-identical-tails
+/// invariant cannot be broken by fixing ordering semantics in one place.
+void SortRowsAndLimit(const BoundQuery& query, std::vector<Row>* rows);
+
+/// \brief Runs a bounded query's relational tail — projection, weighted
+/// GROUP BY aggregation, DISTINCT, HAVING, ORDER BY, LIMIT — directly
+/// over the fetch chain's columnar TupleBatch, with no intermediate Row
+/// materialization:
+///
+///  * GROUP BY keys, aggregate inputs and outputs resolve to batch
+///    columns — borrowed directly for plain column references (the
+///    overwhelmingly common shape), or computed once per batch through a
+///    compiled ExprProgram for anything else;
+///  * grouping runs on a code-aware grouper: dictionary-encoded key
+///    columns hash and compare raw uint32 codes, generic columns hash
+///    unboxed Values in place — no per-row ValueVec keys, no Row copies;
+///  * weighted aggregate states fold per chunk and, when a TaskPool is
+///    provided, the batch is large and every aggregate merges exactly
+///    (CanParallelFold), chunks fold shard-parallel with a deterministic
+///    in-order merge — group ids still appear in first-row order, so
+///    results are bit-identical to the serial fold;
+///  * ORDER BY on the bag-expansion path sorts row *indices* by column
+///    comparators — dictionary-encoded keys of a sorted dictionary
+///    compare codes with zero byte decodes (pinned via
+///    tls_string_order_decodes) — and only the post-LIMIT survivors
+///    materialize.
+///
+/// `slot_of_column` maps every global column index of `query` to its T
+/// slot (-1 = not produced). Returns false — with `result` untouched —
+/// when some tail expression is not soundly compilable against the batch
+/// layout; the caller then falls back to the scalar row-at-a-time tail,
+/// which remains the differential reference. On true, `result->rows` is
+/// complete (including ORDER BY and LIMIT) and bit-identical to the
+/// scalar tail's output, weights and all.
+Result<bool> RunColumnarTail(const BoundQuery& query, const TupleBatch& t,
+                             const std::vector<int64_t>& slot_of_column,
+                             TaskPool* pool, QueryResult* result);
+
+}  // namespace beas
+
+#endif  // BEAS_BOUNDED_COLUMNAR_TAIL_H_

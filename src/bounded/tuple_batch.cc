@@ -149,43 +149,4 @@ void TupleBatch::DedupMergeWeights() {
   num_rows_ = first_rows.size();
 }
 
-ValueVecGrouper::ValueVecGrouper() : slots_(16, kEmptySlot), mask_(15) {}
-
-size_t ValueVecGrouper::IdFor(ValueVec&& key) {
-  if (keys_.size() * 2 >= slots_.size()) Grow();
-  uint64_t h = ValueVecHash{}(key);
-  size_t slot = static_cast<size_t>(h) & mask_;
-  for (;;) {
-    size_t id = slots_[slot];
-    if (id == kEmptySlot) {
-      slots_[slot] = keys_.size();
-      keys_.push_back(std::move(key));
-      key_hashes_.push_back(h);
-      return keys_.size() - 1;
-    }
-    if (key_hashes_[id] == h && ValueVecEq{}(keys_[id], key)) return id;
-    slot = (slot + 1) & mask_;
-  }
-}
-
-std::vector<ValueVec> ValueVecGrouper::ReleaseKeys() && {
-  std::vector<ValueVec> out = std::move(keys_);
-  keys_.clear();
-  key_hashes_.clear();
-  slots_.assign(16, kEmptySlot);
-  mask_ = 15;
-  return out;
-}
-
-void ValueVecGrouper::Grow() {
-  size_t capacity = slots_.size() * 2;
-  mask_ = capacity - 1;
-  slots_.assign(capacity, kEmptySlot);
-  for (size_t id = 0; id < keys_.size(); ++id) {
-    size_t slot = static_cast<size_t>(key_hashes_[id]) & mask_;
-    while (slots_[slot] != kEmptySlot) slot = (slot + 1) & mask_;
-    slots_[slot] = id;
-  }
-}
-
 }  // namespace beas

@@ -93,35 +93,6 @@ class TupleBatch {
   std::vector<uint64_t> hashes_;
 };
 
-/// \brief Incremental group index over ValueVec keys: assigns dense group
-/// ids in first-appearance order using 64-bit hashes and open addressing.
-/// Replaces unordered_map<ValueVec, ...> in the weighted-aggregation and
-/// DISTINCT tails (one hash per key, no rehash on growth collisions, keys
-/// moved not copied).
-class ValueVecGrouper {
- public:
-  ValueVecGrouper();
-
-  /// Returns the group id of `key` (existing or freshly assigned). The key
-  /// is moved in only when new.
-  size_t IdFor(ValueVec&& key);
-
-  size_t size() const { return keys_.size(); }
-  const std::vector<ValueVec>& keys() const { return keys_; }
-  const ValueVec& key(size_t id) const { return keys_[id]; }
-
-  /// Moves the keys out (first-appearance order); the grouper is reset.
-  std::vector<ValueVec> ReleaseKeys() &&;
-
- private:
-  void Grow();
-
-  std::vector<ValueVec> keys_;         ///< group id -> key
-  std::vector<uint64_t> key_hashes_;   ///< parallel to keys_
-  std::vector<size_t> slots_;          ///< open-addressing table, kEmpty free
-  size_t mask_ = 0;
-};
-
 }  // namespace beas
 
 #endif  // BEAS_BOUNDED_TUPLE_BATCH_H_

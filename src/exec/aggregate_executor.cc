@@ -1,7 +1,5 @@
 #include "exec/aggregate_executor.h"
 
-#include <map>
-
 namespace beas {
 
 Status AggregateExecutor::Init() {
@@ -13,79 +11,23 @@ Status AggregateExecutor::Init() {
 }
 
 Status AggregateExecutor::Accumulate(const Row& input,
-                                     std::vector<AggState>* states) {
+                                     std::vector<WeightedAggState>* states) {
   for (size_t i = 0; i < aggregates_.size(); ++i) {
     const AggSpec& spec = aggregates_[i];
-    AggState& state = (*states)[i];
-    if (spec.fn == AggFn::kCountStar) {
-      ++state.count;
-      continue;
+    Value v;
+    if (spec.fn != AggFn::kCountStar) {
+      BEAS_ASSIGN_OR_RETURN(v, Eval(*spec.arg, input));
     }
-    auto value = Eval(*spec.arg, input);
-    if (!value.ok()) return value.status();
-    const Value& v = *value;
-    if (v.is_null()) continue;  // SQL: aggregates skip NULLs
-    if (spec.distinct) {
-      if (!state.distinct.insert(v).second) continue;
-    }
-    switch (spec.fn) {
-      case AggFn::kCount:
-        ++state.count;
-        break;
-      case AggFn::kSum:
-      case AggFn::kAvg:
-        ++state.count;
-        if (v.type() == TypeId::kDouble) {
-          state.sum_d += v.AsDouble();
-        } else {
-          state.sum_i += v.AsInt64();
-          state.sum_d += v.AsDouble();
-        }
-        break;
-      case AggFn::kMin:
-        if (!state.has_value || v.Compare(state.min_max) < 0) state.min_max = v;
-        state.has_value = true;
-        break;
-      case AggFn::kMax:
-        if (!state.has_value || v.Compare(state.min_max) > 0) state.min_max = v;
-        state.has_value = true;
-        break;
-      default:
-        return Status::Internal("bad aggregate function");
-    }
+    BEAS_RETURN_NOT_OK(AccumulateWeighted(spec, v, /*weight=*/1, &(*states)[i]));
   }
   return Status::OK();
-}
-
-Result<Value> AggregateExecutor::Finalize(const AggSpec& spec,
-                                          const AggState& state) const {
-  switch (spec.fn) {
-    case AggFn::kCountStar:
-    case AggFn::kCount:
-      return Value::Int64(state.count);
-    case AggFn::kSum:
-      if (state.count == 0) return Value::Null();
-      return spec.result_type == TypeId::kDouble ? Value::Double(state.sum_d)
-                                                 : Value::Int64(state.sum_i);
-    case AggFn::kAvg:
-      if (state.count == 0) return Value::Null();
-      return Value::Double(state.sum_d / static_cast<double>(state.count));
-    case AggFn::kMin:
-    case AggFn::kMax:
-      return state.has_value ? state.min_max : Value::Null();
-    case AggFn::kNone:
-      break;
-  }
-  return Status::Internal("bad aggregate function");
 }
 
 Result<bool> AggregateExecutor::Next(Row* out) {
   ScopedTimer timer(&millis_, ctx_->collect_timing);
   if (!materialized_) {
-    std::unordered_map<ValueVec, std::vector<AggState>, ValueVecHash,
-                       ValueVecEq>
-        groups;
-    std::vector<ValueVec> group_order;  // deterministic output order
+    ValueVecGrouper grouper;
+    std::vector<std::vector<WeightedAggState>> group_states;
     Row input;
     while (true) {
       BEAS_ASSIGN_OR_RETURN(bool has, children_[0]->Next(&input));
@@ -96,22 +38,22 @@ Result<bool> AggregateExecutor::Next(Row* out) {
         BEAS_ASSIGN_OR_RETURN(Value v, Eval(*g, input));
         key.push_back(std::move(v));
       }
-      auto [it, inserted] =
-          groups.try_emplace(key, aggregates_.size(), AggState{});
-      if (inserted) group_order.push_back(key);
-      BEAS_RETURN_NOT_OK(Accumulate(input, &it->second));
+      size_t gid = grouper.IdFor(std::move(key));
+      if (gid == group_states.size()) {
+        group_states.emplace_back(aggregates_.size());
+      }
+      BEAS_RETURN_NOT_OK(Accumulate(input, &group_states[gid]));
     }
     // Global aggregation over empty input still yields one row.
-    if (group_by_.empty() && groups.empty()) {
-      ValueVec key;
-      groups.try_emplace(key, aggregates_.size(), AggState{});
-      group_order.push_back(key);
+    if (group_by_.empty() && grouper.size() == 0) {
+      grouper.IdFor(ValueVec{});
+      group_states.emplace_back(aggregates_.size());
     }
-    for (const ValueVec& key : group_order) {
-      const std::vector<AggState>& states = groups.at(key);
-      Row row = key;  // group values first
+    for (size_t gid = 0; gid < grouper.size(); ++gid) {
+      Row row = grouper.key(gid);  // group values first
       for (size_t i = 0; i < aggregates_.size(); ++i) {
-        BEAS_ASSIGN_OR_RETURN(Value v, Finalize(aggregates_[i], states[i]));
+        BEAS_ASSIGN_OR_RETURN(
+            Value v, FinalizeWeighted(aggregates_[i], group_states[gid][i]));
         row.push_back(std::move(v));
       }
       if (having_) {

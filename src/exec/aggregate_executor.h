@@ -1,11 +1,9 @@
 #ifndef BEAS_EXEC_AGGREGATE_EXECUTOR_H_
 #define BEAS_EXEC_AGGREGATE_EXECUTOR_H_
 
-#include <unordered_map>
-#include <unordered_set>
-
 #include "binder/bound_query.h"
 #include "exec/executor.h"
+#include "exec/grouping.h"
 #include "expr/evaluator.h"
 
 namespace beas {
@@ -15,6 +13,13 @@ namespace beas {
 /// Output layout: [group values..., aggregate values...]. With no GROUP BY,
 /// exactly one row is produced (COUNT(*) of an empty input is 0).
 /// Supports COUNT(*)/COUNT/SUM/AVG/MIN/MAX and DISTINCT arguments.
+///
+/// Grouping and accumulation run on the shared tail machinery
+/// (exec/grouping.h): a ValueVecGrouper assigns dense group ids in
+/// first-appearance order and the per-group states are WeightedAggStates
+/// folded with weight 1 — the conventional engine's input is already
+/// bag-expanded, so the weighted fold degenerates to plain accumulation
+/// and both engines finalize through the same code.
 class AggregateExecutor : public Executor {
  public:
   AggregateExecutor(ExecContext* ctx, std::unique_ptr<Executor> child,
@@ -32,25 +37,7 @@ class AggregateExecutor : public Executor {
   std::string Label() const override;
 
  private:
-  struct ValueHashFn {
-    size_t operator()(const Value& v) const { return v.Hash(); }
-  };
-  struct ValueEqFn {
-    bool operator()(const Value& a, const Value& b) const { return a == b; }
-  };
-
-  /// Running state of one aggregate within one group.
-  struct AggState {
-    int64_t count = 0;
-    int64_t sum_i = 0;
-    double sum_d = 0;
-    Value min_max;
-    bool has_value = false;
-    std::unordered_set<Value, ValueHashFn, ValueEqFn> distinct;
-  };
-
-  Status Accumulate(const Row& input, std::vector<AggState>* states);
-  Result<Value> Finalize(const AggSpec& spec, const AggState& state) const;
+  Status Accumulate(const Row& input, std::vector<WeightedAggState>* states);
 
   std::vector<ExprPtr> group_by_;
   std::vector<AggSpec> aggregates_;

@@ -228,7 +228,9 @@ int64_t LiteralCode(const StringDict& dict, const Value& lit) {
 }
 
 /// col-op-lit over an encoded column. Equality ops compare codes;
-/// ordering ops decode to bytes per row.
+/// ordering ops compare codes against a binary-searched code bound when
+/// the dictionary is sorted (zero byte decodes), and decode to bytes per
+/// row otherwise.
 void FilterEncodedCmp(const BatchColumn& col, CompareOp cmp, const Value& lit,
                       size_t num_rows, std::vector<char>* keep) {
   const StringDict& dict = *col.dict;
@@ -263,6 +265,50 @@ void FilterEncodedCmp(const BatchColumn& col, CompareOp cmp, const Value& lit,
     return;
   }
   const std::string& s = lit.AsString();
+  if (dict.is_sorted()) {
+    // Order-preserving codes: the literal becomes a code bound once per
+    // batch, each row is a uint32 compare. kNullCode (0xFFFFFFFF) sits
+    // above every real code, so the `<` forms exclude NULL for free; the
+    // `>` forms exclude it explicitly.
+    switch (cmp) {
+      case CompareOp::kLt: {
+        uint32_t bound = dict.LowerBoundCode(s);
+        for (size_t r = 0; r < num_rows; ++r) {
+          if ((*keep)[r] && col.codes[r] >= bound) (*keep)[r] = 0;
+        }
+        return;
+      }
+      case CompareOp::kLe: {
+        uint32_t bound = dict.UpperBoundCode(s);
+        for (size_t r = 0; r < num_rows; ++r) {
+          if ((*keep)[r] && col.codes[r] >= bound) (*keep)[r] = 0;
+        }
+        return;
+      }
+      case CompareOp::kGt: {
+        uint32_t bound = dict.UpperBoundCode(s);
+        for (size_t r = 0; r < num_rows; ++r) {
+          uint32_t c = col.codes[r];
+          if ((*keep)[r] && (c < bound || c == StringDict::kNullCode)) {
+            (*keep)[r] = 0;
+          }
+        }
+        return;
+      }
+      case CompareOp::kGe: {
+        uint32_t bound = dict.LowerBoundCode(s);
+        for (size_t r = 0; r < num_rows; ++r) {
+          uint32_t c = col.codes[r];
+          if ((*keep)[r] && (c < bound || c == StringDict::kNullCode)) {
+            (*keep)[r] = 0;
+          }
+        }
+        return;
+      }
+      default:
+        break;  // unreachable: equality handled above
+    }
+  }
   for (size_t r = 0; r < num_rows; ++r) {
     if (!(*keep)[r]) continue;
     uint32_t c = col.codes[r];
@@ -270,13 +316,15 @@ void FilterEncodedCmp(const BatchColumn& col, CompareOp cmp, const Value& lit,
       (*keep)[r] = 0;
       continue;
     }
+    ++tls_string_order_decodes;
     int three_way = dict.str(c).compare(s);
     three_way = three_way < 0 ? -1 : (three_way > 0 ? 1 : 0);
     if (!CmpPasses(cmp, three_way)) (*keep)[r] = 0;
   }
 }
 
-/// col BETWEEN lo AND hi over an encoded column (byte order, decoded).
+/// col BETWEEN lo AND hi over an encoded column: a code-interval test on
+/// a sorted dictionary, byte order decoded per row otherwise.
 void FilterEncodedBetween(const BatchColumn& col, const Value& lo,
                           const Value& hi, size_t num_rows,
                           std::vector<char>* keep) {
@@ -287,6 +335,17 @@ void FilterEncodedBetween(const BatchColumn& col, const Value& lo,
   }
   const std::string& lo_s = lo.AsString();
   const std::string& hi_s = hi.AsString();
+  if (dict.is_sorted()) {
+    // Pass iff lb <= code < ub. kNullCode exceeds every real code, so
+    // the upper bound rejects NULL rows for free.
+    uint32_t lb = dict.LowerBoundCode(lo_s);
+    uint32_t ub = dict.UpperBoundCode(hi_s);
+    for (size_t r = 0; r < num_rows; ++r) {
+      uint32_t c = col.codes[r];
+      if ((*keep)[r] && (c < lb || c >= ub)) (*keep)[r] = 0;
+    }
+    return;
+  }
   for (size_t r = 0; r < num_rows; ++r) {
     if (!(*keep)[r]) continue;
     uint32_t c = col.codes[r];
@@ -294,6 +353,7 @@ void FilterEncodedBetween(const BatchColumn& col, const Value& lo,
       (*keep)[r] = 0;
       continue;
     }
+    tls_string_order_decodes += 2;
     const std::string& v = dict.str(c);
     if (v.compare(lo_s) < 0 || v.compare(hi_s) > 0) (*keep)[r] = 0;
   }

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cstring>
 
+#include "bounded/columnar_tail.h"
 #include "common/hash.h"
 #include "common/string_util.h"
 
@@ -45,6 +46,23 @@ bool MentionsStatsTable(const std::string& sql) {
     if (j == n) return true;
   }
   return false;
+}
+
+/// Detaches dictionary-backed string Values into self-contained inline
+/// strings. Results cross the service boundary and outlive the shared
+/// lock they were computed under; a dictionary-backed Value in them would
+/// silently change meaning when a later maintenance cycle renumbers the
+/// table's dictionary (RunAdjustmentCycle's order-preserving rebuilds) —
+/// the same hazard class as DROP TABLE, but triggered autonomously. The
+/// copy is paid once per result cell, at the boundary of answers that are
+/// bounded-small by construction; everything inside the engine stays on
+/// the zero-copy code path.
+void DetachResultStrings(QueryResult* result) {
+  for (Row& row : result->rows) {
+    for (Value& v : row) {
+      if (v.dict() != nullptr) v = Value::String(v.AsString());
+    }
+  }
 }
 
 }  // namespace
@@ -146,7 +164,10 @@ Result<ServiceResponse> BeasService::Execute(const std::string& sql) {
     BEAS_RETURN_NOT_OK(RefreshStatsTable());
   }
   Database::ReadScope lock(&db_);
-  return ExecuteLocked(sql);
+  Result<ServiceResponse> resp = ExecuteLocked(sql);
+  // Still under the shared lock: no rebuild can race the detach.
+  if (resp.ok()) DetachResultStrings(&resp->result);
+  return resp;
 }
 
 Status BeasService::RefreshStatsTable() {
@@ -197,6 +218,8 @@ Status BeasService::RefreshStatsTable() {
   PlanCacheStats cache = cache_.stats();
   double dict_strings = 0;
   double dict_bytes = 0;
+  double dict_sorted_tables = 0;
+  double dict_rebuilds_total = 0;
   double num_tables = 0;
   double num_rows = 0;
   size_t lock_shards = db_.num_shard_locks();
@@ -212,6 +235,10 @@ Status BeasService::RefreshStatsTable() {
       TableHeap::DictGauges gauges = (*table)->heap()->SampleDictGauges();
       dict_strings += static_cast<double>(gauges.strings);
       dict_bytes += static_cast<double>(gauges.bytes);
+      if ((*table)->heap()->dict() != nullptr && gauges.sorted) {
+        dict_sorted_tables += 1;
+      }
+      dict_rebuilds_total += static_cast<double>(gauges.rebuilds);
     }
   }
   for (size_t s = 0; s < lock_shards; ++s) {
@@ -256,6 +283,17 @@ Status BeasService::RefreshStatsTable() {
   add("rows_live", num_rows);
   add("dict_strings_total", dict_strings);
   add("dict_bytes_total", dict_bytes);
+  add("dict_sorted_tables", dict_sorted_tables);
+  add("dict_rebuilds_total", dict_rebuilds_total);
+  // Process-wide counters (like tls_hash_string_calls): a process hosting
+  // several BeasService instances reports their combined tail activity
+  // under each service's beas_stats.
+  add("tail_batches_total", static_cast<double>(
+                                TailBatchesTotal().load(
+                                    std::memory_order_relaxed)));
+  add("tail_rows_grouped", static_cast<double>(
+                               TailRowsGrouped().load(
+                                   std::memory_order_relaxed)));
   add("workers", static_cast<double>(pool_.num_threads()));
   add("storage_shards", static_cast<double>(lock_shards));
   add("shard_rows_max", shard_rows_max);
@@ -510,6 +548,7 @@ Result<ServiceResponse> BeasService::ExecuteBounded(const std::string& sql) {
   resp.decision.deduced_bound = coverage.plan.total_access_bound;
   resp.decision.explanation =
       BoundedExplanation(coverage.plan.total_access_bound, cache_hit);
+  DetachResultStrings(&resp.result);
   return resp;
 }
 
@@ -523,7 +562,10 @@ Result<ApproxResult> BeasService::ExecuteApproximate(const std::string& sql,
     return Status::NotCovered("approximation requires a covered query: " +
                               coverage.reason);
   }
-  return session_.ExecuteApproximate(query, coverage.plan, budget);
+  Result<ApproxResult> approx =
+      session_.ExecuteApproximate(query, coverage.plan, budget);
+  if (approx.ok()) DetachResultStrings(&approx->result);
+  return approx;
 }
 
 Result<CoverageResult> BeasService::Check(const std::string& sql) {

@@ -70,10 +70,19 @@ int Value::Compare(const Value& other) const {
   }
   if (type_ == TypeId::kString && other.type_ == TypeId::kString) {
     // Same dictionary: equal codes <=> equal bytes (interning dedups).
-    // Distinct codes still need a byte compare for the *order* — codes
-    // are first-appearance, not order-preserving (the sort boundary
-    // decodes here).
-    if (dict_ != nullptr && dict_ == other.dict_ && i_ == other.i_) return 0;
+    // Distinct codes of a *sorted* dictionary compare directly — after a
+    // SortedRebuild, code order is byte order, so ORDER BY / ranges /
+    // MIN-MAX on dictionary values cost a uint32 compare. Unsorted
+    // (first-appearance) codes still decode here — the sort boundary —
+    // and the decode is counted so tests can pin its absence.
+    if (dict_ != nullptr && dict_ == other.dict_) {
+      if (i_ == other.i_) return 0;
+      if (dict_->is_sorted()) return i_ < other.i_ ? -1 : 1;
+      // Distinct codes of an unsorted dictionary: an ordering consumer
+      // is decoding at the sort boundary (equality consumers take
+      // Equals' code path and never reach here with equal bytes).
+      ++tls_string_order_decodes;
+    }
     const std::string& a = AsString();
     const std::string& b = other.AsString();
     return a.compare(b) < 0 ? -1 : (a == b ? 0 : 1);

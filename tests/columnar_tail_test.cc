@@ -1,0 +1,287 @@
+// Columnar relational tail: differential coverage against the scalar
+// reference tail on large batches (including the chunk-parallel fold),
+// the zero-decode ORDER BY pin on sorted dictionaries, the tail
+// telemetry counters, and answer stability across an order-preserving
+// dictionary rebuild mid-workload.
+
+#include <gtest/gtest.h>
+
+#include "bounded/beas_session.h"
+#include "bounded/bounded_executor.h"
+#include "bounded/columnar_tail.h"
+#include "common/hash.h"
+#include "common/task_pool.h"
+#include "maintenance/maintenance.h"
+#include "test_util.h"
+
+namespace beas {
+namespace {
+
+using testing_util::I;
+using testing_util::S;
+
+/// Two-step string chain big enough to cross the tail's parallel-fold
+/// threshold (80 x 60 = 4800 T rows): e1(root -> l1), e2(l1 -> payload).
+struct TailEnv {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<AsCatalog> catalog;
+  std::unique_ptr<BeasSession> session;
+};
+
+TailEnv MakeTailEnv(bool sorted_inserts = false) {
+  TailEnv env;
+  env.db = std::make_unique<Database>();
+  EXPECT_TRUE(env.db
+                  ->CreateTable("e1", Schema({{"src", TypeId::kString},
+                                              {"dst", TypeId::kString}}))
+                  .ok());
+  EXPECT_TRUE(env.db
+                  ->CreateTable("e2", Schema({{"src", TypeId::kString},
+                                              {"val", TypeId::kInt64},
+                                              {"tag", TypeId::kString}}))
+                  .ok());
+  std::vector<Row> e1_rows;
+  for (int i = 0; i < 80; ++i) {
+    // Descending node names make the dictionary maximally out of order
+    // unless the test asks for sorted inserts.
+    int node = sorted_inserts ? i : 79 - i;
+    e1_rows.push_back(
+        {S("root"), S("l1_" + std::to_string(1000 + node) + "_node")});
+  }
+  EXPECT_TRUE(env.db->InsertBatch("e1", std::move(e1_rows)).ok());
+  std::vector<Row> e2_rows;
+  const char* tags[] = {"tg", "ta", "tc", "tb", "tf", "td", "te"};
+  for (int i = 0; i < 80; ++i) {
+    for (int j = 0; j < 60; ++j) {
+      e2_rows.push_back({S("l1_" + std::to_string(1000 + i) + "_node"),
+                         I((i * 7 + j * 13) % 97),
+                         S(tags[(i + j) % 7])});
+    }
+  }
+  EXPECT_TRUE(env.db->InsertBatch("e2", std::move(e2_rows)).ok());
+
+  env.catalog = std::make_unique<AsCatalog>(env.db.get());
+  EXPECT_TRUE(env.catalog->Register({"t1", "e1", {"src"}, {"dst"}, 80}).ok());
+  EXPECT_TRUE(
+      env.catalog->Register({"t2", "e2", {"src"}, {"val", "tag"}, 60}).ok());
+  env.session = std::make_unique<BeasSession>(env.db.get(), env.catalog.get());
+  return env;
+}
+
+/// Renders a result's rows for representation-independent comparison
+/// (dictionary rebuilds renumber codes; bytes must not change).
+std::vector<std::vector<std::string>> Render(const QueryResult& result) {
+  std::vector<std::vector<std::string>> out;
+  out.reserve(result.rows.size());
+  for (const Row& row : result.rows) {
+    std::vector<std::string> rendered;
+    rendered.reserve(row.size());
+    for (const Value& v : row) rendered.push_back(v.ToString());
+    out.push_back(std::move(rendered));
+  }
+  return out;
+}
+
+void ExpectResultsIdentical(const QueryResult& expect,
+                            const QueryResult& got) {
+  ASSERT_EQ(expect.rows.size(), got.rows.size());
+  for (size_t r = 0; r < expect.rows.size(); ++r) {
+    EXPECT_EQ(CompareValueVec(expect.rows[r], got.rows[r]), 0)
+        << "row " << r << ": " << RowToString(expect.rows[r]) << " vs "
+        << RowToString(got.rows[r]);
+  }
+}
+
+const char* kTailQueries[] = {
+    // Parallel-safe fold: COUNT/SUM-int/MIN/MAX over a string GROUP BY.
+    "SELECT b.tag, count(*) AS n, sum(b.val) AS s, min(b.val) AS lo, "
+    "max(b.val) AS hi FROM e1 a, e2 b WHERE a.src = 'root' AND "
+    "b.src = a.dst GROUP BY b.tag ORDER BY 1",
+    // FP-finalized aggregates must take the serial fold — same answers.
+    "SELECT b.tag, avg(b.val) AS m FROM e1 a, e2 b WHERE a.src = 'root' "
+    "AND b.src = a.dst GROUP BY b.tag ORDER BY 1",
+    // DISTINCT aggregate + HAVING.
+    "SELECT b.tag, count(DISTINCT b.val) AS d FROM e1 a, e2 b WHERE "
+    "a.src = 'root' AND b.src = a.dst GROUP BY b.tag "
+    "HAVING count(DISTINCT b.val) > 10 ORDER BY 2 DESC, 1",
+    // DISTINCT projection with ORDER BY + LIMIT on string columns.
+    "SELECT DISTINCT b.tag, b.src FROM e1 a, e2 b WHERE a.src = 'root' "
+    "AND b.src = a.dst ORDER BY 2, 1 LIMIT 40",
+    // Bag-expansion projection, encoded-key sort, LIMIT.
+    "SELECT b.src, b.val FROM e1 a, e2 b WHERE a.src = 'root' AND "
+    "b.src = a.dst ORDER BY 1 DESC, 2 LIMIT 100",
+    // Global aggregate (no GROUP BY).
+    "SELECT count(*) AS n, sum(b.val) AS s FROM e1 a, e2 b WHERE "
+    "a.src = 'root' AND b.src = a.dst",
+};
+
+TEST(ColumnarTailTest, BitIdenticalToScalarTailAcrossFoldModes) {
+  TailEnv env = MakeTailEnv();
+  BoundedExecutor executor(env.catalog.get());
+  TaskPool pool(3);
+  const uint64_t budgets[] = {0, 40};
+
+  for (const char* sql : kTailQueries) {
+    SCOPED_TRACE(sql);
+    auto coverage = env.session->Check(sql);
+    ASSERT_TRUE(coverage.ok()) << coverage.status().ToString();
+    ASSERT_TRUE(coverage->covered) << coverage->reason;
+    auto bound = env.db->Bind(sql);
+    ASSERT_TRUE(bound.ok());
+    for (uint64_t budget : budgets) {
+      SCOPED_TRACE("budget=" + std::to_string(budget));
+      BoundedExecOptions scalar_opts;
+      scalar_opts.use_vectorized = false;
+      scalar_opts.fetch_budget = budget;
+      auto reference = executor.Execute(*bound, coverage->plan, scalar_opts);
+      ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+      for (TaskPool* p : {static_cast<TaskPool*>(nullptr), &pool}) {
+        // Columnar tail (serial and pool-parallel fold) and the
+        // vectorized-chain + scalar-tail ablation must all agree.
+        for (bool columnar : {true, false}) {
+          BoundedExecOptions opts;
+          opts.fetch_budget = budget;
+          opts.probe_pool = p;
+          opts.use_columnar_tail = columnar;
+          auto got = executor.Execute(*bound, coverage->plan, opts);
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          ExpectResultsIdentical(*reference, *got);
+        }
+      }
+    }
+  }
+}
+
+TEST(ColumnarTailTest, SortedDictOrderByPerformsZeroDecodes) {
+  TailEnv env = MakeTailEnv();
+  {
+    // Renumber both dictionaries into byte order through the maintenance
+    // module (the production trigger).
+    MaintenanceManager maintenance(env.db.get(), env.catalog.get());
+    MaintenanceManager::DictRebuildPolicy force;
+    force.min_strings = 1;
+    force.min_out_of_order_fraction = 0.0;
+    auto rebuilt = maintenance.MaintainDictionaries(force);
+    ASSERT_TRUE(rebuilt.ok());
+    ASSERT_GE(*rebuilt, 1u);
+  }
+  BoundedExecutor executor(env.catalog.get());
+  const char* sql =
+      "SELECT b.src, b.tag FROM e1 a, e2 b WHERE a.src = 'root' AND "
+      "b.src = a.dst ORDER BY 1, 2 LIMIT 50";
+  auto coverage = env.session->Check(sql);
+  ASSERT_TRUE(coverage.ok());
+  ASSERT_TRUE(coverage->covered) << coverage->reason;
+  auto bound = env.db->Bind(sql);
+  ASSERT_TRUE(bound.ok());
+
+  auto result = executor.Execute(*bound, coverage->plan, {});  // warm-up
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->rows.empty());
+
+  uint64_t decodes_before = tls_string_order_decodes;
+  auto pinned = executor.Execute(*bound, coverage->plan, {});
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ(tls_string_order_decodes, decodes_before)
+      << "string ORDER BY on a sorted dictionary must compare codes only";
+  ExpectResultsIdentical(*result, *pinned);
+
+  // Control: the same workload on first-appearance codes decodes.
+  TailEnv unsorted = MakeTailEnv();
+  ASSERT_FALSE(
+      (*unsorted.db->catalog()->GetTable("e2"))->heap()->dict()->is_sorted());
+  BoundedExecutor unsorted_executor(unsorted.catalog.get());
+  auto coverage2 = unsorted.session->Check(sql);
+  ASSERT_TRUE(coverage2.ok());
+  auto bound2 = unsorted.db->Bind(sql);
+  ASSERT_TRUE(bound2.ok());
+  uint64_t control_before = tls_string_order_decodes;
+  auto control =
+      unsorted_executor.Execute(*bound2, coverage2->plan, {});
+  ASSERT_TRUE(control.ok());
+  EXPECT_GT(tls_string_order_decodes, control_before)
+      << "unsorted codes still decode at the sort boundary";
+}
+
+TEST(ColumnarTailTest, AnswersIdenticalBeforeAndAfterDictRebuild) {
+  TailEnv env = MakeTailEnv();
+  BoundedExecutor executor(env.catalog.get());
+
+  // Snapshot every query's answer (rendered to bytes — the rebuild
+  // renumbers codes, so retained Values would decode wrong by design).
+  std::vector<std::vector<std::vector<std::string>>> snapshots;
+  std::vector<std::string> covered;
+  for (const char* sql : kTailQueries) {
+    auto coverage = env.session->Check(sql);
+    ASSERT_TRUE(coverage.ok());
+    if (!coverage->covered) continue;
+    auto bound = env.db->Bind(sql);
+    ASSERT_TRUE(bound.ok());
+    auto result = executor.Execute(*bound, coverage->plan, {});
+    ASSERT_TRUE(result.ok());
+    snapshots.push_back(Render(*result));
+    covered.push_back(sql);
+  }
+  ASSERT_FALSE(covered.empty());
+
+  // Renumber mid-workload.
+  MaintenanceManager maintenance(env.db.get(), env.catalog.get());
+  MaintenanceManager::DictRebuildPolicy force;
+  force.min_strings = 1;
+  force.min_out_of_order_fraction = 0.0;
+  auto rebuilt = maintenance.MaintainDictionaries(force);
+  ASSERT_TRUE(rebuilt.ok());
+  ASSERT_GE(*rebuilt, 1u);
+  ASSERT_TRUE(
+      (*env.db->catalog()->GetTable("e2"))->heap()->dict()->is_sorted());
+
+  // Every answer — columnar and scalar tail — is byte-identical to the
+  // pre-rebuild snapshot.
+  for (size_t q = 0; q < covered.size(); ++q) {
+    SCOPED_TRACE(covered[q]);
+    auto coverage = env.session->Check(covered[q]);
+    ASSERT_TRUE(coverage.ok());
+    ASSERT_TRUE(coverage->covered);
+    auto bound = env.db->Bind(covered[q]);
+    ASSERT_TRUE(bound.ok());
+    for (bool vectorized : {true, false}) {
+      BoundedExecOptions opts;
+      opts.use_vectorized = vectorized;
+      auto result = executor.Execute(*bound, coverage->plan, opts);
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(Render(*result), snapshots[q]);
+    }
+  }
+}
+
+TEST(ColumnarTailTest, TelemetryCountersAdvance) {
+  TailEnv env = MakeTailEnv();
+  BoundedExecutor executor(env.catalog.get());
+  const char* sql =
+      "SELECT b.tag, count(*) AS n FROM e1 a, e2 b WHERE a.src = 'root' "
+      "AND b.src = a.dst GROUP BY b.tag";
+  auto coverage = env.session->Check(sql);
+  ASSERT_TRUE(coverage.ok());
+  ASSERT_TRUE(coverage->covered);
+  auto bound = env.db->Bind(sql);
+  ASSERT_TRUE(bound.ok());
+
+  uint64_t batches = TailBatchesTotal().load();
+  uint64_t grouped = TailRowsGrouped().load();
+  auto result = executor.Execute(*bound, coverage->plan, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(TailBatchesTotal().load(), batches + 1);
+  EXPECT_GE(TailRowsGrouped().load(), grouped + 4800)
+      << "every T row is grouped without materialization";
+
+  // The scalar-tail ablation must not touch the columnar counters.
+  batches = TailBatchesTotal().load();
+  BoundedExecOptions scalar_tail;
+  scalar_tail.use_columnar_tail = false;
+  ASSERT_TRUE(executor.Execute(*bound, coverage->plan, scalar_tail).ok());
+  EXPECT_EQ(TailBatchesTotal().load(), batches);
+}
+
+}  // namespace
+}  // namespace beas

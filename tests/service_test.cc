@@ -1014,6 +1014,37 @@ TEST_F(ServiceTest, BeasStatsTableExposesServingHealth) {
   EXPECT_GT(value_of("dict_strings_total"), 0.0)
       << "string columns must be interned";
   EXPECT_GT(value_of("rows_live"), 0.0);
+  // Columnar-tail and dictionary-order gauges: the queries above ran
+  // bounded executions through the columnar tail, and no maintenance
+  // cycle has rebuilt a dictionary yet.
+  EXPECT_GT(value_of("tail_batches_total"), 0.0);
+  EXPECT_GE(value_of("tail_rows_grouped"), 0.0);
+  EXPECT_GE(value_of("dict_sorted_tables"), 0.0);
+  EXPECT_EQ(value_of("dict_rebuilds_total"), 0.0);
+
+  // A forced dictionary-maintenance pass sorts every dictionary; the
+  // order gauges must reflect it on the next refresh.
+  {
+    Database::StructuralScope lock(service_->db());
+    MaintenanceManager::DictRebuildPolicy force;
+    force.min_strings = 1;
+    force.min_out_of_order_fraction = 0.0;
+    auto rebuilt = service_->maintenance()->MaintainDictionaries(force);
+    ASSERT_TRUE(rebuilt.ok());
+  }
+  ServiceResponse after =
+      MustExecute("SELECT metric, value FROM beas_stats ORDER BY metric");
+  auto after_value_of = [&](const std::string& metric) -> double {
+    for (const Row& row : after.result.rows) {
+      if (row[0].AsString() == metric) return row[1].AsDouble();
+    }
+    ADD_FAILURE() << "metric '" << metric << "' missing";
+    return -1;
+  };
+  EXPECT_EQ(after_value_of("dict_rebuilds_total"),
+            static_cast<double>(service_->maintenance()->dict_rebuilds()));
+  EXPECT_GE(after_value_of("dict_sorted_tables"),
+            after_value_of("dict_rebuilds_total"));
 
   // The snapshot refreshes per query — hits observed above now appear.
   MustExecute(StringPrintf("SELECT call.region FROM call WHERE "

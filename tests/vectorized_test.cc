@@ -10,6 +10,7 @@
 #include "bounded/step_program.h"
 #include "bounded/tuple_batch.h"
 #include "common/rng.h"
+#include "exec/grouping.h"
 #include "expr/evaluator.h"
 #include "expr/expr_program.h"
 #include "test_util.h"

@@ -16,7 +16,13 @@ committed at the repo root and fails (exit 1) when:
     floor (1.5x). This gate only applies when the fresh run reports at
     least SHARD_GATE_MIN_CORES hardware threads — on smaller machines a
     parallel fan-out cannot physically reach the floor, so the metric is
-    recorded but not gated.
+    recorded but not gated, or
+  * fig4_tail_speedup (the tail-heavy Fig. 4-shaped string chain with the
+    columnar relational tail vs the scalar tail, same vectorized fetch
+    chain) fell below the absolute columnar-tail floor (1.5x). This gate
+    is unconditional: the columnar tail's win is algorithmic (no Row
+    materialization, code-aware grouping, encoded-key sorts), not a
+    parallel fan-out, so a single-core runner must clear it too.
 
 Usage: check_bench_regression.py <fresh.json> <baseline.json> [threshold]
 """
@@ -27,6 +33,7 @@ import sys
 DICT_SPEEDUP_FLOOR = 1.5
 SHARD_SPEEDUP_FLOOR = 1.5
 SHARD_GATE_MIN_CORES = 4
+TAIL_SPEEDUP_FLOOR = 1.5
 
 
 def main() -> int:
@@ -76,6 +83,22 @@ def main() -> int:
     gate("fetch_chain_speedup_geomean")
     gate("string_chain_speedup_geomean")
     gate("string_dict_speedup_geomean", floor_abs=DICT_SPEEDUP_FLOOR)
+    gate("tail_speedup_geomean")
+
+    # Columnar-tail gate: absolute floor on the tail-heavy Fig. 4-shaped
+    # chain, hardware-independent (the win is algorithmic).
+    tail_speedup = fresh.get("fig4_tail_speedup")
+    if tail_speedup is None:
+        failures.append("fig4_tail_speedup missing from fresh results")
+    elif tail_speedup < TAIL_SPEEDUP_FLOOR:
+        print(f"  fig4_tail_speedup: {tail_speedup:.3f} "
+              f"(floor {TAIL_SPEEDUP_FLOOR:.2f}) REGRESSED")
+        failures.append(
+            f"fig4_tail_speedup below floor: {tail_speedup:.3f} < "
+            f"{TAIL_SPEEDUP_FLOOR:.2f}")
+    else:
+        print(f"  fig4_tail_speedup: {tail_speedup:.3f} "
+              f"(floor {TAIL_SPEEDUP_FLOOR:.2f}) ok")
 
     # Sharded-storage gate: absolute floor on the Fig. 4 chain, applied
     # only where the hardware can express parallelism at all.

@@ -35,13 +35,32 @@
 // chain's ratio) is gated at >= 1.5x by tools/check_bench_regression.py;
 // results must be identical rows-and-order on both tails.
 //
+// A fifth section measures the *write path* (the durability subsystem):
+// the same single-row insert storm is driven through a durable service
+// (per-shard WAL, group commit, one fsync per group) and through an
+// in-memory service, from WRITE_WRITERS concurrent client threads. Each
+// durable Insert blocks until its group's fsync AND apply complete, so
+// the per-op wall time IS the group-commit ack latency — reported as
+// p50/p99 — and the throughput ratio is the price of durability. Both
+// runs must read back exactly the inserted row count. The durable run
+// lands on tmpfs (/dev/shm) when available so CI measures the protocol,
+// not the disk.
+//
 // Knobs: TLC_SF (default 32) data scale; FETCH_REPS (default 15) timing
-// reps; BEAS_SHARDS (default 4) sharded-run shard count;
+// reps; BEAS_SHARDS (default 4) sharded-run shard count; WRITE_ROWS
+// (default 512*sf) / WRITE_WRITERS (default 4) write-path storm shape;
 // BENCH_JSON_PATH (default BENCH_fetch_chain.json).
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <thread>
+
+#include "common/file_util.h"
+#include "service/beas_service.h"
 
 #include "bench_util.h"
 #include "bounded/bounded_executor.h"
@@ -385,6 +404,144 @@ std::vector<ShardRun> RunShardSection(double sf, int reps, size_t shards,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Write path: durable inserts (WAL + group commit) vs in-memory.
+// ---------------------------------------------------------------------------
+
+struct WritePathResult {
+  size_t rows = 0;
+  size_t writers = 0;
+  double inmem_rows_per_sec = 0;
+  double durable_rows_per_sec = 0;
+  double durable_relative = 0;  ///< durable / in-memory throughput
+  double ack_p50_ms = 0;        ///< durable per-insert ack latency
+  double ack_p99_ms = 0;
+  uint64_t group_commits = 0;
+  uint64_t fsyncs = 0;
+  double rows_per_group = 0;
+  bool ok = false;
+};
+
+/// Fresh data directory for the durable run — tmpfs when available so
+/// the bench times the commit protocol rather than the disk (matching
+/// the CI recovery job, which also runs on /dev/shm).
+std::string MakeWriteBenchDir() {
+  const char* base = "/dev/shm";
+  if (::access(base, W_OK) != 0) {
+    base = std::getenv("TMPDIR");
+    if (base == nullptr || *base == '\0') base = "/tmp";
+  }
+  std::string tmpl = std::string(base) + "/beas_bench_wal_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (mkdtemp(buf.data()) == nullptr) return std::string();
+  return buf.data();
+}
+
+/// Drives `writers` client threads, each pushing its slice of `rows`
+/// single-row inserts through the service. Insert() returns only after
+/// the row is applied — and, in durable mode, after its group's fsync —
+/// so per-op wall time is the commit ack latency; those land in
+/// `ack_ms` when non-null. Returns total wall-clock milliseconds.
+double InsertStorm(BeasService* service, size_t rows, size_t writers,
+                   std::vector<double>* ack_ms, bool* ok) {
+  std::vector<std::vector<double>> lat(writers);
+  std::vector<std::thread> threads;
+  std::atomic<bool> all_ok{true};
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      size_t begin = rows * w / writers;
+      size_t end = rows * (w + 1) / writers;
+      if (ack_ms != nullptr) lat[w].reserve(end - begin);
+      char key[32];
+      for (size_t i = begin; i < end; ++i) {
+        std::snprintf(key, sizeof(key), "wkey_%08zu", i);
+        auto op0 = std::chrono::steady_clock::now();
+        Status st = service->Insert(
+            "wp", {Value::String(key), Value::Int64(static_cast<int64_t>(i))});
+        if (!st.ok()) all_ok.store(false);
+        if (ack_ms != nullptr) lat[w].push_back(MillisSince(op0));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double wall_ms = MillisSince(t0);
+  if (!all_ok.load()) *ok = false;
+  if (ack_ms != nullptr) {
+    for (std::vector<double>& l : lat) {
+      ack_ms->insert(ack_ms->end(), l.begin(), l.end());
+    }
+  }
+  return wall_ms;
+}
+
+/// Read-after-write check: the table must hold exactly `rows` rows.
+bool CountMatches(BeasService* service, size_t rows) {
+  auto res = service->Execute("SELECT count(*) FROM wp");
+  return res.ok() && res->result.rows.size() == 1 &&
+         res->result.rows[0][0].AsInt64() == static_cast<int64_t>(rows);
+}
+
+WritePathResult RunWritePathSection(double sf) {
+  WritePathResult r;
+  r.rows = static_cast<size_t>(EnvDouble("WRITE_ROWS", 512 * sf));
+  r.writers = std::max<size_t>(1, static_cast<size_t>(
+                                      EnvDouble("WRITE_WRITERS", 4)));
+  r.ok = true;
+  Schema schema({{"k", TypeId::kString}, {"v", TypeId::kInt64}});
+
+  ServiceOptions inmem_opts;
+  inmem_opts.num_workers = 1;
+  {
+    BeasService svc(inmem_opts);
+    if (!svc.CreateTable("wp", schema).ok()) r.ok = false;
+    double wall_ms = InsertStorm(&svc, r.rows, r.writers, nullptr, &r.ok);
+    r.inmem_rows_per_sec = 1000.0 * static_cast<double>(r.rows) /
+                           std::max(wall_ms, 1e-6);
+    if (!CountMatches(&svc, r.rows)) r.ok = false;
+  }
+
+  std::string dir = MakeWriteBenchDir();
+  if (dir.empty()) {
+    r.ok = false;
+    return r;
+  }
+  {
+    ServiceOptions opts = inmem_opts;
+    opts.durability.dir = dir;
+    BeasService svc(opts);
+    if (!svc.durable() || !svc.durability_status().ok() ||
+        !svc.CreateTable("wp", schema).ok()) {
+      r.ok = false;
+    }
+    std::vector<double> ack_ms;
+    double wall_ms = InsertStorm(&svc, r.rows, r.writers, &ack_ms, &r.ok);
+    r.durable_rows_per_sec = 1000.0 * static_cast<double>(r.rows) /
+                             std::max(wall_ms, 1e-6);
+    if (!CountMatches(&svc, r.rows)) r.ok = false;
+    std::sort(ack_ms.begin(), ack_ms.end());
+    if (!ack_ms.empty()) {
+      r.ack_p50_ms = ack_ms[ack_ms.size() / 2];
+      r.ack_p99_ms = ack_ms[std::min(ack_ms.size() - 1,
+                                     ack_ms.size() * 99 / 100)];
+    }
+    durability::DurabilityCounters counters = svc.durability_counters();
+    r.group_commits = counters.wal_group_commits_total;
+    r.fsyncs = counters.wal_fsyncs_total;
+    if (r.group_commits == 0 || counters.wal_records_total < r.rows) {
+      r.ok = false;
+    }
+    r.rows_per_group = static_cast<double>(r.rows) /
+                       std::max<double>(1.0, static_cast<double>(
+                                                 r.group_commits));
+  }
+  RemoveAll(dir);
+  r.durable_relative =
+      r.durable_rows_per_sec / std::max(r.inmem_rows_per_sec, 1e-6);
+  return r;
+}
+
 }  // namespace
 
 int main() {
@@ -662,6 +819,21 @@ int main() {
       : shards_identical ? "bit-identical"
                          : "DIVERGED");
 
+  // --- Write path: durable (WAL + group commit) vs in-memory inserts. ---
+  WritePathResult wp = RunWritePathSection(sf);
+  std::printf(
+      "\nwrite path (%zu rows, %zu writers): in-memory %.0f rows/s, durable "
+      "%.0f rows/s (%.2fx of in-memory); group-commit ack p50 %.3f ms / p99 "
+      "%.3f ms; %llu groups (%.1f rows per fsync'd group) (%s)\n",
+      wp.rows, wp.writers, wp.inmem_rows_per_sec, wp.durable_rows_per_sec,
+      wp.durable_relative, wp.ack_p50_ms, wp.ack_p99_ms,
+      static_cast<unsigned long long>(wp.group_commits), wp.rows_per_group,
+      wp.ok ? "ok" : "FAILED");
+  // A write-path failure (insert error, lost rows on read-back, or a
+  // durable run that never group-committed) fails the bench like a
+  // divergence does.
+  all_identical &= wp.ok;
+
   FILE* json = std::fopen(json_path, "w");
   if (json != nullptr) {
     std::fprintf(json, "{\n  \"bench\": \"fetch_chain\",\n");
@@ -693,6 +865,21 @@ int main() {
                    i + 1 < tail_results.size() ? "," : "");
     }
     std::fprintf(json, "  ],\n");
+    std::fprintf(json, "  \"durable_insert_rows_per_sec\": %.1f,\n",
+                 wp.durable_rows_per_sec);
+    std::fprintf(json, "  \"inmem_insert_rows_per_sec\": %.1f,\n",
+                 wp.inmem_rows_per_sec);
+    std::fprintf(json, "  \"durable_insert_relative\": %.4f,\n",
+                 wp.durable_relative);
+    std::fprintf(json,
+                 "  \"write_path\": {\"rows\": %zu, \"writers\": %zu, "
+                 "\"ack_p50_ms\": %.4f, \"ack_p99_ms\": %.4f, "
+                 "\"group_commits\": %llu, \"fsyncs\": %llu, "
+                 "\"rows_per_group\": %.2f, \"ok\": %s},\n",
+                 wp.rows, wp.writers, wp.ack_p50_ms, wp.ack_p99_ms,
+                 static_cast<unsigned long long>(wp.group_commits),
+                 static_cast<unsigned long long>(wp.fsyncs),
+                 wp.rows_per_group, wp.ok ? "true" : "false");
     std::fprintf(json, "  \"shards\": %zu,\n", shard_count);
     std::fprintf(json, "  \"hardware_concurrency\": %u,\n", hw);
     std::fprintf(json, "  \"fig4_shard_speedup\": %.4f,\n",

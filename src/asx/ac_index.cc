@@ -205,6 +205,46 @@ void AcIndex::OnDelete(const Row& row) {
   if (bucket.distinct_y.empty()) sub.buckets.erase(bucket_it);
 }
 
+void AcIndex::ForEachBucket(
+    const std::function<void(const ValueVec& key, const std::vector<Row>& ys,
+                             const std::vector<size_t>& mults)>& fn) const {
+  for (const std::unique_ptr<SubIndex>& sub : shards_) {
+    for (const auto& [key, bucket] : sub->buckets) {
+      fn(key, bucket.distinct_y, bucket.mults);
+    }
+  }
+}
+
+Result<std::unique_ptr<AcIndex>> AcIndex::Restore(
+    AccessConstraint constraint, const TableHeap& heap,
+    std::vector<RestoredBucket> buckets) {
+  BEAS_ASSIGN_OR_RETURN(std::vector<size_t> x_cols,
+                        constraint.ResolveX(heap.schema()));
+  BEAS_ASSIGN_OR_RETURN(std::vector<size_t> y_cols,
+                        constraint.ResolveY(heap.schema()));
+  std::unique_ptr<AcIndex> index(
+      new AcIndex(std::move(constraint), std::move(x_cols), std::move(y_cols),
+                  heap.num_shards()));
+  index->dict_ = heap.dict();
+  for (RestoredBucket& restored : buckets) {
+    if (restored.ys.size() != restored.mults.size()) {
+      return Status::Internal("restored bucket ys/mults size mismatch");
+    }
+    SubIndex& sub = *index->shards_[index->ShardOfKey(restored.key)];
+    Bucket& bucket = sub.buckets[std::move(restored.key)];
+    if (!bucket.distinct_y.empty()) {
+      return Status::Internal("duplicate restored bucket key");
+    }
+    bucket.distinct_y = std::move(restored.ys);
+    bucket.mults = std::move(restored.mults);
+    for (size_t i = 0; i < bucket.distinct_y.size(); ++i) {
+      bucket.positions.emplace(bucket.distinct_y[i], i);
+    }
+    sub.num_entries += bucket.distinct_y.size();
+  }
+  return index;
+}
+
 size_t AcIndex::NumKeys() const {
   size_t n = 0;
   for (const auto& sub : shards_) n += sub->buckets.size();

@@ -1,6 +1,7 @@
 #ifndef BEAS_ASX_AC_INDEX_H_
 #define BEAS_ASX_AC_INDEX_H_
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -157,6 +158,36 @@ class AcIndex {
 
   /// Extracts the Y-projection of a full table row.
   Row YProjectionOf(const Row& row) const;
+
+  /// \name Durability surface (checkpoint export / recovery restore).
+  /// @{
+  /// Visits every bucket: (key, distinct Y-projections, multiplicities).
+  /// Bucket-internal vectors are in maintenance order (the order answers
+  /// depend on); bucket visit order is hash-map order — irrelevant, since
+  /// buckets are only ever addressed by key. Caller holds the structural
+  /// lock exclusively.
+  void ForEachBucket(
+      const std::function<void(const ValueVec& key, const std::vector<Row>& ys,
+                               const std::vector<size_t>& mults)>& fn) const;
+
+  /// One checkpointed bucket, as parsed back from a segment.
+  struct RestoredBucket {
+    ValueVec key;
+    std::vector<Row> ys;
+    std::vector<size_t> mults;
+  };
+
+  /// Rebuilds an index from checkpointed cells instead of a heap walk:
+  /// resolves columns and adopts `heap`'s dictionary like Build, then
+  /// installs each bucket verbatim (same Y order, same multiplicities —
+  /// the state incremental maintenance had reached at the checkpoint).
+  /// Keys and Y-values must already be canonicalized against `heap`'s
+  /// dictionary; sub-index routing is recomputed from the key hashes
+  /// (deterministic, representation-independent).
+  static Result<std::unique_ptr<AcIndex>> Restore(
+      AccessConstraint constraint, const TableHeap& heap,
+      std::vector<RestoredBucket> buckets);
+  /// @}
 
  private:
   AcIndex(AccessConstraint constraint, std::vector<size_t> x_cols,

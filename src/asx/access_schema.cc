@@ -82,6 +82,13 @@ Status AsCatalog::Register(AccessConstraint constraint) {
   return Status::OK();
 }
 
+Status AsCatalog::AdoptRestored(AccessConstraint constraint,
+                                std::unique_ptr<AcIndex> index) {
+  BEAS_RETURN_NOT_OK(schema_.Add(std::move(constraint)));
+  indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
 Status AsCatalog::Unregister(const std::string& name) {
   for (size_t i = 0; i < schema_.constraints().size(); ++i) {
     if (schema_.constraints()[i].name == name) {

@@ -59,6 +59,18 @@ class AsCatalog {
   /// Removes a constraint and drops its index.
   Status Unregister(const std::string& name);
 
+  /// Recovery-only Register: adds `constraint` with an index restored
+  /// from a checkpoint segment instead of a fresh heap walk, and fires no
+  /// change listeners (recovery runs before the service serves anything,
+  /// so there is nothing to invalidate — and the durability layer's own
+  /// structural-logging listener must not re-log restored state). The
+  /// index's constraint copy is the source of `constraint`; they arrive
+  /// together from the segment. Call in original registration order so
+  /// auto-naming ("psiK") and index slots line up with the pre-crash
+  /// catalog.
+  Status AdoptRestored(AccessConstraint constraint,
+                       std::unique_ptr<AcIndex> index);
+
   const AccessSchema& schema() const { return schema_; }
   Database* db() { return db_; }
 

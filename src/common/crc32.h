@@ -1,0 +1,18 @@
+#ifndef BEAS_COMMON_CRC32_H_
+#define BEAS_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace beas {
+
+/// \brief CRC-32C (Castagnoli) over a byte range. The durability layer
+/// stamps every WAL record and segment payload with it so recovery can
+/// tell a torn or bit-rotted tail from valid data. Table-driven, no
+/// hardware dependence — recovery must compute the same checksum on any
+/// machine the data directory migrates to.
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace beas
+
+#endif  // BEAS_COMMON_CRC32_H_

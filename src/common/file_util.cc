@@ -1,0 +1,187 @@
+#include "common/file_util.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace beas {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+Status MmapFile::Open(const std::string& path) {
+  Close();
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status s = Errno("fstat", path);
+    ::close(fd);
+    return s;
+  }
+  size_ = static_cast<size_t>(st.st_size);
+  if (size_ > 0) {
+    void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      Status s = Errno("mmap", path);
+      ::close(fd);
+      size_ = 0;
+      return s;
+    }
+    data_ = static_cast<char*>(p);
+    mapped_ = true;
+  }
+  // The mapping keeps the pages alive; the fd is not needed afterwards.
+  ::close(fd);
+  return Status::OK();
+}
+
+void MmapFile::Close() {
+  if (mapped_) ::munmap(data_, size_);
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+Status AppendFile::Open(const std::string& path) {
+  Close();
+  int fd = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
+  if (fd < 0) return Errno("open", path);
+  off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    Status s = Errno("lseek", path);
+    ::close(fd);
+    return s;
+  }
+  fd_ = fd;
+  offset_ = static_cast<uint64_t>(end);
+  path_ = path;
+  return Status::OK();
+}
+
+void AppendFile::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  offset_ = 0;
+}
+
+Status AppendFile::Append(const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  size_t remaining = len;
+  while (remaining > 0) {
+    ssize_t n = ::write(fd_, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path_);
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  offset_ += len;
+  return Status::OK();
+}
+
+Status AppendFile::Sync() {
+  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  return Status::OK();
+}
+
+Status AppendFile::Truncate(uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Errno("ftruncate", path_);
+  }
+  if (::lseek(fd_, static_cast<off_t>(size), SEEK_SET) < 0) {
+    return Errno("lseek", path_);
+  }
+  offset_ = size;
+  return Status::OK();
+}
+
+Status EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return Errno("mkdir", path);
+}
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return Errno("opendir", path);
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(std::move(name));
+  }
+  ::closedir(dir);
+  return names;
+}
+
+Status SyncDir(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open dir", path);
+  Status s = Status::OK();
+  if (::fsync(fd) != 0) s = Errno("fsync dir", path);
+  ::close(fd);
+  return s;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  std::string tmp = path + ".tmp";
+  {
+    AppendFile f;
+    BEAS_RETURN_NOT_OK(f.Open(tmp));
+    BEAS_RETURN_NOT_OK(f.Truncate(0));
+    BEAS_RETURN_NOT_OK(f.Append(data.data(), data.size()));
+    BEAS_RETURN_NOT_OK(f.Sync());
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Errno("rename", tmp);
+  }
+  size_t slash = path.find_last_of('/');
+  return SyncDir(slash == std::string::npos ? "." : path.substr(0, slash));
+}
+
+void RemoveAll(const std::string& path) {
+  struct stat st;
+  if (::lstat(path.c_str(), &st) != 0) return;
+  if (S_ISDIR(st.st_mode)) {
+    auto names = ListDir(path);
+    if (names.ok()) {
+      for (const std::string& name : *names) RemoveAll(path + "/" + name);
+    }
+    ::rmdir(path.c_str());
+  } else {
+    ::unlink(path.c_str());
+  }
+}
+
+}  // namespace beas

@@ -1,0 +1,106 @@
+#ifndef BEAS_COMMON_FILE_UTIL_H_
+#define BEAS_COMMON_FILE_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace beas {
+
+/// \brief Read-only memory map of a whole file (RAII).
+///
+/// The durability layer reads checkpoint segments through this: open,
+/// mmap, validate the CRC'd header against the mapped bytes, parse, done —
+/// no read loop, no intermediate copy, and a segment larger than RAM pages
+/// in lazily. An empty file maps to a valid object with size() == 0.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile() { Close(); }
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+
+  /// Maps `path` read-only. Any previously held mapping is released.
+  Status Open(const std::string& path);
+  void Close();
+
+  bool valid() const { return data_ != nullptr || size_ == 0; }
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  char* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;  ///< size 0 files hold no mapping
+};
+
+/// \brief An append-only file handle over a raw fd (RAII).
+///
+/// The WAL writes through this: raw write(2) so that bytes are in the
+/// kernel page cache (and survive a process kill) the moment Append
+/// returns, and an explicit Sync() marking the group-commit boundary.
+/// No userspace buffering — a crash can tear at most the last write.
+class AppendFile {
+ public:
+  AppendFile() = default;
+  ~AppendFile() { Close(); }
+
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  /// Opens (creating if needed) `path` for appending; positions at the
+  /// current end of file.
+  Status Open(const std::string& path);
+  void Close();
+
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Appends `len` bytes; loops over partial writes.
+  Status Append(const void* data, size_t len);
+
+  /// fsync(2): everything appended so far is durable when this returns.
+  Status Sync();
+
+  /// Truncates the file to `size` bytes and repositions the append offset
+  /// there (WAL reset after a checkpoint, torn-tail repair on recovery).
+  Status Truncate(uint64_t size);
+
+  /// Current file size (== append offset).
+  uint64_t size() const { return offset_; }
+
+ private:
+  int fd_ = -1;
+  uint64_t offset_ = 0;
+  std::string path_;
+};
+
+/// Creates `path` (one level) if it does not exist.
+Status EnsureDir(const std::string& path);
+
+/// True if `path` exists (any file type).
+bool PathExists(const std::string& path);
+
+/// Names of regular entries in `path` (not "."/".."), unsorted.
+Result<std::vector<std::string>> ListDir(const std::string& path);
+
+/// fsync on a directory fd — makes renames/creates inside it durable.
+Status SyncDir(const std::string& path);
+
+/// Writes `data` to `path` atomically: write to `path`.tmp, fsync, rename
+/// over `path`, fsync the parent directory. Readers see either the old
+/// content or the new, never a torn mix — the commit-point primitive for
+/// checkpoint manifests.
+Status WriteFileAtomic(const std::string& path, const std::string& data);
+
+/// Best-effort recursive removal of `path` (files and subdirectories).
+void RemoveAll(const std::string& path);
+
+}  // namespace beas
+
+#endif  // BEAS_COMMON_FILE_UTIL_H_

@@ -77,6 +77,16 @@ inline thread_local uint64_t tls_hash_string_calls = 0;
 /// byte hashing. Plain thread_local increment — never contends.
 inline thread_local uint64_t tls_string_order_decodes = 0;
 
+/// \brief Cross-dictionary code translations performed on the calling
+/// thread: one increment per *distinct* left-dictionary code a col = col
+/// equality conjunct resolves against the other column's dictionary (via
+/// the precomputed byte hash — no bytes are hashed; tests pin that with
+/// tls_hash_string_calls). Distinct-code granularity makes the per-batch
+/// translation cache observable: a batch with many repeats of few strings
+/// must bump this by the distinct count, not the row count. Plain
+/// thread_local increment — never contends.
+inline thread_local uint64_t tls_cross_dict_translates = 0;
+
 /// \brief Hashes a string with the shared 64-bit byte hash.
 ///
 /// Dictionary-encoded values (see storage/string_dict.h) bypass this at

@@ -1,0 +1,63 @@
+#include "durability/crash_point.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace beas {
+namespace durability {
+
+namespace {
+
+struct CrashConfig {
+  std::string point;       ///< empty = disabled
+  unsigned long nth = 1;   ///< crash on the nth hit (1-based)
+  std::atomic<unsigned long> hits{0};
+};
+
+void ParseSpec(CrashConfig* config, const char* spec) {
+  config->point.clear();
+  config->nth = 1;
+  config->hits.store(0);
+  if (spec == nullptr || *spec == '\0') return;
+  std::string s = spec;
+  size_t colon = s.find(':');
+  if (colon == std::string::npos) {
+    config->point = s;
+  } else {
+    config->point = s.substr(0, colon);
+    config->nth = std::strtoul(s.c_str() + colon + 1, nullptr, 10);
+    if (config->nth == 0) config->nth = 1;
+  }
+}
+
+/// Parsed once per process: the harness sets the variable in the child
+/// between fork and the first durability call (or overrides it with
+/// SetCrashPointForTesting when the parse already happened pre-fork).
+CrashConfig& Config() {
+  static CrashConfig config;
+  static bool parsed = [] {
+    ParseSpec(&config, std::getenv("BEAS_CRASH_POINT"));
+    return true;
+  }();
+  (void)parsed;
+  return config;
+}
+
+}  // namespace
+
+void SetCrashPointForTesting(const char* spec) { ParseSpec(&Config(), spec); }
+
+void MaybeCrash(const char* point) {
+  CrashConfig& config = Config();
+  if (config.point.empty() || config.point != point) return;
+  if (config.hits.fetch_add(1) + 1 == config.nth) {
+    _exit(kCrashExitCode);
+  }
+}
+
+}  // namespace durability
+}  // namespace beas

@@ -1,0 +1,41 @@
+#ifndef BEAS_DURABILITY_CRASH_POINT_H_
+#define BEAS_DURABILITY_CRASH_POINT_H_
+
+namespace beas {
+namespace durability {
+
+/// \brief Kill-point fault injection for the recovery test harness.
+///
+/// The durability layer calls MaybeCrash("<point>") at every crash-window
+/// boundary of interest. Normally a no-op; when the environment variable
+/// `BEAS_CRASH_POINT` is set to `<point>` (or `<point>:N` for the N-th
+/// hit, 1-based), the process dies with `_exit(kCrashExitCode)` at that
+/// site — no destructors, no stream flushes, exactly like a kill — so the
+/// fault-injection tests can fork a child, let it die mid-protocol, and
+/// assert that recovery restores the committed prefix bit-identically.
+///
+/// Named points (in protocol order):
+///   wal_append          after a group's bytes are appended, before fsync
+///   wal_pre_fsync       immediately before the group fsync
+///   wal_post_fsync      after fsync, before the group is applied
+///   ckpt_mid            after segments are written, before the manifest
+///                       rename commits the checkpoint
+///   ckpt_post_truncate  after the WALs are truncated, before old-segment
+///                       garbage collection
+void MaybeCrash(const char* point);
+
+/// Exit code used by injected crashes, distinguishable from aborts and
+/// clean exits in the parent's waitpid status.
+constexpr int kCrashExitCode = 42;
+
+/// Overrides the armed crash point in-process, `spec` in the same
+/// `<point>[:N]` syntax as the environment variable (null or "" disarms).
+/// The env var is parsed once per process, which a fork()ed test child
+/// inherits already-parsed — the harness calls this right after fork
+/// instead. Resets the hit counter.
+void SetCrashPointForTesting(const char* spec);
+
+}  // namespace durability
+}  // namespace beas
+
+#endif  // BEAS_DURABILITY_CRASH_POINT_H_

@@ -1,0 +1,280 @@
+#ifndef BEAS_DURABILITY_DURABILITY_MANAGER_H_
+#define BEAS_DURABILITY_DURABILITY_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "asx/access_schema.h"
+#include "common/file_util.h"
+#include "common/result.h"
+#include "durability/wal.h"
+#include "engine/database.h"
+
+namespace beas {
+namespace durability {
+
+/// \brief Durability tuning knobs (see README "Durability").
+struct DurabilityOptions {
+  /// Data directory. Empty disables durability entirely.
+  std::string dir;
+
+  /// fsync on every group commit (and every meta-WAL record). Turning
+  /// this off trades the machine-crash guarantee for process-crash-only
+  /// durability (the page cache still survives a kill).
+  bool fsync = true;
+
+  /// MaybeCheckpoint fires once this many WAL bytes accumulated since
+  /// the last checkpoint.
+  uint64_t checkpoint_min_wal_bytes = 1ull << 22;
+
+  /// Tables excluded from logging and checkpoints (case-insensitive).
+  /// The service puts `beas_stats` here: it is recomputed metadata that
+  /// the service recycles with direct heap writes outside the hooked
+  /// write path, so persisting it would only replay stale gauges.
+  std::vector<std::string> transient_tables;
+};
+
+/// \brief Monotonic counters exported into `beas_stats`.
+struct DurabilityCounters {
+  uint64_t wal_bytes_total = 0;
+  uint64_t wal_records_total = 0;
+  uint64_t wal_group_commits_total = 0;
+  uint64_t wal_fsyncs_total = 0;
+  uint64_t checkpoints_total = 0;
+  uint64_t recovery_replayed_records = 0;
+};
+
+/// \brief The durability subsystem: per-shard write-ahead logs with group
+/// commit, mmap'd segment checkpoints, and crash recovery.
+///
+/// ## Write protocol (data records)
+///
+/// A durable Insert/InsertBatch/Delete validates against the live schema,
+/// serializes the operation, and pushes it onto the WAL queue of the
+/// storage shard it routes to — a lock-free Treiber stack, one CAS per
+/// producer. One *drainer* thread per WAL shard pops the whole stack at
+/// once, stamps each record with a global LSN (pop order == apply order,
+/// so per-shard LSNs are monotone by construction), appends the group as
+/// one write, fsyncs ONCE for the whole group, and only then applies each
+/// record through the normal Database write path (per-shard locks, write
+/// hooks → AC-index maintenance). The producer's ack resolves after both
+/// the fsync and the apply: an acked write is durable *and* visible.
+/// Coalescing under load is automatic — every record enqueued while the
+/// previous group was fsyncing rides the next group, so the fsync cost is
+/// amortized across concurrent writers.
+///
+/// ## Structural operations (meta records)
+///
+/// DDL, constraint registration/unregistration, bound adjustments and
+/// dictionary rebuilds are logged *after* they apply, synchronously, to a
+/// dedicated meta WAL — hooked via Database's DDL hook and AsCatalog's
+/// change listener, so the service layer cannot forget to log one. The
+/// *commit gate* (a shared_mutex ordered before every Database lock)
+/// keeps them strictly ordered against data records: data writers hold it
+/// shared from enqueue to ack; structural sections take it exclusive and
+/// then wait for the queues to drain. A crash between apply and log loses
+/// only an un-acked structural change — consistent by definition.
+///
+/// ## Checkpoints
+///
+/// CheckpointLocked (quiesced: commit gate exclusive + structural lock)
+/// writes every table's heap shards, dictionary and slot directory plus
+/// every AC index into a fresh `seg/ck<N>/` directory of CRC'd segment
+/// files, then commits the set with an atomically renamed MANIFEST and
+/// truncates all WALs. Recovery mmaps the newest manifest's segments,
+/// restores heaps/dicts/indexes bit-identically (exact slot placement,
+/// exact dictionary codes, exact bucket order), then replays the merged
+/// WAL tail in LSN order. MaintenanceManager's adjustment cycle drives
+/// periodic checkpoints through the service's checkpoint hook.
+///
+/// ## Crash points (fault-injection testing)
+///
+/// With BEAS_CRASH_POINT=<name>[:N] the process _exit(42)s at the Nth hit
+/// of: wal_append (group written, not fsynced), wal_pre_fsync,
+/// wal_post_fsync (durable, not applied), ckpt_mid (segments written,
+/// manifest not committed), ckpt_post_truncate (WALs truncated, old
+/// segments not yet GC'd).
+class DurabilityManager {
+ public:
+  /// The manager logs through `db`/`catalog` and replays into them; both
+  /// must outlive it. Nothing is read or written until Open().
+  DurabilityManager(Database* db, AsCatalog* catalog, DurabilityOptions opts);
+
+  /// Flushes and joins the drainers; never blocks on new work (the owner
+  /// must have stopped producing).
+  ~DurabilityManager();
+
+  DurabilityManager(const DurabilityManager&) = delete;
+  DurabilityManager& operator=(const DurabilityManager&) = delete;
+
+  /// Recovers `dir` (or initializes it when empty) into the attached
+  /// database, then starts the drainer threads. Call once, before the
+  /// service is shared across threads; `db` must be empty.
+  Status Open();
+
+  /// The Open() verdict, re-checkable later (durable write paths also
+  /// return it when Open failed).
+  Status open_status() const { return open_status_; }
+
+  /// \name Durable data writes.
+  /// Ack ⇒ fsynced and applied. Safe from concurrent threads.
+  /// @{
+  Status Insert(const std::string& table, Row row);
+  Status InsertBatch(const std::string& table, std::vector<Row> rows);
+  Status Delete(const std::string& table, const Row& row);
+  /// @}
+
+  /// Durable DDL: applies through the database (which fires the logging
+  /// hook) under the commit gate.
+  Result<TableInfo*> CreateTable(const std::string& name,
+                                 const Schema& schema);
+
+  /// RAII bracket for a structural section (constraint changes,
+  /// maintenance cycles, checkpoints): commit gate exclusive + WAL queue
+  /// barrier. While held, no data record is in flight anywhere — meta
+  /// records logged inside observe a strict LSN order against all data.
+  class StructuralGate {
+   public:
+    explicit StructuralGate(DurabilityManager* mgr) : mgr_(mgr) {
+      if (mgr_ != nullptr) mgr_->EnterStructural();
+    }
+    ~StructuralGate() {
+      if (mgr_ != nullptr) mgr_->LeaveStructural();
+    }
+    StructuralGate(const StructuralGate&) = delete;
+    StructuralGate& operator=(const StructuralGate&) = delete;
+
+   private:
+    DurabilityManager* mgr_;
+  };
+
+  /// Takes its own gate + structural scope, then checkpoints.
+  Status Checkpoint();
+
+  /// Checkpoint iff the WAL grew past checkpoint_min_wal_bytes since the
+  /// last one. Caller holds a StructuralGate AND the database structural
+  /// lock exclusively (the maintenance checkpoint hook's calling
+  /// convention). `did_out` (optional) reports whether one ran.
+  Status MaybeCheckpointLocked(bool* did_out = nullptr);
+
+  /// Unconditional checkpoint under the caller's gate + structural lock.
+  Status CheckpointLocked();
+
+  DurabilityCounters counters() const;
+
+ private:
+  /// A producer-enqueued record awaiting group commit.
+  struct Pending {
+    WalRecord record;
+    std::promise<Status> ack;
+    Pending* next = nullptr;
+  };
+
+  /// One WAL shard: lock-free producer stack + drainer + log file.
+  struct ShardWal {
+    std::atomic<Pending*> head{nullptr};
+    /// enqueued counts pushes; applied counts resolved acks. Equal ⇔ the
+    /// queue is empty and every popped record finished applying — the
+    /// StructuralGate barrier's condition.
+    std::atomic<uint64_t> enqueued{0};
+    std::atomic<uint64_t> applied{0};
+    AppendFile file;
+    std::thread drainer;
+    std::mutex wake_mutex;
+    std::condition_variable wake;
+  };
+
+  void EnterStructural();
+  void LeaveStructural();
+  /// Spin-waits (with drainer wakeups) until every shard queue has fully
+  /// applied. Caller holds the commit gate exclusively, so no new record
+  /// can be enqueued while waiting.
+  void Barrier();
+
+  /// Pushes a serialized record onto shard queue `wal_shard` and returns
+  /// the ack future. Caller holds the commit gate shared.
+  std::future<Status> Enqueue(size_t wal_shard, WalRecordType type,
+                              std::string payload);
+
+  void DrainerLoop(size_t wal_shard);
+
+  /// Applies one record through the normal engine write path. Used by the
+  /// drainers (data records) and by recovery replay (all records).
+  Status ApplyRecord(const WalRecord& record);
+
+  /// Stamps an LSN and synchronously appends+fsyncs to the meta WAL.
+  /// Called from the structural-logging hooks (commit gate held
+  /// exclusively by the structural section that triggered them).
+  Status LogMeta(WalRecordType type, std::string payload);
+
+  /// Hook bodies (registered on `db_`/`catalog_` by Open()).
+  void OnDdl(const std::string& table);
+  void OnCatalogChange(AsCatalog::ChangeKind kind, const std::string& table,
+                       const std::string& name);
+
+  Status Recover();
+  /// Restores one checkpointed table (meta + dict + shard segments).
+  Status RestoreTable(const std::string& seg_dir, const std::string& table);
+  /// Restores one checkpointed AC index.
+  Status RestoreIndex(const std::string& seg_dir, const std::string& name);
+
+  std::string WalPath(size_t wal_shard) const;
+  std::string MetaWalPath() const;
+  std::string SegDir(uint64_t checkpoint_id) const;
+
+  Database* db_;
+  AsCatalog* catalog_;
+  DurabilityOptions options_;
+  Status open_status_ = Status::OK();
+  bool opened_ = false;
+
+  /// The commit gate. Lock order: commit gate, then any Database lock.
+  std::shared_mutex commit_mutex_;
+
+  /// Next LSN to hand out. Drainers stamp data records at pop time;
+  /// LogMeta stamps meta records inline.
+  std::atomic<uint64_t> next_lsn_{1};
+
+  size_t wal_shard_count_ = 1;
+  std::vector<std::unique_ptr<ShardWal>> shard_wals_;
+  std::atomic<bool> stop_{false};
+
+  /// Meta WAL: only structural sections (gate-exclusive) append, but the
+  /// mutex keeps the file state well-defined regardless.
+  std::mutex meta_mutex_;
+  AppendFile meta_wal_;
+
+  /// True while Recover() replays — the logging hooks no-op so replayed
+  /// operations are not logged twice. (The hooks are also only registered
+  /// after recovery; this is belt-and-braces.)
+  bool replaying_ = false;
+
+  /// Latched when a structural logging hook fails to persist its meta
+  /// record (the void hook signature cannot propagate the status).
+  /// Durable write paths refuse further work once set — the in-memory
+  /// state is ahead of the log, so acking anything more would lie.
+  std::atomic<bool> meta_log_failed_{false};
+
+  uint64_t last_checkpoint_id_ = 0;
+  std::atomic<uint64_t> wal_bytes_since_checkpoint_{0};
+
+  std::atomic<uint64_t> wal_bytes_total_{0};
+  std::atomic<uint64_t> wal_records_total_{0};
+  std::atomic<uint64_t> wal_group_commits_total_{0};
+  std::atomic<uint64_t> wal_fsyncs_total_{0};
+  std::atomic<uint64_t> checkpoints_total_{0};
+  std::atomic<uint64_t> recovery_replayed_records_{0};
+};
+
+}  // namespace durability
+}  // namespace beas
+
+#endif  // BEAS_DURABILITY_DURABILITY_MANAGER_H_

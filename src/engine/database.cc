@@ -150,6 +150,15 @@ Status Database::DeleteWhereEquals(const std::string& table, const Row& row) {
   return Status::NotFound("no matching row in '" + table + "'");
 }
 
+Status Database::ValidateForInsert(const std::string& table, Row* row,
+                                   size_t* shard_out) const {
+  std::shared_lock<std::shared_mutex> structural(structural_mutex_);
+  BEAS_ASSIGN_OR_RETURN(TableInfo * info, catalog_.GetTable(table));
+  BEAS_RETURN_NOT_OK(info->heap()->ValidateAndCoerce(row));
+  if (shard_out != nullptr) *shard_out = info->heap()->ShardOf(*row);
+  return Status::OK();
+}
+
 Result<BoundQuery> Database::Bind(const std::string& sql) const {
   Binder binder(&catalog_);
   return binder.BindSql(sql);

@@ -152,6 +152,15 @@ class Database {
   /// locks every shard.
   Status DeleteWhereEquals(const std::string& table, const Row& row);
 
+  /// The validation/routing half of Insert without the insert: coerces
+  /// `row` in place against `table`'s schema and reports the shard it
+  /// would land on. The durability layer runs this before logging so (a)
+  /// doomed rows are rejected without burning WAL bytes and (b) the
+  /// record routes to the WAL queue of the shard it will apply to. Takes
+  /// only the structural lock shared (catalog read; no data touched).
+  Status ValidateForInsert(const std::string& table, Row* row,
+                           size_t* shard_out) const;
+
   /// Registers a hook invoked after every Insert/Delete on `table`
   /// (used by the AS Catalog maintenance module). See the thread-safety
   /// contract above: registration must precede concurrent use, and hooks

@@ -192,6 +192,9 @@ void ExprProgram::DetectFastPattern() {
   if (ops_.size() == 3 && ops_[1].code == OpCode::kPushLit &&
       ops_[2].code == OpCode::kCompare) {
     fast_ = FastPattern::kColCmpLit;
+  } else if (ops_.size() == 3 && ops_[1].code == OpCode::kPushCol &&
+             ops_[2].code == OpCode::kCompare) {
+    fast_ = FastPattern::kColCmpCol;
   } else if (ops_.size() == 4 && ops_[1].code == OpCode::kPushLit &&
              ops_[2].code == OpCode::kPushLit &&
              ops_[3].code == OpCode::kBetween) {
@@ -321,6 +324,67 @@ void FilterEncodedCmp(const BatchColumn& col, CompareOp cmp, const Value& lit,
     three_way = three_way < 0 ? -1 : (three_way > 0 ? 1 : 0);
     if (!CmpPasses(cmp, three_way)) (*keep)[r] = 0;
   }
+}
+
+/// col-op-col over two encoded columns. Same dictionary: interning
+/// deduplicates, so equality is a raw code compare, and ordering is too
+/// once the dictionary is sorted. Different dictionaries: equality
+/// conjuncts translate each *distinct* left code into the right
+/// dictionary once per batch — FindWithHash with the left dictionary's
+/// precomputed byte hash, so no bytes are hashed or decoded — and then
+/// every row is a uint32 compare against the translated code. A left
+/// string absent from the right dictionary can equal no right-column
+/// value: `=` fails and `<>` passes for its rows. NULL on either side
+/// yields SQL NULL, which a predicate drops, for `=` and `<>` alike.
+/// Returns false for the shapes that still need bytes (ordering over an
+/// unsorted or foreign dictionary); the caller falls back to the generic
+/// row loop.
+bool FilterEncodedColCmpCol(const BatchColumn& lhs, const BatchColumn& rhs,
+                            CompareOp cmp, size_t num_rows,
+                            std::vector<char>* keep) {
+  const StringDict* left_dict = lhs.dict;
+  const StringDict* right_dict = rhs.dict;
+  bool equality = cmp == CompareOp::kEq || cmp == CompareOp::kNe;
+  if (left_dict == right_dict) {
+    if (!equality && !left_dict->is_sorted()) return false;
+    for (size_t r = 0; r < num_rows; ++r) {
+      if (!(*keep)[r]) continue;
+      uint32_t a = lhs.codes[r];
+      uint32_t b = rhs.codes[r];
+      if (a == StringDict::kNullCode || b == StringDict::kNullCode) {
+        (*keep)[r] = 0;
+        continue;
+      }
+      int three_way = a < b ? -1 : (a > b ? 1 : 0);
+      if (!CmpPasses(cmp, three_way)) (*keep)[r] = 0;
+    }
+    return true;
+  }
+  if (!equality) return false;
+  // Lazily-filled translation table: left code -> right code, or -1 when
+  // the left string was never interned on the right. Sized by the left
+  // dictionary so repeated codes — the reason the column was
+  // dictionary-encoded — translate exactly once per batch.
+  constexpr int64_t kUntranslated = -2;
+  std::vector<int64_t> translated(left_dict->size(), kUntranslated);
+  for (size_t r = 0; r < num_rows; ++r) {
+    if (!(*keep)[r]) continue;
+    uint32_t a = lhs.codes[r];
+    uint32_t b = rhs.codes[r];
+    if (a == StringDict::kNullCode || b == StringDict::kNullCode) {
+      (*keep)[r] = 0;
+      continue;
+    }
+    int64_t t = translated[a];
+    if (t == kUntranslated) {
+      ++tls_cross_dict_translates;
+      t = translated[a] =
+          right_dict->FindWithHash(left_dict->str(a), left_dict->hash(a));
+    }
+    bool eq = t >= 0 && static_cast<uint32_t>(t) == b;
+    if ((cmp == CompareOp::kEq ? eq : !eq) == false) (*keep)[r] = 0;
+  }
+  return true;
 }
 
 /// col BETWEEN lo AND hi over an encoded column: a code-interval test on
@@ -551,6 +615,24 @@ void ExprProgram::FilterBatch(const BatchColumn* cols, size_t num_rows,
       for (size_t r = 0; r < num_rows; ++r) {
         if (!(*keep)[r]) continue;
         Value v = CompareValuesTotal(cmp, col.values[r], lit);
+        if (v.is_null() || v.AsInt64() == 0) (*keep)[r] = 0;
+      }
+      return;
+    }
+    case FastPattern::kColCmpCol: {
+      const BatchColumn& lhs = cols[ops_[0].slot];
+      const BatchColumn& rhs = cols[ops_[1].slot];
+      CompareOp cmp = ops_[2].cmp;
+      if (lhs.encoded() && rhs.encoded() &&
+          FilterEncodedColCmpCol(lhs, rhs, cmp, num_rows, keep)) {
+        return;
+      }
+      // Generic or mixed representations (or an ordering that needs
+      // bytes): At() materializes dictionary-backed Values without byte
+      // copies and CompareValuesTotal carries the three-valued logic.
+      for (size_t r = 0; r < num_rows; ++r) {
+        if (!(*keep)[r]) continue;
+        Value v = CompareValuesTotal(cmp, lhs.At(r), rhs.At(r));
         if (v.is_null() || v.AsInt64() == 0) (*keep)[r] = 0;
       }
       return;

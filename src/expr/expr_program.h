@@ -65,6 +65,14 @@ class ExprProgram {
   /// false, <> / NOT IN -> non-NULL rows pass) since no stored string can
   /// match it. Ordering comparisons decode to bytes per row (codes are
   /// not order-preserving) without materializing Values.
+  ///
+  /// Column-to-column conjuncts (post-join equality between two string
+  /// columns) also run encoded: same dictionary compares raw codes;
+  /// *different* dictionaries compare codes through a per-batch left-code
+  /// -> right-code translation table resolved via the right dictionary's
+  /// hash table with the left dictionary's precomputed byte hashes — zero
+  /// bytes hashed (tls_hash_string_calls) and zero decoded, one
+  /// translation per distinct left code (tls_cross_dict_translates).
   void FilterBatch(const BatchColumn* cols, size_t num_rows,
                    const std::vector<Value>& literals,
                    std::vector<char>* keep) const;
@@ -101,6 +109,7 @@ class ExprProgram {
   enum class FastPattern : uint8_t {
     kNone,
     kColCmpLit,   ///< [PushCol, PushLit, Compare]
+    kColCmpCol,   ///< [PushCol, PushCol, Compare]
     kColBetween,  ///< [PushCol, PushLit, PushLit, Between]
     kColInList,   ///< [PushCol, InList]
     kColIsNull,   ///< [PushCol, IsNull]

@@ -57,7 +57,9 @@ Status MaintenanceManager::RunAdjustmentCycle(double headroom,
   }
   if (changed_out != nullptr) *changed_out = changed.size();
   BEAS_RETURN_NOT_OK(ApplySuggestions(changed));
-  return MaintainDictionaries(policy).status();
+  BEAS_RETURN_NOT_OK(MaintainDictionaries(policy).status());
+  if (checkpoint_hook_) return checkpoint_hook_();
+  return Status::OK();
 }
 
 Result<size_t> MaintenanceManager::MaintainDictionaries(

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -96,11 +97,24 @@ class MaintenanceManager {
     return dict_rebuilds_.load(std::memory_order_relaxed);
   }
 
+  /// Invoked at the end of every RunAdjustmentCycle, under the same
+  /// exclusive structural section the cycle itself runs in. The service
+  /// layer points this at the durability subsystem's MaybeCheckpoint so
+  /// checkpoints ride the existing periodic-maintenance cadence (the
+  /// cycle is the one moment the engine is already quiesced — segments
+  /// written here need no extra locking). Set before the manager is
+  /// shared across threads.
+  using CheckpointHook = std::function<Status()>;
+  void SetCheckpointHook(CheckpointHook hook) {
+    checkpoint_hook_ = std::move(hook);
+  }
+
   /// One periodic maintenance round: revalidate, then apply only the
   /// suggestions that actually change a declared bound (no-op adjustments
   /// would needlessly invalidate cached plans), then run dictionary
-  /// maintenance under `dict_policy` (order-preserving rebuilds). Returns
-  /// the number of bounds changed via `changed_out` (optional).
+  /// maintenance under `dict_policy` (order-preserving rebuilds), then
+  /// fire the checkpoint hook (if set). Returns the number of bounds
+  /// changed via `changed_out` (optional).
   Status RunAdjustmentCycle(double headroom, size_t* changed_out,
                             const DictRebuildPolicy& dict_policy);
   Status RunAdjustmentCycle(double headroom = 1.2,
@@ -111,6 +125,7 @@ class MaintenanceManager {
  private:
   Database* db_;
   AsCatalog* catalog_;
+  CheckpointHook checkpoint_hook_;
   std::atomic<uint64_t> updates_applied_{0};
   std::atomic<uint64_t> dict_rebuilds_{0};
 };

@@ -87,6 +87,22 @@ BeasService::BeasService(ServiceOptions options)
                                     const std::string&) {
     cache_.InvalidateTable(table);
   });
+  if (!options_.durability.dir.empty()) {
+    // The stats table is recycled with direct heap writes outside the
+    // hooked write path; logging or checkpointing it would replay stale
+    // gauges (and its DROP has no hook to log).
+    options_.durability.transient_tables = {kStatsTableName};
+    durability_ = std::make_unique<durability::DurabilityManager>(
+        &db_, &catalog_, options_.durability);
+    // Recovers the data dir into db_/catalog_, registers the structural
+    // logging hooks, and starts the group-commit drainers. A failure is
+    // latched (durability_status()); durable writes then refuse.
+    (void)durability_->Open();
+    // Checkpoints ride the maintenance cadence: RunAdjustmentCycle ends
+    // inside the exclusive structural section this hook needs.
+    maintenance_.SetCheckpointHook(
+        [this] { return durability_->MaybeCheckpointLocked(); });
+  }
 }
 
 BeasService::~BeasService() = default;
@@ -97,11 +113,18 @@ BeasService::~BeasService() = default;
 
 Result<TableInfo*> BeasService::CreateTable(const std::string& name,
                                             const Schema& schema) {
+  // Durable: the DDL applies under the commit gate and its meta record is
+  // logged by the durability layer's DDL hook before the call returns.
+  if (durability_ != nullptr) return durability_->CreateTable(name, schema);
   // DDL self-locks the structural lock exclusively inside Database.
   return db_.CreateTable(name, schema);
 }
 
 Status BeasService::Insert(const std::string& table, Row row) {
+  // Durable: enqueue on the row's shard WAL; the ack resolves after the
+  // group fsync AND the apply — which runs through db_.Insert below, on
+  // the drainer thread, with identical locking.
+  if (durability_ != nullptr) return durability_->Insert(table, std::move(row));
   // Per-shard locking inside Database: only the shard the row hashes to
   // is blocked; inserts to other shards (and none of the readers' shards
   // being free) proceed concurrently.
@@ -111,10 +134,14 @@ Status BeasService::Insert(const std::string& table, Row row) {
 Status BeasService::InsertBatch(const std::string& table,
                                 std::vector<Row> rows) {
   if (rows.empty()) return Status::OK();
+  if (durability_ != nullptr) {
+    return durability_->InsertBatch(table, std::move(rows));
+  }
   return db_.InsertBatch(table, std::move(rows));
 }
 
 Status BeasService::Delete(const std::string& table, const Row& row) {
+  if (durability_ != nullptr) return durability_->Delete(table, row);
   return db_.DeleteWhereEquals(table, row);
 }
 
@@ -127,24 +154,37 @@ Status BeasService::RegisterConstraint(AccessConstraint constraint) {
         " is a service-managed metadata table; access constraints on it "
         "are not supported");
   }
+  // Gate before structural lock (the durability lock order); the catalog
+  // change listener logs the registration under this gate.
+  durability::DurabilityManager::StructuralGate gate(durability_.get());
   Database::StructuralScope lock(&db_);
   return catalog_.Register(std::move(constraint));
 }
 
 Status BeasService::UnregisterConstraint(const std::string& name) {
+  durability::DurabilityManager::StructuralGate gate(durability_.get());
   Database::StructuralScope lock(&db_);
   return catalog_.Unregister(name);
 }
 
 Status BeasService::RunAdjustmentCycle(double headroom, size_t* changed_out) {
+  durability::DurabilityManager::StructuralGate gate(durability_.get());
   Database::StructuralScope lock(&db_);
   return maintenance_.RunAdjustmentCycle(headroom, changed_out);
 }
 
 Status BeasService::ApplySuggestions(
     const std::vector<MaintenanceManager::Adjustment>& adjustments) {
+  durability::DurabilityManager::StructuralGate gate(durability_.get());
   Database::StructuralScope lock(&db_);
   return maintenance_.ApplySuggestions(adjustments);
+}
+
+Status BeasService::Checkpoint() {
+  if (durability_ == nullptr) {
+    return Status::InvalidArgument("service is not durable");
+  }
+  return durability_->Checkpoint();
 }
 
 std::vector<MaintenanceManager::Adjustment> BeasService::RevalidateAndSuggest(
@@ -298,6 +338,16 @@ Status BeasService::RefreshStatsTable() {
   add("storage_shards", static_cast<double>(lock_shards));
   add("shard_rows_max", shard_rows_max);
   add("shard_rows_min", shard_rows_min);
+  // Durability gauges: all-zero for an in-memory service, so dashboards
+  // can query them unconditionally.
+  durability::DurabilityCounters dur = durability_counters();
+  add("wal_bytes_total", static_cast<double>(dur.wal_bytes_total));
+  add("wal_group_commits_total",
+      static_cast<double>(dur.wal_group_commits_total));
+  add("wal_fsyncs_total", static_cast<double>(dur.wal_fsyncs_total));
+  add("checkpoints_total", static_cast<double>(dur.checkpoints_total));
+  add("recovery_replayed_records",
+      static_cast<double>(dur.recovery_replayed_records));
 
   // Phase 3 — swap the snapshot in: tombstone the previous rows (the
   // table has no AC indices, so no write hooks need to observe these) and

@@ -10,6 +10,7 @@
 
 #include "bounded/beas_session.h"
 #include "common/task_pool.h"
+#include "durability/durability_manager.h"
 #include "engine/database.h"
 #include "maintenance/maintenance.h"
 #include "service/plan_cache.h"
@@ -25,6 +26,12 @@ struct ServiceOptions {
   size_t cache_shards = 8;
   bool enable_plan_cache = true;
   EngineProfile fallback_profile = EngineProfile::PostgresLike();
+  /// Durable mode: set `durability.dir` to a data directory and the
+  /// service recovers it on construction and write-ahead-logs every write
+  /// from then on (see DurabilityManager). Empty dir = in-memory service,
+  /// bit-for-bit the pre-durability behavior. `transient_tables` is
+  /// overwritten by the service (it always excludes beas_stats).
+  durability::DurabilityOptions durability;
 };
 
 /// \brief A query answer plus the service-level telemetry.
@@ -144,6 +151,27 @@ class BeasService {
   Status RefreshStatsTable();
   /// @}
 
+  /// \name Durability.
+  /// @{
+  /// Whether this service runs durable (a durability dir was configured
+  /// AND recovery succeeded).
+  bool durable() const {
+    return durability_ != nullptr && durability_->open_status().ok();
+  }
+  /// The recovery/open verdict: OK for in-memory services and healthy
+  /// durable ones; the recovery error otherwise (the service still serves
+  /// reads, but durable writes are refused with this status).
+  Status durability_status() const {
+    return durability_ == nullptr ? Status::OK() : durability_->open_status();
+  }
+  /// Forces a checkpoint now (durable mode only).
+  Status Checkpoint();
+  durability::DurabilityCounters durability_counters() const {
+    return durability_ == nullptr ? durability::DurabilityCounters{}
+                                  : durability_->counters();
+  }
+  /// @}
+
   PlanCacheStats cache_stats() const { return cache_.stats(); }
   void set_cache_enabled(bool enabled) { cache_enabled_.store(enabled); }
   bool cache_enabled() const { return cache_enabled_.load(); }
@@ -215,6 +243,11 @@ class BeasService {
   /// index probes (ParallelFor lets the submitting thread participate, so
   /// the two uses never deadlock on each other).
   mutable TaskPool pool_;
+
+  /// Declared last: its destructor joins the WAL drainer threads, which
+  /// apply through db_/catalog_ — they must be gone before those die.
+  /// Null when the service runs in-memory.
+  std::unique_ptr<durability::DurabilityManager> durability_;
 };
 
 }  // namespace beas

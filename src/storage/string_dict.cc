@@ -83,6 +83,28 @@ std::vector<uint32_t> StringDict::SortedRebuild() {
   return old_to_new;
 }
 
+Status StringDict::RestoreFrom(std::vector<std::string> strings, bool sorted,
+                               uint64_t out_of_order, uint64_t rebuilds) {
+  if (!strings_.empty()) {
+    return Status::Internal("StringDict::RestoreFrom on non-empty dictionary");
+  }
+  // Intern in code order: codes are first-appearance numbered, so the
+  // restored dictionary assigns exactly code i to strings[i].
+  for (std::string& s : strings) Intern(s);
+  // Interning recomputed the order state from this replay; the checkpoint
+  // captured the true historical state (e.g. sorted_ == true right after
+  // a rebuild even though first-appearance order is unsorted). max_code_
+  // (code of the lexicographic maximum) is derivable: argmax by bytes.
+  sorted_ = sorted;
+  out_of_order_ = out_of_order;
+  rebuilds_ = rebuilds;
+  max_code_ = 0;
+  for (uint32_t code = 1; code < strings_.size(); ++code) {
+    if (strings_[max_code_] < strings_[code]) max_code_ = code;
+  }
+  return Status::OK();
+}
+
 uint32_t StringDict::LowerBoundCode(const std::string& s) const {
   uint32_t lo = 0;
   uint32_t hi = static_cast<uint32_t>(strings_.size());

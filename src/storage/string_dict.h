@@ -129,6 +129,17 @@ class StringDict {
   uint32_t UpperBoundCode(const std::string& s) const;
   /// @}
 
+  /// \brief Resets this (empty) dictionary to a checkpointed state:
+  /// `strings` in code order plus the order-tracking metadata the
+  /// incremental path would have accumulated. Re-interning the strings
+  /// rebuilds the hash table deterministically, but the order state is
+  /// overwritten from the arguments — after a historical SortedRebuild,
+  /// replaying interns would miscount out-of-order debt and rebuilds,
+  /// and recovery must restore those bit-identically (future maintenance
+  /// decisions depend on them). Errors if the dictionary is non-empty.
+  Status RestoreFrom(std::vector<std::string> strings, bool sorted,
+                     uint64_t out_of_order, uint64_t rebuilds);
+
   /// Rough memory footprint (strings + hash/slot tables). O(1): string
   /// bytes are accumulated at intern time, so monitoring surfaces can
   /// poll this without walking the dictionary.

@@ -117,6 +117,55 @@ Status TableHeap::Delete(SlotId slot) {
   return Status::OK();
 }
 
+Status TableHeap::RestoreContent(
+    std::vector<std::vector<Row>> shard_rows,
+    std::vector<std::vector<uint8_t>> shard_live,
+    const std::vector<std::pair<uint32_t, uint32_t>>& directory,
+    int64_t shard_key_col) {
+  if (!directory_.empty() || num_live_.load() != 0) {
+    return Status::Internal("TableHeap::RestoreContent on non-empty heap");
+  }
+  if (shard_rows.size() != shard_live.size() || shard_rows.empty() ||
+      shard_rows.size() > kMaxStorageShards) {
+    return Status::Internal("TableHeap::RestoreContent bad shard count");
+  }
+  shards_.clear();
+  shards_.resize(shard_rows.size());
+  size_t total_slots = 0;
+  for (size_t s = 0; s < shard_rows.size(); ++s) {
+    if (shard_rows[s].size() != shard_live[s].size()) {
+      return Status::Internal("TableHeap::RestoreContent shard size mismatch");
+    }
+    Shard& sh = shards_[s];
+    sh.rows = std::move(shard_rows[s]);
+    sh.live = std::move(shard_live[s]);
+    for (uint8_t flag : sh.live) sh.num_live += flag != 0;
+    total_slots += sh.rows.size();
+  }
+  if (directory.size() != total_slots) {
+    return Status::Internal("TableHeap::RestoreContent directory size " +
+                            std::to_string(directory.size()) + " != slots " +
+                            std::to_string(total_slots));
+  }
+  directory_.reserve(directory.size());
+  size_t num_live = 0;
+  for (const auto& ref : directory) {
+    if (ref.first >= shards_.size() ||
+        ref.second >= shards_[ref.first].rows.size()) {
+      return Status::Internal("TableHeap::RestoreContent directory ref "
+                              "out of range");
+    }
+    directory_.push_back({ref.first, ref.second});
+    num_live += shards_[ref.first].live[ref.second] != 0;
+  }
+  num_live_.store(num_live, std::memory_order_relaxed);
+  if (shard_key_col >= 0 &&
+      static_cast<size_t>(shard_key_col) < schema_.NumColumns()) {
+    shard_key_col_ = shard_key_col;
+  }
+  return Status::OK();
+}
+
 std::vector<Row> TableHeap::Snapshot() const {
   std::vector<Row> out;
   out.reserve(NumRows());

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -251,6 +252,50 @@ class TableHeap {
 
   /// Copies all live rows out (test/debug helper).
   std::vector<Row> Snapshot() const;
+
+  /// \name Durability surface (checkpoint export / recovery restore).
+  ///
+  /// The export accessors walk raw per-shard storage — including
+  /// tombstoned slots, which a checkpoint must persist verbatim so
+  /// restored SlotIds keep their meaning for AC-index positions and the
+  /// directory. Caller holds the structural lock exclusively (export) or
+  /// owns the heap outright (restore runs before the database is shared).
+  /// @{
+  size_t ShardRowCount(size_t s) const { return shards_[s].rows.size(); }
+  const Row& ShardRowAt(size_t s, size_t i) const { return shards_[s].rows[i]; }
+  bool ShardRowLive(size_t s, size_t i) const {
+    return shards_[s].live[i] != 0;
+  }
+  std::pair<uint32_t, uint32_t> DirectorySlot(SlotId slot) const {
+    const SlotRef& ref = directory_[slot];
+    return {ref.shard, ref.local};
+  }
+
+  /// Restores a checkpointed dictionary into this (empty) heap; see
+  /// StringDict::RestoreFrom. Must run before RestoreContent so restored
+  /// rows can be canonicalized against the final dictionary.
+  Status RestoreDict(std::vector<std::string> strings, bool sorted,
+                     uint64_t out_of_order, uint64_t rebuilds) {
+    return dict_.RestoreFrom(std::move(strings), sorted, out_of_order,
+                             rebuilds);
+  }
+
+  /// Restores checkpointed storage into this (empty) heap: per-shard rows
+  /// and live flags, the global slot directory, and the shard key. Rows
+  /// must already hold their final representation (dictionary-backed
+  /// strings canonicalized against the restored dictionary) — restore
+  /// does NOT re-route or re-intern, because placement is historical: a
+  /// row inserted before the shard key was declared lives where the
+  /// row-hash fallback put it, and re-deriving placement would tear the
+  /// directory's invariants. The shard count is taken from `shard_rows`
+  /// (the checkpoint records it; it may differ from the configured
+  /// count).
+  Status RestoreContent(
+      std::vector<std::vector<Row>> shard_rows,
+      std::vector<std::vector<uint8_t>> shard_live,
+      const std::vector<std::pair<uint32_t, uint32_t>>& directory,
+      int64_t shard_key_col);
+  /// @}
 
  private:
   /// Location of one slot: which shard, and where inside it.

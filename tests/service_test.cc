@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <future>
 #include <memory>
 #include <string>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "bounded/bounded_plan.h"
+#include "common/file_util.h"
 #include "common/hash.h"
 #include "common/shard_config.h"
 #include "common/string_util.h"
@@ -1062,6 +1064,83 @@ TEST_F(ServiceTest, BeasStatsTableExposesServingHealth) {
       "SELECT count(*) AS n FROM beas_stats WHERE value >= 0");
   ASSERT_EQ(count.result.rows.size(), 1u);
   EXPECT_GE(count.result.rows[0][0].AsInt64(), 10);
+}
+
+TEST(ServiceDurabilityStatsTest, DurabilityGaugesExposedThroughBeasStats) {
+  auto value_of = [](const ServiceResponse& resp,
+                     const std::string& metric) -> double {
+    for (const Row& row : resp.result.rows) {
+      if (row[0].AsString() == metric) return row[1].AsDouble();
+    }
+    ADD_FAILURE() << "metric '" << metric << "' missing";
+    return -1;
+  };
+  auto stats = [&](BeasService* svc) {
+    auto resp = svc->Execute(
+        "SELECT metric, value FROM beas_stats ORDER BY metric");
+    EXPECT_TRUE(resp.ok()) << resp.status().ToString();
+    return std::move(*resp);
+  };
+
+  // In-memory service: the gauges exist and read zero.
+  {
+    ServiceOptions options;
+    options.num_workers = 1;
+    BeasService svc(options);
+    ASSERT_TRUE(svc.CreateTable("kv", Schema({{"k", TypeId::kInt64},
+                                              {"v", TypeId::kString}}))
+                    .ok());
+    ASSERT_TRUE(svc.Insert("kv", {I(1), S("a")}).ok());
+    ServiceResponse resp = stats(&svc);
+    EXPECT_EQ(value_of(resp, "wal_bytes_total"), 0.0);
+    EXPECT_EQ(value_of(resp, "wal_group_commits_total"), 0.0);
+    EXPECT_EQ(value_of(resp, "wal_fsyncs_total"), 0.0);
+    EXPECT_EQ(value_of(resp, "checkpoints_total"), 0.0);
+    EXPECT_EQ(value_of(resp, "recovery_replayed_records"), 0.0);
+  }
+
+  // Durable service: writes move the WAL gauges, a checkpoint moves its
+  // counter, and a restart surfaces the replay count.
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = std::string(base != nullptr ? base : "/tmp") +
+                     "/beas_svc_stats_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  ASSERT_NE(mkdtemp(buf.data()), nullptr);
+  std::string dir = buf.data();
+  {
+    ServiceOptions options;
+    options.num_workers = 1;
+    options.durability.dir = dir;
+    BeasService svc(options);
+    ASSERT_TRUE(svc.durable()) << svc.durability_status().ToString();
+    ASSERT_TRUE(svc.CreateTable("kv", Schema({{"k", TypeId::kInt64},
+                                              {"v", TypeId::kString}}))
+                    .ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(svc.Insert("kv", {I(i), S("a")}).ok());
+    }
+    ASSERT_TRUE(svc.Checkpoint().ok());
+    ASSERT_TRUE(svc.Insert("kv", {I(99), S("tail")}).ok());
+    ServiceResponse resp = stats(&svc);
+    EXPECT_GT(value_of(resp, "wal_bytes_total"), 0.0);
+    EXPECT_GE(value_of(resp, "wal_group_commits_total"), 1.0);
+    EXPECT_GE(value_of(resp, "wal_fsyncs_total"),
+              value_of(resp, "wal_group_commits_total"));
+    EXPECT_EQ(value_of(resp, "checkpoints_total"), 1.0);
+    EXPECT_EQ(value_of(resp, "recovery_replayed_records"), 0.0);
+  }
+  {
+    ServiceOptions options;
+    options.num_workers = 1;
+    options.durability.dir = dir;
+    BeasService svc(options);
+    ASSERT_TRUE(svc.durable()) << svc.durability_status().ToString();
+    ServiceResponse resp = stats(&svc);
+    // The post-checkpoint insert replays from the WAL tail.
+    EXPECT_GE(value_of(resp, "recovery_replayed_records"), 1.0);
+  }
+  RemoveAll(dir);
 }
 
 TEST_F(ServiceTest, BeasStatsPollingDoesNotGrowStorageForever) {

@@ -288,6 +288,151 @@ TEST(TupleBatchTest, EncodedColumnsDedupFilterAndHashLikeGeneric) {
   EXPECT_EQ(generic.hashes(), encoded.hashes());
 }
 
+TEST(ExprProgramTest, CrossDictColumnEqualityTranslatesCodesNotBytes) {
+  // Post-join equality between string columns of two different
+  // dictionaries: the fast path resolves each distinct left code against
+  // the right dictionary once per batch, through the left dictionary's
+  // precomputed byte hash — zero byte hashing, zero ordering decodes.
+  ExprPtr a = Expression::Column(0, TypeId::kString, "a");
+  ExprPtr b = Expression::Column(1, TypeId::kString, "b");
+  std::vector<Row> rows = {
+      {S("x"), S("x")}, {S("y"), S("x")}, {S("x"), S("y")},
+      {N(), S("x")},    {S("y"), N()},    {S("left-only"), S("x")},
+      {S("x"), S("x")}, {S("y"), S("y")}, {N(), N()}};
+  for (CompareOp cmp : {CompareOp::kEq, CompareOp::kNe}) {
+    ExprPtr pred = Expression::Compare(cmp, a, b);
+    auto program = ExprProgram::Compile(*pred, IdentitySlots(2));
+    ASSERT_TRUE(program.has_value());
+    auto literals = program->BindLiterals(*pred);
+    ASSERT_TRUE(literals.ok());
+    TupleBatch batch =
+        MakeBatch(rows, std::vector<uint64_t>(rows.size(), 1));
+    StringDict left_dict;
+    StringDict right_dict;
+    // Skew the right dictionary's code space so equal strings get
+    // different codes in the two dictionaries.
+    right_dict.Intern("zzz");
+    EncodeColumn(&batch, 0, &left_dict);
+    EncodeColumn(&batch, 1, &right_dict);
+
+    std::vector<char> keep(rows.size(), 1);
+    uint64_t hashes_before = tls_hash_string_calls;
+    uint64_t decodes_before = tls_string_order_decodes;
+    uint64_t translates_before = tls_cross_dict_translates;
+    program->FilterBatch(batch.columns().data(), rows.size(), *literals,
+                         &keep);
+    EXPECT_EQ(tls_hash_string_calls, hashes_before)
+        << "translation must reuse the left dictionary's stored hashes";
+    EXPECT_EQ(tls_string_order_decodes, decodes_before);
+    // Three distinct non-NULL left codes reach translation: x, y,
+    // left-only — once each, regardless of how many rows repeat them.
+    EXPECT_EQ(tls_cross_dict_translates, translates_before + 3);
+
+    for (size_t r = 0; r < rows.size(); ++r) {
+      auto expected = EvalPredicate(*pred, rows[r]);
+      ASSERT_TRUE(expected.ok());
+      EXPECT_EQ(keep[r] != 0, *expected)
+          << "cmp=" << static_cast<int>(cmp) << " row "
+          << RowToString(rows[r]);
+    }
+  }
+}
+
+TEST(ExprProgramTest, SameDictColumnCompareUsesRawCodes) {
+  ExprPtr a = Expression::Column(0, TypeId::kString, "a");
+  ExprPtr b = Expression::Column(1, TypeId::kString, "b");
+  // Interned in ascending byte order, so the shared dictionary stays
+  // sorted and even ordering comparisons run on raw codes.
+  std::vector<Row> rows = {{S("aa"), S("aa")}, {S("aa"), S("bb")},
+                           {S("bb"), S("aa")}, {S("cc"), S("cc")},
+                           {N(), S("aa")},     {S("bb"), N()}};
+  for (CompareOp cmp : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                        CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    ExprPtr pred = Expression::Compare(cmp, a, b);
+    auto program = ExprProgram::Compile(*pred, IdentitySlots(2));
+    ASSERT_TRUE(program.has_value());
+    auto literals = program->BindLiterals(*pred);
+    ASSERT_TRUE(literals.ok());
+    TupleBatch batch =
+        MakeBatch(rows, std::vector<uint64_t>(rows.size(), 1));
+    StringDict dict;
+    EncodeColumn(&batch, 0, &dict);
+    EncodeColumn(&batch, 1, &dict);
+    ASSERT_TRUE(dict.is_sorted());
+
+    std::vector<char> keep(rows.size(), 1);
+    uint64_t hashes_before = tls_hash_string_calls;
+    uint64_t decodes_before = tls_string_order_decodes;
+    uint64_t translates_before = tls_cross_dict_translates;
+    program->FilterBatch(batch.columns().data(), rows.size(), *literals,
+                         &keep);
+    EXPECT_EQ(tls_hash_string_calls, hashes_before);
+    EXPECT_EQ(tls_string_order_decodes, decodes_before)
+        << "sorted same-dict ordering must compare codes, not bytes";
+    EXPECT_EQ(tls_cross_dict_translates, translates_before)
+        << "same dictionary needs no translation";
+
+    for (size_t r = 0; r < rows.size(); ++r) {
+      auto expected = EvalPredicate(*pred, rows[r]);
+      ASSERT_TRUE(expected.ok());
+      EXPECT_EQ(keep[r] != 0, *expected)
+          << "cmp=" << static_cast<int>(cmp) << " row "
+          << RowToString(rows[r]);
+    }
+  }
+}
+
+TEST(ExprProgramTest, ColCmpColFallsBackOnMixedAndOrderedShapes) {
+  ExprPtr a = Expression::Column(0, TypeId::kString, "a");
+  ExprPtr b = Expression::Column(1, TypeId::kString, "b");
+  std::vector<Row> rows = {{S("x"), S("y")}, {S("y"), S("x")},
+                           {S("x"), S("x")}, {N(), S("x")}};
+  for (CompareOp cmp : {CompareOp::kLt, CompareOp::kGe, CompareOp::kEq}) {
+    ExprPtr pred = Expression::Compare(cmp, a, b);
+    auto program = ExprProgram::Compile(*pred, IdentitySlots(2));
+    ASSERT_TRUE(program.has_value());
+    auto literals = program->BindLiterals(*pred);
+    ASSERT_TRUE(literals.ok());
+    // One column encoded, one generic: the row-loop fallback must still
+    // match the tree evaluator. Intern out of byte order so the ordering
+    // comparisons cannot ride the sorted-code path either.
+    TupleBatch batch =
+        MakeBatch(rows, std::vector<uint64_t>(rows.size(), 1));
+    StringDict dict;
+    dict.Intern("y");
+    dict.Intern("x");
+    EncodeColumn(&batch, 0, &dict);
+    std::vector<char> keep(rows.size(), 1);
+    program->FilterBatch(batch.columns().data(), rows.size(), *literals,
+                         &keep);
+    for (size_t r = 0; r < rows.size(); ++r) {
+      auto expected = EvalPredicate(*pred, rows[r]);
+      ASSERT_TRUE(expected.ok());
+      EXPECT_EQ(keep[r] != 0, *expected)
+          << "cmp=" << static_cast<int>(cmp) << " row "
+          << RowToString(rows[r]);
+    }
+  }
+
+  // Integer col = col also lands on the pattern; the generic loop carries
+  // it (covered by MatchesTreeEvaluatorOnPredicateShapes's kNe case, and
+  // pinned here for equality).
+  ExprPtr i0 = Expression::Column(0, TypeId::kInt64, "i0");
+  ExprPtr i1 = Expression::Column(1, TypeId::kInt64, "i1");
+  ExprPtr pred = Expression::Compare(CompareOp::kEq, i0, i1);
+  auto program = ExprProgram::Compile(*pred, IdentitySlots(2));
+  ASSERT_TRUE(program.has_value());
+  auto literals = program->BindLiterals(*pred);
+  ASSERT_TRUE(literals.ok());
+  std::vector<Row> int_rows = {{I(1), I(1)}, {I(1), I(2)}, {N(), I(1)}};
+  TupleBatch batch =
+      MakeBatch(int_rows, std::vector<uint64_t>(int_rows.size(), 1));
+  std::vector<char> keep(int_rows.size(), 1);
+  program->FilterBatch(batch.columns().data(), int_rows.size(), *literals,
+                       &keep);
+  EXPECT_EQ(keep, (std::vector<char>{1, 0, 0}));
+}
+
 TEST(ExprProgramTest, RefusesStaticallyTypeUnsoundComparisons) {
   ExprPtr int_col = Expression::Column(0, TypeId::kInt64, "i");
   ExprPtr str_col = Expression::Column(1, TypeId::kString, "s");

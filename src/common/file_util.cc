@@ -154,6 +154,14 @@ Status SyncDir(const std::string& path) {
   return s;
 }
 
+Status SyncParentDir(const std::string& path) {
+  size_t end = path.find_last_not_of('/');
+  if (end == std::string::npos) return SyncDir("/");
+  size_t slash = path.find_last_of('/', end);
+  if (slash == std::string::npos) return SyncDir(".");
+  return SyncDir(slash == 0 ? "/" : path.substr(0, slash));
+}
+
 Status WriteFileAtomic(const std::string& path, const std::string& data) {
   std::string tmp = path + ".tmp";
   {
@@ -166,8 +174,7 @@ Status WriteFileAtomic(const std::string& path, const std::string& data) {
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
     return Errno("rename", tmp);
   }
-  size_t slash = path.find_last_of('/');
-  return SyncDir(slash == std::string::npos ? "." : path.substr(0, slash));
+  return SyncParentDir(path);
 }
 
 void RemoveAll(const std::string& path) {

@@ -92,6 +92,11 @@ Result<std::vector<std::string>> ListDir(const std::string& path);
 /// fsync on a directory fd — makes renames/creates inside it durable.
 Status SyncDir(const std::string& path);
 
+/// SyncDir on the directory containing `path` (trailing slashes ignored;
+/// "." when `path` has no directory component) — makes `path`'s own
+/// directory entry durable after creating it.
+Status SyncParentDir(const std::string& path);
+
 /// Writes `data` to `path` atomically: write to `path`.tmp, fsync, rename
 /// over `path`, fsync the parent directory. Readers see either the old
 /// content or the new, never a torn mix — the commit-point primitive for

@@ -5,32 +5,49 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 namespace beas {
 namespace durability {
 
 namespace {
 
-struct CrashConfig {
-  std::string point;       ///< empty = disabled
-  unsigned long nth = 1;   ///< crash on the nth hit (1-based)
+struct ArmedPoint {
+  std::string point;
+  unsigned long nth = 1;  ///< fire on the nth hit (1-based)
   std::atomic<unsigned long> hits{0};
 };
 
+struct CrashConfig {
+  /// unique_ptr because the atomic hit counter is not movable.
+  std::vector<std::unique_ptr<ArmedPoint>> points;
+};
+
 void ParseSpec(CrashConfig* config, const char* spec) {
-  config->point.clear();
-  config->nth = 1;
-  config->hits.store(0);
+  config->points.clear();
   if (spec == nullptr || *spec == '\0') return;
   std::string s = spec;
-  size_t colon = s.find(':');
-  if (colon == std::string::npos) {
-    config->point = s;
-  } else {
-    config->point = s.substr(0, colon);
-    config->nth = std::strtoul(s.c_str() + colon + 1, nullptr, 10);
-    if (config->nth == 0) config->nth = 1;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    std::string entry = s.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!entry.empty()) {
+      auto armed = std::make_unique<ArmedPoint>();
+      size_t colon = entry.find(':');
+      if (colon == std::string::npos) {
+        armed->point = entry;
+      } else {
+        armed->point = entry.substr(0, colon);
+        armed->nth = std::strtoul(entry.c_str() + colon + 1, nullptr, 10);
+        if (armed->nth == 0) armed->nth = 1;
+      }
+      config->points.push_back(std::move(armed));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
   }
 }
 
@@ -47,17 +64,24 @@ CrashConfig& Config() {
   return config;
 }
 
+/// True iff `point` is armed and this call is its nth hit.
+bool Hit(const char* point) {
+  for (auto& armed : Config().points) {
+    if (armed->point != point) continue;
+    if (armed->hits.fetch_add(1) + 1 == armed->nth) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 void SetCrashPointForTesting(const char* spec) { ParseSpec(&Config(), spec); }
 
 void MaybeCrash(const char* point) {
-  CrashConfig& config = Config();
-  if (config.point.empty() || config.point != point) return;
-  if (config.hits.fetch_add(1) + 1 == config.nth) {
-    _exit(kCrashExitCode);
-  }
+  if (Hit(point)) _exit(kCrashExitCode);
 }
+
+bool MaybeFail(const char* point) { return Hit(point); }
 
 }  // namespace durability
 }  // namespace beas

@@ -9,10 +9,11 @@ namespace durability {
 /// The durability layer calls MaybeCrash("<point>") at every crash-window
 /// boundary of interest. Normally a no-op; when the environment variable
 /// `BEAS_CRASH_POINT` is set to `<point>` (or `<point>:N` for the N-th
-/// hit, 1-based), the process dies with `_exit(kCrashExitCode)` at that
-/// site — no destructors, no stream flushes, exactly like a kill — so the
-/// fault-injection tests can fork a child, let it die mid-protocol, and
-/// assert that recovery restores the committed prefix bit-identically.
+/// hit, 1-based; several points comma-separated), the process dies with
+/// `_exit(kCrashExitCode)` at that site — no destructors, no stream
+/// flushes, exactly like a kill — so the fault-injection tests can fork a
+/// child, let it die mid-protocol, and assert that recovery restores the
+/// committed prefix bit-identically.
 ///
 /// Named points (in protocol order):
 ///   wal_append          after a group's bytes are appended, before fsync
@@ -23,6 +24,19 @@ namespace durability {
 ///   ckpt_post_truncate  after the WALs are truncated, before old-segment
 ///                       garbage collection
 void MaybeCrash(const char* point);
+
+/// Non-fatal variant for IO fault injection: true exactly at the armed
+/// hit of `point` (same `BEAS_CRASH_POINT` syntax), false otherwise. The
+/// caller turns a true into a synthetic IO error, so tests can exercise
+/// the error-handling paths a real disk fault would take.
+///
+/// Named points:
+///   wal_group_io     fails a group commit after its bytes were appended
+///                    (CRC-valid but never fsynced — the nacked-group
+///                    shape a failed fsync leaves behind)
+///   wal_repair_fail  fails the truncate-repair of a failed group,
+///                    latching that shard's WAL
+bool MaybeFail(const char* point);
 
 /// Exit code used by injected crashes, distinguishable from aborts and
 /// clean exits in the parent's waitpid status.

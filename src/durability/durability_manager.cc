@@ -21,6 +21,12 @@ Status MetaLogFailedError() {
       "state is ahead of the WAL, refusing further durable writes");
 }
 
+Status WalLatchedError() {
+  return Status::IoError(
+      "durability: shard WAL latched after an unrepairable group-commit "
+      "failure; refusing further durable writes on this shard");
+}
+
 bool IsTransientTable(const DurabilityOptions& options,
                       const std::string& table) {
   for (const std::string& t : options.transient_tables) {
@@ -116,6 +122,13 @@ std::future<Status> DurabilityManager::Enqueue(size_t wal_shard,
   p->record.type = type;
   p->record.payload = std::move(payload);
   std::future<Status> ack = p->ack.get_future();
+  // A latched shard fast-fails here; a racing latch is caught by the
+  // drainer, which nacks everything it pops from a latched shard.
+  if (wal.io_failed.load(std::memory_order_acquire)) {
+    p->ack.set_value(WalLatchedError());
+    delete p;
+    return ack;
+  }
   wal.enqueued.fetch_add(1, std::memory_order_relaxed);
   Pending* head = wal.head.load(std::memory_order_relaxed);
   do {
@@ -221,12 +234,17 @@ void DurabilityManager::Barrier() {
   // the exclusive lock is ours the queues are normally already drained;
   // the wait below is the formal guarantee, not the common path.
   for (auto& wal : shard_wals_) {
-    while (wal->applied.load(std::memory_order_acquire) <
-           wal->enqueued.load(std::memory_order_acquire)) {
-      { std::lock_guard<std::mutex> lk(wal->wake_mutex); }
-      wal->wake.notify_one();
-      std::this_thread::yield();
-    }
+    auto drained = [&] {
+      return wal->applied.load(std::memory_order_acquire) >=
+             wal->enqueued.load(std::memory_order_acquire);
+    };
+    if (drained()) continue;
+    // The drainer bumps applied before taking wake_mutex to notify, so a
+    // bump concurrent with this locked predicate check either is seen
+    // here or its notify lands after the wait begins — never lost.
+    std::unique_lock<std::mutex> lk(wal->wake_mutex);
+    wal->wake.notify_one();
+    wal->applied_cv.wait(lk, drained);
   }
 }
 
@@ -258,36 +276,66 @@ void DurabilityManager::DrainerLoop(size_t wal_shard) {
       fifo = batch;
       batch = next;
     }
-    // Stamp LSNs at pop time: per-queue apply order equals LSN order by
-    // construction, and an op enqueued after another op's ack is stamped
-    // strictly later even across queues.
+    // A latched shard nacks everything it pops: its file may end in bytes
+    // the accounting cannot vouch for, and appending past them would let
+    // recovery (which stops at the first invalid record) silently drop
+    // the new records despite their acks.
+    Status io = wal.io_failed.load(std::memory_order_acquire)
+                    ? WalLatchedError()
+                    : Status::OK();
     ByteSink group;
-    uint64_t count = 0;
-    for (Pending* p = fifo; p != nullptr; p = p->next) {
-      p->record.lsn = next_lsn_.fetch_add(1, std::memory_order_relaxed);
-      EncodeWalRecord(&group, p->record);
-      ++count;
-    }
-    Status io = wal.file.Append(group.str().data(), group.size());
-    MaybeCrash("wal_append");
+    const uint64_t good_offset = wal.file.size();
     if (io.ok()) {
-      MaybeCrash("wal_pre_fsync");
-      if (options_.fsync) {
-        io = wal.file.Sync();
-        wal_fsyncs_total_.fetch_add(1, std::memory_order_relaxed);
+      // Stamp LSNs at pop time: per-queue apply order equals LSN order by
+      // construction, and an op enqueued after another op's ack is
+      // stamped strictly later even across queues.
+      uint64_t count = 0;
+      for (Pending* p = fifo; p != nullptr; p = p->next) {
+        p->record.lsn = next_lsn_.fetch_add(1, std::memory_order_relaxed);
+        EncodeWalRecord(&group, p->record);
+        ++count;
       }
-      MaybeCrash("wal_post_fsync");
-    }
-    if (io.ok()) {
-      wal_bytes_total_.fetch_add(group.size(), std::memory_order_relaxed);
-      wal_records_total_.fetch_add(count, std::memory_order_relaxed);
-      wal_group_commits_total_.fetch_add(1, std::memory_order_relaxed);
-      wal_bytes_since_checkpoint_.fetch_add(group.size(),
-                                            std::memory_order_relaxed);
+      io = wal.file.Append(group.str().data(), group.size());
+      MaybeCrash("wal_append");
+      if (io.ok() && MaybeFail("wal_group_io")) {
+        io = Status::IoError("injected WAL group-commit failure");
+      }
+      if (io.ok()) {
+        MaybeCrash("wal_pre_fsync");
+        if (options_.fsync) {
+          io = wal.file.Sync();
+          wal_fsyncs_total_.fetch_add(1, std::memory_order_relaxed);
+        }
+        MaybeCrash("wal_post_fsync");
+      }
+      if (io.ok()) {
+        wal_bytes_total_.fetch_add(group.size(), std::memory_order_relaxed);
+        wal_records_total_.fetch_add(count, std::memory_order_relaxed);
+        wal_group_commits_total_.fetch_add(1, std::memory_order_relaxed);
+        wal_bytes_since_checkpoint_.fetch_add(group.size(),
+                                              std::memory_order_relaxed);
+      } else {
+        // Repair before accepting more work. A partial append leaves a
+        // torn record (possibly preceded by whole CRC-valid records of
+        // this nacked group) past the acked prefix; a failed fsync
+        // leaves the whole nacked group CRC-valid in the page cache.
+        // Either way the file must end at the last acked byte: cut it
+        // back and persist the cut, so the nacked bytes can neither
+        // shadow later acked groups at recovery nor be replayed
+        // themselves. If the repair fails, latch the shard.
+        Status repair = wal.file.Truncate(good_offset);
+        if (repair.ok() && options_.fsync) repair = wal.file.Sync();
+        if (repair.ok() && MaybeFail("wal_repair_fail")) {
+          repair = Status::IoError("injected WAL repair failure");
+        }
+        if (!repair.ok()) {
+          wal.io_failed.store(true, std::memory_order_release);
+        }
+      }
     }
     // Apply in FIFO order, then ack. On an IO failure nothing applies:
-    // the group's tail may be torn on disk, and recovery will truncate it
-    // — acking (or applying) would promise more than the log holds.
+    // the group was cut back out of the log (or the shard latched) —
+    // acking (or applying) would promise more than the log holds.
     for (Pending* p = fifo; p != nullptr;) {
       Pending* next = p->next;
       Status st = io.ok() ? ApplyRecord(p->record) : io;
@@ -296,6 +344,10 @@ void DurabilityManager::DrainerLoop(size_t wal_shard) {
       delete p;
       p = next;
     }
+    // Pairs with Barrier(): applied is published above, the empty
+    // critical section orders this notify after its locked check.
+    { std::lock_guard<std::mutex> lk(wal.wake_mutex); }
+    wal.applied_cv.notify_all();
   }
 }
 
@@ -516,6 +568,10 @@ Status DurabilityManager::CheckpointLocked() {
                                         BuildIndexPayload(*index)));
   }
   BEAS_RETURN_NOT_OK(SyncDir(seg_dir));
+  // ck<N>'s own entry in seg/ must be durable before the manifest can
+  // point at it, or a crash leaves a manifest referencing a directory
+  // that no longer exists.
+  BEAS_RETURN_NOT_OK(SyncDir(options_.dir + "/seg"));
   MaybeCrash("ckpt_mid");
 
   // Commit point: the manifest (segment-framed, atomically renamed in)
@@ -644,6 +700,12 @@ Status DurabilityManager::Recover() {
   BEAS_RETURN_NOT_OK(EnsureDir(options_.dir));
   BEAS_RETURN_NOT_OK(EnsureDir(options_.dir + "/wal"));
   BEAS_RETURN_NOT_OK(EnsureDir(options_.dir + "/seg"));
+  // Persist the directory entries themselves: the manifest rename fsyncs
+  // options_.dir later, but nothing else would cover the creation of the
+  // data dir or of wal/ and seg/ inside it — a machine crash could
+  // otherwise forget whole directories of acked state.
+  BEAS_RETURN_NOT_OK(SyncParentDir(options_.dir));
+  BEAS_RETURN_NOT_OK(SyncDir(options_.dir));
   replaying_ = true;
 
   uint64_t replay_from = 0;  // first LSN not captured by the checkpoint

@@ -71,6 +71,15 @@ struct DurabilityCounters {
 /// previous group was fsyncing rides the next group, so the fsync cost is
 /// amortized across concurrent writers.
 ///
+/// A failed group commit nacks every record in the group and truncates
+/// the WAL back to the pre-group offset (fsyncing the cut), so the file
+/// always ends at the last acked byte — a torn append can never sit
+/// mid-file ahead of later acked groups, and a nacked group's CRC-valid
+/// bytes can never be replayed. If the repair itself fails, the shard
+/// latches (io_failed) and nacks everything from then on: the outcomes
+/// of a bad write are "never happened" or "shard refuses writes", never
+/// "acked but silently unrecoverable".
+///
 /// ## Structural operations (meta records)
 ///
 /// DDL, constraint registration/unregistration, bound adjustments and
@@ -186,15 +195,24 @@ class DurabilityManager {
     /// StructuralGate barrier's condition.
     std::atomic<uint64_t> enqueued{0};
     std::atomic<uint64_t> applied{0};
+    /// Latched when a failed group commit could not be repaired (the
+    /// truncate back to the pre-group offset failed): the file may hold
+    /// bytes the accounting cannot vouch for, so the shard refuses all
+    /// further durable writes — acking past a torn record would let
+    /// recovery silently drop the acked tail.
+    std::atomic<bool> io_failed{false};
     AppendFile file;
     std::thread drainer;
     std::mutex wake_mutex;
+    /// Producers / Barrier() -> drainer: work queued (or stop).
     std::condition_variable wake;
+    /// Drainer -> Barrier(): applied advanced past another group.
+    std::condition_variable applied_cv;
   };
 
   void EnterStructural();
   void LeaveStructural();
-  /// Spin-waits (with drainer wakeups) until every shard queue has fully
+  /// Blocks on each shard's applied_cv until every shard queue has fully
   /// applied. Caller holds the commit gate exclusively, so no new record
   /// can be enqueued while waiting.
   void Barrier();

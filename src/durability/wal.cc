@@ -72,7 +72,10 @@ Status InitWalFile(const std::string& path) {
   header.PutU32(kWalMagic);
   header.PutU32(kWalVersion);
   BEAS_RETURN_NOT_OK(f.Append(header.str().data(), header.str().size()));
-  return f.Sync();
+  BEAS_RETURN_NOT_OK(f.Sync());
+  // A fresh file's directory entry must be durable too, or a machine
+  // crash can forget the file along with every record later acked into it.
+  return SyncParentDir(path);
 }
 
 }  // namespace durability

@@ -1,6 +1,7 @@
 #include "expr/expr_program.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "expr/value_kernels.h"
 
@@ -362,11 +363,30 @@ bool FilterEncodedColCmpCol(const BatchColumn& lhs, const BatchColumn& rhs,
   }
   if (!equality) return false;
   // Lazily-filled translation table: left code -> right code, or -1 when
-  // the left string was never interned on the right. Sized by the left
-  // dictionary so repeated codes — the reason the column was
-  // dictionary-encoded — translate exactly once per batch.
+  // the left string was never interned on the right. Repeated codes — the
+  // reason the column was dictionary-encoded — translate exactly once per
+  // batch. A dense vector sized by the left dictionary is fastest when
+  // the batch can plausibly touch most of it; when the dictionary dwarfs
+  // the batch, its O(dict) zero-fill would dominate the rows actually
+  // scanned, so a hash map bounded by distinct codes seen takes over.
   constexpr int64_t kUntranslated = -2;
-  std::vector<int64_t> translated(left_dict->size(), kUntranslated);
+  const bool dense = left_dict->size() <= 2 * num_rows + 64;
+  std::vector<int64_t> dense_table;
+  if (dense) dense_table.assign(left_dict->size(), kUntranslated);
+  std::unordered_map<uint32_t, int64_t> sparse_table;
+  auto translate = [&](uint32_t a) -> int64_t {
+    int64_t* slot;
+    if (dense) {
+      slot = &dense_table[a];
+    } else {
+      slot = &sparse_table.emplace(a, kUntranslated).first->second;
+    }
+    if (*slot == kUntranslated) {
+      ++tls_cross_dict_translates;
+      *slot = right_dict->FindWithHash(left_dict->str(a), left_dict->hash(a));
+    }
+    return *slot;
+  };
   for (size_t r = 0; r < num_rows; ++r) {
     if (!(*keep)[r]) continue;
     uint32_t a = lhs.codes[r];
@@ -375,12 +395,7 @@ bool FilterEncodedColCmpCol(const BatchColumn& lhs, const BatchColumn& rhs,
       (*keep)[r] = 0;
       continue;
     }
-    int64_t t = translated[a];
-    if (t == kUntranslated) {
-      ++tls_cross_dict_translates;
-      t = translated[a] =
-          right_dict->FindWithHash(left_dict->str(a), left_dict->hash(a));
-    }
+    int64_t t = translate(a);
     bool eq = t >= 0 && static_cast<uint32_t>(t) == b;
     if ((cmp == CompareOp::kEq ? eq : !eq) == false) (*keep)[r] = 0;
   }

@@ -597,6 +597,98 @@ TEST(DurabilityKillPointTest, RecoversCommittedPrefixAtEveryCrashSite) {
 }
 
 // ---------------------------------------------------------------------------
+// Group-commit IO failure: truncate-repair and shard latching.
+// ---------------------------------------------------------------------------
+
+/// Arms an in-process fault spec and guarantees disarming, so a failing
+/// assertion cannot leak an armed point into later tests.
+struct CrashSpecGuard {
+  explicit CrashSpecGuard(const char* spec) {
+    durability::SetCrashPointForTesting(spec);
+  }
+  ~CrashSpecGuard() { durability::SetCrashPointForTesting(nullptr); }
+};
+
+std::vector<int64_t> LivePnums(BeasService* svc) {
+  auto info = svc->db()->catalog()->GetTable("call");
+  EXPECT_TRUE(info.ok());
+  std::vector<int64_t> pnums;
+  if (!info.ok()) return pnums;
+  const TableHeap& heap = *info.ValueOrDie()->heap();
+  for (size_t slot = 0; slot < heap.NumSlots(); ++slot) {
+    auto [shard, local] = heap.DirectorySlot(slot);
+    if (!heap.ShardRowLive(shard, local)) continue;
+    pnums.push_back(heap.ShardRowAt(shard, local)[0].AsInt64());
+  }
+  std::sort(pnums.begin(), pnums.end());
+  return pnums;
+}
+
+TEST(DurabilityFailureRepairTest, FailedGroupIsCutBackAndNeverReplayed) {
+  ShardOverrideGuard guard(1);  // one WAL shard: routing is deterministic
+  TempDir tmp;
+  std::string data_dir = tmp.path + "/data";
+  {
+    std::unique_ptr<BeasService> svc = MakeService(data_dir);
+    ASSERT_TRUE(svc->durable());
+    ASSERT_TRUE(svc->CreateTable("call", CallSchema()).ok());
+    ASSERT_TRUE(
+        svc->Insert("call", {I(1), I(1), Dt("2016-01-01"), S("r")}).ok());
+
+    // The next group commit fails after its CRC-valid bytes are in the
+    // file — the shape a failed fsync leaves. The writer must be nacked.
+    {
+      CrashSpecGuard fail("wal_group_io");
+      Status st = svc->Insert("call", {I(2), I(2), Dt("2016-01-01"), S("r")});
+      EXPECT_FALSE(st.ok());
+    }
+    // The repair truncated the nacked group away; the shard keeps
+    // accepting work and later acked groups extend a clean prefix.
+    ASSERT_TRUE(
+        svc->Insert("call", {I(3), I(3), Dt("2016-01-01"), S("r")}).ok());
+    EXPECT_EQ(LivePnums(svc.get()), (std::vector<int64_t>{1, 3}));
+  }
+  // Recovery sees every acked record and not the nacked one: neither is
+  // row 2 replayed (its bytes were cut), nor is row 3 shadowed by a torn
+  // record ahead of it in the file.
+  std::unique_ptr<BeasService> recovered = MakeService(data_dir);
+  ASSERT_TRUE(recovered->durable())
+      << recovered->durability_status().ToString();
+  EXPECT_EQ(LivePnums(recovered.get()), (std::vector<int64_t>{1, 3}));
+}
+
+TEST(DurabilityFailureRepairTest, UnrepairableFailureLatchesTheShard) {
+  ShardOverrideGuard guard(1);
+  TempDir tmp;
+  std::string data_dir = tmp.path + "/data";
+  {
+    std::unique_ptr<BeasService> svc = MakeService(data_dir);
+    ASSERT_TRUE(svc->durable());
+    ASSERT_TRUE(svc->CreateTable("call", CallSchema()).ok());
+    ASSERT_TRUE(
+        svc->Insert("call", {I(1), I(1), Dt("2016-01-01"), S("r")}).ok());
+
+    // Group commit fails AND the truncate-repair fails: the shard must
+    // latch and refuse everything after, because its file may now end in
+    // bytes the accounting cannot vouch for.
+    {
+      CrashSpecGuard fail("wal_group_io,wal_repair_fail");
+      EXPECT_FALSE(
+          svc->Insert("call", {I(2), I(2), Dt("2016-01-01"), S("r")}).ok());
+    }
+    Status st = svc->Insert("call", {I(3), I(3), Dt("2016-01-01"), S("r")});
+    EXPECT_FALSE(st.ok());
+    EXPECT_NE(st.ToString().find("latched"), std::string::npos)
+        << st.ToString();
+  }
+  // Everything acked before the latch recovers; nothing after it exists.
+  std::unique_ptr<BeasService> recovered = MakeService(data_dir);
+  ASSERT_TRUE(recovered->durable())
+      << recovered->durability_status().ToString();
+  EXPECT_EQ(LivePnums(recovered.get()), (std::vector<int64_t>{1}));
+}
+
+// ---------------------------------------------------------------------------
 // Durability counters.
 // ---------------------------------------------------------------------------
 

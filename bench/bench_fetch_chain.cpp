@@ -46,10 +46,25 @@
 // lands on tmpfs (/dev/shm) when available so CI measures the protocol,
 // not the disk.
 //
+// A sixth section measures *overload behavior* (the admission-control
+// tentpole): a closed-loop submit storm from OVERLOAD_CLIENTS threads
+// drives covered bounded queries through a service deliberately
+// provisioned too small (tiny max_inflight_cost, a submit queue shorter
+// than the client count). The service must degrade before it rejects and
+// reject before it collapses: the section records how many requests were
+// answered exactly, answered degraded (admission capped the fetch budget,
+// honest η < 1), and refused outright, plus the mean η of what was served
+// and the submit-to-resolve ack p50/p99. These land in the JSON for
+// trend-watching (recorded only — counts are timing-dependent, so the
+// regression gate does not bar them); the section fails the bench only
+// if a request errors with something other than the typed
+// kResourceExhausted rejection, or nothing is accepted at all.
+//
 // Knobs: TLC_SF (default 32) data scale; FETCH_REPS (default 15) timing
 // reps; BEAS_SHARDS (default 4) sharded-run shard count; WRITE_ROWS
 // (default 512*sf) / WRITE_WRITERS (default 4) write-path storm shape;
-// BENCH_JSON_PATH (default BENCH_fetch_chain.json).
+// OVERLOAD_CLIENTS (default 8) / OVERLOAD_REQS (default 64 per client)
+// overload storm shape; BENCH_JSON_PATH (default BENCH_fetch_chain.json).
 
 #include <unistd.h>
 
@@ -542,6 +557,137 @@ WritePathResult RunWritePathSection(double sf) {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Overload: closed-loop submit storm against an underprovisioned service.
+// ---------------------------------------------------------------------------
+
+struct OverloadResult {
+  size_t requests = 0;
+  size_t clients = 0;
+  uint64_t accepted = 0;     ///< answered (exact or degraded)
+  uint64_t degraded = 0;     ///< answered under an admission-capped budget
+  uint64_t rejected = 0;     ///< typed kResourceExhausted (queue/admission)
+  double mean_eta = 0;       ///< mean coverage η over accepted answers
+  double ack_p50_ms = 0;     ///< submit-to-resolve latency, accepted or not
+  double ack_p99_ms = 0;
+  bool ok = false;
+};
+
+/// Drives `clients` closed-loop threads (submit, wait, repeat) of covered
+/// IN-probe queries — each with a deduced access bound of 8 keys x 64
+/// rows = 512 cost units — through a service whose admission pool holds
+/// less than two such queries and whose submit queue is shorter than the
+/// client count. Every request must resolve as an answer (possibly
+/// degraded with honest η) or a typed kResourceExhausted rejection;
+/// anything else fails the section.
+OverloadResult RunOverloadSection() {
+  OverloadResult r;
+  r.clients = std::max<size_t>(
+      2, static_cast<size_t>(EnvDouble("OVERLOAD_CLIENTS", 8)));
+  size_t per_client =
+      std::max<size_t>(1, static_cast<size_t>(EnvDouble("OVERLOAD_REQS", 64)));
+  r.requests = r.clients * per_client;
+  r.ok = true;
+
+  constexpr int kKeys = 64;
+  constexpr int kFanout = 64;
+  constexpr int kProbeKeys = 8;
+
+  ServiceOptions opts;
+  opts.num_workers = 2;
+  // The storm must be able to overfill the queue (closed-loop clients
+  // hold at most `clients` submissions in flight) and the admission pool
+  // (each query asks for kProbeKeys * kFanout = 512 cost units).
+  opts.max_queue_depth = r.clients - 1;
+  opts.max_inflight_cost = kProbeKeys * kFanout + kFanout;
+  BeasService svc(opts);
+
+  Schema schema({{"k", TypeId::kString}, {"v", TypeId::kInt64}});
+  if (!svc.CreateTable("ov", schema).ok()) r.ok = false;
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(kKeys) * kFanout);
+  char key[32];
+  for (int k = 0; k < kKeys; ++k) {
+    std::snprintf(key, sizeof(key), "ovkey_%04d", k);
+    for (int f = 0; f < kFanout; ++f) {
+      rows.push_back({Value::String(key),
+                      Value::Int64(static_cast<int64_t>(k) * kFanout + f)});
+    }
+  }
+  if (!svc.InsertBatch("ov", std::move(rows)).ok()) r.ok = false;
+  if (!svc.RegisterConstraint({"ov_acc", "ov", {"k"}, {"v"}, kFanout}).ok()) {
+    r.ok = false;
+  }
+  if (!r.ok) return r;
+
+  // 8-key IN probe starting at a per-request offset: covered, single
+  // step, bound 512 — big enough that two can't be admitted side by side.
+  auto storm_query = [&](size_t request) {
+    std::string sql = "SELECT v FROM ov WHERE k IN (";
+    for (int j = 0; j < kProbeKeys; ++j) {
+      char k[32];
+      std::snprintf(k, sizeof(k), "ovkey_%04zu",
+                    (request * 7 + static_cast<size_t>(j) * 5) % kKeys);
+      sql += (j > 0 ? ", '" : "'");
+      sql += k;
+      sql += "'";
+    }
+    sql += ")";
+    return sql;
+  };
+
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> degraded{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<bool> all_ok{true};
+  std::vector<std::vector<double>> lat(r.clients);
+  std::vector<std::vector<double>> etas(r.clients);
+  for (size_t c = 0; c < r.clients; ++c) {
+    threads.emplace_back([&, c] {
+      lat[c].reserve(per_client);
+      for (size_t i = 0; i < per_client; ++i) {
+        std::string sql = storm_query(c * per_client + i);
+        auto op0 = std::chrono::steady_clock::now();
+        auto res = svc.Submit(sql).get();
+        lat[c].push_back(MillisSince(op0));
+        if (res.ok()) {
+          accepted.fetch_add(1);
+          if (res->degraded) degraded.fetch_add(1);
+          etas[c].push_back(res->eta);
+        } else if (res.status().code() == StatusCode::kResourceExhausted) {
+          rejected.fetch_add(1);  // queue full, admission, or min_eta
+        } else {
+          all_ok.store(false);  // overload must never surface as an
+                                // untyped error
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  r.accepted = accepted.load();
+  r.degraded = degraded.load();
+  r.rejected = rejected.load();
+  if (!all_ok.load() || r.accepted == 0) r.ok = false;
+  double eta_sum = 0;
+  size_t eta_n = 0;
+  std::vector<double> ack_ms;
+  ack_ms.reserve(r.requests);
+  for (size_t c = 0; c < r.clients; ++c) {
+    for (double e : etas[c]) eta_sum += e;
+    eta_n += etas[c].size();
+    ack_ms.insert(ack_ms.end(), lat[c].begin(), lat[c].end());
+  }
+  r.mean_eta = eta_n == 0 ? 0 : eta_sum / static_cast<double>(eta_n);
+  std::sort(ack_ms.begin(), ack_ms.end());
+  if (!ack_ms.empty()) {
+    r.ack_p50_ms = ack_ms[ack_ms.size() / 2];
+    r.ack_p99_ms = ack_ms[std::min(ack_ms.size() - 1, ack_ms.size() * 99 / 100)];
+  }
+  return r;
+}
+
 }  // namespace
 
 int main() {
@@ -834,6 +980,22 @@ int main() {
   // divergence does.
   all_identical &= wp.ok;
 
+  // --- Overload: closed-loop submit storm vs admission control. ---
+  OverloadResult ov = RunOverloadSection();
+  std::printf(
+      "\noverload storm (%zu requests, %zu clients, queue %zu, admission "
+      "pool %d): accepted %llu (%llu degraded), rejected %llu; mean eta "
+      "%.3f over served answers; ack p50 %.3f ms / p99 %.3f ms (%s)\n",
+      ov.requests, ov.clients, ov.clients - 1, 8 * 64 + 64,
+      static_cast<unsigned long long>(ov.accepted),
+      static_cast<unsigned long long>(ov.degraded),
+      static_cast<unsigned long long>(ov.rejected), ov.mean_eta,
+      ov.ack_p50_ms, ov.ack_p99_ms, ov.ok ? "ok" : "FAILED");
+  // Counts are timing-dependent and recorded-only, but an overloaded
+  // service answering with anything other than a (possibly degraded)
+  // result or a typed rejection fails the bench.
+  all_identical &= ov.ok;
+
   FILE* json = std::fopen(json_path, "w");
   if (json != nullptr) {
     std::fprintf(json, "{\n  \"bench\": \"fetch_chain\",\n");
@@ -880,6 +1042,16 @@ int main() {
                  static_cast<unsigned long long>(wp.group_commits),
                  static_cast<unsigned long long>(wp.fsyncs),
                  wp.rows_per_group, wp.ok ? "true" : "false");
+    std::fprintf(json,
+                 "  \"overload\": {\"requests\": %zu, \"clients\": %zu, "
+                 "\"accepted\": %llu, \"degraded\": %llu, "
+                 "\"rejected\": %llu, \"mean_eta\": %.4f, "
+                 "\"ack_p50_ms\": %.4f, \"ack_p99_ms\": %.4f, \"ok\": %s},\n",
+                 ov.requests, ov.clients,
+                 static_cast<unsigned long long>(ov.accepted),
+                 static_cast<unsigned long long>(ov.degraded),
+                 static_cast<unsigned long long>(ov.rejected), ov.mean_eta,
+                 ov.ack_p50_ms, ov.ack_p99_ms, ov.ok ? "true" : "false");
     std::fprintf(json, "  \"shards\": %zu,\n", shard_count);
     std::fprintf(json, "  \"hardware_concurrency\": %u,\n", hw);
     std::fprintf(json, "  \"fig4_shard_speedup\": %.4f,\n",

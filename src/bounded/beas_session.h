@@ -82,11 +82,14 @@ class BeasSession {
                               const EngineProfile& fallback_profile =
                                   EngineProfile::PostgresLike()) const;
 
-  /// Bounded execution of a covered query with a known plan.
+  /// Bounded execution of a covered query with a known plan. `stats_out`
+  /// (optional) surfaces the chain's η / timed_out telemetry to callers
+  /// that need it even on the stats-skipping fast path.
   Result<QueryResult> ExecuteCovered(
       const BoundQuery& query, const BoundedPlan& plan,
-      const BoundedExecOptions& options = {}) const {
-    return executor_.Execute(query, plan, options);
+      const BoundedExecOptions& options = {},
+      BoundedExecStats* stats_out = nullptr) const {
+    return executor_.Execute(query, plan, options, stats_out);
   }
 
   /// Partial-plan search half (cacheable per template).

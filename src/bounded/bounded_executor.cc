@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "bounded/columnar_tail.h"
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "common/task_pool.h"
 #include "exec/grouping.h"
@@ -124,7 +125,15 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentScalar(
   std::unordered_map<size_t, size_t> layout_pos;
   size_t t_width = 0;
 
+  // Expiry is latched: once the control is observed expired every later
+  // step serves zero non-null keys, exactly like an exhausted budget.
+  const ExecControl& control = options.control;
+  bool expired = false;
+
   for (const FetchStep& step : plan.steps) {
+    // Test hook: a sleep(MS) action here makes a deadline pass mid-chain
+    // at a deterministic step boundary. No-op when nothing is armed.
+    (void)fail::Point("exec_step");
     auto step_start = std::chrono::steady_clock::now();
     OperatorStats step_stats;
     if (options.collect_stats) {
@@ -190,7 +199,16 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentScalar(
         fetched;
     uint64_t fetched_this_step = 0;
     size_t served = 0;
+    size_t key_index = 0;
     for (const ValueVec& key : ordered_keys) {
+      // Deterministic expiry poll: index 0 (the step boundary) and every
+      // kExpiryCheckInterval-th key — the same schedule the vectorized
+      // path runs, so both observe expiry at the same key.
+      if (control.active() && !expired &&
+          key_index % ExecControl::kExpiryCheckInterval == 0) {
+        expired = control.Expired();
+      }
+      ++key_index;
       // NULL key components never match (SQL equality).
       bool has_null = false;
       for (const Value& v : key) has_null |= v.is_null();
@@ -198,6 +216,9 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentScalar(
         fetched.emplace(key, AcIndex::BucketView{});
         ++served;
         continue;
+      }
+      if (expired) {
+        continue;  // unserved, like an exhausted budget: eta shrinks
       }
       if (budget.capped && fetched_this_step >= budget.cap) {
         continue;  // unserved: rows keyed by it are dropped, eta shrinks
@@ -299,6 +320,7 @@ Result<BoundedExecutor::Fragment> BoundedExecutor::ExecuteFragmentScalar(
 
   fragment.rows = std::move(t_rows);
   fragment.weights = std::move(t_weights);
+  fragment.stats.timed_out = expired;
   for (const auto& child : fragment.stats.root.children) {
     fragment.stats.root.total_millis += child.total_millis;
   }
@@ -358,9 +380,16 @@ BoundedExecutor::ExecuteFragmentVectorized(
   t.weights().assign(1, 1);
   t.mutable_hashes().assign(1, TupleBatch::kHashSeed);
 
+  // Expiry latch, mirroring the scalar path: polled at the same key
+  // indices, and once observed every later step serves zero non-null keys.
+  const ExecControl& control = options.control;
+  bool expired = false;
+
   for (size_t si = 0; si < plan.steps.size(); ++si) {
     const FetchStep& step = plan.steps[si];
     const StepProgram& prog = compiled.steps[si];
+    // Same deterministic step-boundary test hook as the scalar path.
+    (void)fail::Point("exec_step");
     auto step_start = std::chrono::steady_clock::now();
     OperatorStats step_stats;
     if (options.collect_stats) {
@@ -591,7 +620,7 @@ BoundedExecutor::ExecuteFragmentVectorized(
     size_t served_count = 0;
     const AcIndex* index = prog.index;
 
-    if (!budget.capped) {
+    if (!budget.capped && !control.active()) {
       // Exact evaluation: every key is served; probe the whole batch.
       // With a sharded index (BEAS_SHARDS > 1) the batch is partitioned
       // by sub-index and the shard groups execute on the pool — each
@@ -630,15 +659,24 @@ BoundedExecutor::ExecuteFragmentVectorized(
         fragment.stats.tuples_fetched += buckets[i].size();
       }
     } else {
-      // Budgeted: serve keys in order until the cap is hit (an exhausted
-      // cap serves zero); inherently sequential.
+      // Budgeted and/or deadline-controlled: serve keys in order until the
+      // cap is hit or expiry is observed (either serves zero from there
+      // on); inherently sequential — which is also what keeps the expiry
+      // check schedule identical to the scalar path's.
       for (size_t i = 0; i < nkeys; ++i) {
+        if (control.active() && !expired &&
+            i % ExecControl::kExpiryCheckInterval == 0) {
+          expired = control.Expired();
+        }
         if (key_has_null[i]) {
           served[i] = 1;
           ++served_count;
           continue;
         }
-        if (fetched_this_step >= budget.cap) continue;  // unserved
+        if (expired) continue;  // unserved, like an exhausted budget
+        if (budget.capped && fetched_this_step >= budget.cap) {
+          continue;  // unserved
+        }
         buckets[i] = index->LookupWithCounts(canon_keys[i]);
         ++fragment.stats.keys_probed;
         fetched_this_step += buckets[i].size();
@@ -691,7 +729,7 @@ BoundedExecutor::ExecuteFragmentVectorized(
     // changes nothing about the result. Null on the serial path (and for
     // single-shard indices, which keep the pre-sharding loops).
     TaskPool* gather_pool =
-        (prog.index_shards > 1 && options.probe_pool != nullptr &&
+        (!expired && prog.index_shards > 1 && options.probe_pool != nullptr &&
          options.probe_pool->num_threads() > 0 &&
          out_count >= kParallelGatherThreshold)
             ? options.probe_pool
@@ -887,6 +925,7 @@ BoundedExecutor::ExecuteFragmentVectorized(
   }
 
   fragment.batch = std::move(t);
+  fragment.stats.timed_out = expired;
   for (const auto& child : fragment.stats.root.children) {
     fragment.stats.root.total_millis += child.total_millis;
   }
@@ -970,9 +1009,13 @@ Result<QueryResult> BoundedExecutor::Execute(
       slot_of_column[query.GlobalIndex(layout[p])] =
           static_cast<int64_t>(p);
     }
+    // The tail never truncates — its input T is final and dropping tail
+    // work would make the reported η dishonest — but an expired query
+    // sheds the fan-out: it has no claim on workers other queries need.
+    TaskPool* tail_pool = stats.timed_out ? nullptr : options.probe_pool;
     BEAS_ASSIGN_OR_RETURN(
         columnar_done, RunColumnarTail(query, bf.batch, slot_of_column,
-                                       options.probe_pool, &result));
+                                       tail_pool, &result));
   }
   if (!unsatisfiable && !columnar_done && have_batch) {
     // Scalar-tail fallback (non-compilable tail expression, or the tail

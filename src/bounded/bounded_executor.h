@@ -8,6 +8,7 @@
 #include "bounded/bounded_plan.h"
 #include "bounded/step_program.h"
 #include "bounded/tuple_batch.h"
+#include "common/exec_control.h"
 #include "common/result.h"
 #include "engine/query_result.h"
 
@@ -56,6 +57,16 @@ struct BoundedExecOptions {
   /// steps shard their index probes across it. Null = serial probes.
   /// Results are merged deterministically regardless.
   TaskPool* probe_pool = nullptr;
+
+  /// Cooperative deadline/cancellation. When active, the fetch chain polls
+  /// it at deterministic points (step boundaries and every
+  /// ExecControl::kExpiryCheckInterval-th probe key, identical indices on
+  /// both paths); observed expiry behaves exactly like budget exhaustion —
+  /// unserved keys drop their rows, η shrinks, the partial answer stays
+  /// well-formed and bit-identical scalar vs vectorized. An active control
+  /// also forces sequential (un-fanned) probes so the check schedule is
+  /// deterministic, and sheds TaskPool fan-out once expired.
+  ExecControl control;
 };
 
 /// \brief Telemetry of a bounded execution.
@@ -63,6 +74,7 @@ struct BoundedExecStats {
   uint64_t tuples_fetched = 0;  ///< Σ bucket entries read (≤ deduced bound)
   uint64_t keys_probed = 0;     ///< distinct index probes
   double eta = 1.0;             ///< deterministic coverage lower bound
+  bool timed_out = false;       ///< the ExecControl expired mid-chain
   OperatorStats root;           ///< per-fetch-step breakdown (Fig. 3)
 };
 

@@ -1,0 +1,67 @@
+#ifndef BEAS_COMMON_EXEC_CONTROL_H_
+#define BEAS_COMMON_EXEC_CONTROL_H_
+
+#include <atomic>
+#include <chrono>
+
+namespace beas {
+
+/// \brief Cooperative deadline + cancellation control for a bounded
+/// execution, threaded through BoundedExecOptions.
+///
+/// The executors poll Expired() at *deterministic* points only — each
+/// fetch-step boundary and every kExpiryCheckInterval-th probe key, at
+/// identical key indices on the scalar and vectorized paths (both serve
+/// probe keys in first-appearance order). Once expiry is observed the
+/// execution behaves exactly like budget exhaustion from that key onward:
+/// the current step stops serving keys, later steps serve zero keys, the
+/// coverage bound η shrinks for every unserved key, and the query still
+/// returns a well-formed partial answer (never an error). Because the
+/// check schedule is identical across paths, two runs that observe expiry
+/// at the same check index produce bit-identical partial answers.
+///
+/// The relational tail never truncates — its input T is already final
+/// when expiry can be observed there, and dropping tail work would make
+/// the reported η dishonest. An expired control only sheds the tail's
+/// (and the fetch chain's) optional TaskPool fan-out: a dying query has
+/// no business fanning out over workers other queries need.
+struct ExecControl {
+  /// Absolute deadline; meaningful only when has_deadline is set.
+  std::chrono::steady_clock::time_point deadline{};
+  bool has_deadline = false;
+
+  /// Optional external cancellation token (client disconnect, admission
+  /// revoke). Checked at the same deterministic points as the deadline.
+  /// Must outlive the execution. Null = not cancellable.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Probe keys between two expiry checks inside one step (checks also
+  /// run at every step boundary). Small enough to bound overshoot past a
+  /// deadline, large enough that the steady_clock read is amortized away.
+  static constexpr size_t kExpiryCheckInterval = 1024;
+
+  bool active() const { return has_deadline || cancel != nullptr; }
+
+  /// One poll: true when cancelled or past the deadline. Monotone for the
+  /// deadline half (steady_clock never goes back); callers latch the
+  /// verdict anyway so a racing cancel-reset cannot un-expire a query.
+  bool Expired() const {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return has_deadline && std::chrono::steady_clock::now() >= deadline;
+  }
+
+  /// Builds a control whose deadline is `timeout` from now (zero or
+  /// negative = already expired).
+  static ExecControl After(std::chrono::milliseconds timeout) {
+    ExecControl control;
+    control.has_deadline = true;
+    control.deadline = std::chrono::steady_clock::now() + timeout;
+    return control;
+  }
+};
+
+}  // namespace beas
+
+#endif  // BEAS_COMMON_EXEC_CONTROL_H_

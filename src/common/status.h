@@ -25,6 +25,9 @@ enum class StatusCode {
   kBudgetExceeded,    ///< Deduced access bound exceeds the user budget.
   kIoError,           ///< File/CSV I/O failure.
   kInternal,          ///< Invariant violation; indicates a bug.
+  kDeadlineExceeded,  ///< Query deadline expired before completion.
+  kResourceExhausted, ///< Admission control rejected, or disk/queue full.
+  kUnavailable,       ///< Subsystem latched/refusing work (e.g. WAL shard).
 };
 
 /// \brief Returns a short human-readable name for a status code.
@@ -81,6 +84,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   /// @}
 

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "common/crc32.h"
+#include "common/failpoint.h"
 #include "common/string_util.h"
-#include "durability/crash_point.h"
 #include "durability/segment.h"
 
 namespace beas {
@@ -16,15 +17,31 @@ namespace {
 constexpr const char* kManifestName = "MANIFEST";
 
 Status MetaLogFailedError() {
-  return Status::IoError(
+  return Status::Unavailable(
       "durability: a structural change could not be logged; the in-memory "
       "state is ahead of the WAL, refusing further durable writes");
 }
 
 Status WalLatchedError() {
-  return Status::IoError(
+  return Status::Unavailable(
       "durability: shard WAL latched after an unrepairable group-commit "
       "failure; refusing further durable writes on this shard");
+}
+
+/// Disk-full detection by message shape: file_util renders every IO error
+/// through std::strerror, so ENOSPC always carries this text (and the
+/// fail-point `error(enospc)` action injects the same shape).
+bool IsNoSpaceError(const Status& st) {
+  return st.code() == StatusCode::kIoError &&
+         st.message().find("No space left on device") != std::string::npos;
+}
+
+/// Merges an injected fail-point status into a protocol status: crash
+/// actions never return, sleep/off return OK, error actions surface as
+/// the fault `st` would have been.
+Status MergePoint(Status st, const char* site) {
+  Status injected = fail::Point(site);
+  return st.ok() ? injected : st;
 }
 
 bool IsTransientTable(const DurabilityOptions& options,
@@ -295,42 +312,63 @@ void DurabilityManager::DrainerLoop(size_t wal_shard) {
         EncodeWalRecord(&group, p->record);
         ++count;
       }
-      io = wal.file.Append(group.str().data(), group.size());
-      MaybeCrash("wal_append");
-      if (io.ok() && MaybeFail("wal_group_io")) {
-        io = Status::IoError("injected WAL group-commit failure");
-      }
-      if (io.ok()) {
-        MaybeCrash("wal_pre_fsync");
-        if (options_.fsync) {
-          io = wal.file.Sync();
+      // Commit with bounded retry: a transient append/fsync fault is
+      // repaired (truncate back to the acked prefix, so nothing torn or
+      // nacked can sit mid-file), backed off, and re-attempted — the
+      // group's writers see a slow ack instead of a spurious nack. Only
+      // when retries exhaust (a hard fault) or the repair itself fails
+      // (the file can no longer be vouched for) does the shard latch.
+      uint64_t attempt = 0;
+      for (;;) {
+        Status commit =
+            wal.file.Append(group.str().data(), group.size());
+        commit = MergePoint(std::move(commit), "wal_append");
+        if (commit.ok()) commit = fail::Point("wal_group_io");
+        if (commit.ok()) commit = fail::Point("wal_pre_fsync");
+        if (commit.ok() && options_.fsync) {
+          commit = wal.file.Sync();
           wal_fsyncs_total_.fetch_add(1, std::memory_order_relaxed);
         }
-        MaybeCrash("wal_post_fsync");
-      }
-      if (io.ok()) {
-        wal_bytes_total_.fetch_add(group.size(), std::memory_order_relaxed);
-        wal_records_total_.fetch_add(count, std::memory_order_relaxed);
-        wal_group_commits_total_.fetch_add(1, std::memory_order_relaxed);
-        wal_bytes_since_checkpoint_.fetch_add(group.size(),
-                                              std::memory_order_relaxed);
-      } else {
-        // Repair before accepting more work. A partial append leaves a
+        if (commit.ok()) commit = fail::Point("wal_post_fsync");
+        if (commit.ok()) {
+          wal_bytes_total_.fetch_add(group.size(), std::memory_order_relaxed);
+          wal_records_total_.fetch_add(count, std::memory_order_relaxed);
+          wal_group_commits_total_.fetch_add(1, std::memory_order_relaxed);
+          wal_bytes_since_checkpoint_.fetch_add(group.size(),
+                                                std::memory_order_relaxed);
+          break;
+        }
+        // Repair before deciding anything. A partial append leaves a
         // torn record (possibly preceded by whole CRC-valid records of
-        // this nacked group) past the acked prefix; a failed fsync
-        // leaves the whole nacked group CRC-valid in the page cache.
-        // Either way the file must end at the last acked byte: cut it
-        // back and persist the cut, so the nacked bytes can neither
-        // shadow later acked groups at recovery nor be replayed
-        // themselves. If the repair fails, latch the shard.
+        // this uncommitted group) past the acked prefix; a failed fsync
+        // leaves the whole group CRC-valid in the page cache. Either way
+        // the file must end at the last acked byte: cut it back and
+        // persist the cut, so the bytes can neither shadow later acked
+        // groups at recovery nor be replayed themselves.
         Status repair = wal.file.Truncate(good_offset);
         if (repair.ok() && options_.fsync) repair = wal.file.Sync();
-        if (repair.ok() && MaybeFail("wal_repair_fail")) {
-          repair = Status::IoError("injected WAL repair failure");
-        }
+        repair = MergePoint(std::move(repair), "wal_repair_fail");
         if (!repair.ok()) {
           wal.io_failed.store(true, std::memory_order_release);
+          io = WalLatchedError();
+          break;
         }
+        if (attempt >= options_.wal_retry_limit) {
+          // Hard fault: the file is repaired (ends at the acked prefix)
+          // but the device keeps refusing the group. Latch and surface a
+          // typed refusal — "acked but unrecoverable" stays impossible.
+          wal.io_failed.store(true, std::memory_order_release);
+          io = Status::Unavailable(
+              "durability: WAL group commit failed after " +
+              std::to_string(attempt) + " retries, shard latched: " +
+              commit.message());
+          break;
+        }
+        ++attempt;
+        wal_retries_total_.fetch_add(1, std::memory_order_relaxed);
+        uint64_t backoff = options_.wal_retry_backoff_ms << (attempt - 1);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(std::min<uint64_t>(backoff, 100)));
       }
     }
     // Apply in FIFO order, then ack. On an IO failure nothing applies:
@@ -512,6 +550,67 @@ Status DurabilityManager::MaybeCheckpointLocked(bool* did_out) {
   return CheckpointLocked();
 }
 
+Status DurabilityManager::WriteCheckpointSegments(const std::string& seg_dir,
+                                                  ByteSink* manifest) {
+  // Every segment write shares the ckpt_write fail-point site so the
+  // error sweep (including the error(enospc) disk-full simulation) can
+  // fault any file of the set.
+  auto write_segment = [](const std::string& path, SegmentKind kind,
+                          std::string payload) {
+    BEAS_RETURN_NOT_OK(fail::Point("ckpt_write"));
+    return WriteSegmentFile(path, kind, std::move(payload));
+  };
+
+  std::vector<std::string> tables;
+  for (const std::string& name : db_->catalog()->TableNames()) {
+    if (IsTransientTable(options_, name)) continue;
+    tables.push_back(name);
+  }
+  manifest->PutU32(static_cast<uint32_t>(tables.size()));
+  for (const std::string& name : tables) {
+    BEAS_ASSIGN_OR_RETURN(TableInfo * info, db_->catalog()->GetTable(name));
+    manifest->PutString(info->name());
+    const std::string base = seg_dir + "/t_" + info->name();
+    BEAS_RETURN_NOT_OK(write_segment(base + ".meta.seg",
+                                     SegmentKind::kTableMeta,
+                                     BuildTableMetaPayload(*info)));
+    const TableHeap& heap = *info->heap();
+    if (heap.dict() != nullptr) {
+      BEAS_RETURN_NOT_OK(write_segment(base + ".dict.seg",
+                                       SegmentKind::kDict,
+                                       BuildDictPayload(*heap.dict())));
+    }
+    for (size_t s = 0; s < heap.num_shards(); ++s) {
+      BEAS_RETURN_NOT_OK(
+          write_segment(base + ".s" + std::to_string(s) + ".seg",
+                        SegmentKind::kShardRows,
+                        BuildShardRowsPayload(heap, s)));
+    }
+  }
+
+  // Constraints in registration order: restore re-adopts them in the same
+  // order, so auto-naming and index slots line up with the live catalog.
+  const std::vector<AccessConstraint>& constraints =
+      catalog_->schema().constraints();
+  manifest->PutU32(static_cast<uint32_t>(constraints.size()));
+  for (const AccessConstraint& c : constraints) {
+    manifest->PutString(c.name);
+    const AcIndex* index = catalog_->IndexFor(c.name);
+    if (index == nullptr) {
+      return Status::Internal("no index for constraint '" + c.name + "'");
+    }
+    BEAS_RETURN_NOT_OK(write_segment(seg_dir + "/c_" + c.name + ".idx.seg",
+                                     SegmentKind::kIndex,
+                                     BuildIndexPayload(*index)));
+  }
+  BEAS_RETURN_NOT_OK(SyncDir(seg_dir));
+  // ck<N>'s own entry in seg/ must be durable before the manifest can
+  // point at it, or a crash leaves a manifest referencing a directory
+  // that no longer exists.
+  BEAS_RETURN_NOT_OK(SyncDir(options_.dir + "/seg"));
+  return fail::Point("ckpt_mid");
+}
+
 Status DurabilityManager::CheckpointLocked() {
   uint64_t id = last_checkpoint_id_ + 1;
   std::string seg_dir = SegDir(id);
@@ -525,54 +624,30 @@ Status DurabilityManager::CheckpointLocked() {
   // resumes here.
   manifest.PutU64(next_lsn_.load(std::memory_order_relaxed));
 
-  std::vector<std::string> tables;
-  for (const std::string& name : db_->catalog()->TableNames()) {
-    if (IsTransientTable(options_, name)) continue;
-    tables.push_back(name);
-  }
-  manifest.PutU32(static_cast<uint32_t>(tables.size()));
-  for (const std::string& name : tables) {
-    BEAS_ASSIGN_OR_RETURN(TableInfo * info, db_->catalog()->GetTable(name));
-    manifest.PutString(info->name());
-    const std::string base = seg_dir + "/t_" + info->name();
-    BEAS_RETURN_NOT_OK(WriteSegmentFile(base + ".meta.seg",
-                                        SegmentKind::kTableMeta,
-                                        BuildTableMetaPayload(*info)));
-    const TableHeap& heap = *info->heap();
-    if (heap.dict() != nullptr) {
-      BEAS_RETURN_NOT_OK(WriteSegmentFile(base + ".dict.seg",
-                                          SegmentKind::kDict,
-                                          BuildDictPayload(*heap.dict())));
+  if (Status wrote = WriteCheckpointSegments(seg_dir, &manifest);
+      !wrote.ok()) {
+    // Pressure relief: nothing is committed (recovery still reads the
+    // previous checkpoint + WAL tail), so the half-written try is pure
+    // debt — drop it, and sweep any orphaned older tries while at it.
+    // On a full disk that frees space instead of compounding the stall,
+    // and the caller gets the typed capacity verdict.
+    RemoveAll(seg_dir);
+    if (Result<std::vector<std::string>> entries =
+            ListDir(options_.dir + "/seg");
+        entries.ok()) {
+      const std::string keep = "ck" + std::to_string(last_checkpoint_id_);
+      for (const std::string& entry : *entries) {
+        if (last_checkpoint_id_ == 0 || entry != keep) {
+          RemoveAll(options_.dir + "/seg/" + entry);
+        }
+      }
     }
-    for (size_t s = 0; s < heap.num_shards(); ++s) {
-      BEAS_RETURN_NOT_OK(
-          WriteSegmentFile(base + ".s" + std::to_string(s) + ".seg",
-                           SegmentKind::kShardRows,
-                           BuildShardRowsPayload(heap, s)));
+    if (IsNoSpaceError(wrote)) {
+      return Status::ResourceExhausted(
+          "checkpoint aborted, segment space reclaimed: " + wrote.message());
     }
+    return wrote;
   }
-
-  // Constraints in registration order: restore re-adopts them in the same
-  // order, so auto-naming and index slots line up with the live catalog.
-  const std::vector<AccessConstraint>& constraints =
-      catalog_->schema().constraints();
-  manifest.PutU32(static_cast<uint32_t>(constraints.size()));
-  for (const AccessConstraint& c : constraints) {
-    manifest.PutString(c.name);
-    const AcIndex* index = catalog_->IndexFor(c.name);
-    if (index == nullptr) {
-      return Status::Internal("no index for constraint '" + c.name + "'");
-    }
-    BEAS_RETURN_NOT_OK(WriteSegmentFile(seg_dir + "/c_" + c.name + ".idx.seg",
-                                        SegmentKind::kIndex,
-                                        BuildIndexPayload(*index)));
-  }
-  BEAS_RETURN_NOT_OK(SyncDir(seg_dir));
-  // ck<N>'s own entry in seg/ must be durable before the manifest can
-  // point at it, or a crash leaves a manifest referencing a directory
-  // that no longer exists.
-  BEAS_RETURN_NOT_OK(SyncDir(options_.dir + "/seg"));
-  MaybeCrash("ckpt_mid");
 
   // Commit point: the manifest (segment-framed, atomically renamed in)
   // flips recovery from the old checkpoint + long WAL to the new one.
@@ -615,12 +690,16 @@ Status DurabilityManager::CheckpointLocked() {
       }
     }
   }
-  MaybeCrash("ckpt_post_truncate");
-
-  if (last_checkpoint_id_ != 0) RemoveAll(SegDir(last_checkpoint_id_));
+  // The manifest is committed: bookkeeping must move to the new id even
+  // when the post-truncate fail point injects an error, or the next
+  // checkpoint would RemoveAll() the directory the manifest points at.
+  Status injected = fail::Point("ckpt_post_truncate");
+  uint64_t old_id = last_checkpoint_id_;
   last_checkpoint_id_ = id;
   wal_bytes_since_checkpoint_.store(0, std::memory_order_relaxed);
   checkpoints_total_.fetch_add(1, std::memory_order_relaxed);
+  BEAS_RETURN_NOT_OK(injected);  // old dir GC'd by the next ckpt/recovery
+  if (old_id != 0) RemoveAll(SegDir(old_id));
   return Status::OK();
 }
 
@@ -825,6 +904,12 @@ DurabilityCounters DurabilityManager::counters() const {
   out.checkpoints_total = checkpoints_total_.load(std::memory_order_relaxed);
   out.recovery_replayed_records =
       recovery_replayed_records_.load(std::memory_order_relaxed);
+  out.wal_retries_total = wal_retries_total_.load(std::memory_order_relaxed);
+  for (const auto& wal : shard_wals_) {
+    if (wal->io_failed.load(std::memory_order_acquire)) {
+      ++out.wal_latched_shards;
+    }
+  }
   return out;
 }
 

@@ -40,6 +40,16 @@ struct DurabilityOptions {
   /// the service recycles with direct heap writes outside the hooked
   /// write path, so persisting it would only replay stale gauges.
   std::vector<std::string> transient_tables;
+
+  /// Transient-fault tolerance: a failed WAL group commit is repaired
+  /// (truncate back to the acked prefix) and re-attempted up to this many
+  /// times before the shard latches. 0 = latch on the first failure.
+  uint64_t wal_retry_limit = 3;
+
+  /// Backoff before the first retry, doubling per attempt (capped at
+  /// 100ms). Writers in the group wait through it — under a transient
+  /// fault, a slow ack beats a spurious nack.
+  uint64_t wal_retry_backoff_ms = 1;
 };
 
 /// \brief Monotonic counters exported into `beas_stats`.
@@ -50,6 +60,8 @@ struct DurabilityCounters {
   uint64_t wal_fsyncs_total = 0;
   uint64_t checkpoints_total = 0;
   uint64_t recovery_replayed_records = 0;
+  uint64_t wal_retries_total = 0;   ///< group commits re-attempted
+  uint64_t wal_latched_shards = 0;  ///< shards refusing writes (gauge)
 };
 
 /// \brief The durability subsystem: per-shard write-ahead logs with group
@@ -104,13 +116,20 @@ struct DurabilityCounters {
 /// WAL tail in LSN order. MaintenanceManager's adjustment cycle drives
 /// periodic checkpoints through the service's checkpoint hook.
 ///
-/// ## Crash points (fault-injection testing)
+/// ## Fail points (fault-injection testing)
 ///
-/// With BEAS_CRASH_POINT=<name>[:N] the process _exit(42)s at the Nth hit
-/// of: wal_append (group written, not fsynced), wal_pre_fsync,
-/// wal_post_fsync (durable, not applied), ckpt_mid (segments written,
-/// manifest not committed), ckpt_post_truncate (WALs truncated, old
-/// segments not yet GC'd).
+/// Every protocol boundary of interest is a fail::Point site (see
+/// common/failpoint.h for the BEAS_FAIL_POINTS / legacy BEAS_CRASH_POINT
+/// syntax): wal_append (group written, not fsynced), wal_group_io (the
+/// failed-fsync shape), wal_pre_fsync, wal_post_fsync (durable, not
+/// applied), wal_repair_fail (truncate-repair of a failed group),
+/// ckpt_write (each segment file write — the ENOSPC simulation site),
+/// ckpt_mid (segments written, manifest not committed) and
+/// ckpt_post_truncate (WALs truncated, old segments not yet GC'd). Crash
+/// actions _exit(42); error actions are handled exactly like the real
+/// fault: group-commit errors retry with backoff then latch, checkpoint
+/// errors drop the partial segment directory (pressure relief) and
+/// surface kResourceExhausted when the fault is disk-full-shaped.
 class DurabilityManager {
  public:
   /// The manager logs through `db`/`catalog` and replays into them; both
@@ -175,6 +194,10 @@ class DurabilityManager {
   Status MaybeCheckpointLocked(bool* did_out = nullptr);
 
   /// Unconditional checkpoint under the caller's gate + structural lock.
+  /// A failure before the manifest commit removes the partial segment
+  /// directory (and any orphaned older tries) so a full disk is relieved
+  /// rather than compounded, and surfaces kResourceExhausted when the
+  /// fault is disk-full-shaped.
   Status CheckpointLocked();
 
   DurabilityCounters counters() const;
@@ -238,6 +261,13 @@ class DurabilityManager {
   void OnCatalogChange(AsCatalog::ChangeKind kind, const std::string& table,
                        const std::string& name);
 
+  /// Writes checkpoint `id`'s segment files into `seg_dir` and assembles
+  /// the manifest payload. The pre-commit half of CheckpointLocked, split
+  /// out so every failure inside funnels through one pressure-relief
+  /// path.
+  Status WriteCheckpointSegments(const std::string& seg_dir,
+                                 ByteSink* manifest);
+
   Status Recover();
   /// Restores one checkpointed table (meta + dict + shard segments).
   Status RestoreTable(const std::string& seg_dir, const std::string& table);
@@ -290,6 +320,7 @@ class DurabilityManager {
   std::atomic<uint64_t> wal_fsyncs_total_{0};
   std::atomic<uint64_t> checkpoints_total_{0};
   std::atomic<uint64_t> recovery_replayed_records_{0};
+  std::atomic<uint64_t> wal_retries_total_{0};
 };
 
 }  // namespace durability

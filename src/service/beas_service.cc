@@ -197,17 +197,116 @@ std::vector<MaintenanceManager::Adjustment> BeasService::RevalidateAndSuggest(
 // Read side.
 // ---------------------------------------------------------------------------
 
-Result<ServiceResponse> BeasService::Execute(const std::string& sql) {
+Result<ServiceResponse> BeasService::Execute(const std::string& sql,
+                                             const QueryOptions& qopts) {
   if (MentionsStatsTable(sql)) {
     // Materialize fresh serving-health counters before answering; the
     // refresh takes the exclusive lock, the query itself runs shared.
     BEAS_RETURN_NOT_OK(RefreshStatsTable());
   }
   Database::ReadScope lock(&db_);
-  Result<ServiceResponse> resp = ExecuteLocked(sql);
+  Result<ServiceResponse> resp = ExecuteLocked(sql, qopts);
   // Still under the shared lock: no rebuild can race the detach.
   if (resp.ok()) DetachResultStrings(&resp->result);
   return resp;
+}
+
+// ---------------------------------------------------------------------------
+// Admission control: the deduced access bound of a covered query is a
+// tight, a-priori cost estimate — exactly the quantity the paper bounds —
+// so it doubles as the admission cost unit. Reservations are CAS-based on
+// one atomic; no lock is held while a query runs.
+// ---------------------------------------------------------------------------
+
+Result<BeasService::AdmissionTicket> BeasService::Admit(uint64_t bound) {
+  AdmissionTicket ticket;
+  uint64_t cap = options_.max_inflight_cost;
+  if (cap == 0 || bound == 0) return ticket;  // admission off / free query
+  uint64_t used = inflight_cost_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (used >= cap) {
+      queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "admission control: in-flight cost " + WithCommas(used) +
+          " has exhausted the budget of " + WithCommas(cap) +
+          " (query's deduced access bound: " + WithCommas(bound) + ")");
+    }
+    // Degrade before rejecting: grant whatever remains and run the query
+    // under that fetch budget, with honest η.
+    uint64_t grant = std::min(bound, cap - used);
+    if (inflight_cost_.compare_exchange_weak(used, used + grant,
+                                             std::memory_order_relaxed)) {
+      ticket.charged = grant;
+      ticket.grant = grant;
+      ticket.degraded = grant < bound;
+      if (ticket.degraded) {
+        queries_degraded_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return ticket;
+    }
+  }
+}
+
+void BeasService::ReleaseAdmission(const AdmissionTicket& ticket) {
+  if (ticket.charged > 0) {
+    inflight_cost_.fetch_sub(ticket.charged, std::memory_order_relaxed);
+  }
+}
+
+Status BeasService::RunCoveredAdmitted(const BoundQuery& query,
+                                       const BoundedPlan& plan,
+                                       BoundedExecOptions exec_options,
+                                       const QueryOptions& qopts,
+                                       ServiceResponse* resp) {
+  BEAS_ASSIGN_OR_RETURN(AdmissionTicket ticket, Admit(plan.total_access_bound));
+  struct Release {
+    BeasService* service;
+    const AdmissionTicket* ticket;
+    ~Release() { service->ReleaseAdmission(*ticket); }
+  } release{this, &ticket};
+
+  if (qopts.fetch_budget > 0) exec_options.fetch_budget = qopts.fetch_budget;
+  if (ticket.degraded) {
+    exec_options.fetch_budget =
+        exec_options.fetch_budget > 0
+            ? std::min(exec_options.fetch_budget, ticket.grant)
+            : ticket.grant;
+  }
+  if (qopts.timeout_millis > 0) {
+    exec_options.control =
+        ExecControl::After(std::chrono::milliseconds(qopts.timeout_millis));
+  }
+  exec_options.control.cancel = qopts.cancel;
+
+  BoundedExecStats stats;
+  BEAS_ASSIGN_OR_RETURN(
+      resp->result, session_.ExecuteCovered(query, plan, exec_options, &stats));
+  resp->eta = stats.eta;
+  resp->degraded = ticket.degraded;
+  resp->timed_out = stats.timed_out;
+  if (stats.timed_out) {
+    queries_timed_out_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (qopts.min_eta > 0 && stats.eta < qopts.min_eta) {
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "answer coverage eta=" + std::to_string(stats.eta) +
+        " fell below the requested min_eta=" + std::to_string(qopts.min_eta));
+  }
+  return Status::OK();
+}
+
+ServiceCounters BeasService::service_counters() const {
+  ServiceCounters out;
+  out.queries_timed_out_total =
+      queries_timed_out_.load(std::memory_order_relaxed);
+  out.queries_rejected_total =
+      queries_rejected_.load(std::memory_order_relaxed);
+  out.queries_degraded_total =
+      queries_degraded_.load(std::memory_order_relaxed);
+  out.submit_queue_depth = submit_queue_depth_.load(std::memory_order_relaxed);
+  out.inflight_cost = inflight_cost_.load(std::memory_order_relaxed);
+  return out;
 }
 
 Status BeasService::RefreshStatsTable() {
@@ -348,6 +447,17 @@ Status BeasService::RefreshStatsTable() {
   add("checkpoints_total", static_cast<double>(dur.checkpoints_total));
   add("recovery_replayed_records",
       static_cast<double>(dur.recovery_replayed_records));
+  add("wal_retries_total", static_cast<double>(dur.wal_retries_total));
+  add("wal_latched_shards", static_cast<double>(dur.wal_latched_shards));
+  // Resilience gauges: deadline/admission verdicts and the live queue.
+  ServiceCounters svc = service_counters();
+  add("queries_timed_out_total",
+      static_cast<double>(svc.queries_timed_out_total));
+  add("queries_rejected_total",
+      static_cast<double>(svc.queries_rejected_total));
+  add("queries_degraded_total",
+      static_cast<double>(svc.queries_degraded_total));
+  add("submit_queue_depth", static_cast<double>(svc.submit_queue_depth));
 
   // Phase 3 — swap the snapshot in: tombstone the previous rows (the
   // table has no AC indices, so no write hooks need to observe these) and
@@ -377,7 +487,8 @@ Result<ServiceResponse> BeasService::ExecuteUncachedQuery(
   return resp;
 }
 
-Result<ServiceResponse> BeasService::ExecuteLocked(const std::string& sql) {
+Result<ServiceResponse> BeasService::ExecuteLocked(const std::string& sql,
+                                                   const QueryOptions& qopts) {
   if (!cache_enabled_.load(std::memory_order_relaxed)) {
     BEAS_ASSIGN_OR_RETURN(BoundQuery query, db_.Bind(sql));
     return ExecuteUncachedQuery(query);
@@ -411,12 +522,11 @@ Result<ServiceResponse> BeasService::ExecuteLocked(const std::string& sql) {
       if (entry->covered) {
         Result<BoundedPlan> plan = RebindPlanConstants(entry->plan, query);
         if (plan.ok()) {
-          BoundedExecOptions exec_options = FastPathOptions(*entry);
           ServiceResponse resp;
           resp.cache_hit = true;
           resp.template_hash = key.hash;
-          BEAS_ASSIGN_OR_RETURN(
-              resp.result, session_.ExecuteCovered(query, *plan, exec_options));
+          BEAS_RETURN_NOT_OK(RunCoveredAdmitted(
+              query, *plan, FastPathOptions(*entry), qopts, &resp));
           resp.decision.mode = BeasSession::ExecutionDecision::Mode::kBounded;
           resp.decision.deduced_bound = plan->total_access_bound;
           resp.decision.explanation = entry->covered_explanation;
@@ -471,7 +581,7 @@ Result<ServiceResponse> BeasService::ExecuteLocked(const std::string& sql) {
   if (!have_query) {
     BEAS_ASSIGN_OR_RETURN(query, db_.Bind(sql));
   }
-  return ExecuteMiss(sql, masked, std::move(query));
+  return ExecuteMiss(sql, masked, std::move(query), qopts);
 }
 
 BoundedExecOptions BeasService::FastPathOptions(
@@ -518,7 +628,8 @@ std::shared_ptr<PlanCache::Entry> BeasService::MakeEntry(
 
 Result<ServiceResponse> BeasService::ExecuteMiss(const std::string& sql,
                                                  const SqlTemplate& masked,
-                                                 BoundQuery query) {
+                                                 BoundQuery query,
+                                                 const QueryOptions& qopts) {
   QueryTemplate tmpl = BuildQueryTemplate(masked, query);
   if (!tmpl.cacheable) {
     cache_.NoteUncacheable();
@@ -540,9 +651,8 @@ Result<ServiceResponse> BeasService::ExecuteMiss(const std::string& sql,
     BoundedExecOptions exec_options;
     exec_options.compiled = entry->compiled.get();
     exec_options.probe_pool = &pool_;
-    BEAS_ASSIGN_OR_RETURN(
-        resp.result,
-        session_.ExecuteCovered(query, coverage.plan, exec_options));
+    BEAS_RETURN_NOT_OK(
+        RunCoveredAdmitted(query, coverage.plan, exec_options, qopts, &resp));
     resp.decision.mode = BeasSession::ExecutionDecision::Mode::kBounded;
     resp.decision.deduced_bound = coverage.plan.total_access_bound;
     resp.decision.explanation =
@@ -578,7 +688,8 @@ Result<ServiceResponse> BeasService::ExecuteMiss(const std::string& sql,
   return resp;
 }
 
-Result<ServiceResponse> BeasService::ExecuteBounded(const std::string& sql) {
+Result<ServiceResponse> BeasService::ExecuteBounded(const std::string& sql,
+                                                    const QueryOptions& qopts) {
   Database::ReadScope lock(&db_);
   bool cache_hit = false;
   BoundQuery query;
@@ -592,8 +703,8 @@ Result<ServiceResponse> BeasService::ExecuteBounded(const std::string& sql) {
   BoundedExecOptions exec_options;
   exec_options.probe_pool = &pool_;
   if (entry != nullptr) exec_options.compiled = entry->compiled.get();
-  BEAS_ASSIGN_OR_RETURN(
-      resp.result, session_.ExecuteCovered(query, coverage.plan, exec_options));
+  BEAS_RETURN_NOT_OK(
+      RunCoveredAdmitted(query, coverage.plan, exec_options, qopts, &resp));
   resp.decision.mode = BeasSession::ExecutionDecision::Mode::kBounded;
   resp.decision.deduced_bound = coverage.plan.total_access_bound;
   resp.decision.explanation =
@@ -691,14 +802,27 @@ Result<CoverageResult> BeasService::CheckLocked(
 }
 
 std::future<Result<ServiceResponse>> BeasService::Submit(
-    const std::string& sql) {
+    const std::string& sql, const QueryOptions& qopts) {
   auto promise = std::make_shared<std::promise<Result<ServiceResponse>>>();
   std::future<Result<ServiceResponse>> future = promise->get_future();
-  bool queued = pool_.Submit([this, promise, sql] {
-    promise->set_value(Execute(sql));
+  // Bounded backlog: an overloaded service answers "no" in O(1) instead
+  // of queueing work it cannot serve in time.
+  uint64_t depth = submit_queue_depth_.fetch_add(1, std::memory_order_relaxed);
+  if (depth >= options_.max_queue_depth) {
+    submit_queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    promise->set_value(Status::ResourceExhausted(
+        "submit queue is full (" + std::to_string(options_.max_queue_depth) +
+        " requests in flight)"));
+    return future;
+  }
+  bool queued = pool_.Submit([this, promise, sql, qopts] {
+    promise->set_value(Execute(sql, qopts));
+    submit_queue_depth_.fetch_sub(1, std::memory_order_relaxed);
   });
   if (!queued) {
-    promise->set_value(Status::Internal("service is shutting down"));
+    submit_queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+    promise->set_value(Status::Unavailable("service is shutting down"));
   }
   return future;
 }

@@ -32,6 +32,53 @@ struct ServiceOptions {
   /// bit-for-bit the pre-durability behavior. `transient_tables` is
   /// overwritten by the service (it always excludes beas_stats).
   durability::DurabilityOptions durability;
+
+  /// \name Overload resilience.
+  /// @{
+  /// Max in-flight Submit() requests (queued + executing). At capacity,
+  /// new submissions are rejected immediately with kResourceExhausted
+  /// instead of growing an unbounded backlog.
+  size_t max_queue_depth = 256;
+  /// Cost-based admission for covered (bounded) queries: the deduced
+  /// access bound is the cost unit, and the total admitted in-flight cost
+  /// never exceeds this. A query that does not fit whole is *degraded*
+  /// first — its fetch budget capped to the remaining grant, the answer
+  /// returned with honest η and the `degraded` flag — and rejected with
+  /// kResourceExhausted only when no cost remains at all. 0 = off.
+  uint64_t max_inflight_cost = 0;
+  /// @}
+};
+
+/// \brief Per-request execution options: deadline, cancellation, budget,
+/// and the minimum acceptable coverage. These apply to covered (bounded)
+/// executions — the paths whose resource story the paper makes
+/// deterministic; partially-bounded / conventional fallbacks execute as
+/// before.
+struct QueryOptions {
+  /// Wall-clock deadline in milliseconds; 0 = none. An expired deadline
+  /// behaves exactly like budget exhaustion: a deterministic partial
+  /// answer with honest η and `timed_out` set — never an error.
+  int64_t timeout_millis = 0;
+  /// External cancellation token (client disconnect, admission revoke);
+  /// must outlive the call. Null = not cancellable.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Per-query fetch budget; 0 = exact. Admission degradation may cap it
+  /// further.
+  uint64_t fetch_budget = 0;
+  /// When positive, an answer whose coverage η falls below this is
+  /// refused with kResourceExhausted instead of returned — for clients
+  /// that would rather fail fast than act on a too-partial answer.
+  double min_eta = 0.0;
+};
+
+/// \brief Monotonic resilience counters (plus the live queue gauge),
+/// mirrored into beas_stats by RefreshStatsTable.
+struct ServiceCounters {
+  uint64_t queries_timed_out_total = 0;  ///< answers returned past deadline
+  uint64_t queries_rejected_total = 0;   ///< admission / queue / min_eta
+  uint64_t queries_degraded_total = 0;   ///< budget capped by admission
+  uint64_t submit_queue_depth = 0;       ///< Submit() in flight right now
+  uint64_t inflight_cost = 0;            ///< admitted cost units in flight
 };
 
 /// \brief A query answer plus the service-level telemetry.
@@ -41,6 +88,12 @@ struct ServiceResponse {
   bool cache_hit = false;   ///< answered from a cached template plan
   bool cacheable = true;    ///< template was eligible for the cache
   uint64_t template_hash = 0;
+  /// \name Resilience telemetry (bounded executions; defaults elsewhere).
+  /// @{
+  double eta = 1.0;         ///< coverage lower bound of the answer
+  bool degraded = false;    ///< admission capped this query's fetch budget
+  bool timed_out = false;   ///< the deadline/cancel expired mid-chain
+  /// @}
 };
 
 /// \brief The concurrent query-service layer: the first piece of the
@@ -121,16 +174,30 @@ class BeasService {
 
   /// \name Read side (shared lock; safe from many threads).
   /// @{
-  Result<ServiceResponse> Execute(const std::string& sql);
-  Result<ServiceResponse> ExecuteBounded(const std::string& sql);
+  Result<ServiceResponse> Execute(const std::string& sql) {
+    return Execute(sql, QueryOptions{});
+  }
+  /// Execute with per-request deadline / cancellation / budget / min-η.
+  Result<ServiceResponse> Execute(const std::string& sql,
+                                  const QueryOptions& qopts);
+  Result<ServiceResponse> ExecuteBounded(const std::string& sql) {
+    return ExecuteBounded(sql, QueryOptions{});
+  }
+  Result<ServiceResponse> ExecuteBounded(const std::string& sql,
+                                         const QueryOptions& qopts);
   Result<ApproxResult> ExecuteApproximate(const std::string& sql,
                                           uint64_t budget);
   Result<CoverageResult> Check(const std::string& sql);
   /// @}
 
   /// Enqueues `sql` on the worker pool; the future resolves to the same
-  /// response Execute would produce.
-  std::future<Result<ServiceResponse>> Submit(const std::string& sql);
+  /// response Execute would produce. At max_queue_depth in-flight
+  /// submissions the call resolves immediately with kResourceExhausted.
+  std::future<Result<ServiceResponse>> Submit(const std::string& sql) {
+    return Submit(sql, QueryOptions{});
+  }
+  std::future<Result<ServiceResponse>> Submit(const std::string& sql,
+                                              const QueryOptions& qopts);
 
   /// \name Serving-health metadata table.
   /// Queries that mention `beas_stats` trigger a refresh of a real table
@@ -172,6 +239,10 @@ class BeasService {
   }
   /// @}
 
+  /// Resilience counters (timeouts, rejections, degradations, queue/cost
+  /// gauges); also mirrored into beas_stats.
+  ServiceCounters service_counters() const;
+
   PlanCacheStats cache_stats() const { return cache_.stats(); }
   void set_cache_enabled(bool enabled) { cache_enabled_.store(enabled); }
   bool cache_enabled() const { return cache_enabled_.load(); }
@@ -192,7 +263,30 @@ class BeasService {
 
  private:
   /// Cached-path Execute; caller holds the shared lock.
-  Result<ServiceResponse> ExecuteLocked(const std::string& sql);
+  Result<ServiceResponse> ExecuteLocked(const std::string& sql,
+                                        const QueryOptions& qopts);
+
+  /// One admitted reservation against max_inflight_cost. `charged` is
+  /// released by ReleaseAdmission; `grant` < the requested bound means the
+  /// query runs degraded under that budget.
+  struct AdmissionTicket {
+    uint64_t charged = 0;
+    uint64_t grant = 0;
+    bool degraded = false;
+  };
+
+  /// CAS-reserves up to `bound` cost units. kResourceExhausted when the
+  /// pool is fully committed; a partial grant marks the ticket degraded.
+  Result<AdmissionTicket> Admit(uint64_t bound);
+  void ReleaseAdmission(const AdmissionTicket& ticket);
+
+  /// Shared tail of every covered (bounded) execution: admission against
+  /// the plan's deduced bound, deadline/cancel wiring, execution, and the
+  /// η / degraded / timed_out verdicts on `resp`. Callers fill the
+  /// decision fields.
+  Status RunCoveredAdmitted(const BoundQuery& query, const BoundedPlan& plan,
+                            BoundedExecOptions exec_options,
+                            const QueryOptions& qopts, ServiceResponse* resp);
 
   /// Cached-path Check; caller holds the shared lock. `cache_hit` (may be
   /// null) reports whether the verdict came from the template cache;
@@ -213,7 +307,8 @@ class BeasService {
   /// template and carries this instance's parameters.
   Result<ServiceResponse> ExecuteMiss(const std::string& sql,
                                       const SqlTemplate& masked,
-                                      BoundQuery query);
+                                      BoundQuery query,
+                                      const QueryOptions& qopts);
 
   /// Builds the cache entry skeleton shared by the miss paths: coverage
   /// fields plus the prepared template (null if validation failed).
@@ -238,6 +333,15 @@ class BeasService {
   /// Serializes stats-table refreshes (each beas_stats query triggers
   /// one). Leaf ordering: taken before any Database lock, never inside.
   mutable std::mutex stats_refresh_mutex_;
+
+  /// \name Resilience state (all atomics; no lock discipline).
+  /// @{
+  std::atomic<uint64_t> inflight_cost_{0};
+  std::atomic<uint64_t> submit_queue_depth_{0};
+  std::atomic<uint64_t> queries_timed_out_{0};
+  std::atomic<uint64_t> queries_rejected_{0};
+  std::atomic<uint64_t> queries_degraded_{0};
+  /// @}
 
   /// Serves Submit() query dispatch AND the bounded executor's sharded
   /// index probes (ParallelFor lets the submitting thread participate, so

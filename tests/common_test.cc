@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <unordered_set>
 
+#include "common/exec_control.h"
+#include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -43,6 +46,16 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
   EXPECT_EQ(Status::BudgetExceeded("x").code(), StatusCode::kBudgetExceeded);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -295,6 +308,110 @@ TEST(TaskPoolTest, SubmitRunsTasks) {
     }
   }  // destructor drains the queue
   EXPECT_EQ(ran.load(), 20);
+}
+
+// ---------------------------------------------------------------------------
+// Fail points.
+// ---------------------------------------------------------------------------
+
+/// Arms a spec for one scope, disarming on exit.
+struct FailGuard {
+  explicit FailGuard(const char* spec) { fail::ArmForTesting(spec); }
+  ~FailGuard() { fail::ArmForTesting(nullptr); }
+};
+
+TEST(FailPointTest, DisarmedPointIsOk) {
+  fail::ArmForTesting(nullptr);
+  EXPECT_TRUE(fail::Point("anything").ok());
+}
+
+TEST(FailPointTest, ErrorActionFiresOnceOnFirstHitByDefault) {
+  FailGuard guard("site_a=error");
+  Status st = fail::Point("site_a");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find("site_a"), std::string::npos);
+  // Nth trigger (default N=1): later hits pass.
+  EXPECT_TRUE(fail::Point("site_a").ok());
+  // Other sites are unaffected.
+  EXPECT_TRUE(fail::Point("site_b").ok());
+}
+
+TEST(FailPointTest, NthTriggerSkipsEarlierHits) {
+  FailGuard guard("site_a=error@3");
+  EXPECT_TRUE(fail::Point("site_a").ok());
+  EXPECT_TRUE(fail::Point("site_a").ok());
+  EXPECT_FALSE(fail::Point("site_a").ok());
+  EXPECT_TRUE(fail::Point("site_a").ok());
+}
+
+TEST(FailPointTest, EveryTriggerFiresOnEveryHit) {
+  FailGuard guard("site_a=error@*");
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(fail::Point("site_a").ok()) << i;
+  }
+}
+
+TEST(FailPointTest, EnospcActionCarriesTheDiskFullShape) {
+  FailGuard guard("site_a=error(enospc)");
+  Status st = fail::Point("site_a");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("No space left on device"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(FailPointTest, SleepActionDelaysThenSucceeds) {
+  FailGuard guard("site_a=sleep(30)@*");
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(fail::Point("site_a").ok());
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            25);
+}
+
+TEST(FailPointTest, MultipleEntriesAndMalformedOnesAreDropped) {
+  // Malformed entries must be ignored, valid ones honored.
+  FailGuard guard("=error;site_a=nosuchaction;site_b=error;;site_c=off@*");
+  EXPECT_TRUE(fail::Point("site_a").ok());
+  EXPECT_FALSE(fail::Point("site_b").ok());
+  EXPECT_TRUE(fail::Point("site_c").ok());
+}
+
+TEST(FailPointTest, LegacyCrashSpecMapsIoSitesToErrors) {
+  fail::ArmLegacyCrashSpec("wal_group_io:2,wal_repair_fail");
+  EXPECT_TRUE(fail::Point("wal_group_io").ok());   // hit 1, armed for N=2
+  EXPECT_FALSE(fail::Point("wal_group_io").ok());  // hit 2 fires as error
+  EXPECT_FALSE(fail::Point("wal_repair_fail").ok());
+  fail::ArmLegacyCrashSpec(nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// ExecControl.
+// ---------------------------------------------------------------------------
+
+TEST(ExecControlTest, DefaultIsInactiveAndNeverExpires) {
+  ExecControl control;
+  EXPECT_FALSE(control.active());
+  EXPECT_FALSE(control.Expired());
+}
+
+TEST(ExecControlTest, CancelTokenExpiresImmediately) {
+  std::atomic<bool> cancel{false};
+  ExecControl control;
+  control.cancel = &cancel;
+  EXPECT_TRUE(control.active());
+  EXPECT_FALSE(control.Expired());
+  cancel.store(true);
+  EXPECT_TRUE(control.Expired());
+}
+
+TEST(ExecControlTest, DeadlineExpiresAfterTimeout) {
+  ExecControl control = ExecControl::After(std::chrono::milliseconds(0));
+  EXPECT_TRUE(control.active());
+  EXPECT_TRUE(control.Expired());  // zero timeout: already past
+  ExecControl future = ExecControl::After(std::chrono::hours(1));
+  EXPECT_FALSE(future.Expired());
 }
 
 }  // namespace

@@ -21,9 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/file_util.h"
 #include "common/shard_config.h"
-#include "durability/crash_point.h"
 #include "durability/durability_manager.h"
 #include "durability/segment.h"
 #include "durability/serde.h"
@@ -491,7 +491,7 @@ TEST(DurabilityRecoveryTest, RecoveryAcrossShardCountChange) {
 /// Returns the exit code (the injected crash _exit(42)s from within).
 int RunChild(const std::string& data_dir, const std::string& ack_path,
              const char* crash_spec) {
-  durability::SetCrashPointForTesting(crash_spec);
+  fail::ArmLegacyCrashSpec(crash_spec);
   int ack_fd = ::open(ack_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (ack_fd < 0) return 3;
   {
@@ -544,7 +544,7 @@ void RunKillPointCase(const char* crash_spec, size_t shards) {
   if (crash_spec == nullptr) {
     ASSERT_EQ(code, 0);
   } else {
-    ASSERT_EQ(code, durability::kCrashExitCode)
+    ASSERT_EQ(code, fail::kCrashExitCode)
         << "armed crash point never fired (or the child failed: exit "
         << code << ")";
   }
@@ -552,7 +552,9 @@ void RunKillPointCase(const char* crash_spec, size_t shards) {
   std::vector<ScriptOp> ops = BuildOpScript();
   size_t acked = CountAckedPrefix(ack_path);
   ASSERT_LE(acked, ops.size());
-  if (crash_spec == nullptr) ASSERT_EQ(acked, ops.size());
+  if (crash_spec == nullptr) {
+    ASSERT_EQ(acked, ops.size());
+  }
 
   std::unique_ptr<BeasService> recovered = MakeService(data_dir);
   ASSERT_TRUE(recovered->durable())
@@ -597,16 +599,15 @@ TEST(DurabilityKillPointTest, RecoversCommittedPrefixAtEveryCrashSite) {
 }
 
 // ---------------------------------------------------------------------------
-// Group-commit IO failure: truncate-repair and shard latching.
+// Group-commit IO failure: retry, truncate-repair and shard latching.
 // ---------------------------------------------------------------------------
 
-/// Arms an in-process fault spec and guarantees disarming, so a failing
-/// assertion cannot leak an armed point into later tests.
-struct CrashSpecGuard {
-  explicit CrashSpecGuard(const char* spec) {
-    durability::SetCrashPointForTesting(spec);
-  }
-  ~CrashSpecGuard() { durability::SetCrashPointForTesting(nullptr); }
+/// Arms an in-process fault spec (BEAS_FAIL_POINTS syntax) and guarantees
+/// disarming, so a failing assertion cannot leak an armed point into
+/// later tests.
+struct FailSpecGuard {
+  explicit FailSpecGuard(const char* spec) { fail::ArmForTesting(spec); }
+  ~FailSpecGuard() { fail::ArmForTesting(nullptr); }
 };
 
 std::vector<int64_t> LivePnums(BeasService* svc) {
@@ -624,7 +625,7 @@ std::vector<int64_t> LivePnums(BeasService* svc) {
   return pnums;
 }
 
-TEST(DurabilityFailureRepairTest, FailedGroupIsCutBackAndNeverReplayed) {
+TEST(DurabilityFailureRepairTest, TransientGroupFailureIsRetriedAndAcked) {
   ShardOverrideGuard guard(1);  // one WAL shard: routing is deterministic
   TempDir tmp;
   std::string data_dir = tmp.path + "/data";
@@ -635,26 +636,64 @@ TEST(DurabilityFailureRepairTest, FailedGroupIsCutBackAndNeverReplayed) {
     ASSERT_TRUE(
         svc->Insert("call", {I(1), I(1), Dt("2016-01-01"), S("r")}).ok());
 
-    // The next group commit fails after its CRC-valid bytes are in the
-    // file — the shape a failed fsync leaves. The writer must be nacked.
+    // The next group commit fails once after its CRC-valid bytes are in
+    // the file — the shape a single failed fsync leaves. The drainer must
+    // cut the failed bytes back, re-append the same group and ack it: a
+    // transient fault costs a retry, not a lost write.
     {
-      CrashSpecGuard fail("wal_group_io");
+      FailSpecGuard fault("wal_group_io=error");
       Status st = svc->Insert("call", {I(2), I(2), Dt("2016-01-01"), S("r")});
-      EXPECT_FALSE(st.ok());
+      EXPECT_TRUE(st.ok()) << st.ToString();
     }
-    // The repair truncated the nacked group away; the shard keeps
-    // accepting work and later acked groups extend a clean prefix.
+    durability::DurabilityCounters counters = svc->durability_counters();
+    EXPECT_GE(counters.wal_retries_total, 1u);
+    EXPECT_EQ(counters.wal_latched_shards, 0u);
     ASSERT_TRUE(
         svc->Insert("call", {I(3), I(3), Dt("2016-01-01"), S("r")}).ok());
-    EXPECT_EQ(LivePnums(svc.get()), (std::vector<int64_t>{1, 3}));
+    EXPECT_EQ(LivePnums(svc.get()), (std::vector<int64_t>{1, 2, 3}));
   }
-  // Recovery sees every acked record and not the nacked one: neither is
-  // row 2 replayed (its bytes were cut), nor is row 3 shadowed by a torn
-  // record ahead of it in the file.
+  // Recovery sees exactly the acked records, with the retried group
+  // replayed once: the failed first attempt's bytes were truncated away,
+  // not left to shadow or duplicate the re-appended group.
   std::unique_ptr<BeasService> recovered = MakeService(data_dir);
   ASSERT_TRUE(recovered->durable())
       << recovered->durability_status().ToString();
-  EXPECT_EQ(LivePnums(recovered.get()), (std::vector<int64_t>{1, 3}));
+  EXPECT_EQ(LivePnums(recovered.get()), (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(DurabilityFailureRepairTest, PersistentFailureExhaustsRetriesAndLatches) {
+  ShardOverrideGuard guard(1);
+  TempDir tmp;
+  std::string data_dir = tmp.path + "/data";
+  {
+    std::unique_ptr<BeasService> svc = MakeService(data_dir);
+    ASSERT_TRUE(svc->durable());
+    ASSERT_TRUE(svc->CreateTable("call", CallSchema()).ok());
+    ASSERT_TRUE(
+        svc->Insert("call", {I(1), I(1), Dt("2016-01-01"), S("r")}).ok());
+
+    // Every attempt fails: the bounded retry loop must give up after the
+    // configured limit, latch the shard, and surface the typed verdict.
+    {
+      FailSpecGuard fault("wal_group_io=error@*");
+      Status st = svc->Insert("call", {I(2), I(2), Dt("2016-01-01"), S("r")});
+      ASSERT_FALSE(st.ok());
+      EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st.ToString();
+    }
+    durability::DurabilityCounters counters = svc->durability_counters();
+    EXPECT_GE(counters.wal_retries_total, 3u);
+    EXPECT_EQ(counters.wal_latched_shards, 1u);
+    Status st = svc->Insert("call", {I(3), I(3), Dt("2016-01-01"), S("r")});
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+    EXPECT_NE(st.ToString().find("latched"), std::string::npos)
+        << st.ToString();
+  }
+  // Everything acked before the latch recovers; nothing after it exists.
+  std::unique_ptr<BeasService> recovered = MakeService(data_dir);
+  ASSERT_TRUE(recovered->durable())
+      << recovered->durability_status().ToString();
+  EXPECT_EQ(LivePnums(recovered.get()), (std::vector<int64_t>{1}));
 }
 
 TEST(DurabilityFailureRepairTest, UnrepairableFailureLatchesTheShard) {
@@ -668,16 +707,18 @@ TEST(DurabilityFailureRepairTest, UnrepairableFailureLatchesTheShard) {
     ASSERT_TRUE(
         svc->Insert("call", {I(1), I(1), Dt("2016-01-01"), S("r")}).ok());
 
-    // Group commit fails AND the truncate-repair fails: the shard must
-    // latch and refuse everything after, because its file may now end in
-    // bytes the accounting cannot vouch for.
+    // Group commit fails AND the truncate-repair fails: no retry is
+    // sound, because the file may now end in bytes the accounting cannot
+    // vouch for. The shard must latch immediately.
     {
-      CrashSpecGuard fail("wal_group_io,wal_repair_fail");
-      EXPECT_FALSE(
-          svc->Insert("call", {I(2), I(2), Dt("2016-01-01"), S("r")}).ok());
+      FailSpecGuard fault("wal_group_io=error;wal_repair_fail=error");
+      Status st = svc->Insert("call", {I(2), I(2), Dt("2016-01-01"), S("r")});
+      ASSERT_FALSE(st.ok());
+      EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st.ToString();
     }
     Status st = svc->Insert("call", {I(3), I(3), Dt("2016-01-01"), S("r")});
-    EXPECT_FALSE(st.ok());
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kUnavailable);
     EXPECT_NE(st.ToString().find("latched"), std::string::npos)
         << st.ToString();
   }

@@ -1,0 +1,327 @@
+// Fail-point error-injection sweep: arm an injected IO error (and an
+// ENOSPC-shaped disk-full error) at every durable-write protocol site —
+// WAL append, group commit, fsync boundaries, truncate-repair, checkpoint
+// segment writes, checkpoint commit tail — and assert the typed verdicts:
+// a transient fault is retried and acked without latching the shard, a
+// failed checkpoint reports a typed error and reclaims its half-written
+// segments, and recovery after every injected fault is bit-identical to
+// an in-memory replay of the acked operations. Complements the fork-based
+// kill-point sweep in durability_test.cc (which crashes at the same
+// sites) with the error-return half of the fail-point facility.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/file_util.h"
+#include "common/shard_config.h"
+#include "durability/durability_manager.h"
+#include "service/beas_service.h"
+#include "test_util.h"
+
+namespace beas {
+namespace {
+
+using testing_util::Dt;
+using testing_util::I;
+using testing_util::S;
+using testing_util::ShardOverrideGuard;
+
+/// RAII scratch directory under TMPDIR (CI points this at a tmpfs).
+struct TempDir {
+  std::string path;
+
+  TempDir() {
+    const char* base = std::getenv("TMPDIR");
+    std::string tmpl = std::string(base != nullptr ? base : "/tmp") +
+                       "/beas_failpoint_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    char* made = mkdtemp(buf.data());
+    EXPECT_NE(made, nullptr);
+    if (made != nullptr) path = made;
+  }
+  ~TempDir() {
+    if (!path.empty()) RemoveAll(path);
+  }
+};
+
+/// Arms an in-process fault spec (BEAS_FAIL_POINTS syntax) and guarantees
+/// disarming, so a failing assertion cannot leak an armed point into
+/// later tests.
+struct FailSpecGuard {
+  explicit FailSpecGuard(const char* spec) { fail::ArmForTesting(spec); }
+  ~FailSpecGuard() { fail::ArmForTesting(nullptr); }
+};
+
+Schema CallSchema() {
+  return Schema({{"pnum", TypeId::kInt64},
+                 {"recnum", TypeId::kInt64},
+                 {"date", TypeId::kDate},
+                 {"region", TypeId::kString}});
+}
+
+std::unique_ptr<BeasService> MakeService(const std::string& data_dir) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  if (!data_dir.empty()) {
+    options.durability.dir = data_dir;
+  }
+  return std::make_unique<BeasService>(options);
+}
+
+/// Everything recovery must restore, rendered deterministically: heap slot
+/// layout with liveness, dictionary contents, registered constraints with
+/// their AC-index buckets, and a bounded query through the restored index.
+std::string StateFingerprint(BeasService* svc) {
+  std::ostringstream out;
+  Database* db = svc->db();
+  for (const std::string& name : db->catalog()->TableNames()) {
+    if (name == BeasService::kStatsTableName) continue;
+    auto info = db->catalog()->GetTable(name);
+    if (!info.ok()) continue;
+    const TableHeap& heap = *info.ValueOrDie()->heap();
+    out << "table " << name << " schema " << heap.schema().ToString() << "\n";
+    for (size_t slot = 0; slot < heap.NumSlots(); ++slot) {
+      auto [shard, local] = heap.DirectorySlot(slot);
+      out << "  slot " << slot << " -> (" << shard << "," << local << ") "
+          << (heap.ShardRowLive(shard, local) ? "live " : "dead ")
+          << RowToString(heap.ShardRowAt(shard, local)) << "\n";
+    }
+    const StringDict* dict = heap.dict();
+    if (dict != nullptr) {
+      out << "  dict size=" << dict->size() << "\n";
+      for (uint32_t code = 0; code < dict->size(); ++code) {
+        out << "    " << code << " => " << dict->str(code) << "\n";
+      }
+    }
+  }
+  for (const AccessConstraint& c : svc->catalog()->schema().constraints()) {
+    out << "constraint " << c.name << " on " << c.table << " N=" << c.limit_n
+        << "\n";
+    const AcIndex* index = svc->catalog()->IndexFor(c.name);
+    if (index == nullptr) continue;
+    std::vector<std::string> buckets;
+    index->ForEachBucket([&buckets](const ValueVec& key,
+                                    const std::vector<Row>& ys,
+                                    const std::vector<size_t>& mults) {
+      std::ostringstream b;
+      b << "  " << RowToString(key) << " :";
+      for (size_t i = 0; i < ys.size(); ++i) {
+        b << " " << RowToString(ys[i]) << "x" << mults[i];
+      }
+      buckets.push_back(b.str());
+    });
+    std::sort(buckets.begin(), buckets.end());
+    for (const std::string& b : buckets) out << b << "\n";
+  }
+  auto resp = svc->ExecuteBounded(
+      "SELECT call.region FROM call WHERE call.pnum = 2 AND "
+      "call.date = '2016-01-01'");
+  if (resp.ok()) {
+    std::vector<Row> rows = resp->result.rows;
+    std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+      return CompareValueVec(a, b) < 0;
+    });
+    out << "bounded:";
+    for (const Row& row : rows) out << " " << RowToString(row);
+    out << "\n";
+  } else {
+    out << "bounded error: " << resp.status().ToString() << "\n";
+  }
+  return out.str();
+}
+
+/// The fixed op script every sweep case replays: schema, three writes
+/// (the second one under the armed fault), and a constraint.
+Status ApplyOps(BeasService* svc, Status* faulted_insert,
+                const char* fault_spec) {
+  BEAS_RETURN_NOT_OK(svc->CreateTable("call", CallSchema()).status());
+  BEAS_RETURN_NOT_OK(
+      svc->Insert("call", {I(1), I(1), Dt("2016-01-01"), S("r1")}));
+  {
+    FailSpecGuard fault(fault_spec);
+    *faulted_insert =
+        svc->Insert("call", {I(2), I(2), Dt("2016-01-01"), S("r2")});
+  }
+  BEAS_RETURN_NOT_OK(
+      svc->Insert("call", {I(3), I(3), Dt("2016-01-01"), S("r2")}));
+  return svc->RegisterConstraint(
+      {"psi1", "call", {"pnum", "date"}, {"recnum", "region"}, 500});
+}
+
+// ---------------------------------------------------------------------------
+// WAL sites: a single-shot injected error at any point of the group-commit
+// protocol is a transient fault — the drainer repairs, retries and acks.
+// The shard must not latch, and recovery must match the in-memory replay
+// bit for bit. (wal_repair_fail alone never fires: repair only runs after
+// a group failure — the armed-but-unhit case must be a clean no-op too.)
+// ---------------------------------------------------------------------------
+
+TEST(FailPointSweepTest, TransientWalErrorsAreRetriedAndRecoverExactly) {
+  const char* kWalSpecs[] = {
+      "wal_append=error",      "wal_group_io=error", "wal_pre_fsync=error",
+      "wal_post_fsync=error",  "wal_repair_fail=error",
+  };
+  for (size_t shards : {size_t{1}, size_t{3}}) {
+    for (const char* spec : kWalSpecs) {
+      SCOPED_TRACE(std::string(spec) + " shards=" + std::to_string(shards));
+      ShardOverrideGuard guard(shards);
+
+      // In-memory reference: the same ops with the same spec armed (a
+      // no-op without a durability layer) define the expected state.
+      std::unique_ptr<BeasService> reference = MakeService("");
+      Status ref_faulted;
+      ASSERT_TRUE(ApplyOps(reference.get(), &ref_faulted, "").ok());
+      ASSERT_TRUE(ref_faulted.ok());
+      std::string expected = StateFingerprint(reference.get());
+
+      TempDir tmp;
+      std::string data_dir = tmp.path + "/data";
+      {
+        std::unique_ptr<BeasService> svc = MakeService(data_dir);
+        ASSERT_TRUE(svc->durable()) << svc->durability_status().ToString();
+        Status faulted;
+        Status st = ApplyOps(svc.get(), &faulted, spec);
+        ASSERT_TRUE(st.ok()) << st.ToString();
+        EXPECT_TRUE(faulted.ok())
+            << "single-shot fault must be retried, got: " << faulted.ToString();
+        durability::DurabilityCounters counters = svc->durability_counters();
+        EXPECT_EQ(counters.wal_latched_shards, 0u)
+            << "a transient fault must never latch a shard";
+        EXPECT_EQ(StateFingerprint(svc.get()), expected);
+      }
+      std::unique_ptr<BeasService> recovered = MakeService(data_dir);
+      ASSERT_TRUE(recovered->durable())
+          << recovered->durability_status().ToString();
+      EXPECT_EQ(StateFingerprint(recovered.get()), expected);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint sites: a failed checkpoint must surface a typed error,
+// reclaim its half-written segment directory (pressure relief — on
+// ENOSPC the verdict is kResourceExhausted), leave the service serving
+// writes, and leave the directory recoverable. A fault after the commit
+// point (ckpt_post_truncate) reports the error but the checkpoint itself
+// is durable.
+// ---------------------------------------------------------------------------
+
+struct CheckpointCase {
+  const char* spec;
+  StatusCode expected_code;
+  bool committed;  ///< the checkpoint landed despite the reported error
+};
+
+TEST(FailPointSweepTest, CheckpointErrorsAreTypedAndReclaimed) {
+  const CheckpointCase kCases[] = {
+      {"ckpt_write=error", StatusCode::kIoError, false},
+      {"ckpt_write=error(enospc)", StatusCode::kResourceExhausted, false},
+      {"ckpt_mid=error", StatusCode::kIoError, false},
+      {"ckpt_post_truncate=error", StatusCode::kIoError, true},
+  };
+  for (const CheckpointCase& test_case : kCases) {
+    SCOPED_TRACE(test_case.spec);
+    ShardOverrideGuard guard(1);
+
+    std::unique_ptr<BeasService> reference = MakeService("");
+    Status ref_faulted;
+    ASSERT_TRUE(ApplyOps(reference.get(), &ref_faulted, "").ok());
+    ASSERT_TRUE(
+        reference->Insert("call", {I(4), I(4), Dt("2016-01-02"), S("r1")})
+            .ok());
+    std::string expected = StateFingerprint(reference.get());
+
+    TempDir tmp;
+    std::string data_dir = tmp.path + "/data";
+    {
+      std::unique_ptr<BeasService> svc = MakeService(data_dir);
+      ASSERT_TRUE(svc->durable()) << svc->durability_status().ToString();
+      Status faulted;
+      ASSERT_TRUE(ApplyOps(svc.get(), &faulted, "").ok());
+      ASSERT_TRUE(faulted.ok());
+
+      {
+        FailSpecGuard fault(test_case.spec);
+        Status st = svc->Checkpoint();
+        ASSERT_FALSE(st.ok()) << test_case.spec;
+        EXPECT_EQ(st.code(), test_case.expected_code) << st.ToString();
+      }
+      EXPECT_EQ(svc->durability_counters().checkpoints_total,
+                test_case.committed ? 1u : 0u);
+
+      // The failure is not sticky: the service still serves durable
+      // writes, and the next checkpoint (over the reclaimed space)
+      // succeeds.
+      ASSERT_TRUE(
+          svc->Insert("call", {I(4), I(4), Dt("2016-01-02"), S("r1")}).ok());
+      Status retried = svc->Checkpoint();
+      EXPECT_TRUE(retried.ok()) << retried.ToString();
+      EXPECT_EQ(StateFingerprint(svc.get()), expected);
+    }
+    std::unique_ptr<BeasService> recovered = MakeService(data_dir);
+    ASSERT_TRUE(recovered->durable())
+        << recovered->durability_status().ToString();
+    EXPECT_EQ(StateFingerprint(recovered.get()), expected);
+    // Nothing replays: the post-fault checkpoint captured everything.
+    EXPECT_EQ(recovered->durability_counters().recovery_replayed_records, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Persistent pressure: when every attempt at a site fails (@* trigger),
+// the bounded retry loop gives up, latches the shard, and surfaces
+// kUnavailable — the typed signal a front door can act on.
+// ---------------------------------------------------------------------------
+
+TEST(FailPointSweepTest, PersistentWalFaultsLatchWithTypedUnavailable) {
+  const char* kPersistentSpecs[] = {
+      "wal_append=error@*",
+      "wal_group_io=error@*",
+      "wal_pre_fsync=error@*",
+  };
+  for (const char* spec : kPersistentSpecs) {
+    SCOPED_TRACE(spec);
+    ShardOverrideGuard guard(1);
+    TempDir tmp;
+    std::string data_dir = tmp.path + "/data";
+    {
+      std::unique_ptr<BeasService> svc = MakeService(data_dir);
+      ASSERT_TRUE(svc->durable());
+      ASSERT_TRUE(svc->CreateTable("call", CallSchema()).ok());
+      ASSERT_TRUE(
+          svc->Insert("call", {I(1), I(1), Dt("2016-01-01"), S("r1")}).ok());
+      {
+        FailSpecGuard fault(spec);
+        Status st =
+            svc->Insert("call", {I(2), I(2), Dt("2016-01-01"), S("r2")});
+        ASSERT_FALSE(st.ok());
+        EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st.ToString();
+      }
+      durability::DurabilityCounters counters = svc->durability_counters();
+      EXPECT_EQ(counters.wal_latched_shards, 1u);
+      EXPECT_GE(counters.wal_retries_total, 1u);
+      // The latch is sticky and typed, even after the fault clears.
+      Status st = svc->Insert("call", {I(3), I(3), Dt("2016-01-01"), S("r1")});
+      ASSERT_FALSE(st.ok());
+      EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+    }
+    // Only the pre-fault prefix recovers.
+    std::unique_ptr<BeasService> recovered = MakeService(data_dir);
+    ASSERT_TRUE(recovered->durable())
+        << recovered->durability_status().ToString();
+    auto info = recovered->db()->catalog()->GetTable("call");
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info.ValueOrDie()->heap()->NumRows(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace beas

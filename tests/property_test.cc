@@ -11,7 +11,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+
 #include "bounded/beas_session.h"
+#include "common/exec_control.h"
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "common/shard_config.h"
 #include "common/task_pool.h"
@@ -269,6 +274,7 @@ void ExpectFragmentsIdentical(const BoundedExecutor::Fragment& s,
   EXPECT_DOUBLE_EQ(s.stats.eta, v.stats.eta);
   EXPECT_EQ(s.stats.tuples_fetched, v.stats.tuples_fetched);
   EXPECT_EQ(s.stats.keys_probed, v.stats.keys_probed);
+  EXPECT_EQ(s.stats.timed_out, v.stats.timed_out);
 }
 
 class VectorizedScalarDifferential : public ::testing::TestWithParam<uint64_t> {
@@ -736,6 +742,218 @@ TEST_P(ColumnarTailDifferential, TailsAgreeBitForBitAcrossShardsAndRebuilds) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ColumnarTailDifferential,
                          ::testing::Range<uint64_t>(0, 15));
+
+// ---------------------------------------------------------------------------
+// P9. Deadline/cancel differential: an expired ExecControl behaves exactly
+// like an exhausted fetch budget. A pre-set cancel token (and an
+// already-expired deadline) yields the same deterministic partial answer —
+// bit-identical rows, order, weights, η and probe counters — across
+// BEAS_SHARDS {1, 3, 8}, scalar and vectorized paths, pool on/off, and
+// fetch budgets. With a fail-point delay holding each fetch step open, a
+// mid-chain deadline produces η monotone in the deadline, and once the
+// fault is disarmed the same executor serves exact answers again.
+// ---------------------------------------------------------------------------
+
+/// Arms an in-process fault spec and guarantees disarming.
+struct PropertyFailGuard {
+  explicit PropertyFailGuard(const char* spec) { fail::ArmForTesting(spec); }
+  ~PropertyFailGuard() { fail::ArmForTesting(nullptr); }
+};
+
+class DeadlineCancelDifferential : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(DeadlineCancelDifferential, ExpiryIsBudgetExhaustionBitForBit) {
+  const size_t kShardCounts[] = {1, 3, 8};
+  const uint64_t budgets[] = {0, 2, 17};
+
+  std::vector<RandomDb> envs;
+  for (size_t shards : kShardCounts) {
+    ShardOverrideGuard guard(shards);
+    Rng rng(GetParam() * 63809 + 41);
+    envs.push_back(BuildRandomDb(&rng));
+    // The random constraint draw rarely covers a multi-step chain, and a
+    // vacuously-covered query (no probe keys) would make this property
+    // trivial. Guarantee the chains below: profile and register
+    // c0 -> (c1, c2) on t0 and c0 -> c1 on t1 (N from the data, so the
+    // constraints conform — and the bound is partitioning-independent).
+    for (const auto& want :
+         {std::pair<std::string, std::vector<std::string>>{"t0", {"c1", "c2"}},
+          std::pair<std::string, std::vector<std::string>>{"t1", {"c1"}}}) {
+      TableInfo* info = *envs.back().db->catalog()->GetTable(want.first);
+      CandidatePattern pattern;
+      pattern.table = want.first;
+      pattern.x_attrs = {"c0"};
+      pattern.y_attrs = want.second;
+      auto profile = ProfileCandidate(*info->heap(), pattern);
+      ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+      AccessConstraint constraint;
+      constraint.name = "p9_" + want.first;
+      constraint.table = want.first;
+      constraint.x_attrs = pattern.x_attrs;
+      constraint.y_attrs = pattern.y_attrs;
+      constraint.limit_n = profile->observed_n;
+      Status registered = envs.back().catalog->Register(constraint);
+      // kAlreadyExists = the random draw registered this exact pattern
+      // already, which covers the chains just as well.
+      ASSERT_TRUE(registered.ok() ||
+                  registered.code() == StatusCode::kAlreadyExists)
+          << registered.ToString();
+    }
+  }
+  std::vector<BoundedExecutor> executors;
+  for (RandomDb& env : envs) executors.emplace_back(env.catalog.get());
+  TaskPool pool(3);
+  std::atomic<bool> cancelled{true};
+
+  Rng qrng(GetParam() * 24107 + 7);
+  const std::string k = std::to_string(qrng.Uniform(0, 4));
+  // The first two chains are covered by the guaranteed constraints (the
+  // two-step join first: the mid-chain deadline block below uses the first
+  // covered query); the rest fuzz whatever the random draw covers.
+  std::vector<std::string> queries = {
+      "SELECT a.c1, b.c1 FROM t0 a, t1 b WHERE a.c0 = " + k +
+          " AND a.c1 = b.c0",
+      "SELECT a.c1, a.c2 FROM t0 a WHERE a.c0 = " + k,
+  };
+  for (int q = 0; q < 2; ++q) {
+    bool aggregate = false;
+    queries.push_back(BuildRandomQuery(&qrng, envs[0], &aggregate));
+  }
+  bool ran_midchain = false;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const std::string& sql = queries[q];
+    SCOPED_TRACE(sql);
+
+    auto ref_coverage = envs[0].session->Check(sql);
+    ASSERT_TRUE(ref_coverage.ok()) << ref_coverage.status().ToString();
+    if (q < 2) {
+      ASSERT_TRUE(ref_coverage->covered)
+          << "guaranteed constraints must cover the deterministic chains";
+    }
+    if (!ref_coverage->covered) continue;
+    auto ref_bound = envs[0].db->Bind(sql);
+    ASSERT_TRUE(ref_bound.ok());
+
+    // Exact reference (no control, no budget): the ceiling every partial
+    // answer's η sits under, and the answer the executor must return again
+    // once the pressure is gone.
+    BoundedExecOptions exact_opts;
+    exact_opts.use_vectorized = false;
+    auto exact = executors[0].ExecuteFragment(*ref_bound, ref_coverage->plan,
+                                              exact_opts);
+    ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+    ASSERT_FALSE(exact->stats.timed_out);
+
+    for (uint64_t budget : budgets) {
+      SCOPED_TRACE("budget=" + std::to_string(budget));
+      // Single-shard scalar reference under a pre-set cancel token.
+      BoundedExecOptions ref_opts;
+      ref_opts.use_vectorized = false;
+      ref_opts.fetch_budget = budget;
+      ref_opts.control.cancel = &cancelled;
+      auto reference = executors[0].ExecuteFragment(
+          *ref_bound, ref_coverage->plan, ref_opts);
+      ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+      // The token trips the first expiry poll — but a chain that never
+      // reaches a probe key (unsatisfiable plans) has nothing to shed and
+      // honestly stays !timed_out.
+      const bool expect_timeout = exact->stats.keys_probed > 0;
+      if (q < 2) {
+        EXPECT_TRUE(expect_timeout)
+            << "the deterministic chains must reach probe keys";
+      }
+      EXPECT_EQ(reference->stats.timed_out, expect_timeout);
+      EXPECT_LE(reference->stats.eta, exact->stats.eta);
+
+      for (size_t e = 0; e < envs.size(); ++e) {
+        SCOPED_TRACE("shards=" + std::to_string(kShardCounts[e]));
+        auto coverage = envs[e].session->Check(sql);
+        ASSERT_TRUE(coverage.ok());
+        ASSERT_TRUE(coverage->covered);
+        auto bound = envs[e].db->Bind(sql);
+        ASSERT_TRUE(bound.ok());
+
+        for (bool vectorized : {false, true}) {
+          for (TaskPool* p : {static_cast<TaskPool*>(nullptr), &pool}) {
+            SCOPED_TRACE(std::string(vectorized ? "vectorized" : "scalar") +
+                         (p != nullptr ? "+pool" : ""));
+            BoundedExecOptions opts;
+            opts.use_vectorized = vectorized;
+            opts.fetch_budget = budget;
+            opts.probe_pool = p;
+            opts.control.cancel = &cancelled;
+            auto frag = executors[e].ExecuteFragment(*bound, coverage->plan,
+                                                     opts);
+            ASSERT_TRUE(frag.ok()) << frag.status().ToString();
+            ExpectFragmentsIdentical(*reference, *frag);
+
+            // An already-expired deadline is indistinguishable from the
+            // cancel token: both trip the very first expiry poll.
+            BoundedExecOptions dead_opts = opts;
+            dead_opts.control = ExecControl::After(std::chrono::milliseconds(0));
+            auto dead = executors[e].ExecuteFragment(*bound, coverage->plan,
+                                                     dead_opts);
+            ASSERT_TRUE(dead.ok()) << dead.status().ToString();
+            ExpectFragmentsIdentical(*reference, *dead);
+          }
+        }
+      }
+    }
+
+    // Mid-chain deadlines, shards {1, 3} (first covered query only — each
+    // run sleeps 60ms per step): the exec_step fail point holds every
+    // fetch step open, so a 1ms deadline expires before the first step
+    // serves, a generous deadline never expires, and a 90ms one lands in
+    // between on multi-step chains. η must be monotone in the deadline on
+    // both paths, and the undisturbed run must still match the exact
+    // reference bit for bit.
+    if (!ran_midchain) {
+      ran_midchain = true;
+      PropertyFailGuard slow("exec_step=sleep(60)@*");
+      const int64_t deadlines_ms[] = {1, 90, 100000};
+      for (size_t e = 0; e < 2; ++e) {
+        SCOPED_TRACE("shards=" + std::to_string(kShardCounts[e]));
+        auto coverage = envs[e].session->Check(sql);
+        ASSERT_TRUE(coverage.ok());
+        ASSERT_TRUE(coverage->covered);
+        auto bound = envs[e].db->Bind(sql);
+        ASSERT_TRUE(bound.ok());
+        for (bool vectorized : {false, true}) {
+          SCOPED_TRACE(vectorized ? "vectorized" : "scalar");
+          double prev_eta = -1.0;
+          for (int64_t deadline_ms : deadlines_ms) {
+            BoundedExecOptions opts;
+            opts.use_vectorized = vectorized;
+            opts.control =
+                ExecControl::After(std::chrono::milliseconds(deadline_ms));
+            auto frag = executors[e].ExecuteFragment(*bound, coverage->plan,
+                                                     opts);
+            ASSERT_TRUE(frag.ok()) << frag.status().ToString();
+            EXPECT_GE(frag->stats.eta, prev_eta)
+                << "η must be monotone in the deadline (deadline_ms=" +
+                       std::to_string(deadline_ms) + ")";
+            prev_eta = frag->stats.eta;
+            if (deadline_ms == 100000) {
+              EXPECT_FALSE(frag->stats.timed_out);
+              ExpectFragmentsIdentical(*exact, *frag);
+            }
+          }
+        }
+      }
+    }
+
+    // Fault disarmed: the executor is unharmed and exact again.
+    auto after = executors[0].ExecuteFragment(*ref_bound, ref_coverage->plan,
+                                              exact_opts);
+    ASSERT_TRUE(after.ok()) << after.status().ToString();
+    ExpectFragmentsIdentical(*exact, *after);
+  }
+  EXPECT_TRUE(ran_midchain);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeadlineCancelDifferential,
+                         ::testing::Range<uint64_t>(0, 4));
 
 }  // namespace
 }  // namespace beas

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <future>
 #include <memory>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "bounded/bounded_plan.h"
+#include "common/failpoint.h"
 #include "common/file_util.h"
 #include "common/hash.h"
 #include "common/shard_config.h"
@@ -1169,6 +1171,272 @@ TEST_F(ServiceTest, BeasStatsPollingDoesNotGrowStorageForever) {
                    ->RegisterConstraint({"bad", BeasService::kStatsTableName,
                                          {"metric"}, {"value"}, 32})
                    .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Overload & failure resilience: deadlines, admission control, bounded
+// submit queue, and the beas_stats gauges that expose them.
+// ---------------------------------------------------------------------------
+
+/// Arms an in-process fault spec (BEAS_FAIL_POINTS syntax) and guarantees
+/// disarming, so a failing assertion cannot leak an armed point into
+/// later tests.
+struct ServiceFailGuard {
+  explicit ServiceFailGuard(const char* spec) { fail::ArmForTesting(spec); }
+  ~ServiceFailGuard() { fail::ArmForTesting(nullptr); }
+};
+
+class ResilienceTest : public ServiceTest {
+ protected:
+  // Each test constructs its own service with its own overload knobs.
+  void SetUp() override {}
+
+  void Start(const ServiceOptions& options) {
+    service_ = std::make_unique<BeasService>(options);
+    Populate(service_.get());
+  }
+
+  // Single-step covered template (deduced bound = psi1's N = 500).
+  static constexpr const char* kCallQuery =
+      "SELECT call.region FROM call WHERE call.pnum = 7 AND "
+      "call.date = '2016-03-15'";
+  // Two-step chain: psi3 fetches the bank pnums, psi1 fetches their calls
+  // — a tiny fetch budget exhausts mid-chain and shrinks η below 1.
+  static constexpr const char* kJoinQuery =
+      "SELECT call.region FROM call, business WHERE business.type = 'bank' "
+      "AND business.region = 'R1' AND business.pnum = call.pnum AND "
+      "call.date = '2016-03-15'";
+};
+
+TEST_F(ResilienceTest, CancelAndDeadlineReturnHonestPartialAnswers) {
+  Start(ServiceOptions{});
+  ServiceResponse full = MustExecute(kCallQuery);
+  EXPECT_FALSE(full.timed_out);
+  EXPECT_EQ(full.eta, 1.0);
+  ASSERT_FALSE(full.result.rows.empty());
+
+  // A pre-set cancel token expires at the very first poll: every probe key
+  // goes unserved, exactly like an exhausted budget — partial answer,
+  // honest η, never an error.
+  std::atomic<bool> cancel{true};
+  QueryOptions cancelled;
+  cancelled.cancel = &cancel;
+  auto resp = service_->Execute(kCallQuery, cancelled);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_TRUE(resp->timed_out);
+  EXPECT_LT(resp->eta, 1.0);
+  EXPECT_TRUE(resp->result.rows.empty());
+
+  // A real deadline, forced open deterministically: the exec_step fail
+  // point sleeps past the 1ms deadline before the first expiry poll.
+  {
+    ServiceFailGuard slow("exec_step=sleep(30)@*");
+    QueryOptions deadline;
+    deadline.timeout_millis = 1;
+    auto timed = service_->Execute(kCallQuery, deadline);
+    ASSERT_TRUE(timed.ok()) << timed.status().ToString();
+    EXPECT_TRUE(timed->timed_out);
+    EXPECT_LT(timed->eta, 1.0);
+  }
+  EXPECT_GE(service_->service_counters().queries_timed_out_total, 2u);
+
+  // The service stays consistent: the same template answers in full again.
+  ServiceResponse after = MustExecute(kCallQuery);
+  EXPECT_FALSE(after.timed_out);
+  EXPECT_EQ(Sorted(after.result.rows), Sorted(full.result.rows));
+}
+
+TEST_F(ResilienceTest, AdmissionDegradesBeforeRejecting) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.max_inflight_cost = 100;  // < the query's deduced bound of 500
+  Start(options);
+
+  // Alone, the query does not fit whole: it is admitted degraded under the
+  // remaining grant, and with so few actual rows the answer is still
+  // complete (η = 1) — degradation caps resources, not correctness.
+  auto degraded = service_->Execute(kCallQuery);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->degraded);
+  auto reference = service_->session().Execute(kCallQuery);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(Sorted(degraded->result.rows), Sorted(reference->rows));
+  EXPECT_GE(service_->service_counters().queries_degraded_total, 1u);
+  EXPECT_EQ(service_->service_counters().inflight_cost, 0u)
+      << "admission must be released after the query finishes";
+
+  // Saturation: park one query mid-chain (exec_step sleeps), so its grant
+  // holds the whole budget; a second arrival finds no cost left and is
+  // rejected — typed, immediate, no queueing.
+  {
+    ServiceFailGuard slow("exec_step=sleep(200)@*");
+    std::thread holder([&] {
+      auto resp = service_->Execute(kCallQuery);
+      EXPECT_TRUE(resp.ok()) << resp.status().ToString();
+    });
+    bool held = false;
+    for (int i = 0; i < 2000; ++i) {
+      if (service_->service_counters().inflight_cost >=
+          options.max_inflight_cost) {
+        held = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_TRUE(held) << "holder never charged the admission budget";
+    if (held) {
+      auto rejected = service_->Execute(kCallQuery);
+      ASSERT_FALSE(rejected.ok());
+      EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted)
+          << rejected.status().ToString();
+      EXPECT_NE(rejected.status().message().find("admission"),
+                std::string::npos)
+          << rejected.status().message();
+    }
+    holder.join();
+  }
+  EXPECT_GE(service_->service_counters().queries_rejected_total, 1u);
+
+  // Pressure gone, the service serves normally again.
+  ServiceResponse after = MustExecute(kCallQuery);
+  EXPECT_EQ(Sorted(after.result.rows), Sorted(reference->rows));
+}
+
+TEST_F(ResilienceTest, MinEtaRefusesTooPartialAnswers) {
+  Start(ServiceOptions{});
+
+  // fetch_budget=1: step one serves the bank key (2 pnums fetched), step
+  // two finds the budget spent after its first key — η drops below 1.
+  QueryOptions partial;
+  partial.fetch_budget = 1;
+  auto resp = service_->Execute(kJoinQuery, partial);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_LT(resp->eta, 1.0);
+  EXPECT_FALSE(resp->timed_out);
+
+  // The same partial answer is refused when the client demands more
+  // coverage than the budget can deliver.
+  QueryOptions strict = partial;
+  strict.min_eta = 0.9;
+  auto refused = service_->Execute(kJoinQuery, strict);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted)
+      << refused.status().ToString();
+  EXPECT_NE(refused.status().message().find("min_eta"), std::string::npos)
+      << refused.status().message();
+  EXPECT_GE(service_->service_counters().queries_rejected_total, 1u);
+}
+
+TEST_F(ResilienceTest, SubmitQueueIsBounded) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.max_queue_depth = 1;
+  Start(options);
+
+  // Park the only worker mid-query; the second submission finds the queue
+  // full and resolves immediately with the typed rejection.
+  ServiceFailGuard slow("exec_step=sleep(100)@*");
+  auto first = service_->Submit(kCallQuery);
+  auto second = service_->Submit(kCallQuery);
+  auto rejected = second.get();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted)
+      << rejected.status().ToString();
+  EXPECT_NE(rejected.status().message().find("queue"), std::string::npos)
+      << rejected.status().message();
+
+  auto accepted = first.get();
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+  EXPECT_FALSE(accepted->result.rows.empty());
+  EXPECT_GE(service_->service_counters().queries_rejected_total, 1u);
+
+  // The depth gauge drains back to zero (the worker decrements after
+  // resolving the future, so poll briefly).
+  bool drained = false;
+  for (int i = 0; i < 2000; ++i) {
+    if (service_->service_counters().submit_queue_depth == 0) {
+      drained = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(drained);
+}
+
+TEST_F(ResilienceTest, ResilienceGaugesExposedThroughBeasStats) {
+  ServiceOptions options;
+  options.max_inflight_cost = 100;
+  Start(options);
+
+  // Drive one of each: a degraded query, a cancelled one, a min_eta
+  // rejection.
+  ASSERT_TRUE(service_->Execute(kCallQuery).ok());
+  std::atomic<bool> cancel{true};
+  QueryOptions cancelled;
+  cancelled.cancel = &cancel;
+  ASSERT_TRUE(service_->Execute(kCallQuery, cancelled).ok());
+  QueryOptions strict;
+  strict.fetch_budget = 1;
+  strict.min_eta = 0.9;
+  ASSERT_FALSE(service_->Execute(kJoinQuery, strict).ok());
+
+  ServiceResponse resp =
+      MustExecute("SELECT metric, value FROM beas_stats ORDER BY metric");
+  auto value_of = [&](const std::string& metric) -> double {
+    for (const Row& row : resp.result.rows) {
+      if (row[0].AsString() == metric) return row[1].AsDouble();
+    }
+    ADD_FAILURE() << "metric '" << metric << "' missing";
+    return -1;
+  };
+  EXPECT_GE(value_of("queries_degraded_total"), 1.0);
+  EXPECT_GE(value_of("queries_timed_out_total"), 1.0);
+  EXPECT_GE(value_of("queries_rejected_total"), 1.0);
+  EXPECT_EQ(value_of("submit_queue_depth"), 0.0);
+  // In-memory service: the WAL resilience gauges exist and read zero.
+  EXPECT_EQ(value_of("wal_retries_total"), 0.0);
+  EXPECT_EQ(value_of("wal_latched_shards"), 0.0);
+}
+
+TEST(ServiceWalRetryStatsTest, WalRetryGaugesAdvanceThroughBeasStats) {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = std::string(base != nullptr ? base : "/tmp") +
+                     "/beas_svc_retry_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  ASSERT_NE(mkdtemp(buf.data()), nullptr);
+  std::string dir = buf.data();
+  {
+    ServiceOptions options;
+    options.num_workers = 1;
+    options.durability.dir = dir;
+    BeasService svc(options);
+    ASSERT_TRUE(svc.durable()) << svc.durability_status().ToString();
+    ASSERT_TRUE(svc.CreateTable("kv", Schema({{"k", TypeId::kInt64},
+                                              {"v", TypeId::kString}}))
+                    .ok());
+    // One transient group-commit fault: the drainer retries, the write
+    // lands, and the retry counter surfaces through beas_stats.
+    {
+      ServiceFailGuard fault("wal_group_io=error");
+      ASSERT_TRUE(svc.Insert("kv", {I(1), S("a")}).ok());
+    }
+    auto resp = svc.Execute(
+        "SELECT metric, value FROM beas_stats ORDER BY metric");
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    double retries = -1, latched = -1;
+    for (const Row& row : resp->result.rows) {
+      if (row[0].AsString() == "wal_retries_total") {
+        retries = row[1].AsDouble();
+      }
+      if (row[0].AsString() == "wal_latched_shards") {
+        latched = row[1].AsDouble();
+      }
+    }
+    EXPECT_GE(retries, 1.0);
+    EXPECT_EQ(latched, 0.0) << "a transient fault must not latch the shard";
+  }
+  RemoveAll(dir);
 }
 
 }  // namespace

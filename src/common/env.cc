@@ -1,0 +1,138 @@
+#include "common/env.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/file_util.h"
+
+namespace beas {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// Env::Default(): delegates to the file_util primitives, so the posix
+/// behavior of the durability protocol is byte-identical to the
+/// pre-seam code paths.
+class PosixWritableFile : public WritableFile {
+ public:
+  Status Append(const void* data, size_t len) override {
+    return file_.Append(data, len);
+  }
+  Status Sync() override { return file_.Sync(); }
+  Status Truncate(uint64_t size) override { return file_.Truncate(size); }
+  uint64_t size() const override { return file_.size(); }
+
+  AppendFile file_;
+};
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  const char* data() const override { return file_.data(); }
+  size_t size() const override { return file_.size(); }
+
+  MmapFile file_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    auto file = std::make_unique<PosixWritableFile>();
+    BEAS_RETURN_NOT_OK(file->file_.Open(path));
+    return std::unique_ptr<WritableFile>(std::move(file));
+  }
+
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    auto file = std::make_unique<PosixRandomAccessFile>();
+    BEAS_RETURN_NOT_OK(file->file_.Open(path));
+    return std::unique_ptr<RandomAccessFile>(std::move(file));
+  }
+
+  bool FileExists(const std::string& path) override {
+    return PathExists(path);
+  }
+
+  bool IsDirectory(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    return ::beas::ListDir(path);
+  }
+
+  Status CreateDir(const std::string& path) override {
+    return EnsureDir(path);
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return Errno("rename", from);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return Errno("unlink", path);
+    return Status::OK();
+  }
+
+  Status RemoveDir(const std::string& path) override {
+    if (::rmdir(path.c_str()) != 0) return Errno("rmdir", path);
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& path) override {
+    return ::beas::SyncDir(path);
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+Status Env::SyncParentDir(const std::string& path) {
+  size_t end = path.find_last_not_of('/');
+  if (end == std::string::npos) return SyncDir("/");
+  size_t slash = path.find_last_of('/', end);
+  if (slash == std::string::npos) return SyncDir(".");
+  return SyncDir(slash == 0 ? "/" : path.substr(0, slash));
+}
+
+Status Env::WriteFileAtomic(const std::string& path, const std::string& data) {
+  std::string tmp = path + ".tmp";
+  {
+    BEAS_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> f,
+                          NewWritableFile(tmp));
+    BEAS_RETURN_NOT_OK(f->Truncate(0));
+    BEAS_RETURN_NOT_OK(f->Append(data.data(), data.size()));
+    BEAS_RETURN_NOT_OK(f->Sync());
+  }
+  BEAS_RETURN_NOT_OK(RenameFile(tmp, path));
+  return SyncParentDir(path);
+}
+
+void Env::RemoveAll(const std::string& path) {
+  if (IsDirectory(path)) {
+    Result<std::vector<std::string>> names = ListDir(path);
+    if (names.ok()) {
+      for (const std::string& name : *names) RemoveAll(path + "/" + name);
+    }
+    (void)RemoveDir(path);
+  } else if (FileExists(path)) {
+    (void)RemoveFile(path);
+  }
+}
+
+}  // namespace beas

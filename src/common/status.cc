@@ -38,6 +38,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

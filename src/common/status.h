@@ -28,6 +28,7 @@ enum class StatusCode {
   kDeadlineExceeded,  ///< Query deadline expired before completion.
   kResourceExhausted, ///< Admission control rejected, or disk/queue full.
   kUnavailable,       ///< Subsystem latched/refusing work (e.g. WAL shard).
+  kCorruption,        ///< Stored bytes fail integrity checks (CRC, framing).
 };
 
 /// \brief Returns a short human-readable name for a status code.
@@ -93,6 +94,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
   /// @}
 

@@ -5,16 +5,20 @@
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "asx/access_schema.h"
-#include "common/file_util.h"
+#include "common/env.h"
 #include "common/result.h"
+#include "durability/segment.h"
 #include "durability/wal.h"
 #include "engine/database.h"
 
@@ -50,6 +54,11 @@ struct DurabilityOptions {
   /// 100ms). Writers in the group wait through it — under a transient
   /// fault, a slow ack beats a spurious nack.
   uint64_t wal_retry_backoff_ms = 1;
+
+  /// The I/O environment all durability reads and writes go through.
+  /// nullptr selects Env::Default() (the posix filesystem); tests inject
+  /// a FaultInjectingEnv to model power cuts and bit rot.
+  Env* env = nullptr;
 };
 
 /// \brief Monotonic counters exported into `beas_stats`.
@@ -62,10 +71,24 @@ struct DurabilityCounters {
   uint64_t recovery_replayed_records = 0;
   uint64_t wal_retries_total = 0;   ///< group commits re-attempted
   uint64_t wal_latched_shards = 0;  ///< shards refusing writes (gauge)
+  uint64_t scrub_cycles_total = 0;
+  uint64_t scrub_corruptions_found = 0;
+  uint64_t scrub_repairs_total = 0;
+  uint64_t quarantined_shards = 0;    ///< (table, shard) pairs (gauge)
+  uint64_t env_injected_faults = 0;   ///< from the Env (0 on real disks)
+};
+
+/// \brief One scrub cycle's outcome.
+struct ScrubReport {
+  uint64_t segments_checked = 0;
+  uint64_t corruptions_found = 0;   ///< disk + memory mismatches detected
+  uint64_t repairs = 0;             ///< units restored to a verified state
+  uint64_t unrepairable = 0;        ///< units corrupt on disk AND in memory
 };
 
 /// \brief The durability subsystem: per-shard write-ahead logs with group
-/// commit, mmap'd segment checkpoints, and crash recovery.
+/// commit, mmap'd segment checkpoints, crash recovery with checkpoint
+/// fallback, and an online scrub-and-repair cycle.
 ///
 /// ## Write protocol (data records)
 ///
@@ -104,17 +127,47 @@ struct DurabilityCounters {
 /// then wait for the queues to drain. A crash between apply and log loses
 /// only an un-acked structural change — consistent by definition.
 ///
-/// ## Checkpoints
+/// ## Checkpoints (verify-then-truncate, two generations retained)
 ///
 /// CheckpointLocked (quiesced: commit gate exclusive + structural lock)
 /// writes every table's heap shards, dictionary and slot directory plus
 /// every AC index into a fresh `seg/ck<N>/` directory of CRC'd segment
-/// files, then commits the set with an atomically renamed MANIFEST and
-/// truncates all WALs. Recovery mmaps the newest manifest's segments,
-/// restores heaps/dicts/indexes bit-identically (exact slot placement,
-/// exact dictionary codes, exact bucket order), then replays the merged
-/// WAL tail in LSN order. MaintenanceManager's adjustment cycle drives
-/// periodic checkpoints through the service's checkpoint hook.
+/// files — including a `CKMETA` copy of the manifest payload so the
+/// directory is self-describing — then *reads the whole set back through
+/// the Env and re-verifies every CRC* before committing anything. Only
+/// after verification does the atomically renamed MANIFEST flip recovery
+/// to ck<N>; the WALs are then *rotated*, not truncated: every WAL file
+/// moves to `wal/prev/` (whose previous contents — records already
+/// covered by ck<N-1>'s segments twice over — are reclaimed) and fresh
+/// WAL files start the new epoch. ck<N-1> is retained; only ck<N-2> and
+/// older are GC'd. The result: recovery always has a fallback — if
+/// ck<N>'s segments fail their CRC check (bit rot, torn writeback),
+/// recovery restores ck<N-1> from its CKMETA and replays the retained
+/// `wal/prev` + `wal` tail, which still covers every record since N-1.
+///
+/// ## Recovery
+///
+/// Recovery verifies the manifest's checkpoint (every segment CRC,
+/// through the Env) *before* restoring a byte of it; on failure it falls
+/// back to the newest older ck directory whose CKMETA and segments
+/// verify. Restore is bit-identical (exact slot placement, exact
+/// dictionary codes, exact bucket order); then the merged `wal` +
+/// `wal/prev` tail ≥ the chosen checkpoint's replay LSN is applied in
+/// LSN order. All-candidates-corrupt surfaces a typed kCorruption.
+///
+/// ## Scrub and quarantine
+///
+/// ScrubLocked — driven by the MaintenanceManager cycle via the
+/// service's scrub hook — re-validates every current-checkpoint segment
+/// CRC on disk, and cross-checks in-memory state (per-shard heap rows,
+/// dictionaries, AC-index buckets) against the checkpoint-time payload
+/// CRCs for tables untouched since the checkpoint. A mismatch counts as
+/// a kCorruption finding and quarantines the (table, shard): reads keep
+/// serving, durable writes to it latch kUnavailable. Repair: corrupt
+/// memory with clean segments reloads the table (+ its indexes) from the
+/// checkpoint through the normal restore path; corrupt segments with
+/// clean memory rewrites a fresh verified checkpoint. Corrupt on both
+/// sides stays quarantined and surfaces kCorruption.
 ///
 /// ## Fail points (fault-injection testing)
 ///
@@ -124,12 +177,13 @@ struct DurabilityCounters {
 /// failed-fsync shape), wal_pre_fsync, wal_post_fsync (durable, not
 /// applied), wal_repair_fail (truncate-repair of a failed group),
 /// ckpt_write (each segment file write — the ENOSPC simulation site),
-/// ckpt_mid (segments written, manifest not committed) and
-/// ckpt_post_truncate (WALs truncated, old segments not yet GC'd). Crash
-/// actions _exit(42); error actions are handled exactly like the real
-/// fault: group-commit errors retry with backoff then latch, checkpoint
-/// errors drop the partial segment directory (pressure relief) and
-/// surface kResourceExhausted when the fault is disk-full-shaped.
+/// ckpt_mid (segments written, manifest not committed), ckpt_verify (the
+/// read-back verification pass) and ckpt_post_truncate (WALs rotated,
+/// old segments not yet GC'd). Crash actions _exit(42); error actions
+/// are handled exactly like the real fault: group-commit errors retry
+/// with backoff then latch, checkpoint errors drop the partial segment
+/// directory (pressure relief) and surface kResourceExhausted when the
+/// fault is disk-full-shaped.
 class DurabilityManager {
  public:
   /// The manager logs through `db`/`catalog` and replays into them; both
@@ -153,7 +207,8 @@ class DurabilityManager {
   Status open_status() const { return open_status_; }
 
   /// \name Durable data writes.
-  /// Ack ⇒ fsynced and applied. Safe from concurrent threads.
+  /// Ack ⇒ fsynced and applied. Safe from concurrent threads. A write
+  /// routed at a quarantined (table, shard) refuses with kUnavailable.
   /// @{
   Status Insert(const std::string& table, Row row);
   Status InsertBatch(const std::string& table, std::vector<Row> rows);
@@ -194,11 +249,25 @@ class DurabilityManager {
   Status MaybeCheckpointLocked(bool* did_out = nullptr);
 
   /// Unconditional checkpoint under the caller's gate + structural lock.
-  /// A failure before the manifest commit removes the partial segment
-  /// directory (and any orphaned older tries) so a full disk is relieved
-  /// rather than compounded, and surfaces kResourceExhausted when the
-  /// fault is disk-full-shaped.
+  /// The new segment set is read back and CRC-verified through the Env
+  /// before the manifest commits (and before any old state is
+  /// reclaimed). A failure before the commit removes the partial segment
+  /// directory (and any orphaned older tries beyond the retained
+  /// fallback) so a full disk is relieved rather than compounded, and
+  /// surfaces kResourceExhausted when the fault is disk-full-shaped.
   Status CheckpointLocked();
+
+  /// Takes its own gate + structural scope, then scrubs (see class
+  /// comment). Returns kCorruption when a unit is corrupt on both sides
+  /// (it stays quarantined); OK otherwise, even when repairs ran.
+  Status Scrub(ScrubReport* report = nullptr);
+
+  /// Scrub under the caller's gate + structural lock (the maintenance
+  /// scrub hook's calling convention).
+  Status ScrubLocked(ScrubReport* report = nullptr);
+
+  /// True if scrub quarantined heap shard `shard` of `table`.
+  bool IsShardQuarantined(const std::string& table, size_t shard) const;
 
   DurabilityCounters counters() const;
 
@@ -224,13 +293,38 @@ class DurabilityManager {
     /// further durable writes — acking past a torn record would let
     /// recovery silently drop the acked tail.
     std::atomic<bool> io_failed{false};
-    AppendFile file;
+    std::unique_ptr<WritableFile> file;
     std::thread drainer;
     std::mutex wake_mutex;
     /// Producers / Barrier() -> drainer: work queued (or stop).
     std::condition_variable wake;
     /// Drainer -> Barrier(): applied advanced past another group.
     std::condition_variable applied_cv;
+  };
+
+  /// One file of the current checkpoint, as the scrubber sweeps it.
+  struct SegmentRecord {
+    std::string path;
+    SegmentKind kind = SegmentKind::kManifest;
+    uint32_t crc = 0;            ///< payload CRC recorded at write time
+    std::string table;           ///< kTableMeta / kDict / kShardRows
+    size_t shard = 0;            ///< kShardRows
+    std::string constraint;      ///< kIndex
+  };
+
+  /// Checkpoint-time fingerprints of one table's in-memory state.
+  struct TableBaseline {
+    std::vector<uint32_t> shard_crcs;  ///< CRC of BuildShardRowsPayload
+    bool has_dict = false;
+    uint32_t dict_crc = 0;
+  };
+
+  /// A parsed manifest / CKMETA payload.
+  struct CheckpointMeta {
+    uint64_t id = 0;
+    uint64_t replay_from = 0;
+    std::vector<std::string> tables;
+    std::vector<std::string> constraints;
   };
 
   void EnterStructural();
@@ -261,12 +355,41 @@ class DurabilityManager {
   void OnCatalogChange(AsCatalog::ChangeKind kind, const std::string& table,
                        const std::string& name);
 
-  /// Writes checkpoint `id`'s segment files into `seg_dir` and assembles
-  /// the manifest payload. The pre-commit half of CheckpointLocked, split
-  /// out so every failure inside funnels through one pressure-relief
-  /// path.
+  /// kUnavailable if (table, shard) — or any shard of `table` when
+  /// `shard` < 0 — is quarantined.
+  Status CheckQuarantine(const std::string& table, int64_t shard) const;
+
+  /// Writes checkpoint `id`'s segment files (including the CKMETA
+  /// manifest copy) into `seg_dir`, assembles the manifest payload, and
+  /// collects the scrub baseline. The pre-commit half of
+  /// CheckpointLocked, split out so every failure inside funnels through
+  /// one pressure-relief path.
   Status WriteCheckpointSegments(const std::string& seg_dir,
-                                 ByteSink* manifest);
+                                 ByteSink* manifest,
+                                 std::vector<SegmentRecord>* segments,
+                                 std::map<std::string, TableBaseline>* tables,
+                                 std::map<std::string, uint32_t>* indexes);
+
+  /// Reads back and CRC-verifies every segment file `meta` references in
+  /// `seg_dir` through the Env, without touching engine state. Collects
+  /// the scrub baseline (optional outs).
+  Status VerifyCheckpoint(const std::string& seg_dir,
+                          const CheckpointMeta& meta,
+                          std::vector<SegmentRecord>* segments,
+                          std::map<std::string, TableBaseline>* tables,
+                          std::map<std::string, uint32_t>* indexes);
+
+  /// Parses a manifest / CKMETA file (segment-framed, kind kManifest).
+  Result<CheckpointMeta> LoadCheckpointMeta(const std::string& path);
+
+  /// Archives the current WAL epoch into wal/prev (reclaiming the epoch
+  /// before it) and opens fresh WAL files. Caller holds the gate; the
+  /// queues are drained. On failure, every handle it could not reopen
+  /// latches its shard (or the meta log) rather than dangling.
+  Status RotateWals();
+
+  /// Removes seg/ck* directories other than `keep_id` and `keep_id - 1`.
+  void GcCheckpointDirs(uint64_t keep_id);
 
   Status Recover();
   /// Restores one checkpointed table (meta + dict + shard segments).
@@ -274,13 +397,25 @@ class DurabilityManager {
   /// Restores one checkpointed AC index.
   Status RestoreIndex(const std::string& seg_dir, const std::string& name);
 
+  /// Drops `table` and reloads it (and its AC indexes) from the current
+  /// checkpoint — the scrub repair for corrupt-in-memory, clean-on-disk.
+  Status ReloadTableFromCheckpoint(const std::string& table);
+
+  /// Marks `table` written-to since the last checkpoint (its memory
+  /// baseline is stale until the next one).
+  void MarkTableDirty(const std::string& table);
+  void MarkStructuralDirty();
+
   std::string WalPath(size_t wal_shard) const;
   std::string MetaWalPath() const;
+  std::string WalDir() const { return options_.dir + "/wal"; }
+  std::string WalPrevDir() const { return options_.dir + "/wal/prev"; }
   std::string SegDir(uint64_t checkpoint_id) const;
 
   Database* db_;
   AsCatalog* catalog_;
   DurabilityOptions options_;
+  Env* env_;  ///< options_.env or Env::Default(); never null after ctor
   Status open_status_ = Status::OK();
   bool opened_ = false;
 
@@ -298,7 +433,7 @@ class DurabilityManager {
   /// Meta WAL: only structural sections (gate-exclusive) append, but the
   /// mutex keeps the file state well-defined regardless.
   std::mutex meta_mutex_;
-  AppendFile meta_wal_;
+  std::unique_ptr<WritableFile> meta_wal_;
 
   /// True while Recover() replays — the logging hooks no-op so replayed
   /// operations are not logged twice. (The hooks are also only registered
@@ -314,6 +449,23 @@ class DurabilityManager {
   uint64_t last_checkpoint_id_ = 0;
   std::atomic<uint64_t> wal_bytes_since_checkpoint_{0};
 
+  /// \name Scrub state. The segment list and baselines are written under
+  /// the structural gate (checkpoint / recovery / scrub) and read under
+  /// it; the dirty set is additionally written by drainer threads, hence
+  /// its own mutex.
+  /// @{
+  std::vector<SegmentRecord> current_segments_;
+  std::map<std::string, TableBaseline> table_baselines_;
+  std::map<std::string, uint32_t> index_baselines_;
+  std::mutex dirty_mutex_;
+  std::set<std::string> dirty_tables_;
+  bool structural_dirty_ = false;
+
+  mutable std::mutex quarantine_mutex_;
+  std::set<std::pair<std::string, size_t>> quarantined_;
+  std::atomic<uint64_t> quarantined_count_{0};
+  /// @}
+
   std::atomic<uint64_t> wal_bytes_total_{0};
   std::atomic<uint64_t> wal_records_total_{0};
   std::atomic<uint64_t> wal_group_commits_total_{0};
@@ -321,6 +473,9 @@ class DurabilityManager {
   std::atomic<uint64_t> checkpoints_total_{0};
   std::atomic<uint64_t> recovery_replayed_records_{0};
   std::atomic<uint64_t> wal_retries_total_{0};
+  std::atomic<uint64_t> scrub_cycles_total_{0};
+  std::atomic<uint64_t> scrub_corruptions_found_{0};
+  std::atomic<uint64_t> scrub_repairs_total_{0};
 };
 
 }  // namespace durability

@@ -5,53 +5,87 @@
 namespace beas {
 namespace durability {
 
-Status WriteSegmentFile(const std::string& path, SegmentKind kind,
-                        const std::string& payload) {
+Status WriteSegmentFile(Env* env, const std::string& path, SegmentKind kind,
+                        const std::string& payload,
+                        uint32_t* payload_crc_out) {
+  const uint32_t crc = Crc32c(payload.data(), payload.size());
+  if (payload_crc_out != nullptr) *payload_crc_out = crc;
   ByteSink header;
   header.PutU32(kSegMagic);
   header.PutU32(kSegVersion);
   header.PutU8(static_cast<uint8_t>(kind));
-  header.PutU32(Crc32c(payload.data(), payload.size()));
+  header.PutU32(crc);
   header.PutU64(payload.size());
-  AppendFile f;
-  BEAS_RETURN_NOT_OK(f.Open(path));
-  BEAS_RETURN_NOT_OK(f.Truncate(0));
-  BEAS_RETURN_NOT_OK(f.Append(header.str().data(), header.str().size()));
-  BEAS_RETURN_NOT_OK(f.Append(payload.data(), payload.size()));
-  return f.Sync();
+  BEAS_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> f,
+                        env->NewWritableFile(path));
+  BEAS_RETURN_NOT_OK(f->Truncate(0));
+  BEAS_RETURN_NOT_OK(f->Append(header.str().data(), header.str().size()));
+  BEAS_RETURN_NOT_OK(f->Append(payload.data(), payload.size()));
+  return f->Sync();
 }
 
-Result<SegmentView> OpenSegment(const std::string& path, SegmentKind kind) {
+Result<SegmentView> OpenSegment(Env* env, const std::string& path,
+                                SegmentKind kind) {
   SegmentView view;
-  BEAS_RETURN_NOT_OK(view.file.Open(path));
-  if (view.file.size() < kSegHeaderBytes) {
-    return Status::IoError("segment too small: " + path);
+  BEAS_ASSIGN_OR_RETURN(view.file, env->NewRandomAccessFile(path));
+  if (view.file->size() < kSegHeaderBytes) {
+    return Status::Corruption("segment too small: " + path);
   }
-  ByteReader header(view.file.data(), kSegHeaderBytes);
+  ByteReader header(view.file->data(), kSegHeaderBytes);
   uint32_t magic = header.GetU32();
   uint32_t version = header.GetU32();
   uint8_t file_kind = header.GetU8();
   uint32_t crc = header.GetU32();
   uint64_t payload_len = header.GetU64();
   if (magic != kSegMagic) {
-    return Status::IoError("not a BEAS segment: " + path);
+    return Status::Corruption("not a BEAS segment: " + path);
   }
   if (version != kSegVersion) {
-    return Status::IoError("unsupported segment version " +
-                           std::to_string(version) + ": " + path);
+    return Status::Corruption("unsupported segment version " +
+                              std::to_string(version) + ": " + path);
   }
   if (file_kind != static_cast<uint8_t>(kind)) {
-    return Status::IoError("segment kind mismatch: " + path);
+    return Status::Corruption("segment kind mismatch: " + path);
   }
-  if (payload_len != view.file.size() - kSegHeaderBytes) {
-    return Status::IoError("segment length mismatch: " + path);
+  if (payload_len != view.file->size() - kSegHeaderBytes) {
+    return Status::Corruption("segment length mismatch: " + path);
   }
-  view.payload = view.file.data() + kSegHeaderBytes;
+  view.payload = view.file->data() + kSegHeaderBytes;
   view.payload_len = payload_len;
   if (Crc32c(view.payload, payload_len) != crc) {
-    return Status::IoError("segment CRC mismatch: " + path);
+    return Status::Corruption("segment CRC mismatch: " + path);
   }
   return view;
+}
+
+Result<SegmentKind> VerifySegmentFile(Env* env, const std::string& path,
+                                      uint32_t* payload_crc_out) {
+  BEAS_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                        env->NewRandomAccessFile(path));
+  if (file->size() < kSegHeaderBytes) {
+    return Status::Corruption("segment too small: " + path);
+  }
+  ByteReader header(file->data(), kSegHeaderBytes);
+  uint32_t magic = header.GetU32();
+  uint32_t version = header.GetU32();
+  uint8_t file_kind = header.GetU8();
+  uint32_t crc = header.GetU32();
+  uint64_t payload_len = header.GetU64();
+  if (magic != kSegMagic) {
+    return Status::Corruption("not a BEAS segment: " + path);
+  }
+  if (version != kSegVersion) {
+    return Status::Corruption("unsupported segment version " +
+                              std::to_string(version) + ": " + path);
+  }
+  if (payload_len != file->size() - kSegHeaderBytes) {
+    return Status::Corruption("segment length mismatch: " + path);
+  }
+  if (Crc32c(file->data() + kSegHeaderBytes, payload_len) != crc) {
+    return Status::Corruption("segment CRC mismatch: " + path);
+  }
+  if (payload_crc_out != nullptr) *payload_crc_out = crc;
+  return static_cast<SegmentKind>(file_kind);
 }
 
 std::string BuildTableMetaPayload(const TableInfo& table) {

@@ -7,7 +7,7 @@
 
 #include "asx/ac_index.h"
 #include "catalog/catalog.h"
-#include "common/file_util.h"
+#include "common/env.h"
 #include "common/result.h"
 #include "durability/serde.h"
 
@@ -38,20 +38,33 @@ constexpr uint64_t kSegHeaderBytes = 21;
 /// Writes a complete segment file (truncate + append + fsync). Segment
 /// files live in a fresh checkpoint directory referenced only by the
 /// manifest written after all of them, so in-place write is crash-safe.
-Status WriteSegmentFile(const std::string& path, SegmentKind kind,
-                        const std::string& payload);
+/// `payload_crc_out` (optional) receives the payload's CRC-32C — the
+/// checkpoint records it as the scrubber's cross-check baseline.
+Status WriteSegmentFile(Env* env, const std::string& path, SegmentKind kind,
+                        const std::string& payload,
+                        uint32_t* payload_crc_out = nullptr);
 
-/// A validated mmap'd segment: `reader()` views the payload in place.
+/// A validated whole-file segment view: `reader()` parses the payload in
+/// place (no copy beyond what the Env's view itself holds).
 struct SegmentView {
-  MmapFile file;
+  std::unique_ptr<RandomAccessFile> file;
   const char* payload = nullptr;
   uint64_t payload_len = 0;
 
   ByteReader reader() const { return ByteReader(payload, payload_len); }
 };
 
-/// Opens and validates `path`; errors on magic/version/kind/CRC mismatch.
-Result<SegmentView> OpenSegment(const std::string& path, SegmentKind kind);
+/// Opens and validates `path`; typed kCorruption on any magic / version /
+/// kind / length / CRC mismatch.
+Result<SegmentView> OpenSegment(Env* env, const std::string& path,
+                                SegmentKind kind);
+
+/// Validates `path`'s framing and payload CRC without pinning the kind —
+/// the verify-before-commit and scrub passes sweep whole checkpoint
+/// directories with it. Returns the file's kind; `payload_crc_out`
+/// (optional) receives the validated payload CRC for baseline capture.
+Result<SegmentKind> VerifySegmentFile(Env* env, const std::string& path,
+                                      uint32_t* payload_crc_out = nullptr);
 /// @}
 
 /// \name Payload builders (checkpoint write path).

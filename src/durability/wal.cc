@@ -18,11 +18,12 @@ void EncodeWalRecord(ByteSink* sink, const WalRecord& record) {
   sink->PutRaw(bytes.data(), bytes.size());
 }
 
-Result<WalReadResult> ReadWalFile(const std::string& path) {
+Result<WalReadResult> ReadWalFile(Env* env, const std::string& path) {
   WalReadResult out;
-  if (!PathExists(path)) return out;
-  MmapFile file;
-  BEAS_RETURN_NOT_OK(file.Open(path));
+  if (!env->FileExists(path)) return out;
+  BEAS_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> view,
+                        env->NewRandomAccessFile(path));
+  const RandomAccessFile& file = *view;
   if (file.size() == 0) return out;
   if (file.size() < kWalHeaderBytes) {
     // A torn header can only mean the file was killed during creation,
@@ -33,11 +34,11 @@ Result<WalReadResult> ReadWalFile(const std::string& path) {
   uint32_t magic = header.GetU32();
   uint32_t version = header.GetU32();
   if (magic != kWalMagic) {
-    return Status::IoError("not a BEAS WAL file: " + path);
+    return Status::Corruption("not a BEAS WAL file: " + path);
   }
   if (version != kWalVersion) {
-    return Status::IoError("unsupported WAL version " +
-                           std::to_string(version) + ": " + path);
+    return Status::Corruption("unsupported WAL version " +
+                              std::to_string(version) + ": " + path);
   }
   out.valid_bytes = kWalHeaderBytes;
 
@@ -63,19 +64,19 @@ Result<WalReadResult> ReadWalFile(const std::string& path) {
   return out;
 }
 
-Status InitWalFile(const std::string& path) {
-  AppendFile f;
-  BEAS_RETURN_NOT_OK(f.Open(path));
-  if (f.size() >= kWalHeaderBytes) return Status::OK();
-  BEAS_RETURN_NOT_OK(f.Truncate(0));
+Status InitWalFile(Env* env, const std::string& path) {
+  BEAS_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> f,
+                        env->NewWritableFile(path));
+  if (f->size() >= kWalHeaderBytes) return Status::OK();
+  BEAS_RETURN_NOT_OK(f->Truncate(0));
   ByteSink header;
   header.PutU32(kWalMagic);
   header.PutU32(kWalVersion);
-  BEAS_RETURN_NOT_OK(f.Append(header.str().data(), header.str().size()));
-  BEAS_RETURN_NOT_OK(f.Sync());
+  BEAS_RETURN_NOT_OK(f->Append(header.str().data(), header.str().size()));
+  BEAS_RETURN_NOT_OK(f->Sync());
   // A fresh file's directory entry must be durable too, or a machine
   // crash can forget the file along with every record later acked into it.
-  return SyncParentDir(path);
+  return env->SyncParentDir(path);
 }
 
 }  // namespace durability

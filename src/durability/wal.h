@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "common/file_util.h"
+#include "common/env.h"
 #include "common/result.h"
 #include "durability/serde.h"
 
@@ -63,14 +63,15 @@ struct WalReadResult {
   uint64_t valid_bytes = 0;
 };
 
-/// Reads `path` (mmap'd), validating the header and every record CRC.
-/// A missing file yields an empty result; a file with a foreign magic or
-/// version is an error (never silently replayed).
-Result<WalReadResult> ReadWalFile(const std::string& path);
+/// Reads `path` through `env` (a whole-file view), validating the header
+/// and every record CRC. A missing file yields an empty result; a file
+/// with a foreign magic or version is a typed kCorruption error (never
+/// silently replayed).
+Result<WalReadResult> ReadWalFile(Env* env, const std::string& path);
 
 /// Creates `path` with a fresh header if absent or empty. Leaves an
 /// existing non-empty file untouched.
-Status InitWalFile(const std::string& path);
+Status InitWalFile(Env* env, const std::string& path);
 /// @}
 
 }  // namespace durability

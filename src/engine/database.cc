@@ -43,6 +43,13 @@ Result<TableInfo*> Database::CreateTable(const std::string& name,
   return info;
 }
 
+Result<TableInfo*> Database::CreateTableLocked(const std::string& name,
+                                               const Schema& schema) {
+  BEAS_ASSIGN_OR_RETURN(TableInfo * info, catalog_.CreateTable(name, schema));
+  for (const DdlHook& hook : ddl_hooks_) hook(info->name());
+  return info;
+}
+
 Status Database::Insert(const std::string& table, Row row) {
   WriteScope scope(this);
   if (!scope.claimed()) return ConcurrentWriteError("Insert", table);

@@ -132,6 +132,13 @@ class Database {
   Result<TableInfo*> CreateTable(const std::string& name,
                                  const Schema& schema);
 
+  /// CreateTable for a caller that already holds a StructuralScope
+  /// exclusively (recovery restore, scrub repair). Fires the same DDL
+  /// hooks; the structural mutex is NOT recursive, so calling the
+  /// self-locking variant from such a caller would deadlock.
+  Result<TableInfo*> CreateTableLocked(const std::string& name,
+                                       const Schema& schema);
+
   /// Inserts a row, running registered write hooks (index maintenance).
   /// Locks only the shard the row hashes to.
   Status Insert(const std::string& table, Row row);

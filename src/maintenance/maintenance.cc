@@ -58,6 +58,10 @@ Status MaintenanceManager::RunAdjustmentCycle(double headroom,
   if (changed_out != nullptr) *changed_out = changed.size();
   BEAS_RETURN_NOT_OK(ApplySuggestions(changed));
   BEAS_RETURN_NOT_OK(MaintainDictionaries(policy).status());
+  // Scrub strictly before checkpoint: a failed scrub (unrepairable
+  // corruption) must not be followed by a checkpoint that would replace
+  // the last good on-disk copy with the rotted in-memory state.
+  if (scrub_hook_) BEAS_RETURN_NOT_OK(scrub_hook_());
   if (checkpoint_hook_) return checkpoint_hook_();
   return Status::OK();
 }

@@ -109,12 +109,22 @@ class MaintenanceManager {
     checkpoint_hook_ = std::move(hook);
   }
 
+  /// Invoked right before the checkpoint hook, under the same exclusive
+  /// structural section. The service layer points this at the durability
+  /// subsystem's scrubber: the quiesced cycle is the one moment in-memory
+  /// fingerprints can be recomputed and compared against the on-disk
+  /// checkpoint without racing writers. Scrubbing before the checkpoint
+  /// matters — a checkpoint taken first would overwrite the last good
+  /// on-disk copy with whatever (possibly rotted) state memory holds.
+  using ScrubHook = std::function<Status()>;
+  void SetScrubHook(ScrubHook hook) { scrub_hook_ = std::move(hook); }
+
   /// One periodic maintenance round: revalidate, then apply only the
   /// suggestions that actually change a declared bound (no-op adjustments
   /// would needlessly invalidate cached plans), then run dictionary
   /// maintenance under `dict_policy` (order-preserving rebuilds), then
-  /// fire the checkpoint hook (if set). Returns the number of bounds
-  /// changed via `changed_out` (optional).
+  /// fire the scrub hook followed by the checkpoint hook (if set).
+  /// Returns the number of bounds changed via `changed_out` (optional).
   Status RunAdjustmentCycle(double headroom, size_t* changed_out,
                             const DictRebuildPolicy& dict_policy);
   Status RunAdjustmentCycle(double headroom = 1.2,
@@ -126,6 +136,7 @@ class MaintenanceManager {
   Database* db_;
   AsCatalog* catalog_;
   CheckpointHook checkpoint_hook_;
+  ScrubHook scrub_hook_;
   std::atomic<uint64_t> updates_applied_{0};
   std::atomic<uint64_t> dict_rebuilds_{0};
 };

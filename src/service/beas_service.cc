@@ -102,6 +102,10 @@ BeasService::BeasService(ServiceOptions options)
     // inside the exclusive structural section this hook needs.
     maintenance_.SetCheckpointHook(
         [this] { return durability_->MaybeCheckpointLocked(); });
+    // The scrubber rides the same quiesced cycle, strictly before the
+    // checkpoint hook: detect (and quarantine/repair) rot first, so a
+    // cycle never checkpoints corrupt memory over the last good copy.
+    maintenance_.SetScrubHook([this] { return durability_->ScrubLocked(); });
   }
 }
 
@@ -185,6 +189,13 @@ Status BeasService::Checkpoint() {
     return Status::InvalidArgument("service is not durable");
   }
   return durability_->Checkpoint();
+}
+
+Status BeasService::Scrub(durability::ScrubReport* report) {
+  if (durability_ == nullptr) {
+    return Status::InvalidArgument("service is not durable");
+  }
+  return durability_->Scrub(report);
 }
 
 std::vector<MaintenanceManager::Adjustment> BeasService::RevalidateAndSuggest(
@@ -449,6 +460,12 @@ Status BeasService::RefreshStatsTable() {
       static_cast<double>(dur.recovery_replayed_records));
   add("wal_retries_total", static_cast<double>(dur.wal_retries_total));
   add("wal_latched_shards", static_cast<double>(dur.wal_latched_shards));
+  add("scrub_cycles_total", static_cast<double>(dur.scrub_cycles_total));
+  add("scrub_corruptions_found",
+      static_cast<double>(dur.scrub_corruptions_found));
+  add("scrub_repairs_total", static_cast<double>(dur.scrub_repairs_total));
+  add("quarantined_shards", static_cast<double>(dur.quarantined_shards));
+  add("env_injected_faults", static_cast<double>(dur.env_injected_faults));
   // Resilience gauges: deadline/admission verdicts and the live queue.
   ServiceCounters svc = service_counters();
   add("queries_timed_out_total",

@@ -233,6 +233,12 @@ class BeasService {
   }
   /// Forces a checkpoint now (durable mode only).
   Status Checkpoint();
+  /// Runs one scrub-and-repair cycle now (durable mode only): re-verifies
+  /// on-disk checkpoint segment CRCs, cross-checks in-memory fingerprints
+  /// against their checkpoint-time baselines, quarantines corrupt shards,
+  /// and repairs from the surviving good copy. kCorruption when something
+  /// was found that could not be repaired (the unit stays quarantined).
+  Status Scrub(durability::ScrubReport* report = nullptr);
   durability::DurabilityCounters durability_counters() const {
     return durability_ == nullptr ? durability::DurabilityCounters{}
                                   : durability_->counters();

@@ -263,6 +263,12 @@ class TableHeap {
   /// @{
   size_t ShardRowCount(size_t s) const { return shards_[s].rows.size(); }
   const Row& ShardRowAt(size_t s, size_t i) const { return shards_[s].rows[i]; }
+  /// Test-only mutable access to a stored row: scrub tests flip a value
+  /// in place to simulate in-memory rot without going through any write
+  /// path (which would mark the table dirty and mask the corruption).
+  Row* MutableShardRowForTesting(size_t s, size_t i) {
+    return &shards_[s].rows[i];
+  }
   bool ShardRowLive(size_t s, size_t i) const {
     return shards_[s].live[i] != 0;
   }

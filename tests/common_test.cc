@@ -5,9 +5,11 @@
 #include <mutex>
 #include <unordered_set>
 
+#include "common/env.h"
 #include "common/exec_control.h"
 #include "common/failpoint.h"
 #include "common/hash.h"
+#include "common/test_env.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -51,11 +53,24 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
   EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
                "DeadlineExceeded");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
                "ResourceExhausted");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+}
+
+TEST(StatusTest, CorruptionIsDistinctFromIoError) {
+  // The scrubber and recovery route on this distinction: kIoError means
+  // the device misbehaved (retryable), kCorruption means the bytes are
+  // durable but wrong (fall back / quarantine, never retry).
+  Status corrupt = Status::Corruption("crc mismatch");
+  EXPECT_FALSE(corrupt.ok());
+  EXPECT_NE(corrupt.code(), StatusCode::kIoError);
+  EXPECT_EQ(corrupt.ToString(), "Corruption: crc mismatch");
+  EXPECT_FALSE(Status::Corruption("a") == Status::IoError("a"));
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -412,6 +427,149 @@ TEST(ExecControlTest, DeadlineExpiresAfterTimeout) {
   EXPECT_TRUE(control.Expired());  // zero timeout: already past
   ExecControl future = ExecControl::After(std::chrono::hours(1));
   EXPECT_FALSE(future.Expired());
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingEnv: the crash-consistency harness substrate. These pin
+// the storage model itself — what survives a power cut, what a SyncDir
+// buys, and the deterministic corruption hooks — so harness failures
+// implicate the durability protocol, not the simulator.
+// ---------------------------------------------------------------------------
+
+std::string ReadWhole(Env* env, const std::string& path) {
+  auto file = env->NewRandomAccessFile(path);
+  if (!file.ok()) return "<" + file.status().ToString() + ">";
+  return std::string(file.ValueOrDie()->data(), file.ValueOrDie()->size());
+}
+
+TEST(FaultEnvTest, SyncedBytesSurviveACutUnsyncedBytesNeedNot) {
+  FaultInjectingEnv env(7);
+  ASSERT_TRUE(env.CreateDir("/d").ok());
+  ASSERT_TRUE(env.SyncDir("/").ok());  // persist the directory itself
+  auto f = env.NewWritableFile("/d/f");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(env.SyncDir("/d").ok());  // persist the file's entry
+  ASSERT_TRUE(f.ValueOrDie()->Append("acked", 5).ok());
+  ASSERT_TRUE(f.ValueOrDie()->Sync().ok());
+  ASSERT_TRUE(f.ValueOrDie()->Append("-tail", 5).ok());  // never synced
+
+  env.CutNow(FaultInjectingEnv::TearPolicy::kDropAll);
+  env.InstallCrashImage();
+  EXPECT_EQ(ReadWhole(&env, "/d/f"), "acked");
+
+  // Same protocol under kKeepAll: every written byte reached the platter.
+  FaultInjectingEnv keep(7);
+  ASSERT_TRUE(keep.CreateDir("/d").ok());
+  ASSERT_TRUE(keep.SyncDir("/").ok());
+  auto g = keep.NewWritableFile("/d/f");
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(keep.SyncDir("/d").ok());
+  ASSERT_TRUE(g.ValueOrDie()->Append("acked", 5).ok());
+  ASSERT_TRUE(g.ValueOrDie()->Sync().ok());
+  ASSERT_TRUE(g.ValueOrDie()->Append("-tail", 5).ok());
+  keep.CutNow(FaultInjectingEnv::TearPolicy::kKeepAll);
+  keep.InstallCrashImage();
+  EXPECT_EQ(ReadWhole(&keep, "/d/f"), "acked-tail");
+}
+
+TEST(FaultEnvTest, UnsyncedDirectoryEntryVanishesAtTheCut) {
+  FaultInjectingEnv env(11);
+  ASSERT_TRUE(env.CreateDir("/d").ok());
+  ASSERT_TRUE(env.SyncDir("/").ok());
+  auto f = env.NewWritableFile("/d/f");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f.ValueOrDie()->Append("x", 1).ok());
+  ASSERT_TRUE(f.ValueOrDie()->Sync().ok());
+  // fsync(file) without fsync(dir): the bytes are durable but the name
+  // is not — the file as a whole may vanish. This is the exact window
+  // InitWalFile closes with SyncParentDir. (kDropAll: nothing unsynced
+  // reaches the platter; kKeepAll would keep the entry.)
+  env.CutNow(FaultInjectingEnv::TearPolicy::kDropAll);
+  env.InstallCrashImage();
+  EXPECT_FALSE(env.FileExists("/d/f"));
+}
+
+TEST(FaultEnvTest, UnsyncedRenameRevertsToTheDisplacedFile) {
+  FaultInjectingEnv env(13);
+  ASSERT_TRUE(env.CreateDir("/d").ok());
+  ASSERT_TRUE(env.SyncDir("/").ok());
+  ASSERT_TRUE(env.WriteFileAtomic("/d/MANIFEST", "old").ok());
+  // WriteFileAtomic syncs the directory, so "old" is fully durable.
+
+  // Now a raw rename with NO directory sync: crash may serve either side.
+  auto tmp = env.NewWritableFile("/d/MANIFEST.tmp");
+  ASSERT_TRUE(tmp.ok());
+  ASSERT_TRUE(tmp.ValueOrDie()->Append("new", 3).ok());
+  ASSERT_TRUE(tmp.ValueOrDie()->Sync().ok());
+  ASSERT_TRUE(env.RenameFile("/d/MANIFEST.tmp", "/d/MANIFEST").ok());
+  env.CutNow(FaultInjectingEnv::TearPolicy::kDropAll);
+  env.InstallCrashImage();
+  EXPECT_EQ(ReadWhole(&env, "/d/MANIFEST"), "old")
+      << "an unsynced rename must be allowed to revert";
+
+  // And the atomic helper (rename + dir sync) must always serve "new".
+  FaultInjectingEnv atomic_env(13);
+  ASSERT_TRUE(atomic_env.CreateDir("/d").ok());
+  ASSERT_TRUE(atomic_env.SyncDir("/").ok());
+  ASSERT_TRUE(atomic_env.WriteFileAtomic("/d/MANIFEST", "old").ok());
+  ASSERT_TRUE(atomic_env.WriteFileAtomic("/d/MANIFEST", "new").ok());
+  atomic_env.CutNow(FaultInjectingEnv::TearPolicy::kDropAll);
+  atomic_env.InstallCrashImage();
+  EXPECT_EQ(ReadWhole(&atomic_env, "/d/MANIFEST"), "new");
+}
+
+TEST(FaultEnvTest, ScheduledCutTearsTheCrossingAppendAtSectors) {
+  // 3 KiB synced, then 3 KiB unsynced with a cut scheduled 100 bytes in:
+  // the crash image must keep the synced prefix bit-identical and may
+  // keep any subset of the unsynced *sectors* — never other lengths.
+  FaultInjectingEnv env(17);
+  ASSERT_TRUE(env.CreateDir("/d").ok());
+  ASSERT_TRUE(env.SyncDir("/").ok());
+  auto f = env.NewWritableFile("/d/f");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(env.SyncDir("/d").ok());
+  std::string synced(3072, 'a');
+  ASSERT_TRUE(f.ValueOrDie()->Append(synced.data(), synced.size()).ok());
+  ASSERT_TRUE(f.ValueOrDie()->Sync().ok());
+
+  env.ScheduleCutAfterBytes(100);
+  EXPECT_FALSE(env.CutTriggered());
+  std::string tail(3072, 'b');
+  ASSERT_TRUE(f.ValueOrDie()->Append(tail.data(), tail.size()).ok());
+  EXPECT_TRUE(env.CutTriggered());
+  env.InstallCrashImage();
+
+  std::string got = ReadWhole(&env, "/d/f");
+  ASSERT_GE(got.size(), synced.size());
+  EXPECT_EQ(got.substr(0, synced.size()), synced);
+  // Whatever tail survived is sector-granular relative to the file size.
+  size_t extra = got.size() - synced.size();
+  EXPECT_TRUE(extra % FaultInjectingEnv::kSectorBytes == 0 ||
+              got.size() == synced.size() + 100 ||
+              got.size() == synced.size() + tail.size())
+      << "file landed on a non-sector, non-endpoint length " << got.size();
+}
+
+TEST(FaultEnvTest, FlipBitAndShortReadAreCountedFaults) {
+  FaultInjectingEnv env(19);
+  ASSERT_TRUE(env.CreateDir("/d").ok());
+  ASSERT_TRUE(env.WriteFileAtomic("/d/f", "hello world").ok());
+  EXPECT_EQ(env.injected_faults(), 0u);
+
+  ASSERT_TRUE(env.FlipBit("/d/f", 0, 0).ok());
+  EXPECT_EQ(env.injected_faults(), 1u);
+  std::string flipped = ReadWhole(&env, "/d/f");
+  EXPECT_NE(flipped, "hello world");
+  ASSERT_TRUE(env.FlipBit("/d/f", 0, 0).ok());  // flip back
+  EXPECT_EQ(ReadWhole(&env, "/d/f"), "hello world");
+  EXPECT_FALSE(env.FlipBit("/d/missing", 0, 0).ok());
+
+  env.ArmShortRead("/d/f");
+  std::string short_view = ReadWhole(&env, "/d/f");
+  EXPECT_LT(short_view.size(), std::string("hello world").size());
+  EXPECT_GE(env.injected_faults(), 3u);
+  // One-shot: the following read sees the whole file again.
+  EXPECT_EQ(ReadWhole(&env, "/d/f"), "hello world");
 }
 
 }  // namespace

@@ -140,7 +140,8 @@ durability::WalRecord MakeRecord(uint64_t lsn, const std::string& payload) {
 TEST(DurabilityWalTest, RoundTripAndTornTailRepair) {
   TempDir tmp;
   std::string path = tmp.path + "/shard_0.wal";
-  ASSERT_TRUE(durability::InitWalFile(path).ok());
+  Env* env = Env::Default();
+  ASSERT_TRUE(durability::InitWalFile(env, path).ok());
 
   ByteSink group;
   durability::EncodeWalRecord(&group, MakeRecord(1, "alpha"));
@@ -150,7 +151,7 @@ TEST(DurabilityWalTest, RoundTripAndTornTailRepair) {
   ASSERT_TRUE(file.Open(path).ok());
   ASSERT_TRUE(file.Append(group.str().data(), group.size()).ok());
 
-  auto read = durability::ReadWalFile(path);
+  auto read = durability::ReadWalFile(env, path);
   ASSERT_TRUE(read.ok()) << read.status().ToString();
   ASSERT_EQ(read->records.size(), 3u);
   EXPECT_EQ(read->records[0].payload, "alpha");
@@ -161,12 +162,12 @@ TEST(DurabilityWalTest, RoundTripAndTornTailRepair) {
   // unchanged, and truncating to it makes the file clean again.
   const char garbage[] = "\x10\x00\x00\x00garbage";
   ASSERT_TRUE(file.Append(garbage, sizeof(garbage)).ok());
-  auto torn = durability::ReadWalFile(path);
+  auto torn = durability::ReadWalFile(env, path);
   ASSERT_TRUE(torn.ok());
   EXPECT_EQ(torn->records.size(), 3u);
   EXPECT_EQ(torn->valid_bytes, read->valid_bytes);
   ASSERT_TRUE(file.Truncate(torn->valid_bytes).ok());
-  auto repaired = durability::ReadWalFile(path);
+  auto repaired = durability::ReadWalFile(env, path);
   ASSERT_TRUE(repaired.ok());
   EXPECT_EQ(repaired->records.size(), 3u);
   EXPECT_EQ(repaired->valid_bytes,
@@ -176,7 +177,8 @@ TEST(DurabilityWalTest, RoundTripAndTornTailRepair) {
 TEST(DurabilityWalTest, CorruptedRecordStopsTheParse) {
   TempDir tmp;
   std::string path = tmp.path + "/shard_0.wal";
-  ASSERT_TRUE(durability::InitWalFile(path).ok());
+  Env* env = Env::Default();
+  ASSERT_TRUE(durability::InitWalFile(env, path).ok());
   ByteSink group;
   durability::EncodeWalRecord(&group, MakeRecord(1, "aaaa"));
   durability::EncodeWalRecord(&group, MakeRecord(2, "bbbb"));
@@ -187,7 +189,7 @@ TEST(DurabilityWalTest, CorruptedRecordStopsTheParse) {
   ASSERT_TRUE(file.Open(path).ok());
   ASSERT_TRUE(file.Append(bytes.data(), bytes.size()).ok());
 
-  auto read = durability::ReadWalFile(path);
+  auto read = durability::ReadWalFile(env, path);
   ASSERT_TRUE(read.ok());
   ASSERT_EQ(read->records.size(), 1u);
   EXPECT_EQ(read->records[0].payload, "aaaa");
@@ -195,14 +197,17 @@ TEST(DurabilityWalTest, CorruptedRecordStopsTheParse) {
 
 TEST(DurabilityWalTest, MissingFileIsEmptyForeignMagicIsError) {
   TempDir tmp;
-  auto missing = durability::ReadWalFile(tmp.path + "/nope.wal");
+  Env* env = Env::Default();
+  auto missing = durability::ReadWalFile(env, tmp.path + "/nope.wal");
   ASSERT_TRUE(missing.ok());
   EXPECT_TRUE(missing->records.empty());
   EXPECT_EQ(missing->valid_bytes, 0u);
 
   std::string foreign = tmp.path + "/foreign.wal";
   ASSERT_TRUE(WriteFileAtomic(foreign, "NOTAWALFILE!").ok());
-  EXPECT_FALSE(durability::ReadWalFile(foreign).ok());
+  auto bad = durability::ReadWalFile(env, foreign);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
 }
 
 // ---------------------------------------------------------------------------
@@ -211,19 +216,31 @@ TEST(DurabilityWalTest, MissingFileIsEmptyForeignMagicIsError) {
 
 TEST(DurabilitySegmentTest, RoundTripValidatesKindAndCrc) {
   TempDir tmp;
+  Env* env = Env::Default();
   std::string path = tmp.path + "/t.seg";
   std::string payload = "segment payload \x01\x02";
-  ASSERT_TRUE(durability::WriteSegmentFile(
-                  path, durability::SegmentKind::kDict, payload)
+  uint32_t written_crc = 0;
+  ASSERT_TRUE(durability::WriteSegmentFile(env, path,
+                                           durability::SegmentKind::kDict,
+                                           payload, &written_crc)
                   .ok());
 
-  auto seg = durability::OpenSegment(path, durability::SegmentKind::kDict);
+  auto seg = durability::OpenSegment(env, path, durability::SegmentKind::kDict);
   ASSERT_TRUE(seg.ok()) << seg.status().ToString();
   EXPECT_EQ(std::string(seg->payload, seg->payload_len), payload);
 
-  // Wrong kind: refused.
-  EXPECT_FALSE(
-      durability::OpenSegment(path, durability::SegmentKind::kIndex).ok());
+  // Kind-agnostic verification reports the stored kind and CRC.
+  uint32_t verified_crc = 0;
+  auto kind = durability::VerifySegmentFile(env, path, &verified_crc);
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, durability::SegmentKind::kDict);
+  EXPECT_EQ(verified_crc, written_crc);
+
+  // Wrong kind: refused, as typed corruption.
+  auto wrong =
+      durability::OpenSegment(env, path, durability::SegmentKind::kIndex);
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kCorruption);
 
   // Flipped payload byte: CRC mismatch.
   {
@@ -234,8 +251,11 @@ TEST(DurabilitySegmentTest, RoundTripValidatesKindAndCrc) {
     bytes[bytes.size() - 1] ^= 0x5A;
     ASSERT_TRUE(WriteFileAtomic(path, bytes).ok());
   }
-  EXPECT_FALSE(
-      durability::OpenSegment(path, durability::SegmentKind::kDict).ok());
+  auto flipped =
+      durability::OpenSegment(env, path, durability::SegmentKind::kDict);
+  ASSERT_FALSE(flipped.ok());
+  EXPECT_EQ(flipped.status().code(), StatusCode::kCorruption);
+  EXPECT_FALSE(durability::VerifySegmentFile(env, path).ok());
 }
 
 // ---------------------------------------------------------------------------

@@ -21,7 +21,9 @@
 #include "common/failpoint.h"
 #include "common/file_util.h"
 #include "common/shard_config.h"
+#include "common/test_env.h"
 #include "durability/durability_manager.h"
+#include "durability/wal.h"
 #include "service/beas_service.h"
 #include "test_util.h"
 
@@ -67,11 +69,13 @@ Schema CallSchema() {
                  {"region", TypeId::kString}});
 }
 
-std::unique_ptr<BeasService> MakeService(const std::string& data_dir) {
+std::unique_ptr<BeasService> MakeService(const std::string& data_dir,
+                                         Env* env = nullptr) {
   ServiceOptions options;
   options.num_workers = 1;
   if (!data_dir.empty()) {
     options.durability.dir = data_dir;
+    options.durability.env = env;
   }
   return std::make_unique<BeasService>(options);
 }
@@ -225,6 +229,7 @@ TEST(FailPointSweepTest, CheckpointErrorsAreTypedAndReclaimed) {
       {"ckpt_write=error", StatusCode::kIoError, false},
       {"ckpt_write=error(enospc)", StatusCode::kResourceExhausted, false},
       {"ckpt_mid=error", StatusCode::kIoError, false},
+      {"ckpt_verify=error", StatusCode::kIoError, false},
       {"ckpt_post_truncate=error", StatusCode::kIoError, true},
   };
   for (const CheckpointCase& test_case : kCases) {
@@ -321,6 +326,326 @@ TEST(FailPointSweepTest, PersistentWalFaultsLatchWithTypedUnavailable) {
     ASSERT_TRUE(info.ok());
     EXPECT_EQ(info.ValueOrDie()->heap()->NumRows(), 1u);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Sector-granular torn WAL tails, driven through FaultInjectingEnv: the
+// model tears an unsynced tail at 512-byte sector granularity, so a power
+// cut can land inside a single framed record or exactly on a
+// group-commit boundary. Recovery must drop exactly the torn record and
+// preserve every acked record bit for bit.
+// ---------------------------------------------------------------------------
+
+TEST(TornWalTailTest, TearInsideOneRecordDropsExactlyThatRecord) {
+  ShardOverrideGuard guard(1);
+  const std::string data_dir = "/tearfs/data";
+
+  std::unique_ptr<BeasService> reference = MakeService("");
+  ASSERT_TRUE(reference->CreateTable("call", CallSchema()).ok());
+  ASSERT_TRUE(
+      reference->Insert("call", {I(1), I(1), Dt("2016-01-01"), S("r1")}).ok());
+  std::string expected = StateFingerprint(reference.get());
+
+  FaultInjectingEnv env(7);
+  {
+    std::unique_ptr<BeasService> svc = MakeService(data_dir, &env);
+    ASSERT_TRUE(svc->durable()) << svc->durability_status().ToString();
+    ASSERT_TRUE(svc->CreateTable("call", CallSchema()).ok());
+    ASSERT_TRUE(
+        svc->Insert("call", {I(1), I(1), Dt("2016-01-01"), S("r1")}).ok());
+    // The very next append is the second insert's WAL record; a cut five
+    // bytes into it lands inside the record frame (len+crc header), so
+    // even with every unsynced byte surviving, the tail holds a torn,
+    // CRC-less fragment of that record.
+    env.ScheduleCutAfterBytes(5, FaultInjectingEnv::TearPolicy::kKeepAll);
+    ASSERT_TRUE(
+        svc->Insert("call", {I(2), I(2), Dt("2016-01-01"), S("r2")}).ok());
+  }
+  ASSERT_TRUE(env.CutTriggered());
+  env.InstallCrashImage();
+
+  std::unique_ptr<BeasService> recovered = MakeService(data_dir, &env);
+  ASSERT_TRUE(recovered->durable())
+      << recovered->durability_status().ToString();
+  EXPECT_EQ(StateFingerprint(recovered.get()), expected);
+
+  // The torn fragment was truncated away: a fresh durable write extends a
+  // clean prefix and survives an ordinary reopen.
+  ASSERT_TRUE(
+      recovered->Insert("call", {I(3), I(3), Dt("2016-01-02"), S("r1")}).ok());
+  ASSERT_TRUE(
+      reference->Insert("call", {I(3), I(3), Dt("2016-01-02"), S("r1")}).ok());
+  recovered.reset();
+  std::unique_ptr<BeasService> reopened = MakeService(data_dir, &env);
+  ASSERT_TRUE(reopened->durable()) << reopened->durability_status().ToString();
+  EXPECT_EQ(StateFingerprint(reopened.get()), StateFingerprint(reference.get()));
+}
+
+TEST(TornWalTailTest, TearAtGroupCommitBoundaryKeepsAckedBytesBitIdentical) {
+  ShardOverrideGuard guard(1);
+  const std::string data_dir = "/tearfs2/data";
+  const std::string wal_path = data_dir + "/wal/shard_0.wal";
+
+  std::unique_ptr<BeasService> reference = MakeService("");
+  ASSERT_TRUE(reference->CreateTable("call", CallSchema()).ok());
+  ASSERT_TRUE(
+      reference->Insert("call", {I(1), I(1), Dt("2016-01-01"), S("r1")}).ok());
+  std::string expected = StateFingerprint(reference.get());
+
+  FaultInjectingEnv env(11);
+  durability::WalReadResult before;
+  {
+    std::unique_ptr<BeasService> svc = MakeService(data_dir, &env);
+    ASSERT_TRUE(svc->durable()) << svc->durability_status().ToString();
+    ASSERT_TRUE(svc->CreateTable("call", CallSchema()).ok());
+    ASSERT_TRUE(
+        svc->Insert("call", {I(1), I(1), Dt("2016-01-01"), S("r1")}).ok());
+    auto read = durability::ReadWalFile(&env, wal_path);
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    ASSERT_EQ(read->records.size(), 1u);
+    before = std::move(*read);
+    // One byte into the next group commit: the unsynced tail starts
+    // exactly at the record boundary, and kDropAll tears the whole new
+    // group away — the pure "cut between two fsyncs" case.
+    env.ScheduleCutAfterBytes(1, FaultInjectingEnv::TearPolicy::kDropAll);
+    ASSERT_TRUE(
+        svc->Insert("call", {I(2), I(2), Dt("2016-01-01"), S("r2")}).ok());
+  }
+  ASSERT_TRUE(env.CutTriggered());
+  env.InstallCrashImage();
+
+  // The acked record survives bit for bit: same valid prefix, same frame.
+  auto after = durability::ReadWalFile(&env, wal_path);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  ASSERT_EQ(after->records.size(), 1u);
+  EXPECT_EQ(after->valid_bytes, before.valid_bytes);
+  EXPECT_EQ(after->records[0].lsn, before.records[0].lsn);
+  EXPECT_EQ(static_cast<int>(after->records[0].type),
+            static_cast<int>(before.records[0].type));
+  EXPECT_EQ(after->records[0].payload, before.records[0].payload);
+
+  std::unique_ptr<BeasService> recovered = MakeService(data_dir, &env);
+  ASSERT_TRUE(recovered->durable())
+      << recovered->durability_status().ToString();
+  EXPECT_EQ(StateFingerprint(recovered.get()), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint fallback: when the newest checkpoint's segments rot on disk,
+// recovery must detect it during verification (before restoring anything)
+// and fall back to the previous checkpoint plus the retained WAL epoch —
+// losing nothing.
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointFallbackTest, CorruptedNewestCheckpointFallsBackToPrevious) {
+  ShardOverrideGuard guard(1);
+  const std::string data_dir = "/ckfallfs/data";
+
+  std::unique_ptr<BeasService> reference = MakeService("");
+  Status ref_faulted;
+  ASSERT_TRUE(ApplyOps(reference.get(), &ref_faulted, "").ok());
+  ASSERT_TRUE(
+      reference->Insert("call", {I(4), I(4), Dt("2016-01-02"), S("r1")}).ok());
+  ASSERT_TRUE(
+      reference->Insert("call", {I(5), I(5), Dt("2016-01-02"), S("r2")}).ok());
+  std::string expected = StateFingerprint(reference.get());
+
+  FaultInjectingEnv env(23);
+  {
+    std::unique_ptr<BeasService> svc = MakeService(data_dir, &env);
+    ASSERT_TRUE(svc->durable()) << svc->durability_status().ToString();
+    Status faulted;
+    ASSERT_TRUE(ApplyOps(svc.get(), &faulted, "").ok());
+    ASSERT_TRUE(faulted.ok());
+    ASSERT_TRUE(svc->Checkpoint().ok());  // ck1
+    ASSERT_TRUE(
+        svc->Insert("call", {I(4), I(4), Dt("2016-01-02"), S("r1")}).ok());
+    ASSERT_TRUE(
+        svc->Insert("call", {I(5), I(5), Dt("2016-01-02"), S("r2")}).ok());
+    ASSERT_TRUE(svc->Checkpoint().ok());  // ck2 rotates ck1's WAL to prev/
+  }
+  // Cold bit rot inside ck2's row segment, past the 21-byte header: the
+  // frame still parses, the payload CRC does not.
+  ASSERT_TRUE(
+      env.FlipBit(data_dir + "/seg/ck2/t_call.s0.seg", 25, 3).ok());
+
+  std::unique_ptr<BeasService> recovered = MakeService(data_dir, &env);
+  ASSERT_TRUE(recovered->durable())
+      << recovered->durability_status().ToString();
+  EXPECT_EQ(StateFingerprint(recovered.get()), expected);
+  // The fallback really replayed the post-ck1 tail from the retained
+  // previous WAL epoch instead of trusting the rotten ck2.
+  EXPECT_GE(recovered->durability_counters().recovery_replayed_records, 2u);
+
+  // The fallen-back service is fully live: it can checkpoint fresh and
+  // reopen cleanly from that.
+  ASSERT_TRUE(recovered->Checkpoint().ok());
+  recovered.reset();
+  std::unique_ptr<BeasService> reopened = MakeService(data_dir, &env);
+  ASSERT_TRUE(reopened->durable()) << reopened->durability_status().ToString();
+  EXPECT_EQ(StateFingerprint(reopened.get()), expected);
+  EXPECT_EQ(reopened->durability_counters().recovery_replayed_records, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Online scrub-and-repair: the cycle re-verifies checkpoint segments on
+// disk and cross-checks untouched tables against their checkpoint-time
+// fingerprints in memory; corruption is quarantined, repaired from
+// whichever side is still trustworthy, and only a both-sides loss stays
+// quarantined with a typed kCorruption.
+// ---------------------------------------------------------------------------
+
+struct ScrubFixture {
+  FaultInjectingEnv env;
+  std::string data_dir;
+  std::unique_ptr<BeasService> svc;
+  std::string expected;  ///< fingerprint at checkpoint time
+
+  explicit ScrubFixture(uint64_t seed, const std::string& dir)
+      : env(seed), data_dir(dir) {
+    svc = MakeService(data_dir, &env);
+    EXPECT_TRUE(svc->durable()) << svc->durability_status().ToString();
+    Status faulted;
+    EXPECT_TRUE(ApplyOps(svc.get(), &faulted, "").ok());
+    EXPECT_TRUE(faulted.ok());
+    EXPECT_TRUE(svc->Checkpoint().ok());
+    expected = StateFingerprint(svc.get());
+  }
+
+  std::string RowSegPath(uint64_t checkpoint_id = 1) const {
+    return data_dir + "/seg/ck" + std::to_string(checkpoint_id) +
+           "/t_call.s0.seg";
+  }
+
+  /// Flips one stored value in place — in-memory rot that no write path
+  /// produced, so the table stays "clean since checkpoint" and the scrub
+  /// memory pass is responsible for catching it.
+  void RotMemoryRow() {
+    auto info = svc->db()->catalog()->GetTable("call");
+    ASSERT_TRUE(info.ok());
+    TableHeap* heap = info.ValueOrDie()->heap();
+    ASSERT_TRUE(heap->ShardRowLive(0, 0));
+    (*heap->MutableShardRowForTesting(0, 0))[1] = I(424242);
+  }
+};
+
+TEST(ScrubTest, DiskRotIsDetectedQuarantinedAndRepairedByRecheckpoint) {
+  ShardOverrideGuard guard(1);
+  ScrubFixture fx(31, "/scrubfs/disk");
+
+  ASSERT_TRUE(fx.env.FlipBit(fx.RowSegPath(), 24, 2).ok());
+
+  durability::ScrubReport report;
+  Status st = fx.svc->Scrub(&report);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_GE(report.segments_checked, 4u);  // meta, dict, rows, index, CKMETA
+  EXPECT_EQ(report.corruptions_found, 1u);
+  EXPECT_EQ(report.repairs, 1u);
+  EXPECT_EQ(report.unrepairable, 0u);
+
+  durability::DurabilityCounters counters = fx.svc->durability_counters();
+  EXPECT_GE(counters.scrub_cycles_total, 1u);
+  EXPECT_EQ(counters.scrub_corruptions_found, 1u);
+  EXPECT_EQ(counters.scrub_repairs_total, 1u);
+  EXPECT_EQ(counters.quarantined_shards, 0u);
+  // The repair is a fresh, read-back-verified checkpoint superseding the
+  // rotten segment.
+  EXPECT_EQ(counters.checkpoints_total, 2u);
+  EXPECT_GE(counters.env_injected_faults, 1u);
+
+  // State is untouched, writes still flow, and a second scrub is clean.
+  EXPECT_EQ(StateFingerprint(fx.svc.get()), fx.expected);
+  ASSERT_TRUE(
+      fx.svc->Insert("call", {I(9), I(9), Dt("2016-01-02"), S("r2")}).ok());
+  durability::ScrubReport again;
+  EXPECT_TRUE(fx.svc->Scrub(&again).ok());
+  EXPECT_EQ(again.corruptions_found, 0u);
+
+  // And the repaired directory recovers.
+  std::string full = StateFingerprint(fx.svc.get());
+  fx.svc.reset();
+  std::unique_ptr<BeasService> recovered = MakeService(fx.data_dir, &fx.env);
+  ASSERT_TRUE(recovered->durable())
+      << recovered->durability_status().ToString();
+  EXPECT_EQ(StateFingerprint(recovered.get()), full);
+}
+
+TEST(ScrubTest, MemoryRotIsDetectedAndReloadedFromTheCheckpoint) {
+  ShardOverrideGuard guard(1);
+  ScrubFixture fx(37, "/scrubfs/mem");
+
+  fx.RotMemoryRow();
+  ASSERT_NE(StateFingerprint(fx.svc.get()), fx.expected);
+
+  durability::ScrubReport report;
+  Status st = fx.svc->Scrub(&report);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(report.corruptions_found, 1u);
+  EXPECT_EQ(report.repairs, 1u);
+  EXPECT_EQ(report.unrepairable, 0u);
+
+  // The reload restored the checkpoint bytes exactly and lifted the
+  // quarantine.
+  EXPECT_EQ(StateFingerprint(fx.svc.get()), fx.expected);
+  EXPECT_EQ(fx.svc->durability_counters().quarantined_shards, 0u);
+  ASSERT_TRUE(
+      fx.svc->Insert("call", {I(9), I(9), Dt("2016-01-02"), S("r2")}).ok());
+}
+
+TEST(ScrubTest, CorruptionOnBothSidesStaysQuarantinedAndTyped) {
+  ShardOverrideGuard guard(1);
+  ScrubFixture fx(41, "/scrubfs/both");
+
+  fx.RotMemoryRow();
+  ASSERT_TRUE(fx.env.FlipBit(fx.RowSegPath(), 24, 2).ok());
+
+  durability::ScrubReport report;
+  Status st = fx.svc->Scrub(&report);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption) << st.ToString();
+  EXPECT_EQ(report.corruptions_found, 2u);
+  EXPECT_EQ(report.repairs, 0u);
+  EXPECT_EQ(report.unrepairable, 1u);
+  EXPECT_EQ(fx.svc->durability_counters().quarantined_shards, 1u);
+
+  // Durable writes to the quarantined shard refuse with the typed signal;
+  // reads still serve.
+  Status write = fx.svc->Insert("call", {I(9), I(9), Dt("2016-01-02"), S("r2")});
+  ASSERT_FALSE(write.ok());
+  EXPECT_EQ(write.code(), StatusCode::kUnavailable) << write.ToString();
+  auto resp = fx.svc->ExecuteBounded(
+      "SELECT call.region FROM call WHERE call.pnum = 2 AND "
+      "call.date = '2016-01-01'");
+  EXPECT_TRUE(resp.ok()) << resp.status().ToString();
+}
+
+TEST(ScrubTest, MaintenanceCycleRunsScrubAndAFailedScrubBlocksCheckpoint) {
+  ShardOverrideGuard guard(1);
+  ScrubFixture fx(43, "/scrubfs/cycle");
+
+  // A clean cycle scrubs (the hook rides the quiesced maintenance
+  // section) and reports nothing.
+  uint64_t cycles0 = fx.svc->durability_counters().scrub_cycles_total;
+  Status clean = fx.svc->RunAdjustmentCycle();
+  EXPECT_TRUE(clean.ok()) << clean.ToString();
+  EXPECT_EQ(fx.svc->durability_counters().scrub_cycles_total, cycles0 + 1);
+
+  // The clean cycle may have adjusted constraint limits (a structural
+  // write, which rightly suppresses the memory cross-check — rot is
+  // indistinguishable from a legitimate write then). Checkpoint to settle
+  // back into a clean baseline before injecting the rot.
+  ASSERT_TRUE(fx.svc->Checkpoint().ok());
+
+  // With both copies rotten the scrub hook fails the cycle — strictly
+  // before the checkpoint hook, so the corrupt in-memory state never
+  // overwrites the last good on-disk copy.
+  fx.RotMemoryRow();
+  ASSERT_TRUE(fx.env.FlipBit(fx.RowSegPath(2), 24, 2).ok());
+  uint64_t checkpoints0 = fx.svc->durability_counters().checkpoints_total;
+  Status rotten = fx.svc->RunAdjustmentCycle();
+  ASSERT_FALSE(rotten.ok());
+  EXPECT_EQ(rotten.code(), StatusCode::kCorruption) << rotten.ToString();
+  EXPECT_EQ(fx.svc->durability_counters().checkpoints_total, checkpoints0);
 }
 
 }  // namespace

@@ -60,11 +60,22 @@
 // if a request errors with something other than the typed
 // kResourceExhausted rejection, or nothing is accepted at all.
 //
+// A seventh section measures the *network front door*: a loopback wire
+// server (BNW1 protocol) under a closed-loop storm of NET_CLIENTS TCP
+// clients split across two tenants — "alpha" uncapped, "beta" cost-capped
+// below one query's bound — running mixed read/write traffic. Every exact
+// wire answer must be bit-identical to in-process Execute on the same
+// service; degraded answers must be subsets; the only acceptable error is
+// the typed tenant rejection. Per-tenant closed-loop p50/p99 and QPS land
+// in the JSON (recorded only — loopback latency is machine-dependent).
+//
 // Knobs: TLC_SF (default 32) data scale; FETCH_REPS (default 15) timing
 // reps; BEAS_SHARDS (default 4) sharded-run shard count; WRITE_ROWS
 // (default 512*sf) / WRITE_WRITERS (default 4) write-path storm shape;
 // OVERLOAD_CLIENTS (default 8) / OVERLOAD_REQS (default 64 per client)
-// overload storm shape; BENCH_JSON_PATH (default BENCH_fetch_chain.json).
+// overload storm shape; NET_CLIENTS (default 8) / NET_REQS (default 60
+// per client) wire storm shape; BENCH_JSON_PATH (default
+// BENCH_fetch_chain.json).
 
 #include <unistd.h>
 
@@ -75,6 +86,8 @@
 #include <thread>
 
 #include "common/file_util.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "service/beas_service.h"
 
 #include "bench_util.h"
@@ -688,6 +701,197 @@ OverloadResult RunOverloadSection() {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Network front door: closed-loop multi-client loopback storm.
+// ---------------------------------------------------------------------------
+
+struct NetTenantLane {
+  uint64_t requests = 0;  ///< reads + writes driven under this tenant
+  double p50_ms = 0;      ///< closed-loop round-trip latency
+  double p99_ms = 0;
+  double qps = 0;
+};
+
+struct NetBenchResult {
+  size_t clients = 0;
+  size_t requests = 0;     ///< total ops over the wire (reads + inserts)
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t degraded = 0;   ///< answers served under a tenant-capped grant
+  uint64_t rejected = 0;   ///< typed kResourceExhausted refusals
+  NetTenantLane alpha;     ///< uncapped tenant
+  NetTenantLane beta;      ///< cost-capped tenant
+  bool ok = false;
+};
+
+/// Drives NET_CLIENTS closed-loop TCP clients (even threads as tenant
+/// "alpha", odd as the cost-capped "beta") through a loopback wire
+/// server: mixed read/write (1 insert per 5 ops), every exact answer
+/// verified bit-identical against in-process Execute on the same
+/// service, degraded answers verified as subsets, and any error other
+/// than the typed tenant rejection fails the section. Latencies are
+/// per-tenant closed-loop round trips — the wire's own contribution on
+/// top of the in-process numbers the other sections record.
+NetBenchResult RunNetSection() {
+  NetBenchResult r;
+  r.clients = std::max<size_t>(
+      2, static_cast<size_t>(EnvDouble("NET_CLIENTS", 8)));
+  size_t per_client =
+      std::max<size_t>(1, static_cast<size_t>(EnvDouble("NET_REQS", 60)));
+  r.ok = true;
+
+  constexpr int kKeys = 48;
+  constexpr int kFanout = 12;
+  constexpr uint64_t kBound = 64;
+
+  ServiceOptions opts;
+  opts.num_workers = 2;
+  opts.max_inflight_cost = 64 * kBound;
+  // beta gets half a query's bound: every beta read is admitted degraded
+  // (grant < bound) and concurrent beta reads contend for the cap.
+  opts.tenant_cost_caps["beta"] = kBound / 2;
+  BeasService svc(opts);
+  if (!svc.CreateTable("net", Schema({{"k", TypeId::kInt64},
+                                      {"v", TypeId::kInt64}}))
+           .ok()) {
+    r.ok = false;
+  }
+  std::vector<Row> seed;
+  seed.reserve(static_cast<size_t>(kKeys) * kFanout);
+  for (int k = 0; k < kKeys; ++k) {
+    for (int f = 0; f < kFanout; ++f) {
+      seed.push_back({Value::Int64(k),
+                      Value::Int64(static_cast<int64_t>(k) * 1000 + f)});
+    }
+  }
+  if (!svc.InsertBatch("net", std::move(seed)).ok()) r.ok = false;
+  if (!svc.RegisterConstraint({"net_acc", "net", {"k"}, {"v"}, kBound})
+           .ok()) {
+    r.ok = false;
+  }
+  if (!r.ok) return r;
+
+  auto key_query = [](int k) {
+    return "SELECT net.v FROM net WHERE net.k = " + std::to_string(k);
+  };
+  // In-process reference, captured before the storm (reads only touch
+  // keys < kKeys; wire inserts land on disjoint high keys).
+  std::vector<std::vector<std::string>> reference(kKeys);
+  auto row_strings = [](const std::vector<Row>& rows) {
+    std::vector<std::string> out;
+    out.reserve(rows.size());
+    for (const Row& row : rows) {
+      std::string s;
+      for (const Value& v : row) {
+        s += v.ToString();
+        s += '|';
+      }
+      out.push_back(std::move(s));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  for (int k = 0; k < kKeys; ++k) {
+    auto ref = svc.Execute(key_query(k));
+    if (!ref.ok()) {
+      r.ok = false;
+      return r;
+    }
+    reference[k] = row_strings(ref->result.rows);
+  }
+
+  net::Server server(&svc);
+  if (!server.Start().ok()) {
+    r.ok = false;
+    return r;
+  }
+
+  std::atomic<uint64_t> reads{0}, writes{0}, degraded{0}, rejected{0};
+  std::atomic<bool> all_ok{true};
+  std::vector<std::vector<double>> lat(r.clients);
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < r.clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::Client client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        all_ok.store(false);
+        return;
+      }
+      const std::string tenant = (c % 2 == 0) ? "alpha" : "beta";
+      lat[c].reserve(per_client);
+      for (size_t i = 0; i < per_client; ++i) {
+        auto op0 = std::chrono::steady_clock::now();
+        if (i % 5 == 4) {
+          // Write lane: fresh keys disjoint from the read working set.
+          int64_t key = 10000 + static_cast<int64_t>(c) * 1000 +
+                        static_cast<int64_t>(i);
+          auto acked = client.Insert(
+              "net", {{Value::Int64(key), Value::Int64(key * 10)}});
+          lat[c].push_back(MillisSince(op0));
+          if (!acked.ok() || *acked != 1) {
+            all_ok.store(false);
+          } else {
+            writes.fetch_add(1);
+          }
+          continue;
+        }
+        int k = static_cast<int>((c * 11 + i * 7) % kKeys);
+        QueryRequest request;
+        request.sql = key_query(k);
+        request.tenant = tenant;
+        auto resp = client.Query(request);
+        lat[c].push_back(MillisSince(op0));
+        if (!resp.ok()) {
+          if (resp.status().code() == StatusCode::kResourceExhausted) {
+            rejected.fetch_add(1);
+          } else {
+            all_ok.store(false);
+          }
+          continue;
+        }
+        reads.fetch_add(1);
+        if (resp->degraded) degraded.fetch_add(1);
+        auto got = row_strings(resp->result.rows);
+        if (resp->eta >= 1.0 && !resp->timed_out) {
+          if (got != reference[k]) all_ok.store(false);
+        } else if (!std::includes(reference[k].begin(), reference[k].end(),
+                                  got.begin(), got.end())) {
+          all_ok.store(false);  // partial answers must still be subsets
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double wall_s = MillisSince(t0) / 1000.0;
+  server.Stop();
+
+  r.reads = reads.load();
+  r.writes = writes.load();
+  r.degraded = degraded.load();
+  r.rejected = rejected.load();
+  r.requests = r.clients * per_client;
+  if (!all_ok.load() || r.reads == 0 || r.writes == 0) r.ok = false;
+
+  auto lane = [&](size_t parity) {
+    NetTenantLane out;
+    std::vector<double> ms;
+    for (size_t c = parity; c < r.clients; c += 2) {
+      ms.insert(ms.end(), lat[c].begin(), lat[c].end());
+    }
+    out.requests = ms.size();
+    if (ms.empty()) return out;
+    std::sort(ms.begin(), ms.end());
+    out.p50_ms = ms[ms.size() / 2];
+    out.p99_ms = ms[std::min(ms.size() - 1, ms.size() * 99 / 100)];
+    out.qps = wall_s > 0 ? static_cast<double>(ms.size()) / wall_s : 0;
+    return out;
+  };
+  r.alpha = lane(0);
+  r.beta = lane(1);
+  return r;
+}
+
 }  // namespace
 
 int main() {
@@ -996,6 +1200,23 @@ int main() {
   // result or a typed rejection fails the bench.
   all_identical &= ov.ok;
 
+  // --- Network front door: loopback wire storm, per-tenant lanes. ---
+  NetBenchResult nb = RunNetSection();
+  std::printf(
+      "\nnet loopback (%zu clients, %zu ops): %llu reads + %llu inserts, "
+      "%llu degraded, %llu rejected; alpha p50 %.3f ms / p99 %.3f ms "
+      "(%.0f qps), beta p50 %.3f ms / p99 %.3f ms (%.0f qps) (%s)\n",
+      nb.clients, nb.requests, static_cast<unsigned long long>(nb.reads),
+      static_cast<unsigned long long>(nb.writes),
+      static_cast<unsigned long long>(nb.degraded),
+      static_cast<unsigned long long>(nb.rejected), nb.alpha.p50_ms,
+      nb.alpha.p99_ms, nb.alpha.qps, nb.beta.p50_ms, nb.beta.p99_ms,
+      nb.beta.qps, nb.ok ? "ok" : "FAILED");
+  // Latencies are recorded-only; the section fails the bench if any wire
+  // answer diverges from the in-process reference or an error arrives
+  // untyped.
+  all_identical &= nb.ok;
+
   FILE* json = std::fopen(json_path, "w");
   if (json != nullptr) {
     std::fprintf(json, "{\n  \"bench\": \"fetch_chain\",\n");
@@ -1052,6 +1273,22 @@ int main() {
                  static_cast<unsigned long long>(ov.degraded),
                  static_cast<unsigned long long>(ov.rejected), ov.mean_eta,
                  ov.ack_p50_ms, ov.ack_p99_ms, ov.ok ? "true" : "false");
+    std::fprintf(json,
+                 "  \"net\": {\"clients\": %zu, \"requests\": %zu, "
+                 "\"reads\": %llu, \"writes\": %llu, \"degraded\": %llu, "
+                 "\"rejected\": %llu, "
+                 "\"alpha_p50_ms\": %.4f, \"alpha_p99_ms\": %.4f, "
+                 "\"alpha_qps\": %.1f, "
+                 "\"beta_p50_ms\": %.4f, \"beta_p99_ms\": %.4f, "
+                 "\"beta_qps\": %.1f, \"ok\": %s},\n",
+                 nb.clients, nb.requests,
+                 static_cast<unsigned long long>(nb.reads),
+                 static_cast<unsigned long long>(nb.writes),
+                 static_cast<unsigned long long>(nb.degraded),
+                 static_cast<unsigned long long>(nb.rejected),
+                 nb.alpha.p50_ms, nb.alpha.p99_ms, nb.alpha.qps,
+                 nb.beta.p50_ms, nb.beta.p99_ms, nb.beta.qps,
+                 nb.ok ? "true" : "false");
     std::fprintf(json, "  \"shards\": %zu,\n", shard_count);
     std::fprintf(json, "  \"hardware_concurrency\": %u,\n", hw);
     std::fprintf(json, "  \"fig4_shard_speedup\": %.4f,\n",

@@ -44,6 +44,82 @@ const char* StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kNotImplemented:
+      return "NOT_IMPLEMENTED";
+    case StatusCode::kParseError:
+      return "PARSE_ERROR";
+    case StatusCode::kBindError:
+      return "BIND_ERROR";
+    case StatusCode::kTypeError:
+      return "TYPE_ERROR";
+    case StatusCode::kConformanceError:
+      return "CONFORMANCE_ERROR";
+    case StatusCode::kNotCovered:
+      return "NOT_COVERED";
+    case StatusCode::kBudgetExceeded:
+      return "BUDGET_EXCEEDED";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
+  }
+  return "UNKNOWN";
+}
+
+int StatusCodeToHttp(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kParseError:
+    case StatusCode::kBindError:
+    case StatusCode::kTypeError:
+      return 400;  // the request itself is wrong; retrying cannot help
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kConformanceError:
+      return 409;  // conflict with existing state / declared constraints
+    case StatusCode::kNotCovered:
+    case StatusCode::kBudgetExceeded:
+      return 422;  // well-formed but unanswerable under the access schema
+    case StatusCode::kResourceExhausted:
+      return 429;  // admission/queue/quota: back off and retry later
+    case StatusCode::kIoError:
+    case StatusCode::kInternal:
+    case StatusCode::kCorruption:
+      return 500;
+    case StatusCode::kNotImplemented:
+      return 501;
+    case StatusCode::kUnavailable:
+      return 503;  // latched/quiesced subsystem: retryable elsewhere
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+  }
+  return 500;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeToString(code_);

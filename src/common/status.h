@@ -34,6 +34,24 @@ enum class StatusCode {
 /// \brief Returns a short human-readable name for a status code.
 const char* StatusCodeToString(StatusCode code);
 
+/// \brief Stable machine-readable token for a status code, as carried in
+/// wire error bodies ("DEADLINE_EXCEEDED", "RESOURCE_EXHAUSTED", ...).
+///
+/// Unlike StatusCodeToString (a display name, free to change), these
+/// tokens are part of the network protocol's error taxonomy: clients
+/// dispatch on them, so they never change once shipped.
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Maps a status code onto the HTTP status the JSON adapter
+/// answers with — the third leg of the error taxonomy (enum value on the
+/// binary wire, token in machine-readable bodies, HTTP code here).
+///
+/// Client errors (parse/bind/type/argument) map to 400-family codes so a
+/// load balancer never retries them; overload and deadline verdicts map
+/// to 429/504 so generic HTTP clients back off correctly; kUnavailable is
+/// 503 (retryable) while kCorruption and internal faults are 500.
+int StatusCodeToHttp(StatusCode code);
+
 /// \brief A lightweight success-or-error value.
 ///
 /// The OK status carries no allocation; error statuses carry a message.

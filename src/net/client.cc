@@ -1,0 +1,146 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace beas {
+namespace net {
+
+Client::~Client() { Close(); }
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IoError("socket: " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::IoError("connect " + host + ":" +
+                                std::to_string(port) + ": " +
+                                std::strerror(errno));
+    Close();
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::WriteAll(const std::string& bytes) {
+  if (fd_ < 0) return Status::Unavailable("client is not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t r = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("send: " + std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status Client::ReadExactly(uint8_t* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd_, buf + got, n - got, 0);
+    if (r == 0) {
+      return Status::Unavailable("server closed the connection");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("recv: " + std::string(std::strerror(errno)));
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Result<std::pair<uint32_t, WireResponse>> Client::ReadResponse() {
+  uint8_t header[kFrameHeaderSize];
+  BEAS_RETURN_NOT_OK(ReadExactly(header, kFrameHeaderSize));
+  BEAS_ASSIGN_OR_RETURN(FrameHeader frame,
+                        DecodeFrameHeader(header, kFrameHeaderSize));
+  if (frame.kind != FrameKind::kResponse) {
+    return Status::Corruption("expected a response frame, got kind " +
+                              std::to_string(static_cast<unsigned>(frame.kind)));
+  }
+  std::vector<uint8_t> payload(frame.payload_len);
+  if (frame.payload_len > 0) {
+    BEAS_RETURN_NOT_OK(ReadExactly(payload.data(), payload.size()));
+  }
+  BEAS_ASSIGN_OR_RETURN(WireResponse response,
+                        DecodeResponse(payload.data(), payload.size()));
+  return std::make_pair(frame.request_id, std::move(response));
+}
+
+Result<WireResponse> Client::AwaitResponse(uint32_t id) {
+  for (;;) {
+    BEAS_ASSIGN_OR_RETURN(auto reply, ReadResponse());
+    if (reply.first == id) return std::move(reply.second);
+    // A stale answer to an abandoned pipelined request: drop and keep
+    // reading.
+  }
+}
+
+Result<uint32_t> Client::SendQuery(const QueryRequest& request) {
+  uint32_t id = next_id_++;
+  BEAS_RETURN_NOT_OK(WriteAll(EncodeQueryRequestFrame(id, request)));
+  return id;
+}
+
+Result<uint32_t> Client::SendInsert(const std::string& table,
+                                    const std::vector<Row>& rows) {
+  uint32_t id = next_id_++;
+  InsertRequest insert;
+  insert.table = table;
+  insert.rows = rows;
+  BEAS_RETURN_NOT_OK(WriteAll(EncodeInsertRequestFrame(id, insert)));
+  return id;
+}
+
+Result<QueryResponse> Client::Query(const QueryRequest& request) {
+  BEAS_ASSIGN_OR_RETURN(uint32_t id, SendQuery(request));
+  BEAS_ASSIGN_OR_RETURN(WireResponse response, AwaitResponse(id));
+  BEAS_RETURN_NOT_OK(response.status);
+  return std::move(response.response);
+}
+
+Result<uint64_t> Client::Insert(const std::string& table,
+                                const std::vector<Row>& rows) {
+  BEAS_ASSIGN_OR_RETURN(uint32_t id, SendInsert(table, rows));
+  BEAS_ASSIGN_OR_RETURN(WireResponse response, AwaitResponse(id));
+  BEAS_RETURN_NOT_OK(response.status);
+  return response.rows_inserted;
+}
+
+Status Client::Ping() {
+  uint32_t id = next_id_++;
+  BEAS_RETURN_NOT_OK(WriteAll(EncodePingFrame(id)));
+  BEAS_ASSIGN_OR_RETURN(WireResponse response, AwaitResponse(id));
+  return response.status;
+}
+
+}  // namespace net
+}  // namespace beas

@@ -1,0 +1,82 @@
+#ifndef BEAS_NET_CLIENT_H_
+#define BEAS_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/protocol.h"
+
+namespace beas {
+namespace net {
+
+/// \brief A blocking BNW1 client: one TCP connection, synchronous
+/// request/response plus an explicit pipelined mode (SendQuery /
+/// ReadResponse) for drivers that keep several requests in flight.
+///
+/// Not thread-safe: one Client per thread (the driver bench opens one per
+/// closed-loop worker, which is also the realistic serving shape).
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept
+      : fd_(other.fd_), next_id_(other.next_id_) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      next_id_ = other.next_id_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// \name Synchronous round trips.
+  /// @{
+  /// Runs one query; a typed server-side error (admission rejection,
+  /// deadline, parse error, ...) comes back as that exact Status.
+  Result<QueryResponse> Query(const QueryRequest& request);
+  /// Inserts a batch; returns the number of rows acked.
+  Result<uint64_t> Insert(const std::string& table,
+                          const std::vector<Row>& rows);
+  Status Ping();
+  /// @}
+
+  /// \name Pipelined mode: send without waiting, read in completion
+  /// order. Response request-ids correlate answers to sends.
+  /// @{
+  Result<uint32_t> SendQuery(const QueryRequest& request);
+  Result<uint32_t> SendInsert(const std::string& table,
+                              const std::vector<Row>& rows);
+  /// Blocks for the next response frame (any request id).
+  Result<std::pair<uint32_t, WireResponse>> ReadResponse();
+  /// @}
+
+ private:
+  Status WriteAll(const std::string& bytes);
+  Status ReadExactly(uint8_t* buf, size_t n);
+  /// Reads until the response for `id` arrives (single connection =>
+  /// responses for a sync caller arrive in send order anyway).
+  Result<WireResponse> AwaitResponse(uint32_t id);
+
+  int fd_ = -1;
+  uint32_t next_id_ = 1;
+};
+
+}  // namespace net
+}  // namespace beas
+
+#endif  // BEAS_NET_CLIENT_H_

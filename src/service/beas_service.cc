@@ -205,20 +205,79 @@ std::vector<MaintenanceManager::Adjustment> BeasService::RevalidateAndSuggest(
 }
 
 // ---------------------------------------------------------------------------
-// Read side.
+// Read side: Query() is the single entry point. Every named method below
+// builds a QueryRequest and funnels through it, so admission, tenant
+// accounting, and telemetry behave identically no matter which transport
+// or shim a request arrived through.
 // ---------------------------------------------------------------------------
+
+const char* QueryModeName(QueryMode mode) {
+  switch (mode) {
+    case QueryMode::kAuto:
+      return "auto";
+    case QueryMode::kBoundedOnly:
+      return "bounded";
+    case QueryMode::kApproximate:
+      return "approx";
+    case QueryMode::kCheckOnly:
+      return "check";
+  }
+  return "auto";
+}
+
+Result<QueryMode> ParseQueryMode(const std::string& token) {
+  if (token.empty() || token == "auto") return QueryMode::kAuto;
+  if (token == "bounded") return QueryMode::kBoundedOnly;
+  if (token == "approx") return QueryMode::kApproximate;
+  if (token == "check") return QueryMode::kCheckOnly;
+  return Status::InvalidArgument("unknown query mode: '" + token +
+                                 "' (expected auto|bounded|approx|check)");
+}
+
+Result<QueryResponse> BeasService::Query(const QueryRequest& request) {
+  TenantState* tenant = TenantFor(request.tenant);
+  if (tenant != nullptr) {
+    tenant->requests.fetch_add(1, std::memory_order_relaxed);
+  }
+  switch (request.mode) {
+    case QueryMode::kAuto:
+      return QueryAuto(request, tenant);
+    case QueryMode::kBoundedOnly:
+      return QueryBoundedOnly(request, tenant);
+    case QueryMode::kApproximate:
+      return QueryApproximate(request, tenant);
+    case QueryMode::kCheckOnly:
+      return QueryCheckOnly(request);
+  }
+  // Unknown byte off the wire: typed client error, never a crash.
+  return Status::InvalidArgument(
+      "unknown query mode " +
+      std::to_string(static_cast<unsigned>(request.mode)));
+}
 
 Result<ServiceResponse> BeasService::Execute(const std::string& sql,
                                              const QueryOptions& qopts) {
-  if (MentionsStatsTable(sql)) {
+  QueryRequest request;
+  request.sql = sql;
+  request.options = qopts;
+  return Query(request);
+}
+
+Result<QueryResponse> BeasService::QueryAuto(const QueryRequest& request,
+                                             TenantState* tenant) {
+  if (MentionsStatsTable(request.sql)) {
     // Materialize fresh serving-health counters before answering; the
     // refresh takes the exclusive lock, the query itself runs shared.
     BEAS_RETURN_NOT_OK(RefreshStatsTable());
   }
   Database::ReadScope lock(&db_);
-  Result<ServiceResponse> resp = ExecuteLocked(sql, qopts);
-  // Still under the shared lock: no rebuild can race the detach.
-  if (resp.ok()) DetachResultStrings(&resp->result);
+  Result<QueryResponse> resp = ExecuteLocked(request, tenant);
+  if (resp.ok()) {
+    resp->covered =
+        resp->decision.mode == BeasSession::ExecutionDecision::Mode::kBounded;
+    // Still under the shared lock: no rebuild can race the detach.
+    DetachResultStrings(&resp->result);
+  }
   return resp;
 }
 
@@ -229,38 +288,124 @@ Result<ServiceResponse> BeasService::Execute(const std::string& sql,
 // one atomic; no lock is held while a query runs.
 // ---------------------------------------------------------------------------
 
-Result<BeasService::AdmissionTicket> BeasService::Admit(uint64_t bound) {
+BeasService::TenantState* BeasService::TenantFor(const std::string& tenant) {
+  if (tenant.empty()) return nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(tenants_mutex_);
+    auto it = tenants_.find(tenant);
+    if (it != tenants_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(tenants_mutex_);
+  std::unique_ptr<TenantState>& slot = tenants_[tenant];
+  if (slot == nullptr) {
+    slot = std::make_unique<TenantState>();
+    auto cap = options_.tenant_cost_caps.find(tenant);
+    slot->cap = cap != options_.tenant_cost_caps.end()
+                    ? cap->second
+                    : options_.tenant_max_inflight_cost;
+  }
+  return slot.get();
+}
+
+Result<BeasService::AdmissionTicket> BeasService::Admit(uint64_t bound,
+                                                        TenantState* tenant) {
   AdmissionTicket ticket;
-  uint64_t cap = options_.max_inflight_cost;
-  if (cap == 0 || bound == 0) return ticket;  // admission off / free query
-  uint64_t used = inflight_cost_.load(std::memory_order_relaxed);
-  for (;;) {
-    if (used >= cap) {
-      queries_rejected_.fetch_add(1, std::memory_order_relaxed);
-      return Status::ResourceExhausted(
-          "admission control: in-flight cost " + WithCommas(used) +
-          " has exhausted the budget of " + WithCommas(cap) +
-          " (query's deduced access bound: " + WithCommas(bound) + ")");
-    }
-    // Degrade before rejecting: grant whatever remains and run the query
-    // under that fetch budget, with honest η.
-    uint64_t grant = std::min(bound, cap - used);
-    if (inflight_cost_.compare_exchange_weak(used, used + grant,
-                                             std::memory_order_relaxed)) {
-      ticket.charged = grant;
-      ticket.grant = grant;
-      ticket.degraded = grant < bound;
-      if (ticket.degraded) {
-        queries_degraded_.fetch_add(1, std::memory_order_relaxed);
+  if (bound == 0) return ticket;  // free query: nothing to reserve
+
+  // Level 1 — the tenant's own pool. A capped tenant degrades before it
+  // rejects, exactly like the global pool; a cap of 0 only records usage.
+  uint64_t remaining = bound;
+  bool tenant_degraded = false;
+  if (tenant != nullptr) {
+    ticket.tenant = tenant;
+    if (tenant->cap > 0) {
+      uint64_t used = tenant->inflight.load(std::memory_order_relaxed);
+      for (;;) {
+        if (used >= tenant->cap) {
+          tenant->rejected.fetch_add(1, std::memory_order_relaxed);
+          queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+          return Status::ResourceExhausted(
+              "tenant admission: in-flight cost " + WithCommas(used) +
+              " has exhausted the tenant's cap of " + WithCommas(tenant->cap) +
+              " (query's deduced access bound: " + WithCommas(bound) + ")");
+        }
+        uint64_t grant = std::min(remaining, tenant->cap - used);
+        if (tenant->inflight.compare_exchange_weak(
+                used, used + grant, std::memory_order_relaxed)) {
+          ticket.tenant_charged = grant;
+          tenant_degraded = grant < remaining;
+          remaining = grant;
+          break;
+        }
       }
-      return ticket;
+    } else {
+      tenant->inflight.fetch_add(remaining, std::memory_order_relaxed);
+      ticket.tenant_charged = remaining;
     }
   }
+
+  // Level 2 — the global pool, reserving the (possibly shrunk) tenant
+  // grant. A shortfall here refunds the tenant the difference so the two
+  // charges always agree.
+  uint64_t cap = options_.max_inflight_cost;
+  if (cap > 0) {
+    uint64_t used = inflight_cost_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (used >= cap) {
+        if (ticket.tenant_charged > 0) {
+          tenant->inflight.fetch_sub(ticket.tenant_charged,
+                                     std::memory_order_relaxed);
+          ticket.tenant_charged = 0;
+        }
+        queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+        return Status::ResourceExhausted(
+            "admission control: in-flight cost " + WithCommas(used) +
+            " has exhausted the budget of " + WithCommas(cap) +
+            " (query's deduced access bound: " + WithCommas(bound) + ")");
+      }
+      // Degrade before rejecting: grant whatever remains and run the query
+      // under that fetch budget, with honest η.
+      uint64_t grant = std::min(remaining, cap - used);
+      if (inflight_cost_.compare_exchange_weak(used, used + grant,
+                                               std::memory_order_relaxed)) {
+        ticket.charged = grant;
+        if (grant < remaining && ticket.tenant_charged > 0) {
+          tenant->inflight.fetch_sub(remaining - grant,
+                                     std::memory_order_relaxed);
+          ticket.tenant_charged -= remaining - grant;
+        }
+        remaining = grant;
+        break;
+      }
+    }
+  }
+
+  ticket.grant = remaining;
+  ticket.degraded = remaining < bound;
+  if (ticket.degraded) {
+    queries_degraded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (tenant != nullptr) {
+    if (tenant_degraded) {
+      tenant->degraded.fetch_add(1, std::memory_order_relaxed);
+    }
+    // High-water mark of the tenant's in-flight cost, for beas_stats.
+    uint64_t now = tenant->inflight.load(std::memory_order_relaxed);
+    uint64_t max = tenant->inflight_max.load(std::memory_order_relaxed);
+    while (now > max && !tenant->inflight_max.compare_exchange_weak(
+                            max, now, std::memory_order_relaxed)) {
+    }
+  }
+  return ticket;
 }
 
 void BeasService::ReleaseAdmission(const AdmissionTicket& ticket) {
   if (ticket.charged > 0) {
     inflight_cost_.fetch_sub(ticket.charged, std::memory_order_relaxed);
+  }
+  if (ticket.tenant != nullptr && ticket.tenant_charged > 0) {
+    ticket.tenant->inflight.fetch_sub(ticket.tenant_charged,
+                                      std::memory_order_relaxed);
   }
 }
 
@@ -268,8 +413,10 @@ Status BeasService::RunCoveredAdmitted(const BoundQuery& query,
                                        const BoundedPlan& plan,
                                        BoundedExecOptions exec_options,
                                        const QueryOptions& qopts,
-                                       ServiceResponse* resp) {
-  BEAS_ASSIGN_OR_RETURN(AdmissionTicket ticket, Admit(plan.total_access_bound));
+                                       TenantState* tenant,
+                                       QueryResponse* resp) {
+  BEAS_ASSIGN_OR_RETURN(AdmissionTicket ticket,
+                        Admit(plan.total_access_bound, tenant));
   struct Release {
     BeasService* service;
     const AdmissionTicket* ticket;
@@ -317,6 +464,20 @@ ServiceCounters BeasService::service_counters() const {
       queries_degraded_.load(std::memory_order_relaxed);
   out.submit_queue_depth = submit_queue_depth_.load(std::memory_order_relaxed);
   out.inflight_cost = inflight_cost_.load(std::memory_order_relaxed);
+  return out;
+}
+
+TenantCounters BeasService::tenant_counters(const std::string& tenant) const {
+  TenantCounters out;
+  std::shared_lock<std::shared_mutex> lock(tenants_mutex_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return out;
+  const TenantState& state = *it->second;
+  out.requests_total = state.requests.load(std::memory_order_relaxed);
+  out.rejected_total = state.rejected.load(std::memory_order_relaxed);
+  out.degraded_total = state.degraded.load(std::memory_order_relaxed);
+  out.inflight_cost = state.inflight.load(std::memory_order_relaxed);
+  out.inflight_cost_max = state.inflight_max.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -475,6 +636,37 @@ Status BeasService::RefreshStatsTable() {
   add("queries_degraded_total",
       static_cast<double>(svc.queries_degraded_total));
   add("submit_queue_depth", static_cast<double>(svc.submit_queue_depth));
+  // Wire front-door gauges: the network server increments them; all zero
+  // for an in-process service, so dashboards query them unconditionally.
+  add("net_connections_open",
+      static_cast<double>(
+          net_gauges_.connections_open.load(std::memory_order_relaxed)));
+  add("net_requests_total",
+      static_cast<double>(
+          net_gauges_.requests_total.load(std::memory_order_relaxed)));
+  add("net_bytes_in_total",
+      static_cast<double>(
+          net_gauges_.bytes_in_total.load(std::memory_order_relaxed)));
+  add("net_bytes_out_total",
+      static_cast<double>(
+          net_gauges_.bytes_out_total.load(std::memory_order_relaxed)));
+  // Per-tenant admission, aggregated: total cap rejections across tenants
+  // and the highest in-flight-cost high-water mark any tenant reached.
+  double tenant_rejected = 0;
+  double tenant_inflight_max = 0;
+  {
+    std::shared_lock<std::shared_mutex> tenants_lock(tenants_mutex_);
+    for (const auto& entry : tenants_) {
+      tenant_rejected += static_cast<double>(
+          entry.second->rejected.load(std::memory_order_relaxed));
+      tenant_inflight_max = std::max(
+          tenant_inflight_max,
+          static_cast<double>(
+              entry.second->inflight_max.load(std::memory_order_relaxed)));
+    }
+  }
+  add("tenant_rejected_total", tenant_rejected);
+  add("tenant_inflight_cost_max", tenant_inflight_max);
 
   // Phase 3 — swap the snapshot in: tombstone the previous rows (the
   // table has no AC indices, so no write hooks need to observe these) and
@@ -504,8 +696,10 @@ Result<ServiceResponse> BeasService::ExecuteUncachedQuery(
   return resp;
 }
 
-Result<ServiceResponse> BeasService::ExecuteLocked(const std::string& sql,
-                                                   const QueryOptions& qopts) {
+Result<QueryResponse> BeasService::ExecuteLocked(const QueryRequest& request,
+                                                 TenantState* tenant) {
+  const std::string& sql = request.sql;
+  const QueryOptions& qopts = request.options;
   if (!cache_enabled_.load(std::memory_order_relaxed)) {
     BEAS_ASSIGN_OR_RETURN(BoundQuery query, db_.Bind(sql));
     return ExecuteUncachedQuery(query);
@@ -543,7 +737,7 @@ Result<ServiceResponse> BeasService::ExecuteLocked(const std::string& sql,
           resp.cache_hit = true;
           resp.template_hash = key.hash;
           BEAS_RETURN_NOT_OK(RunCoveredAdmitted(
-              query, *plan, FastPathOptions(*entry), qopts, &resp));
+              query, *plan, FastPathOptions(*entry), qopts, tenant, &resp));
           resp.decision.mode = BeasSession::ExecutionDecision::Mode::kBounded;
           resp.decision.deduced_bound = plan->total_access_bound;
           resp.decision.explanation = entry->covered_explanation;
@@ -598,7 +792,7 @@ Result<ServiceResponse> BeasService::ExecuteLocked(const std::string& sql,
   if (!have_query) {
     BEAS_ASSIGN_OR_RETURN(query, db_.Bind(sql));
   }
-  return ExecuteMiss(sql, masked, std::move(query), qopts);
+  return ExecuteMiss(sql, masked, std::move(query), qopts, tenant);
 }
 
 BoundedExecOptions BeasService::FastPathOptions(
@@ -646,7 +840,8 @@ std::shared_ptr<PlanCache::Entry> BeasService::MakeEntry(
 Result<ServiceResponse> BeasService::ExecuteMiss(const std::string& sql,
                                                  const SqlTemplate& masked,
                                                  BoundQuery query,
-                                                 const QueryOptions& qopts) {
+                                                 const QueryOptions& qopts,
+                                                 TenantState* tenant) {
   QueryTemplate tmpl = BuildQueryTemplate(masked, query);
   if (!tmpl.cacheable) {
     cache_.NoteUncacheable();
@@ -668,8 +863,8 @@ Result<ServiceResponse> BeasService::ExecuteMiss(const std::string& sql,
     BoundedExecOptions exec_options;
     exec_options.compiled = entry->compiled.get();
     exec_options.probe_pool = &pool_;
-    BEAS_RETURN_NOT_OK(
-        RunCoveredAdmitted(query, coverage.plan, exec_options, qopts, &resp));
+    BEAS_RETURN_NOT_OK(RunCoveredAdmitted(query, coverage.plan, exec_options,
+                                          qopts, tenant, &resp));
     resp.decision.mode = BeasSession::ExecutionDecision::Mode::kBounded;
     resp.decision.deduced_bound = coverage.plan.total_access_bound;
     resp.decision.explanation =
@@ -705,23 +900,24 @@ Result<ServiceResponse> BeasService::ExecuteMiss(const std::string& sql,
   return resp;
 }
 
-Result<ServiceResponse> BeasService::ExecuteBounded(const std::string& sql,
-                                                    const QueryOptions& qopts) {
+Result<QueryResponse> BeasService::QueryBoundedOnly(
+    const QueryRequest& request, TenantState* tenant) {
   Database::ReadScope lock(&db_);
   bool cache_hit = false;
   BoundQuery query;
   std::shared_ptr<const PlanCache::Entry> entry;
   BEAS_ASSIGN_OR_RETURN(CoverageResult coverage,
-                        CheckLocked(sql, &cache_hit, &query, &entry));
+                        CheckLocked(request.sql, &cache_hit, &query, &entry));
   if (!coverage.covered) return Status::NotCovered(coverage.reason);
   // CheckLocked's plan is already rebound to this instance's constants.
-  ServiceResponse resp;
+  QueryResponse resp;
   resp.cache_hit = cache_hit;
+  resp.covered = true;
   BoundedExecOptions exec_options;
   exec_options.probe_pool = &pool_;
   if (entry != nullptr) exec_options.compiled = entry->compiled.get();
-  BEAS_RETURN_NOT_OK(
-      RunCoveredAdmitted(query, coverage.plan, exec_options, qopts, &resp));
+  BEAS_RETURN_NOT_OK(RunCoveredAdmitted(query, coverage.plan, exec_options,
+                                        request.options, tenant, &resp));
   resp.decision.mode = BeasSession::ExecutionDecision::Mode::kBounded;
   resp.decision.deduced_bound = coverage.plan.total_access_bound;
   resp.decision.explanation =
@@ -730,25 +926,83 @@ Result<ServiceResponse> BeasService::ExecuteBounded(const std::string& sql,
   return resp;
 }
 
-Result<ApproxResult> BeasService::ExecuteApproximate(const std::string& sql,
-                                                     uint64_t budget) {
+Result<ServiceResponse> BeasService::ExecuteBounded(const std::string& sql,
+                                                    const QueryOptions& qopts) {
+  QueryRequest request;
+  request.sql = sql;
+  request.mode = QueryMode::kBoundedOnly;
+  request.options = qopts;
+  return Query(request);
+}
+
+Result<QueryResponse> BeasService::QueryApproximate(const QueryRequest& request,
+                                                    TenantState* tenant) {
+  (void)tenant;  // counted by Query(); approximation self-bounds by budget
+  if (request.approx_budget == 0) {
+    return Status::InvalidArgument(
+        "approximate mode requires a positive approx_budget");
+  }
   Database::ReadScope lock(&db_);
   BoundQuery query;
   BEAS_ASSIGN_OR_RETURN(CoverageResult coverage,
-                        CheckLocked(sql, nullptr, &query));
+                        CheckLocked(request.sql, nullptr, &query));
   if (!coverage.covered) {
     return Status::NotCovered("approximation requires a covered query: " +
                               coverage.reason);
   }
-  Result<ApproxResult> approx =
-      session_.ExecuteApproximate(query, coverage.plan, budget);
-  if (approx.ok()) DetachResultStrings(&approx->result);
+  BEAS_ASSIGN_OR_RETURN(
+      ApproxResult approx,
+      session_.ExecuteApproximate(query, coverage.plan, request.approx_budget));
+  QueryResponse resp;
+  resp.result = std::move(approx.result);
+  resp.covered = true;
+  resp.eta = approx.eta;
+  resp.approx_exact = approx.exact;
+  resp.approx_budget = approx.budget;
+  resp.tuples_fetched = approx.tuples_fetched;
+  resp.decision.mode = BeasSession::ExecutionDecision::Mode::kBounded;
+  resp.decision.deduced_bound = coverage.plan.total_access_bound;
+  resp.decision.explanation =
+      "budgeted approximation (budget " + WithCommas(approx.budget) + ")";
+  DetachResultStrings(&resp.result);
+  return resp;
+}
+
+Result<ApproxResult> BeasService::ExecuteApproximate(const std::string& sql,
+                                                     uint64_t budget) {
+  QueryRequest request;
+  request.sql = sql;
+  request.mode = QueryMode::kApproximate;
+  request.approx_budget = budget;
+  BEAS_ASSIGN_OR_RETURN(QueryResponse resp, Query(request));
+  ApproxResult approx;
+  approx.result = std::move(resp.result);
+  approx.eta = resp.eta;
+  approx.budget = resp.approx_budget;
+  approx.tuples_fetched = resp.tuples_fetched;
+  approx.exact = resp.approx_exact;
   return approx;
 }
 
-Result<CoverageResult> BeasService::Check(const std::string& sql) {
+Result<QueryResponse> BeasService::QueryCheckOnly(const QueryRequest& request) {
   Database::ReadScope lock(&db_);
-  return CheckLocked(sql);
+  BEAS_ASSIGN_OR_RETURN(CoverageResult coverage, CheckLocked(request.sql));
+  QueryResponse resp;
+  resp.covered = coverage.covered;
+  resp.unsatisfiable = coverage.unsatisfiable;
+  resp.reason = coverage.reason;
+  resp.decision.deduced_bound =
+      coverage.covered ? coverage.plan.total_access_bound : 0;
+  resp.coverage = std::move(coverage);
+  return resp;
+}
+
+Result<CoverageResult> BeasService::Check(const std::string& sql) {
+  QueryRequest request;
+  request.sql = sql;
+  request.mode = QueryMode::kCheckOnly;
+  BEAS_ASSIGN_OR_RETURN(QueryResponse resp, Query(request));
+  return std::move(resp.coverage);
 }
 
 Result<CoverageResult> BeasService::CheckLocked(
@@ -818,10 +1072,9 @@ Result<CoverageResult> BeasService::CheckLocked(
   return coverage;
 }
 
-std::future<Result<ServiceResponse>> BeasService::Submit(
-    const std::string& sql, const QueryOptions& qopts) {
-  auto promise = std::make_shared<std::promise<Result<ServiceResponse>>>();
-  std::future<Result<ServiceResponse>> future = promise->get_future();
+std::future<Result<QueryResponse>> BeasService::Submit(QueryRequest request) {
+  auto promise = std::make_shared<std::promise<Result<QueryResponse>>>();
+  std::future<Result<QueryResponse>> future = promise->get_future();
   // Bounded backlog: an overloaded service answers "no" in O(1) instead
   // of queueing work it cannot serve in time.
   uint64_t depth = submit_queue_depth_.fetch_add(1, std::memory_order_relaxed);
@@ -833,8 +1086,8 @@ std::future<Result<ServiceResponse>> BeasService::Submit(
         " requests in flight)"));
     return future;
   }
-  bool queued = pool_.Submit([this, promise, sql, qopts] {
-    promise->set_value(Execute(sql, qopts));
+  bool queued = pool_.Submit([this, promise, request = std::move(request)] {
+    promise->set_value(Query(request));
     submit_queue_depth_.fetch_sub(1, std::memory_order_relaxed);
   });
   if (!queued) {
@@ -842,6 +1095,14 @@ std::future<Result<ServiceResponse>> BeasService::Submit(
     promise->set_value(Status::Unavailable("service is shutting down"));
   }
   return future;
+}
+
+std::future<Result<ServiceResponse>> BeasService::Submit(
+    const std::string& sql, const QueryOptions& qopts) {
+  QueryRequest request;
+  request.sql = sql;
+  request.options = qopts;
+  return Submit(std::move(request));
 }
 
 }  // namespace beas

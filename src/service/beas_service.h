@@ -5,7 +5,9 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "bounded/beas_session.h"
@@ -47,6 +49,20 @@ struct ServiceOptions {
   /// kResourceExhausted only when no cost remains at all. 0 = off.
   uint64_t max_inflight_cost = 0;
   /// @}
+
+  /// \name Per-tenant admission (the network front door's fairness layer).
+  /// @{
+  /// Default per-tenant in-flight cost cap, layered *under* the global
+  /// pool: a request naming a tenant first reserves against that tenant's
+  /// cap (same degrade-then-reject semantics as the global pool), then
+  /// carries the tenant grant into the global reservation — so one noisy
+  /// tenant can saturate neither the service nor another tenant's share.
+  /// 0 = per-tenant accounting records usage but never degrades/rejects.
+  /// Requests with an empty tenant id bypass per-tenant admission.
+  uint64_t tenant_max_inflight_cost = 0;
+  /// Per-tenant overrides of tenant_max_inflight_cost, keyed by tenant id.
+  std::unordered_map<std::string, uint64_t> tenant_cost_caps;
+  /// @}
 };
 
 /// \brief Per-request execution options: deadline, cancellation, budget,
@@ -81,8 +97,57 @@ struct ServiceCounters {
   uint64_t inflight_cost = 0;            ///< admitted cost units in flight
 };
 
-/// \brief A query answer plus the service-level telemetry.
-struct ServiceResponse {
+/// \brief Per-tenant admission counters, queryable per tenant and
+/// aggregated into beas_stats (tenant_rejected_total and the
+/// tenant_inflight_cost_max high-water mark).
+struct TenantCounters {
+  uint64_t requests_total = 0;      ///< read-side requests naming the tenant
+  uint64_t rejected_total = 0;      ///< tenant-cap rejections
+  uint64_t degraded_total = 0;      ///< tenant cap shrank the grant
+  uint64_t inflight_cost = 0;       ///< admitted cost in flight right now
+  uint64_t inflight_cost_max = 0;   ///< high-water mark of inflight_cost
+};
+
+/// \brief How Query() is allowed to answer — the read-side mode enum the
+/// wire envelope carries.
+enum class QueryMode : uint8_t {
+  kAuto = 0,         ///< bounded if covered, else partial/conventional
+  kBoundedOnly = 1,  ///< strict: kNotCovered error when the checker rejects
+  kApproximate = 2,  ///< budgeted approximation (requires approx_budget)
+  kCheckOnly = 3,    ///< coverage verdict only; no execution
+};
+
+/// Stable lowercase token for a mode ("auto", "bounded", "approx",
+/// "check") — used on the wire's JSON side and by the CLI.
+const char* QueryModeName(QueryMode mode);
+
+/// Parses a QueryModeName token (kInvalidArgument on anything else).
+Result<QueryMode> ParseQueryMode(const std::string& token);
+
+/// \brief The unified read-side request envelope: one serializable
+/// struct that every entry point — in-process shims and both wire
+/// protocols — funnels into, so there is exactly one admission path and
+/// one telemetry story.
+struct QueryRequest {
+  std::string sql;
+  QueryMode mode = QueryMode::kAuto;
+  QueryOptions options;
+  /// Tenant id for per-tenant admission and accounting; empty = the
+  /// anonymous tenant (global admission only).
+  std::string tenant;
+  /// Fetch budget for kApproximate (must be positive in that mode).
+  uint64_t approx_budget = 0;
+};
+
+/// \brief The unified response envelope: a query answer plus the
+/// service-level telemetry, for every mode. (`ServiceResponse` is the
+/// historical name; the two are one type.)
+///
+/// Mode-specific fields: kCheckOnly fills `covered`/`unsatisfiable`/
+/// `reason`/`coverage` and leaves `result` empty; kApproximate fills
+/// `approx_exact`/`approx_budget`/`tuples_fetched`; the execution modes
+/// fill `result`/`decision` and the resilience telemetry.
+struct QueryResponse {
   QueryResult result;
   BeasSession::ExecutionDecision decision;
   bool cache_hit = false;   ///< answered from a cached template plan
@@ -94,6 +159,38 @@ struct ServiceResponse {
   bool degraded = false;    ///< admission capped this query's fetch budget
   bool timed_out = false;   ///< the deadline/cancel expired mid-chain
   /// @}
+  /// \name Coverage verdict (kCheckOnly; `covered` is also set by the
+  /// execution modes for the wire's benefit).
+  /// @{
+  bool covered = false;
+  bool unsatisfiable = false;
+  std::string reason;       ///< diagnosis when not covered
+  /// The full checker verdict incl. the bounded plan — populated in
+  /// kCheckOnly mode only (it does not serialize; the wire carries the
+  /// scalar summary above).
+  CoverageResult coverage;
+  /// @}
+  /// \name Approximation telemetry (kApproximate).
+  /// @{
+  bool approx_exact = false;    ///< the budget was never binding
+  uint64_t approx_budget = 0;   ///< requested fetch budget
+  uint64_t tuples_fetched = 0;
+  /// @}
+};
+
+/// Historical name for the unified envelope, kept so existing callers
+/// (and their tests) compile unchanged.
+using ServiceResponse = QueryResponse;
+
+/// \brief Live wire-server gauges, owned by the service so beas_stats can
+/// report them uniformly: an in-process service (no server attached)
+/// reports zeros. The network server increments them; everything is a
+/// relaxed atomic.
+struct NetGauges {
+  std::atomic<uint64_t> connections_open{0};
+  std::atomic<uint64_t> requests_total{0};   ///< frames decoded into requests
+  std::atomic<uint64_t> bytes_in_total{0};
+  std::atomic<uint64_t> bytes_out_total{0};
 };
 
 /// \brief The concurrent query-service layer: the first piece of the
@@ -173,26 +270,39 @@ class BeasService {
   /// @}
 
   /// \name Read side (shared lock; safe from many threads).
+  ///
+  /// Query() is THE read-side entry point: every mode, every tenant,
+  /// every transport funnels through it — one admission path, one
+  /// telemetry struct, one serialization. The named entry points below it
+  /// are documented thin shims kept for in-process callers.
   /// @{
+  Result<QueryResponse> Query(const QueryRequest& request);
+
+  /// Shim: Query() in kAuto mode with no tenant.
   Result<ServiceResponse> Execute(const std::string& sql) {
     return Execute(sql, QueryOptions{});
   }
-  /// Execute with per-request deadline / cancellation / budget / min-η.
+  /// Shim: kAuto with per-request deadline / cancellation / budget / min-η.
   Result<ServiceResponse> Execute(const std::string& sql,
                                   const QueryOptions& qopts);
+  /// Shim: Query() in kBoundedOnly mode.
   Result<ServiceResponse> ExecuteBounded(const std::string& sql) {
     return ExecuteBounded(sql, QueryOptions{});
   }
   Result<ServiceResponse> ExecuteBounded(const std::string& sql,
                                          const QueryOptions& qopts);
+  /// Shim: Query() in kApproximate mode, repackaged as an ApproxResult.
   Result<ApproxResult> ExecuteApproximate(const std::string& sql,
                                           uint64_t budget);
+  /// Shim: Query() in kCheckOnly mode, returning the checker verdict.
   Result<CoverageResult> Check(const std::string& sql);
   /// @}
 
-  /// Enqueues `sql` on the worker pool; the future resolves to the same
-  /// response Execute would produce. At max_queue_depth in-flight
+  /// Enqueues the request on the worker pool; the future resolves to the
+  /// same response Query() would produce. At max_queue_depth in-flight
   /// submissions the call resolves immediately with kResourceExhausted.
+  std::future<Result<QueryResponse>> Submit(QueryRequest request);
+  /// Shims onto Submit(QueryRequest) in kAuto mode.
   std::future<Result<ServiceResponse>> Submit(const std::string& sql) {
     return Submit(sql, QueryOptions{});
   }
@@ -249,6 +359,13 @@ class BeasService {
   /// gauges); also mirrored into beas_stats.
   ServiceCounters service_counters() const;
 
+  /// Per-tenant admission counters; zeros for a tenant never seen.
+  TenantCounters tenant_counters(const std::string& tenant) const;
+
+  /// The wire server's live gauges (mirrored into beas_stats; all zero
+  /// while no server is attached). The server increments these directly.
+  NetGauges* net_gauges() { return &net_gauges_; }
+
   PlanCacheStats cache_stats() const { return cache_.stats(); }
   void set_cache_enabled(bool enabled) { cache_enabled_.store(enabled); }
   bool cache_enabled() const { return cache_enabled_.load(); }
@@ -268,22 +385,53 @@ class BeasService {
   /// @}
 
  private:
-  /// Cached-path Execute; caller holds the shared lock.
-  Result<ServiceResponse> ExecuteLocked(const std::string& sql,
-                                        const QueryOptions& qopts);
+  /// Per-tenant admission state: one atomically-reserved pool per tenant,
+  /// created on first sight and never removed (tenant populations are
+  /// small and long-lived). Pointers stay stable across map growth.
+  struct TenantState {
+    uint64_t cap = 0;  ///< immutable after creation
+    std::atomic<uint64_t> inflight{0};
+    std::atomic<uint64_t> inflight_max{0};
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> rejected{0};
+    std::atomic<uint64_t> degraded{0};
+  };
 
-  /// One admitted reservation against max_inflight_cost. `charged` is
-  /// released by ReleaseAdmission; `grant` < the requested bound means the
-  /// query runs degraded under that budget.
+  /// Mode dispatchers behind Query(); each assumes Query() already did
+  /// tenant accounting. `tenant` may be null (anonymous).
+  Result<QueryResponse> QueryAuto(const QueryRequest& request,
+                                  TenantState* tenant);
+  Result<QueryResponse> QueryBoundedOnly(const QueryRequest& request,
+                                         TenantState* tenant);
+  Result<QueryResponse> QueryApproximate(const QueryRequest& request,
+                                         TenantState* tenant);
+  Result<QueryResponse> QueryCheckOnly(const QueryRequest& request);
+
+  /// Returns the tenant's state, creating it on first sight (null for the
+  /// empty/anonymous tenant).
+  TenantState* TenantFor(const std::string& tenant);
+
+  /// Cached-path Execute; caller holds the shared lock.
+  Result<QueryResponse> ExecuteLocked(const QueryRequest& request,
+                                      TenantState* tenant);
+
+  /// One admitted reservation against max_inflight_cost (and, when the
+  /// request names a tenant, that tenant's cap). `charged`/
+  /// `tenant_charged` are released by ReleaseAdmission; `grant` < the
+  /// requested bound means the query runs degraded under that budget.
   struct AdmissionTicket {
     uint64_t charged = 0;
+    uint64_t tenant_charged = 0;
+    TenantState* tenant = nullptr;
     uint64_t grant = 0;
     bool degraded = false;
   };
 
-  /// CAS-reserves up to `bound` cost units. kResourceExhausted when the
-  /// pool is fully committed; a partial grant marks the ticket degraded.
-  Result<AdmissionTicket> Admit(uint64_t bound);
+  /// CAS-reserves up to `bound` cost units: first against the tenant cap
+  /// (degrade-then-reject), then the tenant grant against the global
+  /// pool. kResourceExhausted when either pool is fully committed; a
+  /// partial grant marks the ticket degraded.
+  Result<AdmissionTicket> Admit(uint64_t bound, TenantState* tenant);
   void ReleaseAdmission(const AdmissionTicket& ticket);
 
   /// Shared tail of every covered (bounded) execution: admission against
@@ -292,7 +440,8 @@ class BeasService {
   /// decision fields.
   Status RunCoveredAdmitted(const BoundQuery& query, const BoundedPlan& plan,
                             BoundedExecOptions exec_options,
-                            const QueryOptions& qopts, ServiceResponse* resp);
+                            const QueryOptions& qopts, TenantState* tenant,
+                            QueryResponse* resp);
 
   /// Cached-path Check; caller holds the shared lock. `cache_hit` (may be
   /// null) reports whether the verdict came from the template cache;
@@ -314,7 +463,8 @@ class BeasService {
   Result<ServiceResponse> ExecuteMiss(const std::string& sql,
                                       const SqlTemplate& masked,
                                       BoundQuery query,
-                                      const QueryOptions& qopts);
+                                      const QueryOptions& qopts,
+                                      TenantState* tenant);
 
   /// Builds the cache entry skeleton shared by the miss paths: coverage
   /// fields plus the prepared template (null if validation failed).
@@ -348,6 +498,14 @@ class BeasService {
   std::atomic<uint64_t> queries_rejected_{0};
   std::atomic<uint64_t> queries_degraded_{0};
   /// @}
+
+  /// Tenant registry: shared lock on the hot lookup path, exclusive only
+  /// on first sight of a new tenant id. Leaf lock — never held across an
+  /// execution or another lock acquisition.
+  mutable std::shared_mutex tenants_mutex_;
+  std::unordered_map<std::string, std::unique_ptr<TenantState>> tenants_;
+
+  NetGauges net_gauges_;
 
   /// Serves Submit() query dispatch AND the bounded executor's sharded
   /// index probes (ParallelFor lets the submitting thread participate, so

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <chrono>
 #include <mutex>
+#include <set>
+#include <string>
 #include <unordered_set>
 
 #include "common/env.h"
@@ -85,6 +87,62 @@ TEST(StatusTest, ReturnNotOkMacroPropagates) {
     return Status::OK();  // unreachable
   };
   EXPECT_EQ(fails().code(), StatusCode::kIoError);
+}
+
+TEST(StatusTest, WireTokensAreStableAndDistinct) {
+  const StatusCode all[] = {
+      StatusCode::kOk,          StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,    StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,  StatusCode::kNotImplemented,
+      StatusCode::kParseError,  StatusCode::kBindError,
+      StatusCode::kTypeError,   StatusCode::kConformanceError,
+      StatusCode::kNotCovered,  StatusCode::kBudgetExceeded,
+      StatusCode::kIoError,     StatusCode::kInternal,
+      StatusCode::kDeadlineExceeded, StatusCode::kResourceExhausted,
+      StatusCode::kUnavailable, StatusCode::kCorruption,
+  };
+  std::set<std::string> tokens;
+  for (StatusCode code : all) {
+    std::string token = StatusCodeName(code);
+    // UPPER_SNAKE, non-empty, and unique: clients dispatch on these.
+    EXPECT_FALSE(token.empty());
+    for (char c : token) {
+      EXPECT_TRUE((c >= 'A' && c <= 'Z') || c == '_') << token;
+    }
+    EXPECT_TRUE(tokens.insert(token).second) << "duplicate token " << token;
+  }
+  // Pinned spellings (protocol constants — never change once shipped).
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotCovered), "NOT_COVERED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+}
+
+TEST(StatusTest, HttpMappingFollowsRetryabilitySemantics) {
+  // Client errors: 400 family, never retried by a well-behaved proxy.
+  EXPECT_EQ(StatusCodeToHttp(StatusCode::kInvalidArgument), 400);
+  EXPECT_EQ(StatusCodeToHttp(StatusCode::kParseError), 400);
+  EXPECT_EQ(StatusCodeToHttp(StatusCode::kBindError), 400);
+  EXPECT_EQ(StatusCodeToHttp(StatusCode::kTypeError), 400);
+  EXPECT_EQ(StatusCodeToHttp(StatusCode::kOutOfRange), 400);
+  EXPECT_EQ(StatusCodeToHttp(StatusCode::kNotFound), 404);
+  EXPECT_EQ(StatusCodeToHttp(StatusCode::kAlreadyExists), 409);
+  EXPECT_EQ(StatusCodeToHttp(StatusCode::kConformanceError), 409);
+  // Coverage/budget verdicts are semantic refusals: 422.
+  EXPECT_EQ(StatusCodeToHttp(StatusCode::kNotCovered), 422);
+  EXPECT_EQ(StatusCodeToHttp(StatusCode::kBudgetExceeded), 422);
+  // Overload and deadline: the back-off codes.
+  EXPECT_EQ(StatusCodeToHttp(StatusCode::kResourceExhausted), 429);
+  EXPECT_EQ(StatusCodeToHttp(StatusCode::kDeadlineExceeded), 504);
+  EXPECT_EQ(StatusCodeToHttp(StatusCode::kUnavailable), 503);
+  // Server faults.
+  EXPECT_EQ(StatusCodeToHttp(StatusCode::kIoError), 500);
+  EXPECT_EQ(StatusCodeToHttp(StatusCode::kInternal), 500);
+  EXPECT_EQ(StatusCodeToHttp(StatusCode::kCorruption), 500);
+  EXPECT_EQ(StatusCodeToHttp(StatusCode::kNotImplemented), 501);
+  EXPECT_EQ(StatusCodeToHttp(StatusCode::kOk), 200);
 }
 
 TEST(ResultTest, HoldsValue) {

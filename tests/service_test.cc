@@ -1403,6 +1403,93 @@ TEST_F(ResilienceTest, ResilienceGaugesExposedThroughBeasStats) {
   EXPECT_EQ(value_of("scrub_repairs_total"), 0.0);
   EXPECT_EQ(value_of("quarantined_shards"), 0.0);
   EXPECT_EQ(value_of("env_injected_faults"), 0.0);
+  // An in-process service (no wire server attached) reports the network
+  // gauges as zeros — present, uniform, just quiet.
+  EXPECT_EQ(value_of("net_connections_open"), 0.0);
+  EXPECT_EQ(value_of("net_requests_total"), 0.0);
+  EXPECT_EQ(value_of("net_bytes_in_total"), 0.0);
+  EXPECT_EQ(value_of("net_bytes_out_total"), 0.0);
+  EXPECT_EQ(value_of("tenant_rejected_total"), 0.0);
+  EXPECT_EQ(value_of("tenant_inflight_cost_max"), 0.0);
+}
+
+TEST_F(ResilienceTest, TenantAdmissionCountersAndBeasStatsGauges) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.max_inflight_cost = 10000;     // roomy global pool
+  options.tenant_cost_caps["beta"] = 100;  // < the query's bound of 500
+  Start(options);
+
+  // Alone, beta's query exceeds its cap and is admitted degraded — the
+  // grant caps resources, not correctness.
+  QueryRequest beta_request;
+  beta_request.sql = kCallQuery;
+  beta_request.tenant = "beta";
+  auto degraded = service_->Query(beta_request);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->degraded);
+  TenantCounters beta = service_->tenant_counters("beta");
+  EXPECT_GE(beta.degraded_total, 1u);
+  EXPECT_EQ(beta.inflight_cost, 0u) << "tenant charge must be released";
+  EXPECT_GE(beta.inflight_cost_max, 1u);
+
+  // Alpha (uncapped tenant) is untouched by beta's squeeze.
+  QueryRequest alpha_request;
+  alpha_request.sql = kCallQuery;
+  alpha_request.tenant = "alpha";
+  auto alpha = service_->Query(alpha_request);
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_FALSE(alpha->degraded);
+
+  // Saturate beta: park one beta query so its grant holds the whole
+  // tenant cap; the next beta arrival is rejected while alpha still runs.
+  {
+    ServiceFailGuard slow("exec_step=sleep(200)@*");
+    std::thread holder([&] {
+      auto resp = service_->Query(beta_request);
+      EXPECT_TRUE(resp.ok()) << resp.status().ToString();
+    });
+    bool held = false;
+    for (int i = 0; i < 2000; ++i) {
+      if (service_->tenant_counters("beta").inflight_cost >= 100) {
+        held = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_TRUE(held) << "holder never charged the tenant budget";
+    if (held) {
+      auto rejected = service_->Query(beta_request);
+      ASSERT_FALSE(rejected.ok());
+      EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+      EXPECT_NE(rejected.status().message().find("tenant"),
+                std::string::npos)
+          << rejected.status().message();
+      auto fine = service_->Query(alpha_request);
+      EXPECT_TRUE(fine.ok()) << fine.status().ToString();
+    }
+    holder.join();
+  }
+  beta = service_->tenant_counters("beta");
+  EXPECT_GE(beta.rejected_total, 1u);
+  EXPECT_GE(beta.requests_total, 3u);
+  EXPECT_EQ(beta.inflight_cost, 0u);
+  EXPECT_GE(beta.inflight_cost_max, 100u);
+  // A tenant never seen reads as zeros, not an error.
+  EXPECT_EQ(service_->tenant_counters("nobody").requests_total, 0u);
+
+  // The aggregate tenant gauges surface through beas_stats.
+  ServiceResponse resp =
+      MustExecute("SELECT metric, value FROM beas_stats ORDER BY metric");
+  auto value_of = [&](const std::string& metric) -> double {
+    for (const Row& row : resp.result.rows) {
+      if (row[0].AsString() == metric) return row[1].AsDouble();
+    }
+    ADD_FAILURE() << "metric '" << metric << "' missing";
+    return -1;
+  };
+  EXPECT_GE(value_of("tenant_rejected_total"), 1.0);
+  EXPECT_GE(value_of("tenant_inflight_cost_max"), 100.0);
 }
 
 TEST(ServiceScrubStatsTest, ScrubGaugesAdvanceThroughBeasStats) {

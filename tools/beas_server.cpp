@@ -1,0 +1,117 @@
+// beas_server: stand-alone BEAS wire server. Serves the BNW1 binary
+// protocol and the HTTP/1.1 JSON adapter on one port.
+//
+//   beas_server --port 7687 --demo
+//   curl -s localhost:7687/query -d '{"sql":"SELECT t.v FROM t WHERE t.k = 3"}'
+//
+// --demo populates a small covered table (t{k,v}, constraint k->v) so the
+// server answers queries out of the box; --durable-dir recovers and
+// serves an existing data directory.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "net/server.h"
+#include "service/beas_service.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: beas_server [--host H] [--port P] [--dispatchers N]\n"
+      "                   [--workers N] [--max-inflight-cost N]\n"
+      "                   [--tenant-max-cost N] [--tenant-cap NAME=N]...\n"
+      "                   [--durable-dir DIR] [--demo]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  beas::ServiceOptions service_options;
+  beas::net::ServerOptions server_options;
+  server_options.port = 7687;
+  bool demo = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--host" && (v = next()) != nullptr) {
+      server_options.host = v;
+    } else if (arg == "--port" && (v = next()) != nullptr) {
+      server_options.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--dispatchers" && (v = next()) != nullptr) {
+      server_options.num_dispatchers = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--workers" && (v = next()) != nullptr) {
+      service_options.num_workers = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--max-inflight-cost" && (v = next()) != nullptr) {
+      service_options.max_inflight_cost = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--tenant-max-cost" && (v = next()) != nullptr) {
+      service_options.tenant_max_inflight_cost =
+          std::strtoull(v, nullptr, 10);
+    } else if (arg == "--tenant-cap" && (v = next()) != nullptr) {
+      const char* eq = std::strchr(v, '=');
+      if (eq == nullptr) return Usage();
+      service_options.tenant_cost_caps[std::string(v, eq - v)] =
+          std::strtoull(eq + 1, nullptr, 10);
+    } else if (arg == "--durable-dir" && (v = next()) != nullptr) {
+      service_options.durability.dir = v;
+    } else {
+      return Usage();
+    }
+  }
+
+  beas::BeasService service(service_options);
+  if (!service.durability_status().ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 service.durability_status().ToString().c_str());
+    return 1;
+  }
+  if (demo) {
+    auto table = service.CreateTable(
+        "t", beas::Schema({{"k", beas::TypeId::kInt64},
+                           {"v", beas::TypeId::kInt64}}));
+    if (table.ok()) {
+      std::vector<beas::Row> rows;
+      for (int k = 0; k < 64; ++k) {
+        for (int f = 0; f < 8; ++f) {
+          rows.push_back({beas::Value::Int64(k),
+                          beas::Value::Int64(k * 100 + f)});
+        }
+      }
+      (void)service.InsertBatch("t", std::move(rows));
+      (void)service.RegisterConstraint(
+          beas::AccessConstraint{"acc_t", "t", {"k"}, {"v"}, 32});
+    }
+  }
+
+  beas::net::Server server(&service, server_options);
+  beas::Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::printf("beas_server listening on %s:%u (binary BNW1 + HTTP JSON)\n",
+              server.host().c_str(), server.port());
+  std::fflush(stdout);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Stop();
+  return 0;
+}

@@ -37,7 +37,11 @@ committed at the repo root and fails (exit 1) when:
     ack percentiles are recorded for trend-watching, not gated, or
   * the fresh run's write_path section reports ok != true (an insert
     failed, rows were lost on read-back, or the durable run never
-    group-committed).
+    group-committed), or
+  * the fresh run's net section reports ok != true (a wire answer
+    diverged from the in-process reference, a partial answer was not a
+    subset, or an error arrived untyped). Per-tenant loopback latency
+    percentiles and QPS are machine-dependent and recorded only.
 
 When the shard gate is skipped for lack of cores, the skip is reported
 as an explicit CAVEAT (fig4_shard_speedup is expected to sit near 1.0x
@@ -122,6 +126,27 @@ def main() -> int:
               "(recorded only)")
         if write_path.get("ok") is not True:
             failures.append("write_path unhealthy: ok != true in fresh run")
+
+    # Network front door: correctness-gated, latency recorded only. A
+    # baseline predating the wire server simply lacks the section; the
+    # fresh run must carry it.
+    net = fresh.get("net")
+    if net is None:
+        failures.append("net section missing from fresh results")
+    else:
+        print(f"  net: {net.get('reads', 0)} reads + "
+              f"{net.get('writes', 0)} inserts over "
+              f"{net.get('clients', 0)} clients; alpha p50 "
+              f"{net.get('alpha_p50_ms', 0):.3f} ms / p99 "
+              f"{net.get('alpha_p99_ms', 0):.3f} ms "
+              f"({net.get('alpha_qps', 0):.0f} qps), beta p50 "
+              f"{net.get('beta_p50_ms', 0):.3f} ms / p99 "
+              f"{net.get('beta_p99_ms', 0):.3f} ms "
+              f"({net.get('beta_qps', 0):.0f} qps); "
+              f"{net.get('degraded', 0)} degraded, "
+              f"{net.get('rejected', 0)} rejected (recorded only)")
+        if net.get("ok") is not True:
+            failures.append("net unhealthy: ok != true in fresh run")
 
     # Columnar-tail gate: absolute floor on the tail-heavy Fig. 4-shaped
     # chain, hardware-independent (the win is algorithmic).

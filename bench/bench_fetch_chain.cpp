@@ -892,6 +892,194 @@ NetBenchResult RunNetSection() {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Hot-key result cache: Zipf-skewed repeated-parameter storm over the wire.
+// ---------------------------------------------------------------------------
+
+struct HotKeyLane {
+  double p50_ms = 0;  ///< closed-loop round-trip latency
+  double p99_ms = 0;
+  double qps = 0;
+};
+
+struct HotKeyResult {
+  size_t clients = 0;
+  size_t requests = 0;   ///< ops per lane (each lane replays the same storm)
+  uint64_t hits = 0;     ///< wire-reported result-cache hits, cached lane
+  double hit_ratio = 0;
+  HotKeyLane uncached;   ///< result cache disabled
+  HotKeyLane cached;     ///< result cache enabled, cold at lane start
+  double speedup = 0;    ///< cached qps / uncached qps
+  bool ok = false;
+};
+
+/// Drives the same Zipf-skewed storm of repeated-parameter two-step chain
+/// queries through a loopback wire server twice — result cache off, then
+/// on from cold — so the lanes differ only in answer materialization.
+/// Each query probes 1 + 32 keys and gathers ~1k tuples but returns a
+/// single aggregate row, so evaluation (what the cache skips) dominates
+/// serialization (what it cannot). Every answer in both lanes must be
+/// bit-identical to the in-process reference; the cached lane must
+/// actually hit. `speedup` is the CI-gated headline.
+HotKeyResult RunHotKeySection() {
+  HotKeyResult r;
+  r.clients = std::max<size_t>(
+      2, static_cast<size_t>(EnvDouble("HOTKEY_CLIENTS", 8)));
+  size_t per_client =
+      std::max<size_t>(1, static_cast<size_t>(EnvDouble("HOTKEY_REQS", 250)));
+  r.requests = r.clients * per_client;
+  r.ok = true;
+
+  constexpr int kHotKeys = 64;  ///< distinct frozen-parameter templates
+  constexpr int kFan1 = 32;     ///< edges per root
+  constexpr int kFan2 = 32;     ///< edges per level-1 node
+
+  ServiceOptions opts;
+  opts.num_workers = 2;
+  BeasService svc(opts);
+  Schema edge_schema({{"src", TypeId::kString}, {"dst", TypeId::kString}});
+  if (!svc.CreateTable("hk1", edge_schema).ok() ||
+      !svc.CreateTable("hk2", edge_schema).ok()) {
+    r.ok = false;
+    return r;
+  }
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(kHotKeys) * kFan1);
+  int l1 = kHotKeys * 4;  // level-1 nodes, shared across roots
+  for (int k = 0; k < kHotKeys; ++k) {
+    for (int f = 0; f < kFan1; ++f) {
+      rows.push_back({Value::String(NodeName("hkroot", k)),
+                      Value::String(NodeName("hkl1", (k * 7 + f * 3) % l1))});
+    }
+  }
+  if (!svc.InsertBatch("hk1", std::move(rows)).ok()) r.ok = false;
+  rows.clear();
+  rows.reserve(static_cast<size_t>(l1) * kFan2);
+  for (int i = 0; i < l1; ++i) {
+    for (int f = 0; f < kFan2; ++f) {
+      rows.push_back({Value::String(NodeName("hkl1", i)),
+                      Value::String(NodeName("hkl2", (i * 5 + f) % 512))});
+    }
+  }
+  if (!svc.InsertBatch("hk2", std::move(rows)).ok()) r.ok = false;
+  if (!svc.RegisterConstraint({"hk_acc1", "hk1", {"src"}, {"dst"}, kFan1})
+           .ok() ||
+      !svc.RegisterConstraint({"hk_acc2", "hk2", {"src"}, {"dst"}, kFan2})
+           .ok()) {
+    r.ok = false;
+  }
+  if (!r.ok) return r;
+
+  // One covered two-step chain per hot key: ~1 + 32 probes and ~1k
+  // gathered tuples collapse to one aggregate row.
+  auto key_query = [](int k) {
+    return "SELECT count(*) AS n FROM hk1 a, hk2 b WHERE a.src = '" +
+           NodeName("hkroot", k) + "' AND b.src = a.dst";
+  };
+  std::vector<std::string> reference(kHotKeys);
+  svc.set_result_cache_enabled(false);
+  for (int k = 0; k < kHotKeys; ++k) {
+    auto ref = svc.Execute(key_query(k));
+    if (!ref.ok() || ref->result.rows.size() != 1) {
+      r.ok = false;
+      return r;
+    }
+    reference[k] = ref->result.rows[0][0].ToString();
+  }
+
+  // Zipf(s=1.2) lottery over key ranks, drawn with a per-request hash —
+  // deterministic across runs, identical in both lanes.
+  std::vector<int> lottery;
+  {
+    double total = 0;
+    std::vector<double> w(kHotKeys);
+    for (int k = 0; k < kHotKeys; ++k) {
+      w[k] = 1.0 / std::pow(static_cast<double>(k + 1), 1.2);
+      total += w[k];
+    }
+    for (int k = 0; k < kHotKeys; ++k) {
+      int slots = std::max(1, static_cast<int>(4096.0 * w[k] / total));
+      for (int s = 0; s < slots; ++s) lottery.push_back(k);
+    }
+  }
+
+  net::Server server(&svc);
+  if (!server.Start().ok()) {
+    r.ok = false;
+    return r;
+  }
+
+  auto storm = [&](std::atomic<uint64_t>* hit_count) {
+    HotKeyLane lane;
+    std::vector<std::vector<double>> lat(r.clients);
+    std::atomic<bool> all_ok{true};
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < r.clients; ++c) {
+      threads.emplace_back([&, c] {
+        net::Client client;
+        if (!client.Connect("127.0.0.1", server.port()).ok()) {
+          all_ok.store(false);
+          return;
+        }
+        lat[c].reserve(per_client);
+        for (size_t i = 0; i < per_client; ++i) {
+          size_t draw = (c * 1315423911u) ^ (i * 2654435761u);
+          int k = lottery[draw % lottery.size()];
+          QueryRequest request;
+          request.sql = key_query(k);
+          auto op0 = std::chrono::steady_clock::now();
+          auto resp = client.Query(request);
+          lat[c].push_back(MillisSince(op0));
+          if (!resp.ok() || resp->result.rows.size() != 1 ||
+              resp->result.rows[0][0].ToString() != reference[k]) {
+            all_ok.store(false);
+            continue;
+          }
+          if (hit_count != nullptr && resp->result_cache_hit) {
+            hit_count->fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    double wall_s = MillisSince(t0) / 1000.0;
+    if (!all_ok.load()) r.ok = false;
+    std::vector<double> ms;
+    ms.reserve(r.requests);
+    for (auto& l : lat) ms.insert(ms.end(), l.begin(), l.end());
+    std::sort(ms.begin(), ms.end());
+    if (!ms.empty()) {
+      lane.p50_ms = ms[ms.size() / 2];
+      lane.p99_ms = ms[std::min(ms.size() - 1, ms.size() * 99 / 100)];
+    }
+    lane.qps = wall_s > 0 ? static_cast<double>(ms.size()) / wall_s : 0;
+    return lane;
+  };
+
+  // Lane A: cache off — every request re-evaluates through the plan
+  // cache, admission, and the executor. (Warm-up: the reference pass
+  // above already populated the plan cache.)
+  r.uncached = storm(nullptr);
+  // Lane B: cache on, cold — the first touch of each key misses, every
+  // repeat is a hit that bypasses binding and admission entirely.
+  svc.set_result_cache_enabled(true);
+  svc.ClearResultCache();
+  std::atomic<uint64_t> hits{0};
+  r.cached = storm(&hits);
+  server.Stop();
+
+  r.hits = hits.load();
+  r.hit_ratio = r.requests == 0
+                    ? 0
+                    : static_cast<double>(r.hits) /
+                          static_cast<double>(r.requests);
+  r.speedup = r.cached.qps / std::max(r.uncached.qps, 1e-6);
+  // A cached lane that never hits measures nothing: fail the section.
+  if (r.hits == 0) r.ok = false;
+  return r;
+}
+
 }  // namespace
 
 int main() {
@@ -1217,6 +1405,20 @@ int main() {
   // untyped.
   all_identical &= nb.ok;
 
+  // --- Hot-key result cache: Zipf wire storm, cache off vs on. ---
+  HotKeyResult hk = RunHotKeySection();
+  std::printf(
+      "\nhot-key result cache (%zu clients, %zu Zipf reqs per lane): "
+      "uncached p50 %.3f ms / p99 %.3f ms (%.0f qps) -> cached p50 %.3f ms "
+      "/ p99 %.3f ms (%.0f qps); %.2fx qps, hit ratio %.3f (%s)\n",
+      hk.clients, hk.requests, hk.uncached.p50_ms, hk.uncached.p99_ms,
+      hk.uncached.qps, hk.cached.p50_ms, hk.cached.p99_ms, hk.cached.qps,
+      hk.speedup, hk.hit_ratio, hk.ok ? "ok" : "FAILED");
+  // Both lanes verify every answer against the in-process reference; a
+  // divergence, an error, or a cached lane that never hits fails the
+  // bench. The speedup itself is gated by check_bench_regression.py.
+  all_identical &= hk.ok;
+
   FILE* json = std::fopen(json_path, "w");
   if (json != nullptr) {
     std::fprintf(json, "{\n  \"bench\": \"fetch_chain\",\n");
@@ -1289,6 +1491,19 @@ int main() {
                  nb.alpha.p50_ms, nb.alpha.p99_ms, nb.alpha.qps,
                  nb.beta.p50_ms, nb.beta.p99_ms, nb.beta.qps,
                  nb.ok ? "true" : "false");
+    std::fprintf(json, "  \"hotkey_speedup\": %.4f,\n", hk.speedup);
+    std::fprintf(json,
+                 "  \"hotkey\": {\"clients\": %zu, \"requests\": %zu, "
+                 "\"hits\": %llu, \"hit_ratio\": %.4f, "
+                 "\"uncached_p50_ms\": %.4f, \"uncached_p99_ms\": %.4f, "
+                 "\"uncached_qps\": %.1f, "
+                 "\"cached_p50_ms\": %.4f, \"cached_p99_ms\": %.4f, "
+                 "\"cached_qps\": %.1f, \"speedup\": %.4f, \"ok\": %s},\n",
+                 hk.clients, hk.requests,
+                 static_cast<unsigned long long>(hk.hits), hk.hit_ratio,
+                 hk.uncached.p50_ms, hk.uncached.p99_ms, hk.uncached.qps,
+                 hk.cached.p50_ms, hk.cached.p99_ms, hk.cached.qps,
+                 hk.speedup, hk.ok ? "true" : "false");
     std::fprintf(json, "  \"shards\": %zu,\n", shard_count);
     std::fprintf(json, "  \"hardware_concurrency\": %u,\n", hw);
     std::fprintf(json, "  \"fig4_shard_speedup\": %.4f,\n",

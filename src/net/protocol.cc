@@ -222,6 +222,7 @@ constexpr uint8_t kFlagTimedOut = 1u << 3;
 constexpr uint8_t kFlagCovered = 1u << 4;
 constexpr uint8_t kFlagUnsatisfiable = 1u << 5;
 constexpr uint8_t kFlagApproxExact = 1u << 6;
+constexpr uint8_t kFlagResultCacheHit = 1u << 7;
 
 }  // namespace
 
@@ -364,6 +365,7 @@ std::string EncodeResponseFrame(uint32_t request_id,
   if (r.covered) flags |= kFlagCovered;
   if (r.unsatisfiable) flags |= kFlagUnsatisfiable;
   if (r.approx_exact) flags |= kFlagApproxExact;
+  if (r.result_cache_hit) flags |= kFlagResultCacheHit;
   PutU8(&payload, flags);
   PutF64(&payload, r.eta);
   PutU64(&payload, r.template_hash);
@@ -418,6 +420,7 @@ Result<WireResponse> DecodeResponse(const uint8_t* payload, size_t len) {
   r.covered = (flags & kFlagCovered) != 0;
   r.unsatisfiable = (flags & kFlagUnsatisfiable) != 0;
   r.approx_exact = (flags & kFlagApproxExact) != 0;
+  r.result_cache_hit = (flags & kFlagResultCacheHit) != 0;
   if (mode > static_cast<uint8_t>(
                  BeasSession::ExecutionDecision::Mode::kConventional)) {
     return Status::Corruption("unknown decision mode byte " +

@@ -259,6 +259,10 @@ void Server::ServeItem(WorkItem& item) {
         request.options.cancel = &conn->cancelled;
         Result<QueryResponse> result = service_->Query(request);
         if (result.ok()) {
+          if (result->result_cache_hit) {
+            conn->gauges->result_cache_hits.fetch_add(
+                1, std::memory_order_relaxed);
+          }
           response.response = std::move(*result);
         } else {
           response.status = result.status();

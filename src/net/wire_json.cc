@@ -310,6 +310,8 @@ std::string RenderResponseJson(const WireResponse& response) {
   out += r.timed_out ? "true" : "false";
   out += ",\"cache_hit\":";
   out += r.cache_hit ? "true" : "false";
+  out += ",\"result_cache_hit\":";
+  out += r.result_cache_hit ? "true" : "false";
   out += ",\"deduced_bound\":";
   out += std::to_string(r.decision.deduced_bound);
   if (!r.reason.empty()) {

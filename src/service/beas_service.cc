@@ -7,6 +7,8 @@
 #include "bounded/columnar_tail.h"
 #include "common/hash.h"
 #include "common/string_util.h"
+#include "service/result_cache.h"
+#include "sql/canonical_template.h"
 
 namespace beas {
 
@@ -65,6 +67,63 @@ void DetachResultStrings(QueryResult* result) {
   }
 }
 
+/// Lowercased, deduplicated names of the tables a bound query reads —
+/// the result cache's epoch-validation set (catalog lookup is
+/// case-insensitive, so lowercase resolves).
+std::vector<std::string> TablesReadBy(const BoundQuery& query) {
+  std::vector<std::string> tables;
+  for (const BoundAtom& atom : query.atoms) {
+    std::string name = ToLower(atom.table->name());
+    if (std::find(tables.begin(), tables.end(), name) == tables.end()) {
+      tables.push_back(std::move(name));
+    }
+  }
+  return tables;
+}
+
+void AppendU64Key(std::string* key, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    key->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+/// Typed, length-prefixed parameter serialization for the result-cache
+/// key: no two distinct (type, value) pairs may collide.
+void AppendValueKey(std::string* key, const Value& v) {
+  if (v.is_null()) {
+    key->push_back('n');
+    return;
+  }
+  switch (v.type()) {
+    case TypeId::kInt64:
+      key->push_back('i');
+      AppendU64Key(key, static_cast<uint64_t>(v.AsInt64()));
+      break;
+    case TypeId::kDouble: {
+      key->push_back('d');
+      double d = v.AsDouble();
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      AppendU64Key(key, bits);
+      break;
+    }
+    case TypeId::kString: {
+      key->push_back('s');
+      const std::string& s = v.AsString();
+      AppendU64Key(key, s.size());
+      *key += s;
+      break;
+    }
+    default: {
+      key->push_back('?');
+      std::string s = v.ToString();
+      AppendU64Key(key, s.size());
+      *key += s;
+      break;
+    }
+  }
+}
+
 }  // namespace
 
 BeasService::BeasService(ServiceOptions options)
@@ -74,18 +133,27 @@ BeasService::BeasService(ServiceOptions options)
       session_(&db_, &catalog_),
       cache_(options_.cache_capacity, options_.cache_shards),
       cache_enabled_(options_.enable_plan_cache),
+      result_cache_(std::make_unique<ResultCache>(
+          options_.result_cache_max_bytes, options_.cache_shards)),
+      result_cache_enabled_(options_.enable_result_cache &&
+                            options_.result_cache_max_bytes > 0),
       // At least one worker, or Submit() futures would never resolve.
       pool_(std::max<size_t>(1, options_.num_workers)) {
   // (b) incremental index maintenance: inserts/deletes update AC indices
   // in place, keeping cached plans valid — no cache invalidation here.
   maintenance_.Attach();
-  // (a) plan-validity events invalidate at table granularity.
-  db_.RegisterDdlHook(
-      [this](const std::string& table) { cache_.InvalidateTable(table); });
+  // (a) plan-validity events invalidate at table granularity. The result
+  // cache hard-evicts on the same events (plus, unlike plans, on plain
+  // writes — those go through the table version epochs, not these hooks).
+  db_.RegisterDdlHook([this](const std::string& table) {
+    cache_.InvalidateTable(table);
+    result_cache_->InvalidateTable(table);
+  });
   catalog_.AddChangeListener([this](AsCatalog::ChangeKind,
                                     const std::string& table,
                                     const std::string&) {
     cache_.InvalidateTable(table);
+    result_cache_->InvalidateTable(table);
   });
   if (!options_.durability.dir.empty()) {
     // The stats table is recycled with direct heap writes outside the
@@ -268,18 +336,139 @@ Result<QueryResponse> BeasService::QueryAuto(const QueryRequest& request,
   if (MentionsStatsTable(request.sql)) {
     // Materialize fresh serving-health counters before answering; the
     // refresh takes the exclusive lock, the query itself runs shared.
+    // (The refresh rewrites the stats table's rows, bumping its version
+    // epoch — so a previously cached beas_stats answer can never be
+    // served stale.)
     BEAS_RETURN_NOT_OK(RefreshStatsTable());
   }
+  TemplateInfo tinfo = PrepareTemplate(request.sql);
   Database::ReadScope lock(&db_);
-  Result<QueryResponse> resp = ExecuteLocked(request, tenant);
+  // Result-cache hit: serve the materialized answer before binding,
+  // coverage checking, or any admission reservation — a hit consumes no
+  // cost grant and cannot be rejected by an exhausted pool.
+  std::string rkey;
+  uint64_t rhash = 0;
+  if (tinfo.have && result_cache_enabled_.load(std::memory_order_relaxed)) {
+    rkey = ResultKeyFor(tinfo, QueryMode::kAuto, request.options);
+    rhash = HashString(rkey);
+    QueryResponse hit;
+    if (LookupResult(rhash, rkey, &hit)) return hit;
+  }
+  std::vector<std::string> tables;
+  Result<QueryResponse> resp = ExecuteLocked(request, tinfo, tenant, &tables);
   if (resp.ok()) {
     resp->covered =
         resp->decision.mode == BeasSession::ExecutionDecision::Mode::kBounded;
     // Still under the shared lock: no rebuild can race the detach.
     DetachResultStrings(&resp->result);
+    if (!rkey.empty()) {
+      // Same ReadScope the answer was computed under: the epochs captured
+      // here are exactly the epochs the answer was evaluated at.
+      MaybeStoreResult(rhash, rkey, *resp, request.options, tables);
+    }
   }
   return resp;
 }
+
+BeasService::TemplateInfo BeasService::PrepareTemplate(const std::string& sql) {
+  TemplateInfo info;
+  info.sql = sql;
+  Result<SqlTemplate> masked = MaskSqlLiterals(sql);
+  if (!masked.ok()) return info;
+  info.have = true;
+  info.masked = std::move(*masked);
+  CanonicalizedTemplate canon = CanonicalizeTemplate(info.masked);
+  if (!canon.changed) return info;
+  // Self-check before trusting a rewrite: render the canonical template
+  // back to SQL and re-mask it; anything short of an exact round trip
+  // (text AND parameters) falls back to the original spelling.
+  Result<std::string> rendered = RenderTemplate(canon.tmpl);
+  if (!rendered.ok()) return info;
+  Result<SqlTemplate> remasked = MaskSqlLiterals(*rendered);
+  if (!remasked.ok() || remasked->text != canon.tmpl.text ||
+      !ParamsAgree(remasked->params, canon.tmpl.params)) {
+    return info;
+  }
+  info.masked = std::move(canon.tmpl);
+  info.sql = std::move(*rendered);
+  info.canonicalized = true;
+  template_canonicalizations_.fetch_add(1, std::memory_order_relaxed);
+  return info;
+}
+
+std::string BeasService::ResultKeyFor(const TemplateInfo& tinfo,
+                                      QueryMode mode,
+                                      const QueryOptions& qopts) {
+  std::string key = tinfo.masked.text;
+  key.push_back('\0');
+  key.push_back(static_cast<char>(mode));
+  // The budget class: answers under different fetch budgets or min-η
+  // contracts are different answers. The deadline is deliberately NOT in
+  // the key — it only changes the answer by timing out, and timed-out
+  // answers are never cached.
+  AppendU64Key(&key, qopts.fetch_budget);
+  double min_eta = qopts.min_eta;
+  uint64_t bits;
+  std::memcpy(&bits, &min_eta, sizeof(bits));
+  AppendU64Key(&key, bits);
+  for (const Value& v : tinfo.masked.params) AppendValueKey(&key, v);
+  return key;
+}
+
+bool BeasService::LookupResult(uint64_t hash, const std::string& key,
+                               QueryResponse* resp) {
+  std::shared_ptr<const ResultCache::Entry> entry =
+      result_cache_->Lookup(hash, key);
+  if (entry == nullptr) return false;
+  // Epoch validation under the caller's ReadScope: every writer is
+  // excluded, so epoch equality means the source data is bit-identical
+  // to what the cached answer was computed from.
+  for (const auto& te : entry->table_epochs) {
+    Result<TableInfo*> table = db_.catalog()->GetTable(te.first);
+    if (!table.ok() || (*table)->heap()->version_epoch() != te.second) {
+      result_cache_->RemoveStale(hash, key);
+      return false;
+    }
+  }
+  result_cache_->NoteHit();
+  *resp = entry->response;
+  resp->result_cache_hit = true;
+  return true;
+}
+
+void BeasService::MaybeStoreResult(uint64_t hash, const std::string& key,
+                                   const QueryResponse& resp,
+                                   const QueryOptions& qopts,
+                                   const std::vector<std::string>& tables) {
+  if (!result_cache_enabled_.load(std::memory_order_relaxed)) return;
+  // Only complete answers — or partial/degraded ones the client's min_eta
+  // contract explicitly accepted — are worth replaying. Timed-out (or
+  // cancelled; both surface as timed_out) answers reflect a deadline, not
+  // the data, and degraded answers reflect admission pressure.
+  if (resp.timed_out) return;
+  if ((resp.eta < 1.0 || resp.degraded) &&
+      !(qopts.min_eta > 0 && resp.eta >= qopts.min_eta)) {
+    return;
+  }
+  auto entry = std::make_shared<ResultCache::Entry>();
+  entry->response = resp;
+  entry->response.result_cache_hit = false;
+  entry->table_epochs.reserve(tables.size());
+  for (const std::string& table_name : tables) {
+    Result<TableInfo*> table = db_.catalog()->GetTable(table_name);
+    if (!table.ok()) return;  // racing DDL: don't cache
+    entry->table_epochs.emplace_back(table_name,
+                                     (*table)->heap()->version_epoch());
+  }
+  entry->bytes = ApproxResponseBytes(entry->response) + key.size();
+  result_cache_->Insert(hash, key, std::move(entry));
+}
+
+ResultCacheStats BeasService::result_cache_stats() const {
+  return result_cache_->stats();
+}
+
+void BeasService::ClearResultCache() { result_cache_->Clear(); }
 
 // ---------------------------------------------------------------------------
 // Admission control: the deduced access bound of a covered query is a
@@ -586,6 +775,20 @@ Status BeasService::RefreshStatsTable() {
   add("plan_cache_uncacheable", static_cast<double>(cache.uncacheable));
   add("plan_cache_entries", static_cast<double>(cache.entries));
   add("plan_cache_enabled", cache_enabled_.load() ? 1 : 0);
+  // Materialized result cache: hit/miss/eviction counters, the lazy
+  // (epoch) + hard invalidation count, and the resident byte footprint.
+  ResultCacheStats rcache = result_cache_->stats();
+  add("result_cache_hits_total", static_cast<double>(rcache.hits));
+  add("result_cache_misses_total", static_cast<double>(rcache.misses));
+  add("result_cache_evictions_total", static_cast<double>(rcache.evictions));
+  add("result_cache_invalidations_total",
+      static_cast<double>(rcache.invalidations));
+  add("result_cache_entries", static_cast<double>(rcache.entries));
+  add("result_cache_bytes", static_cast<double>(rcache.bytes));
+  add("result_cache_enabled", result_cache_enabled_.load() ? 1 : 0);
+  add("template_canonicalizations_total",
+      static_cast<double>(
+          template_canonicalizations_.load(std::memory_order_relaxed)));
   add("maintenance_updates_applied",
       static_cast<double>(maintenance_.updates_applied()));
   add("constraints_registered",
@@ -650,6 +853,9 @@ Status BeasService::RefreshStatsTable() {
   add("net_bytes_out_total",
       static_cast<double>(
           net_gauges_.bytes_out_total.load(std::memory_order_relaxed)));
+  add("net_result_cache_hits_total",
+      static_cast<double>(
+          net_gauges_.result_cache_hits.load(std::memory_order_relaxed)));
   // Per-tenant admission, aggregated: total cap rejections across tenants
   // and the highest in-flight-cost high-water mark any tenant reached.
   double tenant_rejected = 0;
@@ -696,22 +902,22 @@ Result<ServiceResponse> BeasService::ExecuteUncachedQuery(
   return resp;
 }
 
-Result<QueryResponse> BeasService::ExecuteLocked(const QueryRequest& request,
-                                                 TenantState* tenant) {
-  const std::string& sql = request.sql;
+Result<QueryResponse> BeasService::ExecuteLocked(
+    const QueryRequest& request, const TemplateInfo& tinfo,
+    TenantState* tenant, std::vector<std::string>* tables_out) {
+  // The canonical rendering when normalization changed the text (every
+  // equivalent spelling then executes the identical query), the client's
+  // original otherwise.
+  const std::string& sql = tinfo.sql;
   const QueryOptions& qopts = request.options;
-  if (!cache_enabled_.load(std::memory_order_relaxed)) {
+  if (!cache_enabled_.load(std::memory_order_relaxed) || !tinfo.have) {
+    // Plan cache off, or malformed literal syntax (masking failed): let
+    // the real front end handle it.
     BEAS_ASSIGN_OR_RETURN(BoundQuery query, db_.Bind(sql));
+    if (tables_out != nullptr) *tables_out = TablesReadBy(query);
     return ExecuteUncachedQuery(query);
   }
-
-  Result<SqlTemplate> masked_r = MaskSqlLiterals(sql);
-  if (!masked_r.ok()) {
-    // Malformed literal syntax: let the real front end report the error.
-    BEAS_ASSIGN_OR_RETURN(BoundQuery query, db_.Bind(sql));
-    return ExecuteUncachedQuery(query);
-  }
-  SqlTemplate masked = std::move(*masked_r);
+  const SqlTemplate& masked = tinfo.masked;
 
   QueryTemplate key;
   key.canonical = masked.text;
@@ -730,6 +936,7 @@ Result<QueryResponse> BeasService::ExecuteLocked(const QueryRequest& request,
     if (inst.ok()) {
       query = std::move(*inst);
       have_query = true;
+      if (tables_out != nullptr) *tables_out = TablesReadBy(query);
       if (entry->covered) {
         Result<BoundedPlan> plan = RebindPlanConstants(entry->plan, query);
         if (plan.ok()) {
@@ -791,6 +998,7 @@ Result<QueryResponse> BeasService::ExecuteLocked(const QueryRequest& request,
 
   if (!have_query) {
     BEAS_ASSIGN_OR_RETURN(query, db_.Bind(sql));
+    if (tables_out != nullptr) *tables_out = TablesReadBy(query);
   }
   return ExecuteMiss(sql, masked, std::move(query), qopts, tenant);
 }
@@ -902,12 +1110,24 @@ Result<ServiceResponse> BeasService::ExecuteMiss(const std::string& sql,
 
 Result<QueryResponse> BeasService::QueryBoundedOnly(
     const QueryRequest& request, TenantState* tenant) {
+  TemplateInfo tinfo = PrepareTemplate(request.sql);
   Database::ReadScope lock(&db_);
+  // Result-cache hit: short-circuit before the coverage check and before
+  // any admission reservation. The mode byte in the key keeps bounded
+  // answers separate from kAuto answers of the same template.
+  std::string rkey;
+  uint64_t rhash = 0;
+  if (tinfo.have && result_cache_enabled_.load(std::memory_order_relaxed)) {
+    rkey = ResultKeyFor(tinfo, QueryMode::kBoundedOnly, request.options);
+    rhash = HashString(rkey);
+    QueryResponse hit;
+    if (LookupResult(rhash, rkey, &hit)) return hit;
+  }
   bool cache_hit = false;
   BoundQuery query;
   std::shared_ptr<const PlanCache::Entry> entry;
   BEAS_ASSIGN_OR_RETURN(CoverageResult coverage,
-                        CheckLocked(request.sql, &cache_hit, &query, &entry));
+                        CheckLocked(tinfo.sql, &cache_hit, &query, &entry));
   if (!coverage.covered) return Status::NotCovered(coverage.reason);
   // CheckLocked's plan is already rebound to this instance's constants.
   QueryResponse resp;
@@ -923,6 +1143,9 @@ Result<QueryResponse> BeasService::QueryBoundedOnly(
   resp.decision.explanation =
       BoundedExplanation(coverage.plan.total_access_bound, cache_hit);
   DetachResultStrings(&resp.result);
+  if (!rkey.empty()) {
+    MaybeStoreResult(rhash, rkey, resp, request.options, TablesReadBy(query));
+  }
   return resp;
 }
 

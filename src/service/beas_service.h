@@ -27,6 +27,14 @@ struct ServiceOptions {
   size_t cache_capacity = 1024;
   size_t cache_shards = 8;
   bool enable_plan_cache = true;
+  /// \name Materialized result cache (see ResultCache).
+  /// @{
+  bool enable_result_cache = true;
+  /// Byte bound on cached answer payloads (row data + diagnostics), split
+  /// evenly across cache_shards; LRU answers are evicted past it. 0
+  /// disables the result cache outright.
+  size_t result_cache_max_bytes = 64u << 20;
+  /// @}
   EngineProfile fallback_profile = EngineProfile::PostgresLike();
   /// Durable mode: set `durability.dir` to a data directory and the
   /// service recovers it on construction and write-ahead-logs every write
@@ -152,6 +160,11 @@ struct QueryResponse {
   BeasSession::ExecutionDecision decision;
   bool cache_hit = false;   ///< answered from a cached template plan
   bool cacheable = true;    ///< template was eligible for the cache
+  /// Answered from the materialized result cache: the rows were served
+  /// verbatim from a previous evaluation whose source-table version
+  /// epochs still match — no binding, no coverage search, no execution,
+  /// no admission reservation.
+  bool result_cache_hit = false;
   uint64_t template_hash = 0;
   /// \name Resilience telemetry (bounded executions; defaults elsewhere).
   /// @{
@@ -191,7 +204,12 @@ struct NetGauges {
   std::atomic<uint64_t> requests_total{0};   ///< frames decoded into requests
   std::atomic<uint64_t> bytes_in_total{0};
   std::atomic<uint64_t> bytes_out_total{0};
+  /// Wire responses served from the materialized result cache.
+  std::atomic<uint64_t> result_cache_hits{0};
 };
+
+class ResultCache;        // service/result_cache.h
+struct ResultCacheStats;  // service/result_cache.h
 
 /// \brief The concurrent query-service layer: the first piece of the
 /// serving architecture on the road from the paper's single-session
@@ -371,6 +389,25 @@ class BeasService {
   bool cache_enabled() const { return cache_enabled_.load(); }
   void ClearCache() { cache_.Clear(); }
 
+  /// \name Materialized result cache.
+  /// Answers of the execution modes (kAuto / kBoundedOnly) are cached
+  /// keyed on (canonical template, parameter values, mode/budget class)
+  /// and revalidated against the source tables' version epochs on every
+  /// hit — see ResultCache for the invalidation contract.
+  /// @{
+  ResultCacheStats result_cache_stats() const;
+  void set_result_cache_enabled(bool enabled) {
+    result_cache_enabled_.store(enabled);
+  }
+  bool result_cache_enabled() const { return result_cache_enabled_.load(); }
+  void ClearResultCache();
+  /// Templates rewritten into canonical form (commutative-order
+  /// normalization) since startup.
+  uint64_t template_canonicalizations() const {
+    return template_canonicalizations_.load(std::memory_order_relaxed);
+  }
+  /// @}
+
   /// \name Setup escape hatches.
   /// Direct access to the owned components, for bulk loading and catalog
   /// setup *before* the service is shared across threads (e.g. TLC
@@ -411,9 +448,54 @@ class BeasService {
   /// empty/anonymous tenant).
   TenantState* TenantFor(const std::string& tenant);
 
-  /// Cached-path Execute; caller holds the shared lock.
+  /// One request's template identity: the masked template in canonical
+  /// form plus the SQL actually executed — the canonical rendering when
+  /// normalization changed the text (so every equivalent spelling
+  /// executes, and caches, the identical query), the original otherwise.
+  /// `have == false` when masking failed; both caches are then bypassed.
+  struct TemplateInfo {
+    bool have = false;
+    SqlTemplate masked;
+    std::string sql;
+    bool canonicalized = false;
+  };
+
+  /// Masks and canonicalizes `sql`. A changed canonical form is accepted
+  /// only after the render-and-re-mask self-check: rendering it back to
+  /// SQL and re-masking must reproduce the canonical template exactly,
+  /// otherwise the original text is kept (fail-safe, counted nowhere).
+  TemplateInfo PrepareTemplate(const std::string& sql);
+
+  /// \name Result-cache plumbing (see ResultCache).
+  /// @{
+  /// Serialized result-cache key: canonical template text + typed frozen
+  /// parameter values + the mode/budget class (mode byte, fetch budget,
+  /// min_eta). Empty when the request is ineligible (no template).
+  static std::string ResultKeyFor(const TemplateInfo& tinfo, QueryMode mode,
+                                  const QueryOptions& qopts);
+
+  /// Epoch-validated lookup; caller holds Database::ReadScope (which
+  /// excludes every writer, making epoch equality exact). True = `resp`
+  /// is filled with the cached answer, flags set for this serve. A stale
+  /// entry is dropped (counted as invalidation) and false returned.
+  bool LookupResult(uint64_t hash, const std::string& key,
+                    QueryResponse* resp);
+
+  /// Stores an eligible answer (complete, not timed out, η policy met)
+  /// with its source tables' version epochs, captured under the same
+  /// ReadScope the answer was computed under.
+  void MaybeStoreResult(uint64_t hash, const std::string& key,
+                        const QueryResponse& resp, const QueryOptions& qopts,
+                        const std::vector<std::string>& tables);
+  /// @}
+
+  /// Cached-path Execute; caller holds the shared lock. `tinfo` is the
+  /// request's prepared template (PrepareTemplate); `tables_out` (may be
+  /// null) receives the lowercased names of the tables the query read.
   Result<QueryResponse> ExecuteLocked(const QueryRequest& request,
-                                      TenantState* tenant);
+                                      const TemplateInfo& tinfo,
+                                      TenantState* tenant,
+                                      std::vector<std::string>* tables_out);
 
   /// One admitted reservation against max_inflight_cost (and, when the
   /// request names a tenant, that tenant's cap). `charged`/
@@ -485,6 +567,12 @@ class BeasService {
   BeasSession session_;
   PlanCache cache_;
   std::atomic<bool> cache_enabled_;
+
+  /// Materialized answers (unique_ptr keeps result_cache.h out of this
+  /// header; never null).
+  std::unique_ptr<ResultCache> result_cache_;
+  std::atomic<bool> result_cache_enabled_;
+  std::atomic<uint64_t> template_canonicalizations_{0};
 
   /// Serializes stats-table refreshes (each beas_stats query triggers
   /// one). Leaf ordering: taken before any Database lock, never inside.

@@ -1,0 +1,146 @@
+#include "service/result_cache.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+std::string ResultCacheStats::ToString() const {
+  return "result_cache{hits=" + std::to_string(hits) +
+         " misses=" + std::to_string(misses) +
+         " evictions=" + std::to_string(evictions) +
+         " invalidations=" + std::to_string(invalidations) +
+         " entries=" + std::to_string(entries) +
+         " bytes=" + std::to_string(bytes) + "}";
+}
+
+ResultCache::ResultCache(size_t max_bytes, size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  bytes_per_shard_ = std::max<size_t>(max_bytes / num_shards, 1);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const ResultCache::Entry> ResultCache::Lookup(
+    uint64_t hash, const std::string& key) {
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void ResultCache::RemoveStale(uint64_t hash, const std::string& key) {
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    shard.bytes -= it->second->second->bytes;
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+    ++shard.invalidations;
+  }
+  // The caller falls through to a fresh evaluation either way.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ResultCache::Insert(uint64_t hash, const std::string& key,
+                         std::shared_ptr<const Entry> entry) {
+  if (entry == nullptr || entry->bytes > bytes_per_shard_) return;
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    shard.bytes -= it->second->second->bytes;
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+  }
+  shard.lru.emplace_front(key, std::move(entry));
+  shard.map[key] = shard.lru.begin();
+  shard.bytes += shard.lru.front().second->bytes;
+  while (shard.bytes > bytes_per_shard_ && shard.lru.size() > 1) {
+    auto& victim = shard.lru.back();
+    shard.bytes -= victim.second->bytes;
+    shard.map.erase(victim.first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void ResultCache::InvalidateTable(const std::string& table) {
+  std::string needle = ToLower(table);
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      const auto& epochs = it->second->table_epochs;
+      bool touches =
+          std::any_of(epochs.begin(), epochs.end(),
+                      [&](const std::pair<std::string, uint64_t>& te) {
+                        return te.first == needle;
+                      });
+      if (touches) {
+        shard.bytes -= it->second->bytes;
+        shard.map.erase(it->first);
+        it = shard.lru.erase(it);
+        ++shard.invalidations;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void ResultCache::Clear() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.invalidations += shard.lru.size();
+    shard.lru.clear();
+    shard.map.clear();
+    shard.bytes = 0;
+  }
+}
+
+ResultCacheStats ResultCache::stats() const {
+  ResultCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.evictions += shard.evictions;
+    out.invalidations += shard.invalidations;
+    out.entries += shard.lru.size();
+    out.bytes += shard.bytes;
+  }
+  return out;
+}
+
+size_t ApproxResponseBytes(const QueryResponse& response) {
+  size_t bytes = sizeof(QueryResponse);
+  const QueryResult& r = response.result;
+  for (const std::string& name : r.column_names) bytes += name.size() + 16;
+  bytes += r.column_types.size() * sizeof(TypeId);
+  for (const Row& row : r.rows) {
+    bytes += sizeof(Row) + row.size() * sizeof(Value);
+    for (const Value& v : row) {
+      if (v.type() == TypeId::kString && !v.is_null()) {
+        bytes += v.AsString().size();
+      }
+    }
+  }
+  bytes += r.plan_text.size() + r.engine.size();
+  bytes += response.decision.explanation.size();
+  bytes += response.reason.size();
+  return bytes;
+}
+
+}  // namespace beas

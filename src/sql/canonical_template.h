@@ -1,0 +1,58 @@
+#ifndef BEAS_SQL_CANONICAL_TEMPLATE_H_
+#define BEAS_SQL_CANONICAL_TEMPLATE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/sql_template.h"
+
+namespace beas {
+
+/// \brief A masked template order-normalized into its canonical form, so
+/// trivially equivalent rewrites share one cache key (plan cache AND
+/// result cache).
+///
+/// This is the decidable sliver of the query-equivalence problem: pure
+/// normalization of commutative structure, never containment reasoning.
+/// Three rewrites are applied, all meaning-preserving under SQL's
+/// set-of-conjuncts semantics:
+///
+///  1. Top-level AND conjuncts of the WHERE clause are stable-sorted by
+///     their masked text (AND is commutative).
+///  2. An equality with a parameter on exactly one side is oriented
+///     parameter-last (`? = t.k` becomes `t.k = ?`; `=` is symmetric).
+///  3. The comma-separated FROM list is sorted by table name then alias
+///     (the FROM list is a set; a canonicalized query is *executed* in
+///     canonical form, so every spelling returns the canonical answer).
+///
+/// Everything outside a conservatively recognized fragment — a single
+/// SELECT over a comma FROM list of plain `table [alias]` items, with an
+/// optional WHERE of top-level AND conjuncts (no top-level OR) and an
+/// optional trailing GROUP BY / HAVING / ORDER BY / LIMIT tail — is
+/// returned unchanged with `changed == false`, so canonicalization can
+/// never touch a query it does not fully understand.
+struct CanonicalizedTemplate {
+  /// Canonical masked text, with `params` permuted to match the '?'
+  /// appearance order of the canonical text.
+  SqlTemplate tmpl;
+  /// True iff normalization altered the template (callers count these and
+  /// re-render the SQL they execute).
+  bool changed = false;
+};
+
+/// Normalizes `masked` (a MaskSqlLiterals result). Total: never fails;
+/// unrecognized shapes come back unchanged.
+CanonicalizedTemplate CanonicalizeTemplate(const SqlTemplate& masked);
+
+/// Renders a masked template back into executable SQL by substituting
+/// each '?' with its parameter's literal spelling (strings re-quoted with
+/// '' escaping, integers in decimal, doubles in round-trip precision).
+/// kInvalidArgument when a parameter cannot be spelled faithfully (e.g. a
+/// non-finite double) or arities disagree. Callers cross-check the result
+/// by re-masking it — the service refuses to canonicalize any template
+/// whose rendering does not mask back to the identical canonical form.
+Result<std::string> RenderTemplate(const SqlTemplate& tmpl);
+
+}  // namespace beas
+
+#endif  // BEAS_SQL_CANONICAL_TEMPLATE_H_

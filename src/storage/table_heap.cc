@@ -60,6 +60,7 @@ SlotId TableHeap::Place(Row row, const Row** stored, size_t shard) {
   sh.live.push_back(1);
   ++sh.num_live;
   num_live_.fetch_add(1, std::memory_order_relaxed);
+  BumpVersionEpoch();
   if (stored != nullptr) *stored = &sh.rows.back();
   return slot;
 }
@@ -85,6 +86,9 @@ void TableHeap::InsertBatchUnchecked(std::vector<Row> rows) {
 bool TableHeap::RebuildDictSorted(std::vector<uint32_t>* old_to_new) {
   old_to_new->clear();
   if (dict() == nullptr || dict_.is_sorted()) return false;
+  // Renumbering changes stored representations; belt-and-braces alongside
+  // the maintenance hard-evict events that also fire for rebuilds.
+  BumpVersionEpoch();
   *old_to_new = dict_.SortedRebuild();
   // Every stored row minted codes of the old numbering; remap in place.
   // Tombstoned rows are remapped too — a dangling old code in a dead row
@@ -114,6 +118,7 @@ Status TableHeap::Delete(SlotId slot) {
   sh.live[ref.local] = 0;
   --sh.num_live;
   num_live_.fetch_sub(1, std::memory_order_relaxed);
+  BumpVersionEpoch();
   return Status::OK();
 }
 
@@ -159,6 +164,7 @@ Status TableHeap::RestoreContent(
     num_live += shards_[ref.first].live[ref.second] != 0;
   }
   num_live_.store(num_live, std::memory_order_relaxed);
+  BumpVersionEpoch();
   if (shard_key_col >= 0 &&
       static_cast<size_t>(shard_key_col) < schema_.NumColumns()) {
     shard_key_col_ = shard_key_col;

@@ -145,6 +145,27 @@ class TableHeap {
   /// under that shard's lock — see the stats snapshot in BeasService).
   size_t ShardLiveRows(size_t s) const { return shards_[s].num_live; }
 
+  /// \name Data version epoch.
+  ///
+  /// A monotone counter bumped by every mutation that can change a query
+  /// answer over this table: row placement (Insert / InsertUnchecked /
+  /// InsertBatchUnchecked — including WAL-applied writes, which land
+  /// through the same paths), tombstoning (Delete), and wholesale
+  /// restores. Readers that captured the epoch while holding every
+  /// shard's read lock (Database::ReadScope excludes all writers) may
+  /// treat epoch equality as "data unchanged since capture" — the
+  /// result cache's lazy invalidation contract. Relaxed atomics suffice:
+  /// the happens-before edge comes from the shard locks, the counter only
+  /// needs to be monotone.
+  /// @{
+  uint64_t version_epoch() const {
+    return version_epoch_.load(std::memory_order_relaxed);
+  }
+  void BumpVersionEpoch() {
+    version_epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// @}
+
   /// Dictionary gauges sampled under the intern lock, so monitoring can
   /// read them without excluding writers from every shard.
   struct DictGauges {
@@ -335,6 +356,7 @@ class TableHeap {
   std::vector<Shard> shards_;
   std::vector<SlotRef> directory_;  ///< global slot -> location, insert order
   std::atomic<size_t> num_live_{0};
+  std::atomic<uint64_t> version_epoch_{0};
   int64_t shard_key_col_ = -1;
 
   /// Serializes directory appends among concurrent per-shard writers

@@ -1,0 +1,161 @@
+#include "sql/canonical_template.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sql/sql_template.h"
+#include "types/value.h"
+
+namespace beas {
+namespace {
+
+// Masks raw SQL and canonicalizes it; test helper for the common pipeline.
+CanonicalizedTemplate Canon(const std::string& sql) {
+  Result<SqlTemplate> masked = MaskSqlLiterals(sql);
+  EXPECT_TRUE(masked.ok()) << masked.status().ToString();
+  return CanonicalizeTemplate(*masked);
+}
+
+std::string CanonText(const std::string& sql) { return Canon(sql).tmpl.text; }
+
+TEST(CanonicalTemplateTest, ReorderedConjunctsShareOneTemplate) {
+  std::string a = "SELECT t.x FROM t WHERE t.a = 1 AND t.b = 2";
+  std::string b = "SELECT t.x FROM t WHERE t.b = 2 AND t.a = 1";
+  EXPECT_EQ(CanonText(a), CanonText(b));
+
+  // Parameters follow their conjuncts through the sort: both spellings
+  // must map ordinal 0 to the t.a literal and ordinal 1 to the t.b one.
+  CanonicalizedTemplate ca = Canon(a);
+  CanonicalizedTemplate cb = Canon(b);
+  ASSERT_EQ(ca.tmpl.params.size(), 2u);
+  EXPECT_EQ(ca.tmpl.params, cb.tmpl.params);
+  EXPECT_EQ(ca.tmpl.params[0], Value::Int64(1));
+  EXPECT_EQ(ca.tmpl.params[1], Value::Int64(2));
+  EXPECT_TRUE(cb.changed);
+}
+
+TEST(CanonicalTemplateTest, EqualityOrientedParameterLast) {
+  std::string a = "SELECT t.x FROM t WHERE 7 = t.a";
+  std::string b = "SELECT t.x FROM t WHERE t.a = 7";
+  CanonicalizedTemplate ca = Canon(a);
+  EXPECT_TRUE(ca.changed);
+  EXPECT_EQ(ca.tmpl.text, CanonText(b));
+  ASSERT_EQ(ca.tmpl.params.size(), 1u);
+  EXPECT_EQ(ca.tmpl.params[0], Value::Int64(7));
+
+  // Orientation composes with the conjunct sort.
+  EXPECT_EQ(CanonText("SELECT t.x FROM t WHERE 'v' = t.b AND t.a = 1"),
+            CanonText("SELECT t.x FROM t WHERE t.a = 1 AND t.b = 'v'"));
+}
+
+TEST(CanonicalTemplateTest, FromListSortedByTableThenAlias) {
+  std::string a = "SELECT a.x, b.y FROM b, a WHERE a.k = b.k";
+  std::string b = "SELECT a.x, b.y FROM a, b WHERE a.k = b.k";
+  EXPECT_EQ(CanonText(a), CanonText(b));
+  EXPECT_TRUE(Canon(a).changed);
+
+  // Aliases sort after the table name; the alias spelling is preserved.
+  std::string c = "SELECT u.x, v.x FROM t v, t u WHERE u.k = v.k";
+  CanonicalizedTemplate cc = Canon(c);
+  EXPECT_TRUE(cc.changed);
+  EXPECT_EQ(cc.tmpl.text, CanonText("SELECT u.x, v.x FROM t u, t v "
+                                    "WHERE u.k = v.k"));
+}
+
+TEST(CanonicalTemplateTest, CanonicalFormIsAFixedPoint) {
+  std::vector<std::string> queries = {
+      "SELECT t.x FROM t WHERE t.a = 1 AND t.b = 2",
+      "SELECT a.x, b.y FROM a, b WHERE a.k = b.k AND b.v = 'z'",
+      "SELECT t.x FROM t WHERE t.a = 1 GROUP BY t.x ORDER BY t.x LIMIT 5",
+  };
+  for (const std::string& q : queries) {
+    CanonicalizedTemplate once = Canon(q);
+    CanonicalizedTemplate twice = CanonicalizeTemplate(once.tmpl);
+    EXPECT_FALSE(twice.changed) << q;
+    EXPECT_EQ(twice.tmpl.text, once.tmpl.text) << q;
+    EXPECT_EQ(twice.tmpl.params, once.tmpl.params) << q;
+  }
+}
+
+TEST(CanonicalTemplateTest, TailClausesAreKeptVerbatim) {
+  std::string q = "SELECT t.x FROM t WHERE t.b = 2 AND t.a = 1 "
+                  "GROUP BY t.x HAVING t.x > 0 ORDER BY t.x DESC LIMIT 3";
+  CanonicalizedTemplate c = Canon(q);
+  EXPECT_TRUE(c.changed);
+  EXPECT_NE(c.tmpl.text.find("GROUP BY t.x HAVING t.x > ? "
+                             "ORDER BY t.x DESC LIMIT ?"),
+            std::string::npos);
+  // Tail parameters keep their appearance-order slots after the permuted
+  // WHERE parameters.
+  ASSERT_EQ(c.tmpl.params.size(), 4u);
+  EXPECT_EQ(c.tmpl.params[0], Value::Int64(1));  // t.a = ?
+  EXPECT_EQ(c.tmpl.params[1], Value::Int64(2));  // t.b = ?
+  EXPECT_EQ(c.tmpl.params[2], Value::Int64(0));  // HAVING t.x > ?
+  EXPECT_EQ(c.tmpl.params[3], Value::Int64(3));  // LIMIT ?
+}
+
+TEST(CanonicalTemplateTest, UnrecognizedShapesComeBackUnchanged) {
+  std::vector<std::string> bail = {
+      // Top-level OR: reordering is still sound but the fragment stops at
+      // pure conjunctions — conservatively untouched.
+      "SELECT t.x FROM t WHERE t.a = 1 OR t.b = 2",
+      "SELECT t.x FROM t WHERE t.a BETWEEN 1 AND 2",
+      "SELECT a.x FROM a JOIN b ON a.k = b.k",
+      "SELECT t.x FROM t WHERE t.a = 1 UNION SELECT t.y FROM t",
+      "INSERT INTO t VALUES (1, 2)",
+      // '*' projection: FROM order fixes column order, so sorting FROM
+      // would change the answer shape.
+      "SELECT * FROM b, a",
+  };
+  for (const std::string& q : bail) {
+    Result<SqlTemplate> masked = MaskSqlLiterals(q);
+    ASSERT_TRUE(masked.ok()) << q;
+    CanonicalizedTemplate c = CanonicalizeTemplate(*masked);
+    EXPECT_FALSE(c.changed) << q;
+    EXPECT_EQ(c.tmpl.text, masked->text) << q;
+  }
+}
+
+TEST(CanonicalTemplateTest, StarProjectionStillSortsConjuncts) {
+  // With a single FROM item there is nothing to sort in FROM, and the
+  // conjunct sort is always shape-preserving — '*' does not block it.
+  EXPECT_EQ(CanonText("SELECT * FROM t WHERE t.b = 2 AND t.a = 1"),
+            CanonText("SELECT * FROM t WHERE t.a = 1 AND t.b = 2"));
+}
+
+TEST(CanonicalTemplateTest, RenderRoundTripsThroughTheMasker) {
+  // The service's acceptance test for a rewrite: rendering the canonical
+  // template and re-masking it must reproduce text and parameters exactly.
+  std::vector<std::string> queries = {
+      "SELECT t.x FROM t WHERE t.b = 'it''s' AND t.a = 1",
+      "SELECT t.x FROM t WHERE 2.5 = t.a AND t.b = 'v'",
+      "SELECT a.x, b.y FROM b, a WHERE a.k = b.k AND 9 = b.v",
+  };
+  for (const std::string& q : queries) {
+    CanonicalizedTemplate c = Canon(q);
+    ASSERT_TRUE(c.changed) << q;
+    Result<std::string> rendered = RenderTemplate(c.tmpl);
+    ASSERT_TRUE(rendered.ok()) << q << ": " << rendered.status().ToString();
+    Result<SqlTemplate> remasked = MaskSqlLiterals(*rendered);
+    ASSERT_TRUE(remasked.ok()) << *rendered;
+    EXPECT_EQ(remasked->text, c.tmpl.text) << q;
+    EXPECT_EQ(remasked->params, c.tmpl.params) << q;
+  }
+}
+
+TEST(CanonicalTemplateTest, RenderRejectsUnspeakableParameters) {
+  SqlTemplate t;
+  t.text = "SELECT t.x FROM t WHERE t.a = ?";
+  t.params = {Value::Double(1e308 * 10)};  // +inf: no literal spelling
+  EXPECT_FALSE(RenderTemplate(t).ok());
+
+  SqlTemplate arity;
+  arity.text = "SELECT t.x FROM t WHERE t.a = ? AND t.b = ?";
+  arity.params = {Value::Int64(1)};
+  EXPECT_FALSE(RenderTemplate(arity).ok());
+}
+
+}  // namespace
+}  // namespace beas

@@ -138,6 +138,25 @@ TEST(ProtocolTest, ResponseRoundTripCarriesEnvelope) {
   EXPECT_TRUE(decoded->response.result.rows[0][1].Equals(Value::String("x")));
 }
 
+TEST(ProtocolTest, ResultCacheHitFlagRoundTrips) {
+  for (bool hit : {false, true}) {
+    WireResponse response;
+    response.status = Status::OK();
+    response.response.covered = true;
+    response.response.result_cache_hit = hit;
+    std::string frame = EncodeResponseFrame(3, response);
+    auto header = DecodeFrameHeader(
+        reinterpret_cast<const uint8_t*>(frame.data()), frame.size());
+    ASSERT_TRUE(header.ok());
+    auto decoded = DecodeResponse(
+        reinterpret_cast<const uint8_t*>(frame.data()) + kFrameHeaderSize,
+        header->payload_len);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->response.result_cache_hit, hit);
+    EXPECT_TRUE(decoded->response.covered);
+  }
+}
+
 TEST(ProtocolTest, ErrorResponsePreservesStatusCode) {
   WireResponse response;
   response.status = Status::ResourceExhausted("tenant cap exhausted");
@@ -495,6 +514,110 @@ TEST_F(NetTest, ConcurrentClientsMatchReference) {
   EXPECT_EQ(service_->service_counters().inflight_cost, 0u);
   EXPECT_EQ(service_->tenant_counters("beta").inflight_cost, 0u);
   EXPECT_GT(service_->tenant_counters("beta").requests_total, 0u);
+}
+
+TEST_F(NetTest, ResultCacheHitsShortCircuitOverTheWire) {
+  Client client = ConnectedClient();
+  QueryRequest request;
+  request.sql = KeyQuery(3);
+  auto cold = client.Query(request);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_FALSE(cold->result_cache_hit);
+  auto warm = client.Query(request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->result_cache_hit);
+  EXPECT_EQ(RowStrings(warm->result.rows), RowStrings(cold->result.rows));
+  EXPECT_GE(service_->net_gauges()->result_cache_hits.load(), 1u);
+
+  // A write over the wire invalidates over the wire.
+  auto acked = client.Insert("t", {{Value::Int64(3), Value::Int64(399)}});
+  ASSERT_TRUE(acked.ok()) << acked.status().ToString();
+  auto fresh = client.Query(request);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->result_cache_hit);
+  EXPECT_EQ(fresh->result.rows.size(), cold->result.rows.size() + 1);
+}
+
+TEST_F(NetTest, InvalidationRaceHammerNeverServesStaleAnswers) {
+  // One writer appends v = 1000, 1001, ... under a fresh key while reader
+  // threads storm the same template over loopback. Every served answer —
+  // cached or not — must be a contiguous prefix [1000, 1000+m) with m
+  // bracketed by the writer's progress: at least everything acked before
+  // the read was sent, at most everything started by the time the answer
+  // arrived. A stale cache hit after an acked insert lands below the
+  // bracket and fails the test.
+  constexpr int kHammerKey = 700;
+  constexpr int kInserts = 30;  // stays under the declared bound of 32
+  constexpr int kReaders = 4;
+  std::atomic<int> started{0};
+  std::atomic<int> acked{0};
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+  std::atomic<uint64_t> wire_hits{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      Client client;
+      if (!client.Connect("127.0.0.1", server_->port()).ok()) {
+        violations.fetch_add(1000);
+        return;
+      }
+      QueryRequest request;
+      request.sql = KeyQuery(kHammerKey);
+      while (!done.load(std::memory_order_acquire)) {
+        int lo = acked.load(std::memory_order_acquire);
+        auto resp = client.Query(request);
+        int hi = started.load(std::memory_order_acquire);
+        if (!resp.ok()) {
+          violations.fetch_add(1000);
+          return;
+        }
+        if (resp->result_cache_hit) wire_hits.fetch_add(1);
+        std::vector<int64_t> got;
+        got.reserve(resp->result.rows.size());
+        for (const Row& row : resp->result.rows) {
+          got.push_back(row[0].AsInt64());
+        }
+        std::sort(got.begin(), got.end());
+        int m = static_cast<int>(got.size());
+        bool prefix = true;
+        for (int i = 0; i < m; ++i) prefix &= got[i] == 1000 + i;
+        if (!prefix || m < lo || m > hi) violations.fetch_add(1);
+      }
+    });
+  }
+
+  {
+    Client writer = ConnectedClient();
+    for (int i = 0; i < kInserts; ++i) {
+      started.fetch_add(1, std::memory_order_acq_rel);
+      auto ack = writer.Insert("t", {{Value::Int64(kHammerKey),
+                                      Value::Int64(1000 + i)}});
+      ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+      acked.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0);
+
+  // Quiesced, the final answer matches a fresh uncached evaluation and the
+  // cache serves it.
+  Client client = ConnectedClient();
+  QueryRequest request;
+  request.sql = KeyQuery(kHammerKey);
+  auto a1 = client.Query(request);
+  auto a2 = client.Query(request);
+  ASSERT_TRUE(a1.ok() && a2.ok());
+  EXPECT_TRUE(a2->result_cache_hit);
+  EXPECT_EQ(a2->result.rows.size(), static_cast<size_t>(kInserts));
+  EXPECT_EQ(RowStrings(a2->result.rows), RowStrings(a1->result.rows));
+  service_->set_result_cache_enabled(false);
+  auto uncached = client.Query(request);
+  service_->set_result_cache_enabled(true);
+  ASSERT_TRUE(uncached.ok());
+  EXPECT_EQ(RowStrings(a2->result.rows), RowStrings(uncached->result.rows));
 }
 
 TEST_F(NetTest, PipelinedRequestsCorrelateByRequestId) {

@@ -19,6 +19,7 @@
 #include "common/test_env.h"
 #include "service/beas_service.h"
 #include "service/plan_cache.h"
+#include "service/result_cache.h"
 #include "service/template_key.h"
 #include "sql/sql_template.h"
 #include "test_util.h"
@@ -391,6 +392,9 @@ class ServiceTest : public ::testing::Test {
 };
 
 TEST_F(ServiceTest, CachedExecutionMatchesUncachedAcrossParameters) {
+  // Plan-cache mechanics under test: keep the result cache from serving
+  // the repeats outright.
+  service_->set_result_cache_enabled(false);
   const char* with_params[] = {
       "SELECT call.region FROM call WHERE call.pnum = %d AND "
       "call.date = '2016-03-15'",
@@ -439,6 +443,7 @@ TEST_F(ServiceTest, JoinTemplateIsCachedAndRebound) {
 }
 
 TEST_F(ServiceTest, NonCoveredTemplateCachesPartialChoice) {
+  service_->set_result_cache_enabled(false);  // plan-cache mechanics under test
   // business alone: psi3 needs a constant type AND region; only region is
   // bound, so the query is not covered and has no coverable fragment.
   std::string q = "SELECT business.pnum FROM business WHERE "
@@ -455,6 +460,7 @@ TEST_F(ServiceTest, NonCoveredTemplateCachesPartialChoice) {
 }
 
 TEST_F(ServiceTest, UncacheableTemplateBypassesTheCache) {
+  service_->set_result_cache_enabled(false);  // plan-cache mechanics under test
   std::string q = "SELECT call.region FROM call WHERE call.pnum = 7 AND "
                   "call.pnum = 7 AND call.date = '2016-03-15'";
   ServiceResponse r1 = MustExecute(q);
@@ -527,6 +533,7 @@ TEST_F(ServiceTest, ConstraintRegistrationInvalidatesAndEnablesCoverage) {
 }
 
 TEST_F(ServiceTest, ExecuteBoundedUsesTheCache) {
+  service_->set_result_cache_enabled(false);  // plan-cache mechanics under test
   std::string covered = "SELECT call.region FROM call WHERE call.pnum = 8 "
                         "AND call.date = '2016-03-15'";
   auto r1 = service_->ExecuteBounded(covered);
@@ -542,6 +549,196 @@ TEST_F(ServiceTest, ExecuteBoundedUsesTheCache) {
   auto e2 = service_->ExecuteBounded(uncovered);
   EXPECT_FALSE(e1.ok());
   EXPECT_FALSE(e2.ok());  // cached not-covered verdict
+}
+
+// ---------------------------------------------------------------------------
+// Materialized result cache.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServiceTest, ResultCacheServesRepeatsUntilSourceTableWrites) {
+  std::string q = "SELECT call.region FROM call WHERE call.pnum = 7 AND "
+                  "call.date = '2016-03-15'";
+  ServiceResponse first = MustExecute(q);
+  EXPECT_FALSE(first.result_cache_hit);
+  ASSERT_FALSE(first.result.rows.empty());
+
+  ServiceResponse hit = MustExecute(q);
+  EXPECT_TRUE(hit.result_cache_hit);
+  EXPECT_EQ(hit.result.rows, first.result.rows);  // bit-identical replay
+  EXPECT_EQ(hit.eta, first.eta);
+  EXPECT_EQ(hit.covered, first.covered);
+  ResultCacheStats stats = service_->result_cache_stats();
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_GE(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+
+  // A plain insert into the source table bumps its version epoch; the next
+  // read revalidates, drops the stale entry, and reevaluates.
+  ASSERT_TRUE(
+      service_->Insert("call", {I(7), I(102), Dt("2016-03-15"), S("R9")})
+          .ok());
+  ServiceResponse fresh = MustExecute(q);
+  EXPECT_FALSE(fresh.result_cache_hit);
+  EXPECT_EQ(fresh.result.rows.size(), first.result.rows.size() + 1);
+  EXPECT_GE(service_->result_cache_stats().invalidations, 1u);
+
+  // Writes to unrelated tables leave the rebuilt entry warm.
+  ASSERT_TRUE(service_->Insert("business", {I(10), S("bank"), S("R4")}).ok());
+  ServiceResponse warm = MustExecute(q);
+  EXPECT_TRUE(warm.result_cache_hit);
+  EXPECT_EQ(warm.result.rows, fresh.result.rows);
+
+  // Deletes invalidate exactly like inserts.
+  ASSERT_TRUE(
+      service_->Delete("call", {I(7), I(102), Dt("2016-03-15"), S("R9")})
+          .ok());
+  ServiceResponse after_delete = MustExecute(q);
+  EXPECT_FALSE(after_delete.result_cache_hit);
+  EXPECT_EQ(after_delete.result.rows.size(), fresh.result.rows.size() - 1);
+}
+
+TEST_F(ServiceTest, ResultCacheKeysSeparateModesAndBudgets) {
+  std::string q = "SELECT call.region FROM call WHERE call.pnum = 7 AND "
+                  "call.date = '2016-03-15'";
+  EXPECT_FALSE(MustExecute(q).result_cache_hit);
+  EXPECT_TRUE(MustExecute(q).result_cache_hit);
+
+  // Bounded-only mode is its own budget class: it misses even though the
+  // auto-mode answer is warm, then hits on its own repeat.
+  auto b1 = service_->ExecuteBounded(q);
+  auto b2 = service_->ExecuteBounded(q);
+  ASSERT_TRUE(b1.ok() && b2.ok());
+  EXPECT_FALSE(b1->result_cache_hit);
+  EXPECT_TRUE(b2->result_cache_hit);
+  EXPECT_EQ(b2->result.rows, b1->result.rows);
+
+  // So is an explicit fetch budget, even when the answer happens to be
+  // complete under both.
+  QueryOptions roomy;
+  roomy.fetch_budget = 1000000;
+  auto r = service_->Execute(q, roomy);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->result_cache_hit);
+
+  // Clearing drops everything.
+  service_->ClearResultCache();
+  EXPECT_FALSE(MustExecute(q).result_cache_hit);
+  EXPECT_EQ(service_->result_cache_stats().entries, 1u);
+}
+
+TEST_F(ServiceTest, ResultCacheIsByteBoundedAndEvicts) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.cache_shards = 1;  // one shard → one LRU → deterministic bound
+  options.result_cache_max_bytes = 4096;
+  auto service = std::make_unique<BeasService>(options);
+  Populate(service.get());
+
+  // Far more distinct frozen-parameter keys than 4 KiB can hold.
+  for (int pnum = 0; pnum < 40; ++pnum) {
+    auto resp = service->Execute(
+        "SELECT call.region FROM call WHERE call.pnum = " +
+        std::to_string(pnum) + " AND call.date = '2016-03-15'");
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  }
+  ResultCacheStats stats = service->result_cache_stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes, 4096u);
+  EXPECT_LT(stats.entries, 40u);
+
+  // The most recently used keys survive; ancient ones were evicted.
+  auto recent = service->Execute(
+      "SELECT call.region FROM call WHERE call.pnum = 39 AND "
+      "call.date = '2016-03-15'");
+  ASSERT_TRUE(recent.ok());
+  EXPECT_TRUE(recent->result_cache_hit);
+  auto ancient = service->Execute(
+      "SELECT call.region FROM call WHERE call.pnum = 0 AND "
+      "call.date = '2016-03-15'");
+  ASSERT_TRUE(ancient.ok());
+  EXPECT_FALSE(ancient->result_cache_hit);
+}
+
+TEST_F(ServiceTest, CanonicalSpellingsShareOneResultCacheEntry) {
+  // One canonical template, three spellings: conjuncts reordered, the
+  // equality flipped literal-first, and the FROM list permuted.
+  std::string a =
+      "SELECT call.region FROM call, business WHERE business.type = 'bank' "
+      "AND business.region = 'R1' AND business.pnum = call.pnum AND "
+      "call.date = '2016-03-15'";
+  std::string b =
+      "SELECT call.region FROM business, call WHERE call.date = '2016-03-15' "
+      "AND business.pnum = call.pnum AND 'bank' = business.type AND "
+      "business.region = 'R1'";
+
+  uint64_t before = service_->template_canonicalizations();
+  ServiceResponse ra = MustExecute(a);
+  ServiceResponse rb = MustExecute(b);
+  EXPECT_GT(service_->template_canonicalizations(), before);
+
+  // The second spelling is answered from the first spelling's entry,
+  // bit-identically.
+  EXPECT_FALSE(ra.result_cache_hit);
+  EXPECT_TRUE(rb.result_cache_hit);
+  EXPECT_EQ(rb.result.rows, ra.result.rows);
+  EXPECT_EQ(rb.result.column_names, ra.result.column_names);
+  EXPECT_EQ(rb.eta, ra.eta);
+
+  // Same property for single-table equality swaps with a parameter.
+  std::string c = "SELECT call.region FROM call WHERE call.pnum = 8 AND "
+                  "call.date = '2016-03-15'";
+  std::string d = "SELECT call.region FROM call WHERE "
+                  "call.date = '2016-03-15' AND 8 = call.pnum";
+  ServiceResponse rc = MustExecute(c);
+  ServiceResponse rd = MustExecute(d);
+  EXPECT_FALSE(rc.result_cache_hit);
+  EXPECT_TRUE(rd.result_cache_hit);
+  EXPECT_EQ(rd.result.rows, rc.result.rows);
+
+  // Different frozen parameters never collide.
+  std::string e = "SELECT call.region FROM call WHERE "
+                  "call.date = '2016-03-15' AND 9 = call.pnum";
+  ServiceResponse re = MustExecute(e);
+  EXPECT_FALSE(re.result_cache_hit);
+  EXPECT_EQ(re.result.rows, (std::vector<Row>{{S("R3")}}));
+}
+
+TEST_F(ServiceTest, ResultCacheGaugesExposedThroughBeasStats) {
+  std::string q = "SELECT call.region FROM call WHERE call.pnum = 7 AND "
+                  "call.date = '2016-03-15'";
+  MustExecute(q);
+  EXPECT_TRUE(MustExecute(q).result_cache_hit);
+  ASSERT_TRUE(
+      service_->Insert("call", {I(7), I(103), Dt("2016-03-15"), S("R5")})
+          .ok());
+  EXPECT_FALSE(MustExecute(q).result_cache_hit);  // lazily invalidated
+
+  ResultCacheStats expect = service_->result_cache_stats();
+  ServiceResponse resp =
+      MustExecute("SELECT metric, value FROM beas_stats ORDER BY metric");
+  auto value_of = [&](const std::string& metric) -> double {
+    for (const Row& row : resp.result.rows) {
+      if (row[0].AsString() == metric) return row[1].AsDouble();
+    }
+    ADD_FAILURE() << "metric not exported: " << metric;
+    return -1.0;
+  };
+
+  EXPECT_EQ(value_of("result_cache_enabled"), 1.0);
+  EXPECT_EQ(value_of("result_cache_hits_total"),
+            static_cast<double>(expect.hits));
+  EXPECT_EQ(value_of("result_cache_misses_total"),
+            static_cast<double>(expect.misses));
+  EXPECT_EQ(value_of("result_cache_invalidations_total"),
+            static_cast<double>(expect.invalidations));
+  EXPECT_EQ(value_of("result_cache_bytes"), static_cast<double>(expect.bytes));
+  EXPECT_EQ(value_of("result_cache_entries"),
+            static_cast<double>(expect.entries));
+  EXPECT_GE(value_of("result_cache_invalidations_total"), 1.0);
+  EXPECT_GE(value_of("template_canonicalizations_total"), 1.0);
+  // In-process execution never touches the wire: the net-side hit gauge
+  // stays zero (the in-process-zero convention for net_* gauges).
+  EXPECT_EQ(value_of("net_result_cache_hits_total"), 0.0);
 }
 
 TEST_F(ServiceTest, ApproximateExecutionThroughTheService) {
@@ -647,6 +844,7 @@ TEST_F(ServiceTest, PreparedInstantiationMatchesFullBind) {
 // (template, frozen values) — they coexist and both hit, instead of
 // evicting each other and re-planning every time.
 TEST_F(ServiceTest, FrozenParameterVariantsCoexistInTheCache) {
+  service_->set_result_cache_enabled(false);  // plan-cache mechanics under test
   std::string by_recnum =
       "SELECT call.recnum, call.region FROM call WHERE call.pnum = 7 AND "
       "call.date = '2016-03-15' ORDER BY 1 DESC";
@@ -734,6 +932,9 @@ TEST_F(ServiceTest, GroupedAndOrderedOutputLiteralsStayConsistent) {
 // ---------------------------------------------------------------------------
 
 TEST_F(ServiceTest, ConcurrentClientsWithWriterStress) {
+  // This stress asserts plan-cache hit counts; the result-cache analogue
+  // (with epoch invalidation under writes) lives in net_test.cc's hammer.
+  service_->set_result_cache_enabled(false);
   struct Workload {
     std::string sql;
     std::vector<Row> expected;
@@ -1211,6 +1412,9 @@ class ResilienceTest : public ServiceTest {
 
 TEST_F(ResilienceTest, CancelAndDeadlineReturnHonestPartialAnswers) {
   Start(ServiceOptions{});
+  // Deadline/cancel semantics of *execution* under test — a result-cache
+  // hit would (correctly) serve the full answer instantly instead.
+  service_->set_result_cache_enabled(false);
   ServiceResponse full = MustExecute(kCallQuery);
   EXPECT_FALSE(full.timed_out);
   EXPECT_EQ(full.eta, 1.0);
@@ -1252,6 +1456,7 @@ TEST_F(ResilienceTest, AdmissionDegradesBeforeRejecting) {
   options.num_workers = 2;
   options.max_inflight_cost = 100;  // < the query's deduced bound of 500
   Start(options);
+  service_->set_result_cache_enabled(false);  // admission mechanics under test
 
   // Alone, the query does not fit whole: it is admitted degraded under the
   // remaining grant, and with so few actual rows the answer is still
@@ -1328,6 +1533,87 @@ TEST_F(ResilienceTest, MinEtaRefusesTooPartialAnswers) {
   EXPECT_GE(service_->service_counters().queries_rejected_total, 1u);
 }
 
+TEST_F(ResilienceTest, PartialAnswersCachedOnlyUnderMinEtaContract) {
+  Start(ServiceOptions{});
+
+  // A budget-capped partial answer (η < 1, no min_eta contract) is honest
+  // but incomplete — it must never be replayed from the cache. Budget 3:
+  // step one fetches the 2 bank pnums, step two serves one of their two
+  // call keys before the budget runs out — η lands at 1/2.
+  QueryOptions partial;
+  partial.fetch_budget = 3;
+  auto p1 = service_->Execute(kJoinQuery, partial);
+  ASSERT_TRUE(p1.ok()) << p1.status().ToString();
+  ASSERT_LT(p1->eta, 1.0);
+  ASSERT_GT(p1->eta, 0.0);
+  auto p2 = service_->Execute(kJoinQuery, partial);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_FALSE(p2->result_cache_hit);
+
+  // With an explicit min_eta contract the partial answer IS the agreed
+  // deliverable: it caches, and replays only for that same contract.
+  QueryOptions contract = partial;
+  contract.min_eta = 0.01;
+  auto c1 = service_->Execute(kJoinQuery, contract);
+  ASSERT_TRUE(c1.ok()) << c1.status().ToString();
+  EXPECT_FALSE(c1->result_cache_hit);
+  auto c2 = service_->Execute(kJoinQuery, contract);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_TRUE(c2->result_cache_hit);
+  EXPECT_EQ(c2->result.rows, c1->result.rows);
+  EXPECT_EQ(c2->eta, c1->eta);
+
+  // Timed-out answers reflect a deadline, not the data: never cached.
+  std::atomic<bool> cancel{true};
+  QueryOptions cancelled;
+  cancelled.cancel = &cancel;
+  auto t1 = service_->Execute(kCallQuery, cancelled);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t1->timed_out);
+  auto t2 = service_->Execute(kCallQuery, cancelled);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_FALSE(t2->result_cache_hit);
+}
+
+TEST_F(ResilienceTest, ResultCacheHitBypassesAdmission) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.max_inflight_cost = 100;  // < the query's deduced bound of 500
+  Start(options);
+
+  // Warm the cache. Under this grant the first execution is degraded
+  // (admission caps resources), so it is not cached; insist on the partial
+  // contract so the warm-up entry actually lands.
+  QueryOptions contract;
+  contract.min_eta = 0.5;
+  auto warm = service_->Execute(kCallQuery, contract);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ASSERT_GE(warm->eta, 0.5);
+
+  // Saturate admission: a holder parks mid-chain with the whole budget.
+  // A cold query is rejected, but the cached one answers instantly — hits
+  // consume no admission grant at all.
+  ServiceFailGuard slow("exec_step=sleep(200)@*");
+  std::thread holder([&] {
+    auto resp = service_->Execute(kJoinQuery);
+    EXPECT_TRUE(resp.ok()) << resp.status().ToString();
+  });
+  bool held = false;
+  for (int i = 0; i < 2000; ++i) {
+    if (service_->service_counters().inflight_cost > 0) {
+      held = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(held) << "holder never charged the admission budget";
+  auto served = service_->Execute(kCallQuery, contract);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_TRUE(served->result_cache_hit);
+  EXPECT_EQ(served->result.rows, warm->result.rows);
+  holder.join();
+}
+
 TEST_F(ResilienceTest, SubmitQueueIsBounded) {
   ServiceOptions options;
   options.num_workers = 1;
@@ -1368,6 +1654,7 @@ TEST_F(ResilienceTest, ResilienceGaugesExposedThroughBeasStats) {
   ServiceOptions options;
   options.max_inflight_cost = 100;
   Start(options);
+  service_->set_result_cache_enabled(false);  // admission mechanics under test
 
   // Drive one of each: a degraded query, a cancelled one, a min_eta
   // rejection.
@@ -1419,6 +1706,7 @@ TEST_F(ResilienceTest, TenantAdmissionCountersAndBeasStatsGauges) {
   options.max_inflight_cost = 10000;     // roomy global pool
   options.tenant_cost_caps["beta"] = 100;  // < the query's bound of 500
   Start(options);
+  service_->set_result_cache_enabled(false);  // admission mechanics under test
 
   // Alone, beta's query exceeds its cap and is admitted degraded — the
   // grant caps resources, not correctness.

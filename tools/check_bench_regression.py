@@ -23,6 +23,11 @@ committed at the repo root and fails (exit 1) when:
     is unconditional: the columnar tail's win is algorithmic (no Row
     materialization, code-aware grouping, encoded-key sorts), not a
     parallel fan-out, so a single-core runner must clear it too, or
+  * hotkey_speedup (the Zipf-skewed repeated-parameter wire storm with
+    the materialized result cache on vs off, same server, same storm)
+    fell below the absolute result-cache floor (2.0x). Unconditional for
+    the same reason as the tail gate: a cache hit skips evaluation
+    entirely, so the win does not depend on core count, or
   * durable_insert_relative (durable-mode insert throughput as a fraction
     of the same run's in-memory throughput — the price of the WAL +
     group-commit + fsync write path, hardware-independent because both
@@ -38,14 +43,20 @@ committed at the repo root and fails (exit 1) when:
   * the fresh run's write_path section reports ok != true (an insert
     failed, rows were lost on read-back, or the durable run never
     group-committed), or
-  * the fresh run's net section reports ok != true (a wire answer
-    diverged from the in-process reference, a partial answer was not a
-    subset, or an error arrived untyped). Per-tenant loopback latency
-    percentiles and QPS are machine-dependent and recorded only.
+  * the fresh run's net or hotkey section reports ok != true (a wire
+    answer diverged from the in-process reference, a partial answer was
+    not a subset, an error arrived untyped, or the cached lane never
+    hit). Loopback latency percentiles and QPS are machine-dependent and
+    recorded only.
 
-When the shard gate is skipped for lack of cores, the skip is reported
-as an explicit CAVEAT (fig4_shard_speedup is expected to sit near 1.0x
-on such runners) rather than silently passing.
+Every section prints exactly one uniform status line:
+
+  [PASS]     a gated metric met its bar
+  [REGRESSED] a gated metric fell below its bar (also listed under FAIL)
+  [RECORDED] an informational metric, never gated
+  [CAVEAT]   a gate that exists but is skipped on this runner, with the
+             reason (e.g. the shard floor on a single-core machine)
+  [MISSING]  a required section or metric absent from the fresh run
 
 Usage: check_bench_regression.py <fresh.json> <baseline.json> [threshold]
 """
@@ -57,6 +68,7 @@ DICT_SPEEDUP_FLOOR = 1.5
 SHARD_SPEEDUP_FLOOR = 1.5
 SHARD_GATE_MIN_CORES = 4
 TAIL_SPEEDUP_FLOOR = 1.5
+HOTKEY_SPEEDUP_FLOOR = 2.0
 DURABLE_WRITE_FLOOR = 0.25
 
 
@@ -72,6 +84,17 @@ def main() -> int:
 
     failures = []
 
+    def report(status, metric, detail):
+        print(f"  [{status:<9}] {metric}: {detail}")
+
+    def missing(metric):
+        report("MISSING", metric, "absent from fresh results")
+        failures.append(f"{metric} missing from fresh results")
+
+    def regressed(metric, detail, reason):
+        report("REGRESSED", metric, detail)
+        failures.append(reason)
+
     # Speedups are scale-dependent; comparing runs at different data
     # scales would gate on incommensurable numbers.
     if fresh.get("tlc_sf") != baseline.get("tlc_sf"):
@@ -83,110 +106,111 @@ def main() -> int:
     if fresh.get("all_identical") is not True:
         failures.append("fresh run diverged: all_identical != true")
 
-    def gate(metric, floor_abs=None):
+    def gate_vs_baseline(metric, floor_abs=None):
         fresh_v = fresh.get(metric)
         base_v = baseline.get(metric)
         if fresh_v is None:
-            failures.append(f"{metric} missing from fresh results")
+            missing(metric)
             return
         if base_v is None:
-            print(f"  {metric}: {fresh_v:.3f} (no baseline; recorded only)")
+            report("RECORDED", metric, f"{fresh_v:.3f} (no baseline yet)")
             return
         bar = threshold * base_v
         if floor_abs is not None:
             bar = min(bar, floor_abs)
-        status = "ok" if fresh_v >= bar else "REGRESSED"
-        print(f"  {metric}: fresh {fresh_v:.3f} vs baseline {base_v:.3f} "
-              f"(bar {bar:.3f}) {status}")
-        if fresh_v < bar:
-            failures.append(
-                f"{metric} regressed: {fresh_v:.3f} < {bar:.3f} "
-                f"(baseline {base_v:.3f})")
+        detail = (f"fresh {fresh_v:.3f} vs baseline {base_v:.3f} "
+                  f"(bar {bar:.3f})")
+        if fresh_v >= bar:
+            report("PASS", metric, detail)
+        else:
+            regressed(metric, detail,
+                      f"{metric} regressed: {fresh_v:.3f} < {bar:.3f} "
+                      f"(baseline {base_v:.3f})")
+
+    def gate_floor(metric, floor, caveat=None):
+        """Absolute-floor gate; `caveat` is a (condition, reason) pair
+        that downgrades the gate to a recorded value on this runner."""
+        fresh_v = fresh.get(metric)
+        if fresh_v is None:
+            missing(metric)
+            return
+        if caveat is not None and caveat[0]:
+            report("CAVEAT", metric,
+                   f"{fresh_v:.3f} (floor {floor:.2f}x NOT enforced: "
+                   f"{caveat[1]})")
+            return
+        detail = f"{fresh_v:.3f} (floor {floor:.2f})"
+        if fresh_v >= floor:
+            report("PASS", metric, detail)
+        else:
+            regressed(metric, detail,
+                      f"{metric} below floor: {fresh_v:.3f} < {floor:.2f}")
+
+    def health(section, detail_fn):
+        """Correctness-gated section whose numbers are recorded only."""
+        data = fresh.get(section)
+        if data is None:
+            missing(section)
+            return
+        report("RECORDED", section, detail_fn(data))
+        if data.get("ok") is not True:
+            report("REGRESSED", section, "ok != true in fresh run")
+            failures.append(f"{section} unhealthy: ok != true in fresh run")
 
     print("fetch-chain perf gate:")
-    gate("fetch_chain_speedup_geomean")
-    gate("string_chain_speedup_geomean")
-    gate("string_dict_speedup_geomean", floor_abs=DICT_SPEEDUP_FLOOR)
-    gate("tail_speedup_geomean")
-    gate("durable_insert_relative", floor_abs=DURABLE_WRITE_FLOOR)
+    gate_vs_baseline("fetch_chain_speedup_geomean")
+    gate_vs_baseline("string_chain_speedup_geomean")
+    gate_vs_baseline("string_dict_speedup_geomean",
+                     floor_abs=DICT_SPEEDUP_FLOOR)
+    gate_vs_baseline("tail_speedup_geomean")
+    gate_vs_baseline("durable_insert_relative",
+                     floor_abs=DURABLE_WRITE_FLOOR)
 
     # Write-path health + informational absolutes. The ratio above is the
-    # gated metric; raw throughput and ack latency are machine-dependent,
-    # so they are printed for the record only.
-    write_path = fresh.get("write_path")
-    if write_path is None:
-        failures.append("write_path section missing from fresh results")
-    else:
-        print(f"  write_path: durable "
-              f"{fresh.get('durable_insert_rows_per_sec', 0):.0f} rows/s vs "
-              f"in-memory {fresh.get('inmem_insert_rows_per_sec', 0):.0f} "
-              f"rows/s; ack p50 {write_path.get('ack_p50_ms', 0):.3f} ms / "
-              f"p99 {write_path.get('ack_p99_ms', 0):.3f} ms; "
-              f"{write_path.get('group_commits', 0)} group commits "
-              "(recorded only)")
-        if write_path.get("ok") is not True:
-            failures.append("write_path unhealthy: ok != true in fresh run")
+    # gated metric; raw throughput and ack latency are machine-dependent.
+    health("write_path", lambda wp: (
+        f"durable {fresh.get('durable_insert_rows_per_sec', 0):.0f} rows/s "
+        f"vs in-memory {fresh.get('inmem_insert_rows_per_sec', 0):.0f} "
+        f"rows/s; ack p50 {wp.get('ack_p50_ms', 0):.3f} ms / "
+        f"p99 {wp.get('ack_p99_ms', 0):.3f} ms; "
+        f"{wp.get('group_commits', 0)} group commits"))
 
-    # Network front door: correctness-gated, latency recorded only. A
-    # baseline predating the wire server simply lacks the section; the
-    # fresh run must carry it.
-    net = fresh.get("net")
-    if net is None:
-        failures.append("net section missing from fresh results")
-    else:
-        print(f"  net: {net.get('reads', 0)} reads + "
-              f"{net.get('writes', 0)} inserts over "
-              f"{net.get('clients', 0)} clients; alpha p50 "
-              f"{net.get('alpha_p50_ms', 0):.3f} ms / p99 "
-              f"{net.get('alpha_p99_ms', 0):.3f} ms "
-              f"({net.get('alpha_qps', 0):.0f} qps), beta p50 "
-              f"{net.get('beta_p50_ms', 0):.3f} ms / p99 "
-              f"{net.get('beta_p99_ms', 0):.3f} ms "
-              f"({net.get('beta_qps', 0):.0f} qps); "
-              f"{net.get('degraded', 0)} degraded, "
-              f"{net.get('rejected', 0)} rejected (recorded only)")
-        if net.get("ok") is not True:
-            failures.append("net unhealthy: ok != true in fresh run")
+    # Network front door: correctness-gated, latency recorded only.
+    health("net", lambda net: (
+        f"{net.get('reads', 0)} reads + {net.get('writes', 0)} inserts "
+        f"over {net.get('clients', 0)} clients; alpha p50 "
+        f"{net.get('alpha_p50_ms', 0):.3f} ms / p99 "
+        f"{net.get('alpha_p99_ms', 0):.3f} ms "
+        f"({net.get('alpha_qps', 0):.0f} qps), beta p50 "
+        f"{net.get('beta_p50_ms', 0):.3f} ms / p99 "
+        f"{net.get('beta_p99_ms', 0):.3f} ms "
+        f"({net.get('beta_qps', 0):.0f} qps); "
+        f"{net.get('degraded', 0)} degraded, "
+        f"{net.get('rejected', 0)} rejected"))
+
+    # Hot-key result cache: correctness-gated section plus an
+    # unconditional absolute floor on the cached/uncached QPS ratio.
+    health("hotkey", lambda hk: (
+        f"uncached {hk.get('uncached_qps', 0):.0f} qps (p50 "
+        f"{hk.get('uncached_p50_ms', 0):.3f} ms) -> cached "
+        f"{hk.get('cached_qps', 0):.0f} qps (p50 "
+        f"{hk.get('cached_p50_ms', 0):.3f} ms), hit ratio "
+        f"{hk.get('hit_ratio', 0):.3f}"))
+    gate_floor("hotkey_speedup", HOTKEY_SPEEDUP_FLOOR)
 
     # Columnar-tail gate: absolute floor on the tail-heavy Fig. 4-shaped
     # chain, hardware-independent (the win is algorithmic).
-    tail_speedup = fresh.get("fig4_tail_speedup")
-    if tail_speedup is None:
-        failures.append("fig4_tail_speedup missing from fresh results")
-    elif tail_speedup < TAIL_SPEEDUP_FLOOR:
-        print(f"  fig4_tail_speedup: {tail_speedup:.3f} "
-              f"(floor {TAIL_SPEEDUP_FLOOR:.2f}) REGRESSED")
-        failures.append(
-            f"fig4_tail_speedup below floor: {tail_speedup:.3f} < "
-            f"{TAIL_SPEEDUP_FLOOR:.2f}")
-    else:
-        print(f"  fig4_tail_speedup: {tail_speedup:.3f} "
-              f"(floor {TAIL_SPEEDUP_FLOOR:.2f}) ok")
+    gate_floor("fig4_tail_speedup", TAIL_SPEEDUP_FLOOR)
 
     # Sharded-storage gate: absolute floor on the Fig. 4 chain, applied
-    # only where the hardware can express parallelism at all.
-    shard_speedup = fresh.get("fig4_shard_speedup")
+    # only where the hardware can express parallelism at all. Expect the
+    # metric near 1.0x on skipped runners.
     cores = fresh.get("hardware_concurrency", 1)
-    if shard_speedup is None:
-        failures.append("fig4_shard_speedup missing from fresh results")
-    elif cores < SHARD_GATE_MIN_CORES:
-        print(f"  fig4_shard_speedup: {shard_speedup:.3f} (recorded only)")
-        print(f"  CAVEAT: shard-speedup floor ({SHARD_SPEEDUP_FLOOR:.2f}x) "
-              f"NOT enforced: this run reports hardware_concurrency="
-              f"{cores} < {SHARD_GATE_MIN_CORES}, and a parallel fan-out "
-              "cannot express a speedup without cores — expect "
-              "fig4_shard_speedup near 1.0x here. The sharding gate only "
-              f"means something on a >= {SHARD_GATE_MIN_CORES}-core runner.")
-    elif shard_speedup < SHARD_SPEEDUP_FLOOR:
-        print(f"  fig4_shard_speedup: {shard_speedup:.3f} "
-              f"(floor {SHARD_SPEEDUP_FLOOR:.2f}) REGRESSED")
-        failures.append(
-            f"fig4_shard_speedup below floor: {shard_speedup:.3f} < "
-            f"{SHARD_SPEEDUP_FLOOR:.2f} (shards="
-            f"{fresh.get('shards')}, cores={cores})")
-    else:
-        print(f"  fig4_shard_speedup: {shard_speedup:.3f} "
-              f"(floor {SHARD_SPEEDUP_FLOOR:.2f}) ok")
+    gate_floor(
+        "fig4_shard_speedup", SHARD_SPEEDUP_FLOOR,
+        caveat=(cores < SHARD_GATE_MIN_CORES,
+                f"hardware_concurrency={cores} < {SHARD_GATE_MIN_CORES}; a "
+                "parallel fan-out cannot express a speedup without cores"))
 
     if failures:
         print("\nFAIL:")

@@ -397,6 +397,10 @@ class BeasService {
   /// @{
   ResultCacheStats result_cache_stats() const;
   void set_result_cache_enabled(bool enabled) {
+    // result_cache_max_bytes == 0 disables the cache outright: no budget
+    // was allocated, so a later enable would turn lookups on against a
+    // cache that drops every insert. Keep it permanently off.
+    if (enabled && options_.result_cache_max_bytes == 0) return;
     result_cache_enabled_.store(enabled);
   }
   bool result_cache_enabled() const { return result_cache_enabled_.load(); }

@@ -170,10 +170,15 @@ Piece OrientEquality(Piece conjunct) {
   if (eq == std::string::npos) return conjunct;
   std::string lhs = Trim(t.substr(0, eq));
   std::string rhs = Trim(t.substr(eq + 1));
-  if (lhs != "?" || rhs == "?" || rhs.empty()) return conjunct;
+  // rhs must be '?'-free: swapping '? = t.a + ?' would reorder the '?'
+  // appearance without permuting params, binding literals to the wrong
+  // marks (and colliding with the key of a genuinely different query).
+  if (lhs != "?" || rhs.empty() || rhs.find('?') != std::string::npos) {
+    return conjunct;
+  }
   Piece out;
   out.text = rhs + " = " + lhs;
-  // lhs held the single '?', so its ordinal moves behind rhs's (none).
+  // lhs held the conjunct's only '?', so its ordinal stays put.
   out.params = std::move(conjunct.params);
   return out;
 }

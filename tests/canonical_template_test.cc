@@ -50,6 +50,31 @@ TEST(CanonicalTemplateTest, EqualityOrientedParameterLast) {
             CanonText("SELECT t.x FROM t WHERE t.a = 1 AND t.b = 'v'"));
 }
 
+TEST(CanonicalTemplateTest, EqualityWithMarksOnBothSidesIsNotOriented) {
+  // '? = t.a + ?' must not be swapped into 't.a + ? = ?': that reorders
+  // the '?' appearance without permuting params, so rendering would bind
+  // 5 and 3 to the wrong marks — and the result would share a cache key
+  // with the genuinely different query spelled 't.a + ? = ?'.
+  CanonicalizedTemplate c = Canon("SELECT t.x FROM t WHERE 5 = t.a + 3");
+  EXPECT_FALSE(c.changed);
+  EXPECT_EQ(c.tmpl.text, "SELECT t.x FROM t WHERE ? = t.a + ?");
+  ASSERT_EQ(c.tmpl.params.size(), 2u);
+  EXPECT_EQ(c.tmpl.params[0], Value::Int64(5));
+  EXPECT_EQ(c.tmpl.params[1], Value::Int64(3));
+
+  // The untouched conjunct still travels correctly through the conjunct
+  // sort: rendering the canonical form must reproduce the original
+  // literal bindings, not just an internally consistent permutation.
+  CanonicalizedTemplate s =
+      Canon("SELECT t.x FROM t WHERE t.b = 2 AND 5 = t.a + 3");
+  EXPECT_TRUE(s.changed);
+  ASSERT_EQ(s.tmpl.params.size(), 3u);
+  Result<std::string> rendered = RenderTemplate(s.tmpl);
+  ASSERT_TRUE(rendered.ok()) << rendered.status().ToString();
+  EXPECT_NE(rendered->find("5 = t.a + 3"), std::string::npos) << *rendered;
+  EXPECT_NE(rendered->find("t.b = 2"), std::string::npos) << *rendered;
+}
+
 TEST(CanonicalTemplateTest, FromListSortedByTableThenAlias) {
   std::string a = "SELECT a.x, b.y FROM b, a WHERE a.k = b.k";
   std::string b = "SELECT a.x, b.y FROM a, b WHERE a.k = b.k";

@@ -659,6 +659,28 @@ TEST_F(ServiceTest, ResultCacheIsByteBoundedAndEvicts) {
   EXPECT_FALSE(ancient->result_cache_hit);
 }
 
+TEST_F(ServiceTest, ZeroByteResultCacheStaysDisabled) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.result_cache_max_bytes = 0;  // documented: disables the cache
+  auto service = std::make_unique<BeasService>(options);
+  Populate(service.get());
+  EXPECT_FALSE(service->result_cache_enabled());
+
+  // A later enable must not turn lookups on against a cache with no
+  // budget — it would report itself on yet drop every insert.
+  service->set_result_cache_enabled(true);
+  EXPECT_FALSE(service->result_cache_enabled());
+
+  std::string q = "SELECT call.region FROM call WHERE call.pnum = 7 AND "
+                  "call.date = '2016-03-15'";
+  auto first = service->Execute(q);
+  auto second = service->Execute(q);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_FALSE(second->result_cache_hit);
+  EXPECT_EQ(service->result_cache_stats().entries, 0u);
+}
+
 TEST_F(ServiceTest, CanonicalSpellingsShareOneResultCacheEntry) {
   // One canonical template, three spellings: conjuncts reordered, the
   // equality flipped literal-first, and the FROM list permuted.
